@@ -1,0 +1,40 @@
+# CMI — build, test and experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench cover examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/epidemic
+	$(GO) run ./examples/taskforce
+	$(GO) run ./examples/federation
+	$(GO) run ./examples/darpa
+	$(GO) run ./examples/enterprise
+
+# Regenerate every figure and reported number (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/cmibench -exp all
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,158 @@
+package cmi_test
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommandLineTools builds cmid and cmictl and drives a full designer
+// and participant session over the real binaries: spec upload, staffing,
+// system start, process work and awareness viewing — the Figure 5
+// deployment as a user would run it.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"cmid", "cmictl"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	// Pick a free port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	server := "http://" + addr
+
+	specPath := filepath.Join(t.TempDir(), "review.adl")
+	spec := `
+contextschema ReviewContext {
+    role Author
+}
+process Review {
+    context rc ReviewContext
+    activity Draft role org Writer
+    activity Check role org Writer
+    seq Draft -> Check
+}
+awareness ReviewDone on Review {
+    root = activity Check to (Completed)
+    deliver scoped ReviewContext.Author
+    describe "reviewed"
+}
+`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	daemon := exec.Command(filepath.Join(bin, "cmid"),
+		"-addr", addr, "-state", t.TempDir(), "-spec", specPath)
+	daemon.Env = os.Environ()
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	ctl := func(as string, args ...string) (string, error) {
+		full := append([]string{"-server", server, "-as", as}, args...)
+		cmd := exec.Command(filepath.Join(bin, "cmictl"), full...)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	// Wait for the daemon to accept connections.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := ctl("ann", "schemas"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cmid did not come up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	mustCtl := func(as string, args ...string) string {
+		t.Helper()
+		out, err := ctl(as, args...)
+		if err != nil {
+			t.Fatalf("cmictl %v: %v\n%s", args, err, out)
+		}
+		return out
+	}
+
+	// Designer session.
+	mustCtl("ann", "participant", "ann", "Ann", "human")
+	mustCtl("ann", "role", "Writer", "ann")
+	mustCtl("ann", "start-system")
+	if out, err := ctl("ann", "spec", specPath); err == nil {
+		t.Fatalf("spec accepted after start:\n%s", out)
+	}
+
+	// Participant session.
+	piID := strings.TrimSpace(mustCtl("ann", "start", "Review"))
+	if piID == "" {
+		t.Fatal("no process id")
+	}
+	mustCtl("ann", "ctx", "set", piID, "rc", "Author", "role", "ann")
+	// Read the scoped role back while the process (and so the context)
+	// is still live — it retires with the process.
+	ctxOut := mustCtl("ann", "ctx", "get", piID, "rc", "Author")
+	if !strings.Contains(ctxOut, "ann") {
+		t.Fatalf("ctx get:\n%s", ctxOut)
+	}
+	for i := 0; i < 2; i++ {
+		wl := mustCtl("ann", "worklist")
+		fields := strings.Fields(wl)
+		if len(fields) == 0 {
+			t.Fatalf("empty worklist at step %d", i)
+		}
+		actID := fields[0]
+		mustCtl("ann", "activity", "start", actID)
+		mustCtl("ann", "activity", "complete", actID)
+	}
+	procs := mustCtl("ann", "processes")
+	if !strings.Contains(procs, "Completed") {
+		t.Fatalf("process listing:\n%s", procs)
+	}
+	notifs := mustCtl("ann", "notifications")
+	if !strings.Contains(notifs, "ReviewDone") {
+		t.Fatalf("notifications:\n%s", notifs)
+	}
+	id := strings.Fields(notifs)[0]
+	mustCtl("ann", "ack", id)
+	if after := mustCtl("ann", "notifications"); strings.Contains(after, "ReviewDone") {
+		t.Fatalf("ack had no effect:\n%s", after)
+	}
+	monitor := mustCtl("ann", "monitor", piID)
+	if !strings.Contains(monitor, "Draft") || !strings.Contains(monitor, "Check") {
+		t.Fatalf("monitor:\n%s", monitor)
+	}
+	// The context retired with the completed process: reads now fail.
+	if out, err := ctl("ann", "ctx", "get", piID, "rc", "Author"); err == nil {
+		t.Fatalf("retired context still readable:\n%s", out)
+	}
+
+	// Error surfaces as a non-zero exit.
+	if out, err := ctl("ann", "start", "Nope"); err == nil {
+		t.Fatalf("unknown schema started:\n%s", out)
+	}
+	_ = fmt.Sprintf // keep fmt imported if assertions change
+}

@@ -1,0 +1,283 @@
+// Command cmictl is the command-line CMI client: both the Client for
+// Participants (worklist, monitor, awareness viewer) and the Client for
+// Designers (specification upload, directory management) of Figure 5,
+// speaking the federation HTTP/JSON API of a cmid server.
+//
+// Usage:
+//
+//	cmictl [-server URL] [-as PARTICIPANT] COMMAND [ARGS]
+//
+// Designer commands:
+//
+//	spec FILE                       upload an ADL specification file
+//	fmt FILE                        parse and print canonical ADL
+//	participant ID NAME [KIND]      register a participant (human|program)
+//	role ROLE PARTICIPANT           assign an organizational role
+//	start-system                    move the server to run time
+//	schemas                         list registered schema names
+//
+// Participant commands (act as -as):
+//
+//	start SCHEMA                    instantiate a process schema
+//	processes                       list process instances
+//	worklist                        show my work items
+//	monitor PROCESS                 show a process's activity status
+//	instantiate PROCESS VAR         add an instance of a repeatable activity
+//	activity OP ACTIVITY            OP: start|complete|terminate|suspend|resume
+//	ctx set PROCESS VAR FIELD TYPE VALUE   set a context field
+//	ctx get PROCESS VAR FIELD       read a context field
+//	notifications                   show my pending awareness notifications
+//	ack ID                          acknowledge a notification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/adl"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/federation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmictl: ")
+
+	server := flag.String("server", "http://localhost:8040", "cmid server URL")
+	as := flag.String("as", os.Getenv("USER"), "participant to act as")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("missing command; see 'go doc ./cmd/cmictl'")
+	}
+
+	designer := federation.NewDesignerClient(*server, nil)
+	pc := federation.NewParticipantClient(*server, *as, nil)
+
+	cmd, rest := args[0], args[1:]
+	if err := run(designer, pc, cmd, rest); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(d *federation.DesignerClient, pc *federation.ParticipantClient, cmd string, args []string) error {
+	need := func(n int, usage string) error {
+		if len(args) != n {
+			return fmt.Errorf("usage: cmictl %s", usage)
+		}
+		return nil
+	}
+	switch cmd {
+	case "spec":
+		if err := need(1, "spec FILE"); err != nil {
+			return err
+		}
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		resp, err := d.LoadSpec(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("processes: %s\nawareness: %s\n",
+			strings.Join(resp.Processes, ", "), strings.Join(resp.Awareness, ", "))
+		return nil
+
+	case "fmt":
+		if err := need(1, "fmt FILE"); err != nil {
+			return err
+		}
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		spec, err := adl.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		out, err := adl.Format(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+
+	case "participant":
+		if len(args) < 2 || len(args) > 3 {
+			return fmt.Errorf("usage: cmictl participant ID NAME [KIND]")
+		}
+		kind := "human"
+		if len(args) == 3 {
+			kind = args[2]
+		}
+		return d.AddParticipant(args[0], args[1], kind)
+
+	case "role":
+		if err := need(2, "role ROLE PARTICIPANT"); err != nil {
+			return err
+		}
+		return d.AssignRole(args[0], args[1])
+
+	case "start-system":
+		return d.StartSystem()
+
+	case "schemas":
+		names, err := d.Schemas()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "start":
+		if err := need(1, "start SCHEMA"); err != nil {
+			return err
+		}
+		id, err := pc.StartProcess(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Println(id)
+		return nil
+
+	case "processes":
+		procs, err := pc.Processes()
+		if err != nil {
+			return err
+		}
+		for _, p := range procs {
+			fmt.Printf("%-8s %-24s %s\n", p.ID, p.Schema, p.State)
+		}
+		return nil
+
+	case "worklist":
+		items, err := pc.Worklist()
+		if err != nil {
+			return err
+		}
+		for _, it := range items {
+			fmt.Printf("%-8s %-20s %-12s %s/%s\n", it.ActivityID, it.Var, it.State, it.ProcessSchema, it.ProcessID)
+		}
+		return nil
+
+	case "monitor":
+		if err := need(1, "monitor PROCESS"); err != nil {
+			return err
+		}
+		rows, err := pc.Monitor(args[0])
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-8s %-24s %-8s %-20s %-12s %s\n",
+				r.ProcessID, r.ProcessSchema, r.ActivityID, r.Var, r.State, r.Assignee)
+		}
+		return nil
+
+	case "instantiate":
+		if err := need(2, "instantiate PROCESS VAR"); err != nil {
+			return err
+		}
+		info, err := pc.Instantiate(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(info.ID)
+		return nil
+
+	case "activity":
+		if err := need(2, "activity OP ACTIVITY"); err != nil {
+			return err
+		}
+		op, id := args[0], args[1]
+		switch op {
+		case "start":
+			return pc.Start(id)
+		case "complete":
+			return pc.Complete(id)
+		case "terminate":
+			return pc.Terminate(id)
+		case "suspend":
+			return pc.Suspend(id)
+		case "resume":
+			return pc.Resume(id)
+		}
+		return fmt.Errorf("unknown activity op %q", op)
+
+	case "ctx":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: cmictl ctx set|get ...")
+		}
+		switch args[0] {
+		case "set":
+			if len(args) != 6 {
+				return fmt.Errorf("usage: cmictl ctx set PROCESS VAR FIELD TYPE VALUE")
+			}
+			v, err := parseValue(args[4], args[5])
+			if err != nil {
+				return err
+			}
+			return pc.SetContextField(args[1], args[2], args[3], v)
+		case "get":
+			if len(args) != 4 {
+				return fmt.Errorf("usage: cmictl ctx get PROCESS VAR FIELD")
+			}
+			v, err := pc.ContextField(args[1], args[2], args[3])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%v\n", v)
+			return nil
+		}
+		return fmt.Errorf("unknown ctx subcommand %q", args[0])
+
+	case "notifications":
+		notifs, err := pc.Notifications()
+		if err != nil {
+			return err
+		}
+		for _, n := range notifs {
+			fmt.Printf("%-4d %-24s %s — %s\n", n.ID, n.Schema, n.Time.Format(time.RFC3339), n.Description)
+		}
+		return nil
+
+	case "ack":
+		if err := need(1, "ack ID"); err != nil {
+			return err
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad notification id %q", args[0])
+		}
+		return pc.Ack(id)
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// parseValue converts a CLI value of a declared type into a context
+// field value. Role values are comma-separated participant ids.
+func parseValue(typ, raw string) (any, error) {
+	switch typ {
+	case "string":
+		return raw, nil
+	case "int":
+		return strconv.ParseInt(raw, 10, 64)
+	case "bool":
+		return strconv.ParseBool(raw)
+	case "time":
+		return time.Parse(time.RFC3339, raw)
+	case "role":
+		return core.NewRoleValue(strings.Split(raw, ",")...), nil
+	case "null":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown field type %q (want string|int|bool|time|role|null)", typ)
+}

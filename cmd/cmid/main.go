@@ -1,0 +1,83 @@
+// Command cmid runs the CMI Enactment System server (Figure 5): the
+// CORE, Coordination and Awareness engines behind the federation
+// HTTP/JSON API.
+//
+// Usage:
+//
+//	cmid [-addr :8040] [-state DIR] [-spec FILE ...] [-start]
+//
+// Specifications may be preloaded from ADL files with -spec (repeatable);
+// otherwise a designer client uploads them via POST /api/spec. With
+// -start the system starts immediately after loading the given specs;
+// otherwise a designer client starts it via POST /api/system/start.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+type specList []string
+
+func (s *specList) String() string { return fmt.Sprint(*s) }
+
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cmid: ")
+
+	var (
+		addr  = flag.String("addr", ":8040", "listen address")
+		state = flag.String("state", "", "state directory for persistent delivery queues (default: temporary)")
+		start = flag.Bool("start", false, "start the system immediately after loading -spec files")
+		specs specList
+	)
+	flag.Var(&specs, "spec", "ADL specification file to preload (repeatable)")
+	flag.Parse()
+
+	sys, err := cmi.New(cmi.Config{
+		Clock:    vclock.NewSystem(),
+		StateDir: *state,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	for _, path := range specs {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, err := sys.LoadSpec(string(src))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		log.Printf("loaded %s: %d process schema(s), %d awareness schema(s)",
+			path, len(spec.Processes), len(spec.Awareness))
+	}
+	srv := federation.NewServer(sys)
+	if *start {
+		if err := sys.Start(); err != nil {
+			log.Fatal(err)
+		}
+		srv.MarkStarted()
+		log.Printf("system started")
+	}
+
+	log.Printf("enactment system listening on %s (state: %s)", *addr, sys.StateDir())
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

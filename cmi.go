@@ -1,0 +1,45 @@
+// Package cmi is the public face of this repository's from-scratch
+// reproduction of the Collaboration Management Infrastructure (CMI), the
+// federated collaboration-process management system of Baker,
+// Georgakopoulos, Schuster, Cassandra and Cichocki ("Providing Customized
+// Process and Situation Awareness in the Collaboration Management
+// Infrastructure"; see DESIGN.md for the full paper mapping).
+//
+// A System wires together the CMI engines of the paper's Figure 5:
+//
+//   - the CORE engine: schema registry, organizational directory, and the
+//     context registry that owns context resources and scoped roles;
+//   - the Coordination engine: process enactment, activity state
+//     transitions, dependency firing and worklists;
+//   - the Awareness engine: awareness schemas compiled into composite
+//     event detector agents over the primitive enactment event streams;
+//   - the Awareness delivery agent: role and assignment resolution, with
+//     persistent per-participant notification queues and viewers.
+//
+// The quickest way in:
+//
+//	sys, _ := cmi.New(cmi.Config{StateDir: dir})
+//	sys.MustLoadSpec(specText)        // ADL: processes + awareness schemas
+//	sys.AddHuman("dr.reed", "Dr Reed")
+//	sys.AssignRole("Epidemiologist", "dr.reed")
+//	sys.Start()
+//	defer sys.Close()
+//	pi, _ := sys.StartProcess("TaskForce", "dr.reed")
+//	...
+//	for _, n := range sys.MustViewer("dr.reed") { ... }
+//
+// See examples/ for complete programs and internal/adl for the awareness
+// definition language.
+package cmi
+
+import "github.com/mcc-cmi/cmi/internal/system"
+
+type (
+	// Config configures a System; see system.Config for the fields.
+	Config = system.Config
+	// System is one CMI enactment system.
+	System = system.System
+)
+
+// New builds a System from the configuration.
+func New(cfg Config) (*System, error) { return system.New(cfg) }

@@ -1,0 +1,289 @@
+package cmi
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+const facadeSpec = `
+contextschema TaskForceContext {
+    role TaskForceMembers
+    time TaskForceDeadline
+}
+contextschema InfoRequestContext {
+    role Requestor
+    time RequestDeadline
+}
+process InfoRequest {
+    context irc InfoRequestContext
+    input context tfc TaskForceContext
+    activity Gather role org Epidemiologist
+    activity Deliver role org Epidemiologist
+    seq Gather -> Deliver
+}
+process TaskForce {
+    context tfc TaskForceContext
+    activity Organize role org CrisisLeader
+    subprocess RequestInfo InfoRequest optional repeatable bind (tfc = tfc)
+    activity Assess role org Epidemiologist
+    seq Organize -> RequestInfo
+    seq Organize -> Assess
+}
+awareness DeadlineViolation on InfoRequest {
+    op1 = context TaskForceContext.TaskForceDeadline
+    op2 = context InfoRequestContext.RequestDeadline
+    root = compare2 "<=" (op1, op2)
+    deliver scoped InfoRequestContext.Requestor
+    assign identity
+    describe "Task force deadline moved earlier than the request deadline"
+}
+`
+
+func newTestSystem(t *testing.T, dir string) *System {
+	t.Helper()
+	sys, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MustLoadSpec(facadeSpec)
+	for _, p := range [][2]string{{"leader", "The Leader"}, {"dr.reed", "Dr Reed"}} {
+		if err := sys.AddHuman(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AssignRole("CrisisLeader", "leader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssignRole("Epidemiologist", "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func runActivity(t *testing.T, sys *System, processID, varName, user string) {
+	t.Helper()
+	var id string
+	for _, ai := range sys.Coordination().ActivitiesOf(processID) {
+		if ai.Var == varName {
+			id = ai.ID
+		}
+	}
+	if id == "" {
+		t.Fatalf("no instance of %q", varName)
+	}
+	if err := sys.Coordination().Start(id, user); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Coordination().Complete(id, user); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeEndToEnd drives the Section 5.4 scenario through the public
+// API only: ADL spec in, notification in the requestor's viewer out.
+func TestFacadeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	sys := newTestSystem(t, dir)
+
+	pi, err := sys.StartProcess("TaskForce", "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := sys.Clock().(*vclock.Virtual)
+	t0 := clk.Now()
+	if err := sys.SetContextField(pi.ID(), "tfc", "TaskForceDeadline", t0.Add(72*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// The leader's worklist shows Organize.
+	wl := sys.Worklist("leader")
+	if len(wl) != 1 || wl[0].Var != "Organize" {
+		t.Fatalf("worklist = %v", wl)
+	}
+	runActivity(t, sys, pi.ID(), "Organize", "leader")
+
+	var reqID string
+	for _, ai := range sys.Coordination().ActivitiesOf(pi.ID()) {
+		if ai.Var == "RequestInfo" {
+			reqID = ai.ID
+		}
+	}
+	if err := sys.Coordination().Start(reqID, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(reqID, "irc", "Requestor", "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(reqID, "irc", "RequestDeadline", t0.Add(48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	// Violation: move the task force deadline to +24h.
+	clk.Advance(time.Hour)
+	if err := sys.SetContextField(pi.ID(), "tfc", "TaskForceDeadline", t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Drain()
+
+	notifs := sys.MustViewer("dr.reed")
+	if len(notifs) != 1 {
+		t.Fatalf("notifications = %v", notifs)
+	}
+	n := notifs[0]
+	if n.Schema != "DeadlineViolation" {
+		t.Fatalf("schema = %q", n.Schema)
+	}
+	if n.Description == "" {
+		t.Fatal("description empty")
+	}
+	// Nobody else was notified.
+	if other := sys.MustViewer("leader"); len(other) != 0 {
+		t.Fatalf("leader notified: %v", other)
+	}
+	delivered, undeliverable, _ := sys.DeliveryAgent().Stats()
+	if delivered != 1 || undeliverable != 0 {
+		t.Fatalf("agent stats = %d, %d", delivered, undeliverable)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same state dir: the notification is still pending.
+	sys2, err := New(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	pending, err := sys2.Viewer("dr.reed").Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Schema != "DeadlineViolation" {
+		t.Fatalf("pending after restart = %v", pending)
+	}
+	if err := sys2.Viewer("dr.reed").Ack(pending[0].ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeLifecycle(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateDir := sys.StateDir()
+	if stateDir == "" {
+		t.Fatal("no state dir")
+	}
+	// No awareness schemas: Start still succeeds (coordination only).
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The system-created state dir is removed by Close.
+	if _, err := os.Stat(stateDir); !os.IsNotExist(err) {
+		t.Fatalf("state dir survived close: %v", err)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	sys, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.LoadSpec("process {"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if _, err := sys.StartProcess("Nope", "x"); err == nil {
+		t.Fatal("unknown process started")
+	}
+	if err := sys.SetContextField("ghost", "c", "f", 1); err == nil {
+		t.Fatal("unknown process context set")
+	}
+	if _, ok := sys.ContextField("ghost", "c", "f"); ok {
+		t.Fatal("unknown process context read")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLoadSpec did not panic")
+		}
+	}()
+	sys.MustLoadSpec("bogus {")
+}
+
+func TestFacadeProgrammaticSchemas(t *testing.T) {
+	sys, err := New(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	// Build a process and awareness schema with the re-exported types.
+	ctx := &ResourceSchema{
+		Name: "Ctx", Kind: ContextResource,
+		Fields: []FieldDef{{Name: "Watchers", Type: FieldRole}, {Name: "N", Type: FieldInt}},
+	}
+	p := &ProcessSchema{
+		Name: "Prog",
+		ResourceVars: []ResourceVariable{
+			{Name: "c", Usage: UsageLocal, Schema: ctx},
+		},
+		Activities: []ActivityVariable{
+			{Name: "Work", Schema: &BasicActivitySchema{Name: "Work", PerformerRole: OrgRole("Worker")}},
+		},
+	}
+	if err := sys.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	aw := &AwarenessSchema{
+		Name:    "Counted",
+		Process: p,
+		Description: &Compare1Node{Op: ">=", Operand: 2, Input: &CountNode{
+			Input: &ContextSource{Context: "Ctx", Field: "N"},
+		}},
+		DeliveryRole: ScopedRole("Ctx", "Watchers"),
+		Text:         "N changed at least twice",
+	}
+	if err := sys.DefineAwareness(aw); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHuman("w", "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssignRole("Worker", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("Prog", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(pi.ID(), "c", "Watchers", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(pi.ID(), "c", "N", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(pi.ID(), "c", "N", 2); err != nil {
+		t.Fatal(err)
+	}
+	sys.Drain()
+	notifs := sys.MustViewer("w")
+	if len(notifs) != 1 || notifs[0].Schema != "Counted" {
+		t.Fatalf("notifications = %v", notifs)
+	}
+	if v, ok := sys.ContextField(pi.ID(), "c", "N"); !ok || v != 2 {
+		t.Fatalf("context field = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,91 @@
+// Darpa: the Section 7 deployment at full scale.
+//
+// The paper reports that the CMI system was used in a DARPA-funded
+// intelligence-gathering demonstration: nine collaboration processes with
+// more than fifty CMM activities (translating into a few hundred WfMS
+// activities), eight awareness specifications, and thirty basic activity
+// scripts for creating and managing context resources. This example
+// regenerates that deployment, installs it into one system, runs all
+// thirty scripts, and exercises one of the nine processes end to end.
+//
+// Run with: go run ./examples/darpa
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/crisis"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	dep, err := crisis.NewDeployment()
+	must(err)
+	inv, err := dep.Inventory()
+	must(err)
+
+	fmt.Println("deployment inventory (paper Section 7 vs this build):")
+	fmt.Printf("  collaboration processes:   9 (paper)  %d (here)\n", inv.Processes)
+	fmt.Printf("  CMM activities:          >50 (paper)  %d (here)\n", inv.CMMActivities)
+	fmt.Printf("  WfMS activities:  a few hundred       %d (here, %.1fx expansion)\n",
+		inv.WfMSActivities, inv.Expansion)
+	fmt.Printf("  awareness specifications:  8 (paper)  %d (here)\n", inv.AwarenessSpecs)
+	fmt.Printf("  basic activity scripts:   30 (paper)  %d (here)\n", inv.Scripts)
+
+	sys, err := cmi.New(cmi.Config{})
+	must(err)
+	defer sys.Close()
+	must(dep.Install(sys))
+	staff, err := crisis.SeedStaff(sys, 6)
+	must(err)
+	must(sys.Start())
+
+	fmt.Printf("\nrunning the %d context-management scripts... ", len(dep.Scripts))
+	must(dep.RunScripts(sys))
+	fmt.Println("done")
+
+	// Exercise the IntelFusion process and its ThreatEscalated awareness
+	// schema (a scoped-role delivery).
+	pi, err := sys.StartProcess("IntelFusion", staff.Leader)
+	must(err)
+	must(sys.SetScopedRole(pi.ID(), "status", "Owner", staff.Epidemiologists[0]))
+
+	co := sys.Coordination()
+	stages := []string{"CollectReports", "VetSources", "CorrelateSignals", "AssessThreat", "DisseminateAssessment", "ArchiveIntel"}
+	for i, stage := range stages {
+		user := staff.Epidemiologists[0]
+		if i == 0 || i == len(stages)-1 {
+			user = staff.Leader
+		}
+		var id string
+		for _, ai := range co.ActivitiesOf(pi.ID()) {
+			if ai.Var == stage {
+				id = ai.ID
+			}
+		}
+		must(co.Start(id, user))
+		if stage == "AssessThreat" {
+			// The assessment escalates: the ThreatEscalated awareness
+			// schema routes this to the scoped Owner role.
+			must(sys.SetContextField(pi.ID(), "status", "Escalated", true))
+		}
+		must(co.Complete(id, user))
+	}
+	st, _ := co.ProcessState(pi.ID())
+	fmt.Printf("IntelFusion instance %s: %s\n", pi.ID(), st)
+
+	notifs := sys.MustViewer(staff.Epidemiologists[0])
+	fmt.Printf("%s (scoped Owner) received %d notification(s):\n", staff.Epidemiologists[0], len(notifs))
+	for _, n := range notifs {
+		fmt.Printf("  [%s] %s\n", n.Schema, n.Description)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Epidemic: the paper's running example (Section 5.4) end to end.
+//
+// A health crisis leader creates a task force with a deadline. A task
+// force member issues an information request subprocess with its own,
+// earlier deadline, becoming the dynamically created, scoped Requestor
+// role. When the crisis situation changes and the leader moves the task
+// force deadline earlier than the outstanding request's deadline, the
+// DeadlineViolation awareness schema — Compare2[InfoRequest, <=](op1,
+// op2) delivered to InfoRequestContext.Requestor with the identity
+// assignment — notifies exactly the requestor, who can then renegotiate
+// or cancel the request.
+//
+// Run with: go run ./examples/epidemic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+const spec = `
+contextschema TaskForceContext {
+    role TaskForceMembers
+    time TaskForceDeadline
+}
+
+contextschema InfoRequestContext {
+    role Requestor
+    time RequestDeadline
+}
+
+process InfoRequest {
+    context irc InfoRequestContext
+    input context tfc TaskForceContext
+    activity Gather role org Epidemiologist
+    activity Integrate role org Epidemiologist
+    seq Gather -> Integrate
+}
+
+process TaskForce {
+    context tfc TaskForceContext
+    activity Organize role org CrisisLeader
+    subprocess RequestInfo InfoRequest optional repeatable bind (tfc = tfc)
+    activity Assess role org Epidemiologist
+    seq Organize -> RequestInfo
+    seq Organize -> Assess
+}
+
+# AS_InfoRequest = (Compare2[InfoRequest, <=](op1, op2),
+#                   InfoRequestContext.Requestor, Identity)
+awareness DeadlineViolation on InfoRequest {
+    op1 = context TaskForceContext.TaskForceDeadline
+    op2 = context InfoRequestContext.RequestDeadline
+    root = compare2 "<=" (op1, op2)
+    deliver scoped InfoRequestContext.Requestor
+    assign identity
+    describe "The task force deadline moved earlier than your information request deadline"
+}
+`
+
+func main() {
+	log.SetFlags(0)
+	clk := vclock.NewVirtual()
+	sys, err := cmi.New(cmi.Config{Clock: clk})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sys.MustLoadSpec(spec)
+	must(sys.AddHuman("leader", "Health Crisis Leader"))
+	must(sys.AddHuman("dr.reed", "Dr Reed (epidemiologist)"))
+	must(sys.AddHuman("dr.okoye", "Dr Okoye (epidemiologist)"))
+	must(sys.AssignRole("CrisisLeader", "leader"))
+	must(sys.AssignRole("Epidemiologist", "dr.reed"))
+	must(sys.AssignRole("Epidemiologist", "dr.okoye"))
+	must(sys.Start())
+
+	co := sys.Coordination()
+	say := func(format string, args ...any) {
+		fmt.Printf("[%s] ", clk.Now().Format("Jan 2 15:04"))
+		fmt.Printf(format+"\n", args...)
+	}
+
+	// The leader creates the task force with a 72h deadline.
+	pi, err := sys.StartProcess("TaskForce", "leader")
+	must(err)
+	t0 := clk.Now()
+	must(sys.SetContextField(pi.ID(), "tfc", "TaskForceDeadline", t0.Add(72*time.Hour)))
+	must(sys.SetScopedRole(pi.ID(), "tfc", "TaskForceMembers", "dr.reed", "dr.okoye"))
+	say("task force %s created, deadline t0+72h, members dr.reed & dr.okoye", pi.ID())
+
+	items := sys.Worklist("leader")
+	must(co.Start(items[0].ActivityID, "leader"))
+	clk.Advance(2 * time.Hour)
+	must(co.Complete(items[0].ActivityID, "leader"))
+	say("task force organized")
+
+	// dr.reed issues an information request due in 48h; the scoped
+	// Requestor role exists only while the request subprocess lives.
+	var reqID string
+	for _, ai := range co.ActivitiesOf(pi.ID()) {
+		if ai.Var == "RequestInfo" {
+			reqID = ai.ID
+		}
+	}
+	must(co.Start(reqID, "leader"))
+	must(sys.SetScopedRole(reqID, "irc", "Requestor", "dr.reed"))
+	must(sys.SetContextField(reqID, "irc", "RequestDeadline", t0.Add(48*time.Hour)))
+	say("information request %s issued by dr.reed, deadline t0+48h", reqID)
+
+	// The external situation worsens: the leader pulls the task force
+	// deadline in to 24h — earlier than the request's 48h deadline.
+	clk.Advance(6 * time.Hour)
+	must(sys.SetContextField(pi.ID(), "tfc", "TaskForceDeadline", t0.Add(24*time.Hour)))
+	say("task force deadline MOVED to t0+24h (violates the 48h request deadline)")
+
+	// Exactly the requestor is notified.
+	for _, who := range []string{"dr.reed", "dr.okoye", "leader"} {
+		viewer := sys.Viewer(who)
+		pendings, err := viewer.Pending()
+		must(err)
+		say("%s: %d pending notification(s)", who, len(pendings))
+		for _, n := range pendings {
+			say("    -> [%s] %s", n.Schema, n.Description)
+			must(viewer.Ack(n.ID))
+		}
+	}
+
+	// dr.reed reacts: he cancels the information request. The Requestor
+	// scoped role disappears with it (Section 5.4).
+	must(co.Terminate(reqID, "leader"))
+	say("dr.reed cancelled the information request; the Requestor role is gone")
+
+	// Another deadline move now notifies nobody: the scoped role's
+	// lifetime bounded the delivery interval.
+	clk.Advance(time.Hour)
+	must(sys.SetContextField(pi.ID(), "tfc", "TaskForceDeadline", t0.Add(12*time.Hour)))
+	pendings, err := sys.Viewer("dr.reed").Pending()
+	must(err)
+	say("after cancellation: dr.reed has %d pending notification(s)", len(pendings))
+
+	delivered, undeliverable, _ := sys.DeliveryAgent().Stats()
+	say("delivery agent: %d delivered, %d undeliverable", delivered, undeliverable)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

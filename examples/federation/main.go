@@ -1,0 +1,118 @@
+// Federation: the client-server architecture of Figure 5 over HTTP.
+//
+// One process plays all parts: it serves the CMI Enactment System on a
+// loopback port, then drives it exactly as the CMI clients would — a
+// designer client uploads the ADL specification, staffs the directory and
+// starts the system; participant clients work their worklists; the
+// awareness information viewer polls for notifications.
+//
+// Run with: go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+)
+
+const spec = `
+contextschema HandoverContext {
+    role OnCall
+}
+
+process Handover {
+    context hc HandoverContext
+    activity Prepare role org Operator
+    activity Brief role org Operator
+    seq Prepare -> Brief
+}
+
+awareness HandoverReady on Handover {
+    root = activity Brief to (Completed)
+    deliver scoped HandoverContext.OnCall
+    describe "The shift handover briefing is complete"
+}
+`
+
+func main() {
+	log.SetFlags(0)
+
+	// --- server side ---------------------------------------------------
+	sys, err := cmi.New(cmi.Config{})
+	must(err)
+	defer sys.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	srv := &http.Server{Handler: cmi.NewFederationServer(sys).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("enactment system serving on", base)
+
+	// --- designer client -----------------------------------------------
+	designer := cmi.NewDesignerClient(base, nil)
+	resp, err := designer.LoadSpec(spec)
+	must(err)
+	fmt.Printf("designer uploaded spec: processes=%v awareness=%v\n", resp.Processes, resp.Awareness)
+	must(designer.AddParticipant("kim", "Kim", "human"))
+	must(designer.AddParticipant("lee", "Lee", "human"))
+	must(designer.AssignRole("Operator", "kim"))
+	must(designer.AssignRole("Operator", "lee"))
+	must(designer.StartSystem())
+
+	// --- participant clients --------------------------------------------
+	kim := cmi.NewParticipantClient(base, "kim", nil)
+	lee := cmi.NewParticipantClient(base, "lee", nil)
+
+	piID, err := kim.StartProcess("Handover")
+	must(err)
+	// lee will take the next shift: the scoped OnCall role.
+	must(kim.SetContextField(piID, "hc", "OnCall", cmi.RoleValue{"lee"}))
+
+	wl, err := kim.Worklist()
+	must(err)
+	fmt.Printf("kim's worklist: %d item(s), first: %s\n", len(wl), wl[0].Var)
+	must(kim.Start(wl[0].ActivityID))
+	must(kim.Complete(wl[0].ActivityID))
+
+	wl, err = kim.Worklist()
+	must(err)
+	must(kim.Start(wl[0].ActivityID))
+	must(kim.Complete(wl[0].ActivityID))
+
+	// lee's awareness viewer polls the queue over HTTP.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		notifs, err := lee.Notifications()
+		must(err)
+		if len(notifs) > 0 {
+			fmt.Printf("lee received: [%s] %s\n", notifs[0].Schema, notifs[0].Description)
+			must(lee.Ack(notifs[0].ID))
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatal("no notification arrived")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rows, err := lee.Monitor(piID)
+	must(err)
+	fmt.Printf("monitor rows: %d; process listing:\n", len(rows))
+	procs, err := lee.Processes()
+	must(err)
+	for _, p := range procs {
+		fmt.Printf("  %-6s %-10s %s\n", p.ID, p.Schema, p.State)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

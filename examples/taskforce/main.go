@@ -1,0 +1,196 @@
+// Taskforce: dynamic task forces, scoped roles and process monitoring.
+//
+// This example builds its CMM schemas programmatically (no ADL) to show
+// the model API: a crisis process that dynamically spawns task-force
+// subprocesses (Figure 1), scoped roles created while the process runs
+// (the task-force leader exists only inside its task force), worklists,
+// the monitor view, and a Translate-based awareness schema that tells the
+// crisis leader whenever any task force reports findings.
+//
+// Run with: go run ./examples/taskforce
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func buildModel() (*cmi.ProcessSchema, error) {
+	tfCtx := &cmi.ResourceSchema{
+		Name: "ForceContext",
+		Kind: cmi.ContextResource,
+		Fields: []cmi.FieldDef{
+			{Name: "ForceLeader", Type: cmi.FieldRole},
+			{Name: "ForceMembers", Type: cmi.FieldRole},
+			{Name: "Focus", Type: cmi.FieldString},
+		},
+	}
+	force := &cmi.ProcessSchema{
+		Name: "Force",
+		ResourceVars: []cmi.ResourceVariable{
+			{Name: "fc", Usage: cmi.UsageLocal, Schema: tfCtx},
+		},
+		Activities: []cmi.ActivityVariable{
+			{Name: "Investigate", Schema: &cmi.BasicActivitySchema{
+				Name: "Investigate", PerformerRole: cmi.ScopedRole("ForceContext", "ForceMembers"),
+			}, Repeatable: true},
+			{Name: "Report", Schema: &cmi.BasicActivitySchema{
+				// Only the force's own (scoped) leader may report.
+				Name: "Report", PerformerRole: cmi.ScopedRole("ForceContext", "ForceLeader"),
+			}},
+		},
+		Dependencies: []cmi.Dependency{
+			{Type: cmi.DepSequence, Sources: []string{"Investigate"}, Target: "Report"},
+		},
+	}
+	crisis := &cmi.ProcessSchema{
+		Name: "Crisis",
+		Activities: []cmi.ActivityVariable{
+			{Name: "Assess", Schema: &cmi.BasicActivitySchema{
+				Name: "Assess", PerformerRole: cmi.OrgRole("Leader"),
+			}},
+			{Name: "Forces", Schema: force, Repeatable: true},
+			{Name: "Conclude", Schema: &cmi.BasicActivitySchema{
+				Name: "Conclude", PerformerRole: cmi.OrgRole("Leader"),
+			}},
+		},
+		Dependencies: []cmi.Dependency{
+			{Type: cmi.DepSequence, Sources: []string{"Assess"}, Target: "Forces"},
+			{Type: cmi.DepSequence, Sources: []string{"Forces"}, Target: "Conclude"},
+		},
+	}
+	return crisis, crisis.Validate()
+}
+
+func main() {
+	log.SetFlags(0)
+	clk := vclock.NewVirtual()
+	sys, err := cmi.New(cmi.Config{Clock: clk})
+	must(err)
+	defer sys.Close()
+
+	crisis, err := buildModel()
+	must(err)
+	must(sys.RegisterProcess(crisis))
+
+	// Awareness: notify the crisis leader whenever a force reports,
+	// translated from the Force scope into the Crisis scope.
+	must(sys.DefineAwareness(&cmi.AwarenessSchema{
+		Name:    "ForceReported",
+		Process: crisis,
+		Description: &cmi.TranslateNode{
+			Av:    "Forces",
+			Input: &cmi.ActivitySource{Av: "Report", New: []cmi.State{cmi.Completed}},
+		},
+		DeliveryRole: cmi.OrgRole("Leader"),
+		Text:         "A task force has reported its findings",
+	}))
+
+	must(sys.AddHuman("chief", "The Chief"))
+	must(sys.AssignRole("Leader", "chief"))
+	people := []string{"ana", "ben", "cho", "dee"}
+	for _, p := range people {
+		must(sys.AddHuman(p, p))
+	}
+	must(sys.Start())
+
+	co := sys.Coordination()
+	pi, err := sys.StartProcess("Crisis", "chief")
+	must(err)
+
+	// chief assesses the situation.
+	wl := sys.Worklist("chief")
+	must(co.Start(wl[0].ActivityID, "chief"))
+	clk.Advance(time.Hour)
+	must(co.Complete(wl[0].ActivityID, "chief"))
+
+	// Two task forces form dynamically with different staff; the same
+	// person can be a plain member in one force and the leader of
+	// another — scoped roles are per context.
+	spawnForce := func(focus, leader string, members ...string) string {
+		var forceAct string
+		for _, ai := range co.ActivitiesOf(pi.ID()) {
+			if ai.Var == "Forces" && ai.State == cmi.Ready {
+				forceAct = ai.ID
+			}
+		}
+		if forceAct == "" {
+			info, err := co.Instantiate(pi.ID(), "Forces", "chief")
+			must(err)
+			forceAct = info.ID
+		}
+		must(co.Start(forceAct, "chief"))
+		must(sys.SetContextField(forceAct, "fc", "Focus", focus))
+		must(sys.SetScopedRole(forceAct, "fc", "ForceLeader", leader))
+		must(sys.SetScopedRole(forceAct, "fc", "ForceMembers", append(members, leader)...))
+		fmt.Printf("force %s (%s): leader=%s members=%v\n", forceAct, focus, leader, members)
+		return forceAct
+	}
+	f1 := spawnForce("hospitals", "ana", "ben")
+	f2 := spawnForce("vectors", "ben", "cho", "dee")
+
+	// Scoped worklists: ben sees Investigate in both forces (member of
+	// f1, leader+member of f2); dee only in f2.
+	fmt.Printf("ben's worklist: %d item(s); dee's worklist: %d item(s)\n",
+		len(sys.Worklist("ben")), len(sys.Worklist("dee")))
+
+	runForce := func(forceID, member, leader string) {
+		var inv string
+		for _, ai := range co.ActivitiesOf(forceID) {
+			if ai.Var == "Investigate" {
+				inv = ai.ID
+			}
+		}
+		must(co.Start(inv, member))
+		clk.Advance(3 * time.Hour)
+		must(co.Complete(inv, member))
+		var rep string
+		for _, ai := range co.ActivitiesOf(forceID) {
+			if ai.Var == "Report" {
+				rep = ai.ID
+			}
+		}
+		// Only the scoped leader may report: a member is rejected.
+		if err := co.Start(rep, member); err == nil {
+			log.Fatal("member was allowed to report!")
+		} else {
+			fmt.Printf("  (%s may not report: scoped role enforced)\n", member)
+		}
+		must(co.Start(rep, leader))
+		clk.Advance(time.Hour)
+		must(co.Complete(rep, leader))
+	}
+	runForce(f1, "ben", "ana")
+	runForce(f2, "dee", "ben")
+
+	// The monitor view (the "manager" tool) shows the whole tree.
+	fmt.Println("\nmonitor view of the crisis process:")
+	for _, row := range co.Monitor(pi.ID()) {
+		fmt.Printf("  %-6s %-8s %-14s %-12s %s\n",
+			row.ProcessID, row.ActivityID, row.Var, row.State, row.Assignee)
+	}
+
+	// Conclude; the process completes.
+	wl = sys.Worklist("chief")
+	must(co.Start(wl[0].ActivityID, "chief"))
+	must(co.Complete(wl[0].ActivityID, "chief"))
+	st, _ := co.ProcessState(pi.ID())
+	fmt.Printf("\ncrisis process state: %s\n", st)
+
+	// The chief was told each time a force reported.
+	notifs := sys.MustViewer("chief")
+	fmt.Printf("chief received %d notification(s):\n", len(notifs))
+	for _, n := range notifs {
+		fmt.Printf("  [%s] %s (crisis instance %v)\n", n.Schema, n.Description, n.Params["processInstanceId"])
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

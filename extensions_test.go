@@ -1,0 +1,524 @@
+// Tests for the awareness-provisioning extensions the paper leaves open:
+// external event sources (Section 5.1.1), presence-based role assignment
+// (Section 5.3), and notification priority, aggregation and follow-on
+// actions (Section 6.5).
+package cmi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// newsRig builds a task-force system with a news-service external source:
+// the paper's Section 5.1.1 example — "an external event source may be
+// from a news service that has found an article for which a task force
+// has registered an interest ... An event from the news service would
+// contain a query id that can be related back to the process instance
+// through an application-specific event operator."
+func newsRig(t *testing.T) (*cmi.System, *sync.Map, string) {
+	t.Helper()
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+
+	tfCtx := &cmi.ResourceSchema{
+		Name: "WatchContext",
+		Kind: cmi.ContextResource,
+		Fields: []cmi.FieldDef{
+			{Name: "Watchers", Type: cmi.FieldRole},
+		},
+	}
+	proc := &cmi.ProcessSchema{
+		Name: "Watch",
+		ResourceVars: []cmi.ResourceVariable{
+			{Name: "wc", Usage: cmi.UsageLocal, Schema: tfCtx},
+		},
+		Activities: []cmi.ActivityVariable{
+			{Name: "RegisterQuery", Schema: &cmi.BasicActivitySchema{Name: "RegisterQuery"}},
+		},
+	}
+	if err := sys.RegisterProcess(proc); err != nil {
+		t.Fatal(err)
+	}
+
+	// The application registry: query id -> process instance id. An
+	// activity script would populate it when registering the query.
+	var queries sync.Map
+	const newsType = event.Type("app.news")
+
+	err = sys.DefineAwareness(&cmi.AwarenessSchema{
+		Name:    "ArticleFound",
+		Process: proc,
+		Description: &cmi.ExternalSource{
+			Name: "news-service",
+			Type: newsType,
+			Correlate: func(ev cmi.Event) []string {
+				qid := ev.String("queryId")
+				if inst, ok := queries.Load(qid); ok {
+					return []string{inst.(string)}
+				}
+				return nil
+			},
+			Info: func(ev cmi.Event) (string, bool) {
+				return ev.String("headline"), true
+			},
+		},
+		DeliveryRole: cmi.ScopedRole("WatchContext", "Watchers"),
+		Text:         "A news article matching your registered query was found",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHuman("ana", "Ana"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("Watch", "ana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(pi.ID(), "wc", "Watchers", "ana"); err != nil {
+		t.Fatal(err)
+	}
+	return sys, &queries, pi.ID()
+}
+
+func TestExternalEventSource(t *testing.T) {
+	sys, queries, piID := newsRig(t)
+	const newsType = event.Type("app.news")
+
+	// No query registered yet: the external event correlates to nothing.
+	sys.InjectExternal(sys.NewExternalEvent(newsType, "news-service", event.Params{
+		"queryId": "q-1", "headline": "early article",
+	}))
+	if got := sys.MustViewer("ana"); len(got) != 0 {
+		t.Fatalf("uncorrelated external event delivered: %v", got)
+	}
+
+	// The activity registers the query for this process instance.
+	queries.Store("q-1", piID)
+	sys.InjectExternal(sys.NewExternalEvent(newsType, "news-service", event.Params{
+		"queryId": "q-1", "headline": "outbreak spreads to neighboring region",
+	}))
+	got := sys.MustViewer("ana")
+	if len(got) != 1 {
+		t.Fatalf("notifications = %v", got)
+	}
+	if got[0].Schema != "ArticleFound" {
+		t.Fatalf("schema = %q", got[0].Schema)
+	}
+	if got[0].Params["info"] != "outbreak spreads to neighboring region" {
+		t.Fatalf("headline not digested: %v", got[0].Params)
+	}
+	// A different query id stays uncorrelated.
+	sys.InjectExternal(sys.NewExternalEvent(newsType, "news-service", event.Params{
+		"queryId": "q-2", "headline": "unrelated",
+	}))
+	if got := sys.MustViewer("ana"); len(got) != 1 {
+		t.Fatalf("unrelated query delivered: %v", got)
+	}
+}
+
+func TestExternalSourceValidation(t *testing.T) {
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	proc := &cmi.ProcessSchema{
+		Name:       "V",
+		Activities: []cmi.ActivityVariable{{Name: "A", Schema: &cmi.BasicActivitySchema{Name: "A"}}},
+	}
+	if err := sys.RegisterProcess(proc); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*cmi.ExternalSource{
+		{Name: "no-type", Correlate: func(cmi.Event) []string { return nil }},
+		{Name: "builtin", Type: event.TypeActivity, Correlate: func(cmi.Event) []string { return nil }},
+		{Name: "canonical", Type: event.Canonical("V"), Correlate: func(cmi.Event) []string { return nil }},
+		{Name: "no-correlate", Type: "app.x"},
+	}
+	for _, src := range bad {
+		s := &cmi.AwarenessSchema{
+			Name: "X", Process: proc, Description: src,
+			DeliveryRole: cmi.OrgRole("R"),
+		}
+		sys2, err := cmi.New(cmi.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys2.RegisterProcess(proc); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys2.DefineAwareness(s); err != nil {
+			sys2.Close()
+			continue // rejected at definition: fine
+		}
+		if err := sys2.Start(); err == nil {
+			t.Errorf("external source %q compiled", src.Name)
+		}
+		sys2.Close()
+	}
+}
+
+// prioRig: two awareness schemas with different priorities on one process.
+func prioRig(t *testing.T) (*cmi.System, string) {
+	t.Helper()
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	sys.MustLoadSpec(`
+contextschema PC {
+    role Watchers
+    int Minor
+    int Major
+}
+process Prio {
+    context pc PC
+    activity A role org R
+}
+awareness MinorChange on Prio {
+    root = context PC.Minor
+    deliver scoped PC.Watchers
+    priority 1
+    describe "minor"
+}
+awareness MajorChange on Prio {
+    root = context PC.Major
+    deliver scoped PC.Watchers
+    priority 9
+    describe "major"
+}
+`)
+	if err := sys.AddHuman("w", "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("Prio", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(pi.ID(), "pc", "Watchers", "w"); err != nil {
+		t.Fatal(err)
+	}
+	return sys, pi.ID()
+}
+
+func TestPriorityOrderingAndDigest(t *testing.T) {
+	sys, piID := prioRig(t)
+	// Two minor changes arrive before one major change.
+	if err := sys.SetContextField(piID, "pc", "Minor", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(piID, "pc", "Minor", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(piID, "pc", "Major", 1); err != nil {
+		t.Fatal(err)
+	}
+	pending := sys.MustViewer("w")
+	if len(pending) != 3 {
+		t.Fatalf("pending = %v", pending)
+	}
+	// The high-priority notification sorts first despite arriving last.
+	if pending[0].Schema != "MajorChange" || pending[0].Priority != 9 {
+		t.Fatalf("first pending = %+v", pending[0])
+	}
+	if pending[1].Schema != "MinorChange" || pending[2].Schema != "MinorChange" {
+		t.Fatalf("tail = %v", pending[1:])
+	}
+	if pending[1].ID > pending[2].ID {
+		t.Fatal("same-priority notifications out of arrival order")
+	}
+	// The digest aggregates per schema.
+	digest, err := sys.Viewer("w").Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digest) != 2 {
+		t.Fatalf("digest = %v", digest)
+	}
+	if digest[0].Schema != "MajorChange" || digest[0].Count != 1 {
+		t.Fatalf("digest[0] = %+v", digest[0])
+	}
+	if digest[1].Schema != "MinorChange" || digest[1].Count != 2 {
+		t.Fatalf("digest[1] = %+v", digest[1])
+	}
+	if digest[1].Latest.Description != "minor" {
+		t.Fatalf("digest latest = %+v", digest[1].Latest)
+	}
+}
+
+func TestAssignOnlinePresence(t *testing.T) {
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.MustLoadSpec(`
+contextschema OC {
+    role Oncall
+    int N
+}
+process P {
+    context oc OC
+    activity A role org R
+}
+awareness Ping on P {
+    root = context OC.N
+    deliver scoped OC.Oncall
+    assign online
+    describe "ping"
+}
+`)
+	for _, u := range []string{"a", "b", "c"} {
+		if err := sys.AddHuman(u, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("P", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(pi.ID(), "oc", "Oncall", "a", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nobody signed on: fall back to the whole role (the queue is
+	// persistent; the information must not be lost).
+	if err := sys.SetContextField(pi.ID(), "oc", "N", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"a", "b", "c"} {
+		if got := sys.MustViewer(u); len(got) != 1 {
+			t.Fatalf("%s fallback delivery = %v", u, got)
+		}
+	}
+
+	// Only b signed on: delivery narrows to b.
+	if err := sys.SignOn("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SignOn("ghost"); err == nil {
+		t.Fatal("sign-on of unknown participant accepted")
+	}
+	if err := sys.SetContextField(pi.ID(), "oc", "N", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.MustViewer("b"); len(got) != 2 {
+		t.Fatalf("b = %v", got)
+	}
+	if got := sys.MustViewer("a"); len(got) != 1 {
+		t.Fatalf("a received while offline: %v", got)
+	}
+	// b signs off; c signs on.
+	sys.SignOff("b")
+	if err := sys.SignOn("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(pi.ID(), "oc", "N", 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.MustViewer("c"); len(got) != 2 {
+		t.Fatalf("c = %v", got)
+	}
+	if got := sys.MustViewer("b"); len(got) != 2 {
+		t.Fatalf("b received after sign-off: %v", got)
+	}
+}
+
+// TestFollowOnAction: a detection hook starts an escalation process — the
+// "follow-on actions" of Section 6.5.
+func TestFollowOnAction(t *testing.T) {
+	clk := vclock.NewVirtual()
+	sys, err := cmi.New(cmi.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.MustLoadSpec(`
+contextschema EC {
+    role Watchers
+    bool Alarm
+}
+process Main {
+    context ec EC
+    activity Work role org R
+}
+process Escalation {
+    activity Review role org R
+}
+awareness AlarmRaised on Main {
+    root = context EC.Alarm
+    deliver scoped EC.Watchers
+    describe "alarm"
+}
+`)
+	if err := sys.AddHuman("w", "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssignRole("R", "w"); err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan string, 1)
+	sys.OnDetection(func(schema string, users []string, ev cmi.Event) {
+		if schema != "AlarmRaised" {
+			return
+		}
+		// Follow-on: spin up the escalation process. Hooks run on their
+		// own goroutine, so calling back into the engine is safe.
+		pi, err := sys.StartProcess("Escalation", users[0])
+		if err == nil {
+			started <- pi.ID()
+		}
+	})
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("Main", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(pi.ID(), "ec", "Watchers", "w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(pi.ID(), "ec", "Alarm", true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case escID := <-started:
+		st, ok := sys.Coordination().ProcessState(escID)
+		if !ok || st != cmi.Running {
+			t.Fatalf("escalation = %v, %v", st, ok)
+		}
+		// The escalation's Review activity is on w's worklist.
+		found := false
+		for _, it := range sys.Worklist("w") {
+			if it.ProcessSchema == "Escalation" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("escalation work not on worklist")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow-on action never ran")
+	}
+}
+
+// TestConcurrentEnactment drives several processes from concurrent
+// goroutines while the awareness engine detects and delivers — the
+// external-API concurrency contract, verified under -race.
+func TestConcurrentEnactment(t *testing.T) {
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.MustLoadSpec(`
+contextschema WC {
+    role Watchers
+    int N
+}
+process Conc {
+    context wc WC
+    activity A role org R
+    activity B role org R
+    seq A -> B
+}
+awareness Changed on Conc {
+    root = context WC.N
+    deliver scoped WC.Watchers
+    describe "changed"
+}
+`)
+	const workers = 8
+	for i := 0; i < workers; i++ {
+		id := workerID(i)
+		if err := sys.AddHuman(id, id); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AssignRole("R", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			me := workerID(w)
+			for round := 0; round < 10; round++ {
+				pi, err := sys.StartProcess("Conc", me)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := sys.SetScopedRole(pi.ID(), "wc", "Watchers", me); err != nil {
+					errs <- err
+					return
+				}
+				if err := sys.SetContextField(pi.ID(), "wc", "N", round); err != nil {
+					errs <- err
+					return
+				}
+				for _, stage := range []string{"A", "B"} {
+					var id string
+					for _, ai := range sys.Coordination().ActivitiesOf(pi.ID()) {
+						if ai.Var == stage {
+							id = ai.ID
+						}
+					}
+					if err := sys.Coordination().Start(id, me); err != nil {
+						errs <- err
+						return
+					}
+					if err := sys.Coordination().Complete(id, me); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if st, _ := sys.Coordination().ProcessState(pi.ID()); st != cmi.Completed {
+					errs <- fmt.Errorf("process %s ended %s", pi.ID(), st)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	sys.Drain()
+	// Every worker saw exactly its own 10 notifications.
+	for w := 0; w < workers; w++ {
+		if got := sys.MustViewer(workerID(w)); len(got) != 10 {
+			t.Fatalf("%s received %d notifications, want 10", workerID(w), len(got))
+		}
+	}
+}
+
+func workerID(i int) string { return fmt.Sprintf("w-%d", i) }

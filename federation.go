@@ -1,0 +1,38 @@
+package cmi
+
+import (
+	"net/http"
+
+	"github.com/mcc-cmi/cmi/internal/federation"
+)
+
+// The federation layer (paper Figure 5) re-exported: the CMI Enactment
+// System served over HTTP/JSON, and the two CMI clients.
+
+type (
+	// FederationServer exposes one System over HTTP.
+	FederationServer = federation.Server
+	// DesignerClient is the CMI Client for Designers: specification
+	// upload, directory management, system start.
+	DesignerClient = federation.DesignerClient
+	// ParticipantClient is the CMI Client for Participants: worklist,
+	// monitor, context access, awareness information viewer.
+	ParticipantClient = federation.ParticipantClient
+)
+
+// NewFederationServer wraps an un-started System in a federation server;
+// serve its Handler() with net/http.
+func NewFederationServer(sys *System) *FederationServer {
+	return federation.NewServer(sys)
+}
+
+// NewDesignerClient connects a designer client to a federation server.
+func NewDesignerClient(base string, hc *http.Client) *DesignerClient {
+	return federation.NewDesignerClient(base, hc)
+}
+
+// NewParticipantClient connects a participant client acting as the given
+// participant.
+func NewParticipantClient(base, participant string, hc *http.Client) *ParticipantClient {
+	return federation.NewParticipantClient(base, participant, hc)
+}

@@ -1,0 +1,3 @@
+module github.com/mcc-cmi/cmi
+
+go 1.22

@@ -1,0 +1,356 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// section54Src is the paper's Section 5.4 example written in ADL.
+const section54Src = `
+# The Section 5.4 deadline-violation example.
+contextschema TaskForceContext {
+    role TaskForceMembers
+    time TaskForceDeadline
+}
+
+contextschema InfoRequestContext {
+    role Requestor
+    time RequestDeadline
+}
+
+process InfoRequest {
+    context irc InfoRequestContext
+    input context tfc TaskForceContext
+    activity Gather role org Epidemiologist
+    activity Deliver role org Epidemiologist
+    seq Gather -> Deliver
+}
+
+process TaskForce {
+    context tfc TaskForceContext
+    activity Organize role org CrisisLeader
+    subprocess RequestInfo InfoRequest optional repeatable bind (tfc = tfc)
+    activity Assess role org Epidemiologist
+    seq Organize -> RequestInfo
+    seq Organize -> Assess
+}
+
+awareness DeadlineViolation on InfoRequest {
+    op1 = context TaskForceContext.TaskForceDeadline
+    op2 = context InfoRequestContext.RequestDeadline
+    root = compare2 "<=" (op1, op2)
+    deliver scoped InfoRequestContext.Requestor
+    assign identity
+    describe "Task force deadline moved earlier than the request deadline"
+}
+`
+
+func TestParseSection54(t *testing.T) {
+	spec, err := Parse(section54Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.ContextSchemas) != 2 || len(spec.Processes) != 2 || len(spec.Awareness) != 1 {
+		t.Fatalf("spec sizes: ctx=%d proc=%d aw=%d",
+			len(spec.ContextSchemas), len(spec.Processes), len(spec.Awareness))
+	}
+	tf, ok := spec.Process("TaskForce")
+	if !ok {
+		t.Fatal("TaskForce missing")
+	}
+	av, ok := tf.Activity("RequestInfo")
+	if !ok || !av.Optional || !av.Repeatable {
+		t.Fatalf("RequestInfo = %+v", av)
+	}
+	sub, ok := av.Schema.(*core.ProcessSchema)
+	if !ok || sub.Name != "InfoRequest" {
+		t.Fatalf("subprocess resolution failed: %T", av.Schema)
+	}
+	if av.Bind["tfc"] != "tfc" {
+		t.Fatalf("bind = %v", av.Bind)
+	}
+	// Both processes share the same context schema object.
+	irTfc, _ := sub.ContextVar("tfc")
+	tfTfc, _ := tf.ContextVar("tfc")
+	if irTfc.Schema != tfTfc.Schema {
+		t.Fatal("context schema objects not shared")
+	}
+	aw := spec.Awareness[0]
+	if aw.Name != "DeadlineViolation" || aw.Process != sub {
+		t.Fatalf("awareness = %+v", aw)
+	}
+	if aw.DeliveryRole != core.ScopedRole("InfoRequestContext", "Requestor") {
+		t.Fatalf("role = %q", aw.DeliveryRole)
+	}
+	if aw.Assignment != awareness.AssignIdentity {
+		t.Fatalf("assignment = %q", aw.Assignment)
+	}
+	cmp, ok := aw.Description.(*awareness.Compare2Node)
+	if !ok || cmp.Op != "<=" {
+		t.Fatalf("description = %#v", aw.Description)
+	}
+	if _, ok := cmp.Inputs[0].(*awareness.ContextSource); !ok {
+		t.Fatalf("op1 = %#v", cmp.Inputs[0])
+	}
+	// The parsed spec registers cleanly.
+	reg := core.NewSchemaRegistry()
+	if err := spec.Register(reg); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Process("InfoRequest"); !ok {
+		t.Fatal("registry missing InfoRequest")
+	}
+}
+
+func TestParseAllStatements(t *testing.T) {
+	src := `
+contextschema C {
+    string Label
+    int Severity
+    bool Urgent
+    any Payload
+    time Deadline
+    role Members
+}
+process P {
+    context c C
+    data result labreport
+    activity A role org R
+    activity B role user bob
+    activity Cc role scoped C.Members
+    activity D optional
+    activity E repeatable
+    activity F
+    seq A -> B
+    cancel A -> D
+    andjoin (A, B) -> F
+    orjoin (B, Cc) -> E
+    guard A -> Cc when c.Severity >= 3
+    entry A, B, Cc, D, E
+}
+awareness W on P {
+    src = activity A from (Ready) to (Running, Completed)
+    cnt = count (src)
+    big = compare1 ">=" 5 (cnt)
+    both = and copy 2 (src, big)
+    ordered = seq copy 1 (src, big)
+    either = or (both, ordered)
+    root = either
+    deliver org R
+    assign first
+    describe "kitchen sink"
+}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Processes[0]
+	if len(p.Activities) != 6 {
+		t.Fatalf("activities = %d", len(p.Activities))
+	}
+	if len(p.Dependencies) != 5 {
+		t.Fatalf("dependencies = %d", len(p.Dependencies))
+	}
+	if len(p.Entry) != 5 {
+		t.Fatalf("entry = %v", p.Entry)
+	}
+	a, _ := p.Activity("A")
+	b := a.Schema.(*core.BasicActivitySchema)
+	if b.Name != "P/A" || b.PerformerRole != core.OrgRole("R") {
+		t.Fatalf("basic schema = %+v", b)
+	}
+	bb, _ := p.Activity("B")
+	if bb.Schema.(*core.BasicActivitySchema).PerformerRole != core.UserRole("bob") {
+		t.Fatal("user role wrong")
+	}
+	cc, _ := p.Activity("Cc")
+	if cc.Schema.(*core.BasicActivitySchema).PerformerRole != core.ScopedRole("C", "Members") {
+		t.Fatal("scoped role wrong")
+	}
+	guard := p.Dependencies[4]
+	if guard.Type != core.DepGuard || guard.Guard.Op != ">=" || guard.Guard.Value != int64(3) {
+		t.Fatalf("guard = %+v", guard)
+	}
+	aw := spec.Awareness[0]
+	or, ok := aw.Description.(*awareness.OrNode)
+	if !ok || len(or.Inputs) != 2 {
+		t.Fatalf("root = %#v", aw.Description)
+	}
+	and := or.Inputs[0].(*awareness.AndNode)
+	if and.Copy != 2 {
+		t.Fatalf("and copy = %d", and.Copy)
+	}
+	// Shared reference: both 'and' and 'seq' reference the same src node.
+	seq := or.Inputs[1].(*awareness.SeqNode)
+	if and.Inputs[0] != seq.Inputs[0] {
+		t.Fatal("shared reference produced distinct nodes")
+	}
+	src1 := and.Inputs[0].(*awareness.ActivitySource)
+	if src1.Av != "A" || len(src1.Old) != 1 || len(src1.New) != 2 {
+		t.Fatalf("activity source = %+v", src1)
+	}
+	if aw.Assignment != awareness.AssignFirst {
+		t.Fatalf("assignment = %q", aw.Assignment)
+	}
+}
+
+func TestParseGuardValueKinds(t *testing.T) {
+	mk := func(val string) string {
+		return `
+contextschema C { string S  int N  bool B }
+process P {
+    context c C
+    activity A role org R
+    activity B role org R optional
+    activity W role org R
+    guard A -> B when ` + val + `
+    seq A -> W
+}
+`
+	}
+	for _, v := range []string{`c.N == -2`, `c.S == "x"`, `c.B != true`, `c.B == false`} {
+		if _, err := Parse(mk(v)); err != nil {
+			t.Errorf("guard %q: %v", v, err)
+		}
+	}
+	if _, err := Parse(mk(`c.N == 3.5`)); err == nil {
+		t.Error("float guard accepted")
+	}
+	if _, err := Parse(mk(`c.N == yes`)); err == nil {
+		t.Error("bare ident guard accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown decl", `widget W {}`, "unknown declaration"},
+		{"bad field type", `contextschema C { float X }`, "unknown field type"},
+		{"dup ctx schema", `contextschema C { int X } contextschema C { int Y }`, "declared twice"},
+		{"undeclared ctx", `process P { context c Nope activity A role org R }`, "undeclared context schema"},
+		{"dup process", `process P { activity A role org R } process P { activity A role org R }`, "declared twice"},
+		{"undeclared subprocess", `process P { subprocess S Nope }`, "undeclared process"},
+		{"self invoke", `process P { subprocess S P }`, "invokes itself"},
+		{"bad role kind", `process P { activity A role boss R }`, "unknown role kind"},
+		{"unterminated string", `awareness W on P { describe "x`, "unterminated string"},
+		{"bad char", `process P @ {}`, "unexpected character"},
+		{"lone bang", `process P ! {}`, "unexpected '!'"},
+		{"lone dash", `process P { seq A - B }`, "unexpected '-'"},
+		{"aw unknown process", `awareness W on Nope { root = context C.F deliver org R }`, "undeclared process"},
+		{"aw no deliver", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { root = context C.X }`, "no deliver"},
+		{"aw no root", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { op1 = context C.X deliver org R }`, "no root"},
+		{"aw undefined ref", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { root = count (nope) deliver org R }`, "undefined name"},
+		{"aw dup def", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { a = context C.X a = context C.X root = count (a) deliver org R }`, "defines \"a\" twice"},
+		{"aw reserved name", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { count = context C.X root = count deliver org R }`, "reserved operator keyword"},
+		{"aw bad op", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { root = compare2 "~" (context C.X, context C.X) deliver org R }`, "unknown comparison"},
+		{"aw bad field", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { root = context C.Ghost deliver org R }`, "no field"},
+		{"aw translate non-subprocess", `
+contextschema C { int X }
+process P { context c C activity A role org R }
+awareness W on P { root = translate A (activity A) deliver org R }`, "not a subprocess"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("parsed successfully")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# leading comment
+contextschema C { # inline comment
+    int X # trailing
+}
+process P {
+    context c C
+    activity A role org R
+}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Processes) != 1 {
+		t.Fatalf("processes = %d", len(spec.Processes))
+	}
+}
+
+func TestParsedAwarenessCompiles(t *testing.T) {
+	spec, err := Parse(section54Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse already compiles for validation, but make sure a real
+	// compilation with a sink also works.
+	g, err := awareness.Compile(spec.Awareness, true, event.ConsumerFunc(func(event.Event) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 4 {
+		t.Fatalf("graph too small: %d nodes", g.NumNodes())
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	spec, err := Parse(`
+contextschema C { int X  role Who }
+process P {
+    context c C
+    activity A role org R
+}
+awareness W on P {
+    root = context C.X
+    deliver scoped C.Who
+    priority 7
+    describe "urgent"
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Awareness[0].Priority != 7 {
+		t.Fatalf("priority = %d", spec.Awareness[0].Priority)
+	}
+	// Bad priority value.
+	if _, err := Parse(`
+contextschema C { int X  role Who }
+process P { context c C  activity A role org R }
+awareness W on P { root = context C.X deliver scoped C.Who priority x }
+`); err == nil {
+		t.Fatal("bad priority accepted")
+	}
+}

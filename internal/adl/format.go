@@ -1,0 +1,290 @@
+package adl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// Format renders a Spec back to canonical ADL source — the designer
+// tool's "save" path. Parse(Format(spec)) yields an equivalent spec, and
+// Format is a fixpoint on its own output (round-trip property tested in
+// format_test.go).
+//
+// Specs containing constructs the language cannot express (external
+// event sources, custom state schemas on basic activities) return an
+// error.
+func Format(spec *Spec) (string, error) {
+	var b strings.Builder
+
+	for _, cs := range spec.ContextSchemas {
+		fmt.Fprintf(&b, "contextschema %s {\n", cs.Name)
+		for _, f := range cs.Fields {
+			fmt.Fprintf(&b, "    %s %s\n", f.Type, f.Name)
+		}
+		b.WriteString("}\n\n")
+	}
+
+	for _, p := range spec.Processes {
+		if err := formatProcess(&b, p); err != nil {
+			return "", err
+		}
+	}
+
+	for _, aw := range spec.Awareness {
+		if err := formatAwareness(&b, aw); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+func formatProcess(b *strings.Builder, p *core.ProcessSchema) error {
+	fmt.Fprintf(b, "process %s {\n", p.Name)
+	for _, rv := range p.ResourceVars {
+		switch rv.Schema.Kind {
+		case core.ContextResource:
+			prefix := ""
+			if rv.Usage == core.UsageInput {
+				prefix = "input "
+			}
+			fmt.Fprintf(b, "    %scontext %s %s\n", prefix, rv.Name, rv.Schema.Name)
+		case core.DataResource:
+			fmt.Fprintf(b, "    data %s %s\n", rv.Name, rv.Schema.Name)
+		default:
+			return fmt.Errorf("adl: cannot format %s resource variable %q", rv.Schema.Kind, rv.Name)
+		}
+	}
+	for _, av := range p.Activities {
+		if sub, ok := av.Schema.(*core.ProcessSchema); ok {
+			fmt.Fprintf(b, "    subprocess %s %s", av.Name, sub.Name)
+			if av.Optional {
+				b.WriteString(" optional")
+			}
+			if av.Repeatable {
+				b.WriteString(" repeatable")
+			}
+			if len(av.Bind) > 0 {
+				keys := make([]string, 0, len(av.Bind))
+				for k := range av.Bind {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				var pairs []string
+				for _, k := range keys {
+					pairs = append(pairs, fmt.Sprintf("%s = %s", k, av.Bind[k]))
+				}
+				fmt.Fprintf(b, " bind (%s)", strings.Join(pairs, ", "))
+			}
+			b.WriteString("\n")
+			continue
+		}
+		basic, ok := av.Schema.(*core.BasicActivitySchema)
+		if !ok {
+			return fmt.Errorf("adl: cannot format activity schema %T", av.Schema)
+		}
+		if basic.StateSchema != nil {
+			return fmt.Errorf("adl: cannot format custom state schema on activity %q", av.Name)
+		}
+		fmt.Fprintf(b, "    activity %s", av.Name)
+		if basic.PerformerRole != "" {
+			role, err := formatRole(basic.PerformerRole)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(b, " role %s", role)
+		}
+		if av.Optional {
+			b.WriteString(" optional")
+		}
+		if av.Repeatable {
+			b.WriteString(" repeatable")
+		}
+		b.WriteString("\n")
+	}
+	for _, d := range p.Dependencies {
+		switch d.Type {
+		case core.DepSequence:
+			fmt.Fprintf(b, "    seq %s -> %s\n", d.Sources[0], d.Target)
+		case core.DepCancel:
+			fmt.Fprintf(b, "    cancel %s -> %s\n", d.Sources[0], d.Target)
+		case core.DepAndJoin:
+			fmt.Fprintf(b, "    andjoin (%s) -> %s\n", strings.Join(d.Sources, ", "), d.Target)
+		case core.DepOrJoin:
+			fmt.Fprintf(b, "    orjoin (%s) -> %s\n", strings.Join(d.Sources, ", "), d.Target)
+		case core.DepGuard:
+			val, err := formatGuardValue(d.Guard.Value)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(b, "    guard %s -> %s when %s.%s %s %s\n",
+				d.Sources[0], d.Target, d.Guard.ContextVar, d.Guard.Field, d.Guard.Op, val)
+		default:
+			return fmt.Errorf("adl: cannot format dependency type %v", d.Type)
+		}
+	}
+	if len(p.Entry) > 0 {
+		fmt.Fprintf(b, "    entry %s\n", strings.Join(p.Entry, ", "))
+	}
+	b.WriteString("}\n\n")
+	return nil
+}
+
+func formatRole(r core.RoleRef) (string, error) {
+	kind, a, c, err := r.Parse()
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case core.RoleOrg:
+		return "org " + a, nil
+	case core.RoleUser:
+		return "user " + a, nil
+	case core.RoleScoped:
+		return "scoped " + a + "." + c, nil
+	}
+	return "", fmt.Errorf("adl: cannot format role %q", r)
+}
+
+func formatGuardValue(v any) (string, error) {
+	switch x := v.(type) {
+	case int64:
+		return fmt.Sprintf("%d", x), nil
+	case int:
+		return fmt.Sprintf("%d", x), nil
+	case string:
+		return fmt.Sprintf("%q", x), nil
+	case bool:
+		return fmt.Sprintf("%v", x), nil
+	}
+	return "", fmt.Errorf("adl: cannot format guard value %T", v)
+}
+
+// formatAwareness writes the schema as named definitions in dependency
+// order: every operator node gets a def; shared nodes get one def and
+// are referenced by name thereafter; the root is named "root".
+func formatAwareness(b *strings.Builder, aw *awareness.Schema) error {
+	fmt.Fprintf(b, "awareness %s on %s {\n", aw.Name, aw.Process.Name)
+
+	names := map[awareness.Node]string{}
+	counter := 0
+	var emit func(n awareness.Node) (string, error)
+	emit = func(n awareness.Node) (string, error) {
+		if name, ok := names[n]; ok {
+			return name, nil
+		}
+		expr, err := renderNode(n, emit)
+		if err != nil {
+			return "", err
+		}
+		counter++
+		name := fmt.Sprintf("op%d", counter)
+		if n == aw.Description {
+			name = "root"
+		}
+		names[n] = name
+		fmt.Fprintf(b, "    %s = %s\n", name, expr)
+		return name, nil
+	}
+	if _, err := emit(aw.Description); err != nil {
+		return err
+	}
+
+	role, err := formatRole(aw.DeliveryRole)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(b, "    deliver %s\n", role)
+	if aw.Assignment != "" {
+		fmt.Fprintf(b, "    assign %s\n", aw.Assignment)
+	}
+	if aw.Priority != 0 {
+		fmt.Fprintf(b, "    priority %d\n", aw.Priority)
+	}
+	if aw.Text != "" {
+		fmt.Fprintf(b, "    describe %q\n", aw.Text)
+	}
+	b.WriteString("}\n\n")
+	return nil
+}
+
+func renderNode(n awareness.Node, emit func(awareness.Node) (string, error)) (string, error) {
+	args := func(ins []awareness.Node) (string, error) {
+		var parts []string
+		for _, in := range ins {
+			name, err := emit(in)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, name)
+		}
+		return strings.Join(parts, ", "), nil
+	}
+	switch x := n.(type) {
+	case *awareness.ActivitySource:
+		s := "activity " + x.Av
+		if len(x.Old) > 0 {
+			s += " from (" + joinStates(x.Old) + ")"
+		}
+		if len(x.New) > 0 {
+			s += " to (" + joinStates(x.New) + ")"
+		}
+		return s, nil
+	case *awareness.ContextSource:
+		return "context " + x.Context + "." + x.Field, nil
+	case *awareness.AndNode:
+		a, err := args(x.Inputs)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("and copy %d (%s)", x.Copy, a), nil
+	case *awareness.SeqNode:
+		a, err := args(x.Inputs)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("seq copy %d (%s)", x.Copy, a), nil
+	case *awareness.OrNode:
+		a, err := args(x.Inputs)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("or (%s)", a), nil
+	case *awareness.CountNode:
+		a, err := args([]awareness.Node{x.Input})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("count (%s)", a), nil
+	case *awareness.Compare1Node:
+		a, err := args([]awareness.Node{x.Input})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("compare1 %q %d (%s)", x.Op, x.Operand, a), nil
+	case *awareness.Compare2Node:
+		a, err := args([]awareness.Node{x.Inputs[0], x.Inputs[1]})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("compare2 %q (%s)", x.Op, a), nil
+	case *awareness.TranslateNode:
+		a, err := args([]awareness.Node{x.Input})
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("translate %s (%s)", x.Av, a), nil
+	}
+	return "", fmt.Errorf("adl: cannot format awareness node %T", n)
+}
+
+func joinStates(states []core.State) string {
+	parts := make([]string, len(states))
+	for i, s := range states {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ", ")
+}

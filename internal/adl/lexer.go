@@ -1,0 +1,233 @@
+// Package adl implements the Awareness and process Definition Language:
+// a textual specification language for CMM context schemas, process
+// schemas and awareness schemas. It is this repository's stand-in for
+// the CMI graphical specification tools of Figure 6 — the language
+// constructs exactly the objects the GUI constructs (awareness schema
+// DAGs over a process schema, with an output step holding the delivery
+// role and role assignment), and runs the same validation.
+//
+// A specification file contains three kinds of declarations:
+//
+//	contextschema TaskForceContext {
+//	    role TaskForceMembers
+//	    time TaskForceDeadline
+//	}
+//
+//	process InfoRequest {
+//	    context irc InfoRequestContext
+//	    input context tfc TaskForceContext
+//	    activity Gather role org Epidemiologist
+//	    activity Deliver role org Epidemiologist
+//	    seq Gather -> Deliver
+//	}
+//
+//	awareness DeadlineViolation on InfoRequest {
+//	    op1 = context TaskForceContext.TaskForceDeadline
+//	    op2 = context InfoRequestContext.RequestDeadline
+//	    root = compare2 "<=" (op1, op2)
+//	    deliver scoped InfoRequestContext.Requestor
+//	    assign identity
+//	    describe "Task force deadline moved earlier than request deadline"
+//	}
+//
+// Comments run from '#' to end of line.
+package adl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokEquals
+	tokArrow
+	tokDot
+	tokOp // comparison operator: == != < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokArrow:
+		return "'->'"
+	case tokDot:
+		return "'.'"
+	case tokOp:
+		return "comparison operator"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("adl: line %d: %s", e.line, e.msg) }
+
+// lex tokenizes the source. It never panics; malformed input yields an
+// error with a line number.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", line})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", line})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case c == '-':
+			if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "->", line})
+				i += 2
+			} else if i+1 < n && isDigit(src[i+1]) {
+				j := i + 1
+				for j < n && isDigit(src[j]) {
+					j++
+				}
+				toks = append(toks, token{tokNumber, src[i:j], line})
+				i = j
+			} else {
+				return nil, &lexError{line, "unexpected '-'"}
+			}
+		case c == '=':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "==", line})
+				i += 2
+			} else {
+				toks = append(toks, token{tokEquals, "=", line})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", line})
+				i += 2
+			} else {
+				return nil, &lexError{line, "unexpected '!'"}
+			}
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < n && src[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, line})
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < n {
+				if src[j] == '"' {
+					closed = true
+					j++
+					break
+				}
+				if src[j] == '\n' {
+					break
+				}
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				b.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, &lexError{line, "unterminated string"}
+			}
+			toks = append(toks, token{tokString, b.String(), line})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < n && isDigit(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], line})
+			i = j
+		default:
+			return nil, &lexError{line, fmt.Sprintf("unexpected character %q", string(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}

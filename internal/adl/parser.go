@@ -1,0 +1,808 @@
+package adl
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// A Spec is the result of parsing one ADL source: the declared context
+// schemas, process schemas (validated, with subprocess references
+// resolved) and awareness schemas.
+type Spec struct {
+	ContextSchemas []*core.ResourceSchema
+	Processes      []*core.ProcessSchema
+	Awareness      []*awareness.Schema
+}
+
+// Process returns the declared process schema with the given name.
+func (s *Spec) Process(name string) (*core.ProcessSchema, bool) {
+	for _, p := range s.Processes {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Register installs every declared process schema into the registry.
+func (s *Spec) Register(reg *core.SchemaRegistry) error {
+	for _, p := range s.Processes {
+		if err := reg.Register(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse compiles ADL source text into a Spec. All cross-references
+// (context schema names, subprocess names, awareness process names) are
+// resolved; the resulting schemas are fully validated.
+func Parse(src string) (*Spec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	raw, err := p.parseFile()
+	if err != nil {
+		return nil, err
+	}
+	return raw.resolve()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atKw(k string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == k
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("adl: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, got %q", k, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKw(k string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != k {
+		return p.errf(t, "expected %q, got %q", k, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+// ----- raw file structure -----
+
+type rawFile struct {
+	ctxSchemas []*core.ResourceSchema
+	processes  []*rawProcess
+	awareness  []*rawAwareness
+}
+
+type rawProcess struct {
+	line    int
+	name    string
+	resVars []core.ResourceVariable
+	acts    []rawActivity
+	deps    []core.Dependency
+	entry   []string
+}
+
+type rawActivity struct {
+	line       int
+	name       string
+	subprocess string // non-empty for subprocess invocations
+	role       core.RoleRef
+	optional   bool
+	repeatable bool
+	bind       map[string]string
+}
+
+type rawAwareness struct {
+	line     int
+	name     string
+	process  string
+	defs     []rawDef
+	deliver  core.RoleRef
+	assign   string
+	describe string
+	priority int
+}
+
+type rawDef struct {
+	line int
+	name string
+	expr *rawExpr
+}
+
+type rawExpr struct {
+	line    int
+	kind    string // activity, context, and, seq, or, count, compare1, compare2, translate, ref
+	ref     string
+	av      string
+	ctx     string
+	field   string
+	from    []core.State
+	to      []core.State
+	op      string
+	operand int64
+	copy    int
+	args    []*rawExpr
+}
+
+func (p *parser) parseFile() (*rawFile, error) {
+	f := &rawFile{}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return f, nil
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected a declaration, got %q", t.text)
+		}
+		switch t.text {
+		case "contextschema":
+			cs, err := p.parseContextSchema()
+			if err != nil {
+				return nil, err
+			}
+			f.ctxSchemas = append(f.ctxSchemas, cs)
+		case "process":
+			pr, err := p.parseProcess()
+			if err != nil {
+				return nil, err
+			}
+			f.processes = append(f.processes, pr)
+		case "awareness":
+			aw, err := p.parseAwareness()
+			if err != nil {
+				return nil, err
+			}
+			f.awareness = append(f.awareness, aw)
+		default:
+			return nil, p.errf(t, "unknown declaration %q (want contextschema, process or awareness)", t.text)
+		}
+	}
+}
+
+var fieldTypes = map[string]core.FieldType{
+	"string": core.FieldString,
+	"int":    core.FieldInt,
+	"time":   core.FieldTime,
+	"bool":   core.FieldBool,
+	"role":   core.FieldRole,
+	"any":    core.FieldAny,
+}
+
+func (p *parser) parseContextSchema() (*core.ResourceSchema, error) {
+	_ = p.next() // contextschema
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	cs := &core.ResourceSchema{Name: name, Kind: core.ContextResource}
+	for {
+		t := p.next()
+		if t.kind == tokRBrace {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected a field type, got %q", t.text)
+		}
+		ft, ok := fieldTypes[t.text]
+		if !ok {
+			return nil, p.errf(t, "unknown field type %q", t.text)
+		}
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		cs.Fields = append(cs.Fields, core.FieldDef{Name: fname, Type: ft})
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+func (p *parser) parseProcess() (*rawProcess, error) {
+	start := p.next() // process
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	pr := &rawProcess{line: start.line, name: name}
+	for {
+		t := p.peek()
+		if t.kind == tokRBrace {
+			p.next()
+			return pr, nil
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected a process statement, got %q", t.text)
+		}
+		switch t.text {
+		case "context":
+			if err := p.parseContextVar(pr, core.UsageLocal); err != nil {
+				return nil, err
+			}
+		case "input":
+			p.next()
+			if !p.atKw("context") {
+				return nil, p.errf(p.peek(), "expected 'context' after 'input'")
+			}
+			if err := p.parseContextVar(pr, core.UsageInput); err != nil {
+				return nil, err
+			}
+		case "data":
+			p.next()
+			varName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typeName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			pr.resVars = append(pr.resVars, core.ResourceVariable{
+				Name:  varName,
+				Usage: core.UsageLocal,
+				Schema: &core.ResourceSchema{
+					Name: typeName, Kind: core.DataResource, DataType: typeName,
+				},
+			})
+		case "activity":
+			a, err := p.parseActivity(false)
+			if err != nil {
+				return nil, err
+			}
+			pr.acts = append(pr.acts, a)
+		case "subprocess":
+			a, err := p.parseActivity(true)
+			if err != nil {
+				return nil, err
+			}
+			pr.acts = append(pr.acts, a)
+		case "seq", "cancel":
+			p.next()
+			src, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return nil, err
+			}
+			dst, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			dt := core.DepSequence
+			if t.text == "cancel" {
+				dt = core.DepCancel
+			}
+			pr.deps = append(pr.deps, core.Dependency{Type: dt, Sources: []string{src}, Target: dst})
+		case "andjoin", "orjoin":
+			p.next()
+			srcs, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return nil, err
+			}
+			dst, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			dt := core.DepAndJoin
+			if t.text == "orjoin" {
+				dt = core.DepOrJoin
+			}
+			pr.deps = append(pr.deps, core.Dependency{Type: dt, Sources: srcs, Target: dst})
+		case "guard":
+			if err := p.parseGuard(pr); err != nil {
+				return nil, err
+			}
+		case "entry":
+			p.next()
+			for {
+				n, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				pr.entry = append(pr.entry, n)
+				if p.peek().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+		default:
+			return nil, p.errf(t, "unknown process statement %q", t.text)
+		}
+	}
+}
+
+func (p *parser) parseContextVar(pr *rawProcess, usage core.Usage) error {
+	p.next() // context
+	varName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	schemaName, err := p.ident()
+	if err != nil {
+		return err
+	}
+	pr.resVars = append(pr.resVars, core.ResourceVariable{
+		Name:  varName,
+		Usage: usage,
+		// Schema resolved later by name; stash the name in a placeholder.
+		Schema: &core.ResourceSchema{Name: schemaName, Kind: core.ContextResource},
+	})
+	return nil
+}
+
+func (p *parser) parseActivity(sub bool) (rawActivity, error) {
+	start := p.next() // activity | subprocess
+	a := rawActivity{line: start.line}
+	name, err := p.ident()
+	if err != nil {
+		return a, err
+	}
+	a.name = name
+	if sub {
+		target, err := p.ident()
+		if err != nil {
+			return a, err
+		}
+		a.subprocess = target
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return a, nil
+		}
+		switch t.text {
+		case "role":
+			p.next()
+			role, err := p.parseRoleRef()
+			if err != nil {
+				return a, err
+			}
+			a.role = role
+		case "optional":
+			p.next()
+			a.optional = true
+		case "repeatable":
+			p.next()
+			a.repeatable = true
+		case "bind":
+			p.next()
+			if _, err := p.expect(tokLParen); err != nil {
+				return a, err
+			}
+			a.bind = map[string]string{}
+			for {
+				child, err := p.ident()
+				if err != nil {
+					return a, err
+				}
+				if _, err := p.expect(tokEquals); err != nil {
+					return a, err
+				}
+				parent, err := p.ident()
+				if err != nil {
+					return a, err
+				}
+				a.bind[child] = parent
+				t := p.next()
+				if t.kind == tokRParen {
+					break
+				}
+				if t.kind != tokComma {
+					return a, p.errf(t, "expected ',' or ')' in bind list")
+				}
+			}
+		default:
+			return a, nil
+		}
+	}
+}
+
+func (p *parser) parseRoleRef() (core.RoleRef, error) {
+	kind, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case "org":
+		name, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return core.OrgRole(name), nil
+	case "user":
+		name, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return core.UserRole(name), nil
+	case "scoped":
+		ctx, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return "", err
+		}
+		field, err := p.ident()
+		if err != nil {
+			return "", err
+		}
+		return core.ScopedRole(ctx, field), nil
+	}
+	return "", fmt.Errorf("adl: unknown role kind %q (want org, user or scoped)", kind)
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+		t := p.next()
+		if t.kind == tokRParen {
+			return out, nil
+		}
+		if t.kind != tokComma {
+			return nil, p.errf(t, "expected ',' or ')'")
+		}
+	}
+}
+
+func (p *parser) parseGuard(pr *rawProcess) error {
+	p.next() // guard
+	src, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return err
+	}
+	dst, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKw("when"); err != nil {
+		return err
+	}
+	ctxVar, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return err
+	}
+	field, err := p.ident()
+	if err != nil {
+		return err
+	}
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return err
+	}
+	var value any
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return p.errf(t, "bad number %q", t.text)
+		}
+		value = v
+	case tokString:
+		value = t.text
+	case tokIdent:
+		switch t.text {
+		case "true":
+			value = true
+		case "false":
+			value = false
+		default:
+			return p.errf(t, "guard value must be a number, string, true or false")
+		}
+	default:
+		return p.errf(t, "guard value must be a number, string, true or false")
+	}
+	pr.deps = append(pr.deps, core.Dependency{
+		Type:    core.DepGuard,
+		Sources: []string{src},
+		Target:  dst,
+		Guard:   &core.Guard{ContextVar: ctxVar, Field: field, Op: opTok.text, Value: value},
+	})
+	return nil
+}
+
+// ----- awareness -----
+
+var exprKeywords = map[string]bool{
+	"activity": true, "context": true, "and": true, "seq": true, "or": true,
+	"count": true, "compare1": true, "compare2": true, "translate": true,
+}
+
+func (p *parser) parseAwareness() (*rawAwareness, error) {
+	start := p.next() // awareness
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("on"); err != nil {
+		return nil, err
+	}
+	proc, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	aw := &rawAwareness{line: start.line, name: name, process: proc, assign: awareness.AssignIdentity}
+	for {
+		t := p.peek()
+		if t.kind == tokRBrace {
+			p.next()
+			return aw, nil
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected an awareness statement, got %q", t.text)
+		}
+		switch t.text {
+		case "deliver":
+			p.next()
+			role, err := p.parseRoleRef()
+			if err != nil {
+				return nil, err
+			}
+			aw.deliver = role
+		case "assign":
+			p.next()
+			fn, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			aw.assign = fn
+		case "describe":
+			p.next()
+			s, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			aw.describe = s.text
+		case "priority":
+			p.next()
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(num.text)
+			if err != nil {
+				return nil, p.errf(num, "bad priority %q", num.text)
+			}
+			aw.priority = n
+		default:
+			// name = expr
+			defName := p.next().text
+			if exprKeywords[defName] {
+				return nil, p.errf(t, "%q is a reserved operator keyword; choose another name", defName)
+			}
+			if _, err := p.expect(tokEquals); err != nil {
+				return nil, err
+			}
+			expr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			aw.defs = append(aw.defs, rawDef{line: t.line, name: defName, expr: expr})
+		}
+	}
+}
+
+func (p *parser) parseExpr() (*rawExpr, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected an operator or reference, got %q", t.text)
+	}
+	e := &rawExpr{line: t.line}
+	switch t.text {
+	case "activity":
+		e.kind = "activity"
+		av, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		e.av = av
+		for p.atKw("from") || p.atKw("to") {
+			which := p.next().text
+			names, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			states := make([]core.State, len(names))
+			for i, n := range names {
+				states[i] = core.State(n)
+			}
+			if which == "from" {
+				e.from = states
+			} else {
+				e.to = states
+			}
+		}
+		return e, nil
+	case "context":
+		e.kind = "context"
+		ctx, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return nil, err
+		}
+		field, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		e.ctx, e.field = ctx, field
+		return e, nil
+	case "and", "seq":
+		e.kind = t.text
+		e.copy = 1
+		if p.atKw("copy") {
+			p.next()
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			n, err := strconv.Atoi(num.text)
+			if err != nil {
+				return nil, p.errf(num, "bad copy index %q", num.text)
+			}
+			e.copy = n
+		}
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		e.args = args
+		return e, nil
+	case "or":
+		e.kind = "or"
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		e.args = args
+		return e, nil
+	case "count":
+		e.kind = "count"
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		e.args = args
+		return e, nil
+	case "compare1":
+		e.kind = "compare1"
+		op, err := p.parseOpToken()
+		if err != nil {
+			return nil, err
+		}
+		e.op = op
+		num := p.next()
+		if num.kind != tokNumber {
+			return nil, p.errf(num, "compare1 requires an integer operand")
+		}
+		v, err := strconv.ParseInt(num.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(num, "bad number %q", num.text)
+		}
+		e.operand = v
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		e.args = args
+		return e, nil
+	case "compare2":
+		e.kind = "compare2"
+		op, err := p.parseOpToken()
+		if err != nil {
+			return nil, err
+		}
+		e.op = op
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		e.args = args
+		return e, nil
+	case "translate":
+		e.kind = "translate"
+		av, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		e.av = av
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		e.args = args
+		return e, nil
+	default:
+		e.kind = "ref"
+		e.ref = t.text
+		return e, nil
+	}
+}
+
+// parseOpToken accepts a bare comparison operator or a quoted one.
+func (p *parser) parseOpToken() (string, error) {
+	t := p.next()
+	if t.kind == tokOp || t.kind == tokString {
+		return t.text, nil
+	}
+	return "", p.errf(t, "expected a comparison operator, got %q", t.text)
+}
+
+func (p *parser) parseArgList() ([]*rawExpr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []*rawExpr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		t := p.next()
+		if t.kind == tokRParen {
+			return out, nil
+		}
+		if t.kind != tokComma {
+			return nil, p.errf(t, "expected ',' or ')' in argument list")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package adl
+
+import (
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// resolve turns the raw parse into validated schemas: context schema
+// references, subprocess references and awareness references are linked,
+// and every resulting schema is validated (awareness descriptions by a
+// throwaway compilation).
+func (f *rawFile) resolve() (*Spec, error) {
+	spec := &Spec{}
+
+	ctxByName := map[string]*core.ResourceSchema{}
+	for _, cs := range f.ctxSchemas {
+		if _, dup := ctxByName[cs.Name]; dup {
+			return nil, fmt.Errorf("adl: context schema %q declared twice", cs.Name)
+		}
+		ctxByName[cs.Name] = cs
+		spec.ContextSchemas = append(spec.ContextSchemas, cs)
+	}
+
+	// Phase A: skeletons with resolved resource variables.
+	procByName := map[string]*core.ProcessSchema{}
+	for _, rp := range f.processes {
+		if _, dup := procByName[rp.name]; dup {
+			return nil, fmt.Errorf("adl: line %d: process %q declared twice", rp.line, rp.name)
+		}
+		ps := &core.ProcessSchema{Name: rp.name, Dependencies: rp.deps, Entry: rp.entry}
+		for _, rv := range rp.resVars {
+			if rv.Schema.Kind == core.ContextResource {
+				real, ok := ctxByName[rv.Schema.Name]
+				if !ok {
+					return nil, fmt.Errorf("adl: process %q references undeclared context schema %q", rp.name, rv.Schema.Name)
+				}
+				rv.Schema = real
+			}
+			ps.ResourceVars = append(ps.ResourceVars, rv)
+		}
+		procByName[rp.name] = ps
+		spec.Processes = append(spec.Processes, ps)
+	}
+
+	// Phase B: activities, with subprocess references resolved.
+	for _, rp := range f.processes {
+		ps := procByName[rp.name]
+		for _, ra := range rp.acts {
+			av := core.ActivityVariable{
+				Name:       ra.name,
+				Optional:   ra.optional,
+				Repeatable: ra.repeatable,
+				Bind:       ra.bind,
+			}
+			if ra.subprocess != "" {
+				sub, ok := procByName[ra.subprocess]
+				if !ok {
+					return nil, fmt.Errorf("adl: line %d: process %q invokes undeclared process %q", ra.line, rp.name, ra.subprocess)
+				}
+				if sub == ps {
+					return nil, fmt.Errorf("adl: line %d: process %q invokes itself", ra.line, rp.name)
+				}
+				av.Schema = sub
+			} else {
+				av.Schema = &core.BasicActivitySchema{
+					Name:          rp.name + "/" + ra.name,
+					PerformerRole: ra.role,
+				}
+			}
+			ps.Activities = append(ps.Activities, av)
+		}
+	}
+
+	for _, ps := range spec.Processes {
+		if err := ps.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Awareness schemas.
+	for _, ra := range f.awareness {
+		proc, ok := procByName[ra.process]
+		if !ok {
+			return nil, fmt.Errorf("adl: line %d: awareness %q names undeclared process %q", ra.line, ra.name, ra.process)
+		}
+		if ra.deliver == "" {
+			return nil, fmt.Errorf("adl: line %d: awareness %q has no deliver statement", ra.line, ra.name)
+		}
+		env := map[string]awareness.Node{}
+		var root awareness.Node
+		for _, def := range ra.defs {
+			if _, dup := env[def.name]; dup {
+				return nil, fmt.Errorf("adl: line %d: awareness %q defines %q twice", def.line, ra.name, def.name)
+			}
+			n, err := buildNode(def.expr, env, ra.name)
+			if err != nil {
+				return nil, err
+			}
+			env[def.name] = n
+			if def.name == "root" {
+				root = n
+			}
+		}
+		if root == nil {
+			return nil, fmt.Errorf("adl: line %d: awareness %q has no root definition", ra.line, ra.name)
+		}
+		spec.Awareness = append(spec.Awareness, &awareness.Schema{
+			Name:         ra.name,
+			Process:      proc,
+			Description:  root,
+			DeliveryRole: ra.deliver,
+			Assignment:   ra.assign,
+			Text:         ra.describe,
+			Priority:     ra.priority,
+		})
+	}
+
+	// Validate the awareness descriptions by a throwaway compilation.
+	if len(spec.Awareness) > 0 {
+		discard := event.ConsumerFunc(func(event.Event) {})
+		if _, err := awareness.Compile(spec.Awareness, true, discard); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
+func buildNode(e *rawExpr, env map[string]awareness.Node, schema string) (awareness.Node, error) {
+	switch e.kind {
+	case "ref":
+		n, ok := env[e.ref]
+		if !ok {
+			return nil, fmt.Errorf("adl: line %d: awareness %q references undefined name %q", e.line, schema, e.ref)
+		}
+		return n, nil
+	case "activity":
+		return &awareness.ActivitySource{Av: e.av, Old: e.from, New: e.to}, nil
+	case "context":
+		return &awareness.ContextSource{Context: e.ctx, Field: e.field}, nil
+	case "and", "seq", "or":
+		args, err := buildArgs(e.args, env, schema)
+		if err != nil {
+			return nil, err
+		}
+		switch e.kind {
+		case "and":
+			return &awareness.AndNode{Copy: e.copy, Inputs: args}, nil
+		case "seq":
+			return &awareness.SeqNode{Copy: e.copy, Inputs: args}, nil
+		default:
+			return &awareness.OrNode{Inputs: args}, nil
+		}
+	case "count":
+		args, err := buildArgs(e.args, env, schema)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("adl: line %d: count takes exactly one input", e.line)
+		}
+		return &awareness.CountNode{Input: args[0]}, nil
+	case "compare1":
+		args, err := buildArgs(e.args, env, schema)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("adl: line %d: compare1 takes exactly one input", e.line)
+		}
+		return &awareness.Compare1Node{Op: e.op, Operand: e.operand, Input: args[0]}, nil
+	case "compare2":
+		args, err := buildArgs(e.args, env, schema)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("adl: line %d: compare2 takes exactly two inputs", e.line)
+		}
+		return &awareness.Compare2Node{Op: e.op, Inputs: [2]awareness.Node{args[0], args[1]}}, nil
+	case "translate":
+		args, err := buildArgs(e.args, env, schema)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("adl: line %d: translate takes exactly one input", e.line)
+		}
+		return &awareness.TranslateNode{Av: e.av, Input: args[0]}, nil
+	}
+	return nil, fmt.Errorf("adl: line %d: unknown expression kind %q", e.line, e.kind)
+}
+
+func buildArgs(raw []*rawExpr, env map[string]awareness.Node, schema string) ([]awareness.Node, error) {
+	out := make([]awareness.Node, 0, len(raw))
+	for _, r := range raw {
+		n, err := buildNode(r, env, schema)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

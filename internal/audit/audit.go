@@ -1,0 +1,292 @@
+// Package audit records the primitive enactment event stream to a
+// durable journal and answers queries over it — the process monitoring
+// log that Section 2's critique of WfMS awareness presupposes: "unless
+// WfMS users are willing to develop specialized awareness applications
+// that analyze process monitoring logs, their awareness choices are
+// limited". This package is that log (and its query API in the spirit of
+// the WfMC monitoring interface the paper cites), so the repository
+// carries both sides of the comparison: after-the-fact log analysis here
+// versus CMI's live customized awareness in package awareness.
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// A Record is one journaled event in JSON form.
+type Record struct {
+	Seq    uint64         `json:"seq"`
+	Time   time.Time      `json:"time"`
+	Type   string         `json:"type"`
+	Source string         `json:"source"`
+	Params map[string]any `json:"params,omitempty"`
+}
+
+// A Recorder journals events to an append-only JSON-lines file. Register
+// it as an observer of the coordination engine and the context registry.
+// It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	file   *os.File
+	w      *bufio.Writer
+	count  uint64
+	errCnt uint64
+	closed bool
+}
+
+// NewRecorder opens (appending to) the journal at path.
+func NewRecorder(path string) (*Recorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	return &Recorder{file: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Consume implements event.Consumer.
+func (r *Recorder) Consume(ev event.Event) {
+	rec := Record{
+		Seq:    ev.Stamp.Seq,
+		Time:   ev.Stamp.Time,
+		Type:   string(ev.Type),
+		Source: ev.Source,
+		Params: sanitize(ev.Params),
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		r.countErr()
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if _, err := r.w.Write(append(b, '\n')); err != nil {
+		r.errCnt++
+		return
+	}
+	if err := r.w.Flush(); err != nil {
+		r.errCnt++
+		return
+	}
+	r.count++
+}
+
+func (r *Recorder) countErr() {
+	r.mu.Lock()
+	r.errCnt++
+	r.mu.Unlock()
+}
+
+// Stats returns the number of recorded events and write failures.
+func (r *Recorder) Stats() (recorded, failed uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count, r.errCnt
+}
+
+// Close flushes and closes the journal. Idempotent.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if err := r.w.Flush(); err != nil {
+		r.file.Close()
+		return fmt.Errorf("audit: %w", err)
+	}
+	if err := r.file.Close(); err != nil {
+		return fmt.Errorf("audit: %w", err)
+	}
+	return nil
+}
+
+// sanitize mirrors the delivery store's parameter flattening.
+func sanitize(p event.Params) map[string]any {
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		switch x := v.(type) {
+		case nil, string, bool:
+			out[k] = v
+		case time.Time:
+			out[k] = x.Format(time.RFC3339Nano)
+		case []event.ProcessRef:
+			refs := make([]string, len(x))
+			for i, r := range x {
+				refs[i] = r.String()
+			}
+			out[k] = refs
+		default:
+			if i, ok := event.AsInt64(v); ok {
+				out[k] = i
+			} else {
+				out[k] = fmt.Sprint(v)
+			}
+		}
+	}
+	return out
+}
+
+// A Query filters journal records. Zero fields match everything.
+type Query struct {
+	// Type restricts to one event type.
+	Type string
+	// ProcessInstance matches records whose parameters reference the
+	// process instance id (as parent, activity or canonical instance).
+	ProcessInstance string
+	// Participant matches records whose user parameter names them.
+	Participant string
+	// After/Before bound the record time (inclusive/exclusive).
+	After  time.Time
+	Before time.Time
+}
+
+func (q Query) matches(rec Record) bool {
+	if q.Type != "" && rec.Type != q.Type {
+		return false
+	}
+	if q.Participant != "" && rec.Params[event.PUser] != q.Participant {
+		return false
+	}
+	if !q.After.IsZero() && rec.Time.Before(q.After) {
+		return false
+	}
+	if !q.Before.IsZero() && !rec.Time.Before(q.Before) {
+		return false
+	}
+	if q.ProcessInstance != "" {
+		if !recordMentionsInstance(rec, q.ProcessInstance) {
+			return false
+		}
+	}
+	return true
+}
+
+func recordMentionsInstance(rec Record, inst string) bool {
+	for _, key := range []string{
+		event.PParentProcessInstanceID,
+		event.PActivityInstanceID,
+		event.PProcessInstanceID,
+	} {
+		if rec.Params[key] == inst {
+			return true
+		}
+	}
+	if refs, ok := rec.Params[event.PProcesses].([]any); ok {
+		for _, r := range refs {
+			if s, ok := r.(string); ok && len(s) > len(inst) && s[len(s)-len(inst):] == inst {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Read scans the journal at path and returns the records matching the
+// query, in journal order. Torn trailing lines are tolerated.
+func Read(path string, q Query) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue
+		}
+		if q.matches(rec) {
+			out = append(out, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	return out, nil
+}
+
+// Replay re-injects the matching journal records as events into a
+// consumer — the "specialized awareness application analyzing process
+// monitoring logs" path. The journal stores parameters in flattened JSON
+// form, so Replay re-hydrates them: RFC3339 strings become time.Time,
+// JSON numbers become int64, and the process association list becomes
+// []event.ProcessRef again — enough for the awareness operators to run
+// over replayed streams exactly as they do live.
+func Replay(path string, q Query, into event.Consumer) (int, error) {
+	recs, err := Read(path, q)
+	if err != nil {
+		return 0, err
+	}
+	for _, rec := range recs {
+		params := make(event.Params, len(rec.Params))
+		for k, v := range rec.Params {
+			params[k] = hydrate(k, v)
+		}
+		into.Consume(event.Event{
+			Type:   event.Type(rec.Type),
+			Stamp:  vclock.Stamp{Time: rec.Time, Seq: rec.Seq},
+			Source: rec.Source,
+			Params: params,
+		})
+	}
+	return len(recs), nil
+}
+
+// hydrate undoes the journal's JSON flattening for one parameter.
+func hydrate(key string, v any) any {
+	switch x := v.(type) {
+	case string:
+		if t, err := time.Parse(time.RFC3339Nano, x); err == nil {
+			return t
+		}
+		return x
+	case float64:
+		// JSON numbers decode as float64; the event model uses int64.
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+		return x
+	case []any:
+		if key == event.PProcesses {
+			refs := make([]event.ProcessRef, 0, len(x))
+			for _, e := range x {
+				if s, ok := e.(string); ok {
+					if i := indexByte(s, '/'); i > 0 {
+						refs = append(refs, event.ProcessRef{SchemaID: s[:i], InstanceID: s[i+1:]})
+					}
+				}
+			}
+			return refs
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

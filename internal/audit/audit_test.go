@@ -1,0 +1,334 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/system"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// rig runs a small process with a recorder attached and returns the
+// journal path plus the ids involved.
+func rig(t *testing.T) (path, procID, actID string) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "audit.jsonl")
+	rec, err := NewRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	sys, err := system.New(system.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	sys.Coordination().Observe(rec)
+	sys.Contexts().Observe(rec)
+	p := &core.ProcessSchema{
+		Name: "Audited",
+		ResourceVars: []core.ResourceVariable{
+			{Name: "c", Usage: core.UsageLocal, Schema: &core.ResourceSchema{
+				Name: "AuditCtx", Kind: core.ContextResource,
+				Fields: []core.FieldDef{{Name: "N", Type: core.FieldInt}},
+			}},
+		},
+		Activities: []core.ActivityVariable{
+			{Name: "W", Schema: &core.BasicActivitySchema{Name: "W", PerformerRole: core.OrgRole("R")}},
+		},
+	}
+	if err := sys.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddHuman("u", "U"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssignRole("R", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("Audited", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(pi.ID(), "c", "N", 7); err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	for _, ai := range sys.Coordination().ActivitiesOf(pi.ID()) {
+		id = ai.ID
+	}
+	if err := sys.Coordination().Start(id, "u"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Hour)
+	if err := sys.Coordination().Complete(id, "u"); err != nil {
+		t.Fatal(err)
+	}
+	recorded, failed := rec.Stats()
+	if recorded == 0 || failed != 0 {
+		t.Fatalf("recorder stats = %d, %d", recorded, failed)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	return path, pi.ID(), id
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	path, procID, actID := rig(t)
+
+	all, err := Read(path, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process Uninit->Ready->Running, activity Uninit->Ready, context
+	// set, start, complete, process complete: 7 records.
+	if len(all) != 7 {
+		t.Fatalf("records = %d: %v", len(all), all)
+	}
+	// Journal order is stamp order.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Seq >= all[i].Seq {
+			t.Fatal("journal out of order")
+		}
+	}
+
+	// Type filter.
+	ctxRecs, err := Read(path, Query{Type: string(event.TypeContext)})
+	if err != nil || len(ctxRecs) != 1 {
+		t.Fatalf("context records = %v, %v", ctxRecs, err)
+	}
+	if ctxRecs[0].Params[event.PFieldName] != "N" {
+		t.Fatalf("context record = %+v", ctxRecs[0])
+	}
+
+	// Participant filter: start and complete carry user=u.
+	userRecs, err := Read(path, Query{Participant: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(userRecs) < 2 {
+		t.Fatalf("user records = %v", userRecs)
+	}
+
+	// Process-instance filter matches parent refs, the instance itself
+	// and context associations.
+	instRecs, err := Read(path, Query{ProcessInstance: procID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instRecs) != len(all) {
+		t.Fatalf("instance records = %d, want %d", len(instRecs), len(all))
+	}
+	actRecs, err := Read(path, Query{ProcessInstance: actID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actRecs) != 4 { // activity Ready, Running, Completed... plus? start/complete/instantiate
+		// Exact count depends on the activity's transitions: Uninit->Ready,
+		// Ready->Running, Running->Completed.
+		if len(actRecs) != 3 {
+			t.Fatalf("activity records = %d", len(actRecs))
+		}
+	}
+
+	// Time window: nothing before the epoch's first instant + nothing
+	// at/after an hour in.
+	windowed, err := Read(path, Query{After: all[0].Time.Add(time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windowed) == 0 || len(windowed) >= len(all) {
+		t.Fatalf("windowed = %d of %d", len(windowed), len(all))
+	}
+	none, err := Read(path, Query{Before: all[0].Time})
+	if err != nil || len(none) != 0 {
+		t.Fatalf("before-epoch records = %v", none)
+	}
+}
+
+// TestReplayFeedsConsumers: the journal replays into an event consumer —
+// a monitoring application built after the fact, the Section 2 pattern.
+func TestReplay(t *testing.T) {
+	path, _, _ := rig(t)
+	var transitions []string
+	n, err := Replay(path, Query{Type: string(event.TypeActivity)}, event.ConsumerFunc(func(ev event.Event) {
+		transitions = append(transitions, ev.String(event.POldState)+"->"+ev.String(event.PNewState))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(transitions) || n == 0 {
+		t.Fatalf("replayed %d, callbacks %d", n, len(transitions))
+	}
+	// The final replayed transition closes the process.
+	if transitions[len(transitions)-1] != "Running->Completed" {
+		t.Fatalf("transitions = %v", transitions)
+	}
+}
+
+func TestRecorderFailurePaths(t *testing.T) {
+	if _, err := NewRecorder(filepath.Join(t.TempDir(), "missing-dir", "x.jsonl")); err == nil {
+		t.Fatal("recorder opened in missing directory")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.jsonl"), Query{}); err == nil {
+		t.Fatal("read of missing journal succeeded")
+	}
+	if _, err := Replay(filepath.Join(t.TempDir(), "missing.jsonl"), Query{}, event.ConsumerFunc(func(event.Event) {})); err == nil {
+		t.Fatal("replay of missing journal succeeded")
+	}
+	// Closed recorder drops events silently.
+	path := filepath.Join(t.TempDir(), "closed.jsonl")
+	rec, err := NewRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec.Consume(event.New(event.TypeActivity, vclock.NewVirtual().Next(), "x", nil))
+	recs, err := Read(path, Query{})
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("closed recorder wrote: %v", recs)
+	}
+}
+
+func TestTornJournalTolerated(t *testing.T) {
+	path, _, _ := rig(t)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"ty`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := Read(path, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 {
+		t.Fatalf("records after torn write = %d", len(recs))
+	}
+}
+
+// TestReplayThroughAwareness: the journal replays through a compiled
+// awareness description and finds the same composite condition as live
+// detection would (the E11 experiment's correctness core).
+func TestReplayThroughAwareness(t *testing.T) {
+	// Build a live system with a recorder but NO awareness engine.
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	rec, err := NewRecorder(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	sys, err := system.New(system.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	sys.Coordination().Observe(rec)
+	sys.Contexts().Observe(rec)
+	ctxSchema := &core.ResourceSchema{
+		Name: "DL", Kind: core.ContextResource,
+		Fields: []core.FieldDef{
+			{Name: "A", Type: core.FieldTime},
+			{Name: "B", Type: core.FieldTime},
+		},
+	}
+	p := &core.ProcessSchema{
+		Name: "Watched",
+		ResourceVars: []core.ResourceVariable{
+			{Name: "c", Usage: core.UsageLocal, Schema: ctxSchema},
+		},
+		Activities: []core.ActivityVariable{
+			{Name: "W", Schema: &core.BasicActivitySchema{Name: "W2"}},
+		},
+	}
+	if err := sys.RegisterProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := sys.StartProcess("Watched", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := clk.Now()
+	if err := sys.SetContextField(pi.ID(), "c", "B", t0.Add(48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(pi.ID(), "c", "A", t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// After the fact: compile A <= B over the journal.
+	schema := &awareness.Schema{
+		Name:    "Late",
+		Process: p,
+		Description: &awareness.Compare2Node{
+			Op: "<=",
+			Inputs: [2]awareness.Node{
+				&awareness.ContextSource{Context: "DL", Field: "A"},
+				&awareness.ContextSource{Context: "DL", Field: "B"},
+			},
+		},
+		DeliveryRole: core.OrgRole("R"),
+	}
+	detections := 0
+	graph, err := awareness.Compile([]*awareness.Schema{schema}, true,
+		event.ConsumerFunc(func(event.Event) { detections++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replay(path, Query{}, event.ConsumerFunc(func(ev event.Event) {
+		_, _ = graph.InjectEvent(ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || detections != 1 {
+		t.Fatalf("replayed %d events, detections = %d, want 1", n, detections)
+	}
+}
+
+func TestHydrate(t *testing.T) {
+	if _, ok := hydrate("x", "1999-09-02T09:00:00Z").(time.Time); !ok {
+		t.Fatal("RFC3339 string not hydrated to time")
+	}
+	if got := hydrate("x", "plain"); got != "plain" {
+		t.Fatalf("plain string mangled: %v", got)
+	}
+	if got := hydrate("x", float64(7)); got != int64(7) {
+		t.Fatalf("integral float = %v (%T)", got, got)
+	}
+	if got := hydrate("x", 7.5); got != 7.5 {
+		t.Fatalf("fractional float mangled: %v", got)
+	}
+	refs := hydrate(event.PProcesses, []any{"P/p-1", "bogus", 3}).([]event.ProcessRef)
+	if len(refs) != 1 || refs[0] != (event.ProcessRef{SchemaID: "P", InstanceID: "p-1"}) {
+		t.Fatalf("refs = %v", refs)
+	}
+	if got := hydrate("other", []any{"a"}); len(got.([]any)) != 1 {
+		t.Fatalf("foreign list mangled: %v", got)
+	}
+	if got := hydrate("x", true); got != true {
+		t.Fatalf("bool mangled: %v", got)
+	}
+}

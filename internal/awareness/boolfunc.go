@@ -1,0 +1,63 @@
+// Package awareness implements the CMM Awareness Model (AM), the paper's
+// primary contribution (Section 5): awareness schemas AS_P = (AD_P, R_P,
+// RA_P) over a process schema P, where the awareness description AD_P is a
+// composite event specification built from process-specialized event
+// operators, R_P is an awareness delivery role (organizational or scoped),
+// and RA_P an awareness role assignment selecting the subset of the role's
+// players who actually receive the information.
+//
+// AM specializes the generic CEDMOS engine (package cedmos) with the three
+// operator properties of Section 5.1.2:
+//
+//   - canonical event type: nearly all operators consume and produce
+//     events of C_P, the canonical type of their process schema, which
+//     makes operators freely composable and maximally reusable;
+//   - process instance replication: every operator partitions its state by
+//     process instance id, so events of different instances are never
+//     mixed (switchable off only for the ablation experiment E8);
+//   - operator parameterization: operators are families parameterized at
+//     design time by the process schema and schema-specific items.
+package awareness
+
+import "fmt"
+
+// A BoolFunc1 is the design-time parameter of the single-input comparison
+// operator Compare1[P, boolFunc1]: a predicate over the generic intInfo
+// event parameter.
+type BoolFunc1 func(int64) bool
+
+// A BoolFunc2 is the design-time parameter of the double-input comparison
+// operator Compare2[P, boolFunc2]: a predicate over the latest intInfo
+// values of the two inputs.
+type BoolFunc2 func(a, b int64) bool
+
+// ValidOps lists the comparison operator names accepted by Cmp1 and Cmp2.
+var ValidOps = []string{"==", "!=", "<", "<=", ">", ">="}
+
+// Cmp1 returns the unary predicate "intInfo op operand".
+func Cmp1(op string, operand int64) (BoolFunc1, error) {
+	f, err := Cmp2(op)
+	if err != nil {
+		return nil, err
+	}
+	return func(v int64) bool { return f(v, operand) }, nil
+}
+
+// Cmp2 returns the binary predicate "a op b".
+func Cmp2(op string) (BoolFunc2, error) {
+	switch op {
+	case "==":
+		return func(a, b int64) bool { return a == b }, nil
+	case "!=":
+		return func(a, b int64) bool { return a != b }, nil
+	case "<":
+		return func(a, b int64) bool { return a < b }, nil
+	case "<=":
+		return func(a, b int64) bool { return a <= b }, nil
+	case ">":
+		return func(a, b int64) bool { return a > b }, nil
+	case ">=":
+		return func(a, b int64) bool { return a >= b }, nil
+	}
+	return nil, fmt.Errorf("awareness: unknown comparison operator %q (valid: %v)", op, ValidOps)
+}

@@ -1,0 +1,179 @@
+package awareness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mcc-cmi/cmi/internal/cedmos"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// An AssignmentFunc is an awareness role assignment RA_P (Section 5.3):
+// an arbitrary function over the set of users obtained by resolving the
+// awareness delivery role, returning the subset that actually receives
+// the information. The detected composite event is supplied so
+// assignments can depend on its parameters.
+type AssignmentFunc func(users []string, ev event.Event) []string
+
+// AssignIdentity names the identity assignment — every user in the
+// delivery role receives the information. It is the paper's (and our)
+// default.
+const AssignIdentity = "identity"
+
+// AssignFirst names the assignment that picks only the first user (in
+// sorted id order) — a simple load-shedding policy.
+const AssignFirst = "first"
+
+var (
+	assignMu    sync.RWMutex
+	assignments = map[string]AssignmentFunc{
+		AssignIdentity: func(users []string, _ event.Event) []string { return users },
+		AssignFirst: func(users []string, _ event.Event) []string {
+			if len(users) == 0 {
+				return nil
+			}
+			return users[:1]
+		},
+	}
+)
+
+// RegisterAssignment installs a named awareness role assignment function.
+// Registering an existing name replaces it.
+func RegisterAssignment(name string, fn AssignmentFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("awareness: assignment requires a name and a function")
+	}
+	assignMu.Lock()
+	defer assignMu.Unlock()
+	assignments[name] = fn
+	return nil
+}
+
+// LookupAssignment returns the named assignment function.
+func LookupAssignment(name string) (AssignmentFunc, bool) {
+	assignMu.RLock()
+	defer assignMu.RUnlock()
+	fn, ok := assignments[name]
+	return fn, ok
+}
+
+// Options configures an awareness engine.
+type Options struct {
+	// Replicate controls process instance replication of operator state
+	// (Section 5.1.2). It is on by default; turning it off is only for
+	// the E8 ablation, which demonstrates cross-instance mixing errors.
+	DisableReplication bool
+	// Buffer is retained for compatibility; the engine processes events
+	// synchronously (see Consume), so it is unused.
+	Buffer int
+}
+
+// Engine is the Awareness Engine of Figure 5: it compiles awareness
+// schemas into a detection graph, consumes the primitive events gathered
+// from the CORE and Coordination engines, and forwards detected composite
+// events — complete with delivery instructions — to the awareness
+// delivery sink.
+//
+// Event processing is synchronous: delivery-role resolution happens "at
+// composite event detection time" (Section 5), which in particular means
+// a scoped role referenced by a detection triggered by the final events
+// of its own scope is still resolvable — the context retires only after
+// the event has been fully processed (see the coordination engine's
+// deferred retirement).
+type Engine struct {
+	opts Options
+
+	mu      sync.Mutex
+	schemas []*Schema
+	graph   *cedmos.Graph
+	sink    event.Consumer
+	running bool
+}
+
+// NewEngine returns an engine that forwards detected output events to
+// sink (normally the delivery agent of package delivery).
+func NewEngine(sink event.Consumer, opts Options) *Engine {
+	return &Engine{opts: opts, sink: sink}
+}
+
+// Define adds awareness schemas. Define may only be called before Start.
+func (e *Engine) Define(schemas ...*Schema) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return fmt.Errorf("awareness: cannot define schemas while the engine runs")
+	}
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	e.schemas = append(e.schemas, schemas...)
+	return nil
+}
+
+// Schemas returns the names of the defined awareness schemas, sorted.
+func (e *Engine) Schemas() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.schemas))
+	for _, s := range e.schemas {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start compiles the defined schemas into one multi-rooted detection
+// graph (the build-time transformation of Section 6.4) and begins
+// accepting events.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.running {
+		return fmt.Errorf("awareness: engine already started")
+	}
+	if len(e.schemas) == 0 {
+		return fmt.Errorf("awareness: no awareness schemas defined")
+	}
+	graph, err := Compile(e.schemas, !e.opts.DisableReplication, e.sink)
+	if err != nil {
+		return err
+	}
+	e.graph = graph
+	e.running = true
+	return nil
+}
+
+// Stop stops accepting events. Every event consumed before Stop has been
+// fully processed (processing is synchronous). Stop is idempotent.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.running = false
+	e.mu.Unlock()
+}
+
+// Consume implements event.Consumer: the engine is registered as an
+// observer of the coordination engine (activity events) and the context
+// registry (context events). The event is pushed through the detection
+// graph synchronously; detections reach the sink before Consume returns.
+// Events arriving before Start or after Stop are dropped.
+func (e *Engine) Consume(ev event.Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.running || e.graph == nil {
+		return
+	}
+	_, _ = e.graph.InjectEvent(ev)
+}
+
+// Stats exposes the per-operator counters of the detection graph.
+func (e *Engine) Stats() []cedmos.NodeStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.graph == nil {
+		return nil
+	}
+	return e.graph.Stats()
+}

@@ -1,0 +1,92 @@
+package awareness
+
+import (
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/cedmos"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// ExternalSource is an application-specific event producer (Section
+// 5.1.1): "AM is open, i.e., it allows for application-specific events to
+// be added ... Such event sources may cover events related to information
+// outside the modeled business process. For maximum synergism, external
+// events should be related to the process via application-specific event
+// operators."
+//
+// An ExternalSource is both the primitive producer and its
+// application-specific filter operator: external events of Type are
+// related back to process instances of the awareness schema's process by
+// the Correlate function — the paper's example is a news service whose
+// events carry a query id that an activity registered for a task force.
+//
+// External events are fed to the awareness engine through its Consume
+// method (the System facade exposes InjectExternal).
+type ExternalSource struct {
+	// Name labels the source for diagnostics.
+	Name string
+	// Type is the external event type; it must not collide with the
+	// built-in primitive types.
+	Type event.Type
+	// Correlate relates one external event to the process instances it
+	// concerns (e.g. by looking a query id up in an application
+	// registry). An empty result drops the event.
+	Correlate func(ev event.Event) []string
+	// IntInfo, when non-nil, derives the generic integer information
+	// parameter of the resulting canonical events.
+	IntInfo func(ev event.Event) (int64, bool)
+	// Info, when non-nil, derives the generic string information
+	// parameter.
+	Info func(ev event.Event) (string, bool)
+}
+
+func (*ExternalSource) isNode() {}
+
+// externalFilter adapts an ExternalSource to a cedmos operator producing
+// canonical events of the enclosing process schema.
+type externalFilter struct {
+	proc *core.ProcessSchema
+	src  *ExternalSource
+}
+
+func newExternalFilter(p *core.ProcessSchema, src *ExternalSource) (cedmos.Operator, error) {
+	if src.Type == "" {
+		return nil, fmt.Errorf("awareness: external source %q requires an event type", src.Name)
+	}
+	switch src.Type {
+	case event.TypeActivity, event.TypeContext, event.TypeOutput:
+		return nil, fmt.Errorf("awareness: external source %q may not reuse built-in type %q", src.Name, src.Type)
+	}
+	if _, isCanonical := event.IsCanonical(src.Type); isCanonical {
+		return nil, fmt.Errorf("awareness: external source %q may not reuse a canonical type", src.Name)
+	}
+	if src.Correlate == nil {
+		return nil, fmt.Errorf("awareness: external source %q requires a Correlate function", src.Name)
+	}
+	return &externalFilter{proc: p, src: src}, nil
+}
+
+func (f *externalFilter) Name() string {
+	return fmt.Sprintf("Filter_external[%s,%s]", f.proc.Name, f.src.Name)
+}
+func (f *externalFilter) InputTypes() []event.Type { return []event.Type{f.src.Type} }
+func (f *externalFilter) OutputType() event.Type   { return event.Canonical(f.proc.Name) }
+func (f *externalFilter) Reset()                   {}
+
+func (f *externalFilter) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	for _, inst := range f.src.Correlate(ev) {
+		out := event.NewCanonicalEvent(ev.Stamp, f.Name(), f.proc.Name, inst, ev.Params)
+		if f.src.IntInfo != nil {
+			if v, ok := f.src.IntInfo(ev); ok {
+				out = out.With(event.PIntInfo, v)
+			}
+		}
+		if f.src.Info != nil {
+			if s, ok := f.src.Info(ev); ok {
+				out = out.With(event.PInfo, s)
+			}
+		}
+		emit(out)
+	}
+}

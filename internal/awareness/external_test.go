@@ -1,0 +1,119 @@
+package awareness
+
+import (
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+func TestExternalFilterOperator(t *testing.T) {
+	p := testProcess()
+	queries := map[string]string{"q-1": "p-7"}
+	src := &ExternalSource{
+		Name: "news",
+		Type: "app.news",
+		Correlate: func(ev event.Event) []string {
+			if inst, ok := queries[ev.String("queryId")]; ok {
+				return []string{inst}
+			}
+			return nil
+		},
+		IntInfo: func(ev event.Event) (int64, bool) { return ev.Int64("relevance") },
+		Info:    func(ev event.Event) (string, bool) { return ev.String("headline"), true },
+	}
+	op, err := newExternalFilter(p, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.InputTypes()[0] != "app.news" || op.OutputType() != event.Canonical("P") {
+		t.Fatalf("types = %v -> %v", op.InputTypes(), op.OutputType())
+	}
+	op.Reset() // stateless; must not panic
+
+	var out []event.Event
+	mk := func(q string) event.Event {
+		return event.New("app.news", testClk.Next(), "news", event.Params{
+			"queryId": q, "headline": "h1", "relevance": int64(8),
+		})
+	}
+	op.Consume(0, mk("q-unknown"), emitInto(&out))
+	if len(out) != 0 {
+		t.Fatal("uncorrelated event emitted")
+	}
+	op.Consume(0, mk("q-1"), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("correlated event not emitted")
+	}
+	o := out[0]
+	if o.InstanceID() != "p-7" || o.Type != event.Canonical("P") {
+		t.Fatalf("output = %#v", o)
+	}
+	if v, _ := o.Int64(event.PIntInfo); v != 8 {
+		t.Fatalf("intInfo = %d", v)
+	}
+	if o.String(event.PInfo) != "h1" {
+		t.Fatalf("info = %q", o.String(event.PInfo))
+	}
+
+	// A correlation hitting several instances fans out.
+	multi := &ExternalSource{
+		Name: "multi", Type: "app.multi",
+		Correlate: func(event.Event) []string { return []string{"p-1", "p-2"} },
+	}
+	mop, err := newExternalFilter(p, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = nil
+	mop.Consume(0, event.New("app.multi", testClk.Next(), "x", event.Params{}), emitInto(&out))
+	if len(out) != 2 {
+		t.Fatalf("fan-out = %d", len(out))
+	}
+}
+
+func TestExternalFilterValidation(t *testing.T) {
+	p := testProcess()
+	ok := func(ev event.Event) []string { return nil }
+	cases := []*ExternalSource{
+		{Name: "no-type", Correlate: ok},
+		{Name: "activity", Type: event.TypeActivity, Correlate: ok},
+		{Name: "context", Type: event.TypeContext, Correlate: ok},
+		{Name: "output", Type: event.TypeOutput, Correlate: ok},
+		{Name: "canonical", Type: event.Canonical("P"), Correlate: ok},
+		{Name: "no-correlate", Type: "app.x"},
+	}
+	for _, src := range cases {
+		if _, err := newExternalFilter(p, src); err == nil {
+			t.Errorf("source %q accepted", src.Name)
+		}
+	}
+}
+
+func TestExternalSourceCompilesIntoGraph(t *testing.T) {
+	p := testProcess()
+	shared := &ExternalSource{
+		Name: "s", Type: "app.s",
+		Correlate: func(event.Event) []string { return []string{"p-1"} },
+	}
+	// Two schemas on the same external type share one graph source.
+	s1 := &Schema{Name: "A", Process: p, Description: shared, DeliveryRole: core.OrgRole("R")}
+	s2 := &Schema{Name: "B", Process: p, Description: &CountNode{Input: shared}, DeliveryRole: core.OrgRole("R")}
+	detections := 0
+	g, err := Compile([]*Schema{s1, s2}, true, event.ConsumerFunc(func(event.Event) { detections++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources: E_activity, E_context, app.s = 3.
+	if g.NumSources() != 3 {
+		t.Fatalf("sources = %d", g.NumSources())
+	}
+	fed, err := g.InjectEvent(event.New("app.s", testClk.Next(), "x", event.Params{}))
+	if err != nil || fed != 1 {
+		t.Fatalf("inject = %d, %v", fed, err)
+	}
+	// Both schemas detect from the shared source.
+	if detections != 2 {
+		t.Fatalf("detections = %d", detections)
+	}
+}

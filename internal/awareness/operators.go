@@ -1,0 +1,550 @@
+package awareness
+
+import (
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/cedmos"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// perInstance partitions operator state by process instance id,
+// implementing the process instance replication property of Section
+// 5.1.2. With replicate=false (the E8 ablation) all instances share one
+// state and events of different process instances mix.
+type perInstance[T any] struct {
+	replicate bool
+	states    map[string]*T
+	fresh     func() *T
+}
+
+func newPerInstance[T any](replicate bool, fresh func() *T) *perInstance[T] {
+	return &perInstance[T]{replicate: replicate, states: make(map[string]*T), fresh: fresh}
+}
+
+func (p *perInstance[T]) get(ev event.Event) *T {
+	key := ""
+	if p.replicate {
+		key = ev.InstanceID()
+	}
+	st, ok := p.states[key]
+	if !ok {
+		st = p.fresh()
+		p.states[key] = st
+	}
+	return st
+}
+
+func (p *perInstance[T]) reset() { p.states = make(map[string]*T) }
+
+// ---------------------------------------------------------------------
+// Filtering event operators (Section 5.1.3).
+
+// filterActivity is Filter_activity[P, Av, States_old, States_new]
+// (T_activity) -> C_P: it emits a canonical event when the activity bound
+// to variable Av in process schema P transitions from one of the old
+// states to one of the new states. Empty state sets act as wildcards.
+// State sets match with substate semantics: naming a non-leaf state (e.g.
+// Closed) matches all its substates.
+type filterActivity struct {
+	proc      *core.ProcessSchema
+	av        string
+	states    *core.StateSchema
+	oldStates []core.State
+	newStates []core.State
+}
+
+// FilterActivity builds the activity filter operator. The activity
+// variable must exist in the process schema.
+func FilterActivity(p *core.ProcessSchema, av string, oldStates, newStates []core.State) (cedmos.Operator, error) {
+	avar, ok := p.Activity(av)
+	if !ok {
+		return nil, fmt.Errorf("awareness: process %q has no activity variable %q", p.Name, av)
+	}
+	states := avar.Schema.States()
+	for _, set := range [][]core.State{oldStates, newStates} {
+		for _, st := range set {
+			if !states.Has(st) {
+				return nil, fmt.Errorf("awareness: state %q not defined for activity %q", st, av)
+			}
+		}
+	}
+	return &filterActivity{proc: p, av: av, states: states, oldStates: oldStates, newStates: newStates}, nil
+}
+
+func (f *filterActivity) Name() string {
+	return fmt.Sprintf("Filter_activity[%s,%s]", f.proc.Name, f.av)
+}
+func (f *filterActivity) InputTypes() []event.Type { return []event.Type{event.TypeActivity} }
+func (f *filterActivity) OutputType() event.Type   { return event.Canonical(f.proc.Name) }
+func (f *filterActivity) Reset()                   {}
+
+func (f *filterActivity) matches(set []core.State, st core.State) bool {
+	if len(set) == 0 {
+		return true
+	}
+	for _, s := range set {
+		if f.states.IsSubstateOf(st, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *filterActivity) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	if ev.String(event.PParentProcessSchemaID) != f.proc.Name {
+		return
+	}
+	if ev.String(event.PActivityVariableID) != f.av {
+		return
+	}
+	if !f.matches(f.oldStates, core.State(ev.String(event.POldState))) {
+		return
+	}
+	if !f.matches(f.newStates, core.State(ev.String(event.PNewState))) {
+		return
+	}
+	out := event.NewCanonicalEvent(ev.Stamp, f.Name(), f.proc.Name,
+		ev.String(event.PParentProcessInstanceID), ev.Params)
+	out = out.With(event.PInfo, ev.String(event.PNewState))
+	emit(out)
+}
+
+// filterContext is Filter_context[P, Cname, Fname](T_context) -> C_P: it
+// emits a canonical event when the named field of a context with the
+// given name changes, once per associated process instance of schema P.
+// When the new field value has an integer-like representation it is
+// copied to the generic intInfo parameter; string values go to info.
+type filterContext struct {
+	proc  *core.ProcessSchema
+	cname string
+	fname string
+}
+
+// FilterContext builds the context filter operator. The context name must
+// be the schema name of a context resource variable of the process.
+func FilterContext(p *core.ProcessSchema, cname, fname string) (cedmos.Operator, error) {
+	var found *core.ResourceSchema
+	for _, rv := range p.Resources() {
+		if rv.Schema != nil && rv.Schema.Kind == core.ContextResource && rv.Schema.Name == cname {
+			found = rv.Schema
+			break
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("awareness: process %q has no context named %q", p.Name, cname)
+	}
+	if _, ok := found.Field(fname); !ok {
+		return nil, fmt.Errorf("awareness: context %q has no field %q", cname, fname)
+	}
+	return &filterContext{proc: p, cname: cname, fname: fname}, nil
+}
+
+func (f *filterContext) Name() string {
+	return fmt.Sprintf("Filter_context[%s,%s.%s]", f.proc.Name, f.cname, f.fname)
+}
+func (f *filterContext) InputTypes() []event.Type { return []event.Type{event.TypeContext} }
+func (f *filterContext) OutputType() event.Type   { return event.Canonical(f.proc.Name) }
+func (f *filterContext) Reset()                   {}
+
+func (f *filterContext) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	if ev.String(event.PContextName) != f.cname {
+		return
+	}
+	if ev.String(event.PFieldName) != f.fname {
+		return
+	}
+	newVal, _ := ev.Get(event.PNewFieldValue)
+	for _, ref := range ev.ProcessRefs() {
+		if ref.SchemaID != f.proc.Name {
+			continue
+		}
+		out := event.NewCanonicalEvent(ev.Stamp, f.Name(), f.proc.Name, ref.InstanceID, ev.Params)
+		if iv, ok := event.AsInt64(newVal); ok {
+			out = out.With(event.PIntInfo, iv)
+		}
+		if s, ok := newVal.(string); ok {
+			out = out.With(event.PInfo, s)
+		}
+		emit(out)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Generic event operators: And, Seq, Or.
+
+type andState struct {
+	seen []*event.Event
+}
+
+// andOp is And[P, copy](C_P, ..., C_P) -> C_P: it generates a composite
+// event when an event has been seen on every input slot, with no ordering
+// constraint; the parameters (except time) of the copy-th input are
+// copied to the output. After emission the state resets and a new round
+// begins. A later event on an already-seen slot replaces the stored one.
+type andOp struct {
+	proc  *core.ProcessSchema
+	n     int
+	copy  int
+	state *perInstance[andState]
+}
+
+// And builds the conjunction operator with n >= 2 inputs; copy selects the
+// input (1-based, following the paper) whose parameters are copied.
+func And(p *core.ProcessSchema, n, copy int, replicate bool) (cedmos.Operator, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("awareness: And requires at least 2 inputs, got %d", n)
+	}
+	if copy < 1 || copy > n {
+		return nil, fmt.Errorf("awareness: And copy parameter %d out of range 1..%d", copy, n)
+	}
+	return &andOp{proc: p, n: n, copy: copy,
+		state: newPerInstance(replicate, func() *andState { return &andState{seen: make([]*event.Event, n)} }),
+	}, nil
+}
+
+func (a *andOp) Name() string { return fmt.Sprintf("And[%s,%d]", a.proc.Name, a.copy) }
+func (a *andOp) InputTypes() []event.Type {
+	return canonicalSlots(a.proc.Name, a.n)
+}
+func (a *andOp) OutputType() event.Type { return event.Canonical(a.proc.Name) }
+func (a *andOp) Reset()                 { a.state.reset() }
+
+func (a *andOp) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	st := a.state.get(ev)
+	st.seen[slot] = &ev
+	for _, s := range st.seen {
+		if s == nil {
+			return
+		}
+	}
+	chosen := *st.seen[a.copy-1]
+	out := chosen
+	out.Stamp = ev.Stamp // the completing event supplies the time
+	out.Source = a.Name()
+	st.seen = make([]*event.Event, a.n)
+	emit(out)
+}
+
+type seqState struct {
+	next int
+	seen []*event.Event
+}
+
+// seqOp is Seq[P, copy](C_P, ..., C_P) -> C_P: like And, but events must
+// be seen on all input slots in slot order; out-of-order events are
+// ignored.
+type seqOp struct {
+	proc  *core.ProcessSchema
+	n     int
+	copy  int
+	state *perInstance[seqState]
+}
+
+// Seq builds the sequence operator.
+func Seq(p *core.ProcessSchema, n, copy int, replicate bool) (cedmos.Operator, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("awareness: Seq requires at least 2 inputs, got %d", n)
+	}
+	if copy < 1 || copy > n {
+		return nil, fmt.Errorf("awareness: Seq copy parameter %d out of range 1..%d", copy, n)
+	}
+	return &seqOp{proc: p, n: n, copy: copy,
+		state: newPerInstance(replicate, func() *seqState { return &seqState{seen: make([]*event.Event, n)} }),
+	}, nil
+}
+
+func (s *seqOp) Name() string             { return fmt.Sprintf("Seq[%s,%d]", s.proc.Name, s.copy) }
+func (s *seqOp) InputTypes() []event.Type { return canonicalSlots(s.proc.Name, s.n) }
+func (s *seqOp) OutputType() event.Type   { return event.Canonical(s.proc.Name) }
+func (s *seqOp) Reset()                   { s.state.reset() }
+
+func (s *seqOp) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	st := s.state.get(ev)
+	if slot != st.next {
+		return
+	}
+	st.seen[slot] = &ev
+	st.next++
+	if st.next < s.n {
+		return
+	}
+	chosen := *st.seen[s.copy-1]
+	out := chosen
+	out.Stamp = ev.Stamp
+	out.Source = s.Name()
+	st.next = 0
+	st.seen = make([]*event.Event, s.n)
+	emit(out)
+}
+
+// orOp is Or[P](C_P, ..., C_P) -> C_P: it merely echoes every input event
+// as its output.
+type orOp struct {
+	proc *core.ProcessSchema
+	n    int
+}
+
+// Or builds the disjunction operator with n >= 2 inputs.
+func Or(p *core.ProcessSchema, n int) (cedmos.Operator, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("awareness: Or requires at least 2 inputs, got %d", n)
+	}
+	return &orOp{proc: p, n: n}, nil
+}
+
+func (o *orOp) Name() string             { return fmt.Sprintf("Or[%s]", o.proc.Name) }
+func (o *orOp) InputTypes() []event.Type { return canonicalSlots(o.proc.Name, o.n) }
+func (o *orOp) OutputType() event.Type   { return event.Canonical(o.proc.Name) }
+func (o *orOp) Reset()                   {}
+
+func (o *orOp) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	out := ev
+	out.Source = o.Name()
+	emit(out)
+}
+
+// ---------------------------------------------------------------------
+// Count and comparison operators.
+
+type countState struct {
+	n int64
+}
+
+// countOp is Count[P](C_P) -> C_P: it maintains a per-process-instance
+// count of input events and emits every input with the count in intInfo.
+type countOp struct {
+	proc  *core.ProcessSchema
+	state *perInstance[countState]
+}
+
+// Count builds the count operator.
+func Count(p *core.ProcessSchema, replicate bool) cedmos.Operator {
+	return &countOp{proc: p, state: newPerInstance(replicate, func() *countState { return &countState{} })}
+}
+
+func (c *countOp) Name() string             { return fmt.Sprintf("Count[%s]", c.proc.Name) }
+func (c *countOp) InputTypes() []event.Type { return canonicalSlots(c.proc.Name, 1) }
+func (c *countOp) OutputType() event.Type   { return event.Canonical(c.proc.Name) }
+func (c *countOp) Reset()                   { c.state.reset() }
+
+func (c *countOp) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	st := c.state.get(ev)
+	st.n++
+	out := ev.With(event.PIntInfo, st.n)
+	out.Source = c.Name()
+	emit(out)
+}
+
+// compare1Op is Compare1[P, boolFunc1](C_P) -> C_P: it forwards the input
+// when its intInfo parameter satisfies the predicate; inputs without an
+// integer intInfo are ignored.
+type compare1Op struct {
+	proc *core.ProcessSchema
+	desc string
+	fn   BoolFunc1
+}
+
+// Compare1 builds the single-input comparison operator. desc labels the
+// predicate for diagnostics (e.g. ">= 3").
+func Compare1(p *core.ProcessSchema, desc string, fn BoolFunc1) (cedmos.Operator, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("awareness: Compare1 requires a predicate")
+	}
+	return &compare1Op{proc: p, desc: desc, fn: fn}, nil
+}
+
+func (c *compare1Op) Name() string             { return fmt.Sprintf("Compare1[%s,%s]", c.proc.Name, c.desc) }
+func (c *compare1Op) InputTypes() []event.Type { return canonicalSlots(c.proc.Name, 1) }
+func (c *compare1Op) OutputType() event.Type   { return event.Canonical(c.proc.Name) }
+func (c *compare1Op) Reset()                   {}
+
+func (c *compare1Op) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	v, ok := ev.Int64(event.PIntInfo)
+	if !ok {
+		return
+	}
+	if c.fn(v) {
+		out := ev
+		out.Source = c.Name()
+		emit(out)
+	}
+}
+
+type compare2State struct {
+	latest [2]*event.Event
+}
+
+// compare2Op is Compare2[P, boolFunc2](C_P, C_P) -> C_P: when events have
+// occurred on both inputs and the latest intInfo values satisfy the
+// predicate, it emits a composite whose parameters are copied from the
+// latest input irrespective of its position.
+type compare2Op struct {
+	proc  *core.ProcessSchema
+	desc  string
+	fn    BoolFunc2
+	state *perInstance[compare2State]
+}
+
+// Compare2 builds the double-input comparison operator.
+func Compare2(p *core.ProcessSchema, desc string, fn BoolFunc2, replicate bool) (cedmos.Operator, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("awareness: Compare2 requires a predicate")
+	}
+	return &compare2Op{proc: p, desc: desc, fn: fn,
+		state: newPerInstance(replicate, func() *compare2State { return &compare2State{} }),
+	}, nil
+}
+
+func (c *compare2Op) Name() string             { return fmt.Sprintf("Compare2[%s,%s]", c.proc.Name, c.desc) }
+func (c *compare2Op) InputTypes() []event.Type { return canonicalSlots(c.proc.Name, 2) }
+func (c *compare2Op) OutputType() event.Type   { return event.Canonical(c.proc.Name) }
+func (c *compare2Op) Reset()                   { c.state.reset() }
+
+func (c *compare2Op) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	st := c.state.get(ev)
+	st.latest[slot] = &ev
+	if st.latest[0] == nil || st.latest[1] == nil {
+		return
+	}
+	a, okA := st.latest[0].Int64(event.PIntInfo)
+	b, okB := st.latest[1].Int64(event.PIntInfo)
+	if !okA || !okB {
+		return
+	}
+	if c.fn(a, b) {
+		out := ev // the latest input, irrespective of position
+		out.Source = c.Name()
+		emit(out)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Process invocation operator.
+
+// translateOp is Translate[P_invoking, P_invoked, Av](T_activity,
+// C_P_invoked) -> C_P_invoking, the only operator that crosses process
+// schemas (Section 5.1.3). Slot 0 receives primitive activity events and
+// learns which instances of P_invoked were invoked through activity
+// variable Av of P_invoking (the subprocess instance shares the invoking
+// activity instance's id); slot 1 receives canonical events of the
+// invoked schema and translates the matching ones to the invoking
+// process's canonical type and instance.
+type translateOp struct {
+	invoking *core.ProcessSchema
+	invoked  *core.ProcessSchema
+	av       string
+	// childToParent maps invoked process instance ids to invoking
+	// process instance ids. Keyed by child instance, so it needs no
+	// per-instance replication wrapper: the key IS the instance.
+	childToParent map[string]string
+}
+
+// Translate builds the process invocation operator. Av must be an
+// activity variable of the invoking schema whose schema is the invoked
+// process schema.
+func Translate(invoking *core.ProcessSchema, av string) (cedmos.Operator, error) {
+	avar, ok := invoking.Activity(av)
+	if !ok {
+		return nil, fmt.Errorf("awareness: process %q has no activity variable %q", invoking.Name, av)
+	}
+	invoked, ok := avar.Schema.(*core.ProcessSchema)
+	if !ok {
+		return nil, fmt.Errorf("awareness: activity %q of %q is not a subprocess invocation", av, invoking.Name)
+	}
+	return &translateOp{
+		invoking:      invoking,
+		invoked:       invoked,
+		av:            av,
+		childToParent: make(map[string]string),
+	}, nil
+}
+
+func (t *translateOp) Name() string {
+	return fmt.Sprintf("Translate[%s,%s,%s]", t.invoking.Name, t.invoked.Name, t.av)
+}
+func (t *translateOp) InputTypes() []event.Type {
+	return []event.Type{event.TypeActivity, event.Canonical(t.invoked.Name)}
+}
+func (t *translateOp) OutputType() event.Type { return event.Canonical(t.invoking.Name) }
+func (t *translateOp) Reset()                 { t.childToParent = make(map[string]string) }
+
+func (t *translateOp) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	if slot == 0 {
+		if ev.String(event.PParentProcessSchemaID) != t.invoking.Name ||
+			ev.String(event.PActivityVariableID) != t.av ||
+			ev.String(event.PActivityProcessSchemaID) != t.invoked.Name {
+			return
+		}
+		t.childToParent[ev.String(event.PActivityInstanceID)] = ev.String(event.PParentProcessInstanceID)
+		return
+	}
+	parent, ok := t.childToParent[ev.InstanceID()]
+	if !ok {
+		return // event from an instance not invoked through Av
+	}
+	out := event.NewCanonicalEvent(ev.Stamp, t.Name(), t.invoking.Name, parent, ev.Params)
+	emit(out)
+}
+
+// ---------------------------------------------------------------------
+// Output operator.
+
+// outputOp is the special root operator of the implementation (Section
+// 6.2): it adds delivery instructions — the awareness delivery role, the
+// awareness role assignment, and a user-friendly description — to its
+// input event, producing an event of TypeOutput for the awareness
+// delivery agent.
+type outputOp struct {
+	schemaName string
+	role       core.RoleRef
+	assignment string
+	text       string
+	priority   int
+	inType     event.Type
+}
+
+// Output builds the output operator for an awareness schema rooted over
+// process schema p.
+func Output(p *core.ProcessSchema, schemaName string, role core.RoleRef, assignment, text string, priority int) (cedmos.Operator, error) {
+	if !role.Valid() {
+		return nil, fmt.Errorf("awareness: invalid delivery role %q", role)
+	}
+	if assignment == "" {
+		assignment = AssignIdentity
+	}
+	return &outputOp{
+		schemaName: schemaName,
+		role:       role,
+		assignment: assignment,
+		text:       text,
+		priority:   priority,
+		inType:     event.Canonical(p.Name),
+	}, nil
+}
+
+func (o *outputOp) Name() string             { return fmt.Sprintf("Output[%s]", o.schemaName) }
+func (o *outputOp) InputTypes() []event.Type { return []event.Type{o.inType} }
+func (o *outputOp) OutputType() event.Type   { return event.TypeOutput }
+func (o *outputOp) Reset()                   {}
+
+func (o *outputOp) Consume(slot int, ev event.Event, emit func(event.Event)) {
+	out := ev.WithAll(event.Params{
+		event.PDeliveryRole:       string(o.role),
+		event.PDeliveryAssignment: o.assignment,
+		event.PDescription:        o.text,
+		event.PSchemaName:         o.schemaName,
+		event.PPriority:           int64(o.priority),
+	})
+	out.Type = event.TypeOutput
+	out.Source = o.Name()
+	emit(out)
+}
+
+func canonicalSlots(schema string, n int) []event.Type {
+	out := make([]event.Type, n)
+	for i := range out {
+		out[i] = event.Canonical(schema)
+	}
+	return out
+}

@@ -1,0 +1,602 @@
+package awareness
+
+import (
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+var testClk = vclock.NewVirtual()
+
+func canon(inst string, intInfo int64) event.Event {
+	return event.NewCanonicalEvent(testClk.Next(), "test", "P", inst, event.Params{event.PIntInfo: intInfo})
+}
+
+func testProcess() *core.ProcessSchema {
+	p := &core.ProcessSchema{
+		Name: "P",
+		ResourceVars: []core.ResourceVariable{
+			{Name: "ctx", Usage: core.UsageLocal, Schema: &core.ResourceSchema{
+				Name: "Ctx",
+				Kind: core.ContextResource,
+				Fields: []core.FieldDef{
+					{Name: "Deadline", Type: core.FieldTime},
+					{Name: "Label", Type: core.FieldString},
+				},
+			}},
+		},
+		Activities: []core.ActivityVariable{
+			{Name: "A", Schema: &core.BasicActivitySchema{Name: "ABasic"}},
+			{Name: "B", Schema: &core.BasicActivitySchema{Name: "BBasic"}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func emitInto(dst *[]event.Event) func(event.Event) {
+	return func(e event.Event) { *dst = append(*dst, e) }
+}
+
+func TestFilterActivityMatching(t *testing.T) {
+	p := testProcess()
+	op, err := FilterActivity(p, "A", []core.State{core.Ready}, []core.State{core.Running})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(schema, av, old, new string) event.Event {
+		return event.NewActivity(testClk.Next(), "ce", event.ActivityChange{
+			ActivityInstanceID:      "a-1",
+			ParentProcessSchemaID:   schema,
+			ParentProcessInstanceID: "p-1",
+			ActivityVariableID:      av,
+			OldState:                old,
+			NewState:                new,
+		})
+	}
+	var out []event.Event
+	op.Consume(0, mk("P", "A", "Ready", "Running"), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatalf("matching event not emitted")
+	}
+	if out[0].Type != event.Canonical("P") {
+		t.Fatalf("output type = %v", out[0].Type)
+	}
+	if out[0].InstanceID() != "p-1" {
+		t.Fatalf("instance = %q", out[0].InstanceID())
+	}
+	if out[0].String(event.PInfo) != "Running" {
+		t.Fatalf("info = %q", out[0].String(event.PInfo))
+	}
+
+	for _, bad := range []event.Event{
+		mk("Q", "A", "Ready", "Running"),   // wrong schema
+		mk("P", "B", "Ready", "Running"),   // wrong variable
+		mk("P", "A", "Running", "Ready"),   // wrong old state
+		mk("P", "A", "Ready", "Suspended"), // wrong new state
+	} {
+		n := len(out)
+		op.Consume(0, bad, emitInto(&out))
+		if len(out) != n {
+			t.Fatalf("non-matching event emitted: %#v", bad)
+		}
+	}
+}
+
+func TestFilterActivityWildcardsAndSubstates(t *testing.T) {
+	p := testProcess()
+	// Closed is a non-leaf: it must match both Completed and Terminated.
+	op, err := FilterActivity(p, "A", nil, []core.State{core.Closed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	for _, newState := range []string{"Completed", "Terminated"} {
+		op.Consume(0, event.NewActivity(testClk.Next(), "ce", event.ActivityChange{
+			ActivityInstanceID:      "a-1",
+			ParentProcessSchemaID:   "P",
+			ParentProcessInstanceID: "p-1",
+			ActivityVariableID:      "A",
+			OldState:                "Running",
+			NewState:                newState,
+		}), emitInto(&out))
+	}
+	if len(out) != 2 {
+		t.Fatalf("substate matching failed: %d events", len(out))
+	}
+}
+
+func TestFilterActivityValidation(t *testing.T) {
+	p := testProcess()
+	if _, err := FilterActivity(p, "Ghost", nil, nil); err == nil {
+		t.Fatal("unknown activity variable accepted")
+	}
+	if _, err := FilterActivity(p, "A", []core.State{"Bogus"}, nil); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+}
+
+func TestFilterContextEmitsPerAssociatedInstance(t *testing.T) {
+	p := testProcess()
+	op, err := FilterContext(p, "Ctx", "Deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := testClk.Now().Add(1000)
+	ev := event.NewContext(testClk.Next(), "core", event.ContextChange{
+		ContextID:   "ctx-1",
+		ContextName: "Ctx",
+		Processes: []event.ProcessRef{
+			{SchemaID: "P", InstanceID: "p-1"},
+			{SchemaID: "P", InstanceID: "p-2"},
+			{SchemaID: "Other", InstanceID: "x-1"},
+		},
+		FieldName:     "Deadline",
+		NewFieldValue: deadline,
+	})
+	var out []event.Event
+	op.Consume(0, ev, emitInto(&out))
+	if len(out) != 2 {
+		t.Fatalf("emitted %d events, want one per associated P instance", len(out))
+	}
+	ids := map[string]bool{}
+	for _, o := range out {
+		ids[o.InstanceID()] = true
+		// The time-valued field landed in intInfo as Unix seconds.
+		if v, ok := o.Int64(event.PIntInfo); !ok || v != deadline.Unix() {
+			t.Fatalf("intInfo = %v, %v", v, ok)
+		}
+	}
+	if !ids["p-1"] || !ids["p-2"] {
+		t.Fatalf("wrong instances: %v", ids)
+	}
+}
+
+func TestFilterContextStringValue(t *testing.T) {
+	p := testProcess()
+	op, err := FilterContext(p, "Ctx", "Label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	op.Consume(0, event.NewContext(testClk.Next(), "core", event.ContextChange{
+		ContextID:     "ctx-1",
+		ContextName:   "Ctx",
+		Processes:     []event.ProcessRef{{SchemaID: "P", InstanceID: "p-1"}},
+		FieldName:     "Label",
+		NewFieldValue: "hot",
+	}), emitInto(&out))
+	if len(out) != 1 || out[0].String(event.PInfo) != "hot" {
+		t.Fatalf("string value not copied to info: %v", out)
+	}
+	if _, ok := out[0].Int64(event.PIntInfo); ok {
+		t.Fatal("string value must not set intInfo")
+	}
+}
+
+func TestFilterContextIgnoresOtherFieldsAndNames(t *testing.T) {
+	p := testProcess()
+	op, _ := FilterContext(p, "Ctx", "Deadline")
+	var out []event.Event
+	for _, c := range []event.ContextChange{
+		{ContextName: "Other", FieldName: "Deadline", Processes: []event.ProcessRef{{SchemaID: "P", InstanceID: "p-1"}}},
+		{ContextName: "Ctx", FieldName: "Label", Processes: []event.ProcessRef{{SchemaID: "P", InstanceID: "p-1"}}},
+	} {
+		op.Consume(0, event.NewContext(testClk.Next(), "core", c), emitInto(&out))
+	}
+	if len(out) != 0 {
+		t.Fatalf("non-matching context events emitted: %v", out)
+	}
+}
+
+func TestFilterContextValidation(t *testing.T) {
+	p := testProcess()
+	if _, err := FilterContext(p, "Ghost", "Deadline"); err == nil {
+		t.Fatal("unknown context accepted")
+	}
+	if _, err := FilterContext(p, "Ctx", "Ghost"); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestAndOperator(t *testing.T) {
+	p := testProcess()
+	op, err := And(p, 2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	// Same instance, both slots (order free) -> fires with copy=1 params.
+	op.Consume(1, canon("p-1", 20), emitInto(&out))
+	op.Consume(0, canon("p-1", 10), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatalf("And fired %d times", len(out))
+	}
+	if v, _ := out[0].Int64(event.PIntInfo); v != 10 {
+		t.Fatalf("copy=1 params not used: intInfo=%d", v)
+	}
+	// After firing the state resets: one more event does not fire.
+	op.Consume(0, canon("p-1", 11), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("And did not reset after firing")
+	}
+	op.Consume(1, canon("p-1", 21), emitInto(&out))
+	if len(out) != 2 {
+		t.Fatal("And did not fire on second round")
+	}
+}
+
+func TestAndReplicationSeparatesInstances(t *testing.T) {
+	p := testProcess()
+	op, _ := And(p, 2, 2, true)
+	var out []event.Event
+	op.Consume(0, canon("p-1", 1), emitInto(&out))
+	op.Consume(1, canon("p-2", 2), emitInto(&out))
+	if len(out) != 0 {
+		t.Fatal("And mixed events across process instances")
+	}
+	op.Consume(1, canon("p-1", 3), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("And did not fire within one instance")
+	}
+	if v, _ := out[0].Int64(event.PIntInfo); v != 3 {
+		t.Fatalf("copy=2 params not used: %d", v)
+	}
+}
+
+// TestAndWithoutReplicationMixes is the E8 ablation's correctness core:
+// with replication disabled, events of different instances are mixed and
+// a spurious composite fires.
+func TestAndWithoutReplicationMixes(t *testing.T) {
+	p := testProcess()
+	op, _ := And(p, 2, 1, false)
+	var out []event.Event
+	op.Consume(0, canon("p-1", 1), emitInto(&out))
+	op.Consume(1, canon("p-2", 2), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("ablated And should have mixed instances and fired")
+	}
+}
+
+func TestAndValidation(t *testing.T) {
+	p := testProcess()
+	if _, err := And(p, 1, 1, true); err == nil {
+		t.Fatal("unary And accepted")
+	}
+	if _, err := And(p, 2, 0, true); err == nil {
+		t.Fatal("copy=0 accepted")
+	}
+	if _, err := And(p, 2, 3, true); err == nil {
+		t.Fatal("copy out of range accepted")
+	}
+}
+
+func TestSeqRequiresSlotOrder(t *testing.T) {
+	p := testProcess()
+	op, err := Seq(p, 3, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	// Out of order: slot 1 before slot 0 is ignored.
+	op.Consume(1, canon("p-1", 2), emitInto(&out))
+	op.Consume(0, canon("p-1", 1), emitInto(&out))
+	op.Consume(2, canon("p-1", 3), emitInto(&out)) // still ignored: slot1 missing
+	if len(out) != 0 {
+		t.Fatal("Seq fired out of order")
+	}
+	op.Consume(1, canon("p-1", 22), emitInto(&out))
+	op.Consume(2, canon("p-1", 33), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatalf("Seq fired %d times", len(out))
+	}
+	if v, _ := out[0].Int64(event.PIntInfo); v != 33 {
+		t.Fatalf("copy=3 params wrong: %d", v)
+	}
+	// Resets after firing.
+	op.Consume(0, canon("p-1", 1), emitInto(&out))
+	op.Consume(1, canon("p-1", 2), emitInto(&out))
+	op.Consume(2, canon("p-1", 3), emitInto(&out))
+	if len(out) != 2 {
+		t.Fatal("Seq did not reset")
+	}
+}
+
+func TestSeqValidation(t *testing.T) {
+	p := testProcess()
+	if _, err := Seq(p, 1, 1, true); err == nil {
+		t.Fatal("unary Seq accepted")
+	}
+	if _, err := Seq(p, 2, 5, true); err == nil {
+		t.Fatal("copy out of range accepted")
+	}
+}
+
+func TestOrEchoes(t *testing.T) {
+	p := testProcess()
+	op, err := Or(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	op.Consume(0, canon("p-1", 1), emitInto(&out))
+	op.Consume(1, canon("p-2", 2), emitInto(&out))
+	if len(out) != 2 {
+		t.Fatalf("Or emitted %d", len(out))
+	}
+	if _, err := Or(p, 1); err == nil {
+		t.Fatal("unary Or accepted")
+	}
+}
+
+func TestCountPerInstance(t *testing.T) {
+	p := testProcess()
+	op := Count(p, true)
+	var out []event.Event
+	op.Consume(0, canon("p-1", 0), emitInto(&out))
+	op.Consume(0, canon("p-1", 0), emitInto(&out))
+	op.Consume(0, canon("p-2", 0), emitInto(&out))
+	if len(out) != 3 {
+		t.Fatalf("Count emitted %d", len(out))
+	}
+	if v, _ := out[1].Int64(event.PIntInfo); v != 2 {
+		t.Fatalf("second count = %d", v)
+	}
+	if v, _ := out[2].Int64(event.PIntInfo); v != 1 {
+		t.Fatalf("other instance count = %d, want independent counter", v)
+	}
+	op.Reset()
+	op.Consume(0, canon("p-1", 0), emitInto(&out))
+	if v, _ := out[3].Int64(event.PIntInfo); v != 1 {
+		t.Fatalf("count after reset = %d", v)
+	}
+}
+
+func TestCompare1(t *testing.T) {
+	p := testProcess()
+	fn, err := Cmp1(">=", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Compare1(p, ">= 3", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	op.Consume(0, canon("p-1", 2), emitInto(&out))
+	if len(out) != 0 {
+		t.Fatal("Compare1 fired below threshold")
+	}
+	op.Consume(0, canon("p-1", 3), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Compare1 did not fire at threshold")
+	}
+	// Events without intInfo are ignored.
+	noInfo := event.NewCanonicalEvent(testClk.Next(), "t", "P", "p-1", event.Params{})
+	op.Consume(0, noInfo, emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Compare1 fired without intInfo")
+	}
+	if _, err := Compare1(p, "x", nil); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+}
+
+func TestCompare2LatestSemantics(t *testing.T) {
+	p := testProcess()
+	fn, _ := Cmp2("<=")
+	op, err := Compare2(p, "<=", fn, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	// Only one input seen: no output.
+	op.Consume(0, canon("p-1", 5), emitInto(&out))
+	if len(out) != 0 {
+		t.Fatal("Compare2 fired with one input")
+	}
+	// 5 <= 10: fires, params from the latest input (slot 1).
+	op.Consume(1, canon("p-1", 10), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Compare2 did not fire")
+	}
+	if v, _ := out[0].Int64(event.PIntInfo); v != 10 {
+		t.Fatalf("latest-input params wrong: %d", v)
+	}
+	// Update slot 0 to 20: 20 <= 10 false, no fire.
+	op.Consume(0, canon("p-1", 20), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Compare2 fired when predicate false")
+	}
+	// Update slot 1 to 30: 20 <= 30 fires again (latest = slot 1 event).
+	op.Consume(1, canon("p-1", 30), emitInto(&out))
+	if len(out) != 2 {
+		t.Fatal("Compare2 did not refire on new input")
+	}
+	if _, err := Compare2(p, "x", nil, true); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+}
+
+func TestCompare2Replication(t *testing.T) {
+	p := testProcess()
+	fn, _ := Cmp2("==")
+	op, _ := Compare2(p, "==", fn, true)
+	var out []event.Event
+	op.Consume(0, canon("p-1", 7), emitInto(&out))
+	op.Consume(1, canon("p-2", 7), emitInto(&out))
+	if len(out) != 0 {
+		t.Fatal("Compare2 mixed process instances")
+	}
+}
+
+func TestTranslateOperator(t *testing.T) {
+	child := &core.ProcessSchema{
+		Name: "Child",
+		Activities: []core.ActivityVariable{
+			{Name: "W", Schema: &core.BasicActivitySchema{Name: "W"}},
+		},
+	}
+	parent := &core.ProcessSchema{
+		Name: "Parent",
+		Activities: []core.ActivityVariable{
+			{Name: "Invoke", Schema: child},
+			{Name: "Other", Schema: &core.BasicActivitySchema{Name: "O"}},
+		},
+	}
+	if err := parent.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	op, err := Translate(parent, "Invoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.InputTypes(); got[0] != event.TypeActivity || got[1] != event.Canonical("Child") {
+		t.Fatalf("input types = %v", got)
+	}
+	if op.OutputType() != event.Canonical("Parent") {
+		t.Fatalf("output type = %v", op.OutputType())
+	}
+
+	var out []event.Event
+	// Child canonical event before any invocation mapping: ignored.
+	op.Consume(1, event.NewCanonicalEvent(testClk.Next(), "t", "Child", "a-9", event.Params{event.PIntInfo: int64(1)}), emitInto(&out))
+	if len(out) != 0 {
+		t.Fatal("Translate fired without a mapping")
+	}
+	// The invocation activity event establishes the mapping.
+	op.Consume(0, event.NewActivity(testClk.Next(), "ce", event.ActivityChange{
+		ActivityInstanceID:      "a-9",
+		ParentProcessSchemaID:   "Parent",
+		ParentProcessInstanceID: "p-7",
+		ActivityVariableID:      "Invoke",
+		ActivityProcessSchemaID: "Child",
+		OldState:                "Ready",
+		NewState:                "Running",
+	}), emitInto(&out))
+	// Now child events with instance a-9 are translated to p-7.
+	op.Consume(1, event.NewCanonicalEvent(testClk.Next(), "t", "Child", "a-9", event.Params{event.PIntInfo: int64(2)}), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Translate did not fire")
+	}
+	if out[0].Type != event.Canonical("Parent") || out[0].InstanceID() != "p-7" {
+		t.Fatalf("translated event = %#v", out[0])
+	}
+	if out[0].String(event.PProcessSchemaID) != "Parent" {
+		t.Fatalf("schema id = %q", out[0].String(event.PProcessSchemaID))
+	}
+	// Events of unrelated child instances stay ignored.
+	op.Consume(1, event.NewCanonicalEvent(testClk.Next(), "t", "Child", "a-10", event.Params{}), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Translate fired for unmapped instance")
+	}
+	// Activity events for other variables are not mappings.
+	op.Consume(0, event.NewActivity(testClk.Next(), "ce", event.ActivityChange{
+		ActivityInstanceID:      "a-11",
+		ParentProcessSchemaID:   "Parent",
+		ParentProcessInstanceID: "p-7",
+		ActivityVariableID:      "Other",
+		OldState:                "Ready",
+		NewState:                "Running",
+	}), emitInto(&out))
+	op.Consume(1, event.NewCanonicalEvent(testClk.Next(), "t", "Child", "a-11", event.Params{}), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Translate mapped a non-invocation activity")
+	}
+	op.Reset()
+	op.Consume(1, event.NewCanonicalEvent(testClk.Next(), "t", "Child", "a-9", event.Params{}), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Translate kept mappings across Reset")
+	}
+}
+
+func TestTranslateValidation(t *testing.T) {
+	p := testProcess()
+	if _, err := Translate(p, "Ghost"); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+	if _, err := Translate(p, "A"); err == nil {
+		t.Fatal("non-subprocess variable accepted")
+	}
+}
+
+func TestOutputAddsDeliveryInstructions(t *testing.T) {
+	p := testProcess()
+	op, err := Output(p, "DeadlineViolation", core.ScopedRole("Ctx", "Requestor"), "", "deadline moved", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []event.Event
+	op.Consume(0, canon("p-1", 9), emitInto(&out))
+	if len(out) != 1 {
+		t.Fatal("Output did not emit")
+	}
+	o := out[0]
+	if o.Type != event.TypeOutput {
+		t.Fatalf("type = %v", o.Type)
+	}
+	if o.String(event.PDeliveryRole) != string(core.ScopedRole("Ctx", "Requestor")) {
+		t.Fatalf("role = %q", o.String(event.PDeliveryRole))
+	}
+	if o.String(event.PDeliveryAssignment) != AssignIdentity {
+		t.Fatalf("assignment defaulted to %q", o.String(event.PDeliveryAssignment))
+	}
+	if o.String(event.PDescription) != "deadline moved" {
+		t.Fatalf("description = %q", o.String(event.PDescription))
+	}
+	if o.String(event.PSchemaName) != "DeadlineViolation" {
+		t.Fatalf("schema name = %q", o.String(event.PSchemaName))
+	}
+	if v, _ := o.Int64(event.PPriority); v != 2 {
+		t.Fatalf("priority = %d", v)
+	}
+	if _, err := Output(p, "x", core.RoleRef("bogus"), "", "", 0); err == nil {
+		t.Fatal("invalid role accepted")
+	}
+}
+
+func TestCmpFuncs(t *testing.T) {
+	for _, op := range ValidOps {
+		if _, err := Cmp2(op); err != nil {
+			t.Errorf("Cmp2(%q): %v", op, err)
+		}
+		if _, err := Cmp1(op, 0); err != nil {
+			t.Errorf("Cmp1(%q): %v", op, err)
+		}
+	}
+	if _, err := Cmp2("~="); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+	le, _ := Cmp2("<=")
+	if !le(1, 2) || le(3, 2) {
+		t.Fatal("<= wrong")
+	}
+	ne, _ := Cmp2("!=")
+	if !ne(1, 2) || ne(2, 2) {
+		t.Fatal("!= wrong")
+	}
+	gt, _ := Cmp2(">")
+	if !gt(3, 2) || gt(2, 2) {
+		t.Fatal("> wrong")
+	}
+	ge, _ := Cmp2(">=")
+	if !ge(2, 2) || ge(1, 2) {
+		t.Fatal(">= wrong")
+	}
+	lt, _ := Cmp2("<")
+	if !lt(1, 2) || lt(2, 2) {
+		t.Fatal("< wrong")
+	}
+	eq, _ := Cmp2("==")
+	if !eq(2, 2) || eq(1, 2) {
+		t.Fatal("== wrong")
+	}
+	c1, _ := Cmp1("<", 5)
+	if !c1(4) || c1(5) {
+		t.Fatal("Cmp1 closure wrong")
+	}
+}

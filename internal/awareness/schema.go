@@ -1,0 +1,331 @@
+package awareness
+
+import (
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/cedmos"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// A Node is one vertex of an awareness description: either a primitive
+// event producer (ActivitySource, ContextSource) or an event operator
+// application. Awareness descriptions form rooted DAGs; sharing a *Node
+// between descriptions shares the compiled operator instance, exactly as
+// interior nodes are shared between schemas in the specification tool
+// (Section 6.2).
+type Node interface{ isNode() }
+
+// ActivitySource is the Filter_activity leaf: activity state change
+// events of activity variable Av, restricted to transitions from Old to
+// New states (empty sets are wildcards).
+type ActivitySource struct {
+	Av  string
+	Old []core.State
+	New []core.State
+}
+
+func (*ActivitySource) isNode() {}
+
+// ContextSource is the Filter_context leaf: change events of field Field
+// of contexts named Context associated with the process.
+type ContextSource struct {
+	Context string
+	Field   string
+}
+
+func (*ContextSource) isNode() {}
+
+// AndNode applies And[P, Copy] to its inputs.
+type AndNode struct {
+	Copy   int // 1-based input whose parameters are copied
+	Inputs []Node
+}
+
+func (*AndNode) isNode() {}
+
+// SeqNode applies Seq[P, Copy] to its inputs.
+type SeqNode struct {
+	Copy   int
+	Inputs []Node
+}
+
+func (*SeqNode) isNode() {}
+
+// OrNode applies Or[P] to its inputs.
+type OrNode struct {
+	Inputs []Node
+}
+
+func (*OrNode) isNode() {}
+
+// CountNode applies Count[P] to its input.
+type CountNode struct {
+	Input Node
+}
+
+func (*CountNode) isNode() {}
+
+// Compare1Node applies Compare1[P, "intInfo Op Operand"] to its input.
+type Compare1Node struct {
+	Op      string
+	Operand int64
+	Input   Node
+}
+
+func (*Compare1Node) isNode() {}
+
+// Compare2Node applies Compare2[P, "a Op b"] to its two inputs.
+type Compare2Node struct {
+	Op     string
+	Inputs [2]Node
+}
+
+func (*Compare2Node) isNode() {}
+
+// TranslateNode applies Translate[P, invoked(Av), Av]: Input is compiled
+// in the scope of the subprocess schema invoked through activity variable
+// Av, and its events are translated to the invoking process.
+type TranslateNode struct {
+	Av    string
+	Input Node
+}
+
+func (*TranslateNode) isNode() {}
+
+// A Schema is one awareness schema AS_P = (AD_P, R_P, RA_P) over process
+// schema Process (Section 5). Description is AD_P; DeliveryRole is R_P;
+// Assignment names the RA_P function (see RegisterAssignment); Text is
+// the user-friendly description attached by the output operator.
+type Schema struct {
+	Name         string
+	Process      *core.ProcessSchema
+	Description  Node
+	DeliveryRole core.RoleRef
+	Assignment   string
+	Text         string
+	// Priority orders delivered notifications in the viewer; higher is
+	// more urgent. Zero is the default priority. (The paper lists
+	// notification priority among the delivery issues "under further
+	// consideration", Section 6.5.)
+	Priority int
+}
+
+// Validate checks the schema's surface fields; the description itself is
+// validated during compilation.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("awareness: schema requires a name")
+	}
+	if s.Process == nil {
+		return fmt.Errorf("awareness: schema %q requires a process schema", s.Name)
+	}
+	if s.Description == nil {
+		return fmt.Errorf("awareness: schema %q requires a description", s.Name)
+	}
+	if !s.DeliveryRole.Valid() {
+		return fmt.Errorf("awareness: schema %q has invalid delivery role %q", s.Name, s.DeliveryRole)
+	}
+	// The assignment name is resolved at delivery time (it may be
+	// registered globally or locally on the delivery agent, e.g. the
+	// system-bound "online" assignment); an unknown name surfaces there
+	// as an undeliverable detection.
+	return nil
+}
+
+// compiler builds one cedmos.Graph from a set of awareness schemas,
+// sharing the two primitive sources and any shared *Node operator
+// instances.
+type compiler struct {
+	graph     *cedmos.Graph
+	replicate bool
+	actSrc    cedmos.SourceID
+	ctxSrc    cedmos.SourceID
+	// memo keys include the scope: the same *Node compiled for two
+	// different process schemas is two operator instances.
+	memo map[memoKey]cedmos.NodeID
+	// extSrcs deduplicates graph sources for external event types.
+	extSrcs map[event.Type]cedmos.SourceID
+}
+
+type memoKey struct {
+	proc *core.ProcessSchema
+	node Node
+}
+
+// Compile builds the multi-rooted detection graph for the given schemas:
+// each schema's description DAG feeds an Output operator whose output is
+// tapped to sink. The returned graph is finalized.
+func Compile(schemas []*Schema, replicate bool, sink event.Consumer) (*cedmos.Graph, error) {
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("awareness: no schemas to compile")
+	}
+	c := &compiler{
+		graph:     cedmos.NewGraph("awareness"),
+		replicate: replicate,
+		memo:      make(map[memoKey]cedmos.NodeID),
+		extSrcs:   make(map[event.Type]cedmos.SourceID),
+	}
+	c.actSrc = c.graph.AddSource("E_activity", event.TypeActivity)
+	c.ctxSrc = c.graph.AddSource("E_context", event.TypeContext)
+	for _, s := range schemas {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		root, err := c.compile(s.Process, s.Description)
+		if err != nil {
+			return nil, fmt.Errorf("awareness: schema %q: %w", s.Name, err)
+		}
+		outOp, err := Output(s.Process, s.Name, s.DeliveryRole, s.Assignment, s.Text, s.Priority)
+		if err != nil {
+			return nil, fmt.Errorf("awareness: schema %q: %w", s.Name, err)
+		}
+		outNode := c.graph.AddNode(outOp)
+		if err := c.graph.Connect(root, outNode, 0); err != nil {
+			return nil, fmt.Errorf("awareness: schema %q: %w", s.Name, err)
+		}
+		if err := c.graph.Tap(outNode, sink); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.graph.Finalize(); err != nil {
+		return nil, err
+	}
+	return c.graph, nil
+}
+
+// compile returns the graph node producing the canonical stream of node n
+// in the scope of process schema p, memoizing shared nodes.
+func (c *compiler) compile(p *core.ProcessSchema, n Node) (cedmos.NodeID, error) {
+	key := memoKey{proc: p, node: n}
+	if id, ok := c.memo[key]; ok {
+		return id, nil
+	}
+	id, err := c.compileNew(p, n)
+	if err != nil {
+		return 0, err
+	}
+	c.memo[key] = id
+	return id, nil
+}
+
+func (c *compiler) compileNew(p *core.ProcessSchema, n Node) (cedmos.NodeID, error) {
+	switch x := n.(type) {
+	case *ActivitySource:
+		op, err := FilterActivity(p, x.Av, x.Old, x.New)
+		if err != nil {
+			return 0, err
+		}
+		id := c.graph.AddNode(op)
+		return id, c.graph.ConnectSource(c.actSrc, id, 0)
+
+	case *ContextSource:
+		op, err := FilterContext(p, x.Context, x.Field)
+		if err != nil {
+			return 0, err
+		}
+		id := c.graph.AddNode(op)
+		return id, c.graph.ConnectSource(c.ctxSrc, id, 0)
+
+	case *ExternalSource:
+		op, err := newExternalFilter(p, x)
+		if err != nil {
+			return 0, err
+		}
+		srcID, ok := c.extSrcs[x.Type]
+		if !ok {
+			srcID = c.graph.AddSource("E_external:"+string(x.Type), x.Type)
+			c.extSrcs[x.Type] = srcID
+		}
+		id := c.graph.AddNode(op)
+		return id, c.graph.ConnectSource(srcID, id, 0)
+
+	case *AndNode:
+		op, err := And(p, len(x.Inputs), x.Copy, c.replicate)
+		if err != nil {
+			return 0, err
+		}
+		return c.wire(p, op, x.Inputs)
+
+	case *SeqNode:
+		op, err := Seq(p, len(x.Inputs), x.Copy, c.replicate)
+		if err != nil {
+			return 0, err
+		}
+		return c.wire(p, op, x.Inputs)
+
+	case *OrNode:
+		op, err := Or(p, len(x.Inputs))
+		if err != nil {
+			return 0, err
+		}
+		return c.wire(p, op, x.Inputs)
+
+	case *CountNode:
+		return c.wire(p, Count(p, c.replicate), []Node{x.Input})
+
+	case *Compare1Node:
+		fn, err := Cmp1(x.Op, x.Operand)
+		if err != nil {
+			return 0, err
+		}
+		op, err := Compare1(p, fmt.Sprintf("%s %d", x.Op, x.Operand), fn)
+		if err != nil {
+			return 0, err
+		}
+		return c.wire(p, op, []Node{x.Input})
+
+	case *Compare2Node:
+		fn, err := Cmp2(x.Op)
+		if err != nil {
+			return 0, err
+		}
+		op, err := Compare2(p, x.Op, fn, c.replicate)
+		if err != nil {
+			return 0, err
+		}
+		return c.wire(p, op, []Node{x.Inputs[0], x.Inputs[1]})
+
+	case *TranslateNode:
+		op, err := Translate(p, x.Av)
+		if err != nil {
+			return 0, err
+		}
+		av, _ := p.Activity(x.Av)
+		invoked := av.Schema.(*core.ProcessSchema)
+		// Slot 0: the primitive activity stream (for the invocation
+		// mapping). Slot 1: the subtree compiled in the invoked scope.
+		id := c.graph.AddNode(op)
+		if err := c.graph.ConnectSource(c.actSrc, id, 0); err != nil {
+			return 0, err
+		}
+		inner, err := c.compile(invoked, x.Input)
+		if err != nil {
+			return 0, err
+		}
+		return id, c.graph.Connect(inner, id, 1)
+
+	case nil:
+		return 0, fmt.Errorf("awareness: nil description node")
+
+	default:
+		return 0, fmt.Errorf("awareness: unknown description node %T", n)
+	}
+}
+
+func (c *compiler) wire(p *core.ProcessSchema, op cedmos.Operator, inputs []Node) (cedmos.NodeID, error) {
+	id := c.graph.AddNode(op)
+	for slot, in := range inputs {
+		if in == nil {
+			return 0, fmt.Errorf("awareness: operator %q input %d is nil", op.Name(), slot)
+		}
+		inner, err := c.compile(p, in)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.graph.Connect(inner, id, slot); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}

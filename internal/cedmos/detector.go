@@ -1,0 +1,114 @@
+package cedmos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// A Detector is a detector agent (paper Section 6.4): a finalized Graph
+// running on its own goroutine, consuming primitive events from a channel
+// and performing the event processing. Detected composite events flow out
+// through the taps registered on the graph before Start.
+//
+// Submit is safe for concurrent use. Stop drains the input queue before
+// returning, so every event accepted by Submit is fully processed.
+type Detector struct {
+	graph *Graph
+
+	// mu guards the lifecycle flags; Submit holds it shared while
+	// sending so Stop cannot close the channel under an in-flight send.
+	mu      sync.RWMutex
+	in      chan event.Event
+	done    chan struct{}
+	started bool
+	stopped bool
+
+	dropped atomic.Uint64
+}
+
+// NewDetector wraps a finalized graph in a detector agent with the given
+// input buffer capacity.
+func NewDetector(g *Graph, buffer int) (*Detector, error) {
+	if !g.finalized {
+		return nil, fmt.Errorf("cedmos: detector requires a finalized graph")
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	return &Detector{
+		graph: g,
+		in:    make(chan event.Event, buffer),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// Start launches the agent goroutine. Starting twice is an error.
+func (d *Detector) Start() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.started {
+		return fmt.Errorf("cedmos: detector already started")
+	}
+	d.started = true
+	go d.run()
+	return nil
+}
+
+func (d *Detector) run() {
+	defer close(d.done)
+	for ev := range d.in {
+		// Route by type: a detector agent embodies one or more awareness
+		// schemas whose sources are typed; events that match no source
+		// are counted as dropped.
+		fed, err := d.graph.InjectEvent(ev)
+		if err == nil && fed == 0 {
+			d.dropped.Add(1)
+		}
+	}
+}
+
+// Submit queues a primitive event for processing. Submit blocks when the
+// buffer is full (backpressure rather than loss). Submitting after Stop
+// or before Start returns an error.
+func (d *Detector) Submit(ev event.Event) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if !d.started || d.stopped {
+		return fmt.Errorf("cedmos: detector not running")
+	}
+	d.in <- ev
+	return nil
+}
+
+// Consume implements event.Consumer by submitting the event, so a
+// Detector can be registered directly as an observer of the enactment
+// engines. Errors after Stop are ignored: late events from a shutting-
+// down producer are dropped.
+func (d *Detector) Consume(ev event.Event) { _ = d.Submit(ev) }
+
+// Stop closes the input and waits for the agent to drain. Stop is
+// idempotent; it is a no-op on a never-started detector.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if !d.started {
+		d.mu.Unlock()
+		return
+	}
+	already := d.stopped
+	if !already {
+		d.stopped = true
+		close(d.in)
+	}
+	d.mu.Unlock()
+	<-d.done
+}
+
+// Dropped reports how many submitted events matched no source in the
+// graph.
+func (d *Detector) Dropped() uint64 { return d.dropped.Load() }
+
+// Graph returns the wrapped graph. Read its stats only after Stop.
+func (d *Detector) Graph() *Graph { return d.graph }

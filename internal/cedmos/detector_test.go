@@ -1,0 +1,170 @@
+package cedmos
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+func detectorFixture(t *testing.T) (*Detector, *[]event.Event, *sync.Mutex) {
+	t.Helper()
+	g := NewGraph("d")
+	src := g.AddSource("a", tA)
+	n := g.AddNode(&echoOp{name: "e", in: tA, out: tA})
+	if err := g.ConnectSource(src, n, 0); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	out := &[]event.Event{}
+	if err := g.Tap(n, event.ConsumerFunc(func(e event.Event) {
+		mu.Lock()
+		*out = append(*out, e)
+		mu.Unlock()
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDetector(g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, out, &mu
+}
+
+func TestDetectorProcessesAllSubmitted(t *testing.T) {
+	d, out, mu := detectorFixture(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := d.Submit(mkEvent(tA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*out) != n {
+		t.Fatalf("processed %d, want %d", len(*out), n)
+	}
+}
+
+func TestDetectorLifecycleErrors(t *testing.T) {
+	d, _, _ := detectorFixture(t)
+	if err := d.Submit(mkEvent(tA)); err == nil {
+		t.Fatal("submit before start accepted")
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err == nil {
+		t.Fatal("double start accepted")
+	}
+	d.Stop()
+	d.Stop() // idempotent
+	if err := d.Submit(mkEvent(tA)); err == nil {
+		t.Fatal("submit after stop accepted")
+	}
+}
+
+func TestDetectorStopWithoutStart(t *testing.T) {
+	d, _, _ := detectorFixture(t)
+	d.Stop() // must not hang or panic
+}
+
+func TestDetectorRequiresFinalizedGraph(t *testing.T) {
+	g := NewGraph("unfinalized")
+	if _, err := NewDetector(g, 1); err == nil {
+		t.Fatal("unfinalized graph accepted")
+	}
+}
+
+func TestDetectorCountsDropped(t *testing.T) {
+	d, _, _ := detectorFixture(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(mkEvent(tB)); err != nil { // no tB source
+		t.Fatal(err)
+	}
+	if err := d.Submit(mkEvent(tA)); err != nil {
+		t.Fatal(err)
+	}
+	d.Stop()
+	if d.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", d.Dropped())
+	}
+}
+
+func TestDetectorConcurrentSubmit(t *testing.T) {
+	d, out, mu := detectorFixture(t)
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const each = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = d.Submit(mkEvent(tA))
+			}
+		}()
+	}
+	wg.Wait()
+	d.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*out) != workers*each {
+		t.Fatalf("processed %d, want %d", len(*out), workers*each)
+	}
+}
+
+func TestDetectorConcurrentSubmitAndStop(t *testing.T) {
+	// Exercises the Submit/Stop race: no panic from sending on a closed
+	// channel, and Stop drains.
+	for round := 0; round < 20; round++ {
+		d, _, _ := detectorFixture(t)
+		if err := d.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if err := d.Submit(mkEvent(tA)); err != nil {
+						return // stopped; fine
+					}
+				}
+			}()
+		}
+		d.Stop()
+		wg.Wait()
+	}
+}
+
+func TestDetectorConsumeInterface(t *testing.T) {
+	d, out, mu := detectorFixture(t)
+	var c event.Consumer = d // compile-time interface check
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c.Consume(mkEvent(tA))
+	d.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*out) != 1 {
+		t.Fatalf("Consume did not process event")
+	}
+	if d.Graph().Name() != "d" {
+		t.Fatalf("Graph() wrong")
+	}
+}

@@ -1,0 +1,93 @@
+package cedmos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// TestPipelinePreservesCountsProperty: for random linear pipelines of
+// echo operators, every injected event reaches the tap exactly once and
+// every node's consumed count equals its emitted count equals the
+// injection count.
+func TestPipelinePreservesCountsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 30; round++ {
+		depth := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(100)
+		g := NewGraph(fmt.Sprintf("pipe-%d", round))
+		src := g.AddSource("s", tA)
+		prev := g.AddNode(&echoOp{name: "n0", in: tA, out: tA})
+		if err := g.ConnectSource(src, prev, 0); err != nil {
+			t.Fatal(err)
+		}
+		for d := 1; d < depth; d++ {
+			next := g.AddNode(&echoOp{name: fmt.Sprintf("n%d", d), in: tA, out: tA})
+			if err := g.Connect(prev, next, 0); err != nil {
+				t.Fatal(err)
+			}
+			prev = next
+		}
+		var reached int
+		if err := g.Tap(prev, counterTap(&reached)); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := g.Inject(src, mkEvent(tA)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if reached != n {
+			t.Fatalf("round %d: %d events reached the root, want %d", round, reached, n)
+		}
+		for _, st := range g.Stats() {
+			if st.Consumed != uint64(n) || st.Emitted != uint64(n) {
+				t.Fatalf("round %d: node %s stats %+v, want %d/%d", round, st.Name, st, n, n)
+			}
+		}
+	}
+}
+
+// TestFanOutFanInCountsProperty: a source fanning out to w parallel echo
+// branches all feeding a w-ary Or-like collector (via taps) delivers
+// exactly w copies per injection.
+func TestFanOutFanInCountsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 20; round++ {
+		width := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(50)
+		g := NewGraph(fmt.Sprintf("fan-%d", round))
+		src := g.AddSource("s", tA)
+		var reached int
+		for w := 0; w < width; w++ {
+			node := g.AddNode(&echoOp{name: fmt.Sprintf("b%d", w), in: tA, out: tA})
+			if err := g.ConnectSource(src, node, 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Tap(node, counterTap(&reached)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := g.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := g.Inject(src, mkEvent(tA)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if reached != n*width {
+			t.Fatalf("round %d: reached %d, want %d", round, reached, n*width)
+		}
+	}
+}
+
+// counterTap counts consumed events.
+func counterTap(n *int) event.Consumer {
+	return event.ConsumerFunc(func(event.Event) { *n++ })
+}

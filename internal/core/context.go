@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// A Context is a runtime context resource: a collection of named, typed
+// fields (Section 4). Contexts are accessed only through the Registry,
+// which is what associates a scope with them: a context is visible exactly
+// to the process instances it has been associated with, and scoped roles
+// stored in role fields live and die with the context.
+type Context struct {
+	id      string
+	name    string // context (schema) name, e.g. "TaskForceContext"
+	schema  *ResourceSchema
+	fields  map[string]any
+	procs   []event.ProcessRef
+	retired bool
+}
+
+// ID returns the context instance id.
+func (c *Context) ID() string { return c.id }
+
+// Name returns the context's schema-level name.
+func (c *Context) Name() string { return c.name }
+
+// The Registry owns all runtime contexts of one CMI system. Every field
+// modification produces a primitive context field change event that is
+// pushed to the registered observers — this is the event source agent for
+// E_context (Section 6.3). Registry is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	clock     vclock.Clock
+	contexts  map[string]*Context
+	byName    map[string]map[string]*Context // name -> id -> context
+	observers []event.Consumer
+	nextID    int
+}
+
+// NewRegistry returns an empty context registry reading time from clock.
+func NewRegistry(clock vclock.Clock) *Registry {
+	return &Registry{
+		clock:    clock,
+		contexts: make(map[string]*Context),
+		byName:   make(map[string]map[string]*Context),
+	}
+}
+
+// Observe registers a consumer for context field change events. Observers
+// are invoked synchronously, in registration order, while the field lock
+// is NOT held.
+func (r *Registry) Observe(c event.Consumer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observers = append(r.observers, c)
+}
+
+// Create makes a new context instance of the given schema, associated with
+// the given process instances. The schema must be a context resource
+// schema.
+func (r *Registry) Create(schema *ResourceSchema, procs ...event.ProcessRef) (*Context, error) {
+	if schema == nil || schema.Kind != ContextResource {
+		return nil, fmt.Errorf("core: Create requires a context resource schema")
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	c := &Context{
+		id:     fmt.Sprintf("ctx-%d", r.nextID),
+		name:   schema.Name,
+		schema: schema,
+		fields: make(map[string]any),
+		procs:  append([]event.ProcessRef(nil), procs...),
+	}
+	r.contexts[c.id] = c
+	if r.byName[c.name] == nil {
+		r.byName[c.name] = make(map[string]*Context)
+	}
+	r.byName[c.name][c.id] = c
+	return c, nil
+}
+
+// Get returns the context with the given id.
+func (r *Registry) Get(id string) (*Context, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.contexts[id]
+	if !ok || c.retired {
+		return nil, false
+	}
+	return c, true
+}
+
+// Associate adds a process instance to the context's scope. Activity
+// instances of associated processes can reach the context; context change
+// events carry the association list.
+func (r *Registry) Associate(contextID string, ref event.ProcessRef) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.contexts[contextID]
+	if !ok || c.retired {
+		return fmt.Errorf("core: unknown context %q", contextID)
+	}
+	for _, p := range c.procs {
+		if p == ref {
+			return nil
+		}
+	}
+	c.procs = append(c.procs, ref)
+	return nil
+}
+
+// Associations returns the process instances the context is associated
+// with.
+func (r *Registry) Associations(contextID string) []event.ProcessRef {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.contexts[contextID]
+	if !ok {
+		return nil
+	}
+	return append([]event.ProcessRef(nil), c.procs...)
+}
+
+// SetField assigns a context field, validating the value against the
+// field's declared type, and emits the primitive context field change
+// event. user, if non-empty, is recorded as the event source suffix.
+func (r *Registry) SetField(contextID, field string, value any) error {
+	r.mu.Lock()
+	c, ok := r.contexts[contextID]
+	if !ok || c.retired {
+		r.mu.Unlock()
+		return fmt.Errorf("core: unknown context %q", contextID)
+	}
+	def, ok := c.schema.Field(field)
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("core: context %q (%s) has no field %q", contextID, c.name, field)
+	}
+	if err := checkFieldValue(def, value); err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("core: context %q field %q: %w", contextID, field, err)
+	}
+	old := c.fields[field]
+	c.fields[field] = value
+	change := event.ContextChange{
+		ContextID:     c.id,
+		ContextName:   c.name,
+		Processes:     append([]event.ProcessRef(nil), c.procs...),
+		FieldName:     field,
+		OldFieldValue: old,
+		NewFieldValue: value,
+	}
+	observers := append([]event.Consumer(nil), r.observers...)
+	stamp := r.clock.Next()
+	r.mu.Unlock()
+
+	ev := event.NewContext(stamp, "core-engine", change)
+	for _, o := range observers {
+		o.Consume(ev)
+	}
+	return nil
+}
+
+func checkFieldValue(def FieldDef, value any) error {
+	if value == nil {
+		return nil // clearing a field is always allowed
+	}
+	switch def.Type {
+	case FieldString:
+		if _, ok := value.(string); !ok {
+			return fmt.Errorf("want string, got %T", value)
+		}
+	case FieldInt:
+		if _, ok := event.AsInt64(value); !ok {
+			return fmt.Errorf("want integer, got %T", value)
+		}
+		if _, isTime := value.(time.Time); isTime {
+			return fmt.Errorf("want integer, got time.Time (declare the field as time)")
+		}
+	case FieldTime:
+		if _, ok := value.(time.Time); !ok {
+			return fmt.Errorf("want time.Time, got %T", value)
+		}
+	case FieldBool:
+		if _, ok := value.(bool); !ok {
+			return fmt.Errorf("want bool, got %T", value)
+		}
+	case FieldRole:
+		if _, ok := value.(RoleValue); !ok {
+			return fmt.Errorf("want RoleValue, got %T", value)
+		}
+	case FieldAny:
+		// anything goes
+	default:
+		return fmt.Errorf("unknown field type %v", def.Type)
+	}
+	return nil
+}
+
+// Field reads a context field. The boolean reports whether the field is
+// currently set.
+func (r *Registry) Field(contextID, field string) (any, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.contexts[contextID]
+	if !ok || c.retired {
+		return nil, false
+	}
+	v, ok := c.fields[field]
+	return v, ok
+}
+
+// Retire removes a context from scope. Its scoped roles disappear with it
+// (Section 5.4: "the Requestor role disappears upon completion of the
+// information request process"); subsequent resolution of roles in this
+// context yields nothing.
+func (r *Registry) Retire(contextID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.contexts[contextID]
+	if !ok || c.retired {
+		return fmt.Errorf("core: unknown context %q", contextID)
+	}
+	c.retired = true
+	delete(r.byName[c.name], c.id)
+	return nil
+}
+
+// ByName returns the live contexts with the given schema-level name,
+// sorted by id.
+func (r *Registry) ByName(name string) []*Context {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := r.byName[name]
+	out := make([]*Context, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Live returns the number of live (non-retired) contexts.
+func (r *Registry) Live() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, c := range r.contexts {
+		if !c.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// ResolveRole resolves a role reference to the sorted set of participant
+// ids, implementing the delivery-role resolution of Section 5.2:
+//
+//   - organizational roles resolve against the Directory, globally;
+//   - user references resolve to that single participant;
+//   - scoped roles resolve against the role field of live contexts with
+//     the referenced name that are associated with the given process
+//     instance scope. A zero scope matches any association. Retired
+//     contexts never resolve: the role exists only as long as its scope.
+func (r *Registry) ResolveRole(dir *Directory, ref RoleRef, scope event.ProcessRef) ([]string, error) {
+	kind, a, b, err := ref.Parse()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case RoleOrg:
+		return dir.ResolveOrg(a)
+	case RoleUser:
+		if _, ok := dir.Participant(a); !ok {
+			return nil, fmt.Errorf("core: unknown participant %q", a)
+		}
+		return []string{a}, nil
+	case RoleScoped:
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		ids := map[string]bool{}
+		for _, c := range r.byName[a] {
+			if c.retired {
+				continue
+			}
+			if !(scope == event.ProcessRef{}) && !contextInScope(c, scope) {
+				continue
+			}
+			if v, ok := c.fields[b]; ok {
+				if rv, ok := v.(RoleValue); ok {
+					for _, id := range rv {
+						ids[id] = true
+					}
+				}
+			}
+		}
+		out := make([]string, 0, len(ids))
+		for id := range ids {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+		return out, nil
+	}
+	return nil, fmt.Errorf("core: unsupported role kind %v", kind)
+}
+
+func contextInScope(c *Context, scope event.ProcessRef) bool {
+	for _, p := range c.procs {
+		if p == scope {
+			return true
+		}
+		// A scope naming only a schema (no instance) matches any
+		// instance of that schema.
+		if scope.InstanceID == "" && p.SchemaID == scope.SchemaID {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func newRegistry() (*Registry, *vclock.Virtual) {
+	clk := vclock.NewVirtual()
+	return NewRegistry(clk), clk
+}
+
+func mustCreate(t *testing.T, r *Registry, schema *ResourceSchema, procs ...event.ProcessRef) *Context {
+	t.Helper()
+	c, err := r.Create(schema, procs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCreateRequiresContextSchema(t *testing.T) {
+	r, _ := newRegistry()
+	if _, err := r.Create(nil); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	if _, err := r.Create(labResultSchema()); err == nil {
+		t.Fatal("data schema accepted")
+	}
+	bad := &ResourceSchema{Name: "", Kind: ContextResource}
+	if _, err := r.Create(bad); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
+
+func TestSetFieldEmitsEvent(t *testing.T) {
+	r, clk := newRegistry()
+	var got []event.Event
+	r.Observe(event.ConsumerFunc(func(e event.Event) { got = append(got, e) }))
+
+	ref := event.ProcessRef{SchemaID: "TaskForce", InstanceID: "tf-1"}
+	c := mustCreate(t, r, taskForceContextSchema(), ref)
+
+	deadline := clk.Now().Add(48 * time.Hour)
+	if err := r.SetField(c.ID(), "TaskForceDeadline", deadline); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d events, want 1", len(got))
+	}
+	e := got[0]
+	if e.Type != event.TypeContext {
+		t.Fatalf("event type = %v", e.Type)
+	}
+	if e.String(event.PContextName) != "TaskForceContext" {
+		t.Fatalf("contextName = %q", e.String(event.PContextName))
+	}
+	if e.String(event.PFieldName) != "TaskForceDeadline" {
+		t.Fatalf("fieldName = %q", e.String(event.PFieldName))
+	}
+	if v, _ := e.Get(event.POldFieldValue); v != nil {
+		t.Fatalf("oldFieldValue = %v, want nil", v)
+	}
+	if v, _ := e.Get(event.PNewFieldValue); !v.(time.Time).Equal(deadline) {
+		t.Fatalf("newFieldValue = %v", v)
+	}
+	refs := e.ProcessRefs()
+	if len(refs) != 1 || refs[0] != ref {
+		t.Fatalf("processes = %v", refs)
+	}
+
+	// Second change carries the old value.
+	later := deadline.Add(time.Hour)
+	if err := r.SetField(c.ID(), "TaskForceDeadline", later); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got[1].Get(event.POldFieldValue); !v.(time.Time).Equal(deadline) {
+		t.Fatalf("second event oldFieldValue = %v", v)
+	}
+}
+
+func TestSetFieldTypeChecking(t *testing.T) {
+	r, _ := newRegistry()
+	c := mustCreate(t, r, taskForceContextSchema())
+	cases := []struct {
+		field string
+		value any
+		ok    bool
+	}{
+		{"Region", "austin", true},
+		{"Region", 7, false},
+		{"TaskForceDeadline", time.Now(), true},
+		{"TaskForceDeadline", "tomorrow", false},
+		{"TaskForceDeadline", int64(5), false},
+		{"TaskForceMembers", NewRoleValue("a"), true},
+		{"TaskForceMembers", []string{"a"}, false},
+		{"Region", nil, true}, // clearing is allowed
+		{"Ghost", "x", false},
+	}
+	for _, cse := range cases {
+		err := r.SetField(c.ID(), cse.field, cse.value)
+		if cse.ok && err != nil {
+			t.Errorf("SetField(%s, %v): %v", cse.field, cse.value, err)
+		}
+		if !cse.ok && err == nil {
+			t.Errorf("SetField(%s, %v) accepted", cse.field, cse.value)
+		}
+	}
+}
+
+func TestFieldTypesIntBoolAny(t *testing.T) {
+	r, _ := newRegistry()
+	schema := &ResourceSchema{
+		Name: "Misc",
+		Kind: ContextResource,
+		Fields: []FieldDef{
+			{Name: "N", Type: FieldInt},
+			{Name: "B", Type: FieldBool},
+			{Name: "X", Type: FieldAny},
+		},
+	}
+	c := mustCreate(t, r, schema)
+	if err := r.SetField(c.ID(), "N", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetField(c.ID(), "N", time.Now()); err == nil {
+		t.Fatal("time accepted for int field")
+	}
+	if err := r.SetField(c.ID(), "B", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetField(c.ID(), "B", "yes"); err == nil {
+		t.Fatal("string accepted for bool field")
+	}
+	if err := r.SetField(c.ID(), "X", struct{ A int }{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldReadBack(t *testing.T) {
+	r, _ := newRegistry()
+	c := mustCreate(t, r, taskForceContextSchema())
+	if _, ok := r.Field(c.ID(), "Region"); ok {
+		t.Fatal("unset field reported as set")
+	}
+	if err := r.SetField(c.ID(), "Region", "austin"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := r.Field(c.ID(), "Region")
+	if !ok || v != "austin" {
+		t.Fatalf("Field = %v, %v", v, ok)
+	}
+	if _, ok := r.Field("ghost", "Region"); ok {
+		t.Fatal("unknown context reported a field")
+	}
+}
+
+func TestAssociateAndScope(t *testing.T) {
+	r, _ := newRegistry()
+	c := mustCreate(t, r, taskForceContextSchema())
+	ref := event.ProcessRef{SchemaID: "P", InstanceID: "p-1"}
+	if err := r.Associate(c.ID(), ref); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate association is a no-op.
+	if err := r.Associate(c.ID(), ref); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Associations(c.ID()); len(got) != 1 || got[0] != ref {
+		t.Fatalf("associations = %v", got)
+	}
+	if err := r.Associate("ghost", ref); err == nil {
+		t.Fatal("associate on unknown context accepted")
+	}
+}
+
+func TestRetireHidesContext(t *testing.T) {
+	r, _ := newRegistry()
+	c := mustCreate(t, r, taskForceContextSchema())
+	if got := r.ByName("TaskForceContext"); len(got) != 1 {
+		t.Fatalf("ByName = %v", got)
+	}
+	if r.Live() != 1 {
+		t.Fatalf("Live = %d", r.Live())
+	}
+	if err := r.Retire(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get(c.ID()); ok {
+		t.Fatal("retired context still visible")
+	}
+	if got := r.ByName("TaskForceContext"); len(got) != 0 {
+		t.Fatalf("ByName after retire = %v", got)
+	}
+	if r.Live() != 0 {
+		t.Fatalf("Live after retire = %d", r.Live())
+	}
+	if err := r.SetField(c.ID(), "Region", "x"); err == nil {
+		t.Fatal("SetField on retired context accepted")
+	}
+	if err := r.Retire(c.ID()); err == nil {
+		t.Fatal("double retire accepted")
+	}
+}
+
+func infoRequestContextSchema() *ResourceSchema {
+	return &ResourceSchema{
+		Name: "InfoRequestContext",
+		Kind: ContextResource,
+		Fields: []FieldDef{
+			{Name: "Requestor", Type: FieldRole},
+			{Name: "RequestDeadline", Type: FieldTime},
+		},
+	}
+}
+
+func seededDirectory(t *testing.T) *Directory {
+	t.Helper()
+	d := NewDirectory()
+	for _, p := range []Participant{
+		{ID: "dr.reed", Name: "Dr. Reed", Kind: Human},
+		{ID: "dr.okoye", Name: "Dr. Okoye", Kind: Human},
+		{ID: "lab-bot", Name: "Lab Robot", Kind: Program},
+	} {
+		if err := d.AddParticipant(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, a := range [][2]string{
+		{"Epidemiologist", "dr.reed"},
+		{"Epidemiologist", "dr.okoye"},
+		{"LabSystem", "lab-bot"},
+	} {
+		if err := d.AssignRole(a[0], a[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestResolveRoleOrgAndUser(t *testing.T) {
+	r, _ := newRegistry()
+	d := seededDirectory(t)
+	got, err := r.ResolveRole(d, OrgRole("Epidemiologist"), event.ProcessRef{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "dr.okoye" || got[1] != "dr.reed" {
+		t.Fatalf("org resolve = %v", got)
+	}
+	got, err = r.ResolveRole(d, UserRole("lab-bot"), event.ProcessRef{})
+	if err != nil || len(got) != 1 || got[0] != "lab-bot" {
+		t.Fatalf("user resolve = %v, %v", got, err)
+	}
+	if _, err := r.ResolveRole(d, UserRole("ghost"), event.ProcessRef{}); err == nil {
+		t.Fatal("unknown user resolved")
+	}
+	if _, err := r.ResolveRole(d, OrgRole("Ghost"), event.ProcessRef{}); err == nil {
+		t.Fatal("unknown org role resolved")
+	}
+	if _, err := r.ResolveRole(d, RoleRef("bogus"), event.ProcessRef{}); err == nil {
+		t.Fatal("bogus ref resolved")
+	}
+}
+
+// TestResolveScopedRole is the heart of the Section 5.4 scenario: the
+// Requestor scoped role resolves only within the information request's
+// scope and disappears when the context is retired.
+func TestResolveScopedRole(t *testing.T) {
+	r, _ := newRegistry()
+	d := seededDirectory(t)
+
+	ir1 := event.ProcessRef{SchemaID: "InfoRequest", InstanceID: "ir-1"}
+	ir2 := event.ProcessRef{SchemaID: "InfoRequest", InstanceID: "ir-2"}
+	c1 := mustCreate(t, r, infoRequestContextSchema(), ir1)
+	c2 := mustCreate(t, r, infoRequestContextSchema(), ir2)
+
+	if err := r.SetField(c1.ID(), "Requestor", NewRoleValue("dr.reed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetField(c2.ID(), "Requestor", NewRoleValue("dr.okoye")); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := ScopedRole("InfoRequestContext", "Requestor")
+
+	// Scoped to ir-1: only dr.reed.
+	got, err := r.ResolveRole(d, ref, ir1)
+	if err != nil || len(got) != 1 || got[0] != "dr.reed" {
+		t.Fatalf("scoped resolve ir-1 = %v, %v", got, err)
+	}
+	// Scoped to ir-2: only dr.okoye.
+	got, err = r.ResolveRole(d, ref, ir2)
+	if err != nil || len(got) != 1 || got[0] != "dr.okoye" {
+		t.Fatalf("scoped resolve ir-2 = %v, %v", got, err)
+	}
+	// Unscoped: union.
+	got, err = r.ResolveRole(d, ref, event.ProcessRef{})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("unscoped resolve = %v, %v", got, err)
+	}
+	// Schema-only scope matches any instance of that schema.
+	got, err = r.ResolveRole(d, ref, event.ProcessRef{SchemaID: "InfoRequest"})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("schema-scope resolve = %v, %v", got, err)
+	}
+	// A scope the context is not associated with resolves to nothing.
+	got, err = r.ResolveRole(d, ref, event.ProcessRef{SchemaID: "Other", InstanceID: "x"})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("foreign scope resolve = %v, %v", got, err)
+	}
+
+	// Retiring the context retires the role (its lifetime is the scope's).
+	if err := r.Retire(c1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.ResolveRole(d, ref, ir1)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("resolve after retire = %v, %v", got, err)
+	}
+}
+
+func TestResolveScopedIgnoresNonRoleField(t *testing.T) {
+	r, _ := newRegistry()
+	d := seededDirectory(t)
+	c := mustCreate(t, r, taskForceContextSchema())
+	if err := r.SetField(c.ID(), "Region", "austin"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ResolveRole(d, ScopedRole("TaskForceContext", "Region"), event.ProcessRef{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("non-role field resolved to %v", got)
+	}
+}
+
+func TestDirectoryBasics(t *testing.T) {
+	d := seededDirectory(t)
+	if err := d.AddParticipant(Participant{}); err == nil {
+		t.Fatal("participant without id accepted")
+	}
+	p, ok := d.Participant("dr.reed")
+	if !ok || p.Kind != Human {
+		t.Fatalf("Participant = %+v, %v", p, ok)
+	}
+	if got := d.Participants(); len(got) != 3 || got[0].ID != "dr.okoye" {
+		t.Fatalf("Participants = %v", got)
+	}
+	if err := d.AssignRole("X", "ghost"); err == nil {
+		t.Fatal("assignment of unknown participant accepted")
+	}
+	if err := d.AssignRole("", "dr.reed"); err == nil {
+		t.Fatal("empty role accepted")
+	}
+	if err := d.DefineRole(""); err == nil {
+		t.Fatal("empty role definition accepted")
+	}
+	if err := d.DefineRole("Observer"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ResolveOrg("Observer")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty role resolve = %v, %v", got, err)
+	}
+	if !d.PlaysOrg("Epidemiologist", "dr.reed") {
+		t.Fatal("PlaysOrg false")
+	}
+	d.UnassignRole("Epidemiologist", "dr.reed")
+	if d.PlaysOrg("Epidemiologist", "dr.reed") {
+		t.Fatal("unassign had no effect")
+	}
+	d.UnassignRole("Ghost", "dr.reed") // no panic
+	roles := d.Roles()
+	if len(roles) != 3 { // Epidemiologist, LabSystem, Observer
+		t.Fatalf("Roles = %v", roles)
+	}
+	if ParticipantKind(9).String() == "" || Human.String() != "human" || Program.String() != "program" {
+		t.Fatal("ParticipantKind strings wrong")
+	}
+}
+
+func TestContextIDsUnique(t *testing.T) {
+	r, _ := newRegistry()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		c := mustCreate(t, r, taskForceContextSchema())
+		if seen[c.ID()] {
+			t.Fatalf("duplicate context id %q", c.ID())
+		}
+		seen[c.ID()] = true
+		if !strings.HasPrefix(c.ID(), "ctx-") {
+			t.Fatalf("unexpected id format %q", c.ID())
+		}
+	}
+}
+
+func TestObserverOrderAndStamps(t *testing.T) {
+	r, clk := newRegistry()
+	var order []string
+	r.Observe(event.ConsumerFunc(func(e event.Event) { order = append(order, "first") }))
+	r.Observe(event.ConsumerFunc(func(e event.Event) { order = append(order, "second") }))
+	c := mustCreate(t, r, taskForceContextSchema())
+	start := clk.Now()
+	if err := r.SetField(c.ID(), "Region", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("observer order = %v", order)
+	}
+	var stamps []vclock.Stamp
+	r.Observe(event.ConsumerFunc(func(e event.Event) { stamps = append(stamps, e.Stamp) }))
+	if err := r.SetField(c.ID(), "Region", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetField(c.ID(), "Region", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if len(stamps) != 2 || !stamps[0].Before(stamps[1]) {
+		t.Fatalf("stamps not ordered: %v", stamps)
+	}
+	if !stamps[0].Time.Equal(start) {
+		t.Fatalf("stamp time = %v, want %v", stamps[0].Time, start)
+	}
+}
+
+func TestPresence(t *testing.T) {
+	d := seededDirectory(t)
+	if d.SignedOn("dr.reed") {
+		t.Fatal("signed on before SignOn")
+	}
+	if err := d.SignOn("dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.SignedOn("dr.reed") {
+		t.Fatal("SignOn had no effect")
+	}
+	if err := d.SignOn("ghost"); err == nil {
+		t.Fatal("unknown participant signed on")
+	}
+	d.SignOff("dr.reed")
+	if d.SignedOn("dr.reed") {
+		t.Fatal("SignOff had no effect")
+	}
+	d.SignOff("ghost") // no panic
+}

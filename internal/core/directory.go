@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ParticipantKind distinguishes human from program participants
+// (Section 4: "Participant resources are either humans or programs").
+type ParticipantKind int
+
+const (
+	Human ParticipantKind = iota
+	Program
+)
+
+func (k ParticipantKind) String() string {
+	switch k {
+	case Human:
+		return "human"
+	case Program:
+		return "program"
+	}
+	return fmt.Sprintf("ParticipantKind(%d)", int(k))
+}
+
+// A Participant is an actor in the real world that takes responsibility to
+// start and perform activities. Participants may play one or multiple
+// roles.
+type Participant struct {
+	ID   string
+	Name string
+	Kind ParticipantKind
+}
+
+// A Directory is the organizational model: the registered participants
+// and the global organizational roles they play. Scoped roles are NOT kept
+// here — they live inside context resources (see Registry.ResolveRole).
+// Directory is safe for concurrent use.
+type Directory struct {
+	mu           sync.RWMutex
+	participants map[string]Participant
+	roles        map[string]map[string]bool // role name -> participant ids
+	online       map[string]bool            // presence (Section 5.3)
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{
+		participants: make(map[string]Participant),
+		roles:        make(map[string]map[string]bool),
+		online:       make(map[string]bool),
+	}
+}
+
+// SignOn records the participant as currently signed on to the system.
+// Presence feeds awareness role assignments that "choose users based on
+// ... whether they are currently signed-on" (Section 5.3).
+func (d *Directory) SignOn(participantID string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.participants[participantID]; !ok {
+		return fmt.Errorf("core: unknown participant %q", participantID)
+	}
+	d.online[participantID] = true
+	return nil
+}
+
+// SignOff records the participant as signed off.
+func (d *Directory) SignOff(participantID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.online, participantID)
+}
+
+// SignedOn reports whether the participant is currently signed on.
+func (d *Directory) SignedOn(participantID string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.online[participantID]
+}
+
+// AddParticipant registers a participant. Re-adding an existing id
+// replaces the record.
+func (d *Directory) AddParticipant(p Participant) error {
+	if p.ID == "" {
+		return fmt.Errorf("core: participant requires an id")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.participants[p.ID] = p
+	return nil
+}
+
+// Participant looks up a participant by id.
+func (d *Directory) Participant(id string) (Participant, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	p, ok := d.participants[id]
+	return p, ok
+}
+
+// Participants returns all participants sorted by id.
+func (d *Directory) Participants() []Participant {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Participant, 0, len(d.participants))
+	for _, p := range d.participants {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DefineRole declares an organizational role. Declaring an existing role
+// is a no-op.
+func (d *Directory) DefineRole(role string) error {
+	if role == "" {
+		return fmt.Errorf("core: role requires a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.roles[role] == nil {
+		d.roles[role] = make(map[string]bool)
+	}
+	return nil
+}
+
+// AssignRole makes the participant play the organizational role. The role
+// is declared implicitly if needed; the participant must exist.
+func (d *Directory) AssignRole(role, participantID string) error {
+	if role == "" {
+		return fmt.Errorf("core: role requires a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.participants[participantID]; !ok {
+		return fmt.Errorf("core: unknown participant %q", participantID)
+	}
+	if d.roles[role] == nil {
+		d.roles[role] = make(map[string]bool)
+	}
+	d.roles[role][participantID] = true
+	return nil
+}
+
+// UnassignRole removes the participant from the role.
+func (d *Directory) UnassignRole(role, participantID string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.roles[role]; ok {
+		delete(m, participantID)
+	}
+}
+
+// ResolveOrg returns the sorted participant ids playing the organizational
+// role. An undeclared role resolves to the empty set with an error.
+func (d *Directory) ResolveOrg(role string) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m, ok := d.roles[role]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown organizational role %q", role)
+	}
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Roles returns all declared organizational role names, sorted.
+func (d *Directory) Roles() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.roles))
+	for r := range d.roles {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PlaysOrg reports whether the participant plays the organizational role.
+func (d *Directory) PlaysOrg(role, participantID string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.roles[role][participantID]
+}

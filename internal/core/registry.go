@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A SchemaRegistry holds the application model: every activity schema
+// (basic and process) known to one CMI system, keyed by its unique name.
+// Registering a process schema registers the schemas of its subactivities
+// transitively. SchemaRegistry is safe for concurrent use.
+type SchemaRegistry struct {
+	mu      sync.RWMutex
+	schemas map[string]ActivitySchema
+}
+
+// NewSchemaRegistry returns an empty registry.
+func NewSchemaRegistry() *SchemaRegistry {
+	return &SchemaRegistry{schemas: make(map[string]ActivitySchema)}
+}
+
+// Register validates and adds a schema (and, for process schemas, all
+// schemas reachable from it). Registering the same schema object twice is
+// a no-op; registering a different schema under an existing name is an
+// error.
+func (r *SchemaRegistry) Register(s ActivitySchema) error {
+	if s == nil {
+		return fmt.Errorf("core: cannot register nil schema")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.register(s)
+}
+
+func (r *SchemaRegistry) register(s ActivitySchema) error {
+	name := s.SchemaName()
+	if existing, ok := r.schemas[name]; ok {
+		if existing == s {
+			return nil
+		}
+		return fmt.Errorf("core: schema name %q already registered with a different definition", name)
+	}
+	r.schemas[name] = s
+	if p, ok := s.(*ProcessSchema); ok {
+		for _, av := range p.Activities {
+			if err := r.register(av.Schema); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Lookup returns the schema registered under name.
+func (r *SchemaRegistry) Lookup(name string) (ActivitySchema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.schemas[name]
+	return s, ok
+}
+
+// Process returns the process schema registered under name.
+func (r *SchemaRegistry) Process(name string) (*ProcessSchema, bool) {
+	s, ok := r.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	p, ok := s.(*ProcessSchema)
+	return p, ok
+}
+
+// Names returns all registered schema names, sorted.
+func (r *SchemaRegistry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.schemas))
+	for n := range r.schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Processes returns all registered process schemas, sorted by name.
+func (r *SchemaRegistry) Processes() []*ProcessSchema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*ProcessSchema
+	for _, s := range r.schemas {
+		if p, ok := s.(*ProcessSchema); ok {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered schemas.
+func (r *SchemaRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.schemas)
+}

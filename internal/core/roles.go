@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A RoleRef names a role in one of three forms:
+//
+//   - "org:Epidemiologist" — an organizational role, global and resolved
+//     against the Directory;
+//   - "scoped:InfoRequestContext.Requestor" — a scoped role: a role field
+//     of a context resource, visible only to activity instances that can
+//     reach the enclosing context (Section 4, "Scoped roles");
+//   - "user:dr.reed" — a direct reference to one participant.
+//
+// Both process coordination (who performs an activity) and awareness
+// delivery (Section 5.2) use RoleRefs; the same specification mechanisms
+// apply regardless of usage.
+type RoleRef string
+
+// RoleKind discriminates the forms of a RoleRef.
+type RoleKind int
+
+const (
+	RoleOrg RoleKind = iota
+	RoleScoped
+	RoleUser
+)
+
+func (k RoleKind) String() string {
+	switch k {
+	case RoleOrg:
+		return "org"
+	case RoleScoped:
+		return "scoped"
+	case RoleUser:
+		return "user"
+	}
+	return fmt.Sprintf("RoleKind(%d)", int(k))
+}
+
+// OrgRole returns the RoleRef for a global organizational role.
+func OrgRole(name string) RoleRef { return RoleRef("org:" + name) }
+
+// ScopedRole returns the RoleRef for the role field of a named context.
+func ScopedRole(contextName, field string) RoleRef {
+	return RoleRef("scoped:" + contextName + "." + field)
+}
+
+// UserRole returns the RoleRef that names a single participant directly.
+func UserRole(participantID string) RoleRef { return RoleRef("user:" + participantID) }
+
+// Parse splits the reference into its kind and components. For RoleScoped,
+// a is the context name and b the role field name; otherwise a carries the
+// role or participant name and b is empty.
+func (r RoleRef) Parse() (kind RoleKind, a, b string, err error) {
+	s := string(r)
+	switch {
+	case strings.HasPrefix(s, "org:"):
+		name := s[len("org:"):]
+		if name == "" {
+			return 0, "", "", fmt.Errorf("core: empty organizational role in %q", r)
+		}
+		return RoleOrg, name, "", nil
+	case strings.HasPrefix(s, "scoped:"):
+		rest := s[len("scoped:"):]
+		dot := strings.IndexByte(rest, '.')
+		if dot <= 0 || dot == len(rest)-1 {
+			return 0, "", "", fmt.Errorf("core: scoped role %q must have the form scoped:Context.Field", r)
+		}
+		return RoleScoped, rest[:dot], rest[dot+1:], nil
+	case strings.HasPrefix(s, "user:"):
+		id := s[len("user:"):]
+		if id == "" {
+			return 0, "", "", fmt.Errorf("core: empty participant in %q", r)
+		}
+		return RoleUser, id, "", nil
+	case s == "":
+		return 0, "", "", fmt.Errorf("core: empty role reference")
+	default:
+		return 0, "", "", fmt.Errorf("core: role reference %q must start with org:, scoped: or user:", r)
+	}
+}
+
+// Valid reports whether the reference parses.
+func (r RoleRef) Valid() bool {
+	_, _, _, err := r.Parse()
+	return err == nil
+}
+
+// A RoleValue is the value of a context role field: the set of participant
+// ids currently playing the scoped role. Store role fields with
+// NewRoleValue so the representation stays sorted and duplicate-free,
+// which keeps context change events and resolution deterministic.
+type RoleValue []string
+
+// NewRoleValue returns a normalized RoleValue: sorted, without duplicates
+// or empty ids.
+func NewRoleValue(participantIDs ...string) RoleValue {
+	seen := map[string]bool{}
+	var out RoleValue
+	for _, id := range participantIDs {
+		if id == "" || seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether the participant plays the role.
+func (v RoleValue) Contains(participantID string) bool {
+	for _, id := range v {
+		if id == participantID {
+			return true
+		}
+	}
+	return false
+}
+
+// Add returns a RoleValue with the participant added.
+func (v RoleValue) Add(participantID string) RoleValue {
+	return NewRoleValue(append(append([]string(nil), v...), participantID)...)
+}
+
+// Remove returns a RoleValue with the participant removed.
+func (v RoleValue) Remove(participantID string) RoleValue {
+	var out []string
+	for _, id := range v {
+		if id != participantID {
+			out = append(out, id)
+		}
+	}
+	return NewRoleValue(out...)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoleRefParse(t *testing.T) {
+	cases := []struct {
+		ref     RoleRef
+		kind    RoleKind
+		a, b    string
+		wantErr bool
+	}{
+		{OrgRole("Epidemiologist"), RoleOrg, "Epidemiologist", "", false},
+		{ScopedRole("InfoRequestContext", "Requestor"), RoleScoped, "InfoRequestContext", "Requestor", false},
+		{UserRole("dr.reed"), RoleUser, "dr.reed", "", false},
+		{RoleRef("org:"), 0, "", "", true},
+		{RoleRef("user:"), 0, "", "", true},
+		{RoleRef("scoped:NoDot"), 0, "", "", true},
+		{RoleRef("scoped:.Field"), 0, "", "", true},
+		{RoleRef("scoped:Ctx."), 0, "", "", true},
+		{RoleRef(""), 0, "", "", true},
+		{RoleRef("bogus:thing"), 0, "", "", true},
+	}
+	for _, c := range cases {
+		kind, a, b, err := c.ref.Parse()
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.ref)
+			}
+			if c.ref.Valid() {
+				t.Errorf("Valid(%q) = true", c.ref)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.ref, err)
+			continue
+		}
+		if kind != c.kind || a != c.a || b != c.b {
+			t.Errorf("Parse(%q) = %v,%q,%q", c.ref, kind, a, b)
+		}
+		if !c.ref.Valid() {
+			t.Errorf("Valid(%q) = false", c.ref)
+		}
+	}
+}
+
+func TestRoleKindString(t *testing.T) {
+	if RoleOrg.String() != "org" || RoleScoped.String() != "scoped" || RoleUser.String() != "user" {
+		t.Fatal("RoleKind strings wrong")
+	}
+	if RoleKind(9).String() == "" {
+		t.Fatal("unknown RoleKind must render")
+	}
+}
+
+func TestNewRoleValueNormalizes(t *testing.T) {
+	v := NewRoleValue("zoe", "adam", "zoe", "", "mia")
+	want := []string{"adam", "mia", "zoe"}
+	if len(v) != len(want) {
+		t.Fatalf("RoleValue = %v", v)
+	}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("RoleValue = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestRoleValueOps(t *testing.T) {
+	v := NewRoleValue("a", "b")
+	if !v.Contains("a") || v.Contains("c") {
+		t.Fatal("Contains wrong")
+	}
+	v2 := v.Add("c")
+	if !v2.Contains("c") || v.Contains("c") {
+		t.Fatal("Add must not mutate receiver")
+	}
+	v3 := v2.Remove("a")
+	if v3.Contains("a") || !v2.Contains("a") {
+		t.Fatal("Remove must not mutate receiver")
+	}
+	if len(v3) != 2 {
+		t.Fatalf("after remove: %v", v3)
+	}
+}
+
+// Property: NewRoleValue is idempotent (normal form) and always sorted
+// without duplicates.
+func TestRoleValueNormalFormProperty(t *testing.T) {
+	f := func(ids []string) bool {
+		v := NewRoleValue(ids...)
+		again := NewRoleValue(v...)
+		if len(again) != len(v) {
+			return false
+		}
+		for i := range v {
+			if v[i] != again[i] {
+				return false
+			}
+			if v[i] == "" {
+				return false
+			}
+			if i > 0 && !(v[i-1] < v[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Remove returns to a set without the id.
+func TestRoleValueAddRemoveProperty(t *testing.T) {
+	f := func(ids []string, extra string) bool {
+		if extra == "" {
+			extra = "x"
+		}
+		base := NewRoleValue(ids...).Remove(extra)
+		roundtrip := base.Add(extra).Remove(extra)
+		if len(roundtrip) != len(base) {
+			return false
+		}
+		for i := range base {
+			if base[i] != roundtrip[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,618 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResourceKind is the CORE resource taxonomy (Section 4, "Resources"):
+// data, helper, participant and context resources.
+type ResourceKind int
+
+const (
+	// DataResource corresponds to workflow-internal and workflow-relevant
+	// data in the workflow literature.
+	DataResource ResourceKind = iota
+	// HelperResource models auxiliary programs (invoked applications in
+	// WfMC terms), such as the text editor needed for a writing activity.
+	HelperResource
+	// ParticipantResource models actors — humans or programs — that take
+	// responsibility to start and perform activities. Participant
+	// resource schemas name roles, either organizational or scoped.
+	ParticipantResource
+	// ContextResource is the novel CORE resource type: a collection of
+	// named resources accessible only via context references, which is
+	// what associates a scope with the context and everything in it —
+	// including scoped roles.
+	ContextResource
+)
+
+var resourceKindNames = map[ResourceKind]string{
+	DataResource:        "data",
+	HelperResource:      "helper",
+	ParticipantResource: "participant",
+	ContextResource:     "context",
+}
+
+func (k ResourceKind) String() string {
+	if n, ok := resourceKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("ResourceKind(%d)", int(k))
+}
+
+// FieldType types a context field.
+type FieldType int
+
+const (
+	FieldString FieldType = iota
+	FieldInt
+	FieldTime
+	FieldBool
+	// FieldRole marks a context field that holds a scoped role: a set of
+	// participant ids, dynamically created and visible only through the
+	// enclosing context (Section 4, "Scoped roles").
+	FieldRole
+	// FieldAny admits any value; used for application-specific payloads.
+	FieldAny
+)
+
+var fieldTypeNames = map[FieldType]string{
+	FieldString: "string",
+	FieldInt:    "int",
+	FieldTime:   "time",
+	FieldBool:   "bool",
+	FieldRole:   "role",
+	FieldAny:    "any",
+}
+
+func (t FieldType) String() string {
+	if n, ok := fieldTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("FieldType(%d)", int(t))
+}
+
+// A FieldDef declares one named, typed field of a context resource schema.
+type FieldDef struct {
+	Name string
+	Type FieldType
+}
+
+// A ResourceSchema is an application-specific resource type created from
+// the CORE resource meta type during process specification (Figure 3).
+type ResourceSchema struct {
+	Name string
+	Kind ResourceKind
+	// DataType documents the payload type of a data resource ("report",
+	// "labresult", ...). Informational.
+	DataType string
+	// Fields declares the named fields of a context resource schema.
+	Fields []FieldDef
+}
+
+// Field returns the definition of the named field of a context resource
+// schema.
+func (r *ResourceSchema) Field(name string) (FieldDef, bool) {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FieldDef{}, false
+}
+
+// Validate checks internal consistency of the resource schema.
+func (r *ResourceSchema) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("core: resource schema requires a name")
+	}
+	if r.Kind != ContextResource && len(r.Fields) > 0 {
+		return fmt.Errorf("core: resource schema %q: only context resources have fields", r.Name)
+	}
+	seen := map[string]bool{}
+	for _, f := range r.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("core: resource schema %q has a field without a name", r.Name)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("core: resource schema %q declares field %q twice", r.Name, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return nil
+}
+
+// Usage says how an activity uses a resource variable.
+type Usage int
+
+const (
+	UsageInput Usage = iota
+	UsageOutput
+	UsageLocal
+	UsageHelper
+	// UsageRole marks the participant resource variable that names who
+	// performs the activity.
+	UsageRole
+)
+
+var usageNames = map[Usage]string{
+	UsageInput:  "input",
+	UsageOutput: "output",
+	UsageLocal:  "local",
+	UsageHelper: "helper",
+	UsageRole:   "role",
+}
+
+func (u Usage) String() string {
+	if n, ok := usageNames[u]; ok {
+		return n
+	}
+	return fmt.Sprintf("Usage(%d)", int(u))
+}
+
+// A ResourceVariable binds a name used inside an activity schema to a
+// resource schema with a usage (Figure 3: input/output, role and local
+// data variables for processes; input/output and helper variables for
+// basic activities).
+type ResourceVariable struct {
+	Name   string
+	Schema *ResourceSchema
+	Usage  Usage
+	// Role holds the role reference for UsageRole variables: who performs
+	// the activity. See ParseRoleRef for the accepted forms.
+	Role RoleRef
+}
+
+// An ActivitySchema is either a basic activity schema or a process
+// activity schema (Figure 3). All activity schemas contain an activity
+// state variable (a state schema) and resource variables.
+type ActivitySchema interface {
+	// SchemaName returns the application-wide unique name of the schema.
+	SchemaName() string
+	// States returns the activity state schema governing instances.
+	States() *StateSchema
+	// Resources returns the schema's resource variables.
+	Resources() []ResourceVariable
+	// Validate checks the schema's internal consistency.
+	Validate() error
+
+	isActivitySchema()
+}
+
+// A BasicActivitySchema is a unit of work performed by a participant with
+// optional helper and data resources; it has no internal structure.
+type BasicActivitySchema struct {
+	Name string
+	// StateSchema defaults to the generic schema of Figure 4 when nil.
+	StateSchema *StateSchema
+	// ResourceVars are restricted to input/output data and helper
+	// variables plus at most one role variable.
+	ResourceVars []ResourceVariable
+	// PerformerRole names who performs the activity. Shorthand for a
+	// UsageRole resource variable; may be empty for automatic activities.
+	PerformerRole RoleRef
+}
+
+func (b *BasicActivitySchema) SchemaName() string { return b.Name }
+
+func (b *BasicActivitySchema) States() *StateSchema {
+	if b.StateSchema == nil {
+		return genericStates
+	}
+	return b.StateSchema
+}
+
+func (b *BasicActivitySchema) Resources() []ResourceVariable { return b.ResourceVars }
+
+func (b *BasicActivitySchema) isActivitySchema() {}
+
+// Validate checks the basic activity schema.
+func (b *BasicActivitySchema) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("core: basic activity schema requires a name")
+	}
+	if err := b.States().Validate(); err != nil {
+		return fmt.Errorf("core: basic activity %q: %w", b.Name, err)
+	}
+	roleVars := 0
+	seen := map[string]bool{}
+	for _, rv := range b.ResourceVars {
+		if rv.Name == "" {
+			return fmt.Errorf("core: basic activity %q has an unnamed resource variable", b.Name)
+		}
+		if seen[rv.Name] {
+			return fmt.Errorf("core: basic activity %q declares resource variable %q twice", b.Name, rv.Name)
+		}
+		seen[rv.Name] = true
+		if rv.Schema == nil {
+			return fmt.Errorf("core: basic activity %q: resource variable %q has no schema", b.Name, rv.Name)
+		}
+		if err := rv.Schema.Validate(); err != nil {
+			return err
+		}
+		if rv.Usage == UsageRole {
+			roleVars++
+		}
+		if rv.Usage == UsageLocal {
+			return fmt.Errorf("core: basic activity %q: local variables belong to process schemas", b.Name)
+		}
+	}
+	if roleVars > 1 {
+		return fmt.Errorf("core: basic activity %q has more than one role variable", b.Name)
+	}
+	return nil
+}
+
+var genericStates = GenericStateSchema()
+
+// An ActivityVariable is one subactivity slot of a process schema. The
+// referenced schema may itself be a process schema, which is how
+// subprocess invocation is modeled.
+type ActivityVariable struct {
+	Name   string
+	Schema ActivitySchema
+	// Optional activities need not ever run for the process to complete
+	// (Figure 1: several crisis response activities are optional).
+	Optional bool
+	// Repeatable activities may be instantiated several times within one
+	// process instance (Figure 1: the repeated lab tests).
+	Repeatable bool
+	// Bind passes context resources into a subprocess invocation: it maps
+	// a context resource variable of the invoked process schema to a
+	// context resource variable of the invoking process. This is how the
+	// task force process passes TaskForceContext to the information
+	// request subprocess in Section 5.4. Only meaningful when Schema is a
+	// *ProcessSchema.
+	Bind map[string]string
+}
+
+// DependencyType enumerates the fixed set of dependency types CMM
+// prescribes (Section 3: "it prescribes a fixed set of available
+// dependency types"). The set follows the usual WfMC control-flow
+// repertoire.
+type DependencyType int
+
+const (
+	// DepSequence makes the target Ready when the single source
+	// completes.
+	DepSequence DependencyType = iota
+	// DepAndJoin makes the target Ready when all sources have completed.
+	DepAndJoin
+	// DepOrJoin makes the target Ready when any source completes.
+	DepOrJoin
+	// DepGuard makes the target Ready when the source completes and the
+	// guard condition on a context field holds.
+	DepGuard
+	// DepCancel terminates the target when the source completes — the
+	// "if any lab test is positive the other tests are not necessary"
+	// pattern from Section 2.
+	DepCancel
+)
+
+var dependencyTypeNames = map[DependencyType]string{
+	DepSequence: "sequence",
+	DepAndJoin:  "and-join",
+	DepOrJoin:   "or-join",
+	DepGuard:    "guard",
+	DepCancel:   "cancel",
+}
+
+func (t DependencyType) String() string {
+	if n, ok := dependencyTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("DependencyType(%d)", int(t))
+}
+
+// A Guard is a predicate over one context field, used by DepGuard
+// dependencies. Op is one of ==, !=, <, <=, >, >=.
+type Guard struct {
+	ContextVar string // name of a context resource variable in the process
+	Field      string
+	Op         string
+	Value      any
+}
+
+// A Dependency is a coordination rule between activity variables of one
+// process schema.
+type Dependency struct {
+	Name    string
+	Type    DependencyType
+	Sources []string // activity variable names
+	Target  string   // activity variable name
+	Guard   *Guard   // for DepGuard only
+}
+
+// A ProcessSchema is a process activity schema: an activity state
+// variable, activity variables for the subactivities, resource variables,
+// and dependency variables defining the coordination rules (Figure 3).
+type ProcessSchema struct {
+	Name         string
+	StateSchema  *StateSchema
+	ResourceVars []ResourceVariable
+	Activities   []ActivityVariable
+	Dependencies []Dependency
+	// Entry names the activity variables made Ready when the process
+	// starts. Empty means: every activity with no incoming dependency.
+	Entry []string
+}
+
+func (p *ProcessSchema) SchemaName() string { return p.Name }
+
+func (p *ProcessSchema) States() *StateSchema {
+	if p.StateSchema == nil {
+		return genericStates
+	}
+	return p.StateSchema
+}
+
+func (p *ProcessSchema) Resources() []ResourceVariable { return p.ResourceVars }
+
+func (p *ProcessSchema) isActivitySchema() {}
+
+// Activity returns the named activity variable.
+func (p *ProcessSchema) Activity(name string) (ActivityVariable, bool) {
+	for _, av := range p.Activities {
+		if av.Name == name {
+			return av, true
+		}
+	}
+	return ActivityVariable{}, false
+}
+
+// ContextVar returns the named context resource variable.
+func (p *ProcessSchema) ContextVar(name string) (ResourceVariable, bool) {
+	for _, rv := range p.ResourceVars {
+		if rv.Name == name && rv.Schema != nil && rv.Schema.Kind == ContextResource {
+			return rv, true
+		}
+	}
+	return ResourceVariable{}, false
+}
+
+// EntryActivities returns the names of the activity variables that become
+// Ready at process start: the declared Entry list, or if empty, every
+// activity variable with no incoming dependency.
+func (p *ProcessSchema) EntryActivities() []string {
+	if len(p.Entry) > 0 {
+		return append([]string(nil), p.Entry...)
+	}
+	hasIncoming := map[string]bool{}
+	for _, d := range p.Dependencies {
+		if d.Type == DepCancel {
+			continue // cancellation is not an enablement edge
+		}
+		hasIncoming[d.Target] = true
+	}
+	var out []string
+	for _, av := range p.Activities {
+		if !hasIncoming[av.Name] {
+			out = append(out, av.Name)
+		}
+	}
+	return out
+}
+
+// Validate checks the process schema: unique names, resolvable dependency
+// endpoints, guards referencing declared context fields, and an acyclic
+// enablement graph.
+func (p *ProcessSchema) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("core: process schema requires a name")
+	}
+	if err := p.States().Validate(); err != nil {
+		return fmt.Errorf("core: process %q: %w", p.Name, err)
+	}
+	seenRes := map[string]bool{}
+	for _, rv := range p.ResourceVars {
+		if rv.Name == "" {
+			return fmt.Errorf("core: process %q has an unnamed resource variable", p.Name)
+		}
+		if seenRes[rv.Name] {
+			return fmt.Errorf("core: process %q declares resource variable %q twice", p.Name, rv.Name)
+		}
+		seenRes[rv.Name] = true
+		if rv.Schema == nil {
+			return fmt.Errorf("core: process %q: resource variable %q has no schema", p.Name, rv.Name)
+		}
+		if err := rv.Schema.Validate(); err != nil {
+			return err
+		}
+	}
+	seenAct := map[string]bool{}
+	for _, av := range p.Activities {
+		if av.Name == "" {
+			return fmt.Errorf("core: process %q has an unnamed activity variable", p.Name)
+		}
+		if seenAct[av.Name] {
+			return fmt.Errorf("core: process %q declares activity variable %q twice", p.Name, av.Name)
+		}
+		seenAct[av.Name] = true
+		if av.Schema == nil {
+			return fmt.Errorf("core: process %q: activity variable %q has no schema", p.Name, av.Name)
+		}
+		if len(av.Bind) > 0 {
+			sub, ok := av.Schema.(*ProcessSchema)
+			if !ok {
+				return fmt.Errorf("core: process %q: activity %q binds contexts but is not a subprocess", p.Name, av.Name)
+			}
+			for childVar, parentVar := range av.Bind {
+				if _, ok := sub.ContextVar(childVar); !ok {
+					return fmt.Errorf("core: process %q: activity %q binds unknown context variable %q of subprocess %q", p.Name, av.Name, childVar, sub.Name)
+				}
+				if _, ok := p.ContextVar(parentVar); !ok {
+					return fmt.Errorf("core: process %q: activity %q binds from unknown context variable %q", p.Name, av.Name, parentVar)
+				}
+			}
+		}
+	}
+	seenDep := map[string]bool{}
+	for _, d := range p.Dependencies {
+		if d.Name != "" {
+			if seenDep[d.Name] {
+				return fmt.Errorf("core: process %q declares dependency %q twice", p.Name, d.Name)
+			}
+			seenDep[d.Name] = true
+		}
+		if !seenAct[d.Target] {
+			return fmt.Errorf("core: process %q: dependency targets unknown activity %q", p.Name, d.Target)
+		}
+		if len(d.Sources) == 0 {
+			return fmt.Errorf("core: process %q: dependency onto %q has no sources", p.Name, d.Target)
+		}
+		for _, src := range d.Sources {
+			if !seenAct[src] {
+				return fmt.Errorf("core: process %q: dependency names unknown source activity %q", p.Name, src)
+			}
+			if src == d.Target {
+				return fmt.Errorf("core: process %q: dependency from %q to itself", p.Name, src)
+			}
+		}
+		switch d.Type {
+		case DepSequence, DepCancel:
+			if len(d.Sources) != 1 {
+				return fmt.Errorf("core: process %q: %s dependency onto %q requires exactly one source", p.Name, d.Type, d.Target)
+			}
+		case DepGuard:
+			if len(d.Sources) != 1 {
+				return fmt.Errorf("core: process %q: guard dependency onto %q requires exactly one source", p.Name, d.Target)
+			}
+			if d.Guard == nil {
+				return fmt.Errorf("core: process %q: guard dependency onto %q has no guard", p.Name, d.Target)
+			}
+		case DepAndJoin, DepOrJoin:
+			if len(d.Sources) < 2 {
+				return fmt.Errorf("core: process %q: %s dependency onto %q requires at least two sources", p.Name, d.Type, d.Target)
+			}
+		default:
+			return fmt.Errorf("core: process %q: unknown dependency type %d", p.Name, int(d.Type))
+		}
+		if d.Guard != nil {
+			cv, ok := p.ContextVar(d.Guard.ContextVar)
+			if !ok {
+				return fmt.Errorf("core: process %q: guard references unknown context variable %q", p.Name, d.Guard.ContextVar)
+			}
+			if _, ok := cv.Schema.Field(d.Guard.Field); !ok {
+				return fmt.Errorf("core: process %q: guard references unknown field %q of context %q", p.Name, d.Guard.Field, d.Guard.ContextVar)
+			}
+			if !validGuardOp(d.Guard.Op) {
+				return fmt.Errorf("core: process %q: guard has invalid operator %q", p.Name, d.Guard.Op)
+			}
+		}
+	}
+	if err := p.checkAcyclic(); err != nil {
+		return err
+	}
+	for _, e := range p.Entry {
+		if !seenAct[e] {
+			return fmt.Errorf("core: process %q: entry names unknown activity %q", p.Name, e)
+		}
+	}
+	if len(p.Activities) > 0 && len(p.EntryActivities()) == 0 {
+		return fmt.Errorf("core: process %q has no entry activities; every activity has an incoming dependency", p.Name)
+	}
+	return nil
+}
+
+func validGuardOp(op string) bool {
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// checkAcyclic verifies the enablement edges (everything but DepCancel)
+// form a DAG.
+func (p *ProcessSchema) checkAcyclic() error {
+	adj := map[string][]string{}
+	for _, d := range p.Dependencies {
+		if d.Type == DepCancel {
+			continue
+		}
+		for _, src := range d.Sources {
+			adj[src] = append(adj[src], d.Target)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return fmt.Errorf("core: process %q: dependency cycle through %q", p.Name, m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	names := make([]string, 0, len(adj))
+	for n := range adj {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Subprocesses returns the activity variables whose schema is itself a
+// process schema, i.e. the subprocess invocations.
+func (p *ProcessSchema) Subprocesses() []ActivityVariable {
+	var out []ActivityVariable
+	for _, av := range p.Activities {
+		if _, ok := av.Schema.(*ProcessSchema); ok {
+			out = append(out, av)
+		}
+	}
+	return out
+}
+
+// CountActivities returns the number of CMM activity variables in p,
+// recursing into subprocess schemas (each schema counted once). Used by
+// the Section 7 deployment-scale experiment.
+func (p *ProcessSchema) CountActivities() int {
+	seen := map[string]bool{}
+	return p.countActivities(seen)
+}
+
+func (p *ProcessSchema) countActivities(seen map[string]bool) int {
+	if seen[p.Name] {
+		return 0
+	}
+	seen[p.Name] = true
+	n := 0
+	for _, av := range p.Activities {
+		n++
+		if sub, ok := av.Schema.(*ProcessSchema); ok {
+			n += sub.countActivities(seen)
+		}
+	}
+	return n
+}
+
+// String renders a one-line summary of the process schema.
+func (p *ProcessSchema) String() string {
+	var acts []string
+	for _, av := range p.Activities {
+		acts = append(acts, av.Name)
+	}
+	return fmt.Sprintf("process %s {%s}", p.Name, strings.Join(acts, ", "))
+}

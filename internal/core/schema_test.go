@@ -1,0 +1,359 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func labResultSchema() *ResourceSchema {
+	return &ResourceSchema{Name: "LabResult", Kind: DataResource, DataType: "labresult"}
+}
+
+func taskForceContextSchema() *ResourceSchema {
+	return &ResourceSchema{
+		Name: "TaskForceContext",
+		Kind: ContextResource,
+		Fields: []FieldDef{
+			{Name: "TaskForceMembers", Type: FieldRole},
+			{Name: "TaskForceDeadline", Type: FieldTime},
+			{Name: "Region", Type: FieldString},
+		},
+	}
+}
+
+func basicActivity(name string) *BasicActivitySchema {
+	return &BasicActivitySchema{Name: name, PerformerRole: OrgRole("Epidemiologist")}
+}
+
+func validProcess(t *testing.T) *ProcessSchema {
+	t.Helper()
+	p := &ProcessSchema{
+		Name: "TaskForce",
+		ResourceVars: []ResourceVariable{
+			{Name: "tfc", Schema: taskForceContextSchema(), Usage: UsageLocal},
+			{Name: "result", Schema: labResultSchema(), Usage: UsageOutput},
+		},
+		Activities: []ActivityVariable{
+			{Name: "Plan", Schema: basicActivity("PlanWork")},
+			{Name: "Interview", Schema: basicActivity("InterviewPatients")},
+			{Name: "LabTest", Schema: basicActivity("RunLabTest"), Repeatable: true},
+			{Name: "Report", Schema: basicActivity("WriteReport")},
+		},
+		Dependencies: []Dependency{
+			{Name: "d1", Type: DepSequence, Sources: []string{"Plan"}, Target: "Interview"},
+			{Name: "d2", Type: DepSequence, Sources: []string{"Plan"}, Target: "LabTest"},
+			{Name: "d3", Type: DepAndJoin, Sources: []string{"Interview", "LabTest"}, Target: "Report"},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("fixture process invalid: %v", err)
+	}
+	return p
+}
+
+func TestProcessValidateOK(t *testing.T) {
+	p := validProcess(t)
+	entries := p.EntryActivities()
+	if len(entries) != 1 || entries[0] != "Plan" {
+		t.Fatalf("entry activities = %v, want [Plan]", entries)
+	}
+}
+
+func TestResourceSchemaValidate(t *testing.T) {
+	if err := (&ResourceSchema{}).Validate(); err == nil {
+		t.Fatal("unnamed resource schema validated")
+	}
+	bad := &ResourceSchema{Name: "d", Kind: DataResource, Fields: []FieldDef{{Name: "x"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("data resource with fields validated")
+	}
+	dup := taskForceContextSchema()
+	dup.Fields = append(dup.Fields, FieldDef{Name: "Region", Type: FieldInt})
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate field validated")
+	}
+	unnamed := &ResourceSchema{Name: "c", Kind: ContextResource, Fields: []FieldDef{{}}}
+	if err := unnamed.Validate(); err == nil {
+		t.Fatal("unnamed field validated")
+	}
+}
+
+func TestResourceSchemaFieldLookup(t *testing.T) {
+	s := taskForceContextSchema()
+	f, ok := s.Field("TaskForceDeadline")
+	if !ok || f.Type != FieldTime {
+		t.Fatalf("Field lookup = %+v, %v", f, ok)
+	}
+	if _, ok := s.Field("Nope"); ok {
+		t.Fatal("unknown field found")
+	}
+}
+
+func TestBasicActivityValidate(t *testing.T) {
+	b := basicActivity("A")
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.States().Name() != GenericStateSchemaName {
+		t.Fatalf("default state schema = %q", b.States().Name())
+	}
+
+	if err := (&BasicActivitySchema{}).Validate(); err == nil {
+		t.Fatal("unnamed basic activity validated")
+	}
+	twoRoles := &BasicActivitySchema{
+		Name: "B",
+		ResourceVars: []ResourceVariable{
+			{Name: "r1", Schema: &ResourceSchema{Name: "R1", Kind: ParticipantResource}, Usage: UsageRole},
+			{Name: "r2", Schema: &ResourceSchema{Name: "R2", Kind: ParticipantResource}, Usage: UsageRole},
+		},
+	}
+	if err := twoRoles.Validate(); err == nil {
+		t.Fatal("two role variables validated")
+	}
+	local := &BasicActivitySchema{
+		Name: "C",
+		ResourceVars: []ResourceVariable{
+			{Name: "l", Schema: labResultSchema(), Usage: UsageLocal},
+		},
+	}
+	if err := local.Validate(); err == nil {
+		t.Fatal("local variable on basic activity validated")
+	}
+	dup := &BasicActivitySchema{
+		Name: "D",
+		ResourceVars: []ResourceVariable{
+			{Name: "x", Schema: labResultSchema(), Usage: UsageInput},
+			{Name: "x", Schema: labResultSchema(), Usage: UsageOutput},
+		},
+	}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate resource variable validated")
+	}
+}
+
+func TestProcessValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ProcessSchema)
+		want   string
+	}{
+		{"no name", func(p *ProcessSchema) { p.Name = "" }, "requires a name"},
+		{"dup activity", func(p *ProcessSchema) {
+			p.Activities = append(p.Activities, ActivityVariable{Name: "Plan", Schema: basicActivity("X")})
+		}, "twice"},
+		{"nil activity schema", func(p *ProcessSchema) { p.Activities = append(p.Activities, ActivityVariable{Name: "Z"}) }, "no schema"},
+		{"unknown dep target", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepSequence, Sources: []string{"Plan"}, Target: "Ghost"})
+		}, "unknown activity"},
+		{"unknown dep source", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepSequence, Sources: []string{"Ghost"}, Target: "Report"})
+		}, "unknown source"},
+		{"self dep", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepSequence, Sources: []string{"Report"}, Target: "Report"})
+		}, "itself"},
+		{"seq two sources", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepSequence, Sources: []string{"Plan", "Interview"}, Target: "Report"})
+		}, "exactly one source"},
+		{"join one source", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepAndJoin, Sources: []string{"Plan"}, Target: "Report"})
+		}, "at least two"},
+		{"guard without guard", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepGuard, Sources: []string{"Plan"}, Target: "Report"})
+		}, "no guard"},
+		{"guard unknown ctx", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepGuard, Sources: []string{"Plan"}, Target: "Report",
+				Guard: &Guard{ContextVar: "ghost", Field: "f", Op: "=="}})
+		}, "unknown context"},
+		{"guard unknown field", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepGuard, Sources: []string{"Plan"}, Target: "Report",
+				Guard: &Guard{ContextVar: "tfc", Field: "ghost", Op: "=="}})
+		}, "unknown field"},
+		{"guard bad op", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepGuard, Sources: []string{"Plan"}, Target: "Report",
+				Guard: &Guard{ContextVar: "tfc", Field: "Region", Op: "~="}})
+		}, "invalid operator"},
+		{"cycle", func(p *ProcessSchema) {
+			p.Dependencies = append(p.Dependencies, Dependency{Type: DepSequence, Sources: []string{"Report"}, Target: "Plan"})
+		}, "cycle"},
+		{"bad entry", func(p *ProcessSchema) { p.Entry = []string{"Ghost"} }, "entry names unknown"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validProcess(t)
+			c.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("mutation %q validated", c.name)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestNoEntryActivities(t *testing.T) {
+	// Cancel edges are not enablement edges, so a process whose only
+	// dependencies are mutual cancels still has entry activities.
+	q := &ProcessSchema{
+		Name: "q",
+		Activities: []ActivityVariable{
+			{Name: "A", Schema: basicActivity("A")},
+			{Name: "B", Schema: basicActivity("B")},
+		},
+		Dependencies: []Dependency{
+			{Type: DepCancel, Sources: []string{"A"}, Target: "B"},
+			{Type: DepCancel, Sources: []string{"B"}, Target: "A"},
+		},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("cancel-only process should validate: %v", err)
+	}
+	if got := q.EntryActivities(); len(got) != 2 {
+		t.Fatalf("entry = %v, want both activities", got)
+	}
+}
+
+func TestDepCancelNotEnablement(t *testing.T) {
+	p := validProcess(t)
+	p.Dependencies = append(p.Dependencies,
+		Dependency{Name: "c1", Type: DepCancel, Sources: []string{"LabTest"}, Target: "Interview"})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel edges may form cycles with enablement edges.
+	p.Dependencies = append(p.Dependencies,
+		Dependency{Name: "c2", Type: DepCancel, Sources: []string{"Report"}, Target: "Plan"})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("cancel back-edge should not be a cycle: %v", err)
+	}
+}
+
+func TestSubprocessesAndCount(t *testing.T) {
+	child := validProcess(t)
+	parent := &ProcessSchema{
+		Name: "Crisis",
+		Activities: []ActivityVariable{
+			{Name: "Gather", Schema: basicActivity("GatherInfo")},
+			{Name: "TF", Schema: child, Repeatable: true},
+		},
+		Dependencies: []Dependency{
+			{Type: DepSequence, Sources: []string{"Gather"}, Target: "TF"},
+		},
+	}
+	if err := parent.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	subs := parent.Subprocesses()
+	if len(subs) != 1 || subs[0].Name != "TF" {
+		t.Fatalf("subprocesses = %v", subs)
+	}
+	// 2 activities in parent + 4 in child.
+	if n := parent.CountActivities(); n != 6 {
+		t.Fatalf("CountActivities = %d, want 6", n)
+	}
+}
+
+func TestContextVarLookup(t *testing.T) {
+	p := validProcess(t)
+	cv, ok := p.ContextVar("tfc")
+	if !ok || cv.Schema.Name != "TaskForceContext" {
+		t.Fatalf("ContextVar = %+v, %v", cv, ok)
+	}
+	if _, ok := p.ContextVar("result"); ok {
+		t.Fatal("data resource found as context var")
+	}
+	if _, ok := p.ContextVar("ghost"); ok {
+		t.Fatal("unknown var found")
+	}
+}
+
+func TestActivityLookup(t *testing.T) {
+	p := validProcess(t)
+	av, ok := p.Activity("LabTest")
+	if !ok || !av.Repeatable {
+		t.Fatalf("Activity lookup = %+v, %v", av, ok)
+	}
+	if _, ok := p.Activity("Ghost"); ok {
+		t.Fatal("unknown activity found")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if DataResource.String() != "data" || ContextResource.String() != "context" {
+		t.Fatal("ResourceKind strings wrong")
+	}
+	if FieldRole.String() != "role" || FieldTime.String() != "time" {
+		t.Fatal("FieldType strings wrong")
+	}
+	if UsageRole.String() != "role" || UsageInput.String() != "input" {
+		t.Fatal("Usage strings wrong")
+	}
+	if DepAndJoin.String() != "and-join" || DepCancel.String() != "cancel" {
+		t.Fatal("DependencyType strings wrong")
+	}
+	if ResourceKind(99).String() == "" || FieldType(99).String() == "" ||
+		Usage(99).String() == "" || DependencyType(99).String() == "" {
+		t.Fatal("unknown enum values must still render")
+	}
+}
+
+func TestProcessString(t *testing.T) {
+	p := validProcess(t)
+	s := p.String()
+	for _, want := range []string{"TaskForce", "Plan", "Report"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewSchemaRegistry()
+	p := validProcess(t)
+	if err := r.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registering the same object is a no-op.
+	if err := r.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	// Sub-schemas were registered transitively.
+	if _, ok := r.Lookup("PlanWork"); !ok {
+		t.Fatal("subactivity schema not registered")
+	}
+	got, ok := r.Process("TaskForce")
+	if !ok || got != p {
+		t.Fatal("Process lookup failed")
+	}
+	if _, ok := r.Process("PlanWork"); ok {
+		t.Fatal("basic schema returned as process")
+	}
+	// A different schema under an existing name is rejected.
+	clash := &BasicActivitySchema{Name: "PlanWork"}
+	if err := r.Register(clash); err == nil {
+		t.Fatal("name clash accepted")
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	names := r.Names()
+	if len(names) != 5 || names[0] > names[len(names)-1] {
+		t.Fatalf("Names = %v", names)
+	}
+	procs := r.Processes()
+	if len(procs) != 1 || procs[0].Name != "TaskForce" {
+		t.Fatalf("Processes = %v", procs)
+	}
+}
+
+func TestRegistryRejectsInvalidAndNil(t *testing.T) {
+	r := NewSchemaRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	if err := r.Register(&ProcessSchema{}); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}

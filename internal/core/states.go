@@ -1,0 +1,370 @@
+// Package core implements the CMM CORE model (paper Sections 3 and 4): the
+// activity state meta type and its schemas, activity and process schemas,
+// resource schemas, the fixed set of dependency types, and the CORE
+// resources — data, helper, participant and context resources, including
+// organizational and scoped roles.
+//
+// CORE is the common basis for all CMM extensions; the Awareness Model in
+// package awareness and the Coordination Model in package enact are built
+// on the primitives defined here.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A State names one activity state. States live in a forest: the roots are
+// the basic states and application-specific states are substates of
+// already-defined states (Section 4, "Activity states").
+type State string
+
+// The generic activity states of Figure 4, consistent with the Workflow
+// Management Coalition state model.
+const (
+	Uninitialized State = "Uninitialized"
+	Ready         State = "Ready"
+	Running       State = "Running"
+	Suspended     State = "Suspended"
+	Closed        State = "Closed"
+	Completed     State = "Completed"  // substate of Closed
+	Terminated    State = "Terminated" // substate of Closed
+)
+
+// A StateSchema is an activity state schema: a forest of states together
+// with the legal state transitions. Transitions may only connect leaves of
+// the forest (Section 4). A transition from one state to another
+// constitutes a primitive activity event.
+//
+// StateSchema is a build-time object; it is not safe to mutate it
+// concurrently, but once built it may be read from any goroutine.
+type StateSchema struct {
+	name     string
+	parent   map[State]State // "" parent means root
+	children map[State][]State
+	trans    map[State]map[State]bool
+	initial  State
+}
+
+// NewStateSchema returns an empty activity state schema with the given
+// name.
+func NewStateSchema(name string) *StateSchema {
+	return &StateSchema{
+		name:     name,
+		parent:   make(map[State]State),
+		children: make(map[State][]State),
+		trans:    make(map[State]map[State]bool),
+	}
+}
+
+// Name returns the schema's name.
+func (s *StateSchema) Name() string { return s.name }
+
+// AddState adds a state to the forest. An empty parent adds a new root
+// (a basic state); otherwise the state becomes a substate of parent.
+// Adding a substate to a state that already participates in transitions is
+// rejected, because transitions must connect leaves only: use Refine to
+// split such a state.
+func (s *StateSchema) AddState(st State, parent State) error {
+	if st == "" {
+		return fmt.Errorf("core: state name must not be empty")
+	}
+	if _, exists := s.parent[st]; exists {
+		return fmt.Errorf("core: state %q already defined in schema %q", st, s.name)
+	}
+	if parent != "" {
+		if _, ok := s.parent[parent]; !ok {
+			return fmt.Errorf("core: parent state %q not defined in schema %q", parent, s.name)
+		}
+		if s.touchesTransition(parent) {
+			return fmt.Errorf("core: state %q participates in transitions; use Refine to add substates", parent)
+		}
+	}
+	s.parent[st] = parent
+	if parent != "" {
+		s.children[parent] = append(s.children[parent], st)
+	}
+	return nil
+}
+
+func (s *StateSchema) touchesTransition(st State) bool {
+	if len(s.trans[st]) > 0 {
+		return true
+	}
+	for _, tos := range s.trans {
+		if tos[st] {
+			return true
+		}
+	}
+	return false
+}
+
+// Refine splits a leaf state into substates for application-specific
+// modeling. Existing transitions into and out of the refined state are
+// rewritten to connect to defaultSub, preserving the generic behaviour;
+// additional transitions among the new substates are added with
+// AddTransition. The initial state is rewritten likewise.
+func (s *StateSchema) Refine(st State, defaultSub State, others ...State) error {
+	if _, ok := s.parent[st]; !ok {
+		return fmt.Errorf("core: cannot refine unknown state %q", st)
+	}
+	if len(s.children[st]) > 0 {
+		return fmt.Errorf("core: state %q already has substates", st)
+	}
+	subs := append([]State{defaultSub}, others...)
+	for _, sub := range subs {
+		if sub == "" {
+			return fmt.Errorf("core: substate name must not be empty")
+		}
+		if _, exists := s.parent[sub]; exists {
+			return fmt.Errorf("core: state %q already defined", sub)
+		}
+	}
+	for _, sub := range subs {
+		s.parent[sub] = st
+		s.children[st] = append(s.children[st], sub)
+	}
+	// Rewrite transitions that touched the refined state.
+	for from, tos := range s.trans {
+		if tos[st] {
+			delete(tos, st)
+			tos[defaultSub] = true
+		}
+		_ = from
+	}
+	if tos, ok := s.trans[st]; ok {
+		dst := s.trans[defaultSub]
+		if dst == nil {
+			dst = make(map[State]bool)
+			s.trans[defaultSub] = dst
+		}
+		for to := range tos {
+			dst[to] = true
+		}
+		delete(s.trans, st)
+	}
+	if s.initial == st {
+		s.initial = defaultSub
+	}
+	return nil
+}
+
+// AddTransition declares that instances may move from one state to
+// another. Both states must be leaves of the forest.
+func (s *StateSchema) AddTransition(from, to State) error {
+	for _, st := range []State{from, to} {
+		if _, ok := s.parent[st]; !ok {
+			return fmt.Errorf("core: transition references unknown state %q", st)
+		}
+		if !s.IsLeaf(st) {
+			return fmt.Errorf("core: transition must connect leaves; %q has substates", st)
+		}
+	}
+	if from == to {
+		return fmt.Errorf("core: self transition on %q not allowed", from)
+	}
+	if s.trans[from] == nil {
+		s.trans[from] = make(map[State]bool)
+	}
+	s.trans[from][to] = true
+	return nil
+}
+
+// SetInitial declares the state new instances start in. It must be a leaf.
+func (s *StateSchema) SetInitial(st State) error {
+	if _, ok := s.parent[st]; !ok {
+		return fmt.Errorf("core: unknown initial state %q", st)
+	}
+	if !s.IsLeaf(st) {
+		return fmt.Errorf("core: initial state %q must be a leaf", st)
+	}
+	s.initial = st
+	return nil
+}
+
+// Initial returns the initial state.
+func (s *StateSchema) Initial() State { return s.initial }
+
+// Has reports whether the state is defined in the schema.
+func (s *StateSchema) Has(st State) bool {
+	_, ok := s.parent[st]
+	return ok
+}
+
+// IsLeaf reports whether st has no substates. Unknown states are not
+// leaves.
+func (s *StateSchema) IsLeaf(st State) bool {
+	if _, ok := s.parent[st]; !ok {
+		return false
+	}
+	return len(s.children[st]) == 0
+}
+
+// Legal reports whether a transition from one leaf state to another is
+// permitted by the schema.
+func (s *StateSchema) Legal(from, to State) bool {
+	return s.trans[from][to]
+}
+
+// Parent returns the parent of st, or "" if st is a root (or unknown).
+func (s *StateSchema) Parent(st State) State { return s.parent[st] }
+
+// IsSubstateOf reports whether st equals ancestor or lies beneath it in
+// the forest.
+func (s *StateSchema) IsSubstateOf(st, ancestor State) bool {
+	for cur := st; cur != ""; cur = s.parent[cur] {
+		if cur == ancestor {
+			return true
+		}
+		if _, ok := s.parent[cur]; !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// Root returns the basic (root) state above st; for a root it returns st
+// itself.
+func (s *StateSchema) Root(st State) State {
+	cur := st
+	for {
+		p, ok := s.parent[cur]
+		if !ok || p == "" {
+			return cur
+		}
+		cur = p
+	}
+}
+
+// States returns all states in the schema, sorted by name.
+func (s *StateSchema) States() []State {
+	out := make([]State, 0, len(s.parent))
+	for st := range s.parent {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns all leaf states, sorted by name.
+func (s *StateSchema) Leaves() []State {
+	var out []State
+	for st := range s.parent {
+		if s.IsLeaf(st) {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Transitions returns every legal (from, to) pair, sorted, for display and
+// for the Figure 4 experiment.
+func (s *StateSchema) Transitions() [][2]State {
+	var out [][2]State
+	for from, tos := range s.trans {
+		for to := range tos {
+			out = append(out, [2]State{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Clone returns a deep copy of the schema under a new name, the starting
+// point for application-specific extension of the generic schema.
+func (s *StateSchema) Clone(name string) *StateSchema {
+	c := NewStateSchema(name)
+	for st, p := range s.parent {
+		c.parent[st] = p
+	}
+	for st, kids := range s.children {
+		c.children[st] = append([]State(nil), kids...)
+	}
+	for from, tos := range s.trans {
+		m := make(map[State]bool, len(tos))
+		for to := range tos {
+			m[to] = true
+		}
+		c.trans[from] = m
+	}
+	c.initial = s.initial
+	return c
+}
+
+// Validate checks global invariants: an initial state is set, every
+// transition connects leaves, and every non-root state's ancestry chain
+// terminates at a root.
+func (s *StateSchema) Validate() error {
+	if s.initial == "" {
+		return fmt.Errorf("core: schema %q has no initial state", s.name)
+	}
+	if !s.IsLeaf(s.initial) {
+		return fmt.Errorf("core: schema %q initial state %q is not a leaf", s.name, s.initial)
+	}
+	for from, tos := range s.trans {
+		if !s.IsLeaf(from) {
+			return fmt.Errorf("core: schema %q transition source %q is not a leaf", s.name, from)
+		}
+		for to := range tos {
+			if !s.IsLeaf(to) {
+				return fmt.Errorf("core: schema %q transition target %q is not a leaf", s.name, to)
+			}
+		}
+	}
+	for st := range s.parent {
+		seen := map[State]bool{}
+		for cur := st; cur != ""; cur = s.parent[cur] {
+			if seen[cur] {
+				return fmt.Errorf("core: schema %q has a cycle at state %q", s.name, cur)
+			}
+			seen[cur] = true
+		}
+	}
+	return nil
+}
+
+// GenericStateSchemaName is the registry name of the generic schema.
+const GenericStateSchemaName = "generic"
+
+// GenericStateSchema builds the generic activity state schema of Figure 4:
+// the basic states Uninitialized, Ready, Running, Suspended and Closed,
+// with Completed and Terminated as substates of Closed, and the
+// WfMC-consistent transition set. CORE enumerates the possible states and
+// transitions but does not define how and when a transition occurs; that
+// is the Coordination Model's job (package enact).
+func GenericStateSchema() *StateSchema {
+	s := NewStateSchema(GenericStateSchemaName)
+	must := func(err error) {
+		if err != nil {
+			panic("core: generic state schema construction: " + err.Error())
+		}
+	}
+	for _, root := range []State{Uninitialized, Ready, Running, Suspended, Closed} {
+		must(s.AddState(root, ""))
+	}
+	must(s.AddState(Completed, Closed))
+	must(s.AddState(Terminated, Closed))
+	for _, tr := range [][2]State{
+		{Uninitialized, Ready},
+		{Ready, Running},
+		{Running, Suspended},
+		{Suspended, Running},
+		{Running, Completed},
+		{Running, Terminated},
+		{Ready, Terminated},
+		{Suspended, Terminated},
+	} {
+		must(s.AddTransition(tr[0], tr[1]))
+	}
+	must(s.SetInitial(Uninitialized))
+	if err := s.Validate(); err != nil {
+		panic("core: generic state schema invalid: " + err.Error())
+	}
+	return s
+}

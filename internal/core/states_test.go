@@ -1,0 +1,275 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenericSchemaStructure(t *testing.T) {
+	s := GenericStateSchema()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Initial() != Uninitialized {
+		t.Fatalf("initial = %q", s.Initial())
+	}
+	for _, st := range []State{Uninitialized, Ready, Running, Suspended, Closed, Completed, Terminated} {
+		if !s.Has(st) {
+			t.Errorf("missing state %q", st)
+		}
+	}
+	if s.IsLeaf(Closed) {
+		t.Error("Closed must not be a leaf (it has substates)")
+	}
+	for _, st := range []State{Completed, Terminated} {
+		if !s.IsSubstateOf(st, Closed) {
+			t.Errorf("%q should be a substate of Closed", st)
+		}
+		if s.Root(st) != Closed {
+			t.Errorf("Root(%q) = %q, want Closed", st, s.Root(st))
+		}
+	}
+	if s.Root(Running) != Running {
+		t.Errorf("Root(Running) = %q", s.Root(Running))
+	}
+}
+
+// TestGenericTransitionMatrix is the Figure 4 experiment's correctness
+// core: the exhaustive legal/illegal transition matrix over all leaves.
+func TestGenericTransitionMatrix(t *testing.T) {
+	s := GenericStateSchema()
+	legal := map[[2]State]bool{
+		{Uninitialized, Ready}:  true,
+		{Ready, Running}:        true,
+		{Running, Suspended}:    true,
+		{Suspended, Running}:    true,
+		{Running, Completed}:    true,
+		{Running, Terminated}:   true,
+		{Ready, Terminated}:     true,
+		{Suspended, Terminated}: true,
+	}
+	leaves := s.Leaves()
+	if len(leaves) != 6 {
+		t.Fatalf("leaves = %v, want 6 leaves", leaves)
+	}
+	checked := 0
+	for _, from := range leaves {
+		for _, to := range leaves {
+			got := s.Legal(from, to)
+			want := legal[[2]State{from, to}]
+			if got != want {
+				t.Errorf("Legal(%s -> %s) = %v, want %v", from, to, got, want)
+			}
+			checked++
+		}
+	}
+	if checked != 36 {
+		t.Fatalf("checked %d pairs, want 36", checked)
+	}
+	if len(s.Transitions()) != len(legal) {
+		t.Fatalf("Transitions() lists %d, want %d", len(s.Transitions()), len(legal))
+	}
+}
+
+func TestTransitionsToNonLeafIllegal(t *testing.T) {
+	s := GenericStateSchema()
+	if s.Legal(Running, Closed) {
+		t.Fatal("transition to non-leaf Closed must be illegal")
+	}
+	if err := s.AddTransition(Running, Closed); err == nil {
+		t.Fatal("AddTransition to non-leaf must fail")
+	}
+}
+
+func TestAddStateErrors(t *testing.T) {
+	s := NewStateSchema("t")
+	if err := s.AddState("", ""); err == nil {
+		t.Fatal("empty state name accepted")
+	}
+	if err := s.AddState("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddState("A", ""); err == nil {
+		t.Fatal("duplicate state accepted")
+	}
+	if err := s.AddState("B", "missing"); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := s.AddState("B", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	// A participates in transitions now; adding a substate must fail.
+	if err := s.AddState("A1", "A"); err == nil {
+		t.Fatal("adding substate under transitioning state must fail without Refine")
+	}
+}
+
+func TestSelfTransitionRejected(t *testing.T) {
+	s := NewStateSchema("t")
+	if err := s.AddState("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition("A", "A"); err == nil {
+		t.Fatal("self transition accepted")
+	}
+}
+
+func TestRefineRewritesTransitions(t *testing.T) {
+	s := GenericStateSchema().Clone("crisis")
+	// Application-specific substates of Running, as a crisis model
+	// would define (Section 4: application-specific states are
+	// substates of already-defined states).
+	if err := s.Refine(Running, "Investigating", "AwaitingLab"); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsLeaf(Running) {
+		t.Fatal("Running should no longer be a leaf")
+	}
+	if !s.IsSubstateOf("AwaitingLab", Running) {
+		t.Fatal("AwaitingLab should be a substate of Running")
+	}
+	// Old transitions into Running now target the default substate.
+	if !s.Legal(Ready, "Investigating") {
+		t.Fatal("Ready -> Investigating should be legal after refine")
+	}
+	if s.Legal(Ready, Running) {
+		t.Fatal("Ready -> Running must be illegal after refine (non-leaf)")
+	}
+	// Old transitions out of Running now originate from the default.
+	if !s.Legal("Investigating", Completed) {
+		t.Fatal("Investigating -> Completed should be legal after refine")
+	}
+	// Sibling transitions must be added explicitly.
+	if s.Legal("Investigating", "AwaitingLab") {
+		t.Fatal("sibling transition should not exist yet")
+	}
+	if err := s.AddTransition("Investigating", "AwaitingLab"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTransition("AwaitingLab", "Investigating"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineInitialState(t *testing.T) {
+	s := NewStateSchema("t")
+	if err := s.AddState("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetInitial("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Refine("A", "A1", "A2"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Initial() != "A1" {
+		t.Fatalf("initial = %q, want A1", s.Initial())
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	s := GenericStateSchema().Clone("x")
+	if err := s.Refine("Nope", "A"); err == nil {
+		t.Fatal("refining unknown state accepted")
+	}
+	if err := s.Refine(Closed, "More"); err == nil {
+		t.Fatal("refining a state with substates accepted")
+	}
+	if err := s.Refine(Running, Completed); err == nil {
+		t.Fatal("reusing an existing state name accepted")
+	}
+	if err := s.Refine(Running, ""); err == nil {
+		t.Fatal("empty substate name accepted")
+	}
+}
+
+func TestSetInitialErrors(t *testing.T) {
+	s := GenericStateSchema().Clone("x")
+	if err := s.SetInitial("Bogus"); err == nil {
+		t.Fatal("unknown initial accepted")
+	}
+	if err := s.SetInitial(Closed); err == nil {
+		t.Fatal("non-leaf initial accepted")
+	}
+}
+
+func TestValidateCatchesMissingInitial(t *testing.T) {
+	s := NewStateSchema("t")
+	if err := s.AddState("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("schema without initial validated")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := GenericStateSchema()
+	c := orig.Clone("copy")
+	if err := c.Refine(Running, "Sub"); err != nil {
+		t.Fatal(err)
+	}
+	if !orig.IsLeaf(Running) {
+		t.Fatal("refining the clone affected the original")
+	}
+	if orig.Legal(Ready, Running) != true {
+		t.Fatal("original transitions mutated")
+	}
+}
+
+func TestIsSubstateOfSelf(t *testing.T) {
+	s := GenericStateSchema()
+	if !s.IsSubstateOf(Running, Running) {
+		t.Fatal("a state is a substate of itself")
+	}
+	if s.IsSubstateOf(Running, Closed) {
+		t.Fatal("Running is not under Closed")
+	}
+	if s.IsSubstateOf("Unknown", Closed) {
+		t.Fatal("unknown states are not substates")
+	}
+}
+
+// Property: for any sequence of legal transitions starting from the
+// initial state, the current state is always a leaf and every step is
+// legal — i.e. Legal() and Leaves() are mutually consistent.
+func TestLegalTransitionsStayOnLeavesProperty(t *testing.T) {
+	s := GenericStateSchema()
+	leaves := s.Leaves()
+	f := func(steps []uint8) bool {
+		cur := s.Initial()
+		for _, b := range steps {
+			next := leaves[int(b)%len(leaves)]
+			if s.Legal(cur, next) {
+				cur = next
+			}
+			if !s.IsLeaf(cur) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Root is idempotent and Root(x) is always a root.
+func TestRootIdempotentProperty(t *testing.T) {
+	s := GenericStateSchema()
+	for _, st := range s.States() {
+		r := s.Root(st)
+		if s.Root(r) != r {
+			t.Fatalf("Root not idempotent for %q", st)
+		}
+		if s.Parent(r) != "" {
+			t.Fatalf("Root(%q) = %q is not a root", st, r)
+		}
+	}
+}

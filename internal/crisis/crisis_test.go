@@ -1,0 +1,337 @@
+package crisis
+
+import (
+	"testing"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+)
+
+func TestModelValidatesAndInstalls(t *testing.T) {
+	m, err := NewModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InformationGathering.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The three mandatory task forces plus media all invoke the same
+	// TaskForce schema.
+	if len(m.InformationGathering.Subprocesses()) != 4 {
+		t.Fatalf("subprocesses = %d", len(m.InformationGathering.Subprocesses()))
+	}
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := m.Install(sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedStaff(t *testing.T) {
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	st, err := SeedStaff(sys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Epidemiologists) != 5 || len(st.LabTechs) != 2 {
+		t.Fatalf("staff = %+v", st)
+	}
+	got, err := sys.Directory().ResolveOrg("Epidemiologist")
+	if err != nil || len(got) != 5 {
+		t.Fatalf("epidemiologists = %v, %v", got, err)
+	}
+}
+
+// TestFigure1Shape pins the regenerated Figure 1's qualitative shape:
+// the process brackets every activity, the three mandatory task forces
+// are staggered, the three lab tests overlap the middle of the process,
+// and optional activities appear.
+func TestFigure1Shape(t *testing.T) {
+	res, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 20 {
+		t.Fatalf("rows = %d, want a rich timeline", len(res.Rows))
+	}
+	byLabel := map[string][]TimelineRow{}
+	for _, r := range res.Rows {
+		byLabel[r.Label] = append(byLabel[r.Label], r)
+		if r.Start.Before(res.ProcessStart) || r.End.After(res.ProcessEnd) {
+			t.Fatalf("row %q outside process bracket", r.Label)
+		}
+		if r.End.Before(r.Start) {
+			t.Fatalf("row %q ends before it starts", r.Label)
+		}
+	}
+	// The always-required activities appear exactly once.
+	for _, label := range []string{"ReceiveReports", "AssessSituation", "DevelopStrategy",
+		"PatientInterviews", "HospitalRelations", "VectorOfTransmission"} {
+		if len(byLabel[label]) != 1 {
+			t.Fatalf("%s appears %d times", label, len(byLabel[label]))
+		}
+	}
+	// Figure 1 shows three lab tests and repeated local expertise.
+	if len(byLabel["LabTest"]) != 3 {
+		t.Fatalf("lab tests = %d, want 3", len(byLabel["LabTest"]))
+	}
+	if len(byLabel["LocalExpertise"]) != 2 {
+		t.Fatalf("local expertise = %d, want 2", len(byLabel["LocalExpertise"]))
+	}
+	if len(byLabel["MediaTaskForce"]) != 1 {
+		t.Fatalf("media task force = %d", len(byLabel["MediaTaskForce"]))
+	}
+	// Task forces are staggered: patient interviews start before
+	// hospital relations, which start before vector of transmission.
+	pi := byLabel["PatientInterviews"][0]
+	hr := byLabel["HospitalRelations"][0]
+	vt := byLabel["VectorOfTransmission"][0]
+	if !pi.Start.Before(hr.Start) || !hr.Start.Before(vt.Start) {
+		t.Fatal("task forces not staggered")
+	}
+	// Strategy development is last and ends the process.
+	ds := byLabel["DevelopStrategy"][0]
+	if !ds.End.Equal(res.ProcessEnd) {
+		t.Fatalf("strategy end %v != process end %v", ds.End, res.ProcessEnd)
+	}
+	// The crisis leader was notified of each mandatory task force's
+	// findings (FindingsReported awareness schema).
+	if res.Notifications["leader"] != 3 {
+		t.Fatalf("leader notifications = %d, want 3", res.Notifications["leader"])
+	}
+	// Determinism: a second run is identical.
+	res2, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(res.Rows) || res2.Events != res.Events {
+		t.Fatal("Figure 1 scenario not deterministic")
+	}
+	for i := range res.Rows {
+		if res.Rows[i] != res2.Rows[i] {
+			t.Fatalf("row %d differs between runs", i)
+		}
+	}
+}
+
+// TestOverloadShape pins the E7 claim: CMI delivers exactly the relevant
+// information (precision = recall = 1), content-filtered pub/sub finds
+// everything but drowns it (recall 1, precision well below 1), and the
+// WfMS monitoring baseline floods participants with raw events carrying
+// none of the composite information.
+func TestOverloadShape(t *testing.T) {
+	res, err := RunOverload(DefaultOverloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relevant == 0 {
+		t.Fatal("scenario produced no ground truth")
+	}
+	if p := res.CMI.Precision(); p != 1.0 {
+		t.Fatalf("CMI precision = %v", p)
+	}
+	if r := res.CMI.Recall(res.Relevant); r != 1.0 {
+		t.Fatalf("CMI recall = %v", r)
+	}
+	if r := res.PubSub.Recall(res.Relevant); r != 1.0 {
+		t.Fatalf("pubsub recall = %v", r)
+	}
+	if p := res.PubSub.Precision(); p >= 1.0 || p <= 0 {
+		t.Fatalf("pubsub precision = %v, want strictly between 0 and 1", p)
+	}
+	if res.Monitor.Covered != 0 {
+		t.Fatalf("monitor covered = %d, raw activity events cannot express violations", res.Monitor.Covered)
+	}
+	if res.Monitor.Delivered <= res.CMI.Delivered*5 {
+		t.Fatalf("monitor delivered %d vs CMI %d: overload factor too small",
+			res.Monitor.Delivered, res.CMI.Delivered)
+	}
+}
+
+// TestOverloadScaling: the monitor baseline's overload grows with scale
+// while CMI stays proportional to the relevant information.
+func TestOverloadScaling(t *testing.T) {
+	small := DefaultOverloadConfig()
+	big := small
+	big.TaskForces = 8
+	resS, err := RunOverload(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := RunOverload(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.Relevant <= resS.Relevant {
+		t.Fatal("ground truth did not grow")
+	}
+	if resB.CMI.Delivered != resB.Relevant {
+		t.Fatalf("CMI delivered %d != relevant %d at scale", resB.CMI.Delivered, resB.Relevant)
+	}
+	overloadS := float64(resS.Monitor.Delivered) / float64(resS.Relevant)
+	overloadB := float64(resB.Monitor.Delivered) / float64(resB.Relevant)
+	if overloadB < overloadS {
+		t.Fatalf("monitor overload shrank with scale: %.1f -> %.1f", overloadS, overloadB)
+	}
+}
+
+func TestOverloadConfigValidation(t *testing.T) {
+	if _, err := RunOverload(OverloadConfig{TaskForces: 0, MembersPerForce: 3}); err == nil {
+		t.Fatal("zero forces accepted")
+	}
+	if _, err := RunOverload(OverloadConfig{TaskForces: 1, MembersPerForce: 1}); err == nil {
+		t.Fatal("single member accepted")
+	}
+}
+
+// TestDeploymentMatchesSection7 pins the reported deployment scale.
+func TestDeploymentMatchesSection7(t *testing.T) {
+	d, err := NewDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := d.Inventory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Processes != 9 {
+		t.Fatalf("processes = %d, want 9", inv.Processes)
+	}
+	if inv.CMMActivities <= 50 {
+		t.Fatalf("CMM activities = %d, want > 50", inv.CMMActivities)
+	}
+	if inv.AwarenessSpecs != 8 {
+		t.Fatalf("awareness specs = %d, want 8", inv.AwarenessSpecs)
+	}
+	if inv.Scripts != 30 {
+		t.Fatalf("scripts = %d, want 30", inv.Scripts)
+	}
+	// "a few hundred" WfMS activities.
+	if inv.WfMSActivities < 200 || inv.WfMSActivities > 600 {
+		t.Fatalf("WfMS activities = %d, want a few hundred", inv.WfMSActivities)
+	}
+	if inv.Expansion < 3 {
+		t.Fatalf("expansion = %.1f, want several-fold", inv.Expansion)
+	}
+}
+
+func TestDeploymentInstallsAndRuns(t *testing.T) {
+	d, err := NewDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cmi.New(cmi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := d.Install(sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SeedStaff(sys, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunScripts(sys); err != nil {
+		t.Fatal(err)
+	}
+	// Every one of the nine processes can be instantiated.
+	for _, p := range d.Processes {
+		if p.Name == "InfoRequest" {
+			continue // requires an input context; started via TaskForce
+		}
+		if _, err := sys.StartProcess(p.Name, "leader"); err != nil {
+			t.Fatalf("start %s: %v", p.Name, err)
+		}
+	}
+	// Drive one response process end to end.
+	pi, err := sys.StartProcess("ContainmentPlanning", "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := []string{"ScopeOutbreak", "ModelSpread", "DraftMeasures", "ReviewMeasures", "ApproveMeasures", "PublishPlan"}
+	users := map[bool]string{true: "leader", false: "epi-00"}
+	for i, st := range stages {
+		id, err := findReady(sys, pi.ID(), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := users[i == 0 || i == len(stages)-1]
+		if err := sys.Coordination().Start(id, u); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Coordination().Complete(id, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := sys.Coordination().ProcessState(pi.ID()); st != cmi.Completed {
+		t.Fatalf("containment planning = %v", st)
+	}
+	sys.Drain()
+	// The PlanPublished awareness schema notified the crisis leader.
+	found := false
+	for _, n := range sys.MustViewer("leader") {
+		if n.Schema == "PlanPublished" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("PlanPublished notification missing")
+	}
+}
+
+func TestContextSchemas(t *testing.T) {
+	tf := TaskForceContextSchema()
+	if err := tf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := tf.Field("TaskForceDeadline"); !ok || f.Type != cmi.FieldTime {
+		t.Fatalf("TaskForceDeadline = %+v, %v", f, ok)
+	}
+	ir := InfoRequestContextSchema()
+	if f, ok := ir.Field("Requestor"); !ok || f.Type != cmi.FieldRole {
+		t.Fatalf("Requestor = %+v, %v", f, ok)
+	}
+}
+
+func TestTimelineDurationsPositive(t *testing.T) {
+	res, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.End.Sub(r.Start) <= 0 {
+			t.Fatalf("%s has non-positive duration", r.Label)
+		}
+		if r.End.Sub(r.Start) > 5*24*time.Hour {
+			t.Fatalf("%s is implausibly long: %v", r.Label, r.End.Sub(r.Start))
+		}
+	}
+}
+
+// TestOverloadDeterminism: the E7 experiment is exactly reproducible.
+func TestOverloadDeterminism(t *testing.T) {
+	a, err := RunOverload(DefaultOverloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOverload(DefaultOverloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("overload runs differ:\n%+v\n%+v", a, b)
+	}
+}

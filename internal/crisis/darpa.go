@@ -1,0 +1,340 @@
+package crisis
+
+import (
+	"fmt"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/wfms"
+)
+
+// Deployment reproduces the scale of the DARPA intelligence-gathering
+// demonstration reported in Section 7: nine collaboration processes with
+// more than fifty CMM activities, eight awareness specifications, and
+// thirty basic activity scripts for creating and managing context
+// resources; CMM activity translation into the (stand-in) commercial
+// WfMS results in a few hundred WfMS activities.
+type Deployment struct {
+	// Processes are the nine collaboration process schemas. The first
+	// three are the epidemic model (information gathering, task force,
+	// information request); the rest cover the surrounding crisis
+	// response.
+	Processes []*cmi.ProcessSchema
+	// Awareness are the eight awareness specifications.
+	Awareness []*cmi.AwarenessSchema
+	// Scripts are the thirty context-management scripts.
+	Scripts []Script
+}
+
+// A Script is one basic activity script for creating and managing
+// context resources (Section 7). Scripts run against the system's
+// context registry.
+type Script struct {
+	Name string
+	// Apply performs the script's effect: creating a context of the
+	// given schema or mutating a field of an existing instance.
+	Apply func(sys *cmi.System) error
+}
+
+// Inventory summarizes the deployment for the Section 7 comparison.
+type Inventory struct {
+	Processes      int
+	CMMActivities  int
+	AwarenessSpecs int
+	Scripts        int
+	// WfMSActivities is the activity count after translation to the
+	// WfMS substrate; Expansion is WfMS/CMM.
+	WfMSActivities int
+	Expansion      float64
+}
+
+// NewDeployment builds the deployment-scale model.
+func NewDeployment() (*Deployment, error) {
+	model, err := NewModel()
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Processes: []*cmi.ProcessSchema{
+			model.InformationGathering,
+			model.TaskForce,
+			model.InfoRequest,
+		},
+		Awareness: append([]*cmi.AwarenessSchema(nil), model.Awareness...),
+	}
+
+	// Six further collaboration processes of the crisis response, each a
+	// staged pipeline with a mid-point fan-out/fan-in, led by the crisis
+	// leader with epidemiologist staffing.
+	themes := []struct {
+		name   string
+		stages []string
+	}{
+		{"ContainmentPlanning", []string{"ScopeOutbreak", "ModelSpread", "DraftMeasures", "ReviewMeasures", "ApproveMeasures", "PublishPlan"}},
+		{"MediaResponse", []string{"DraftStatement", "LegalReview", "ScienceReview", "ReconcileReviews", "BriefSpokesperson", "HoldBriefing", "MonitorCoverage"}},
+		{"ResourceAllocation", []string{"InventorySupplies", "ForecastNeeds", "PrioritizeRegions", "AllocateStock", "ArrangeTransport", "ConfirmDelivery"}},
+		{"FieldDeployment", []string{"SelectTeams", "IssueEquipment", "TravelToSite", "EstablishBase", "ReportReadiness", "RotateTeams", "Debrief"}},
+		{"IntelFusion", []string{"CollectReports", "VetSources", "CorrelateSignals", "AssessThreat", "DisseminateAssessment", "ArchiveIntel"}},
+		{"AfterActionReview", []string{"GatherLogs", "InterviewParticipants", "TimelineEvents", "IdentifyLessons", "DraftReport", "SignOffReport"}},
+	}
+	statusCtx := &cmi.ResourceSchema{
+		Name: "ResponseStatusContext",
+		Kind: cmi.ContextResource,
+		Fields: []cmi.FieldDef{
+			{Name: "Owner", Type: cmi.FieldRole},
+			{Name: "Phase", Type: cmi.FieldString},
+			{Name: "Progress", Type: cmi.FieldInt},
+			{Name: "Escalated", Type: cmi.FieldBool},
+		},
+	}
+	for _, th := range themes {
+		p := &cmi.ProcessSchema{
+			Name: th.name,
+			ResourceVars: []cmi.ResourceVariable{
+				{Name: "status", Usage: cmi.UsageLocal, Schema: statusCtx},
+			},
+		}
+		for i, stage := range th.stages {
+			role := cmi.OrgRole("Epidemiologist")
+			if i == 0 || i == len(th.stages)-1 {
+				role = cmi.OrgRole("CrisisLeader")
+			}
+			p.Activities = append(p.Activities, cmi.ActivityVariable{
+				Name:   stage,
+				Schema: &cmi.BasicActivitySchema{Name: th.name + "/" + stage, PerformerRole: role},
+			})
+			if i > 0 {
+				p.Dependencies = append(p.Dependencies, cmi.Dependency{
+					Type: cmi.DepSequence, Sources: []string{th.stages[i-1]}, Target: stage,
+				})
+			}
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("crisis: %s: %w", th.name, err)
+		}
+		d.Processes = append(d.Processes, p)
+	}
+
+	// Five further awareness specifications over the response processes,
+	// bringing the total to eight.
+	mk := func(name string, proc *cmi.ProcessSchema, desc cmi.Node, role cmi.RoleRef, text string) *cmi.AwarenessSchema {
+		return &cmi.AwarenessSchema{
+			Name: name, Process: proc, Description: desc,
+			DeliveryRole: role, Assignment: cmi.AssignIdentity, Text: text,
+		}
+	}
+	byName := map[string]*cmi.ProcessSchema{}
+	for _, p := range d.Processes {
+		byName[p.Name] = p
+	}
+	d.Awareness = append(d.Awareness,
+		mk("PlanPublished", byName["ContainmentPlanning"],
+			&cmi.ActivitySource{Av: "PublishPlan", New: []cmi.State{cmi.Completed}},
+			cmi.OrgRole("CrisisLeader"),
+			"The containment plan has been published"),
+		mk("BriefingHeld", byName["MediaResponse"],
+			&cmi.SeqNode{Copy: 2, Inputs: []cmi.Node{
+				&cmi.ActivitySource{Av: "BriefSpokesperson", New: []cmi.State{cmi.Completed}},
+				&cmi.ActivitySource{Av: "HoldBriefing", New: []cmi.State{cmi.Completed}},
+			}},
+			cmi.OrgRole("CrisisLeader"),
+			"The press briefing has been held"),
+		mk("AllocationStalled", byName["ResourceAllocation"],
+			&cmi.Compare1Node{Op: ">=", Operand: 3, Input: &cmi.CountNode{
+				Input: &cmi.ActivitySource{Av: "AllocateStock", New: []cmi.State{cmi.Suspended}},
+			}},
+			cmi.OrgRole("CrisisLeader"),
+			"Stock allocation has been suspended three times"),
+		mk("TeamsReady", byName["FieldDeployment"],
+			&cmi.AndNode{Copy: 1, Inputs: []cmi.Node{
+				&cmi.ActivitySource{Av: "EstablishBase", New: []cmi.State{cmi.Completed}},
+				&cmi.ActivitySource{Av: "ReportReadiness", New: []cmi.State{cmi.Completed}},
+			}},
+			cmi.OrgRole("CrisisLeader"),
+			"Field teams are established and ready"),
+		mk("ThreatEscalated", byName["IntelFusion"],
+			&cmi.ContextSource{Context: "ResponseStatusContext", Field: "Escalated"},
+			cmi.ScopedRole("ResponseStatusContext", "Owner"),
+			"The threat assessment has been escalated"),
+	)
+
+	// Thirty basic activity scripts: six context-management operations
+	// over five context schemas.
+	ctxSchemas := []*cmi.ResourceSchema{
+		TaskForceContextSchema(),
+		InfoRequestContextSchema(),
+		statusCtx,
+		{Name: "LogisticsContext", Kind: cmi.ContextResource, Fields: []cmi.FieldDef{
+			{Name: "Coordinator", Type: cmi.FieldRole},
+			{Name: "Depot", Type: cmi.FieldString},
+			{Name: "Stock", Type: cmi.FieldInt},
+		}},
+		{Name: "LiaisonContext", Kind: cmi.ContextResource, Fields: []cmi.FieldDef{
+			{Name: "Liaison", Type: cmi.FieldRole},
+			{Name: "Agency", Type: cmi.FieldString},
+			{Name: "Active", Type: cmi.FieldBool},
+		}},
+	}
+	ops := []string{"create", "assign-role", "set-status", "advance", "clear", "retire"}
+	for _, cs := range ctxSchemas {
+		cs := cs
+		for _, op := range ops {
+			op := op
+			d.Scripts = append(d.Scripts, Script{
+				Name:  fmt.Sprintf("%s.%s", cs.Name, op),
+				Apply: makeScript(cs, op),
+			})
+		}
+	}
+	return d, nil
+}
+
+// makeScript builds the context-management effect for one (schema, op)
+// pair. Every script creates or manipulates a live context through the
+// CORE engine, so running all thirty exercises the same code paths the
+// DARPA demonstration's activity scripts did.
+func makeScript(cs *cmi.ResourceSchema, op string) func(*cmi.System) error {
+	return func(sys *cmi.System) error {
+		reg := sys.Contexts()
+		// Each script operates on the most recent live context of its
+		// schema, creating one when needed.
+		ctxs := reg.ByName(cs.Name)
+		var id string
+		if len(ctxs) == 0 || op == "create" {
+			c, err := reg.Create(cs)
+			if err != nil {
+				return err
+			}
+			id = c.ID()
+		} else {
+			id = ctxs[len(ctxs)-1].ID()
+		}
+		switch op {
+		case "create":
+			return nil
+		case "assign-role":
+			for _, f := range cs.Fields {
+				if f.Type == cmi.FieldRole {
+					return reg.SetField(id, f.Name, core.NewRoleValue("leader"))
+				}
+			}
+		case "set-status":
+			for _, f := range cs.Fields {
+				if f.Type == cmi.FieldString {
+					return reg.SetField(id, f.Name, "active")
+				}
+			}
+		case "advance":
+			for _, f := range cs.Fields {
+				switch f.Type {
+				case cmi.FieldInt:
+					return reg.SetField(id, f.Name, 1)
+				case cmi.FieldBool:
+					return reg.SetField(id, f.Name, true)
+				case cmi.FieldTime:
+					return reg.SetField(id, f.Name, sys.Clock().Now())
+				}
+			}
+		case "clear":
+			return reg.SetField(id, cs.Fields[0].Name, nil)
+		case "retire":
+			return reg.Retire(id)
+		}
+		return nil
+	}
+}
+
+// Install registers every process schema and awareness specification.
+func (d *Deployment) Install(sys *cmi.System) error {
+	for _, p := range d.Processes {
+		if err := sys.RegisterProcess(p); err != nil {
+			return err
+		}
+	}
+	return sys.DefineAwareness(d.Awareness...)
+}
+
+// RunScripts executes the thirty context-management scripts.
+func (d *Deployment) RunScripts(sys *cmi.System) error {
+	for _, s := range d.Scripts {
+		if err := s.Apply(sys); err != nil {
+			return fmt.Errorf("crisis: script %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Inventory measures the deployment, including the CMM -> WfMS
+// translation expansion.
+func (d *Deployment) Inventory() (Inventory, error) {
+	inv := Inventory{
+		Processes:      len(d.Processes),
+		AwarenessSpecs: len(d.Awareness),
+		Scripts:        len(d.Scripts),
+	}
+	seen := map[string]bool{}
+	for _, p := range d.Processes {
+		if seen[p.Name] {
+			continue
+		}
+		rep, err := wfms.Report(p, wfms.TranslateOptions{RepeatWidth: 2})
+		if err != nil {
+			return inv, err
+		}
+		// Avoid double counting shared subprocess schemas.
+		inv.CMMActivities += countNew(p, seen)
+		inv.WfMSActivities += wfmsNew(p, seen, rep)
+		markSeen(p, seen)
+	}
+	if inv.CMMActivities > 0 {
+		inv.Expansion = float64(inv.WfMSActivities) / float64(inv.CMMActivities)
+	}
+	return inv, nil
+}
+
+// countNew counts CMM activities of p not attributed to already-seen
+// schemas.
+func countNew(p *cmi.ProcessSchema, seen map[string]bool) int {
+	if seen[p.Name] {
+		return 0
+	}
+	n := 0
+	local := map[string]bool{p.Name: true}
+	var walk func(q *cmi.ProcessSchema)
+	walk = func(q *cmi.ProcessSchema) {
+		for _, av := range q.Activities {
+			n++
+			if sub, ok := av.Schema.(*cmi.ProcessSchema); ok && !seen[sub.Name] && !local[sub.Name] {
+				local[sub.Name] = true
+				walk(sub)
+			}
+		}
+	}
+	walk(p)
+	return n
+}
+
+// wfmsNew sums translated definition sizes for schemas not yet seen.
+func wfmsNew(p *cmi.ProcessSchema, seen map[string]bool, rep wfms.ExpansionReport) int {
+	// Re-translate and count only the new definitions.
+	defs, err := wfms.Translate(p, wfms.TranslateOptions{RepeatWidth: 2})
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, def := range defs {
+		if !seen[def.Name] {
+			n += len(def.Nodes)
+		}
+	}
+	return n
+}
+
+func markSeen(p *cmi.ProcessSchema, seen map[string]bool) {
+	seen[p.Name] = true
+	for _, av := range p.Activities {
+		if sub, ok := av.Schema.(*cmi.ProcessSchema); ok && !seen[sub.Name] {
+			markSeen(sub, seen)
+		}
+	}
+}

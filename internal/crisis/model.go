@@ -1,0 +1,261 @@
+// Package crisis builds the crisis-management workloads the paper
+// motivates CMI with (Sections 1-2): the epidemic-response information
+// gathering process of Figure 1, dynamically composed task forces with
+// scoped roles, information request subprocesses with deadlines (the
+// Section 5.4 running example), and the DARPA-deployment-scale model
+// summarized in Section 7.
+//
+// The generators are deterministic: driven by a virtual clock and fixed
+// orderings, so every experiment in EXPERIMENTS.md reproduces exactly.
+package crisis
+
+import (
+	"fmt"
+
+	cmi "github.com/mcc-cmi/cmi"
+)
+
+// Model holds the crisis process and awareness schemas.
+type Model struct {
+	// InformationGathering is the Figure 1 top-level process.
+	InformationGathering *cmi.ProcessSchema
+	// TaskForce is the dynamically instantiated task force subprocess.
+	TaskForce *cmi.ProcessSchema
+	// InfoRequest is the Section 5.4 information request subprocess.
+	InfoRequest *cmi.ProcessSchema
+	// Awareness lists the model's awareness schemas.
+	Awareness []*cmi.AwarenessSchema
+}
+
+// TaskForceContextSchema returns the TaskForceContext resource schema of
+// Section 5.4.
+func TaskForceContextSchema() *cmi.ResourceSchema {
+	return &cmi.ResourceSchema{
+		Name: "TaskForceContext",
+		Kind: cmi.ContextResource,
+		Fields: []cmi.FieldDef{
+			{Name: "TaskForceMembers", Type: cmi.FieldRole},
+			{Name: "TaskForceLeader", Type: cmi.FieldRole},
+			{Name: "TaskForceDeadline", Type: cmi.FieldTime},
+			{Name: "Region", Type: cmi.FieldString},
+			{Name: "LabPositive", Type: cmi.FieldBool},
+		},
+	}
+}
+
+// InfoRequestContextSchema returns the InfoRequestContext resource
+// schema of Section 5.4.
+func InfoRequestContextSchema() *cmi.ResourceSchema {
+	return &cmi.ResourceSchema{
+		Name: "InfoRequestContext",
+		Kind: cmi.ContextResource,
+		Fields: []cmi.FieldDef{
+			{Name: "Requestor", Type: cmi.FieldRole},
+			{Name: "RequestDeadline", Type: cmi.FieldTime},
+			{Name: "Topic", Type: cmi.FieldString},
+		},
+	}
+}
+
+func basic(name string, role cmi.RoleRef) *cmi.BasicActivitySchema {
+	return &cmi.BasicActivitySchema{Name: name, PerformerRole: role}
+}
+
+// NewModel builds the epidemic-response model.
+//
+// The information gathering process follows Figure 1: it starts when the
+// health agency becomes aware of the outbreak, always assesses the
+// situation, then dynamically creates task forces (patient interviews,
+// hospital relations, vector of transmission, media — the last optional),
+// issues repeated lab tests, optionally brings in local expertise, and
+// ends when a containment strategy has been developed.
+func NewModel() (*Model, error) {
+	tfCtx := TaskForceContextSchema()
+	irCtx := InfoRequestContextSchema()
+
+	epi := cmi.OrgRole("Epidemiologist")
+	leaderRole := cmi.OrgRole("CrisisLeader")
+	labRole := cmi.OrgRole("LabTechnician")
+	tfLeader := cmi.ScopedRole("TaskForceContext", "TaskForceLeader")
+
+	infoRequest := &cmi.ProcessSchema{
+		Name: "InfoRequest",
+		ResourceVars: []cmi.ResourceVariable{
+			{Name: "irc", Usage: cmi.UsageLocal, Schema: irCtx},
+			{Name: "tfc", Usage: cmi.UsageInput, Schema: tfCtx},
+		},
+		Activities: []cmi.ActivityVariable{
+			{Name: "Gather", Schema: basic("GatherInformation", epi)},
+			{Name: "Integrate", Schema: basic("IntegrateInformation", epi)},
+		},
+		Dependencies: []cmi.Dependency{
+			{Type: cmi.DepSequence, Sources: []string{"Gather"}, Target: "Integrate"},
+		},
+	}
+
+	taskForce := &cmi.ProcessSchema{
+		Name: "TaskForce",
+		ResourceVars: []cmi.ResourceVariable{
+			{Name: "tfc", Usage: cmi.UsageLocal, Schema: tfCtx},
+		},
+		Activities: []cmi.ActivityVariable{
+			{Name: "Organize", Schema: basic("OrganizeTaskForce", leaderRole)},
+			{Name: "Investigate", Schema: basic("Investigate", epi), Repeatable: true},
+			{Name: "RequestInfo", Schema: infoRequest, Optional: true, Repeatable: true,
+				Bind: map[string]string{"tfc": "tfc"}},
+			{Name: "ReportFindings", Schema: basic("ReportFindings", tfLeader)},
+		},
+		Dependencies: []cmi.Dependency{
+			{Type: cmi.DepSequence, Sources: []string{"Organize"}, Target: "Investigate"},
+			{Type: cmi.DepSequence, Sources: []string{"Organize"}, Target: "RequestInfo"},
+			{Type: cmi.DepSequence, Sources: []string{"Investigate"}, Target: "ReportFindings"},
+		},
+	}
+
+	infoGathering := &cmi.ProcessSchema{
+		Name: "InformationGathering",
+		ResourceVars: []cmi.ResourceVariable{
+			{Name: "igc", Usage: cmi.UsageLocal, Schema: &cmi.ResourceSchema{
+				Name: "InfoGatheringContext",
+				Kind: cmi.ContextResource,
+				Fields: []cmi.FieldDef{
+					{Name: "OutbreakRegion", Type: cmi.FieldString},
+					{Name: "Contained", Type: cmi.FieldBool},
+				},
+			}},
+		},
+		Activities: []cmi.ActivityVariable{
+			{Name: "ReceiveReports", Schema: basic("ReceiveDiseaseReports", leaderRole)},
+			{Name: "AssessSituation", Schema: basic("AssessSituation", leaderRole)},
+			{Name: "PatientInterviews", Schema: taskForce, Repeatable: true},
+			{Name: "HospitalRelations", Schema: taskForce, Repeatable: true},
+			{Name: "VectorOfTransmission", Schema: taskForce, Repeatable: true},
+			{Name: "MediaTaskForce", Schema: taskForce, Optional: true, Repeatable: true},
+			{Name: "LabTest", Schema: basic("RunLabTest", labRole), Optional: true, Repeatable: true},
+			{Name: "LocalExpertise", Schema: basic("ConsultLocalExpertise", epi), Optional: true, Repeatable: true},
+			{Name: "DevelopStrategy", Schema: basic("DevelopContainmentStrategy", leaderRole)},
+		},
+		// Only ReceiveReports runs at process start; everything else is
+		// enabled by dependencies or instantiated dynamically as the
+		// crisis unfolds (Figure 1's optional, staggered activities).
+		Entry: []string{"ReceiveReports"},
+		Dependencies: []cmi.Dependency{
+			{Type: cmi.DepSequence, Sources: []string{"ReceiveReports"}, Target: "AssessSituation"},
+			{Type: cmi.DepSequence, Sources: []string{"AssessSituation"}, Target: "PatientInterviews"},
+			{Type: cmi.DepSequence, Sources: []string{"AssessSituation"}, Target: "HospitalRelations"},
+			{Type: cmi.DepSequence, Sources: []string{"AssessSituation"}, Target: "VectorOfTransmission"},
+			{Type: cmi.DepAndJoin,
+				Sources: []string{"PatientInterviews", "HospitalRelations", "VectorOfTransmission"},
+				Target:  "DevelopStrategy"},
+		},
+	}
+
+	if err := infoGathering.Validate(); err != nil {
+		return nil, fmt.Errorf("crisis: %w", err)
+	}
+
+	m := &Model{
+		InformationGathering: infoGathering,
+		TaskForce:            taskForce,
+		InfoRequest:          infoRequest,
+	}
+	m.Awareness = []*cmi.AwarenessSchema{
+		// AS_InfoRequest from Section 5.4: notify the requestor when the
+		// task force deadline moves earlier than the request deadline.
+		{
+			Name:    "DeadlineViolation",
+			Process: infoRequest,
+			Description: &cmi.Compare2Node{
+				Op: "<=",
+				Inputs: [2]cmi.Node{
+					&cmi.ContextSource{Context: "TaskForceContext", Field: "TaskForceDeadline"},
+					&cmi.ContextSource{Context: "InfoRequestContext", Field: "RequestDeadline"},
+				},
+			},
+			DeliveryRole: cmi.ScopedRole("InfoRequestContext", "Requestor"),
+			Assignment:   cmi.AssignIdentity,
+			Text:         "Task force deadline moved earlier than the information request deadline",
+		},
+		// Notify the task force leader when a lab result comes back
+		// positive (Section 2's "notify the test requestor ... when a
+		// positive result is found").
+		{
+			Name:    "LabPositive",
+			Process: taskForce,
+			Description: &cmi.ContextSource{
+				Context: "TaskForceContext", Field: "LabPositive",
+			},
+			DeliveryRole: cmi.ScopedRole("TaskForceContext", "TaskForceLeader"),
+			Assignment:   cmi.AssignIdentity,
+			Text:         "A lab test relevant to your task force returned a result",
+		},
+		// Notify the crisis leader when any task force delivers its
+		// findings (a Translate across the invocation).
+		{
+			Name:    "FindingsReported",
+			Process: infoGathering,
+			Description: &cmi.OrNode{Inputs: []cmi.Node{
+				&cmi.TranslateNode{Av: "PatientInterviews", Input: findingsDone()},
+				&cmi.TranslateNode{Av: "HospitalRelations", Input: findingsDone()},
+				&cmi.TranslateNode{Av: "VectorOfTransmission", Input: findingsDone()},
+			}},
+			DeliveryRole: cmi.OrgRole("CrisisLeader"),
+			Assignment:   cmi.AssignIdentity,
+			Text:         "A task force reported its findings",
+		},
+	}
+	return m, nil
+}
+
+func findingsDone() cmi.Node {
+	return &cmi.ActivitySource{Av: "ReportFindings", New: []cmi.State{cmi.Completed}}
+}
+
+// Install registers the model's process schemas and awareness schemas
+// into a system. Call before sys.Start.
+func (m *Model) Install(sys *cmi.System) error {
+	if err := sys.RegisterProcess(m.InformationGathering); err != nil {
+		return err
+	}
+	return sys.DefineAwareness(m.Awareness...)
+}
+
+// Staff describes the personnel of a scenario.
+type Staff struct {
+	Leader          string
+	Epidemiologists []string
+	LabTechs        []string
+}
+
+// SeedStaff registers a crisis leader, n epidemiologists and two lab
+// technicians, with organizational roles assigned.
+func SeedStaff(sys *cmi.System, n int) (Staff, error) {
+	st := Staff{Leader: "leader"}
+	if err := sys.AddHuman("leader", "Crisis Leader"); err != nil {
+		return st, err
+	}
+	if err := sys.AssignRole("CrisisLeader", "leader"); err != nil {
+		return st, err
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("epi-%02d", i)
+		if err := sys.AddHuman(id, fmt.Sprintf("Epidemiologist %d", i)); err != nil {
+			return st, err
+		}
+		if err := sys.AssignRole("Epidemiologist", id); err != nil {
+			return st, err
+		}
+		st.Epidemiologists = append(st.Epidemiologists, id)
+	}
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("lab-%02d", i)
+		if err := sys.AddHuman(id, fmt.Sprintf("Lab Technician %d", i)); err != nil {
+			return st, err
+		}
+		if err := sys.AssignRole("LabTechnician", id); err != nil {
+			return st, err
+		}
+		st.LabTechs = append(st.LabTechs, id)
+	}
+	return st, nil
+}

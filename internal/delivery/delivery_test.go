@@ -1,0 +1,573 @@
+package delivery
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestEnqueuePendingAck(t *testing.T) {
+	s := newStore(t)
+	n1, err := s.Enqueue("dr.reed", Notification{Schema: "S", Description: "one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := s.Enqueue("dr.reed", Notification{Schema: "S", Description: "two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1.ID >= n2.ID {
+		t.Fatalf("ids not increasing: %d %d", n1.ID, n2.ID)
+	}
+	pending, err := s.Pending("dr.reed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 2 {
+		t.Fatalf("pending = %d", len(pending))
+	}
+	if err := s.Ack("dr.reed", n1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ack("dr.reed", n1.ID); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	pending, _ = s.Pending("dr.reed")
+	if len(pending) != 1 || pending[0].ID != n2.ID {
+		t.Fatalf("pending after ack = %v", pending)
+	}
+	hist, _ := s.History("dr.reed")
+	if len(hist) != 2 || !hist[0].Acked || hist[1].Acked {
+		t.Fatalf("history = %v", hist)
+	}
+	if err := s.Ack("dr.reed", 999); err == nil {
+		t.Fatal("ack of unknown id accepted")
+	}
+	// Queues are per participant.
+	if p, _ := s.Pending("dr.okoye"); len(p) != 0 {
+		t.Fatalf("other participant sees notifications: %v", p)
+	}
+}
+
+// TestPersistenceAcrossRestart is the E10 experiment's core: a
+// participant offline during detection finds the notification after a
+// restart, with acks preserved.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := s.Enqueue("dr.reed", Notification{Schema: "S", Description: "survives", Time: time.Unix(100, 0).UTC(),
+		Params: map[string]any{"k": "v"}})
+	n2, _ := s.Enqueue("dr.reed", Notification{Schema: "S", Description: "acked"})
+	if err := s.Ack("dr.reed", n2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue("dr.okoye", Notification{Schema: "S", Description: "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pending, err := s2.Pending("dr.reed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].ID != n1.ID || pending[0].Description != "survives" {
+		t.Fatalf("pending after restart = %v", pending)
+	}
+	if pending[0].Params["k"] != "v" {
+		t.Fatalf("params lost: %v", pending[0].Params)
+	}
+	// New ids continue after the journal's high-water mark.
+	n3, _ := s2.Enqueue("dr.reed", Notification{Schema: "S"})
+	if n3.ID <= n2.ID {
+		t.Fatalf("id reuse after restart: %d <= %d", n3.ID, n2.ID)
+	}
+	parts, err := s2.Participants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || parts[0] != "dr.okoye" || parts[1] != "dr.reed" {
+		t.Fatalf("participants = %v", parts)
+	}
+}
+
+// TestTornWriteTolerated simulates a crash mid-append: the corrupt
+// trailing line is skipped on reload.
+func TestTornWriteTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue("u", Notification{Schema: "S", Description: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "u.jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"notif","notif":{"id":2,"sch`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pending, err := s2.Pending("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 || pending[0].Description != "good" {
+		t.Fatalf("pending = %v", pending)
+	}
+}
+
+func TestWatch(t *testing.T) {
+	s := newStore(t)
+	ch, err := s.Watch("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue("u", Notification{Schema: "S", Description: "live"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		if n.Description != "live" {
+			t.Fatalf("watched = %v", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch did not receive")
+	}
+}
+
+func TestStoreClosedErrors(t *testing.T) {
+	s := newStore(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue("u", Notification{}); err == nil {
+		t.Fatal("enqueue after close accepted")
+	}
+	if _, err := s.Pending("u"); err == nil {
+		t.Fatal("pending after close accepted")
+	}
+	if _, err := s.History("u"); err == nil {
+		t.Fatal("history after close accepted")
+	}
+	if err := s.Ack("u", 1); err == nil {
+		t.Fatal("ack after close accepted")
+	}
+	if _, err := s.Watch("u"); err == nil {
+		t.Fatal("watch after close accepted")
+	}
+}
+
+func TestParticipantIDsEscaped(t *testing.T) {
+	s := newStore(t)
+	weird := "dr/../reed@x y"
+	if _, err := s.Enqueue(weird, Notification{Schema: "S"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Pending(weird)
+	if err != nil || len(p) != 1 {
+		t.Fatalf("pending = %v, %v", p, err)
+	}
+	parts, err := s.Participants()
+	if err != nil || len(parts) != 1 || parts[0] != weird {
+		t.Fatalf("participants = %v, %v", parts, err)
+	}
+}
+
+// agentRig wires an Agent over a real directory + context registry.
+func agentRig(t *testing.T) (*Agent, *Store, *core.Registry, *core.Directory) {
+	t.Helper()
+	dir := core.NewDirectory()
+	for _, p := range []core.Participant{{ID: "dr.reed"}, {ID: "dr.okoye"}, {ID: "leader"}} {
+		if err := dir.AddParticipant(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dir.AssignRole("Epidemiologist", "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.AssignRole("Epidemiologist", "dr.okoye"); err != nil {
+		t.Fatal(err)
+	}
+	contexts := core.NewRegistry(vclock.NewVirtual())
+	store := newStore(t)
+	return NewAgent(dir, contexts, store), store, contexts, dir
+}
+
+func outputEvent(role core.RoleRef, assignment, schemaName string, scope event.ProcessRef) event.Event {
+	clk := vclock.NewVirtual()
+	e := event.NewCanonicalEvent(clk.Next(), "Output[x]", scope.SchemaID, scope.InstanceID, event.Params{
+		event.PDeliveryRole:       string(role),
+		event.PDeliveryAssignment: assignment,
+		event.PDescription:        "desc",
+		event.PSchemaName:         schemaName,
+		event.PIntInfo:            int64(7),
+	})
+	e.Type = event.TypeOutput
+	return e
+}
+
+func TestAgentDeliversToOrgRole(t *testing.T) {
+	agent, store, _, _ := agentRig(t)
+	agent.Consume(outputEvent(core.OrgRole("Epidemiologist"), "", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p-1"}))
+	for _, u := range []string{"dr.reed", "dr.okoye"} {
+		p, err := store.Pending(u)
+		if err != nil || len(p) != 1 {
+			t.Fatalf("%s pending = %v, %v", u, p, err)
+		}
+		if p[0].Schema != "S" || p[0].Description != "desc" {
+			t.Fatalf("notification = %+v", p[0])
+		}
+		if p[0].Params[event.PIntInfo] != int64(7) {
+			t.Fatalf("params = %v", p[0].Params)
+		}
+	}
+	delivered, undeliverable, _ := agent.Stats()
+	if delivered != 2 || undeliverable != 0 {
+		t.Fatalf("stats = %d, %d", delivered, undeliverable)
+	}
+}
+
+func TestAgentScopedRoleAndAssignment(t *testing.T) {
+	agent, store, contexts, _ := agentRig(t)
+	schema := &core.ResourceSchema{
+		Name:   "IRC",
+		Kind:   core.ContextResource,
+		Fields: []core.FieldDef{{Name: "Requestor", Type: core.FieldRole}},
+	}
+	scope := event.ProcessRef{SchemaID: "InfoRequest", InstanceID: "ir-1"}
+	ctx, err := contexts.Create(schema, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := contexts.SetField(ctx.ID(), "Requestor", core.NewRoleValue("dr.okoye", "dr.reed")); err != nil {
+		t.Fatal(err)
+	}
+	// AssignFirst picks only the first participant.
+	agent.Consume(outputEvent(core.ScopedRole("IRC", "Requestor"), awareness.AssignFirst, "S", scope))
+	if p, _ := store.Pending("dr.okoye"); len(p) != 1 {
+		t.Fatalf("okoye pending = %v", p)
+	}
+	if p, _ := store.Pending("dr.reed"); len(p) != 0 {
+		t.Fatalf("reed pending = %v", p)
+	}
+}
+
+func TestAgentUndeliverable(t *testing.T) {
+	agent, _, _, _ := agentRig(t)
+	// Unknown org role.
+	agent.Consume(outputEvent(core.OrgRole("Ghost"), "", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	// Scoped role with no context: resolves to empty set.
+	agent.Consume(outputEvent(core.ScopedRole("Nope", "R"), "", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	// Unknown assignment.
+	agent.Consume(outputEvent(core.OrgRole("Epidemiologist"), "bogus", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	delivered, undeliverable, lastErr := agent.Stats()
+	if delivered != 0 || undeliverable != 3 || lastErr == nil {
+		t.Fatalf("stats = %d, %d, %v", delivered, undeliverable, lastErr)
+	}
+	// Non-output events are ignored silently.
+	agent.Consume(event.New(event.TypeActivity, vclock.NewVirtual().Next(), "x", nil))
+	_, undeliverable, _ = agent.Stats()
+	if undeliverable != 3 {
+		t.Fatal("non-output event counted")
+	}
+}
+
+func TestViewer(t *testing.T) {
+	agent, store, _, _ := agentRig(t)
+	agent.Consume(outputEvent(core.OrgRole("Epidemiologist"), "", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	v := NewViewer(store, "dr.reed")
+	pending, err := v.Pending()
+	if err != nil || len(pending) != 1 {
+		t.Fatalf("pending = %v, %v", pending, err)
+	}
+	if err := v.Ack(pending[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	pending, _ = v.Pending()
+	if len(pending) != 0 {
+		t.Fatal("ack did not clear")
+	}
+	hist, _ := v.History()
+	if len(hist) != 1 || !hist[0].Acked {
+		t.Fatalf("history = %v", hist)
+	}
+	if _, err := v.Watch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizeParams(t *testing.T) {
+	now := time.Date(1999, 9, 2, 12, 0, 0, 0, time.UTC)
+	in := event.Params{
+		"s":    "str",
+		"b":    true,
+		"n":    nil,
+		"i":    42,
+		"i64":  int64(43),
+		"t":    now,
+		"refs": []event.ProcessRef{{SchemaID: "P", InstanceID: "p-1"}},
+		"role": core.NewRoleValue("b", "a"),
+		"misc": struct{ X int }{1},
+	}
+	out := SanitizeParams(in)
+	if out["s"] != "str" || out["b"] != true || out["n"] != nil {
+		t.Fatalf("basic types wrong: %v", out)
+	}
+	if out["i"] != int64(42) || out["i64"] != int64(43) {
+		t.Fatalf("ints wrong: %v", out)
+	}
+	if out["t"] != now.Format(time.RFC3339Nano) {
+		t.Fatalf("time wrong: %v", out["t"])
+	}
+	if refs := out["refs"].([]string); len(refs) != 1 || refs[0] != "P/p-1" {
+		t.Fatalf("refs wrong: %v", out["refs"])
+	}
+	if role := out["role"].([]string); len(role) != 2 || role[0] != "a" {
+		t.Fatalf("role wrong: %v", out["role"])
+	}
+	if _, ok := out["misc"].(string); !ok {
+		t.Fatalf("misc not stringified: %T", out["misc"])
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	s := newStore(t)
+	low, _ := s.Enqueue("u", Notification{Schema: "Low", Priority: 1})
+	mid1, _ := s.Enqueue("u", Notification{Schema: "Mid", Priority: 5})
+	mid2, _ := s.Enqueue("u", Notification{Schema: "Mid", Priority: 5})
+	high, _ := s.Enqueue("u", Notification{Schema: "High", Priority: 9})
+	pending, err := s.Pending("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []int64{high.ID, mid1.ID, mid2.ID, low.ID}
+	for i, id := range wantOrder {
+		if pending[i].ID != id {
+			t.Fatalf("pending order = %v, want %v", pending, wantOrder)
+		}
+	}
+	// History keeps arrival order regardless of priority.
+	hist, _ := s.History("u")
+	if hist[0].ID != low.ID {
+		t.Fatalf("history reordered: %v", hist)
+	}
+	// Priority survives restartable journal round trips via Enqueue's
+	// record (checked implicitly by Pending above reading from memory;
+	// the persistence path is exercised in TestPersistenceAcrossRestart).
+}
+
+func TestPendingDigest(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Enqueue("u", Notification{Schema: "A", Priority: 1, Description: "a1"}); err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := s.Enqueue("u", Notification{Schema: "A", Priority: 3, Description: "a2"})
+	if _, err := s.Enqueue("u", Notification{Schema: "B", Priority: 2, Description: "b1"}); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := s.PendingDigest("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digest) != 2 {
+		t.Fatalf("digest = %v", digest)
+	}
+	// A has max priority 3, so it sorts first.
+	if digest[0].Schema != "A" || digest[0].Count != 2 || digest[0].MaxPriority != 3 {
+		t.Fatalf("digest[0] = %+v", digest[0])
+	}
+	if digest[0].Latest.ID != n2.ID {
+		t.Fatalf("latest = %+v", digest[0].Latest)
+	}
+	if digest[1].Schema != "B" || digest[1].Count != 1 {
+		t.Fatalf("digest[1] = %+v", digest[1])
+	}
+	// Acked notifications leave the digest.
+	if err := s.Ack("u", n2.ID); err != nil {
+		t.Fatal(err)
+	}
+	digest, _ = s.PendingDigest("u")
+	if digest[0].Schema == "A" && digest[0].MaxPriority != 1 {
+		t.Fatalf("digest after ack = %v", digest)
+	}
+	v := NewViewer(s, "u")
+	vd, err := v.Digest()
+	if err != nil || len(vd) != 2 {
+		t.Fatalf("viewer digest = %v, %v", vd, err)
+	}
+}
+
+func TestAgentLocalAssignment(t *testing.T) {
+	agent, store, _, _ := agentRig(t)
+	if err := agent.RegisterAssignment("", nil); err == nil {
+		t.Fatal("empty local registration accepted")
+	}
+	if err := agent.RegisterAssignment("last", func(users []string, _ event.Event) []string {
+		if len(users) == 0 {
+			return nil
+		}
+		return users[len(users)-1:]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	agent.Consume(outputEvent(core.OrgRole("Epidemiologist"), "last", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	// Sorted role players are dr.okoye, dr.reed: "last" picks dr.reed.
+	if p, _ := store.Pending("dr.reed"); len(p) != 1 {
+		t.Fatalf("reed = %v", p)
+	}
+	if p, _ := store.Pending("dr.okoye"); len(p) != 0 {
+		t.Fatalf("okoye = %v", p)
+	}
+}
+
+func TestAgentDetectionHooks(t *testing.T) {
+	agent, _, _, _ := agentRig(t)
+	var mu sync.Mutex
+	var got []string
+	agent.OnDetection(func(schema string, users []string, ev event.Event) {
+		mu.Lock()
+		got = append(got, schema)
+		mu.Unlock()
+	})
+	agent.Consume(outputEvent(core.OrgRole("Epidemiologist"), "", "S1", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	agent.Consume(outputEvent(core.OrgRole("Epidemiologist"), "", "S2", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	// Undeliverable detections do not trigger hooks.
+	agent.Consume(outputEvent(core.OrgRole("Ghost"), "", "S3", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	agent.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("hooks ran %d times: %v", len(got), got)
+	}
+}
+
+func TestAgentPriorityPropagation(t *testing.T) {
+	agent, store, _, _ := agentRig(t)
+	ev := outputEvent(core.OrgRole("Epidemiologist"), "", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"})
+	ev = ev.With(event.PPriority, int64(7))
+	agent.Consume(ev)
+	p, _ := store.Pending("dr.reed")
+	if len(p) != 1 || p[0].Priority != 7 {
+		t.Fatalf("priority = %v", p)
+	}
+}
+
+// TestJournalModelEquivalenceProperty: for random enqueue/ack sequences
+// with a restart at a random point, the reloaded store's visible state
+// equals an in-memory model of the same operations (E10's durability
+// property).
+func TestJournalModelEquivalenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 10; round++ {
+		dir := t.TempDir()
+		s, err := NewStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type model struct {
+			acked map[int64]bool
+			ids   []int64
+		}
+		m := model{acked: map[int64]bool{}}
+		ops := 5 + rng.Intn(60)
+		restartAt := rng.Intn(ops)
+		for op := 0; op < ops; op++ {
+			if op == restartAt {
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if s, err = NewStore(dir); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(m.ids) == 0 || rng.Intn(3) > 0 {
+				n, err := s.Enqueue("u", Notification{
+					Schema:      "S",
+					Description: "d",
+					Priority:    rng.Intn(3),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.ids = append(m.ids, n.ID)
+			} else {
+				id := m.ids[rng.Intn(len(m.ids))]
+				if err := s.Ack("u", id); err != nil {
+					t.Fatal(err)
+				}
+				m.acked[id] = true
+			}
+		}
+		pending, err := s.Pending("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPending := 0
+		for _, id := range m.ids {
+			if !m.acked[id] {
+				wantPending++
+			}
+		}
+		if len(pending) != wantPending {
+			t.Fatalf("round %d: pending = %d, model = %d", round, len(pending), wantPending)
+		}
+		for _, n := range pending {
+			if m.acked[n.ID] {
+				t.Fatalf("round %d: acked %d still pending", round, n.ID)
+			}
+		}
+		hist, err := s.History("u")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hist) != len(m.ids) {
+			t.Fatalf("round %d: history = %d, model = %d", round, len(hist), len(m.ids))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

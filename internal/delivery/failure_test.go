@@ -1,0 +1,100 @@
+package delivery
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// Failure-injection tests for the persistence layer (experiment E10's
+// "what happens when the disk fights back" flank).
+
+func TestNewStoreOnFilePathFails(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStore(blocker); err == nil {
+		t.Fatal("store opened on a file path")
+	}
+}
+
+func TestQueueOpenFailureSurfaces(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if _, err := s.Enqueue("u", Notification{Schema: "S"}); err == nil {
+		t.Fatal("enqueue into read-only store directory succeeded")
+	}
+}
+
+// TestAgentSurvivesStoreFailure: delivery failures are counted as
+// undeliverable, never panics, and later deliveries still work.
+func TestAgentSurvivesStoreFailure(t *testing.T) {
+	dir := core.NewDirectory()
+	if err := dir.AddParticipant(core.Participant{ID: "u"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.AssignRole("R", "u"); err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t)
+	agent := NewAgent(dir, nil, store)
+	// Close the store out from under the agent.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	agent.Consume(outputEvent(core.OrgRole("R"), "", "S", event.ProcessRef{SchemaID: "P", InstanceID: "p"}))
+	delivered, undeliverable, lastErr := agent.Stats()
+	if delivered != 0 || undeliverable == 0 || lastErr == nil {
+		t.Fatalf("stats = %d, %d, %v", delivered, undeliverable, lastErr)
+	}
+}
+
+// TestJournalWithForeignRecords: unknown record kinds in the journal are
+// ignored on replay (forward compatibility).
+func TestJournalWithForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue("u", Notification{Schema: "S", Description: "keep"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "u.jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{\"kind\":\"future-thing\",\"x\":1}\n\n{\"kind\":\"ack\",\"ackId\":999}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pending, err := s2.Pending("u")
+	if err != nil || len(pending) != 1 || pending[0].Description != "keep" {
+		t.Fatalf("pending = %v, %v", pending, err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package delivery implements CMI awareness delivery (paper Section 6.5):
+// the awareness delivery agent, which consumes the output events produced
+// by the awareness engine's Output operators, resolves the awareness
+// delivery role and awareness role assignment to a set of participants,
+// and queues the information for each of them; and the awareness
+// information viewer, the client-side component that retrieves and
+// acknowledges queued information.
+//
+// Queues are persistent: a participant is not assumed to be logged on
+// when an awareness event is detected, so each participant's queue is
+// journaled to an append-only JSON-lines file and rebuilt on restart.
+package delivery
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// A Notification is one piece of awareness information queued for one
+// participant.
+type Notification struct {
+	// ID is unique per participant queue and orders the queue.
+	ID int64 `json:"id"`
+	// Time is the detection time of the composite event.
+	Time time.Time `json:"time"`
+	// Schema is the awareness schema that produced the information.
+	Schema string `json:"schema"`
+	// Description is the user-friendly description attached by the
+	// output operator.
+	Description string `json:"description"`
+	// Params carries the digested parameters of the composite event in
+	// JSON-friendly form.
+	Params map[string]any `json:"params,omitempty"`
+	// Priority orders the queue in the viewer: higher first, ties by
+	// arrival. Zero is the default.
+	Priority int `json:"priority,omitempty"`
+	// Acked records whether the participant has acknowledged it.
+	Acked bool `json:"acked,omitempty"`
+}
+
+// journal record kinds.
+type record struct {
+	Kind  string        `json:"kind"` // "notif" or "ack"
+	Notif *Notification `json:"notif,omitempty"`
+	AckID int64         `json:"ackId,omitempty"`
+}
+
+type queue struct {
+	path    string
+	file    *os.File
+	w       *bufio.Writer
+	notifs  []Notification // in id order
+	byID    map[int64]int  // id -> index in notifs
+	nextID  int64
+	watches []chan Notification
+}
+
+// A Store owns the persistent per-participant queues of one CMI system.
+// It is safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	queues map[string]*queue
+	closed bool
+}
+
+// NewStore opens (creating if necessary) a queue store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("delivery: %w", err)
+	}
+	return &Store{dir: dir, queues: make(map[string]*queue)}, nil
+}
+
+func (s *Store) queueLocked(participant string) (*queue, error) {
+	if q, ok := s.queues[participant]; ok {
+		return q, nil
+	}
+	path := filepath.Join(s.dir, url.PathEscape(participant)+".jsonl")
+	q := &queue{path: path, byID: make(map[int64]int), nextID: 1}
+	if err := q.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: %w", err)
+	}
+	q.file = f
+	q.w = bufio.NewWriter(f)
+	s.queues[participant] = q
+	return q, nil
+}
+
+// load replays the journal: notifications in order, acks applied.
+// Corrupt trailing lines (torn writes) are tolerated and ignored.
+func (q *queue) load() error {
+	f, err := os.Open(q.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("delivery: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil {
+			continue // torn write at crash; skip
+		}
+		switch r.Kind {
+		case "notif":
+			if r.Notif == nil {
+				continue
+			}
+			q.byID[r.Notif.ID] = len(q.notifs)
+			q.notifs = append(q.notifs, *r.Notif)
+			if r.Notif.ID >= q.nextID {
+				q.nextID = r.Notif.ID + 1
+			}
+		case "ack":
+			if i, ok := q.byID[r.AckID]; ok {
+				q.notifs[i].Acked = true
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func (q *queue) append(r record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("delivery: %w", err)
+	}
+	if _, err := q.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("delivery: %w", err)
+	}
+	return q.w.Flush()
+}
+
+// Enqueue appends a notification to the participant's queue and returns
+// it with its assigned id.
+func (s *Store) Enqueue(participant string, n Notification) (Notification, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Notification{}, fmt.Errorf("delivery: store closed")
+	}
+	q, err := s.queueLocked(participant)
+	if err != nil {
+		return Notification{}, err
+	}
+	n.ID = q.nextID
+	q.nextID++
+	if err := q.append(record{Kind: "notif", Notif: &n}); err != nil {
+		return Notification{}, err
+	}
+	q.byID[n.ID] = len(q.notifs)
+	q.notifs = append(q.notifs, n)
+	for _, ch := range q.watches {
+		select {
+		case ch <- n:
+		default: // slow watcher: drop rather than block delivery
+		}
+	}
+	return n, nil
+}
+
+// Pending returns the participant's unacknowledged notifications,
+// ordered by priority (highest first) and then by arrival.
+func (s *Store) Pending(participant string) ([]Notification, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("delivery: store closed")
+	}
+	q, err := s.queueLocked(participant)
+	if err != nil {
+		return nil, err
+	}
+	var out []Notification
+	for _, n := range q.notifs {
+		if !n.Acked {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// A Digest summarizes a participant's pending queue per awareness
+// schema — the event-aggregation facility Section 6.5 leaves open.
+type Digest struct {
+	Schema      string
+	Count       int
+	MaxPriority int
+	// Latest is the most recent pending notification of the schema.
+	Latest Notification
+}
+
+// PendingDigest aggregates the pending notifications by awareness
+// schema, ordered by max priority (highest first) then schema name.
+func (s *Store) PendingDigest(participant string) ([]Digest, error) {
+	pending, err := s.Pending(participant)
+	if err != nil {
+		return nil, err
+	}
+	bygroup := map[string]*Digest{}
+	for _, n := range pending {
+		d, ok := bygroup[n.Schema]
+		if !ok {
+			d = &Digest{Schema: n.Schema, MaxPriority: n.Priority}
+			bygroup[n.Schema] = d
+		}
+		d.Count++
+		if n.Priority > d.MaxPriority {
+			d.MaxPriority = n.Priority
+		}
+		if n.ID > d.Latest.ID {
+			d.Latest = n
+		}
+	}
+	out := make([]Digest, 0, len(bygroup))
+	for _, d := range bygroup {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxPriority != out[j].MaxPriority {
+			return out[i].MaxPriority > out[j].MaxPriority
+		}
+		return out[i].Schema < out[j].Schema
+	})
+	return out, nil
+}
+
+// History returns every notification ever queued for the participant.
+func (s *Store) History(participant string) ([]Notification, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("delivery: store closed")
+	}
+	q, err := s.queueLocked(participant)
+	if err != nil {
+		return nil, err
+	}
+	return append([]Notification(nil), q.notifs...), nil
+}
+
+// Ack marks a notification acknowledged, durably.
+func (s *Store) Ack(participant string, id int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("delivery: store closed")
+	}
+	q, err := s.queueLocked(participant)
+	if err != nil {
+		return err
+	}
+	i, ok := q.byID[id]
+	if !ok {
+		return fmt.Errorf("delivery: participant %q has no notification %d", participant, id)
+	}
+	if q.notifs[i].Acked {
+		return nil
+	}
+	if err := q.append(record{Kind: "ack", AckID: id}); err != nil {
+		return err
+	}
+	q.notifs[i].Acked = true
+	return nil
+}
+
+// Watch returns a channel receiving notifications as they are enqueued
+// for the participant. Slow receivers miss notifications rather than
+// blocking delivery; Pending is the catch-up path.
+func (s *Store) Watch(participant string) (<-chan Notification, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("delivery: store closed")
+	}
+	q, err := s.queueLocked(participant)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Notification, 64)
+	q.watches = append(q.watches, ch)
+	return ch, nil
+}
+
+// Participants returns the ids with a queue on disk or in memory, sorted.
+func (s *Store) Participants() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for p := range s.queues {
+		set[p] = true
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".jsonl" {
+			continue
+		}
+		p, err := url.PathUnescape(name[:len(name)-len(".jsonl")])
+		if err == nil {
+			set[p] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Close flushes and closes every queue file. Watch channels are closed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, q := range s.queues {
+		if err := q.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := q.file.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, ch := range q.watches {
+			close(ch)
+		}
+	}
+	return firstErr
+}

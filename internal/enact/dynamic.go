@@ -1,0 +1,273 @@
+package enact
+
+import (
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// Dynamic process change. The paper's Coordination Model "may have to
+// deal with coordination processes that may be partially unknown when
+// they start" (Section 1), and its crisis requirements demand that
+// "users who are coordinated by a crisis response application must have
+// the power to make on-the-spot decisions that affect the evolution of
+// the crisis response" (Section 2). This file adds instance-level
+// change: activity variables and dependencies added to one running
+// process instance without touching the shared schema or any other
+// instance.
+
+// activityVar resolves an activity variable in the instance's effective
+// model: the schema plus this instance's dynamic additions.
+func (pi *ProcessInstance) activityVar(name string) (core.ActivityVariable, bool) {
+	if av, ok := pi.schema.Activity(name); ok {
+		return av, true
+	}
+	for _, av := range pi.extraActs {
+		if av.Name == name {
+			return av, true
+		}
+	}
+	return core.ActivityVariable{}, false
+}
+
+// allActivityVars returns the instance's effective activity variables.
+func (pi *ProcessInstance) allActivityVars() []core.ActivityVariable {
+	if len(pi.extraActs) == 0 {
+		return pi.schema.Activities
+	}
+	out := make([]core.ActivityVariable, 0, len(pi.schema.Activities)+len(pi.extraActs))
+	out = append(out, pi.schema.Activities...)
+	out = append(out, pi.extraActs...)
+	return out
+}
+
+// allDependencies returns the instance's effective dependency rules.
+func (pi *ProcessInstance) allDependencies() []core.Dependency {
+	if len(pi.extraDeps) == 0 {
+		return pi.schema.Dependencies
+	}
+	out := make([]core.Dependency, 0, len(pi.schema.Dependencies)+len(pi.extraDeps))
+	out = append(out, pi.schema.Dependencies...)
+	out = append(out, pi.extraDeps...)
+	return out
+}
+
+// AddActivity extends one running process instance with a new activity
+// variable — e.g. the on-the-spot decision to bring in an external
+// expert. When enableNow is true the new activity becomes Ready
+// immediately; otherwise it waits for a dynamic dependency to enable it.
+// The addition is local to the instance: the schema and other instances
+// are untouched.
+//
+// Dynamic activities appear on worklists, in monitoring and in the
+// primitive event stream like any other activity. Note that awareness
+// descriptions are compiled against the process schema before the system
+// starts, so Filter_activity operators name schema variables; dynamic
+// activities reach awareness through context changes, counts over other
+// events, or the audit log.
+func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableNow bool, user string) (ActivityInfo, error) {
+	var p pending
+	var info ActivityInfo
+	e.mu.Lock()
+	err := func() error {
+		pi, ok := e.procs[processID]
+		if !ok {
+			return fmt.Errorf("enact: unknown process instance %q", processID)
+		}
+		if !isActive(pi.schema.States(), pi.state) {
+			return fmt.Errorf("enact: process %s is not running", processID)
+		}
+		if av.Name == "" {
+			return fmt.Errorf("enact: dynamic activity requires a name")
+		}
+		if _, exists := pi.activityVar(av.Name); exists {
+			return fmt.Errorf("enact: process %s already has an activity variable %q", processID, av.Name)
+		}
+		if av.Schema == nil {
+			return fmt.Errorf("enact: dynamic activity %q has no schema", av.Name)
+		}
+		if err := av.Schema.Validate(); err != nil {
+			return err
+		}
+		if len(av.Bind) > 0 {
+			sub, ok := av.Schema.(*core.ProcessSchema)
+			if !ok {
+				return fmt.Errorf("enact: dynamic activity %q binds contexts but is not a subprocess", av.Name)
+			}
+			for childVar, parentVar := range av.Bind {
+				if _, ok := sub.ContextVar(childVar); !ok {
+					return fmt.Errorf("enact: dynamic activity %q binds unknown context variable %q of %q", av.Name, childVar, sub.Name)
+				}
+				if _, ok := pi.ctxIDs[parentVar]; !ok {
+					return fmt.Errorf("enact: dynamic activity %q binds from unbound context variable %q", av.Name, parentVar)
+				}
+			}
+		}
+		pi.extraActs = append(pi.extraActs, av)
+		if enableNow {
+			ai, err := e.instantiateActivityLocked(&p, pi, av, user)
+			if err != nil {
+				return err
+			}
+			info = snapshot(ai)
+		}
+		return nil
+	}()
+	e.mu.Unlock()
+	e.flush(&p)
+	return info, err
+}
+
+// AddDependency extends one running process instance with a new
+// coordination rule between existing (schema or dynamic) activity
+// variables. If the rule's sources have already been satisfied at the
+// time of addition, it fires immediately — adding "seq Done -> NewWork"
+// after Done completed enables NewWork right away.
+func (e *Engine) AddDependency(processID string, d core.Dependency, user string) error {
+	var p pending
+	e.mu.Lock()
+	err := func() error {
+		pi, ok := e.procs[processID]
+		if !ok {
+			return fmt.Errorf("enact: unknown process instance %q", processID)
+		}
+		if !isActive(pi.schema.States(), pi.state) {
+			return fmt.Errorf("enact: process %s is not running", processID)
+		}
+		if err := e.validateDynamicDepLocked(pi, d); err != nil {
+			return err
+		}
+		pi.extraDeps = append(pi.extraDeps, d)
+		// Retroactive evaluation: fire the rule for sources that have
+		// already completed.
+		return e.fireOneDependencyLocked(&p, pi, d, user)
+	}()
+	e.mu.Unlock()
+	e.flush(&p)
+	return err
+}
+
+func (e *Engine) validateDynamicDepLocked(pi *ProcessInstance, d core.Dependency) error {
+	if _, ok := pi.activityVar(d.Target); !ok {
+		return fmt.Errorf("enact: dynamic dependency targets unknown activity %q", d.Target)
+	}
+	if len(d.Sources) == 0 {
+		return fmt.Errorf("enact: dynamic dependency onto %q has no sources", d.Target)
+	}
+	for _, src := range d.Sources {
+		if _, ok := pi.activityVar(src); !ok {
+			return fmt.Errorf("enact: dynamic dependency names unknown source %q", src)
+		}
+		if src == d.Target {
+			return fmt.Errorf("enact: dynamic dependency from %q to itself", src)
+		}
+	}
+	switch d.Type {
+	case core.DepSequence, core.DepCancel:
+		if len(d.Sources) != 1 {
+			return fmt.Errorf("enact: %s dependency requires exactly one source", d.Type)
+		}
+	case core.DepAndJoin, core.DepOrJoin:
+		if len(d.Sources) < 2 {
+			return fmt.Errorf("enact: %s dependency requires at least two sources", d.Type)
+		}
+	case core.DepGuard:
+		if len(d.Sources) != 1 || d.Guard == nil {
+			return fmt.Errorf("enact: guard dependency requires one source and a guard")
+		}
+		if _, ok := pi.ctxIDs[d.Guard.ContextVar]; !ok {
+			return fmt.Errorf("enact: guard references unbound context variable %q", d.Guard.ContextVar)
+		}
+	default:
+		return fmt.Errorf("enact: unknown dependency type %d", int(d.Type))
+	}
+	// The combined enablement graph must stay acyclic.
+	adj := map[string][]string{}
+	for _, dep := range append(pi.allDependencies(), d) {
+		if dep.Type == core.DepCancel {
+			continue
+		}
+		for _, src := range dep.Sources {
+			adj[src] = append(adj[src], dep.Target)
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return fmt.Errorf("enact: dynamic dependency would create a cycle through %q", m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range adj {
+		if color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fireOneDependencyLocked evaluates a single rule against the instance's
+// current completion state (used for retroactive firing of dynamic
+// rules).
+func (e *Engine) fireOneDependencyLocked(p *pending, pi *ProcessInstance, d core.Dependency, user string) error {
+	switch d.Type {
+	case core.DepSequence, core.DepOrJoin:
+		for _, src := range d.Sources {
+			if e.varCompletedLocked(pi, src) {
+				return e.enableTargetLocked(p, pi, d.Target, user)
+			}
+		}
+	case core.DepAndJoin:
+		for _, src := range d.Sources {
+			if !e.varCompletedLocked(pi, src) {
+				return nil
+			}
+		}
+		return e.enableTargetLocked(p, pi, d.Target, user)
+	case core.DepGuard:
+		if !e.varCompletedLocked(pi, d.Sources[0]) {
+			return nil
+		}
+		ok, err := e.evalGuardLocked(pi, d.Guard)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return e.enableTargetLocked(p, pi, d.Target, user)
+		}
+	case core.DepCancel:
+		if e.varCompletedLocked(pi, d.Sources[0]) {
+			return e.cancelTargetLocked(p, pi, d.Target, user)
+		}
+	}
+	return nil
+}
+
+// DynamicExtensions reports the instance's dynamic additions.
+func (e *Engine) DynamicExtensions(processID string) (activities []core.ActivityVariable, deps []core.Dependency) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pi, ok := e.procs[processID]
+	if !ok {
+		return nil, nil
+	}
+	return append([]core.ActivityVariable(nil), pi.extraActs...),
+		append([]core.Dependency(nil), pi.extraDeps...)
+}

@@ -1,0 +1,293 @@
+package enact
+
+import (
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// TestDynamicActivityOnTheSpot: a running crisis process gains a
+// consult-external-expert activity that was never in the schema — the
+// paper's "on-the-spot decisions that affect the evolution of the
+// crisis response".
+func TestDynamicActivityOnTheSpot(t *testing.T) {
+	f := newFixture(t)
+	pi := f.startSimple(t)
+	f.run(t, pi.ID(), "Plan", "dr.reed")
+
+	expert := core.ActivityVariable{
+		Name:     "ConsultExpert",
+		Schema:   basic("ConsultExternalExpert", epi()),
+		Optional: true,
+	}
+	info, err := f.eng.AddActivity(pi.ID(), expert, true, "dr.reed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != core.Ready || info.Var != "ConsultExpert" {
+		t.Fatalf("dynamic activity = %+v", info)
+	}
+	// It behaves like any other activity: worklist, start, complete.
+	found := false
+	for _, it := range f.eng.Worklist("dr.okoye") {
+		if it.Var == "ConsultExpert" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dynamic activity not on the worklist")
+	}
+	f.mustStart(t, info.ID, "dr.okoye")
+	f.mustComplete(t, info.ID, "dr.okoye")
+
+	// Monitoring shows it; the extension is reported.
+	rows := f.eng.Monitor(pi.ID())
+	seen := false
+	for _, r := range rows {
+		if r.Var == "ConsultExpert" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("dynamic activity not on the monitor")
+	}
+	acts, deps := f.eng.DynamicExtensions(pi.ID())
+	if len(acts) != 1 || len(deps) != 0 {
+		t.Fatalf("extensions = %v, %v", acts, deps)
+	}
+
+	// The rest of the process is unaffected; it still completes.
+	f.run(t, pi.ID(), "Interview", "dr.reed")
+	f.run(t, pi.ID(), "LabTest", "dr.reed")
+	f.run(t, pi.ID(), "Report", "dr.reed")
+	if st, _ := f.eng.ProcessState(pi.ID()); st != core.Completed {
+		t.Fatalf("process = %v", st)
+	}
+}
+
+// TestDynamicRequiredActivityBlocksCompletion: a required dynamic
+// addition is real work — the process waits for it.
+func TestDynamicRequiredActivityBlocksCompletion(t *testing.T) {
+	f := newFixture(t)
+	pi := f.startSimple(t)
+	f.run(t, pi.ID(), "Plan", "dr.reed")
+	extra := core.ActivityVariable{Name: "Extra", Schema: basic("Extra", epi())}
+	info, err := f.eng.AddActivity(pi.ID(), extra, true, "dr.reed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, pi.ID(), "Interview", "dr.reed")
+	f.run(t, pi.ID(), "LabTest", "dr.reed")
+	f.run(t, pi.ID(), "Report", "dr.reed")
+	if st, _ := f.eng.ProcessState(pi.ID()); st != core.Running {
+		t.Fatalf("process = %v, want Running (dynamic work outstanding)", st)
+	}
+	f.mustStart(t, info.ID, "dr.okoye")
+	f.mustComplete(t, info.ID, "dr.okoye")
+	if st, _ := f.eng.ProcessState(pi.ID()); st != core.Completed {
+		t.Fatalf("process = %v, want Completed", st)
+	}
+}
+
+// TestDynamicDependencyRetroactiveFiring: adding "seq Plan -> Review"
+// after Plan already completed enables Review immediately.
+func TestDynamicDependencyRetroactiveFiring(t *testing.T) {
+	f := newFixture(t)
+	pi := f.startSimple(t)
+	f.run(t, pi.ID(), "Plan", "dr.reed")
+
+	review := core.ActivityVariable{Name: "Review", Schema: basic("Review", epi()), Optional: true}
+	if _, err := f.eng.AddActivity(pi.ID(), review, false, "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	// Not enabled yet.
+	for _, ai := range f.eng.ActivitiesOf(pi.ID()) {
+		if ai.Var == "Review" {
+			t.Fatal("activity enabled without a dependency")
+		}
+	}
+	if err := f.eng.AddDependency(pi.ID(), core.Dependency{
+		Type: core.DepSequence, Sources: []string{"Plan"}, Target: "Review",
+	}, "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	// Plan already completed: the rule fired retroactively.
+	found := false
+	for _, ai := range f.eng.ActivitiesOf(pi.ID()) {
+		if ai.Var == "Review" && ai.State == core.Ready {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("retroactive firing did not enable the target")
+	}
+}
+
+// TestDynamicDependencyForwardFiring: a rule whose source has not yet
+// completed fires when it does.
+func TestDynamicDependencyForwardFiring(t *testing.T) {
+	f := newFixture(t)
+	pi := f.startSimple(t)
+	review := core.ActivityVariable{Name: "Review", Schema: basic("Review", epi()), Optional: true}
+	if _, err := f.eng.AddActivity(pi.ID(), review, false, "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.eng.AddDependency(pi.ID(), core.Dependency{
+		Type: core.DepSequence, Sources: []string{"Plan"}, Target: "Review",
+	}, "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	for _, ai := range f.eng.ActivitiesOf(pi.ID()) {
+		if ai.Var == "Review" {
+			t.Fatal("enabled before the source completed")
+		}
+	}
+	f.run(t, pi.ID(), "Plan", "dr.reed")
+	found := false
+	for _, ai := range f.eng.ActivitiesOf(pi.ID()) {
+		if ai.Var == "Review" && ai.State == core.Ready {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dynamic dependency did not fire on completion")
+	}
+}
+
+// TestDynamicCancelDependency: a dynamically added cancel rule whose
+// source already completed terminates the target retroactively.
+func TestDynamicCancelDependency(t *testing.T) {
+	f := newFixture(t)
+	pi := f.startSimple(t)
+	f.run(t, pi.ID(), "Plan", "dr.reed")
+	// Interview is Ready; the team decides it is unnecessary because
+	// Plan's outcome covered it.
+	if err := f.eng.AddDependency(pi.ID(), core.Dependency{
+		Type: core.DepCancel, Sources: []string{"Plan"}, Target: "Interview",
+	}, "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	iv := f.findActivity(t, pi.ID(), "Interview")
+	if iv.State != core.Terminated {
+		t.Fatalf("Interview = %v, want Terminated", iv.State)
+	}
+	// The cancelled variable no longer blocks completion.
+	f.run(t, pi.ID(), "LabTest", "dr.reed")
+	// Report's and-join needs Interview AND LabTest; Interview was
+	// cancelled, so the join never fires — enable Report dynamically,
+	// exactly the kind of repair a coordinator would make.
+	if err := f.eng.AddDependency(pi.ID(), core.Dependency{
+		Type: core.DepSequence, Sources: []string{"LabTest"}, Target: "Report",
+	}, "dr.reed"); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, pi.ID(), "Report", "dr.reed")
+	if st, _ := f.eng.ProcessState(pi.ID()); st != core.Completed {
+		t.Fatalf("process = %v", st)
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	f := newFixture(t)
+	pi := f.startSimple(t)
+	ok := core.ActivityVariable{Name: "X", Schema: basic("X", epi())}
+
+	if _, err := f.eng.AddActivity("ghost", ok, true, ""); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	if _, err := f.eng.AddActivity(pi.ID(), core.ActivityVariable{}, true, ""); err == nil {
+		t.Fatal("unnamed dynamic activity accepted")
+	}
+	if _, err := f.eng.AddActivity(pi.ID(), core.ActivityVariable{Name: "Plan", Schema: basic("P2", epi())}, true, ""); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := f.eng.AddActivity(pi.ID(), core.ActivityVariable{Name: "Y"}, true, ""); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	badBind := core.ActivityVariable{Name: "Z", Schema: basic("Z", epi()), Bind: map[string]string{"a": "b"}}
+	if _, err := f.eng.AddActivity(pi.ID(), badBind, true, ""); err == nil {
+		t.Fatal("bind on basic activity accepted")
+	}
+
+	if err := f.eng.AddDependency("ghost", core.Dependency{Type: core.DepSequence, Sources: []string{"Plan"}, Target: "Report"}, ""); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+	cases := []core.Dependency{
+		{Type: core.DepSequence, Sources: []string{"Plan"}, Target: "Ghost"},
+		{Type: core.DepSequence, Sources: []string{"Ghost"}, Target: "Report"},
+		{Type: core.DepSequence, Sources: []string{"Report"}, Target: "Report"},
+		{Type: core.DepSequence, Sources: []string{}, Target: "Report"},
+		{Type: core.DepSequence, Sources: []string{"Plan", "Interview"}, Target: "Report"},
+		{Type: core.DepAndJoin, Sources: []string{"Plan"}, Target: "Report"},
+		{Type: core.DepGuard, Sources: []string{"Plan"}, Target: "Report"},
+		{Type: core.DepGuard, Sources: []string{"Plan"}, Target: "Report",
+			Guard: &core.Guard{ContextVar: "ghost", Field: "f", Op: "=="}},
+		{Type: core.DependencyType(99), Sources: []string{"Plan"}, Target: "Report"},
+		// Would create a cycle: Report -(schema andjoin)-> ... -> Plan.
+		{Type: core.DepSequence, Sources: []string{"Report"}, Target: "Plan"},
+	}
+	for i, d := range cases {
+		if err := f.eng.AddDependency(pi.ID(), d, ""); err == nil {
+			t.Errorf("bad dynamic dependency %d accepted", i)
+		}
+	}
+
+	// Closed processes refuse dynamic change.
+	if err := f.eng.TerminateProcess(pi.ID(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.eng.AddActivity(pi.ID(), ok, true, ""); err == nil {
+		t.Fatal("dynamic activity on closed process accepted")
+	}
+	if err := f.eng.AddDependency(pi.ID(), core.Dependency{
+		Type: core.DepSequence, Sources: []string{"Plan"}, Target: "Report",
+	}, ""); err == nil {
+		t.Fatal("dynamic dependency on closed process accepted")
+	}
+	if a, d := f.eng.DynamicExtensions("ghost"); a != nil || d != nil {
+		t.Fatal("extensions of unknown process reported")
+	}
+}
+
+// TestDynamicSubprocessWithBind: a dynamically added subprocess
+// invocation binds the instance's live context.
+func TestDynamicSubprocessWithBind(t *testing.T) {
+	f := newFixture(t)
+	f.register(t, infoRequestModel())
+	pi, err := f.eng.StartProcess("TaskForceP", StartOptions{Initiator: "dr.reed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, pi.ID(), "Organize", "dr.reed")
+
+	// The coordinator decides a SECOND, unplanned information request
+	// channel is needed, as its own activity variable.
+	ir, _ := f.schemas.Process("InfoRequest")
+	av := core.ActivityVariable{
+		Name:     "EmergencyRequest",
+		Schema:   ir,
+		Optional: true,
+		Bind:     map[string]string{"tfc": "tfc"},
+	}
+	info, err := f.eng.AddActivity(pi.ID(), av, true, "dr.reed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.mustStart(t, info.ID, "dr.reed")
+	child, ok := f.eng.Instance(info.ID)
+	if !ok || child.Schema().Name != "InfoRequest" {
+		t.Fatal("dynamic subprocess did not start")
+	}
+	// The bound context is shared.
+	parentCtx, _ := f.eng.ContextID(pi.ID(), "tfc")
+	childCtx, _ := f.eng.ContextID(child.ID(), "tfc")
+	if parentCtx != childCtx {
+		t.Fatalf("context binding: %q vs %q", parentCtx, childCtx)
+	}
+	f.run(t, child.ID(), "Gather", "dr.okoye")
+	f.run(t, child.ID(), "Deliver", "dr.okoye")
+	got, _ := f.eng.Activity(info.ID)
+	if got.State != core.Completed {
+		t.Fatalf("dynamic subprocess activity = %v", got.State)
+	}
+}

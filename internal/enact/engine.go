@@ -1,0 +1,478 @@
+// Package enact implements the Coordination Model (CM) side of CMI: a
+// coordination engine that instantiates CMM process schemas, drives
+// activity state transitions through each activity's state schema, fires
+// dependency rules, maintains participant worklists, and emits the
+// primitive activity state change events that feed the Awareness Engine
+// (paper Sections 3, 4 and 6.3).
+//
+// CORE enumerates the possible activity states and transitions but does
+// not define how and when a transition occurs; this package supplies the
+// operations that cause transitions (Start, Complete, Terminate, Suspend,
+// Resume), subprocess invocation, and automatic process completion.
+package enact
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// A ProcessInstance is one running instance of a process schema.
+type ProcessInstance struct {
+	id     string
+	schema *core.ProcessSchema
+	state  core.State
+
+	// parent links for subprocess invocations. A subprocess instance
+	// shares its id with the invoking activity instance: "the activity
+	// is a process".
+	parentProc *ProcessInstance
+	parentVar  string
+
+	acts      map[string][]*ActivityInstance // activity variable -> instances
+	ctxIDs    map[string]string              // context variable -> context id
+	ownedCtxs []string                       // contexts created by this instance
+	cancelled map[string]bool                // activity variables cancelled by DepCancel
+	initiator string
+
+	// Instance-level dynamic change (see dynamic.go): activity
+	// variables and dependencies added to this instance only.
+	extraActs []core.ActivityVariable
+	extraDeps []core.Dependency
+}
+
+// ID returns the process instance id.
+func (p *ProcessInstance) ID() string { return p.id }
+
+// Schema returns the process schema.
+func (p *ProcessInstance) Schema() *core.ProcessSchema { return p.schema }
+
+// Ref returns the (schema id, instance id) pair identifying this instance.
+func (p *ProcessInstance) Ref() event.ProcessRef {
+	return event.ProcessRef{SchemaID: p.schema.Name, InstanceID: p.id}
+}
+
+// An ActivityInstance is one instance of an activity variable within a
+// process instance.
+type ActivityInstance struct {
+	id       string
+	varName  string
+	schema   core.ActivitySchema
+	proc     *ProcessInstance
+	state    core.State
+	assignee string
+	child    *ProcessInstance // set when a subprocess invocation has started
+}
+
+// ID returns the activity instance id.
+func (a *ActivityInstance) ID() string { return a.id }
+
+// VarName returns the activity variable the instance was created from.
+func (a *ActivityInstance) VarName() string { return a.varName }
+
+// Process returns the owning process instance.
+func (a *ActivityInstance) Process() *ProcessInstance { return a.proc }
+
+// IsSubprocess reports whether the activity invokes a process schema.
+func (a *ActivityInstance) IsSubprocess() bool {
+	_, ok := a.schema.(*core.ProcessSchema)
+	return ok
+}
+
+// Engine is the coordination engine. It is safe for concurrent use; all
+// primitive activity events are emitted to the registered observers in
+// total (stamp) order after the originating operation's lock is released.
+type Engine struct {
+	clock    vclock.Clock
+	schemas  *core.SchemaRegistry
+	dir      *core.Directory
+	contexts *core.Registry
+
+	mu         sync.Mutex
+	procs      map[string]*ProcessInstance
+	activities map[string]*ActivityInstance
+	observers  []event.Consumer
+	nextProc   int
+	nextAct    int
+	emitMu     sync.Mutex // serializes observer callbacks in stamp order
+}
+
+// New returns a coordination engine over the given clock, schema registry,
+// directory and context registry.
+func New(clock vclock.Clock, schemas *core.SchemaRegistry, dir *core.Directory, contexts *core.Registry) *Engine {
+	return &Engine{
+		clock:      clock,
+		schemas:    schemas,
+		dir:        dir,
+		contexts:   contexts,
+		procs:      make(map[string]*ProcessInstance),
+		activities: make(map[string]*ActivityInstance),
+	}
+}
+
+// Observe registers a consumer for primitive activity state change events.
+func (e *Engine) Observe(c event.Consumer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observers = append(e.observers, c)
+}
+
+// pending accumulates the side effects produced while the engine lock is
+// held: events to deliver to observers, and contexts to retire. Both are
+// executed after the lock is released — events first, then retirements,
+// so that a scoped role referenced by an awareness detection triggered by
+// its own scope's closing events is still resolvable at detection time
+// (Section 5: the delivery role is resolved at composite event detection
+// time).
+type pending struct {
+	events []event.Event
+	retire []string
+}
+
+func (e *Engine) flush(p *pending) {
+	if len(p.events) == 0 && len(p.retire) == 0 {
+		return
+	}
+	e.mu.Lock()
+	observers := append([]event.Consumer(nil), e.observers...)
+	e.mu.Unlock()
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	for _, ev := range p.events {
+		for _, o := range observers {
+			o.Consume(ev)
+		}
+	}
+	for _, ctxID := range p.retire {
+		_ = e.contexts.Retire(ctxID) // already-retired contexts are fine
+	}
+}
+
+// emitActivity records one activity state change event. Must be called
+// with e.mu held.
+func (e *Engine) emitActivity(p *pending, ai *ActivityInstance, old, new core.State, user string) {
+	change := event.ActivityChange{
+		ActivityInstanceID: ai.id,
+		User:               user,
+		OldState:           string(old),
+		NewState:           string(new),
+	}
+	if ai.proc != nil {
+		change.ParentProcessSchemaID = ai.proc.schema.Name
+		change.ParentProcessInstanceID = ai.proc.id
+		change.ActivityVariableID = ai.varName
+	}
+	if ps, ok := ai.schema.(*core.ProcessSchema); ok {
+		change.ActivityProcessSchemaID = ps.Name
+	}
+	p.events = append(p.events, event.NewActivity(e.clock.Next(), "coordination-engine", change))
+}
+
+// emitProcess records a state change of a process instance itself. For a
+// nested process the parent fields name the invoking process and activity
+// variable; for a top-level process they are absent (Section 5.1.1).
+func (e *Engine) emitProcess(p *pending, pi *ProcessInstance, old, new core.State, user string) {
+	change := event.ActivityChange{
+		ActivityInstanceID:      pi.id,
+		User:                    user,
+		ActivityProcessSchemaID: pi.schema.Name,
+		OldState:                string(old),
+		NewState:                string(new),
+	}
+	if pi.parentProc != nil {
+		change.ParentProcessSchemaID = pi.parentProc.schema.Name
+		change.ParentProcessInstanceID = pi.parentProc.id
+		change.ActivityVariableID = pi.parentVar
+	}
+	p.events = append(p.events, event.NewActivity(e.clock.Next(), "coordination-engine", change))
+}
+
+// StartOptions configures process instantiation.
+type StartOptions struct {
+	// Initiator is recorded as the user on the start events.
+	Initiator string
+	// InputContexts binds existing context instances to input context
+	// resource variables of the schema (context var name -> context id).
+	InputContexts map[string]string
+}
+
+// StartProcess instantiates the named process schema as a top-level
+// process: the instance's own state runs Uninitialized -> Ready ->
+// Running, contexts are created for the schema's local/output context
+// variables, and the entry activities become Ready.
+func (e *Engine) StartProcess(schemaName string, opts StartOptions) (*ProcessInstance, error) {
+	schema, ok := e.schemas.Process(schemaName)
+	if !ok {
+		return nil, fmt.Errorf("enact: unknown process schema %q", schemaName)
+	}
+	var p pending
+	e.mu.Lock()
+	pi, err := e.startProcessLocked(&p, schema, nil, "", opts)
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	e.flush(&p)
+	return pi, nil
+}
+
+// startProcessLocked creates and starts a process instance. When
+// parentAct is non-nil the new instance is a subprocess sharing the
+// invoking activity instance's id.
+func (e *Engine) startProcessLocked(p *pending, schema *core.ProcessSchema, parentAct *ActivityInstance, user string, opts StartOptions) (*ProcessInstance, error) {
+	var id string
+	var parentProc *ProcessInstance
+	var parentVar string
+	if parentAct != nil {
+		id = parentAct.id
+		parentProc = parentAct.proc
+		parentVar = parentAct.varName
+	} else {
+		e.nextProc++
+		id = fmt.Sprintf("p-%d", e.nextProc)
+	}
+	pi := &ProcessInstance{
+		id:         id,
+		schema:     schema,
+		state:      schema.States().Initial(),
+		parentProc: parentProc,
+		parentVar:  parentVar,
+		acts:       make(map[string][]*ActivityInstance),
+		ctxIDs:     make(map[string]string),
+		cancelled:  make(map[string]bool),
+		initiator:  opts.Initiator,
+	}
+	// Bind or create context resources.
+	for _, rv := range schema.ResourceVars {
+		if rv.Schema.Kind != core.ContextResource {
+			continue
+		}
+		if ctxID, ok := opts.InputContexts[rv.Name]; ok {
+			if _, found := e.contexts.Get(ctxID); !found {
+				return nil, fmt.Errorf("enact: input context %q (variable %q) does not exist", ctxID, rv.Name)
+			}
+			if err := e.contexts.Associate(ctxID, pi.Ref()); err != nil {
+				return nil, err
+			}
+			pi.ctxIDs[rv.Name] = ctxID
+			continue
+		}
+		if rv.Usage == core.UsageInput {
+			return nil, fmt.Errorf("enact: process %q requires an input context for variable %q", schema.Name, rv.Name)
+		}
+		ctx, err := e.contexts.Create(rv.Schema, pi.Ref())
+		if err != nil {
+			return nil, err
+		}
+		pi.ctxIDs[rv.Name] = ctx.ID()
+		pi.ownedCtxs = append(pi.ownedCtxs, ctx.ID())
+	}
+	e.procs[pi.id] = pi
+
+	// Drive the instance's own activity state to Running.
+	states := schema.States()
+	if err := e.transitionProcessLocked(p, pi, e.defaultTarget(states, pi.state, core.Ready), user); err != nil {
+		return nil, err
+	}
+	if err := e.transitionProcessLocked(p, pi, e.defaultTarget(states, pi.state, core.Running), user); err != nil {
+		return nil, err
+	}
+
+	// Entry activities become Ready.
+	for _, name := range schema.EntryActivities() {
+		av, _ := schema.Activity(name)
+		if _, err := e.instantiateActivityLocked(p, pi, av, user); err != nil {
+			return nil, err
+		}
+	}
+	return pi, nil
+}
+
+// defaultTarget picks the leaf state to move to for a generic intent
+// (Ready, Running, Suspended, Completed, Terminated), respecting
+// application-specific refinement: the first legal leaf (in sorted order)
+// lying under the intended generic state.
+func (e *Engine) defaultTarget(states *core.StateSchema, from core.State, intent core.State) core.State {
+	for _, leaf := range states.Leaves() {
+		if states.Legal(from, leaf) && states.IsSubstateOf(leaf, intent) {
+			return leaf
+		}
+	}
+	return intent // will fail validation downstream with a clear error
+}
+
+func (e *Engine) transitionProcessLocked(p *pending, pi *ProcessInstance, to core.State, user string) error {
+	states := pi.schema.States()
+	if !states.Legal(pi.state, to) {
+		return fmt.Errorf("enact: process %s: illegal transition %s -> %s", pi.id, pi.state, to)
+	}
+	old := pi.state
+	pi.state = to
+	e.emitProcess(p, pi, old, to, user)
+	return nil
+}
+
+// instantiateActivityLocked creates an instance of the activity variable
+// and moves it Uninitialized -> Ready.
+func (e *Engine) instantiateActivityLocked(p *pending, pi *ProcessInstance, av core.ActivityVariable, user string) (*ActivityInstance, error) {
+	e.nextAct++
+	ai := &ActivityInstance{
+		id:      fmt.Sprintf("a-%d", e.nextAct),
+		varName: av.Name,
+		schema:  av.Schema,
+		proc:    pi,
+		state:   av.Schema.States().Initial(),
+	}
+	pi.acts[av.Name] = append(pi.acts[av.Name], ai)
+	e.activities[ai.id] = ai
+	to := e.defaultTarget(av.Schema.States(), ai.state, core.Ready)
+	if !av.Schema.States().Legal(ai.state, to) {
+		return nil, fmt.Errorf("enact: activity %s: no legal path from %s to Ready", ai.id, ai.state)
+	}
+	old := ai.state
+	ai.state = to
+	e.emitActivity(p, ai, old, to, user)
+	return ai, nil
+}
+
+// Instantiate creates an additional Ready instance of a repeatable
+// activity variable — e.g. issuing another lab test (Figure 1).
+func (e *Engine) Instantiate(processID, activityVar, user string) (ActivityInfo, error) {
+	var p pending
+	e.mu.Lock()
+	pi, ok := e.procs[processID]
+	if !ok {
+		e.mu.Unlock()
+		return ActivityInfo{}, fmt.Errorf("enact: unknown process instance %q", processID)
+	}
+	if !isActive(pi.schema.States(), pi.state) {
+		e.mu.Unlock()
+		return ActivityInfo{}, fmt.Errorf("enact: process %s is not running", processID)
+	}
+	av, ok := pi.activityVar(activityVar)
+	if !ok {
+		e.mu.Unlock()
+		return ActivityInfo{}, fmt.Errorf("enact: process %q has no activity variable %q", pi.schema.Name, activityVar)
+	}
+	if len(pi.acts[av.Name]) > 0 && !av.Repeatable {
+		e.mu.Unlock()
+		return ActivityInfo{}, fmt.Errorf("enact: activity %q is not repeatable", activityVar)
+	}
+	ai, err := e.instantiateActivityLocked(&p, pi, av, user)
+	if err != nil {
+		e.mu.Unlock()
+		return ActivityInfo{}, err
+	}
+	info := snapshot(ai)
+	e.mu.Unlock()
+	e.flush(&p)
+	return info, nil
+}
+
+// isActive reports whether the state is pending work: not under Closed.
+func isActive(states *core.StateSchema, st core.State) bool {
+	return !states.IsSubstateOf(st, core.Closed) && st != core.Uninitialized
+}
+
+// Instance returns a process instance by id.
+func (e *Engine) Instance(id string) (*ProcessInstance, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pi, ok := e.procs[id]
+	return pi, ok
+}
+
+// ActivityInfo is a consistent snapshot of one activity instance.
+type ActivityInfo struct {
+	ID            string
+	Var           string
+	SchemaName    string
+	ProcessID     string
+	ProcessSchema string
+	State         core.State
+	Assignee      string
+	IsSubprocess  bool
+}
+
+func snapshot(ai *ActivityInstance) ActivityInfo {
+	return ActivityInfo{
+		ID:            ai.id,
+		Var:           ai.varName,
+		SchemaName:    ai.schema.SchemaName(),
+		ProcessID:     ai.proc.id,
+		ProcessSchema: ai.proc.schema.Name,
+		State:         ai.state,
+		Assignee:      ai.assignee,
+		IsSubprocess:  ai.IsSubprocess(),
+	}
+}
+
+// Activity returns a snapshot of an activity instance by id.
+func (e *Engine) Activity(id string) (ActivityInfo, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ai, ok := e.activities[id]
+	if !ok {
+		return ActivityInfo{}, false
+	}
+	return snapshot(ai), true
+}
+
+// ContextID returns the context instance bound to the named context
+// variable of the process instance.
+func (e *Engine) ContextID(processID, contextVar string) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pi, ok := e.procs[processID]
+	if !ok {
+		return "", false
+	}
+	id, ok := pi.ctxIDs[contextVar]
+	return id, ok
+}
+
+// ProcessState returns the current state of a process instance.
+func (e *Engine) ProcessState(id string) (core.State, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pi, ok := e.procs[id]
+	if !ok {
+		return "", false
+	}
+	return pi.state, true
+}
+
+// Instances returns the ids of all process instances, sorted.
+func (e *Engine) Instances() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.procs))
+	for id := range e.procs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActivitiesOf returns snapshots of the activity instances of a process
+// instance, sorted by instance id.
+func (e *Engine) ActivitiesOf(processID string) []ActivityInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pi, ok := e.procs[processID]
+	if !ok {
+		return nil
+	}
+	var out []ActivityInfo
+	for _, list := range pi.acts {
+		for _, ai := range list {
+			out = append(out, snapshot(ai))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,117 @@
+package enact
+
+import (
+	"sort"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// A WorkItem is one entry on a participant's worklist: a Ready activity
+// the participant may start (because they play its performer role), or a
+// Running/Suspended activity assigned to them. This is the traditional
+// WfMS worklist of the CMI Client for Participants (Figure 5).
+type WorkItem struct {
+	ActivityID    string
+	Var           string
+	SchemaName    string
+	ProcessID     string
+	ProcessSchema string
+	State         core.State
+}
+
+// Worklist returns the participant's current work items, sorted by
+// activity instance id.
+func (e *Engine) Worklist(participantID string) []WorkItem {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []WorkItem
+	for _, ai := range e.activities {
+		states := ai.schema.States()
+		var include bool
+		switch {
+		case states.IsSubstateOf(ai.state, core.Ready):
+			if ai.assignee != "" {
+				include = ai.assignee == participantID
+				break
+			}
+			role := performerRole(ai.schema)
+			if role == "" {
+				include = false // automatic activity; not human work
+				break
+			}
+			ids, err := e.contexts.ResolveRole(e.dir, role, ai.proc.Ref())
+			if err == nil {
+				for _, id := range ids {
+					if id == participantID {
+						include = true
+						break
+					}
+				}
+			}
+		case states.IsSubstateOf(ai.state, core.Running) || states.IsSubstateOf(ai.state, core.Suspended):
+			include = ai.assignee == participantID
+		}
+		if include {
+			out = append(out, WorkItem{
+				ActivityID:    ai.id,
+				Var:           ai.varName,
+				SchemaName:    ai.schema.SchemaName(),
+				ProcessID:     ai.proc.id,
+				ProcessSchema: ai.proc.schema.Name,
+				State:         ai.state,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ActivityID < out[j].ActivityID })
+	return out
+}
+
+// MonitorRow is one row of the process monitoring tool: the full status of
+// one activity instance of one process instance.
+type MonitorRow struct {
+	ProcessID     string
+	ProcessSchema string
+	ActivityID    string
+	Var           string
+	State         core.State
+	Assignee      string
+}
+
+// Monitor returns the status of every activity instance of the process,
+// recursing into running and closed subprocesses — the "managers monitor
+// the entire process" view that WfMSs build in (Section 2).
+func (e *Engine) Monitor(processID string) []MonitorRow {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []MonitorRow
+	e.monitorLocked(processID, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ProcessID != out[j].ProcessID {
+			return out[i].ProcessID < out[j].ProcessID
+		}
+		return out[i].ActivityID < out[j].ActivityID
+	})
+	return out
+}
+
+func (e *Engine) monitorLocked(processID string, out *[]MonitorRow) {
+	pi, ok := e.procs[processID]
+	if !ok {
+		return
+	}
+	for _, av := range pi.allActivityVars() {
+		for _, ai := range pi.acts[av.Name] {
+			*out = append(*out, MonitorRow{
+				ProcessID:     pi.id,
+				ProcessSchema: pi.schema.Name,
+				ActivityID:    ai.id,
+				Var:           ai.varName,
+				State:         ai.state,
+				Assignee:      ai.assignee,
+			})
+			if ai.child != nil {
+				e.monitorLocked(ai.child.id, out)
+			}
+		}
+	}
+}

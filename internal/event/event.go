@@ -1,0 +1,266 @@
+// Package event defines CMI's self-contained event model (paper Section 5).
+//
+// An event carries a set of name-value pairs, its parameters, that give
+// detail about what occurred. Because events are self-contained, the
+// parameters completely describe the event: its type, time and source are
+// part of the event itself rather than implied by the channel it arrived
+// on. This is the property that lets composite events summarize the
+// parameters of their constituent events, and it is what distinguishes the
+// CMI/CEDMOS model from active-database event models.
+//
+// Three families of event types exist:
+//
+//   - TypeActivity: primitive activity state change events (Section 5.1.1),
+//     produced each time a CMI activity changes state.
+//   - TypeContext: primitive context field change events (Section 5.1.1),
+//     produced each time a field in a context resource is modified.
+//   - Canonical(P): the canonical event type C_P associated with process
+//     schema P (Section 5.1.2). Nearly all awareness operators consume and
+//     produce canonical events, which is what makes the operators freely
+//     composable.
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// Type identifies the kind of an event and therefore the static type of an
+// event stream. Streams are typed: an operator input slot accepts exactly
+// one Type.
+type Type string
+
+// The primitive event types produced by the CMI enactment system.
+const (
+	// TypeActivity is T_activity, the activity state change event type.
+	TypeActivity Type = "cmi.activity"
+	// TypeContext is T_context, the context field change event type.
+	TypeContext Type = "cmi.context"
+	// TypeOutput is the type of events produced by the Output operator:
+	// a detected composite event plus delivery instructions (Section 6.2).
+	TypeOutput Type = "cmi.output"
+)
+
+const canonicalPrefix = "cmi.canonical:"
+
+// Canonical returns C_P, the canonical event type for process schema P.
+func Canonical(processSchemaID string) Type {
+	return Type(canonicalPrefix + processSchemaID)
+}
+
+// IsCanonical reports whether t is a canonical event type, and if so for
+// which process schema.
+func IsCanonical(t Type) (processSchemaID string, ok bool) {
+	s := string(t)
+	if strings.HasPrefix(s, canonicalPrefix) {
+		return s[len(canonicalPrefix):], true
+	}
+	return "", false
+}
+
+// Parameter names used by the primitive and canonical event types. The
+// names follow Section 5.1.1 of the paper.
+const (
+	// Activity state change event parameters.
+	PActivityInstanceID      = "activityInstanceId"
+	PParentProcessSchemaID   = "parentProcessSchemaId"
+	PParentProcessInstanceID = "parentProcessInstanceId"
+	PUser                    = "user"
+	PActivityVariableID      = "activityVariableId"
+	PActivityProcessSchemaID = "activityProcessSchemaId"
+	POldState                = "oldState"
+	PNewState                = "newState"
+
+	// Context field change event parameters.
+	PContextID     = "contextId"
+	PContextName   = "contextName"
+	PProcesses     = "processes" // []ProcessRef
+	PFieldName     = "fieldName"
+	POldFieldValue = "oldFieldValue"
+	PNewFieldValue = "newFieldValue"
+
+	// Canonical event parameters (Section 5.1.2).
+	PProcessSchemaID   = "processSchemaId"
+	PProcessInstanceID = "processInstanceId"
+	PIntInfo           = "intInfo" // generic integer information parameter
+	PInfo              = "info"    // generic string information parameter
+
+	// Delivery instruction parameters added by the Output operator
+	// (Section 6.2).
+	PDeliveryRole       = "deliveryRole"
+	PDeliveryAssignment = "deliveryAssignment"
+	PDescription        = "description"
+	PSchemaName         = "awarenessSchema"
+	PPriority           = "priority"
+
+	// Self-description parameters present on every flattened event.
+	PType   = "type"
+	PTime   = "time"
+	PSource = "source"
+)
+
+// A ProcessRef names one process instance: the pair of process schema id
+// and process instance id. Context events carry the set of ProcessRefs the
+// context is associated with.
+type ProcessRef struct {
+	SchemaID   string
+	InstanceID string
+}
+
+func (r ProcessRef) String() string { return r.SchemaID + "/" + r.InstanceID }
+
+// Params is the name-value parameter set of an event. Values are plain Go
+// values (string, int64, bool, time.Time, []ProcessRef, ...). Treat Params
+// reachable from an Event as immutable; use Event.With to derive changed
+// copies.
+type Params map[string]any
+
+// Clone returns a shallow copy of p.
+func (p Params) Clone() Params {
+	q := make(Params, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// An Event is one self-contained occurrence. The zero Event is meaningless;
+// construct events with New or the typed constructors.
+type Event struct {
+	// Type is the event's type; it determines which parameters are present.
+	Type Type
+	// Stamp is the clock reading at which the event was produced. The
+	// stamp's sequence number totally orders events from one system.
+	Stamp vclock.Stamp
+	// Source names the event producer (for primitive events, the engine
+	// component; for composite events, the operator instance).
+	Source string
+	// Params carries the event's parameters. Do not mutate; use With.
+	Params Params
+}
+
+// New returns an event of the given type, stamp and source with a copy of
+// the supplied parameters.
+func New(t Type, stamp vclock.Stamp, source string, params Params) Event {
+	return Event{Type: t, Stamp: stamp, Source: source, Params: params.Clone()}
+}
+
+// Time returns the event's timestamp.
+func (e Event) Time() time.Time { return e.Stamp.Time }
+
+// Get returns the named parameter and whether it is present.
+func (e Event) Get(name string) (any, bool) {
+	v, ok := e.Params[name]
+	return v, ok
+}
+
+// String returns the named parameter as a string. Missing or non-string
+// parameters yield "".
+func (e Event) String(name string) string {
+	if v, ok := e.Params[name]; ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return ""
+}
+
+// Int64 returns the named parameter as an int64 and whether it was present
+// and integer-valued. Int, int32, int64 and uint values are accepted;
+// time.Time values are converted to Unix seconds, which is how deadline
+// fields travel through the generic intInfo parameter.
+func (e Event) Int64(name string) (int64, bool) {
+	v, ok := e.Params[name]
+	if !ok {
+		return 0, false
+	}
+	return AsInt64(v)
+}
+
+// AsInt64 converts a parameter value to int64 if it has an integer-like
+// representation.
+func AsInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case int:
+		return int64(x), true
+	case int32:
+		return int64(x), true
+	case uint:
+		return int64(x), true
+	case uint32:
+		return int64(x), true
+	case uint64:
+		return int64(x), true
+	case time.Time:
+		return x.Unix(), true
+	default:
+		return 0, false
+	}
+}
+
+// With returns a copy of e with the named parameter set. The original
+// event is not modified.
+func (e Event) With(name string, value any) Event {
+	p := e.Params.Clone()
+	p[name] = value
+	return Event{Type: e.Type, Stamp: e.Stamp, Source: e.Source, Params: p}
+}
+
+// WithAll returns a copy of e with all the given parameters set.
+func (e Event) WithAll(params Params) Event {
+	p := e.Params.Clone()
+	for k, v := range params {
+		p[k] = v
+	}
+	return Event{Type: e.Type, Stamp: e.Stamp, Source: e.Source, Params: p}
+}
+
+// Flatten returns the fully self-contained parameter set of e: its Params
+// plus the type, time and source pseudo-parameters. This is the form in
+// which events cross system boundaries (delivery queues, the pub/sub
+// baseline, the federation API).
+func (e Event) Flatten() Params {
+	p := e.Params.Clone()
+	p[PType] = string(e.Type)
+	p[PTime] = e.Stamp.Time
+	p[PSource] = e.Source
+	return p
+}
+
+// GoString renders the event with sorted parameter names, for stable test
+// output and transcripts.
+func (e Event) GoString() string {
+	names := make([]string, 0, len(e.Params))
+	for k := range e.Params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s{", e.Type, e.Stamp.Time.Format(time.RFC3339))
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%v", k, e.Params[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// A Consumer accepts events. Event processing inside a detector is
+// synchronous: Consume is called on the producer's goroutine.
+type Consumer interface {
+	Consume(Event)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(Event)
+
+// Consume calls f(e).
+func (f ConsumerFunc) Consume(e Event) { f(e) }

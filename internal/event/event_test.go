@@ -1,0 +1,284 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func stamp() vclock.Stamp { return vclock.NewVirtual().Next() }
+
+func TestCanonicalTypeRoundTrip(t *testing.T) {
+	ty := Canonical("InfoRequest")
+	id, ok := IsCanonical(ty)
+	if !ok || id != "InfoRequest" {
+		t.Fatalf("IsCanonical(%q) = %q,%v", ty, id, ok)
+	}
+	if _, ok := IsCanonical(TypeActivity); ok {
+		t.Fatal("TypeActivity must not be canonical")
+	}
+	if _, ok := IsCanonical(TypeContext); ok {
+		t.Fatal("TypeContext must not be canonical")
+	}
+}
+
+func TestNewCopiesParams(t *testing.T) {
+	p := Params{"k": "v"}
+	e := New(TypeActivity, stamp(), "test", p)
+	p["k"] = "mutated"
+	if e.String("k") != "v" {
+		t.Fatalf("New did not copy params: got %q", e.String("k"))
+	}
+}
+
+func TestWithDoesNotMutateOriginal(t *testing.T) {
+	e := New(TypeActivity, stamp(), "test", Params{"a": int64(1)})
+	e2 := e.With("a", int64(2)).With("b", "x")
+	if v, _ := e.Int64("a"); v != 1 {
+		t.Fatalf("original mutated: a=%d", v)
+	}
+	if v, _ := e2.Int64("a"); v != 2 {
+		t.Fatalf("copy wrong: a=%d", v)
+	}
+	if e2.String("b") != "x" {
+		t.Fatalf("copy missing b")
+	}
+	if _, ok := e.Get("b"); ok {
+		t.Fatal("original gained parameter b")
+	}
+}
+
+func TestWithAll(t *testing.T) {
+	e := New(TypeContext, stamp(), "s", Params{"a": 1})
+	e2 := e.WithAll(Params{"b": 2, "c": 3})
+	if _, ok := e2.Get("b"); !ok {
+		t.Fatal("missing b")
+	}
+	if _, ok := e.Get("c"); ok {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestInt64Conversions(t *testing.T) {
+	now := time.Date(1999, 9, 2, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   any
+		want int64
+		ok   bool
+	}{
+		{int64(7), 7, true},
+		{int(8), 8, true},
+		{int32(9), 9, true},
+		{uint(10), 10, true},
+		{uint32(11), 11, true},
+		{uint64(12), 12, true},
+		{now, now.Unix(), true},
+		{"nope", 0, false},
+		{3.5, 0, false},
+		{nil, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := AsInt64(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("AsInt64(%v) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestInt64MissingParam(t *testing.T) {
+	e := New(TypeActivity, stamp(), "s", Params{})
+	if _, ok := e.Int64("absent"); ok {
+		t.Fatal("Int64 on absent parameter must report !ok")
+	}
+}
+
+func TestStringOnNonString(t *testing.T) {
+	e := New(TypeActivity, stamp(), "s", Params{"n": 5})
+	if e.String("n") != "" {
+		t.Fatal("String on non-string parameter must be empty")
+	}
+}
+
+func TestFlattenSelfContained(t *testing.T) {
+	st := stamp()
+	e := New(TypeActivity, st, "coordination-engine", Params{"x": "y"})
+	f := e.Flatten()
+	if f[PType] != string(TypeActivity) {
+		t.Errorf("flattened type = %v", f[PType])
+	}
+	if !f[PTime].(time.Time).Equal(st.Time) {
+		t.Errorf("flattened time = %v", f[PTime])
+	}
+	if f[PSource] != "coordination-engine" {
+		t.Errorf("flattened source = %v", f[PSource])
+	}
+	if f["x"] != "y" {
+		t.Errorf("flattened payload lost")
+	}
+	// Flatten must not alias the event's own params.
+	f["x"] = "mutated"
+	if e.String("x") != "y" {
+		t.Fatal("Flatten aliased event params")
+	}
+}
+
+func TestNewActivityOmitsEmptyOptionalParams(t *testing.T) {
+	e := NewActivity(stamp(), "ce", ActivityChange{
+		ActivityInstanceID: "a1",
+		OldState:           "Ready",
+		NewState:           "Running",
+	})
+	for _, k := range []string{PParentProcessSchemaID, PParentProcessInstanceID, PUser, PActivityVariableID, PActivityProcessSchemaID} {
+		if _, ok := e.Get(k); ok {
+			t.Errorf("optional parameter %q present on top-level event", k)
+		}
+	}
+	if e.String(PActivityInstanceID) != "a1" || e.String(POldState) != "Ready" || e.String(PNewState) != "Running" {
+		t.Fatalf("mandatory params wrong: %#v", e)
+	}
+}
+
+func TestNewActivityFullParams(t *testing.T) {
+	e := NewActivity(stamp(), "ce", ActivityChange{
+		ActivityInstanceID:      "a1",
+		ParentProcessSchemaID:   "TaskForce",
+		ParentProcessInstanceID: "tf-1",
+		User:                    "dr.reed",
+		ActivityVariableID:      "LabTest",
+		ActivityProcessSchemaID: "InfoRequest",
+		OldState:                "Ready",
+		NewState:                "Running",
+	})
+	if e.Type != TypeActivity {
+		t.Fatalf("type = %v", e.Type)
+	}
+	want := map[string]string{
+		PParentProcessSchemaID:   "TaskForce",
+		PParentProcessInstanceID: "tf-1",
+		PUser:                    "dr.reed",
+		PActivityVariableID:      "LabTest",
+		PActivityProcessSchemaID: "InfoRequest",
+	}
+	for k, v := range want {
+		if e.String(k) != v {
+			t.Errorf("%s = %q want %q", k, e.String(k), v)
+		}
+	}
+}
+
+func TestNewContextCopiesProcessList(t *testing.T) {
+	procs := []ProcessRef{{SchemaID: "TaskForce", InstanceID: "tf-1"}}
+	e := NewContext(stamp(), "core", ContextChange{
+		ContextID:     "ctx-1",
+		ContextName:   "TaskForceContext",
+		Processes:     procs,
+		FieldName:     "TaskForceDeadline",
+		OldFieldValue: nil,
+		NewFieldValue: int64(100),
+	})
+	procs[0].InstanceID = "mutated"
+	got := e.ProcessRefs()
+	if len(got) != 1 || got[0].InstanceID != "tf-1" {
+		t.Fatalf("process list aliased: %v", got)
+	}
+	if e.String(PFieldName) != "TaskForceDeadline" {
+		t.Fatalf("fieldName = %q", e.String(PFieldName))
+	}
+}
+
+func TestProcessRefsOnNonContextEvent(t *testing.T) {
+	e := New(TypeActivity, stamp(), "s", Params{})
+	if refs := e.ProcessRefs(); refs != nil {
+		t.Fatalf("expected nil refs, got %v", refs)
+	}
+}
+
+func TestCanonicalEventCarriesInstance(t *testing.T) {
+	e := NewCanonicalEvent(stamp(), "op", "TaskForce", "tf-9", Params{PIntInfo: int64(42)})
+	if e.Type != Canonical("TaskForce") {
+		t.Fatalf("type = %v", e.Type)
+	}
+	if e.InstanceID() != "tf-9" {
+		t.Fatalf("instance = %q", e.InstanceID())
+	}
+	if v, _ := e.Int64(PIntInfo); v != 42 {
+		t.Fatalf("intInfo = %d", v)
+	}
+}
+
+func TestProcessRefString(t *testing.T) {
+	r := ProcessRef{SchemaID: "P", InstanceID: "i1"}
+	if r.String() != "P/i1" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestConsumerFunc(t *testing.T) {
+	var got Event
+	c := ConsumerFunc(func(e Event) { got = e })
+	e := New(TypeActivity, stamp(), "s", Params{"k": "v"})
+	c.Consume(e)
+	if got.String("k") != "v" {
+		t.Fatal("ConsumerFunc did not forward event")
+	}
+}
+
+// Property: With never mutates the receiver, for arbitrary keys/values.
+func TestWithImmutableProperty(t *testing.T) {
+	base := New(TypeActivity, stamp(), "s", Params{"fixed": "base"})
+	f := func(key, val string) bool {
+		if key == "" {
+			key = "k"
+		}
+		derived := base.With(key, val)
+		if base.String("fixed") != "base" {
+			return false
+		}
+		if key != "fixed" {
+			if _, ok := base.Get(key); ok && key != "fixed" {
+				return false
+			}
+		}
+		return derived.String(key) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone produces an equal but independent parameter set.
+func TestParamsCloneProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		p := Params{}
+		for i, k := range keys {
+			p[k] = i
+		}
+		q := p.Clone()
+		if len(q) != len(p) {
+			return false
+		}
+		for k, v := range p {
+			if q[k] != v {
+				return false
+			}
+		}
+		q["__new__"] = true
+		_, leaked := p["__new__"]
+		return !leaked
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoStringStable(t *testing.T) {
+	e := New(TypeActivity, stamp(), "s", Params{"b": 2, "a": 1, "c": 3})
+	first := e.GoString()
+	for i := 0; i < 10; i++ {
+		if e.GoString() != first {
+			t.Fatal("GoString not deterministic")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package event
+
+import "github.com/mcc-cmi/cmi/internal/vclock"
+
+// ActivityChange describes one activity state transition, the payload of
+// the primitive event producer E_activity (Section 5.1.1).
+type ActivityChange struct {
+	ActivityInstanceID string
+	// ParentProcessSchemaID and ParentProcessInstanceID identify the
+	// activity's parent process; both are empty when the activity is
+	// itself a top-level process.
+	ParentProcessSchemaID   string
+	ParentProcessInstanceID string
+	// User is the participant responsible for the state change, if any.
+	User string
+	// ActivityVariableID is the activity variable the activity was
+	// instantiated from; empty for a top-level process.
+	ActivityVariableID string
+	// ActivityProcessSchemaID is set when the activity is itself a
+	// process: the process schema id of that subprocess.
+	ActivityProcessSchemaID string
+	OldState                string
+	NewState                string
+}
+
+// NewActivity builds the primitive activity state change event.
+func NewActivity(stamp vclock.Stamp, source string, c ActivityChange) Event {
+	p := Params{
+		PActivityInstanceID: c.ActivityInstanceID,
+		POldState:           c.OldState,
+		PNewState:           c.NewState,
+	}
+	if c.ParentProcessSchemaID != "" {
+		p[PParentProcessSchemaID] = c.ParentProcessSchemaID
+	}
+	if c.ParentProcessInstanceID != "" {
+		p[PParentProcessInstanceID] = c.ParentProcessInstanceID
+	}
+	if c.User != "" {
+		p[PUser] = c.User
+	}
+	if c.ActivityVariableID != "" {
+		p[PActivityVariableID] = c.ActivityVariableID
+	}
+	if c.ActivityProcessSchemaID != "" {
+		p[PActivityProcessSchemaID] = c.ActivityProcessSchemaID
+	}
+	return Event{Type: TypeActivity, Stamp: stamp, Source: source, Params: p}
+}
+
+// ContextChange describes one context field modification, the payload of
+// the primitive event producer E_context (Section 5.1.1).
+type ContextChange struct {
+	ContextID   string
+	ContextName string
+	// Processes records the process instances this context is associated
+	// with; a context may be shared by several process instances through
+	// resource scoping.
+	Processes     []ProcessRef
+	FieldName     string
+	OldFieldValue any
+	NewFieldValue any
+}
+
+// NewContext builds the primitive context field change event.
+func NewContext(stamp vclock.Stamp, source string, c ContextChange) Event {
+	procs := make([]ProcessRef, len(c.Processes))
+	copy(procs, c.Processes)
+	p := Params{
+		PContextID:     c.ContextID,
+		PContextName:   c.ContextName,
+		PProcesses:     procs,
+		PFieldName:     c.FieldName,
+		POldFieldValue: c.OldFieldValue,
+		PNewFieldValue: c.NewFieldValue,
+	}
+	return Event{Type: TypeContext, Stamp: stamp, Source: source, Params: p}
+}
+
+// ProcessRefs returns the process association list of a context event.
+func (e Event) ProcessRefs() []ProcessRef {
+	if v, ok := e.Params[PProcesses]; ok {
+		if refs, ok := v.([]ProcessRef); ok {
+			return refs
+		}
+	}
+	return nil
+}
+
+// NewCanonicalEvent builds an event of the canonical type C_P for process
+// schema processSchemaID, carrying the given instance id and extra
+// parameters. Operators use this when they synthesize canonical output
+// from primitive input.
+func NewCanonicalEvent(stamp vclock.Stamp, source, processSchemaID, processInstanceID string, extra Params) Event {
+	p := extra.Clone()
+	p[PProcessSchemaID] = processSchemaID
+	p[PProcessInstanceID] = processInstanceID
+	return Event{Type: Canonical(processSchemaID), Stamp: stamp, Source: source, Params: p}
+}
+
+// InstanceID returns the process instance id a canonical event belongs to.
+// The empty string means the event is not partitioned by instance.
+func (e Event) InstanceID() string { return e.String(PProcessInstanceID) }

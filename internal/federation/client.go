@@ -1,0 +1,245 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/enact"
+)
+
+// client is the shared HTTP plumbing of both CMI clients.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func newClient(base string, hc *http.Client) client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return client{base: base, http: hc}
+}
+
+func (c client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("federation: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("federation: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("federation: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
+			return fmt.Errorf("federation: server: %s", eb.Error)
+		}
+		return fmt.Errorf("federation: server returned %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("federation: %w", err)
+		}
+	}
+	return nil
+}
+
+// DesignerClient is the CMI Client for Designers (Figure 5): it loads
+// process and awareness specifications, manages the directory, and
+// starts the system.
+type DesignerClient struct {
+	client
+}
+
+// NewDesignerClient connects a designer client to a federation server.
+func NewDesignerClient(base string, hc *http.Client) *DesignerClient {
+	return &DesignerClient{newClient(base, hc)}
+}
+
+// LoadSpec uploads ADL source text.
+func (c *DesignerClient) LoadSpec(source string) (SpecResponse, error) {
+	var out SpecResponse
+	err := c.do("POST", "/api/spec", SpecRequest{Source: source}, &out)
+	return out, err
+}
+
+// AddParticipant registers a participant ("human" or "program").
+func (c *DesignerClient) AddParticipant(id, name, kind string) error {
+	return c.do("POST", "/api/directory/participants", ParticipantRequest{ID: id, Name: name, Kind: kind}, nil)
+}
+
+// AssignRole assigns an organizational role.
+func (c *DesignerClient) AssignRole(role, participant string) error {
+	return c.do("POST", "/api/directory/roles", RoleRequest{Role: role, Participant: participant}, nil)
+}
+
+// StartSystem moves the server from build time to run time.
+func (c *DesignerClient) StartSystem() error {
+	return c.do("POST", "/api/system/start", struct{}{}, nil)
+}
+
+// Schemas lists the registered schema names.
+func (c *DesignerClient) Schemas() ([]string, error) {
+	var out []string
+	err := c.do("GET", "/api/schemas", nil, &out)
+	return out, err
+}
+
+// ParticipantClient is the CMI Client for Participants (Figure 5): the
+// worklist, the process monitor, and the awareness information viewer.
+type ParticipantClient struct {
+	client
+	participant string
+}
+
+// NewParticipantClient connects a participant client.
+func NewParticipantClient(base, participant string, hc *http.Client) *ParticipantClient {
+	return &ParticipantClient{newClient(base, hc), participant}
+}
+
+// Participant returns who this client acts as.
+func (c *ParticipantClient) Participant() string { return c.participant }
+
+// StartProcess instantiates a process schema with this participant as
+// initiator.
+func (c *ParticipantClient) StartProcess(schema string) (string, error) {
+	var out StartProcessResponse
+	err := c.do("POST", "/api/processes", StartProcessRequest{Schema: schema, Initiator: c.participant}, &out)
+	return out.ID, err
+}
+
+// Processes lists process instances.
+func (c *ParticipantClient) Processes() ([]ProcessInfo, error) {
+	var out []ProcessInfo
+	err := c.do("GET", "/api/processes", nil, &out)
+	return out, err
+}
+
+// Worklist returns this participant's work items.
+func (c *ParticipantClient) Worklist() ([]enact.WorkItem, error) {
+	var out []enact.WorkItem
+	err := c.do("GET", "/api/worklist/"+url.PathEscape(c.participant), nil, &out)
+	return out, err
+}
+
+// Monitor returns the monitoring rows of a process instance.
+func (c *ParticipantClient) Monitor(processID string) ([]enact.MonitorRow, error) {
+	var out []enact.MonitorRow
+	err := c.do("GET", "/api/processes/"+url.PathEscape(processID)+"/monitor", nil, &out)
+	return out, err
+}
+
+// Instantiate creates another instance of a repeatable activity.
+func (c *ParticipantClient) Instantiate(processID, activityVar string) (enact.ActivityInfo, error) {
+	var out enact.ActivityInfo
+	err := c.do("POST", "/api/processes/"+url.PathEscape(processID)+"/activities",
+		InstantiateRequest{Var: activityVar, User: c.participant}, &out)
+	return out, err
+}
+
+func (c *ParticipantClient) activityOp(id, op string, to string) error {
+	return c.do("POST", "/api/activities/"+url.PathEscape(id)+"/"+op,
+		ActivityOpRequest{User: c.participant, To: to}, nil)
+}
+
+// Start begins a ready activity.
+func (c *ParticipantClient) Start(activityID string) error {
+	return c.activityOp(activityID, "start", "")
+}
+
+// Complete finishes a running activity.
+func (c *ParticipantClient) Complete(activityID string) error {
+	return c.activityOp(activityID, "complete", "")
+}
+
+// Terminate abandons an activity.
+func (c *ParticipantClient) Terminate(activityID string) error {
+	return c.activityOp(activityID, "terminate", "")
+}
+
+// Suspend pauses a running activity.
+func (c *ParticipantClient) Suspend(activityID string) error {
+	return c.activityOp(activityID, "suspend", "")
+}
+
+// Resume continues a suspended activity.
+func (c *ParticipantClient) Resume(activityID string) error {
+	return c.activityOp(activityID, "resume", "")
+}
+
+// Transition moves an activity to an explicit application-specific state.
+func (c *ParticipantClient) Transition(activityID, to string) error {
+	return c.activityOp(activityID, "transition", to)
+}
+
+// SetContextField assigns a context field of a process instance.
+func (c *ParticipantClient) SetContextField(processID, ctxVar, field string, value any) error {
+	enc, err := EncodeFieldValue(value)
+	if err != nil {
+		return err
+	}
+	return c.do("PUT", contextPath(processID, ctxVar, field), enc, nil)
+}
+
+// ContextField reads a context field of a process instance.
+func (c *ParticipantClient) ContextField(processID, ctxVar, field string) (any, error) {
+	var out FieldValue
+	if err := c.do("GET", contextPath(processID, ctxVar, field), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Decode()
+}
+
+func contextPath(processID, ctxVar, field string) string {
+	return "/api/contexts/" + url.PathEscape(processID) + "/" + url.PathEscape(ctxVar) + "/" + url.PathEscape(field)
+}
+
+// Notifications returns this participant's pending awareness
+// notifications.
+func (c *ParticipantClient) Notifications() ([]delivery.Notification, error) {
+	var out []delivery.Notification
+	err := c.do("GET", "/api/notifications/"+url.PathEscape(c.participant), nil, &out)
+	return out, err
+}
+
+// Ack acknowledges a notification.
+func (c *ParticipantClient) Ack(id int64) error {
+	return c.do("POST", fmt.Sprintf("/api/notifications/%s/%d/ack", url.PathEscape(c.participant), id), struct{}{}, nil)
+}
+
+// Digest returns this participant's pending notifications aggregated per
+// awareness schema.
+func (c *ParticipantClient) Digest() ([]delivery.Digest, error) {
+	var out []delivery.Digest
+	err := c.do("GET", "/api/notifications/"+url.PathEscape(c.participant)+"/digest", nil, &out)
+	return out, err
+}
+
+// SignOn records this participant as present (feeding the "online"
+// awareness role assignment); SignOff records absence.
+func (c *ParticipantClient) SignOn() error {
+	return c.do("POST", "/api/presence/"+url.PathEscape(c.participant), PresenceRequest{Online: true}, nil)
+}
+
+// SignOff records this participant as absent.
+func (c *ParticipantClient) SignOff() error {
+	return c.do("POST", "/api/presence/"+url.PathEscape(c.participant), PresenceRequest{Online: false}, nil)
+}

@@ -1,0 +1,127 @@
+// Package monitor implements the built-in awareness choices of existing
+// WfMS technology, the paper's other baseline (Section 2): "WfMSs
+// currently assume that participants in a process are either 'workers'
+// that need to be aware only of the activities assigned to them, or
+// 'managers' that must know the status of all the activities in the
+// entire process".
+//
+// The baseline consumes the same primitive activity event stream as the
+// CMI awareness engine and fans it out by those two fixed rules; the E7
+// experiment counts what lands on each participant and compares it with
+// CMI's customized awareness.
+package monitor
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// A Delivery is one baseline notification: a raw activity event handed
+// to a participant.
+type Delivery struct {
+	Participant string
+	Event       event.Event
+}
+
+// Baseline fans raw activity events out to workers and managers. It is
+// safe for concurrent use.
+type Baseline struct {
+	mu sync.Mutex
+	// workers receive events whose user field names them (their own
+	// activity transitions — the worklist view).
+	workers map[string]bool
+	// managers receive every event of the process schemas they manage;
+	// an empty schema set means every process (the monitor view).
+	managers map[string]map[string]bool
+	handler  func(Delivery)
+	counts   map[string]uint64
+}
+
+// New returns a baseline router delivering through handler (which may be
+// nil to only count).
+func New(handler func(Delivery)) *Baseline {
+	return &Baseline{
+		workers:  make(map[string]bool),
+		managers: make(map[string]map[string]bool),
+		handler:  handler,
+		counts:   make(map[string]uint64),
+	}
+}
+
+// AddWorker registers a worker participant.
+func (b *Baseline) AddWorker(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.workers[id] = true
+}
+
+// AddManager registers a manager for the given process schemas; with no
+// schemas the manager monitors every process.
+func (b *Baseline) AddManager(id string, schemas ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	set := b.managers[id]
+	if set == nil {
+		set = make(map[string]bool)
+		b.managers[id] = set
+	}
+	for _, s := range schemas {
+		set[s] = true
+	}
+}
+
+// Consume implements event.Consumer over the primitive activity stream.
+func (b *Baseline) Consume(ev event.Event) {
+	if ev.Type != event.TypeActivity {
+		return
+	}
+	b.mu.Lock()
+	var recipients []string
+	if u := ev.String(event.PUser); u != "" && b.workers[u] {
+		recipients = append(recipients, u)
+	}
+	schema := ev.String(event.PParentProcessSchemaID)
+	if schema == "" {
+		schema = ev.String(event.PActivityProcessSchemaID)
+	}
+	for m, set := range b.managers {
+		if len(set) == 0 || set[schema] {
+			recipients = append(recipients, m)
+		}
+	}
+	sort.Strings(recipients)
+	handler := b.handler
+	for _, r := range recipients {
+		b.counts[r]++
+	}
+	b.mu.Unlock()
+	if handler != nil {
+		for _, r := range recipients {
+			handler(Delivery{Participant: r, Event: ev})
+		}
+	}
+}
+
+// Counts returns notifications delivered per participant.
+func (b *Baseline) Counts() map[string]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]uint64, len(b.counts))
+	for k, v := range b.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of deliveries.
+func (b *Baseline) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t uint64
+	for _, v := range b.counts {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,101 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+var clk = vclock.NewVirtual()
+
+func activityEvent(schema, user string) event.Event {
+	return event.NewActivity(clk.Next(), "ce", event.ActivityChange{
+		ActivityInstanceID:      "a-1",
+		ParentProcessSchemaID:   schema,
+		ParentProcessInstanceID: "p-1",
+		User:                    user,
+		OldState:                "Ready",
+		NewState:                "Running",
+	})
+}
+
+func TestWorkerSeesOnlyOwnActivities(t *testing.T) {
+	b := New(nil)
+	b.AddWorker("alice")
+	b.AddWorker("bob")
+	b.Consume(activityEvent("P", "alice"))
+	b.Consume(activityEvent("P", "bob"))
+	b.Consume(activityEvent("P", "carol")) // not registered
+	b.Consume(activityEvent("P", ""))      // automatic transition
+	counts := b.Counts()
+	if counts["alice"] != 1 || counts["bob"] != 1 || counts["carol"] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if b.Total() != 2 {
+		t.Fatalf("total = %d", b.Total())
+	}
+}
+
+func TestManagerSeesEverything(t *testing.T) {
+	var mu sync.Mutex
+	var deliveries []Delivery
+	b := New(func(d Delivery) {
+		mu.Lock()
+		deliveries = append(deliveries, d)
+		mu.Unlock()
+	})
+	b.AddManager("boss") // all schemas
+	b.AddManager("lead", "P")
+	b.Consume(activityEvent("P", "alice"))
+	b.Consume(activityEvent("Q", "bob"))
+	counts := b.Counts()
+	if counts["boss"] != 2 {
+		t.Fatalf("boss = %d", counts["boss"])
+	}
+	if counts["lead"] != 1 {
+		t.Fatalf("lead = %d", counts["lead"])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(deliveries) != 3 {
+		t.Fatalf("deliveries = %d", len(deliveries))
+	}
+}
+
+func TestTopLevelProcessEventsUseOwnSchema(t *testing.T) {
+	b := New(nil)
+	b.AddManager("lead", "P")
+	// A top-level process event has no parent schema; the manager of P
+	// still sees it via activityProcessSchemaId.
+	ev := event.NewActivity(clk.Next(), "ce", event.ActivityChange{
+		ActivityInstanceID:      "p-1",
+		ActivityProcessSchemaID: "P",
+		OldState:                "Ready",
+		NewState:                "Running",
+	})
+	b.Consume(ev)
+	if b.Counts()["lead"] != 1 {
+		t.Fatalf("counts = %v", b.Counts())
+	}
+}
+
+func TestNonActivityEventsIgnored(t *testing.T) {
+	b := New(nil)
+	b.AddManager("boss")
+	b.Consume(event.New(event.TypeContext, clk.Next(), "core", event.Params{}))
+	if b.Total() != 0 {
+		t.Fatal("context event delivered by activity baseline")
+	}
+}
+
+func TestWorkerAndManagerBothReceive(t *testing.T) {
+	b := New(nil)
+	b.AddWorker("alice")
+	b.AddManager("alice") // alice is both: two roles, one delivery each
+	b.Consume(activityEvent("P", "alice"))
+	if b.Counts()["alice"] != 2 {
+		t.Fatalf("counts = %v", b.Counts())
+	}
+}

@@ -1,0 +1,117 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNotification builds a bounded random notification from generator
+// inputs.
+func randomNotification(fields []string, vals []int64) Notification {
+	n := Notification{}
+	for i, f := range fields {
+		if f == "" {
+			continue
+		}
+		if i < len(vals) {
+			n[f] = vals[i]
+		} else {
+			n[f] = f
+		}
+	}
+	return n
+}
+
+// Property: double negation is the identity on Match.
+func TestNotNotIdentityProperty(t *testing.T) {
+	f := func(field string, threshold int64, fields []string, vals []int64) bool {
+		if field == "" {
+			field = "x"
+		}
+		p := Cmp{Field: field, Op: "<", Value: threshold}
+		n := randomNotification(fields, vals)
+		return Not{Not{p}}.Match(n) == p.Match(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan — Not(All{p,q}) == Any{Not p, Not q}.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b int64, fields []string, vals []int64) bool {
+		p := Cmp{Field: "p", Op: ">=", Value: a}
+		q := Cmp{Field: "q", Op: "<", Value: b}
+		n := randomNotification(append(fields, "p", "q"), append(vals, a-1, b+1))
+		lhs := Not{All{p, q}}.Match(n)
+		rhs := Any{Not{p}, Not{q}}.Match(n)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the empty conjunction matches everything; the empty
+// disjunction matches nothing.
+func TestEmptyCombinatorProperty(t *testing.T) {
+	f := func(fields []string, vals []int64) bool {
+		n := randomNotification(fields, vals)
+		return All{}.Match(n) && !Any{}.Match(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for ordered operators, exactly one of <, ==, > holds for any
+// comparable pair, and Cmp agrees with that trichotomy.
+func TestCmpTrichotomyProperty(t *testing.T) {
+	f := func(v, w int64) bool {
+		n := Notification{"x": v}
+		lt := Cmp{"x", "<", w}.Match(n)
+		eq := Cmp{"x", "==", w}.Match(n)
+		gt := Cmp{"x", ">", w}.Match(n)
+		count := 0
+		for _, b := range []bool{lt, eq, gt} {
+			if b {
+				count++
+			}
+		}
+		le := Cmp{"x", "<=", w}.Match(n)
+		ge := Cmp{"x", ">=", w}.Match(n)
+		ne := Cmp{"x", "!=", w}.Match(n)
+		return count == 1 && le == (lt || eq) && ge == (gt || eq) && ne == !eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: broker delivery count equals the number of matching
+// subscriptions, for random subscription sets and notifications.
+func TestBrokerDeliveryCountProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 50; round++ {
+		b := NewBroker()
+		nSubs := rng.Intn(20)
+		preds := make([]Predicate, nSubs)
+		for i := range preds {
+			preds[i] = Cmp{Field: "n", Op: []string{"==", "!=", "<", "<=", ">", ">="}[rng.Intn(6)], Value: int64(rng.Intn(10))}
+			if _, err := b.Subscribe("s", preds[i], func(Notification) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := Notification{"n": int64(rng.Intn(10))}
+		want := 0
+		for _, p := range preds {
+			if p.Match(n) {
+				want++
+			}
+		}
+		if got := b.Notify(n); got != want {
+			t.Fatalf("round %d: delivered %d, want %d", round, got, want)
+		}
+	}
+}

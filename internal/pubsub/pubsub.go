@@ -1,0 +1,275 @@
+// Package pubsub is a content-based publish/subscribe notification
+// service in the style of Elvin (Segall & Arnold, AUUG'97), the
+// related-work baseline the paper contrasts CMI against (Section 2):
+// "subscriptions are done with content-based filtering, but no other form
+// of customized event processing is performed".
+//
+// Subscribers register predicates over notification fields; the broker
+// delivers each published notification to every subscriber whose
+// predicate matches. Like Elvin, the broker supports quenching:
+// publishers can ask whether any subscription could possibly match a
+// field, and skip publishing when none can.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// A Notification is a flat set of named values, Elvin-style.
+type Notification map[string]any
+
+// A Predicate is a subscription expression over notification content.
+type Predicate interface {
+	// Match reports whether the notification satisfies the predicate.
+	Match(Notification) bool
+	// Fields returns the field names the predicate examines (for
+	// quenching).
+	Fields() []string
+}
+
+// Exists matches notifications that carry the field at all.
+type Exists struct{ Field string }
+
+// Match implements Predicate.
+func (e Exists) Match(n Notification) bool { _, ok := n[e.Field]; return ok }
+
+// Fields implements Predicate.
+func (e Exists) Fields() []string { return []string{e.Field} }
+
+// Cmp matches notifications whose field compares against Value under Op
+// (==, !=, <, <=, >, >=). Strings compare lexically; integer-like values
+// (including times) numerically. A missing field or a type mismatch does
+// not match.
+type Cmp struct {
+	Field string
+	Op    string
+	Value any
+}
+
+// Match implements Predicate.
+func (c Cmp) Match(n Notification) bool {
+	v, ok := n[c.Field]
+	if !ok {
+		return false
+	}
+	if ai, ok := event.AsInt64(v); ok {
+		bi, ok := event.AsInt64(c.Value)
+		if !ok {
+			return false
+		}
+		return cmpOrdered(ai, bi, c.Op)
+	}
+	if as, ok := v.(string); ok {
+		bs, ok := c.Value.(string)
+		if !ok {
+			return false
+		}
+		return cmpOrdered(as, bs, c.Op)
+	}
+	if ab, ok := v.(bool); ok {
+		bb, ok := c.Value.(bool)
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case "==":
+			return ab == bb
+		case "!=":
+			return ab != bb
+		}
+	}
+	return false
+}
+
+// Fields implements Predicate.
+func (c Cmp) Fields() []string { return []string{c.Field} }
+
+func cmpOrdered[T int64 | string](a, b T, op string) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// All matches when every child predicate matches (conjunction).
+type All []Predicate
+
+// Match implements Predicate.
+func (a All) Match(n Notification) bool {
+	for _, p := range a {
+		if !p.Match(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fields implements Predicate.
+func (a All) Fields() []string { return unionFields(a) }
+
+// Any matches when at least one child predicate matches (disjunction).
+type Any []Predicate
+
+// Match implements Predicate.
+func (a Any) Match(n Notification) bool {
+	for _, p := range a {
+		if p.Match(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fields implements Predicate.
+func (a Any) Fields() []string { return unionFields(a) }
+
+// Not inverts a predicate.
+type Not struct{ P Predicate }
+
+// Match implements Predicate.
+func (n Not) Match(x Notification) bool { return !n.P.Match(x) }
+
+// Fields implements Predicate.
+func (n Not) Fields() []string { return n.P.Fields() }
+
+func unionFields(ps []Predicate) []string {
+	set := map[string]bool{}
+	for _, p := range ps {
+		for _, f := range p.Fields() {
+			set[f] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A Handler receives matched notifications.
+type Handler func(Notification)
+
+type subscription struct {
+	id      int64
+	owner   string
+	pred    Predicate
+	handler Handler
+}
+
+// Broker is the notification router. It is safe for concurrent use.
+type Broker struct {
+	mu        sync.Mutex
+	subs      map[int64]*subscription
+	nextID    int64
+	published uint64
+	delivered uint64
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: make(map[int64]*subscription)}
+}
+
+// Subscribe registers a predicate for an owner and returns the
+// subscription id.
+func (b *Broker) Subscribe(owner string, pred Predicate, h Handler) (int64, error) {
+	if pred == nil || h == nil {
+		return 0, fmt.Errorf("pubsub: subscription requires a predicate and a handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	b.subs[b.nextID] = &subscription{id: b.nextID, owner: owner, pred: pred, handler: h}
+	return b.nextID, nil
+}
+
+// Unsubscribe removes a subscription.
+func (b *Broker) Unsubscribe(id int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[id]; !ok {
+		return fmt.Errorf("pubsub: unknown subscription %d", id)
+	}
+	delete(b.subs, id)
+	return nil
+}
+
+// Notify publishes a notification, delivering it synchronously to every
+// matching subscription (in subscription order). It returns the number
+// of deliveries.
+func (b *Broker) Notify(n Notification) int {
+	b.mu.Lock()
+	b.published++
+	matched := make([]*subscription, 0, 4)
+	ids := make([]int64, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := b.subs[id]
+		if s.pred.Match(n) {
+			matched = append(matched, s)
+		}
+	}
+	b.delivered += uint64(len(matched))
+	b.mu.Unlock()
+	for _, s := range matched {
+		s.handler(n)
+	}
+	return len(matched)
+}
+
+// Quench reports whether any current subscription examines the given
+// field — Elvin's quenching: a publisher may skip producing
+// notifications nobody could possibly receive.
+func (b *Broker) Quench(field string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range b.subs {
+		for _, f := range s.pred.Fields() {
+			if f == field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns the published and delivered notification counts.
+func (b *Broker) Stats() (published, delivered uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.delivered
+}
+
+// Subscriptions returns the number of live subscriptions.
+func (b *Broker) Subscriptions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// FromEvent flattens a CMI event into an Elvin-style notification: the
+// event's parameters plus its type/time/source pseudo-fields. This is
+// the bridge used by the E7 baseline: raw enactment events are published
+// into the broker for content filtering.
+func FromEvent(ev event.Event) Notification {
+	return Notification(ev.Flatten())
+}

@@ -1,0 +1,204 @@
+package pubsub
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func TestCmpMatching(t *testing.T) {
+	cases := []struct {
+		pred Cmp
+		n    Notification
+		want bool
+	}{
+		{Cmp{"x", "==", "a"}, Notification{"x": "a"}, true},
+		{Cmp{"x", "==", "a"}, Notification{"x": "b"}, false},
+		{Cmp{"x", "!=", "a"}, Notification{"x": "b"}, true},
+		{Cmp{"x", "<", "b"}, Notification{"x": "a"}, true},
+		{Cmp{"n", ">=", 5}, Notification{"n": 5}, true},
+		{Cmp{"n", ">", int64(5)}, Notification{"n": int64(5)}, false},
+		{Cmp{"n", "<=", 10}, Notification{"n": int64(3)}, true},
+		{Cmp{"t", "<", time.Unix(200, 0)}, Notification{"t": time.Unix(100, 0)}, true},
+		{Cmp{"b", "==", true}, Notification{"b": true}, true},
+		{Cmp{"b", "!=", true}, Notification{"b": false}, true},
+		{Cmp{"b", "<", true}, Notification{"b": false}, false}, // bool has no order
+		{Cmp{"x", "==", "a"}, Notification{}, false},           // missing field
+		{Cmp{"n", "==", "str"}, Notification{"n": 5}, false},   // type mismatch
+		{Cmp{"x", "==", 5}, Notification{"x": "a"}, false},
+		{Cmp{"x", "~~", "a"}, Notification{"x": "a"}, false}, // bad op
+	}
+	for i, c := range cases {
+		if got := c.pred.Match(c.n); got != c.want {
+			t.Errorf("case %d: %+v.Match(%v) = %v", i, c.pred, c.n, got)
+		}
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	n := Notification{"kind": "lab", "result": "positive", "n": 3}
+	p := All{
+		Cmp{"kind", "==", "lab"},
+		Any{Cmp{"result", "==", "positive"}, Cmp{"n", ">", 100}},
+		Not{Exists{"suppressed"}},
+	}
+	if !p.Match(n) {
+		t.Fatal("composite predicate should match")
+	}
+	n["suppressed"] = true
+	if p.Match(n) {
+		t.Fatal("Not failed")
+	}
+	fields := p.Fields()
+	want := []string{"kind", "n", "result", "suppressed"}
+	if len(fields) != len(want) {
+		t.Fatalf("fields = %v", fields)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Fatalf("fields = %v, want %v", fields, want)
+		}
+	}
+	if !(Exists{"kind"}).Match(n) || (Exists{"ghost"}).Match(n) {
+		t.Fatal("Exists wrong")
+	}
+}
+
+func TestBrokerDelivery(t *testing.T) {
+	b := NewBroker()
+	var mu sync.Mutex
+	got := map[string]int{}
+	sub := func(owner string, p Predicate) {
+		t.Helper()
+		if _, err := b.Subscribe(owner, p, func(Notification) {
+			mu.Lock()
+			got[owner]++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub("labs", Cmp{"kind", "==", "lab"})
+	sub("all", Exists{"kind"})
+	sub("deadlines", Cmp{"kind", "==", "deadline"})
+
+	if n := b.Notify(Notification{"kind": "lab"}); n != 2 {
+		t.Fatalf("matched %d, want 2", n)
+	}
+	if n := b.Notify(Notification{"kind": "deadline"}); n != 2 {
+		t.Fatalf("matched %d, want 2", n)
+	}
+	if n := b.Notify(Notification{"other": 1}); n != 0 {
+		t.Fatalf("matched %d, want 0", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got["labs"] != 1 || got["all"] != 2 || got["deadlines"] != 1 {
+		t.Fatalf("deliveries = %v", got)
+	}
+	published, delivered := b.Stats()
+	if published != 3 || delivered != 4 {
+		t.Fatalf("stats = %d, %d", published, delivered)
+	}
+}
+
+func TestSubscribeValidationAndUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.Subscribe("x", nil, func(Notification) {}); err == nil {
+		t.Fatal("nil predicate accepted")
+	}
+	if _, err := b.Subscribe("x", Exists{"f"}, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	id, err := b.Subscribe("x", Exists{"f"}, func(Notification) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Subscriptions() != 1 {
+		t.Fatalf("subscriptions = %d", b.Subscriptions())
+	}
+	if err := b.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unsubscribe(id); err == nil {
+		t.Fatal("double unsubscribe accepted")
+	}
+	if b.Notify(Notification{"f": 1}) != 0 {
+		t.Fatal("unsubscribed handler matched")
+	}
+}
+
+func TestQuench(t *testing.T) {
+	b := NewBroker()
+	if b.Quench("kind") {
+		t.Fatal("quench true with no subscriptions")
+	}
+	id, _ := b.Subscribe("x", All{Cmp{"kind", "==", "lab"}, Exists{"result"}}, func(Notification) {})
+	if !b.Quench("kind") || !b.Quench("result") {
+		t.Fatal("quench false for subscribed fields")
+	}
+	if b.Quench("other") {
+		t.Fatal("quench true for unexamined field")
+	}
+	_ = b.Unsubscribe(id)
+	if b.Quench("kind") {
+		t.Fatal("quench true after unsubscribe")
+	}
+}
+
+func TestFromEvent(t *testing.T) {
+	clk := vclock.NewVirtual()
+	ev := event.NewActivity(clk.Next(), "ce", event.ActivityChange{
+		ActivityInstanceID:      "a-1",
+		ParentProcessSchemaID:   "P",
+		ParentProcessInstanceID: "p-1",
+		User:                    "u",
+		OldState:                "Ready",
+		NewState:                "Running",
+	})
+	n := FromEvent(ev)
+	if n[event.PType] != string(event.TypeActivity) {
+		t.Fatalf("type field = %v", n[event.PType])
+	}
+	if n[event.PNewState] != "Running" || n[event.PUser] != "u" {
+		t.Fatalf("payload = %v", n)
+	}
+	// Content-based subscription against a flattened enactment event —
+	// the Elvin baseline in one line.
+	p := All{Cmp{event.PType, "==", string(event.TypeActivity)}, Cmp{event.PNewState, "==", "Running"}}
+	if !p.Match(n) {
+		t.Fatal("content subscription did not match flattened event")
+	}
+}
+
+func TestBrokerConcurrentNotify(t *testing.T) {
+	b := NewBroker()
+	var mu sync.Mutex
+	count := 0
+	if _, err := b.Subscribe("x", Exists{"k"}, func(Notification) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Notify(Notification{"k": j})
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 800 {
+		t.Fatalf("count = %d", count)
+	}
+}

@@ -1,0 +1,297 @@
+// Package service implements the CMM Service Model (SM), the fourth
+// submodel of Figure 2: "the Service Model supports reusable process
+// activities and related resources, service quality, and service
+// agreements, as needed to support collaboration processes in virtual
+// enterprises" (paper Section 3; service selection and invocation are
+// detailed in the companion report the paper cites as [7]).
+//
+// A Service packages a process schema as a reusable activity offered by
+// a provider with declared quality; a Registry selects services by
+// quality requirements; a Broker forms Agreements and invokes the
+// service's process, then watches the enactment event stream to judge
+// each agreement fulfilled or violated against its deadline.
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/enact"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// Quality declares a service's advertised quality of service.
+type Quality struct {
+	// MaxDuration is the promised completion bound.
+	MaxDuration time.Duration
+	// Cost is the price per invocation, in abstract units.
+	Cost int64
+	// Reliability is the advertised success rate in [0, 1].
+	Reliability float64
+}
+
+// A Service is a reusable process activity offered by a provider.
+type Service struct {
+	Name     string
+	Provider string
+	// Schema is the process schema enacted per invocation.
+	Schema  *core.ProcessSchema
+	Quality Quality
+}
+
+// Validate checks the service declaration.
+func (s *Service) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("service: service requires a name")
+	}
+	if s.Provider == "" {
+		return fmt.Errorf("service: service %q requires a provider", s.Name)
+	}
+	if s.Schema == nil {
+		return fmt.Errorf("service: service %q requires a process schema", s.Name)
+	}
+	if err := s.Schema.Validate(); err != nil {
+		return err
+	}
+	if s.Quality.MaxDuration <= 0 {
+		return fmt.Errorf("service: service %q requires a positive duration bound", s.Name)
+	}
+	if s.Quality.Reliability < 0 || s.Quality.Reliability > 1 {
+		return fmt.Errorf("service: service %q reliability out of [0,1]", s.Name)
+	}
+	return nil
+}
+
+// Requirements constrain service selection. Zero values mean
+// "unconstrained" (and minimum reliability 0).
+type Requirements struct {
+	MaxDuration    time.Duration
+	MaxCost        int64
+	MinReliability float64
+}
+
+// A Registry holds the services offered across the virtual enterprise.
+// It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	services map[string]*Service
+}
+
+// NewRegistry returns an empty service registry.
+func NewRegistry() *Registry {
+	return &Registry{services: make(map[string]*Service)}
+}
+
+// Register adds a service offer.
+func (r *Registry) Register(s *Service) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.services[s.Name]; dup {
+		return fmt.Errorf("service: service %q already registered", s.Name)
+	}
+	r.services[s.Name] = s
+	return nil
+}
+
+// Lookup returns a service by name.
+func (r *Registry) Lookup(name string) (*Service, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.services[name]
+	return s, ok
+}
+
+// Services returns all offers, sorted by name.
+func (r *Registry) Services() []*Service {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Service, 0, len(r.services))
+	for _, s := range r.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Select picks the best service meeting the requirements: cheapest
+// first, then most reliable, then fastest, then by name for determinism.
+func (r *Registry) Select(req Requirements) (*Service, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var candidates []*Service
+	for _, s := range r.services {
+		if req.MaxDuration > 0 && s.Quality.MaxDuration > req.MaxDuration {
+			continue
+		}
+		if req.MaxCost > 0 && s.Quality.Cost > req.MaxCost {
+			continue
+		}
+		if s.Quality.Reliability < req.MinReliability {
+			continue
+		}
+		candidates = append(candidates, s)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("service: no service meets the requirements %+v", req)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.Quality.Cost != b.Quality.Cost {
+			return a.Quality.Cost < b.Quality.Cost
+		}
+		if a.Quality.Reliability != b.Quality.Reliability {
+			return a.Quality.Reliability > b.Quality.Reliability
+		}
+		if a.Quality.MaxDuration != b.Quality.MaxDuration {
+			return a.Quality.MaxDuration < b.Quality.MaxDuration
+		}
+		return a.Name < b.Name
+	})
+	return candidates[0], nil
+}
+
+// AgreementStatus is an agreement's lifecycle.
+type AgreementStatus string
+
+const (
+	AgreementActive    AgreementStatus = "active"
+	AgreementFulfilled AgreementStatus = "fulfilled"
+	AgreementViolated  AgreementStatus = "violated"
+)
+
+// An Agreement binds a consumer to one invocation of a service, with the
+// deadline derived from the service's promised duration.
+type Agreement struct {
+	ID        string
+	Service   string
+	Provider  string
+	Consumer  string
+	ProcessID string
+	Started   time.Time
+	Deadline  time.Time
+	Status    AgreementStatus
+}
+
+// An Invoker starts process instances; *system.System and thin wrappers
+// over *enact.Engine satisfy it.
+type Invoker interface {
+	StartProcess(schemaName, initiator string) (*enact.ProcessInstance, error)
+}
+
+// A Broker forms agreements and judges them against the enactment event
+// stream. Register it as an observer of the coordination engine. It is
+// safe for concurrent use.
+type Broker struct {
+	registry *Registry
+
+	mu         sync.Mutex
+	agreements map[string]*Agreement // by process instance id
+	nextID     int
+}
+
+// NewBroker returns a broker over the registry.
+func NewBroker(registry *Registry) *Broker {
+	return &Broker{registry: registry, agreements: make(map[string]*Agreement)}
+}
+
+// Invoke selects the named service, starts its process on behalf of the
+// consumer and returns the agreement. The schema must be registered with
+// the invoker's schema registry beforehand.
+func (b *Broker) Invoke(inv Invoker, serviceName, consumer string, now time.Time) (*Agreement, error) {
+	svc, ok := b.registry.Lookup(serviceName)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown service %q", serviceName)
+	}
+	pi, err := inv.StartProcess(svc.Schema.Name, consumer)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	ag := &Agreement{
+		ID:        fmt.Sprintf("ag-%d", b.nextID),
+		Service:   svc.Name,
+		Provider:  svc.Provider,
+		Consumer:  consumer,
+		ProcessID: pi.ID(),
+		Started:   now,
+		Deadline:  now.Add(svc.Quality.MaxDuration),
+		Status:    AgreementActive,
+	}
+	b.agreements[pi.ID()] = ag
+	return copyAgreement(ag), nil
+}
+
+// InvokeBest selects by requirements instead of by name.
+func (b *Broker) InvokeBest(inv Invoker, req Requirements, consumer string, now time.Time) (*Agreement, error) {
+	svc, err := b.registry.Select(req)
+	if err != nil {
+		return nil, err
+	}
+	return b.Invoke(inv, svc.Name, consumer, now)
+}
+
+// Consume implements event.Consumer over the primitive activity stream:
+// when an agreement's process closes, the agreement is judged —
+// fulfilled if it completed by the deadline, violated if it completed
+// late or terminated.
+func (b *Broker) Consume(ev event.Event) {
+	if ev.Type != event.TypeActivity {
+		return
+	}
+	if ev.String(event.PActivityProcessSchemaID) == "" {
+		return // not a process-level transition
+	}
+	inst := ev.String(event.PActivityInstanceID)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ag, ok := b.agreements[inst]
+	if !ok || ag.Status != AgreementActive {
+		return
+	}
+	switch core.State(ev.String(event.PNewState)) {
+	case core.Completed:
+		if ev.Time().After(ag.Deadline) {
+			ag.Status = AgreementViolated
+		} else {
+			ag.Status = AgreementFulfilled
+		}
+	case core.Terminated:
+		ag.Status = AgreementViolated
+	}
+}
+
+// Agreement returns the agreement attached to a process instance.
+func (b *Broker) Agreement(processID string) (*Agreement, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ag, ok := b.agreements[processID]
+	if !ok {
+		return nil, false
+	}
+	return copyAgreement(ag), true
+}
+
+// Agreements returns all agreements, sorted by id.
+func (b *Broker) Agreements() []*Agreement {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*Agreement, 0, len(b.agreements))
+	for _, ag := range b.agreements {
+		out = append(out, copyAgreement(ag))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func copyAgreement(ag *Agreement) *Agreement {
+	c := *ag
+	return &c
+}

@@ -1,0 +1,237 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/system"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func labService(name, provider string, cost int64, dur time.Duration, rel float64) *Service {
+	return &Service{
+		Name:     name,
+		Provider: provider,
+		Schema: &core.ProcessSchema{
+			Name: name + "Process",
+			Activities: []core.ActivityVariable{
+				{Name: "Perform", Schema: &core.BasicActivitySchema{Name: name + "/Perform"}},
+			},
+		},
+		Quality: Quality{MaxDuration: dur, Cost: cost, Reliability: rel},
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	good := labService("PCR", "CityLab", 100, 24*time.Hour, 0.99)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Service){
+		func(s *Service) { s.Name = "" },
+		func(s *Service) { s.Provider = "" },
+		func(s *Service) { s.Schema = nil },
+		func(s *Service) { s.Quality.MaxDuration = 0 },
+		func(s *Service) { s.Quality.Reliability = 1.5 },
+		func(s *Service) { s.Quality.Reliability = -0.1 },
+	}
+	for i, mutate := range cases {
+		s := labService("PCR", "CityLab", 100, 24*time.Hour, 0.99)
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestRegistrySelect(t *testing.T) {
+	r := NewRegistry()
+	for _, s := range []*Service{
+		labService("FastLab", "A", 500, 6*time.Hour, 0.95),
+		labService("CheapLab", "B", 100, 48*time.Hour, 0.90),
+		labService("GoodLab", "C", 250, 24*time.Hour, 0.99),
+	} {
+		if err := r.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Register(labService("FastLab", "A", 1, time.Hour, 1)); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if len(r.Services()) != 3 {
+		t.Fatalf("services = %v", r.Services())
+	}
+	if _, ok := r.Lookup("CheapLab"); !ok {
+		t.Fatal("lookup failed")
+	}
+
+	// Unconstrained: cheapest wins.
+	got, err := r.Select(Requirements{})
+	if err != nil || got.Name != "CheapLab" {
+		t.Fatalf("select = %v, %v", got, err)
+	}
+	// Duration bound excludes the cheap one.
+	got, err = r.Select(Requirements{MaxDuration: 24 * time.Hour})
+	if err != nil || got.Name != "GoodLab" {
+		t.Fatalf("select = %v, %v", got, err)
+	}
+	// Tight bounds leave only the fast lab.
+	got, err = r.Select(Requirements{MaxDuration: 12 * time.Hour, MinReliability: 0.9})
+	if err != nil || got.Name != "FastLab" {
+		t.Fatalf("select = %v, %v", got, err)
+	}
+	// Impossible requirements.
+	if _, err := r.Select(Requirements{MaxCost: 50}); err == nil {
+		t.Fatal("impossible requirements satisfied")
+	}
+}
+
+func TestSelectTieBreaks(t *testing.T) {
+	r := NewRegistry()
+	// Same cost: higher reliability wins; then faster; then name.
+	must := func(s *Service) {
+		t.Helper()
+		if err := r.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(labService("B", "x", 100, 10*time.Hour, 0.95))
+	must(labService("A", "x", 100, 10*time.Hour, 0.99))
+	got, err := r.Select(Requirements{})
+	if err != nil || got.Name != "A" {
+		t.Fatalf("reliability tiebreak = %v", got)
+	}
+	must(labService("C", "x", 100, 5*time.Hour, 0.99))
+	got, _ = r.Select(Requirements{})
+	if got.Name != "C" {
+		t.Fatalf("duration tiebreak = %v", got)
+	}
+}
+
+// brokerRig wires a broker into a live system.
+func brokerRig(t *testing.T) (*system.System, *vclock.Virtual, *Broker, *Registry) {
+	t.Helper()
+	clk := vclock.NewVirtual()
+	sys, err := system.New(system.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	reg := NewRegistry()
+	broker := NewBroker(reg)
+	sys.Coordination().Observe(broker)
+	if err := sys.AddHuman("buyer", "Buyer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, clk, broker, reg
+}
+
+func runServiceProcess(t *testing.T, sys *system.System, processID string) {
+	t.Helper()
+	var id string
+	for _, ai := range sys.Coordination().ActivitiesOf(processID) {
+		id = ai.ID
+	}
+	if err := sys.Coordination().Start(id, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Coordination().Complete(id, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreementFulfilled(t *testing.T) {
+	sys, clk, broker, reg := brokerRig(t)
+	svc := labService("PCR", "CityLab", 100, 24*time.Hour, 0.99)
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterProcess(svc.Schema); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := broker.Invoke(sys, "PCR", "buyer", clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.Status != AgreementActive || ag.Provider != "CityLab" {
+		t.Fatalf("agreement = %+v", ag)
+	}
+	// Complete well within the 24h bound.
+	clk.Advance(2 * time.Hour)
+	runServiceProcess(t, sys, ag.ProcessID)
+	got, ok := broker.Agreement(ag.ProcessID)
+	if !ok || got.Status != AgreementFulfilled {
+		t.Fatalf("agreement after completion = %+v, %v", got, ok)
+	}
+}
+
+func TestAgreementViolatedByLateness(t *testing.T) {
+	sys, clk, broker, reg := brokerRig(t)
+	svc := labService("Slow", "TownLab", 50, 4*time.Hour, 0.9)
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterProcess(svc.Schema); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := broker.InvokeBest(sys, Requirements{MaxCost: 60}, "buyer", clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blow the 4h deadline.
+	clk.Advance(10 * time.Hour)
+	runServiceProcess(t, sys, ag.ProcessID)
+	got, _ := broker.Agreement(ag.ProcessID)
+	if got.Status != AgreementViolated {
+		t.Fatalf("late agreement = %+v", got)
+	}
+}
+
+func TestAgreementViolatedByTermination(t *testing.T) {
+	sys, clk, broker, reg := brokerRig(t)
+	svc := labService("Frail", "TownLab", 50, 24*time.Hour, 0.5)
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RegisterProcess(svc.Schema); err != nil {
+		t.Fatal(err)
+	}
+	ag, err := broker.Invoke(sys, "Frail", "buyer", clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Coordination().TerminateProcess(ag.ProcessID, "buyer"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := broker.Agreement(ag.ProcessID)
+	if got.Status != AgreementViolated {
+		t.Fatalf("terminated agreement = %+v", got)
+	}
+	// Status judgements are final.
+	if len(broker.Agreements()) != 1 {
+		t.Fatalf("agreements = %v", broker.Agreements())
+	}
+}
+
+func TestBrokerErrors(t *testing.T) {
+	sys, clk, broker, reg := brokerRig(t)
+	if _, err := broker.Invoke(sys, "Ghost", "buyer", clk.Now()); err == nil {
+		t.Fatal("unknown service invoked")
+	}
+	// Registered in the registry but not in the system's schema
+	// registry: the invocation fails cleanly.
+	svc := labService("Orphan", "X", 10, time.Hour, 1)
+	if err := reg.Register(svc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broker.Invoke(sys, "Orphan", "buyer", clk.Now()); err == nil {
+		t.Fatal("unregistered schema invoked")
+	}
+	if _, ok := broker.Agreement("ghost"); ok {
+		t.Fatal("unknown agreement found")
+	}
+}

@@ -1,0 +1,327 @@
+// Package system wires together the CMI engines of the paper's Figure 5
+// behind one facade, the System: the CORE engine (schema registry,
+// directory, context registry), the Coordination engine, the Awareness
+// engine, and the awareness delivery agent with its persistent queues.
+// The root package cmi re-exports everything here; this package exists so
+// that other internal subsystems (e.g. the federation server) can depend
+// on the facade without an import cycle.
+package system
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/mcc-cmi/cmi/internal/adl"
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/enact"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// Config configures a System.
+type Config struct {
+	// Clock drives all time observed by the system. Nil selects a
+	// virtual clock starting at vclock.Epoch, which makes runs
+	// deterministic; use vclock.NewSystem() for wall-clock time.
+	Clock vclock.Clock
+	// StateDir is where persistent delivery queues live. Empty selects
+	// a fresh temporary directory (recorded in StateDir() and removed
+	// by Close).
+	StateDir string
+	// DisableReplication turns off per-process-instance operator state
+	// replication in the awareness engine. Only for the E8 ablation
+	// experiment; never disable it in real use.
+	DisableReplication bool
+	// Buffer is the awareness detector's input queue capacity
+	// (default 1024).
+	Buffer int
+}
+
+// System is one CMI enactment system.
+type System struct {
+	clock    vclock.Clock
+	schemas  *core.SchemaRegistry
+	dir      *core.Directory
+	contexts *core.Registry
+	enact    *enact.Engine
+	aware    *awareness.Engine
+	agent    *delivery.Agent
+	store    *delivery.Store
+
+	stateDir   string
+	ownsState  bool
+	mu         sync.Mutex
+	started    bool
+	hasSchemas bool
+}
+
+// New builds a System from the configuration.
+func New(cfg Config) (*System, error) {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = vclock.NewVirtual()
+	}
+	stateDir := cfg.StateDir
+	owns := false
+	if stateDir == "" {
+		d, err := os.MkdirTemp("", "cmi-state-*")
+		if err != nil {
+			return nil, fmt.Errorf("cmi: %w", err)
+		}
+		stateDir = d
+		owns = true
+	}
+	store, err := delivery.NewStore(stateDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		clock:     clock,
+		schemas:   core.NewSchemaRegistry(),
+		dir:       core.NewDirectory(),
+		stateDir:  stateDir,
+		ownsState: owns,
+		store:     store,
+	}
+	s.contexts = core.NewRegistry(clock)
+	s.enact = enact.New(clock, s.schemas, s.dir, s.contexts)
+	s.agent = delivery.NewAgent(s.dir, s.contexts, store)
+	// The "online" assignment (Section 5.3): deliver only to signed-on
+	// players of the role; if nobody is signed on, fall back to the
+	// whole role so the persistent queues still capture the information.
+	if err := s.agent.RegisterAssignment(AssignOnline, func(users []string, _ event.Event) []string {
+		var online []string
+		for _, u := range users {
+			if s.dir.SignedOn(u) {
+				online = append(online, u)
+			}
+		}
+		if len(online) == 0 {
+			return users
+		}
+		return online
+	}); err != nil {
+		return nil, err
+	}
+	s.aware = awareness.NewEngine(s.agent, awareness.Options{
+		DisableReplication: cfg.DisableReplication,
+		Buffer:             cfg.Buffer,
+	})
+	s.enact.Observe(s.aware)
+	s.contexts.Observe(s.aware)
+	return s, nil
+}
+
+// Clock returns the system clock.
+func (s *System) Clock() vclock.Clock { return s.clock }
+
+// StateDir returns the directory holding the persistent delivery queues.
+func (s *System) StateDir() string { return s.stateDir }
+
+// Schemas exposes the schema registry (CORE engine).
+func (s *System) Schemas() *core.SchemaRegistry { return s.schemas }
+
+// Directory exposes the organizational directory (CORE engine).
+func (s *System) Directory() *core.Directory { return s.dir }
+
+// Contexts exposes the context registry (CORE engine).
+func (s *System) Contexts() *core.Registry { return s.contexts }
+
+// Coordination exposes the coordination engine.
+func (s *System) Coordination() *enact.Engine { return s.enact }
+
+// Awareness exposes the awareness engine.
+func (s *System) Awareness() *awareness.Engine { return s.aware }
+
+// DeliveryAgent exposes the awareness delivery agent.
+func (s *System) DeliveryAgent() *delivery.Agent { return s.agent }
+
+// Store exposes the persistent notification store.
+func (s *System) Store() *delivery.Store { return s.store }
+
+// RegisterProcess installs a process schema (and everything reachable
+// from it).
+func (s *System) RegisterProcess(p *core.ProcessSchema) error { return s.schemas.Register(p) }
+
+// DefineAwareness adds awareness schemas; call before Start.
+func (s *System) DefineAwareness(schemas ...*awareness.Schema) error {
+	if err := s.aware.Define(schemas...); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.hasSchemas = true
+	s.mu.Unlock()
+	return nil
+}
+
+// LoadSpec parses ADL source text and installs its process and awareness
+// schemas. It may be called several times before Start.
+func (s *System) LoadSpec(src string) (*adl.Spec, error) {
+	spec, err := adl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Register(s.schemas); err != nil {
+		return nil, err
+	}
+	if len(spec.Awareness) > 0 {
+		if err := s.DefineAwareness(spec.Awareness...); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
+// MustLoadSpec is LoadSpec, panicking on error — for specs embedded as
+// program literals.
+func (s *System) MustLoadSpec(src string) *adl.Spec {
+	spec, err := s.LoadSpec(src)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// Start launches the awareness engine (if any awareness schemas are
+// defined). The coordination engine needs no start.
+func (s *System) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("cmi: system already started")
+	}
+	if s.hasSchemas {
+		if err := s.aware.Start(); err != nil {
+			return err
+		}
+	}
+	s.started = true
+	return nil
+}
+
+// Drain stops the awareness engine, guaranteeing every emitted primitive
+// event has been fully processed and delivered. The system can not be
+// restarted; Drain is for end-of-run inspection.
+func (s *System) Drain() {
+	s.aware.Stop()
+}
+
+// Close drains the awareness engine, waits for outstanding follow-on
+// hooks, and closes the notification store. If the state directory was
+// system-created, it is removed.
+func (s *System) Close() error {
+	s.aware.Stop()
+	s.agent.Wait()
+	err := s.store.Close()
+	if s.ownsState {
+		os.RemoveAll(s.stateDir)
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Directory conveniences.
+
+// AddHuman registers a human participant.
+func (s *System) AddHuman(id, name string) error {
+	return s.dir.AddParticipant(core.Participant{ID: id, Name: name, Kind: core.Human})
+}
+
+// AddProgram registers a program participant.
+func (s *System) AddProgram(id, name string) error {
+	return s.dir.AddParticipant(core.Participant{ID: id, Name: name, Kind: core.Program})
+}
+
+// AssignRole makes a participant play an organizational role.
+func (s *System) AssignRole(role, participant string) error {
+	return s.dir.AssignRole(role, participant)
+}
+
+// SignOn records a participant as present; SignOff removes them. The
+// AssignOnline awareness role assignment uses presence (Section 5.3).
+func (s *System) SignOn(participant string) error { return s.dir.SignOn(participant) }
+
+// SignOff records a participant as absent.
+func (s *System) SignOff(participant string) { s.dir.SignOff(participant) }
+
+// ---------------------------------------------------------------------
+// Coordination conveniences.
+
+// StartProcess instantiates the named process schema.
+func (s *System) StartProcess(schemaName, initiator string) (*enact.ProcessInstance, error) {
+	return s.enact.StartProcess(schemaName, enact.StartOptions{Initiator: initiator})
+}
+
+// Worklist returns the participant's current work items.
+func (s *System) Worklist(participant string) []enact.WorkItem {
+	return s.enact.Worklist(participant)
+}
+
+// SetContextField assigns a field of a process instance's context
+// resource, producing a context field change event.
+func (s *System) SetContextField(processID, contextVar, field string, value any) error {
+	ctxID, ok := s.enact.ContextID(processID, contextVar)
+	if !ok {
+		return fmt.Errorf("cmi: process %q has no context variable %q", processID, contextVar)
+	}
+	return s.contexts.SetField(ctxID, field, value)
+}
+
+// ContextField reads a field of a process instance's context resource.
+func (s *System) ContextField(processID, contextVar, field string) (any, bool) {
+	ctxID, ok := s.enact.ContextID(processID, contextVar)
+	if !ok {
+		return nil, false
+	}
+	return s.contexts.Field(ctxID, field)
+}
+
+// SetScopedRole assigns the participants playing a scoped role held in a
+// context field of the process instance.
+func (s *System) SetScopedRole(processID, contextVar, field string, participants ...string) error {
+	return s.SetContextField(processID, contextVar, field, core.NewRoleValue(participants...))
+}
+
+// ---------------------------------------------------------------------
+// Awareness delivery conveniences.
+
+// Viewer returns the awareness information viewer for a participant.
+func (s *System) Viewer(participant string) *delivery.Viewer {
+	return delivery.NewViewer(s.store, participant)
+}
+
+// MustViewer returns the participant's pending notifications, panicking
+// on store errors — for examples and tests.
+func (s *System) MustViewer(participant string) []delivery.Notification {
+	ns, err := s.Viewer(participant).Pending()
+	if err != nil {
+		panic(err)
+	}
+	return ns
+}
+
+// OnDetection registers a follow-on action hook, invoked asynchronously
+// after each awareness detection is delivered (Section 6.5's follow-on
+// actions). Hooks may safely call back into the system (e.g. to start an
+// escalation process).
+func (s *System) OnDetection(h delivery.DetectionHook) { s.agent.OnDetection(h) }
+
+// InjectExternal feeds an application-specific external event (Section
+// 5.1.1) into the awareness engine — the path by which event sources
+// outside the modeled business process (the paper's news-service
+// example) reach awareness descriptions that declare an ExternalSource.
+func (s *System) InjectExternal(ev event.Event) { s.aware.Consume(ev) }
+
+// NewExternalEvent builds an external event stamped by the system clock.
+func (s *System) NewExternalEvent(typ event.Type, source string, params event.Params) event.Event {
+	return event.New(typ, s.clock.Next(), source, params)
+}
+
+// AssignOnline names the presence-based awareness role assignment: only
+// signed-on players of the delivery role receive the information, unless
+// none are signed on, in which case everyone does (the queue is
+// persistent either way).
+const AssignOnline = "online"

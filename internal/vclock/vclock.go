@@ -1,0 +1,118 @@
+// Package vclock provides the clocks that drive CMI simulations.
+//
+// All time observed by the enactment and awareness engines flows through a
+// Clock so that scenario runs (and therefore the experiments in
+// EXPERIMENTS.md) are deterministic: a Virtual clock only moves when the
+// scenario driver advances it, and every reading is paired with a strictly
+// monotone sequence number that gives events a total order even when they
+// share a timestamp.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// A Stamp is a clock reading: a wall-clock style time plus a sequence
+// number that is unique per clock and strictly increasing across readings.
+// Stamps order events deterministically even within the same instant.
+type Stamp struct {
+	Time time.Time
+	Seq  uint64
+}
+
+// Before reports whether s happened before t, using the sequence number to
+// break timestamp ties.
+func (s Stamp) Before(t Stamp) bool {
+	if s.Time.Equal(t.Time) {
+		return s.Seq < t.Seq
+	}
+	return s.Time.Before(t.Time)
+}
+
+// A Clock supplies time to the engines.
+type Clock interface {
+	// Now returns the current time without consuming a sequence number.
+	Now() time.Time
+	// Next returns the current time paired with a fresh, strictly
+	// increasing sequence number.
+	Next() Stamp
+}
+
+// Virtual is a manually advanced Clock. The zero value is not usable; use
+// NewVirtual. Virtual is safe for concurrent use.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+	seq uint64
+}
+
+// Epoch is the default start time of a Virtual clock. A fixed epoch keeps
+// scenario transcripts byte-for-byte reproducible.
+var Epoch = time.Date(1999, time.September, 2, 9, 0, 0, 0, time.UTC)
+
+// NewVirtual returns a Virtual clock starting at Epoch.
+func NewVirtual() *Virtual { return NewVirtualAt(Epoch) }
+
+// NewVirtualAt returns a Virtual clock starting at the given time.
+func NewVirtualAt(start time.Time) *Virtual { return &Virtual{now: start} }
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Next returns the current virtual time with a fresh sequence number.
+func (v *Virtual) Next() Stamp {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	return Stamp{Time: v.now, Seq: v.seq}
+}
+
+// Advance moves the clock forward by d and returns the new time. Advancing
+// by a negative duration panics: virtual time never runs backwards.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic("vclock: cannot advance a Virtual clock backwards")
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+	return v.now
+}
+
+// Set moves the clock to t. Setting the clock earlier than the current
+// time panics.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.Before(v.now) {
+		panic("vclock: cannot set a Virtual clock backwards")
+	}
+	v.now = t
+}
+
+// System is a Clock backed by the operating system's real time. Sequence
+// numbers are still issued from a private counter so Stamps remain totally
+// ordered.
+type System struct {
+	mu  sync.Mutex
+	seq uint64
+}
+
+// NewSystem returns a Clock that reads real time.
+func NewSystem() *System { return &System{} }
+
+// Now returns the current real time.
+func (s *System) Now() time.Time { return time.Now() }
+
+// Next returns the current real time with a fresh sequence number.
+func (s *System) Next() Stamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return Stamp{Time: time.Now(), Seq: s.seq}
+}

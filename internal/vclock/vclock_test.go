@@ -1,0 +1,124 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if !v.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), Epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	got := v.Advance(90 * time.Minute)
+	want := Epoch.Add(90 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("Advance returned %v, want %v", got, want)
+	}
+	if !v.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewVirtual().Advance(-time.Second)
+}
+
+func TestVirtualSetBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(earlier) did not panic")
+		}
+	}()
+	v := NewVirtual()
+	v.Set(Epoch.Add(-time.Hour))
+}
+
+func TestNextSequenceStrictlyIncreases(t *testing.T) {
+	v := NewVirtual()
+	prev := v.Next()
+	for i := 0; i < 1000; i++ {
+		cur := v.Next()
+		if cur.Seq <= prev.Seq {
+			t.Fatalf("sequence did not increase: %d then %d", prev.Seq, cur.Seq)
+		}
+		prev = cur
+	}
+}
+
+func TestStampBeforeBreaksTiesBySeq(t *testing.T) {
+	v := NewVirtual()
+	a := v.Next()
+	b := v.Next() // same virtual time, later seq
+	if !a.Before(b) {
+		t.Fatalf("a should be before b: a=%+v b=%+v", a, b)
+	}
+	if b.Before(a) {
+		t.Fatalf("b should not be before a")
+	}
+	v.Advance(time.Second)
+	c := v.Next()
+	if !a.Before(c) || !b.Before(c) {
+		t.Fatalf("earlier time should order before later time")
+	}
+}
+
+func TestStampBeforeIrreflexive(t *testing.T) {
+	v := NewVirtual()
+	s := v.Next()
+	if s.Before(s) {
+		t.Fatal("a stamp must not be before itself")
+	}
+}
+
+func TestVirtualConcurrentNextIsTotallyOrdered(t *testing.T) {
+	v := NewVirtual()
+	const goroutines = 8
+	const perG = 500
+	seen := make([][]Stamp, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				seen[g] = append(seen[g], v.Next())
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool)
+	for _, stamps := range seen {
+		for _, s := range stamps {
+			if all[s.Seq] {
+				t.Fatalf("duplicate sequence number %d", s.Seq)
+			}
+			all[s.Seq] = true
+		}
+	}
+	if len(all) != goroutines*perG {
+		t.Fatalf("got %d unique seqs, want %d", len(all), goroutines*perG)
+	}
+}
+
+func TestSystemClockMonotoneSeq(t *testing.T) {
+	s := NewSystem()
+	a := s.Next()
+	b := s.Next()
+	if b.Seq != a.Seq+1 {
+		t.Fatalf("seq not incrementing: %d then %d", a.Seq, b.Seq)
+	}
+	if s.Now().IsZero() {
+		t.Fatal("system Now returned zero time")
+	}
+}

@@ -1,0 +1,205 @@
+// Package wfms is a from-scratch workflow management system in the WfMC
+// mold — our stand-in for IBM FlowMark, the COTS WfMS the CMI prototype
+// leverages for basic enactment (paper Section 6.1 and Figure 5).
+//
+// The package has two halves:
+//
+//   - a process definition model and a token-flow execution engine with
+//     worklists (def.go, engine.go), and
+//   - a translator from CMM process schemas to WfMS process definitions
+//     (translate.go). CMM activities are richer than WfMS activities, so
+//     each CMM activity expands into several WfMS nodes; Section 7
+//     reports that translating >50 CMM activities produced "a few
+//     hundred" WfMS activities, an expansion the translator reproduces
+//     and the Section 7 experiment measures.
+package wfms
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind classifies WfMS nodes.
+type NodeKind int
+
+const (
+	// WorkNode is a manual activity appearing on a worklist.
+	WorkNode NodeKind = iota
+	// AutoNode is an automatic activity executed by the engine itself
+	// (setup, data staging, notification hooks).
+	AutoNode
+	// RouteNode evaluates its outgoing connectors' conditions and
+	// routes the token (decision/join points).
+	RouteNode
+	// InvokeNode invokes another process definition as a subprocess.
+	InvokeNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case WorkNode:
+		return "work"
+	case AutoNode:
+		return "auto"
+	case RouteNode:
+		return "route"
+	case InvokeNode:
+		return "invoke"
+	}
+	return fmt.Sprintf("NodeKind(%d)", int(k))
+}
+
+// A Node is one WfMS activity.
+type Node struct {
+	Name string
+	Kind NodeKind
+	// Role names who performs a WorkNode (free-form; the WfMS has its
+	// own flat staff model).
+	Role string
+	// Invokes names the process definition called by an InvokeNode.
+	Invokes string
+	// JoinAll makes the node wait for tokens on ALL incoming connectors
+	// (and-join); otherwise the first arriving token activates it.
+	JoinAll bool
+}
+
+// A Connector is a control edge between two nodes, optionally labeled
+// with a condition on the instance's data container.
+type Connector struct {
+	From string
+	To   string
+	// Condition, when non-empty, names a boolean data container slot
+	// that must be true for the token to flow. The empty condition is
+	// always true.
+	Condition string
+	// Negate inverts the condition.
+	Negate bool
+}
+
+// A ProcessDef is a WfMS process definition: a named graph of activities
+// and control connectors plus the declared data container slots.
+type ProcessDef struct {
+	Name       string
+	Nodes      []Node
+	Connectors []Connector
+	// DataSlots declares the boolean data container slots conditions may
+	// reference.
+	DataSlots []string
+}
+
+// Node returns the named node.
+func (d *ProcessDef) Node(name string) (Node, bool) {
+	for _, n := range d.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Entry returns the names of nodes with no incoming connectors.
+func (d *ProcessDef) Entry() []string {
+	incoming := map[string]bool{}
+	for _, c := range d.Connectors {
+		incoming[c.To] = true
+	}
+	var out []string
+	for _, n := range d.Nodes {
+		if !incoming[n.Name] {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks definition consistency: unique node names, connectors
+// referencing known nodes, conditions referencing declared slots, invoke
+// nodes naming a process, and an acyclic connector graph.
+func (d *ProcessDef) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("wfms: process definition requires a name")
+	}
+	if len(d.Nodes) == 0 {
+		return fmt.Errorf("wfms: process %q has no activities", d.Name)
+	}
+	seen := map[string]bool{}
+	for _, n := range d.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("wfms: process %q has an unnamed node", d.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("wfms: process %q declares node %q twice", d.Name, n.Name)
+		}
+		seen[n.Name] = true
+		if n.Kind == InvokeNode && n.Invokes == "" {
+			return fmt.Errorf("wfms: invoke node %q names no process", n.Name)
+		}
+	}
+	slots := map[string]bool{}
+	for _, s := range d.DataSlots {
+		slots[s] = true
+	}
+	for _, c := range d.Connectors {
+		if !seen[c.From] || !seen[c.To] {
+			return fmt.Errorf("wfms: process %q: connector %s->%s references unknown node", d.Name, c.From, c.To)
+		}
+		if c.From == c.To {
+			return fmt.Errorf("wfms: process %q: self connector on %q", d.Name, c.From)
+		}
+		if c.Condition != "" && !slots[c.Condition] {
+			return fmt.Errorf("wfms: process %q: connector condition %q not a declared data slot", d.Name, c.Condition)
+		}
+	}
+	if len(d.Entry()) == 0 {
+		return fmt.Errorf("wfms: process %q has no entry nodes", d.Name)
+	}
+	return d.checkAcyclic()
+}
+
+func (d *ProcessDef) checkAcyclic() error {
+	adj := map[string][]string{}
+	for _, c := range d.Connectors {
+		adj[c.From] = append(adj[c.From], c.To)
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return fmt.Errorf("wfms: process %q has a control cycle through %q", d.Name, m)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for _, n := range d.Nodes {
+		if color[n.Name] == white {
+			if err := visit(n.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CountByKind tallies the definition's activities by node kind — the
+// measurement the Section 7 experiment reports.
+func (d *ProcessDef) CountByKind() map[NodeKind]int {
+	out := map[NodeKind]int{}
+	for _, n := range d.Nodes {
+		out[n.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package wfms
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeState is the WfMS activity lifecycle, a flat subset of the CMM
+// generic states — COTS workflow engines have a single fixed activity
+// state type (paper Section 3).
+type NodeState string
+
+const (
+	NodeInactive NodeState = "inactive"
+	NodeReady    NodeState = "ready"
+	NodeRunning  NodeState = "running"
+	NodeFinished NodeState = "finished"
+	NodeSkipped  NodeState = "skipped"
+)
+
+type nodeInst struct {
+	node    Node
+	state   NodeState
+	arrived int // tokens arrived on incoming connectors
+	user    string
+	child   string // instance id of invoked subprocess
+}
+
+type instance struct {
+	id     string
+	def    *ProcessDef
+	nodes  map[string]*nodeInst
+	data   map[string]bool
+	done   bool
+	parent string // parent instance id, "" for top-level
+	pnode  string // node in parent that invoked us
+}
+
+// Engine is the WfMS enactment engine: it runs process definition
+// instances by token flow and maintains per-role worklists. It is safe
+// for concurrent use.
+type Engine struct {
+	mu        sync.Mutex
+	defs      map[string]*ProcessDef
+	instances map[string]*instance
+	nextID    int
+	// staff maps role -> participant ids (the WfMS's flat staff model).
+	staff map[string]map[string]bool
+}
+
+// NewEngine returns an empty WfMS engine.
+func NewEngine() *Engine {
+	return &Engine{
+		defs:      make(map[string]*ProcessDef),
+		instances: make(map[string]*instance),
+		staff:     make(map[string]map[string]bool),
+	}
+}
+
+// Define installs a process definition.
+func (e *Engine) Define(d *ProcessDef) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.defs[d.Name]; ok {
+		return fmt.Errorf("wfms: process %q already defined", d.Name)
+	}
+	e.defs[d.Name] = d
+	return nil
+}
+
+// Definition returns an installed process definition.
+func (e *Engine) Definition(name string) (*ProcessDef, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.defs[name]
+	return d, ok
+}
+
+// AddStaff assigns a participant to a WfMS role.
+func (e *Engine) AddStaff(role, participant string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.staff[role] == nil {
+		e.staff[role] = make(map[string]bool)
+	}
+	e.staff[role][participant] = true
+}
+
+// Start instantiates a process definition and returns the instance id.
+func (e *Engine) Start(defName string) (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id, err := e.startLocked(defName, "", "")
+	if err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+func (e *Engine) startLocked(defName, parent, pnode string) (string, error) {
+	def, ok := e.defs[defName]
+	if !ok {
+		return "", fmt.Errorf("wfms: unknown process definition %q", defName)
+	}
+	e.nextID++
+	inst := &instance{
+		id:     fmt.Sprintf("w-%d", e.nextID),
+		def:    def,
+		nodes:  make(map[string]*nodeInst, len(def.Nodes)),
+		data:   make(map[string]bool),
+		parent: parent,
+		pnode:  pnode,
+	}
+	for _, n := range def.Nodes {
+		inst.nodes[n.Name] = &nodeInst{node: n, state: NodeInactive}
+	}
+	e.instances[inst.id] = inst
+	for _, entry := range def.Entry() {
+		if err := e.activateLocked(inst, entry); err != nil {
+			return "", err
+		}
+	}
+	return inst.id, nil
+}
+
+// activateLocked marks a node ready and immediately executes automatic
+// and routing nodes.
+func (e *Engine) activateLocked(inst *instance, name string) error {
+	ni := inst.nodes[name]
+	if ni.state != NodeInactive {
+		return nil
+	}
+	ni.state = NodeReady
+	switch ni.node.Kind {
+	case AutoNode, RouteNode:
+		ni.state = NodeFinished
+		return e.propagateLocked(inst, name)
+	case InvokeNode:
+		ni.state = NodeRunning
+		child, err := e.startLocked(ni.node.Invokes, inst.id, name)
+		if err != nil {
+			return err
+		}
+		ni.child = child
+		return nil
+	}
+	return nil // WorkNode waits on a worklist
+}
+
+// propagateLocked flows tokens over the finished node's outgoing
+// connectors.
+func (e *Engine) propagateLocked(inst *instance, from string) error {
+	for _, c := range inst.def.Connectors {
+		if c.From != from {
+			continue
+		}
+		if c.Condition != "" {
+			v := inst.data[c.Condition]
+			if c.Negate {
+				v = !v
+			}
+			if !v {
+				continue
+			}
+		}
+		target := inst.nodes[c.To]
+		target.arrived++
+		need := 1
+		if target.node.JoinAll {
+			need = 0
+			for _, cc := range inst.def.Connectors {
+				if cc.To == c.To {
+					need++
+				}
+			}
+		}
+		if target.arrived >= need {
+			if err := e.activateLocked(inst, c.To); err != nil {
+				return err
+			}
+		}
+	}
+	return e.checkDoneLocked(inst)
+}
+
+func (e *Engine) checkDoneLocked(inst *instance) error {
+	if inst.done {
+		return nil
+	}
+	for _, ni := range inst.nodes {
+		switch ni.state {
+		case NodeReady, NodeRunning:
+			return nil
+		}
+	}
+	inst.done = true
+	if inst.parent != "" {
+		parent := e.instances[inst.parent]
+		if parent != nil {
+			pn := parent.nodes[inst.pnode]
+			if pn != nil && pn.state == NodeRunning {
+				pn.state = NodeFinished
+				return e.propagateLocked(parent, inst.pnode)
+			}
+		}
+	}
+	return nil
+}
+
+// SetData assigns a boolean data container slot of an instance.
+func (e *Engine) SetData(instanceID, slot string, v bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inst, ok := e.instances[instanceID]
+	if !ok {
+		return fmt.Errorf("wfms: unknown instance %q", instanceID)
+	}
+	for _, s := range inst.def.DataSlots {
+		if s == slot {
+			inst.data[slot] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("wfms: instance %q has no data slot %q", instanceID, slot)
+}
+
+// WorkItem is one entry on a WfMS worklist.
+type WorkItem struct {
+	InstanceID string
+	Node       string
+	Role       string
+	State      NodeState
+}
+
+// Worklist returns the ready/running work items visible to a participant.
+func (e *Engine) Worklist(participant string) []WorkItem {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []WorkItem
+	for _, inst := range e.instances {
+		for _, ni := range inst.nodes {
+			if ni.node.Kind != WorkNode {
+				continue
+			}
+			switch ni.state {
+			case NodeReady:
+				if e.staff[ni.node.Role][participant] {
+					out = append(out, WorkItem{inst.id, ni.node.Name, ni.node.Role, ni.state})
+				}
+			case NodeRunning:
+				if ni.user == participant {
+					out = append(out, WorkItem{inst.id, ni.node.Name, ni.node.Role, ni.state})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].InstanceID != out[j].InstanceID {
+			return out[i].InstanceID < out[j].InstanceID
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Claim moves a ready work node to running on behalf of a participant.
+func (e *Engine) Claim(instanceID, node, participant string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ni, err := e.workNodeLocked(instanceID, node)
+	if err != nil {
+		return err
+	}
+	if ni.state != NodeReady {
+		return fmt.Errorf("wfms: node %q is %s, not ready", node, ni.state)
+	}
+	if !e.staff[ni.node.Role][participant] {
+		return fmt.Errorf("wfms: participant %q is not staff of role %q", participant, ni.node.Role)
+	}
+	ni.state = NodeRunning
+	ni.user = participant
+	return nil
+}
+
+// Finish completes a running work node and propagates tokens.
+func (e *Engine) Finish(instanceID, node, participant string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ni, err := e.workNodeLocked(instanceID, node)
+	if err != nil {
+		return err
+	}
+	if ni.state != NodeRunning {
+		return fmt.Errorf("wfms: node %q is %s, not running", node, ni.state)
+	}
+	if ni.user != participant {
+		return fmt.Errorf("wfms: node %q is claimed by %q", node, ni.user)
+	}
+	ni.state = NodeFinished
+	return e.propagateLocked(e.instances[instanceID], node)
+}
+
+func (e *Engine) workNodeLocked(instanceID, node string) (*nodeInst, error) {
+	inst, ok := e.instances[instanceID]
+	if !ok {
+		return nil, fmt.Errorf("wfms: unknown instance %q", instanceID)
+	}
+	ni, ok := inst.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("wfms: instance %q has no node %q", instanceID, node)
+	}
+	if ni.node.Kind != WorkNode {
+		return nil, fmt.Errorf("wfms: node %q is not a work node", node)
+	}
+	return ni, nil
+}
+
+// Done reports whether the instance has finished.
+func (e *Engine) Done(instanceID string) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inst, ok := e.instances[instanceID]
+	if !ok {
+		return false, fmt.Errorf("wfms: unknown instance %q", instanceID)
+	}
+	return inst.done, nil
+}
+
+// NodeStatus returns a node's current state.
+func (e *Engine) NodeStatus(instanceID, node string) (NodeState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	inst, ok := e.instances[instanceID]
+	if !ok {
+		return "", fmt.Errorf("wfms: unknown instance %q", instanceID)
+	}
+	ni, ok := inst.nodes[node]
+	if !ok {
+		return "", fmt.Errorf("wfms: instance %q has no node %q", instanceID, node)
+	}
+	return ni.state, nil
+}
+
+// Instances returns all instance ids, sorted.
+func (e *Engine) Instances() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.instances))
+	for id := range e.instances {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

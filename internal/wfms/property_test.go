@@ -1,0 +1,121 @@
+package wfms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// TestRandomChainsAlwaysComplete: random linear CMM processes translate
+// to WfMS definitions whose instances complete when worked in order —
+// for any chain length, the translated plumbing (begin, in/out routes,
+// setup/finalize autos) carries the token end to end.
+func TestRandomChainsAlwaysComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 15; round++ {
+		length := 1 + rng.Intn(8)
+		p := &core.ProcessSchema{Name: fmt.Sprintf("Chain%d", round)}
+		for i := 0; i < length; i++ {
+			name := fmt.Sprintf("S%d", i)
+			p.Activities = append(p.Activities, core.ActivityVariable{
+				Name:   name,
+				Schema: &core.BasicActivitySchema{Name: p.Name + "/" + name, PerformerRole: core.OrgRole("R")},
+			})
+			if i > 0 {
+				p.Dependencies = append(p.Dependencies, core.Dependency{
+					Type: core.DepSequence, Sources: []string{fmt.Sprintf("S%d", i-1)}, Target: name,
+				})
+			}
+		}
+		defs, err := Translate(p, TranslateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine()
+		for _, d := range defs {
+			if err := e.Define(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.AddStaff(string(core.OrgRole("R")), "u")
+		id, err := e.Start(p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < length; i++ {
+			wl := e.Worklist("u")
+			if len(wl) != 1 {
+				t.Fatalf("round %d step %d: worklist = %v", round, i, wl)
+			}
+			if err := e.Claim(id, wl[0].Node, "u"); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Finish(id, wl[0].Node, "u"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := e.Done(id)
+		if err != nil || !done {
+			t.Fatalf("round %d: chain of %d did not complete (%v)", round, length, err)
+		}
+	}
+}
+
+// TestTranslationAlwaysValidProperty: random CMM processes with random
+// dependency structure always translate to valid WfMS definitions with
+// the expected node arithmetic.
+func TestTranslationAlwaysValidProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for round := 0; round < 25; round++ {
+		n := 2 + rng.Intn(7)
+		p := &core.ProcessSchema{Name: fmt.Sprintf("R%d", round)}
+		for i := 0; i < n; i++ {
+			p.Activities = append(p.Activities, core.ActivityVariable{
+				Name:       fmt.Sprintf("A%d", i),
+				Schema:     &core.BasicActivitySchema{Name: fmt.Sprintf("R%d/A%d", round, i)},
+				Repeatable: rng.Intn(4) == 0,
+			})
+		}
+		// Random forward edges keep the graph acyclic.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					p.Dependencies = append(p.Dependencies, core.Dependency{
+						Type:    core.DepSequence,
+						Sources: []string{fmt.Sprintf("A%d", i)},
+						Target:  fmt.Sprintf("A%d", j),
+					})
+				}
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("round %d: fixture invalid: %v", round, err)
+		}
+		width := 2
+		defs, err := Translate(p, TranslateOptions{RepeatWidth: width})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(defs) != 1 {
+			t.Fatalf("round %d: %d defs", round, len(defs))
+		}
+		d := defs[0]
+		if err := d.Validate(); err != nil {
+			t.Fatalf("round %d: translated def invalid: %v", round, err)
+		}
+		// Node arithmetic: begin + per activity (in, done + branches*3).
+		want := 1
+		for _, av := range p.Activities {
+			branches := 1
+			if av.Repeatable {
+				branches = width
+			}
+			want += 2 + branches*3
+		}
+		if len(d.Nodes) != want {
+			t.Fatalf("round %d: %d nodes, want %d", round, len(d.Nodes), want)
+		}
+	}
+}

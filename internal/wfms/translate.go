@@ -1,0 +1,216 @@
+package wfms
+
+import (
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// TranslateOptions tunes the CMM -> WfMS translation.
+type TranslateOptions struct {
+	// RepeatWidth is how many parallel pre-expanded branches a
+	// repeatable CMM activity unrolls into: COTS WfMSs have no dynamic
+	// activity instantiation, so repeatable activities must be unrolled
+	// at definition time. Default 2.
+	RepeatWidth int
+}
+
+// Translate compiles a CMM process schema (and, transitively, every
+// subprocess schema it references) into WfMS process definitions.
+//
+// Each CMM activity variable expands into a uniform plumbing pattern:
+//
+//	<Av>.in (route) -> <Av>.setup (auto) -> <Av> (work|invoke)
+//	  -> <Av>.finalize (auto) -> <Av>.done (route)
+//
+// so one CMM activity becomes five WfMS activities (plus branches for
+// repeatable activities and extra route nodes for joins and guards).
+// This is the expansion Section 7 reports: >50 CMM activities became "a
+// few hundred" WfMS activities.
+//
+// Dependency translation:
+//
+//   - sequence:  <src>.done -> <tgt>.in
+//   - and-join:  dedicated join route with JoinAll, fed by each source
+//   - or-join:   every source's done wired to <tgt>.in (first token wins)
+//   - guard:     a route node whose outgoing connector is conditioned on
+//     a boolean data slot the CMI layer sets from the context
+//   - cancel:    approximated by a skip.<tgt> data slot that gates the
+//     target's setup connector (COTS WfMSs cannot terminate
+//     foreign activities)
+func Translate(p *core.ProcessSchema, opts TranslateOptions) ([]*ProcessDef, error) {
+	if opts.RepeatWidth < 1 {
+		opts.RepeatWidth = 2
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &translator{opts: opts, seen: map[string]bool{}}
+	if err := tr.process(p); err != nil {
+		return nil, err
+	}
+	return tr.defs, nil
+}
+
+type translator struct {
+	opts TranslateOptions
+	seen map[string]bool
+	defs []*ProcessDef
+}
+
+func (t *translator) process(p *core.ProcessSchema) error {
+	if t.seen[p.Name] {
+		return nil
+	}
+	t.seen[p.Name] = true
+
+	d := &ProcessDef{Name: p.Name}
+	add := func(n Node) { d.Nodes = append(d.Nodes, n) }
+	conn := func(c Connector) { d.Connectors = append(d.Connectors, c) }
+	slot := func(s string) { d.DataSlots = append(d.DataSlots, s) }
+
+	add(Node{Name: p.Name + ".begin", Kind: AutoNode})
+
+	cancelled := map[string]bool{}
+	for _, dep := range p.Dependencies {
+		if dep.Type == core.DepCancel {
+			cancelled[dep.Target] = true
+		}
+	}
+
+	for _, av := range p.Activities {
+		in := av.Name + ".in"
+		done := av.Name + ".done"
+		add(Node{Name: in, Kind: RouteNode})
+		add(Node{Name: done, Kind: RouteNode})
+
+		branches := 1
+		if av.Repeatable {
+			branches = t.opts.RepeatWidth
+		}
+		for b := 1; b <= branches; b++ {
+			suffix := ""
+			if branches > 1 {
+				suffix = fmt.Sprintf("#%d", b)
+			}
+			setup := av.Name + suffix + ".setup"
+			work := av.Name + suffix
+			finalize := av.Name + suffix + ".finalize"
+			add(Node{Name: setup, Kind: AutoNode})
+			if sub, ok := av.Schema.(*core.ProcessSchema); ok {
+				add(Node{Name: work, Kind: InvokeNode, Invokes: sub.Name})
+				if err := t.process(sub); err != nil {
+					return err
+				}
+			} else {
+				add(Node{Name: work, Kind: WorkNode, Role: performerRoleName(av.Schema)})
+			}
+			add(Node{Name: finalize, Kind: AutoNode})
+
+			inConn := Connector{From: in, To: setup}
+			switch {
+			case b > 1:
+				// Extra repeatable branches run only when requested.
+				s := fmt.Sprintf("%s.more%d", av.Name, b)
+				slot(s)
+				inConn.Condition = s
+			case cancelled[av.Name]:
+				s := "skip." + av.Name
+				slot(s)
+				inConn.Condition = s
+				inConn.Negate = true
+			}
+			conn(inConn)
+			conn(Connector{From: setup, To: work})
+			conn(Connector{From: work, To: finalize})
+			conn(Connector{From: finalize, To: done})
+		}
+	}
+
+	// Entry activities hang off the begin node.
+	for _, entry := range p.EntryActivities() {
+		conn(Connector{From: p.Name + ".begin", To: entry + ".in"})
+	}
+
+	for i, dep := range p.Dependencies {
+		name := dep.Name
+		if name == "" {
+			name = fmt.Sprintf("dep%d", i)
+		}
+		switch dep.Type {
+		case core.DepSequence:
+			conn(Connector{From: dep.Sources[0] + ".done", To: dep.Target + ".in"})
+		case core.DepOrJoin:
+			for _, src := range dep.Sources {
+				conn(Connector{From: src + ".done", To: dep.Target + ".in"})
+			}
+		case core.DepAndJoin:
+			join := name + ".join"
+			add(Node{Name: join, Kind: RouteNode, JoinAll: true})
+			for _, src := range dep.Sources {
+				conn(Connector{From: src + ".done", To: join})
+			}
+			conn(Connector{From: join, To: dep.Target + ".in"})
+		case core.DepGuard:
+			guard := name + ".guard"
+			s := "guard." + name
+			add(Node{Name: guard, Kind: RouteNode})
+			slot(s)
+			conn(Connector{From: dep.Sources[0] + ".done", To: guard})
+			conn(Connector{From: guard, To: dep.Target + ".in", Condition: s})
+		case core.DepCancel:
+			// Handled via the skip.<target> slot on the target's setup
+			// connector; no control edge (cancellation is a data effect,
+			// not a token flow).
+		}
+	}
+
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("wfms: translation of %q produced an invalid definition: %w", p.Name, err)
+	}
+	t.defs = append(t.defs, d)
+	return nil
+}
+
+func performerRoleName(s core.ActivitySchema) string {
+	if b, ok := s.(*core.BasicActivitySchema); ok {
+		if b.PerformerRole != "" {
+			return string(b.PerformerRole)
+		}
+		for _, rv := range b.ResourceVars {
+			if rv.Usage == core.UsageRole {
+				return string(rv.Role)
+			}
+		}
+	}
+	return ""
+}
+
+// ExpansionReport summarizes a CMM -> WfMS translation for the Section 7
+// experiment.
+type ExpansionReport struct {
+	CMMActivities  int
+	WfMSActivities int
+	Definitions    int
+}
+
+// Factor returns the activity expansion factor.
+func (r ExpansionReport) Factor() float64 {
+	if r.CMMActivities == 0 {
+		return 0
+	}
+	return float64(r.WfMSActivities) / float64(r.CMMActivities)
+}
+
+// Report translates the schema and measures the expansion.
+func Report(p *core.ProcessSchema, opts TranslateOptions) (ExpansionReport, error) {
+	defs, err := Translate(p, opts)
+	if err != nil {
+		return ExpansionReport{}, err
+	}
+	rep := ExpansionReport{CMMActivities: p.CountActivities(), Definitions: len(defs)}
+	for _, d := range defs {
+		rep.WfMSActivities += len(d.Nodes)
+	}
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package cmi
+
+import (
+	"github.com/mcc-cmi/cmi/internal/audit"
+	"github.com/mcc-cmi/cmi/internal/service"
+)
+
+// The CMM Service Model (SM, Figure 2) and the audit/monitoring log,
+// re-exported.
+
+type (
+	// Service is a reusable process activity offered by a provider with
+	// declared quality (paper Section 3's Service Model).
+	Service = service.Service
+	// ServiceQuality declares a service's advertised quality.
+	ServiceQuality = service.Quality
+	// ServiceRequirements constrain service selection.
+	ServiceRequirements = service.Requirements
+	// ServiceRegistry holds the services of the virtual enterprise.
+	ServiceRegistry = service.Registry
+	// ServiceBroker forms agreements and judges them against deadlines.
+	ServiceBroker = service.Broker
+	// Agreement binds a consumer to one service invocation.
+	Agreement = service.Agreement
+
+	// AuditRecorder journals the primitive event stream durably.
+	AuditRecorder = audit.Recorder
+	// AuditRecord is one journaled event.
+	AuditRecord = audit.Record
+	// AuditQuery filters journal records.
+	AuditQuery = audit.Query
+)
+
+// Agreement statuses.
+const (
+	AgreementActive    = service.AgreementActive
+	AgreementFulfilled = service.AgreementFulfilled
+	AgreementViolated  = service.AgreementViolated
+)
+
+// NewServiceRegistry returns an empty service registry.
+func NewServiceRegistry() *ServiceRegistry { return service.NewRegistry() }
+
+// NewServiceBroker returns a broker over the registry. Register it as an
+// observer of the system's coordination engine so it can judge
+// agreements: sys.Coordination().Observe(broker).
+func NewServiceBroker(r *ServiceRegistry) *ServiceBroker { return service.NewBroker(r) }
+
+// NewAuditRecorder opens an event journal at path. Register it with
+// sys.Coordination().Observe and sys.Contexts().Observe.
+func NewAuditRecorder(path string) (*AuditRecorder, error) { return audit.NewRecorder(path) }
+
+// ReadAudit scans an event journal with the query.
+func ReadAudit(path string, q AuditQuery) ([]AuditRecord, error) { return audit.Read(path, q) }

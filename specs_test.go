@@ -1,0 +1,116 @@
+package cmi_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// TestShippedCrisisSpec loads specs/crisis.adl — the specification file
+// the README tells operators to serve with cmid — and drives its
+// Section 5.4 path end to end.
+func TestShippedCrisisSpec(t *testing.T) {
+	src, err := os.ReadFile("specs/crisis.adl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	sys, err := cmi.New(cmi.Config{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	spec, err := sys.LoadSpec(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Processes) != 3 {
+		t.Fatalf("processes = %d", len(spec.Processes))
+	}
+	if len(spec.Awareness) != 4 {
+		t.Fatalf("awareness schemas = %d", len(spec.Awareness))
+	}
+	for _, p := range [][2]string{{"leader", "Leader"}, {"epi", "Epi"}} {
+		if err := sys.AddHuman(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.AssignRole("CrisisLeader", "leader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AssignRole("Epidemiologist", "epi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	pi, err := sys.StartProcess("InformationGathering", "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := sys.Coordination()
+	run := func(processID, varName, user string) {
+		t.Helper()
+		for _, ai := range co.ActivitiesOf(processID) {
+			if ai.Var == varName && ai.State == cmi.Ready {
+				if err := co.Start(ai.ID, user); err != nil {
+					t.Fatal(err)
+				}
+				if err := co.Complete(ai.ID, user); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no ready %q in %s", varName, processID)
+	}
+	run(pi.ID(), "ReceiveReports", "leader")
+	run(pi.ID(), "AssessSituation", "leader")
+
+	// Start the patient-interview task force and raise a deadline
+	// violation inside an information request.
+	var tfID string
+	for _, ai := range co.ActivitiesOf(pi.ID()) {
+		if ai.Var == "PatientInterviews" {
+			tfID = ai.ID
+		}
+	}
+	if err := co.Start(tfID, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := clk.Now()
+	if err := sys.SetScopedRole(tfID, "tfc", "TaskForceLeader", "epi"); err != nil {
+		t.Fatal(err)
+	}
+	run(tfID, "Organize", "leader")
+	var reqID string
+	for _, ai := range co.ActivitiesOf(tfID) {
+		if ai.Var == "RequestInfo" {
+			reqID = ai.ID
+		}
+	}
+	if err := co.Start(reqID, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetScopedRole(reqID, "irc", "Requestor", "epi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(reqID, "irc", "RequestDeadline", t0.Add(48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetContextField(tfID, "tfc", "TaskForceDeadline", t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	notifs := sys.MustViewer("epi")
+	if len(notifs) != 1 || notifs[0].Schema != "DeadlineViolation" {
+		t.Fatalf("notifications = %v", notifs)
+	}
+	// The shipped spec carries a priority.
+	if notifs[0].Priority != 5 {
+		t.Fatalf("priority = %d", notifs[0].Priority)
+	}
+}

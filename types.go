@@ -1,0 +1,160 @@
+package cmi
+
+import (
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/enact"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/system"
+)
+
+// This file re-exports the model vocabulary so downstream users can
+// build CMM schemas and awareness schemas against package cmi alone.
+
+// CMM CORE model types (paper Sections 3-4).
+type (
+	// State names one activity state in a state schema forest.
+	State = core.State
+	// StateSchema is an activity state schema: a forest of states plus
+	// the legal leaf-to-leaf transitions (Figure 4).
+	StateSchema = core.StateSchema
+	// ResourceSchema is an application-specific resource type: data,
+	// helper, participant or context.
+	ResourceSchema = core.ResourceSchema
+	// FieldDef declares one typed field of a context resource schema.
+	FieldDef = core.FieldDef
+	// ResourceVariable binds a name in an activity schema to a resource
+	// schema with a usage.
+	ResourceVariable = core.ResourceVariable
+	// BasicActivitySchema is a unit of work performed by a participant.
+	BasicActivitySchema = core.BasicActivitySchema
+	// ProcessSchema is a process activity schema: subactivities,
+	// resources and dependencies.
+	ProcessSchema = core.ProcessSchema
+	// ActivityVariable is one subactivity slot of a process schema.
+	ActivityVariable = core.ActivityVariable
+	// Dependency is a coordination rule between activity variables.
+	Dependency = core.Dependency
+	// Guard is the context predicate of a guard dependency.
+	Guard = core.Guard
+	// RoleRef names an organizational, scoped or direct-user role.
+	RoleRef = core.RoleRef
+	// RoleValue is the participant set stored in a context role field.
+	RoleValue = core.RoleValue
+	// Participant is a human or program actor.
+	Participant = core.Participant
+)
+
+// Generic activity states (Figure 4).
+const (
+	Uninitialized = core.Uninitialized
+	Ready         = core.Ready
+	Running       = core.Running
+	Suspended     = core.Suspended
+	Closed        = core.Closed
+	Completed     = core.Completed
+	Terminated    = core.Terminated
+)
+
+// Resource kinds, field types, usages and dependency types.
+const (
+	DataResource        = core.DataResource
+	HelperResource      = core.HelperResource
+	ParticipantResource = core.ParticipantResource
+	ContextResource     = core.ContextResource
+
+	FieldString = core.FieldString
+	FieldInt    = core.FieldInt
+	FieldTime   = core.FieldTime
+	FieldBool   = core.FieldBool
+	FieldRole   = core.FieldRole
+	FieldAny    = core.FieldAny
+
+	UsageInput  = core.UsageInput
+	UsageOutput = core.UsageOutput
+	UsageLocal  = core.UsageLocal
+	UsageHelper = core.UsageHelper
+	UsageRole   = core.UsageRole
+
+	DepSequence = core.DepSequence
+	DepAndJoin  = core.DepAndJoin
+	DepOrJoin   = core.DepOrJoin
+	DepGuard    = core.DepGuard
+	DepCancel   = core.DepCancel
+)
+
+// GenericStateSchema returns a fresh copy of the Figure 4 generic
+// activity state schema for application-specific refinement.
+func GenericStateSchema() *StateSchema { return core.GenericStateSchema() }
+
+// Role reference constructors.
+var (
+	OrgRole    = core.OrgRole
+	ScopedRole = core.ScopedRole
+	UserRole   = core.UserRole
+)
+
+// Awareness Model types (paper Section 5).
+type (
+	// AwarenessSchema is AS_P = (AD_P, R_P, RA_P).
+	AwarenessSchema = awareness.Schema
+	// Node is one vertex of an awareness description DAG.
+	Node = awareness.Node
+	// ActivitySource is the Filter_activity leaf.
+	ActivitySource = awareness.ActivitySource
+	// ContextSource is the Filter_context leaf.
+	ContextSource = awareness.ContextSource
+	// AndNode, SeqNode, OrNode, CountNode, Compare1Node, Compare2Node
+	// and TranslateNode apply the corresponding AM event operators.
+	AndNode       = awareness.AndNode
+	SeqNode       = awareness.SeqNode
+	OrNode        = awareness.OrNode
+	CountNode     = awareness.CountNode
+	Compare1Node  = awareness.Compare1Node
+	Compare2Node  = awareness.Compare2Node
+	TranslateNode = awareness.TranslateNode
+	// ExternalSource is an application-specific event producer related
+	// to the process by a correlation function (Section 5.1.1's
+	// news-service pattern).
+	ExternalSource = awareness.ExternalSource
+)
+
+// Awareness role assignments.
+const (
+	AssignIdentity = awareness.AssignIdentity
+	AssignFirst    = awareness.AssignFirst
+	// AssignOnline delivers to signed-on role players only (falling back
+	// to everyone when none are signed on) — Section 5.3's presence-based
+	// assignment.
+	AssignOnline = system.AssignOnline
+)
+
+// RegisterAssignment installs a named awareness role assignment function
+// (paper Section 5.3).
+var RegisterAssignment = awareness.RegisterAssignment
+
+// Enactment and delivery types.
+type (
+	// ProcessInstance is one running process.
+	ProcessInstance = enact.ProcessInstance
+	// ActivityInfo is a snapshot of one activity instance.
+	ActivityInfo = enact.ActivityInfo
+	// WorkItem is one worklist entry.
+	WorkItem = enact.WorkItem
+	// MonitorRow is one process-monitoring row.
+	MonitorRow = enact.MonitorRow
+	// Notification is one queued piece of awareness information.
+	Notification = delivery.Notification
+	// Digest is a per-schema aggregation of pending notifications.
+	Digest = delivery.Digest
+	// DetectionHook is a follow-on action run after a detection is
+	// delivered.
+	DetectionHook = delivery.DetectionHook
+	// Viewer is the awareness information viewer for one participant.
+	Viewer = delivery.Viewer
+	// Event is one self-contained CMI event.
+	Event = event.Event
+	// ProcessRef names one process instance (schema id, instance id).
+	ProcessRef = event.ProcessRef
+)
