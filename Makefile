@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench cover examples experiments clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...

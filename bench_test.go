@@ -591,3 +591,55 @@ func BenchmarkAuditRecord(b *testing.B) {
 		b.Fatalf("stats = %d, %d", recorded, failed)
 	}
 }
+
+// benchAwarenessSharded pushes the many-instance ingest workload (512
+// independent process instances, one detection per event, each pushed to
+// a simulated 1ms remote client and durably journaled per shard) through
+// the sharded awareness pipeline. Sharding overlaps the per-detection
+// delivery waits of distinct instances; see cmd/cmibench -exp awareness
+// for the recorded scaling curve.
+func benchAwarenessSharded(b *testing.B, shards int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := crisis.RunIngest(crisis.IngestConfig{
+			Shards:            shards,
+			Instances:         512,
+			EventsPerInstance: 1,
+			Dir:               b.TempDir(),
+			DeliveryLatency:   time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EventsPerSec, "events/sec")
+		}
+	}
+}
+
+func BenchmarkAwarenessSharded1(b *testing.B) { benchAwarenessSharded(b, 1) }
+func BenchmarkAwarenessSharded2(b *testing.B) { benchAwarenessSharded(b, 2) }
+func BenchmarkAwarenessSharded4(b *testing.B) { benchAwarenessSharded(b, 4) }
+func BenchmarkAwarenessSharded8(b *testing.B) { benchAwarenessSharded(b, 8) }
+
+// BenchmarkAwarenessIngestInline measures the synchronous (Shards<=1,
+// no pool) detection hot path on the same many-instance workload with no
+// delivery latency and no journal — the pure type-indexed InjectEvent
+// cost the seed engine is compared against.
+func BenchmarkAwarenessIngestInline(b *testing.B) {
+	proc := crisis.IngestProcessSchema()
+	eng := awareness.NewEngine(event.ConsumerFunc(func(event.Event) {}), awareness.Options{})
+	if err := eng.Define(crisis.IngestSchemas(proc)...); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Stop()
+	events := crisis.IngestEvents(vclock.NewVirtual(), 512, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Consume(events[i%len(events)])
+	}
+}

@@ -38,10 +38,11 @@ func main() {
 	log.SetPrefix("cmid: ")
 
 	var (
-		addr  = flag.String("addr", ":8040", "listen address")
-		state = flag.String("state", "", "state directory for persistent delivery queues (default: temporary)")
-		start = flag.Bool("start", false, "start the system immediately after loading -spec files")
-		specs specList
+		addr   = flag.String("addr", ":8040", "listen address")
+		state  = flag.String("state", "", "state directory for persistent delivery queues (default: temporary)")
+		start  = flag.Bool("start", false, "start the system immediately after loading -spec files")
+		shards = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
+		specs  specList
 	)
 	flag.Var(&specs, "spec", "ADL specification file to preload (repeatable)")
 	flag.Parse()
@@ -49,6 +50,7 @@ func main() {
 	sys, err := cmi.New(cmi.Config{
 		Clock:    vclock.NewSystem(),
 		StateDir: *state,
+		Shards:   *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mcc-cmi/cmi/internal/cedmos"
 	"github.com/mcc-cmi/cmi/internal/event"
@@ -63,10 +64,25 @@ type Options struct {
 	// Replicate controls process instance replication of operator state
 	// (Section 5.1.2). It is on by default; turning it off is only for
 	// the E8 ablation, which demonstrates cross-instance mixing errors.
+	// Disabling replication forces Shards to 1: without per-instance
+	// state there is no partition key to shard by.
 	DisableReplication bool
-	// Buffer is retained for compatibility; the engine processes events
-	// synchronously (see Consume), so it is unused.
+	// Shards selects the detection mode. With Shards <= 1 (the default)
+	// the engine processes events synchronously inside Consume, exactly
+	// as before. With Shards > 1 the engine runs a sharded detection
+	// pool: Shards independent replicas of the compiled graph, each
+	// driven by its own detector agent, with events partitioned by
+	// process family (see instanceRouter) so per-instance order is
+	// preserved while distinct instances detect in parallel.
+	Shards int
+	// Buffer bounds each shard's input queue (backpressure, not loss);
+	// values < 1 default to 1024. Unused in synchronous mode.
 	Buffer int
+	// ShardSink, if non-nil, supplies a per-shard delivery sink instead
+	// of the shared sink passed to NewEngine — e.g. one persistent
+	// delivery queue per shard, so detections journal in parallel. Only
+	// consulted in sharded mode.
+	ShardSink func(shard int) event.Consumer
 }
 
 // Engine is the Awareness Engine of Figure 5: it compiles awareness
@@ -75,20 +91,28 @@ type Options struct {
 // events — complete with delivery instructions — to the awareness
 // delivery sink.
 //
-// Event processing is synchronous: delivery-role resolution happens "at
-// composite event detection time" (Section 5), which in particular means
-// a scoped role referenced by a detection triggered by the final events
-// of its own scope is still resolvable — the context retires only after
-// the event has been fully processed (see the coordination engine's
-// deferred retirement).
+// In the default synchronous mode event processing happens inside
+// Consume: delivery-role resolution happens "at composite event
+// detection time" (Section 5), which in particular means a scoped role
+// referenced by a detection triggered by the final events of its own
+// scope is still resolvable — the context retires only after the event
+// has been fully processed (see the coordination engine's deferred
+// retirement). In sharded mode (Options.Shards > 1) detection is
+// asynchronous; the same guarantee is preserved by gating context
+// retirement on Quiesce (see internal/system), and Stop drains every
+// shard, so every event accepted before Stop is fully processed.
 type Engine struct {
 	opts Options
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	schemas []*Schema
-	graph   *cedmos.Graph
+	graph   *cedmos.Graph // synchronous mode (Shards <= 1)
+	pool    *cedmos.Pool  // sharded mode (Shards > 1)
+	router  *instanceRouter
 	sink    event.Consumer
 	running bool
+
+	dropped atomic.Uint64
 }
 
 // NewEngine returns an engine that forwards detected output events to
@@ -125,9 +149,19 @@ func (e *Engine) Schemas() []string {
 	return out
 }
 
+// Shards returns the effective shard count: Options.Shards normalized,
+// with the E8 ablation (DisableReplication) forcing 1.
+func (e *Engine) Shards() int {
+	if e.opts.DisableReplication || e.opts.Shards <= 1 {
+		return 1
+	}
+	return e.opts.Shards
+}
+
 // Start compiles the defined schemas into one multi-rooted detection
 // graph (the build-time transformation of Section 6.4) and begins
-// accepting events.
+// accepting events. With Options.Shards > 1 it compiles one replica per
+// shard and launches the detector pool.
 func (e *Engine) Start() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -137,43 +171,125 @@ func (e *Engine) Start() error {
 	if len(e.schemas) == 0 {
 		return fmt.Errorf("awareness: no awareness schemas defined")
 	}
-	graph, err := Compile(e.schemas, !e.opts.DisableReplication, e.sink)
+	shards := e.Shards()
+	if shards == 1 && e.opts.ShardSink == nil {
+		graph, err := Compile(e.schemas, !e.opts.DisableReplication, e.sink)
+		if err != nil {
+			return err
+		}
+		e.graph = graph
+		e.running = true
+		return nil
+	}
+	e.router = newInstanceRouter()
+	pool, err := cedmos.NewPool(func(shard int) (*cedmos.Graph, error) {
+		sink := e.sink
+		if e.opts.ShardSink != nil {
+			if s := e.opts.ShardSink(shard); s != nil {
+				sink = s
+			}
+		}
+		return Compile(e.schemas, !e.opts.DisableReplication, sink)
+	}, cedmos.PoolOptions{
+		Shards: shards,
+		Buffer: e.opts.Buffer,
+		Route:  e.router.route,
+	})
 	if err != nil {
 		return err
 	}
-	e.graph = graph
+	if err := pool.Start(); err != nil {
+		return err
+	}
+	e.pool = pool
 	e.running = true
 	return nil
 }
 
-// Stop stops accepting events. Every event consumed before Stop has been
-// fully processed (processing is synchronous). Stop is idempotent.
+// Stop stops accepting events. In synchronous mode every event consumed
+// before Stop has already been fully processed; in sharded mode Stop
+// drains every shard queue before returning, so the same holds. Stop is
+// idempotent.
 func (e *Engine) Stop() {
 	e.mu.Lock()
+	pool := e.pool
 	e.running = false
 	e.mu.Unlock()
+	if pool != nil {
+		pool.Stop()
+	}
 }
 
 // Consume implements event.Consumer: the engine is registered as an
 // observer of the coordination engine (activity events) and the context
-// registry (context events). The event is pushed through the detection
-// graph synchronously; detections reach the sink before Consume returns.
-// Events arriving before Start or after Stop are dropped.
+// registry (context events). In synchronous mode the event is pushed
+// through the detection graph before Consume returns; in sharded mode it
+// is queued on its process family's shard (blocking when the shard's
+// buffer is full — backpressure rather than loss). Events arriving
+// before Start or after Stop are dropped and counted (see Dropped).
 func (e *Engine) Consume(ev event.Event) {
+	e.mu.RLock()
+	if e.running && e.pool != nil {
+		err := e.pool.Submit(ev)
+		e.mu.RUnlock()
+		if err != nil {
+			e.dropped.Add(1)
+		}
+		return
+	}
+	e.mu.RUnlock()
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.running || e.graph == nil {
+		e.dropped.Add(1)
 		return
 	}
 	_, _ = e.graph.InjectEvent(ev)
 }
 
-// Stats exposes the per-operator counters of the detection graph.
-func (e *Engine) Stats() []cedmos.NodeStats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.graph == nil {
-		return nil
+// Quiesce blocks until every event consumed before the call has been
+// fully processed. In synchronous mode this is a no-op (Consume already
+// guarantees it); in sharded mode it pushes a barrier through every
+// shard queue. The coordination engine calls this before retiring a
+// context, preserving detection-time scoped-role resolution.
+func (e *Engine) Quiesce() {
+	e.mu.RLock()
+	pool := e.pool
+	e.mu.RUnlock()
+	if pool != nil {
+		pool.Quiesce()
 	}
-	return e.graph.Stats()
+}
+
+// Dropped reports how many events arrived before Start or after Stop
+// (and were therefore never processed).
+func (e *Engine) Dropped() uint64 { return e.dropped.Load() }
+
+// EngineStats reports the engine's detection counters.
+type EngineStats struct {
+	// Shards is the number of graph replicas (1 in synchronous mode).
+	Shards int
+	// Dropped counts events that arrived while the engine was not
+	// running.
+	Dropped uint64
+	// Nodes holds the per-operator counters, aggregated across shards
+	// and sorted by node name.
+	Nodes []cedmos.NodeStats
+}
+
+// Stats exposes the per-operator counters of the detection graph,
+// aggregated across shards, plus the dropped-event count.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st := EngineStats{Shards: 1, Dropped: e.dropped.Load()}
+	switch {
+	case e.pool != nil:
+		st.Shards = e.pool.NumShards()
+		st.Nodes = e.pool.Stats()
+	case e.graph != nil:
+		st.Nodes = e.graph.Stats()
+	}
+	return st
 }

@@ -467,7 +467,7 @@ func TestEngineLifecycle(t *testing.T) {
 	}
 	r.aware.Stop()
 	r.aware.Stop() // idempotent
-	if stats := r.aware.Stats(); len(stats) == 0 {
+	if stats := r.aware.Stats(); len(stats.Nodes) == 0 {
 		t.Fatal("no stats after run")
 	}
 }
@@ -477,11 +477,17 @@ func TestEngineRequiresSchemas(t *testing.T) {
 	if err := e.Start(); err == nil {
 		t.Fatal("start without schemas accepted")
 	}
-	if e.Stats() != nil {
-		t.Fatal("stats before start should be nil")
+	if nodes := e.Stats().Nodes; nodes != nil {
+		t.Fatal("node stats before start should be nil")
 	}
-	// Consume before start must not panic.
+	// Consume before start must not panic — and must be counted.
 	e.Consume(event.New(event.TypeActivity, vclock.NewVirtual().Next(), "x", nil))
+	if e.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", e.Dropped())
+	}
+	if st := e.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats dropped = %d, want 1", st.Dropped)
+	}
 }
 
 func TestSchemaValidation(t *testing.T) {

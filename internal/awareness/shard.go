@@ -1,0 +1,126 @@
+package awareness
+
+import (
+	"sync"
+
+	"github.com/mcc-cmi/cmi/internal/cedmos"
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// instanceRouter partitions primitive and canonical events across pool
+// shards by *process family*: every event of a process instance — and of
+// every subprocess invoked beneath it — lands on the shard of the
+// family's root instance. Families must be colocated because the
+// Translate operator (the only operator crossing process schemas,
+// Section 5.1.3) matches a child instance's canonical events against the
+// invocation record learned from the parent's activity events; routing
+// parent and child to different replicas would break subprocess
+// awareness schemas. Distinct families are independent — exactly the
+// replication property of Section 5.1.2 — so they may detect in
+// parallel.
+//
+// Parentage is learned from the invocation activity events themselves
+// (an activity that is itself a process carries
+// PActivityProcessSchemaID; the subprocess instance shares the invoking
+// activity instance's id). Because the router sees every event in
+// submission order before it is queued, the parent link is always
+// recorded before any event of the child instance is routed.
+type instanceRouter struct {
+	mu     sync.RWMutex
+	parent map[string]string // child process instance id -> parent process instance id
+}
+
+func newInstanceRouter() *instanceRouter {
+	return &instanceRouter{parent: make(map[string]string)}
+}
+
+// root follows the learned parent chain from inst to the family root.
+// The depth cap guards against malformed cyclic parentage.
+func (r *instanceRouter) root(inst string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.rootLocked(inst)
+}
+
+func (r *instanceRouter) rootLocked(inst string) string {
+	for depth := 0; depth < 256; depth++ {
+		p, ok := r.parent[inst]
+		if !ok {
+			return inst
+		}
+		inst = p
+	}
+	return inst
+}
+
+// route implements cedmos.RouteFunc.
+func (r *instanceRouter) route(ev event.Event, shards int) []cedmos.RoutedEvent {
+	switch ev.Type {
+	case event.TypeActivity:
+		inst := ev.String(event.PParentProcessInstanceID)
+		if ev.String(event.PActivityProcessSchemaID) != "" && inst != "" {
+			// Invocation of a subprocess: record that the subprocess
+			// instance (= the activity instance) belongs to this family
+			// before routing anything of the child.
+			child := ev.String(event.PActivityInstanceID)
+			r.mu.Lock()
+			if child != "" && child != inst {
+				r.parent[child] = inst
+			}
+			root := r.rootLocked(inst)
+			r.mu.Unlock()
+			return []cedmos.RoutedEvent{{Shard: cedmos.HashShard(root, shards), Ev: ev}}
+		}
+		if inst == "" {
+			// A top-level process's own state change: the activity is the
+			// process instance itself.
+			inst = ev.String(event.PActivityInstanceID)
+		}
+		return []cedmos.RoutedEvent{{Shard: cedmos.HashShard(r.root(inst), shards), Ev: ev}}
+
+	case event.TypeContext:
+		return r.routeContext(ev, shards)
+
+	default:
+		// Canonical and other instance-carrying events.
+		return []cedmos.RoutedEvent{{Shard: cedmos.HashShard(r.root(ev.InstanceID()), shards), Ev: ev}}
+	}
+}
+
+// routeContext fans a context field change event out to the shard of
+// every associated process family. A context associated with instances
+// that all root to one shard — by far the common case, since resource
+// scoping groups a family's instances — travels unchanged; when the
+// associations span shards, each shard receives a copy narrowed to the
+// refs it owns, so the per-instance canonical events produced by
+// Filter_context are emitted exactly once across the pool.
+func (r *instanceRouter) routeContext(ev event.Event, shards int) []cedmos.RoutedEvent {
+	refs := ev.ProcessRefs()
+	if len(refs) == 0 {
+		return []cedmos.RoutedEvent{{Shard: 0, Ev: ev}}
+	}
+	byShard := make(map[int][]event.ProcessRef)
+	for _, ref := range refs {
+		s := cedmos.HashShard(r.root(ref.InstanceID), shards)
+		byShard[s] = append(byShard[s], ref)
+	}
+	if len(byShard) == 1 {
+		for s := range byShard {
+			return []cedmos.RoutedEvent{{Shard: s, Ev: ev}}
+		}
+	}
+	order := make([]int, 0, len(byShard))
+	for s := range byShard {
+		order = append(order, s)
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: tiny n, no extra imports
+		for j := i; j > 0 && order[j-1] > order[j]; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	out := make([]cedmos.RoutedEvent, 0, len(order))
+	for _, s := range order {
+		out = append(out, cedmos.RoutedEvent{Shard: s, Ev: ev.With(event.PProcesses, byShard[s])})
+	}
+	return out
+}

@@ -1,0 +1,522 @@
+package awareness
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/cedmos"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/enact"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// shardTestProcess is a minimal schema for driving the engine directly:
+// one repeatable work activity.
+func shardTestProcess(t *testing.T) *core.ProcessSchema {
+	t.Helper()
+	p := &core.ProcessSchema{
+		Name: "ShardProc",
+		Activities: []core.ActivityVariable{
+			{Name: "Work", Repeatable: true,
+				Schema: &core.BasicActivitySchema{Name: "ShardWork", PerformerRole: core.OrgRole("R")}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// shardTestSchema counts work starts per process instance; the detection
+// carries the per-instance running count in intInfo, which the tests use
+// to check ordering and isolation.
+func shardTestSchema(p *core.ProcessSchema) *Schema {
+	return &Schema{
+		Name:         "WorkSeen",
+		Process:      p,
+		Description:  &CountNode{Input: &ActivitySource{Av: "Work", New: []core.State{core.Running}}},
+		DeliveryRole: core.OrgRole("R"),
+		Text:         "work started",
+	}
+}
+
+func workEvent(clk vclock.Clock, inst string, round int) event.Event {
+	return event.NewActivity(clk.Next(), "test", event.ActivityChange{
+		ActivityInstanceID:      fmt.Sprintf("%s/Work-%d", inst, round),
+		ParentProcessSchemaID:   "ShardProc",
+		ParentProcessInstanceID: inst,
+		ActivityVariableID:      "Work",
+		OldState:                string(core.Ready),
+		NewState:                string(core.Running),
+	})
+}
+
+// TestShardedSameInstanceOrderPreserved drives a 4-shard engine with an
+// adversarial round-robin interleaving of many instances and checks the
+// ordering contract: each instance's detections arrive at its shard sink
+// in submission order (the per-instance count is strictly 1..N), every
+// instance sticks to one shard, and more than one shard does work.
+func TestShardedSameInstanceOrderPreserved(t *testing.T) {
+	const shards, instances, perInstance = 4, 32, 20
+	type hit struct {
+		shard int
+		inst  string
+		n     int64
+	}
+	var mu sync.Mutex
+	var hits []hit
+	eng := NewEngine(nil, Options{
+		Shards: shards,
+		ShardSink: func(shard int) event.Consumer {
+			return event.ConsumerFunc(func(ev event.Event) {
+				n, _ := ev.Int64(event.PIntInfo)
+				mu.Lock()
+				hits = append(hits, hit{shard: shard, inst: ev.InstanceID(), n: n})
+				mu.Unlock()
+			})
+		},
+	})
+	proc := shardTestProcess(t)
+	if err := eng.Define(shardTestSchema(proc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Shards(); got != shards {
+		t.Fatalf("Shards() = %d, want %d", got, shards)
+	}
+	clk := vclock.NewVirtual()
+	for round := 0; round < perInstance; round++ {
+		for i := 0; i < instances; i++ {
+			eng.Consume(workEvent(clk, fmt.Sprintf("pi-%d", i), round))
+		}
+	}
+	eng.Stop() // drain: every detection delivered before Stop returns
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hits) != instances*perInstance {
+		t.Fatalf("detections = %d, want %d", len(hits), instances*perInstance)
+	}
+	lastN := map[string]int64{}
+	shardOf := map[string]int{}
+	for _, h := range hits {
+		if h.n != lastN[h.inst]+1 {
+			t.Fatalf("instance %s: count %d after %d — per-instance order lost", h.inst, h.n, lastN[h.inst])
+		}
+		lastN[h.inst] = h.n
+		if prev, ok := shardOf[h.inst]; ok && prev != h.shard {
+			t.Fatalf("instance %s detected on shards %d and %d", h.inst, prev, h.shard)
+		}
+		shardOf[h.inst] = h.shard
+	}
+	used := map[int]bool{}
+	for _, s := range shardOf {
+		used[s] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("all instances landed on %d shard(s), want spread", len(used))
+	}
+	if d := eng.Dropped(); d != 0 {
+		t.Fatalf("dropped = %d, want 0", d)
+	}
+	st := eng.Stats()
+	if st.Shards != shards {
+		t.Fatalf("Stats().Shards = %d, want %d", st.Shards, shards)
+	}
+}
+
+// TestShardedDistinctInstancesDetectConcurrently proves the parallelism
+// claim: with each shard sink blocking its detector worker, at least two
+// shards must end up inside their sinks at the same time — impossible if
+// detection were serialized on one worker.
+func TestShardedDistinctInstancesDetectConcurrently(t *testing.T) {
+	const shards, instances = 4, 16
+	var mu sync.Mutex
+	inSink := map[int]bool{}
+	release := make(chan struct{})
+	eng := NewEngine(nil, Options{
+		Shards: shards,
+		Buffer: 64, // holds every queued event so Consume never blocks below
+		ShardSink: func(shard int) event.Consumer {
+			return event.ConsumerFunc(func(event.Event) {
+				mu.Lock()
+				inSink[shard] = true
+				mu.Unlock()
+				<-release
+			})
+		},
+	})
+	proc := shardTestProcess(t)
+	if err := eng.Define(shardTestSchema(proc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	for i := 0; i < instances; i++ {
+		eng.Consume(workEvent(clk, fmt.Sprintf("pi-%d", i), 0))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		blocked := len(inSink)
+		mu.Unlock()
+		if blocked >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d shard(s) entered their sink concurrently, want >= 2", blocked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	eng.Stop()
+}
+
+// TestShardedMultiInstanceIsolation re-runs the Section 5.4 two-request
+// scenario through the full stack (coordination engine + contexts) on a
+// 4-shard pool: family routing and per-shard replicas must preserve the
+// exact synchronous semantics — one violation, for the right instance,
+// with its scoped delivery role still resolvable at detection time.
+func TestShardedMultiInstanceIsolation(t *testing.T) {
+	taskForce, infoRequest := section54Model()
+	r := newRig(t, Options{Shards: 4}, deadlineViolationSchema(infoRequest))
+	if err := r.schemas.Register(taskForce); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.aware.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.aware.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	pi, err := r.eng.StartProcess("TaskForce", enact.StartOptions{Initiator: "leader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := r.clk.Now()
+	tfcID, _ := r.eng.ContextID(pi.ID(), "tfc")
+	r.run(t, pi.ID(), "Organize", "leader")
+
+	startRequest := func(requestor string, deadline time.Time) string {
+		t.Helper()
+		var reqID string
+		for _, ai := range r.eng.ActivitiesOf(pi.ID()) {
+			if ai.Var == "RequestInfo" && ai.State == core.Ready {
+				reqID = ai.ID
+			}
+		}
+		if reqID == "" {
+			info, err := r.eng.Instantiate(pi.ID(), "RequestInfo", "leader")
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqID = info.ID
+		}
+		if err := r.eng.Start(reqID, "leader"); err != nil {
+			t.Fatal(err)
+		}
+		ircID, _ := r.eng.ContextID(reqID, "irc")
+		if err := r.contexts.SetField(ircID, "Requestor", core.NewRoleValue(requestor)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.contexts.SetField(ircID, "RequestDeadline", deadline); err != nil {
+			t.Fatal(err)
+		}
+		return reqID
+	}
+
+	reedReq := startRequest("dr.reed", t0.Add(48*time.Hour))
+	okoyeReq := startRequest("dr.okoye", t0.Add(12*time.Hour))
+	if err := r.contexts.SetField(tfcID, "TaskForceDeadline", t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	got := r.detected(t) // Stop drains all shards first
+	if len(got) != 1 {
+		t.Fatalf("detected %d events, want 1 (instance isolation): %v", len(got), got)
+	}
+	if got[0].InstanceID() != reedReq {
+		t.Fatalf("violation fired for %s, want %s (okoye=%s)", got[0].InstanceID(), reedReq, okoyeReq)
+	}
+	// The scoped delivery role resolves at detection time even though
+	// detection ran asynchronously on a shard worker.
+	users, err := r.contexts.ResolveRole(r.dir, core.RoleRef(got[0].String(event.PDeliveryRole)), event.ProcessRef{
+		SchemaID:   got[0].String(event.PProcessSchemaID),
+		InstanceID: got[0].InstanceID(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 1 || users[0] != "dr.reed" {
+		t.Fatalf("delivery users = %v, want [dr.reed]", users)
+	}
+}
+
+// TestShardedTranslateColocation re-runs the subprocess awareness test on
+// a multi-shard pool: the Translate operator only works if the child
+// instance's events reach the replica that saw the parent's invocation
+// record, which is exactly what family routing guarantees.
+func TestShardedTranslateColocation(t *testing.T) {
+	taskForce, _ := section54Model()
+	schema := &Schema{
+		Name:    "InfoDelivered",
+		Process: taskForce,
+		Description: &TranslateNode{
+			Av: "RequestInfo",
+			Input: &ActivitySource{
+				Av:  "Deliver",
+				New: []core.State{core.Completed},
+			},
+		},
+		DeliveryRole: core.OrgRole("CrisisLeader"),
+		Text:         "An information request has delivered its results",
+	}
+	r := newRig(t, Options{Shards: 4}, schema)
+	if err := r.schemas.Register(taskForce); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.aware.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := r.eng.StartProcess("TaskForce", enact.StartOptions{Initiator: "leader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, pi.ID(), "Organize", "leader")
+	var reqID string
+	for _, ai := range r.eng.ActivitiesOf(pi.ID()) {
+		if ai.Var == "RequestInfo" {
+			reqID = ai.ID
+		}
+	}
+	if err := r.eng.Start(reqID, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, reqID, "Gather", "dr.reed")
+	r.run(t, reqID, "Deliver", "dr.reed")
+
+	got := r.detected(t)
+	if len(got) != 1 {
+		t.Fatalf("detected %d events, want 1: %v", len(got), got)
+	}
+	if got[0].String(event.PProcessSchemaID) != "TaskForce" || got[0].InstanceID() != pi.ID() {
+		t.Fatalf("translated scope = %s/%s, want TaskForce/%s",
+			got[0].String(event.PProcessSchemaID), got[0].InstanceID(), pi.ID())
+	}
+}
+
+// TestShardedAblationForcesSingleShard: the E8 ablation
+// (DisableReplication) is only meaningful on shared operator state, so it
+// forces the pool down to one shard regardless of the configured count —
+// and the cross-instance mixing failure mode still reproduces there.
+func TestShardedAblationForcesSingleShard(t *testing.T) {
+	taskForce, infoRequest := section54Model()
+	r := newRig(t, Options{DisableReplication: true, Shards: 8}, deadlineViolationSchema(infoRequest))
+	if got := r.aware.Shards(); got != 1 {
+		t.Fatalf("Shards() = %d, want 1 under DisableReplication", got)
+	}
+	if err := r.schemas.Register(taskForce); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.aware.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := r.eng.StartProcess("TaskForce", enact.StartOptions{Initiator: "leader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := r.clk.Now()
+	tfcID, _ := r.eng.ContextID(pi.ID(), "tfc")
+	r.run(t, pi.ID(), "Organize", "leader")
+
+	var reqID string
+	for _, ai := range r.eng.ActivitiesOf(pi.ID()) {
+		if ai.Var == "RequestInfo" {
+			reqID = ai.ID
+		}
+	}
+	if err := r.eng.Start(reqID, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	ircID, _ := r.eng.ContextID(reqID, "irc")
+	if err := r.contexts.SetField(ircID, "Requestor", core.NewRoleValue("dr.reed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.contexts.SetField(ircID, "RequestDeadline", t0.Add(12*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	info2, err := r.eng.Instantiate(pi.ID(), "RequestInfo", "leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.eng.Start(info2.ID, "leader"); err != nil {
+		t.Fatal(err)
+	}
+	irc2, _ := r.eng.ContextID(info2.ID, "irc")
+	if err := r.contexts.SetField(irc2, "Requestor", core.NewRoleValue("dr.okoye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.contexts.SetField(irc2, "RequestDeadline", t0.Add(48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.contexts.SetField(tfcID, "TaskForceDeadline", t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	st := r.aware.Stats()
+	if st.Shards != 1 {
+		t.Fatalf("Stats().Shards = %d, want 1", st.Shards)
+	}
+	got := r.detected(t)
+	if len(got) <= 1 {
+		t.Fatalf("ablation produced %d events; expected spurious extra detections", len(got))
+	}
+	wrong := false
+	for _, ev := range got {
+		if ev.InstanceID() != info2.ID {
+			wrong = true
+		}
+	}
+	if !wrong {
+		t.Fatal("ablation did not misattribute any detection")
+	}
+}
+
+// TestRouterFamilyColocation checks the routing invariant directly: once
+// a subprocess invocation is seen, every event of the child instance —
+// and of the child's own children — routes to the root's shard, even
+// when the child id alone would hash elsewhere.
+func TestRouterFamilyColocation(t *testing.T) {
+	const shards = 8
+	r := newInstanceRouter()
+	clk := vclock.NewVirtual()
+	rootShard := cedmos.HashShard("top", shards)
+	// Pick descendant ids that hash away from the root on their own, so
+	// colocation can only come from the learned parent chain.
+	pick := func(prefix string) string {
+		for i := 0; ; i++ {
+			id := fmt.Sprintf("%s-%d", prefix, i)
+			if cedmos.HashShard(id, shards) != rootShard {
+				return id
+			}
+		}
+	}
+	child, grandchild := pick("sub"), pick("subsub")
+
+	one := func(ev event.Event) cedmos.RoutedEvent {
+		t.Helper()
+		routed := r.route(ev, shards)
+		if len(routed) != 1 {
+			t.Fatalf("routed to %d shards, want 1", len(routed))
+		}
+		return routed[0]
+	}
+	invoke := func(parent, childInst string) event.Event {
+		return event.NewActivity(clk.Next(), "test", event.ActivityChange{
+			ActivityInstanceID:      childInst,
+			ParentProcessSchemaID:   "Top",
+			ParentProcessInstanceID: parent,
+			ActivityVariableID:      "Invoke",
+			ActivityProcessSchemaID: "Sub",
+			OldState:                string(core.Ready),
+			NewState:                string(core.Running),
+		})
+	}
+
+	if got := one(workEvent(clk, "top", 0)); got.Shard != rootShard {
+		t.Fatalf("root's own event on shard %d, want %d", got.Shard, rootShard)
+	}
+	if got := one(invoke("top", child)); got.Shard != rootShard {
+		t.Fatalf("invocation event on shard %d, want %d", got.Shard, rootShard)
+	}
+	if got := one(workEvent(clk, child, 0)); got.Shard != rootShard {
+		t.Fatalf("child activity on shard %d, want root's %d", got.Shard, rootShard)
+	}
+	// Canonical (default-routed) events of the child follow the family too.
+	canon := event.New(event.Canonical("Sub"), clk.Next(), "test", event.Params{
+		event.PProcessInstanceID: child,
+	})
+	if got := one(canon); got.Shard != rootShard {
+		t.Fatalf("child canonical on shard %d, want root's %d", got.Shard, rootShard)
+	}
+	// Two levels down: the chain is followed to the root.
+	if got := one(invoke(child, grandchild)); got.Shard != rootShard {
+		t.Fatalf("nested invocation on shard %d, want %d", got.Shard, rootShard)
+	}
+	if got := one(workEvent(clk, grandchild, 0)); got.Shard != rootShard {
+		t.Fatalf("grandchild activity on shard %d, want root's %d", got.Shard, rootShard)
+	}
+	// An unrelated family is free to live elsewhere.
+	other := pick("other")
+	if got := one(workEvent(clk, other, 0)); got.Shard == rootShard {
+		t.Fatalf("unrelated instance %q forced onto root shard %d", other, rootShard)
+	}
+}
+
+// TestRouterContextSplit checks context fan-out: a context whose
+// associations root to one shard travels as a single unchanged event;
+// associations spanning shards produce per-shard copies narrowed to the
+// refs each shard owns, in ascending shard order.
+func TestRouterContextSplit(t *testing.T) {
+	const shards = 4
+	r := newInstanceRouter()
+	clk := vclock.NewVirtual()
+	ctxEvent := func(refs ...event.ProcessRef) event.Event {
+		return event.NewContext(clk.Next(), "test", event.ContextChange{
+			ContextID:     "ctx-1",
+			ContextName:   "C",
+			Processes:     refs,
+			FieldName:     "f",
+			NewFieldValue: "v",
+		})
+	}
+	ref := func(inst string) event.ProcessRef {
+		return event.ProcessRef{SchemaID: "P", InstanceID: inst}
+	}
+	// Find two co-located instances and one on a different shard.
+	aShard := cedmos.HashShard("pi-a", shards)
+	var a2, b string
+	for i := 0; a2 == "" || b == ""; i++ {
+		id := fmt.Sprintf("pi-%d", i)
+		if s := cedmos.HashShard(id, shards); s == aShard && a2 == "" {
+			a2 = id
+		} else if s != aShard && b == "" {
+			b = id
+		}
+	}
+
+	same := r.route(ctxEvent(ref("pi-a"), ref(a2)), shards)
+	if len(same) != 1 || same[0].Shard != aShard {
+		t.Fatalf("co-located refs routed %+v, want 1 event on shard %d", same, aShard)
+	}
+	if got := same[0].Ev.ProcessRefs(); len(got) != 2 {
+		t.Fatalf("co-located event narrowed to %d refs, want untouched 2", len(got))
+	}
+
+	split := r.route(ctxEvent(ref("pi-a"), ref(b)), shards)
+	if len(split) != 2 {
+		t.Fatalf("spanning refs routed to %d shards, want 2", len(split))
+	}
+	if split[0].Shard >= split[1].Shard {
+		t.Fatalf("split shards not ascending: %d, %d", split[0].Shard, split[1].Shard)
+	}
+	total := 0
+	for _, re := range split {
+		refs := re.Ev.ProcessRefs()
+		total += len(refs)
+		for _, pr := range refs {
+			if cedmos.HashShard(pr.InstanceID, shards) != re.Shard {
+				t.Fatalf("shard %d received foreign ref %q", re.Shard, pr.InstanceID)
+			}
+		}
+	}
+	if total != 2 {
+		t.Fatalf("split copies carry %d refs total, want 2 (each ref exactly once)", total)
+	}
+}

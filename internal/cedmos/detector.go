@@ -21,12 +21,20 @@ type Detector struct {
 	// mu guards the lifecycle flags; Submit holds it shared while
 	// sending so Stop cannot close the channel under an in-flight send.
 	mu      sync.RWMutex
-	in      chan event.Event
+	in      chan item
 	done    chan struct{}
 	started bool
 	stopped bool
 
 	dropped atomic.Uint64
+}
+
+// item is one queue element: either an event to inject or, when barrier
+// is non-nil, a quiesce marker — the agent closes barrier when it reaches
+// the marker, proving every previously queued event has been processed.
+type item struct {
+	ev      event.Event
+	barrier chan struct{}
 }
 
 // NewDetector wraps a finalized graph in a detector agent with the given
@@ -40,7 +48,7 @@ func NewDetector(g *Graph, buffer int) (*Detector, error) {
 	}
 	return &Detector{
 		graph: g,
-		in:    make(chan event.Event, buffer),
+		in:    make(chan item, buffer),
 		done:  make(chan struct{}),
 	}, nil
 }
@@ -59,11 +67,15 @@ func (d *Detector) Start() error {
 
 func (d *Detector) run() {
 	defer close(d.done)
-	for ev := range d.in {
+	for it := range d.in {
+		if it.barrier != nil {
+			close(it.barrier)
+			continue
+		}
 		// Route by type: a detector agent embodies one or more awareness
 		// schemas whose sources are typed; events that match no source
 		// are counted as dropped.
-		fed, err := d.graph.InjectEvent(ev)
+		fed, err := d.graph.InjectEvent(it.ev)
 		if err == nil && fed == 0 {
 			d.dropped.Add(1)
 		}
@@ -79,8 +91,24 @@ func (d *Detector) Submit(ev event.Event) error {
 	if !d.started || d.stopped {
 		return fmt.Errorf("cedmos: detector not running")
 	}
-	d.in <- ev
+	d.in <- item{ev: ev}
 	return nil
+}
+
+// Quiesce blocks until every event submitted before the call has been
+// fully processed, by pushing a barrier marker through the FIFO queue and
+// waiting for the agent to reach it. Quiesce on a stopped (fully drained)
+// or never-started detector returns immediately.
+func (d *Detector) Quiesce() {
+	d.mu.RLock()
+	if !d.started || d.stopped {
+		d.mu.RUnlock()
+		return
+	}
+	b := make(chan struct{})
+	d.in <- item{barrier: b}
+	d.mu.RUnlock()
+	<-b
 }
 
 // Consume implements event.Consumer by submitting the event, so a
@@ -110,5 +138,6 @@ func (d *Detector) Stop() {
 // graph.
 func (d *Detector) Dropped() uint64 { return d.dropped.Load() }
 
-// Graph returns the wrapped graph. Read its stats only after Stop.
+// Graph returns the wrapped graph. Its stats counters are atomic, so they
+// may be read at any time, including while the agent is running.
 func (d *Detector) Graph() *Graph { return d.graph }

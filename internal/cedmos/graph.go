@@ -22,6 +22,7 @@ package cedmos
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/mcc-cmi/cmi/internal/event"
 )
@@ -68,12 +69,14 @@ type source struct {
 }
 
 type node struct {
-	op       Operator
-	outs     []slotRef        // operator consumers
-	taps     []event.Consumer // external consumers (detection outputs)
-	filled   []bool           // which input slots have a producer
-	consumed uint64           // events consumed (all slots)
-	emitted  uint64           // events emitted
+	op     Operator
+	outs   []slotRef        // operator consumers
+	taps   []event.Consumer // external consumers (detection outputs)
+	filled []bool           // which input slots have a producer
+	// consumed/emitted are atomic so Stats may be read while another
+	// goroutine (the owning detector agent) is delivering events.
+	consumed atomic.Uint64 // events consumed (all slots)
+	emitted  atomic.Uint64 // events emitted
 }
 
 // A Graph is one composite event specification under construction or in
@@ -84,6 +87,7 @@ type Graph struct {
 	name      string
 	sources   []source
 	nodes     []node
+	byType    map[event.Type][]SourceID // type -> sources, built at Finalize
 	finalized bool
 }
 
@@ -195,6 +199,12 @@ func (g *Graph) Finalize() error {
 	if err := g.checkReachable(); err != nil {
 		return err
 	}
+	// Index sources by event type so InjectEvent routes in O(matching
+	// sources) instead of scanning every source on every event.
+	g.byType = make(map[event.Type][]SourceID, len(g.sources))
+	for i := range g.sources {
+		g.byType[g.sources[i].typ] = append(g.byType[g.sources[i].typ], SourceID(i))
+	}
 	g.finalized = true
 	return nil
 }
@@ -278,28 +288,26 @@ func (g *Graph) Inject(src SourceID, ev event.Event) error {
 }
 
 // InjectEvent delivers the event to every source whose type matches the
-// event's type. It returns the number of sources fed.
+// event's type, routing through the type index built at Finalize. It
+// returns the number of sources fed.
 func (g *Graph) InjectEvent(ev event.Event) (int, error) {
 	if !g.finalized {
 		return 0, fmt.Errorf("cedmos: graph %q not finalized", g.name)
 	}
-	fed := 0
-	for i := range g.sources {
-		if g.sources[i].typ == ev.Type {
-			fed++
-			for _, out := range g.sources[i].outs {
-				g.deliver(out, ev)
-			}
+	matched := g.byType[ev.Type]
+	for _, src := range matched {
+		for _, out := range g.sources[src].outs {
+			g.deliver(out, ev)
 		}
 	}
-	return fed, nil
+	return len(matched), nil
 }
 
 func (g *Graph) deliver(ref slotRef, ev event.Event) {
 	n := &g.nodes[ref.node]
-	n.consumed++
+	n.consumed.Add(1)
 	n.op.Consume(ref.slot, ev, func(out event.Event) {
-		n.emitted++
+		n.emitted.Add(1)
 		for _, tap := range n.taps {
 			tap.Consume(out)
 		}
@@ -314,8 +322,8 @@ func (g *Graph) deliver(ref slotRef, ev event.Event) {
 func (g *Graph) Reset() {
 	for i := range g.nodes {
 		g.nodes[i].op.Reset()
-		g.nodes[i].consumed = 0
-		g.nodes[i].emitted = 0
+		g.nodes[i].consumed.Store(0)
+		g.nodes[i].emitted.Store(0)
 	}
 }
 
@@ -338,14 +346,16 @@ type NodeStats struct {
 	Emitted  uint64
 }
 
-// Stats returns per-node counters sorted by node name.
+// Stats returns per-node counters sorted by node name. The counters are
+// atomic, so Stats is safe to call while a detector agent is delivering
+// events through the graph.
 func (g *Graph) Stats() []NodeStats {
 	out := make([]NodeStats, 0, len(g.nodes))
 	for i := range g.nodes {
 		out = append(out, NodeStats{
 			Name:     g.nodes[i].op.Name(),
-			Consumed: g.nodes[i].consumed,
-			Emitted:  g.nodes[i].emitted,
+			Consumed: g.nodes[i].consumed.Load(),
+			Emitted:  g.nodes[i].emitted.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -1,0 +1,203 @@
+package cedmos
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// A RoutedEvent is one (shard, event) pair produced by a RouteFunc.
+type RoutedEvent struct {
+	Shard int
+	Ev    event.Event
+}
+
+// A RouteFunc partitions an event across the shards of a Pool. It returns
+// the shard assignments for the event — usually exactly one, but an event
+// relevant to several partitions (e.g. a context change naming process
+// instances that hash to different shards) may be fanned out to each,
+// possibly with a narrowed copy per shard. Returning nil discards the
+// event. A RouteFunc must be safe for concurrent use and must be
+// deterministic per key: all events of one partition key must always map
+// to the same shard, or per-key ordering is lost.
+type RouteFunc func(ev event.Event, shards int) []RoutedEvent
+
+// HashShard maps a partition key to a shard index using FNV-1a. An empty
+// key maps to shard 0, keeping keyless events on a stable shard.
+func HashShard(key string, shards int) int {
+	if shards <= 1 || key == "" {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// RouteByInstance is the default RouteFunc: it partitions by the event's
+// process instance id (the replication key of Section 5.1.2), so all
+// events of one process instance land on one shard in submission order.
+func RouteByInstance(ev event.Event, shards int) []RoutedEvent {
+	return []RoutedEvent{{Shard: HashShard(ev.InstanceID(), shards), Ev: ev}}
+}
+
+// PoolOptions configures a detector pool.
+type PoolOptions struct {
+	// Shards is the number of graph replicas / worker agents. Values < 1
+	// are treated as 1.
+	Shards int
+	// Buffer is the per-shard input channel capacity (backpressure bound).
+	// Values < 1 default to 1024.
+	Buffer int
+	// Route partitions events across shards; nil means RouteByInstance.
+	Route RouteFunc
+}
+
+// A Pool is a sharded detection pipeline: N independent Graph replicas,
+// each driven by its own Detector agent, with events hash-partitioned by
+// a RouteFunc. Because each replica sees every event of "its" process
+// instances in submission order, per-instance detection semantics are
+// exactly those of a single graph (operator state is per-instance,
+// Section 5.1.2), while distinct instances detect in parallel.
+type Pool struct {
+	detectors []*Detector
+	route     RouteFunc
+}
+
+// NewPool builds a pool of opts.Shards graph replicas. The build function
+// is called once per shard and must return a freshly compiled, finalized
+// graph each time — replicas share no state. Taps registered by build
+// must be safe for concurrent use across shards (or per-shard).
+func NewPool(build func(shard int) (*Graph, error), opts PoolOptions) (*Pool, error) {
+	if build == nil {
+		return nil, fmt.Errorf("cedmos: pool requires a graph build function")
+	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	buffer := opts.Buffer
+	if buffer < 1 {
+		buffer = 1024
+	}
+	route := opts.Route
+	if route == nil {
+		route = RouteByInstance
+	}
+	p := &Pool{route: route}
+	for i := 0; i < shards; i++ {
+		g, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("cedmos: pool shard %d: %w", i, err)
+		}
+		d, err := NewDetector(g, buffer)
+		if err != nil {
+			return nil, fmt.Errorf("cedmos: pool shard %d: %w", i, err)
+		}
+		p.detectors = append(p.detectors, d)
+	}
+	return p, nil
+}
+
+// Start launches every shard agent. If any shard fails to start, the
+// already-started shards are stopped before returning the error.
+func (p *Pool) Start() error {
+	for i, d := range p.detectors {
+		if err := d.Start(); err != nil {
+			for j := 0; j < i; j++ {
+				p.detectors[j].Stop()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Submit routes the event and queues it on the matching shard(s),
+// blocking when a shard's buffer is full (backpressure rather than
+// loss). Submitting to a stopped pool returns an error.
+func (p *Pool) Submit(ev event.Event) error {
+	for _, r := range p.route(ev, len(p.detectors)) {
+		if r.Shard < 0 || r.Shard >= len(p.detectors) {
+			return fmt.Errorf("cedmos: route returned shard %d of %d", r.Shard, len(p.detectors))
+		}
+		if err := p.detectors[r.Shard].Submit(r.Ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Consume implements event.Consumer by submitting the event; errors on a
+// stopped pool are ignored (late events from a shutting-down producer are
+// dropped).
+func (p *Pool) Consume(ev event.Event) { _ = p.Submit(ev) }
+
+// Quiesce blocks until every event submitted before the call has been
+// fully processed on every shard (a barrier per shard queue).
+func (p *Pool) Quiesce() {
+	for _, d := range p.detectors {
+		d.Quiesce()
+	}
+}
+
+// Stop closes every shard's input and waits for all agents to drain:
+// every event accepted by Submit before Stop is fully processed. Stop is
+// idempotent.
+func (p *Pool) Stop() {
+	for _, d := range p.detectors {
+		d.Stop()
+	}
+}
+
+// Stats merges the per-node counters of all replicas, summing consumed
+// and emitted per node name, sorted by name. Because every replica is
+// compiled from the same specification, node names line up across shards.
+func (p *Pool) Stats() []NodeStats {
+	merged := make(map[string]*NodeStats)
+	for _, d := range p.detectors {
+		for _, ns := range d.Graph().Stats() {
+			m, ok := merged[ns.Name]
+			if !ok {
+				m = &NodeStats{Name: ns.Name}
+				merged[ns.Name] = m
+			}
+			m.Consumed += ns.Consumed
+			m.Emitted += ns.Emitted
+		}
+	}
+	out := make([]NodeStats, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ShardStats returns the per-node counters of one replica.
+func (p *Pool) ShardStats(shard int) []NodeStats {
+	if shard < 0 || shard >= len(p.detectors) {
+		return nil
+	}
+	return p.detectors[shard].Graph().Stats()
+}
+
+// Dropped sums, across shards, the submitted events that matched no
+// source in the graph.
+func (p *Pool) Dropped() uint64 {
+	var n uint64
+	for _, d := range p.detectors {
+		n += d.Dropped()
+	}
+	return n
+}
+
+// NumShards returns the number of graph replicas.
+func (p *Pool) NumShards() int { return len(p.detectors) }

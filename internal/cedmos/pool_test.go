@@ -1,0 +1,298 @@
+package cedmos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+func mkKeyed(t event.Type, key string, seq int) event.Event {
+	return event.New(t, vclock.NewVirtual().Next(), "test", event.Params{
+		event.PProcessInstanceID: key,
+		"seq":                    int64(seq),
+	})
+}
+
+// poolFixture builds a pool whose replicas each tap an echo node into a
+// shared, locked output slice that records which shard saw the event.
+func poolFixture(t *testing.T, opts PoolOptions) (*Pool, *[]event.Event, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	out := &[]event.Event{}
+	pool, err := NewPool(func(shard int) (*Graph, error) {
+		g := NewGraph(fmt.Sprintf("shard-%d", shard))
+		src := g.AddSource("a", tA)
+		n := g.AddNode(&echoOp{name: "e", in: tA, out: tA})
+		if err := g.ConnectSource(src, n, 0); err != nil {
+			return nil, err
+		}
+		if err := g.Tap(n, event.ConsumerFunc(func(e event.Event) {
+			mu.Lock()
+			*out = append(*out, e.With("shard", int64(shard)))
+			mu.Unlock()
+		})); err != nil {
+			return nil, err
+		}
+		return g, g.Finalize()
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, out, &mu
+}
+
+func TestHashShardStable(t *testing.T) {
+	if got := HashShard("", 8); got != 0 {
+		t.Fatalf("empty key shard = %d, want 0", got)
+	}
+	if got := HashShard("anything", 1); got != 0 {
+		t.Fatalf("1-shard shard = %d, want 0", got)
+	}
+	a := HashShard("pi-42", 8)
+	for i := 0; i < 10; i++ {
+		if HashShard("pi-42", 8) != a {
+			t.Fatal("HashShard not deterministic")
+		}
+	}
+	if a < 0 || a >= 8 {
+		t.Fatalf("shard %d out of range", a)
+	}
+}
+
+func TestPoolProcessesEverythingAndPreservesPerKeyOrder(t *testing.T) {
+	pool, out, mu := poolFixture(t, PoolOptions{Shards: 4, Buffer: 8})
+	if err := pool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const keys, perKey = 32, 50
+	for seq := 0; seq < perKey; seq++ {
+		for k := 0; k < keys; k++ {
+			if err := pool.Submit(mkKeyed(tA, fmt.Sprintf("pi-%d", k), seq)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pool.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*out) != keys*perKey {
+		t.Fatalf("processed %d, want %d", len(*out), keys*perKey)
+	}
+	// Per-key: sequence numbers strictly ascending, all on one shard.
+	lastSeq := map[string]int64{}
+	shardOf := map[string]int64{}
+	for _, e := range *out {
+		key := e.InstanceID()
+		seq, _ := e.Int64("seq")
+		if last, ok := lastSeq[key]; ok && seq <= last {
+			t.Fatalf("key %s: seq %d after %d — order lost", key, seq, last)
+		}
+		lastSeq[key] = seq
+		shard, _ := e.Int64("shard")
+		if prev, ok := shardOf[key]; ok && prev != shard {
+			t.Fatalf("key %s on shards %d and %d", key, prev, shard)
+		}
+		shardOf[key] = shard
+	}
+	// With 32 keys over 4 shards, more than one shard must have done work.
+	shards := map[int64]bool{}
+	for _, s := range shardOf {
+		shards[s] = true
+	}
+	if len(shards) < 2 {
+		t.Fatalf("all keys landed on %d shard(s), want spread", len(shards))
+	}
+}
+
+func TestPoolStatsMergeAcrossShards(t *testing.T) {
+	pool, _, _ := poolFixture(t, PoolOptions{Shards: 3})
+	if err := pool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 90
+	for i := 0; i < n; i++ {
+		if err := pool.Submit(mkKeyed(tA, fmt.Sprintf("pi-%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Stop()
+	stats := pool.Stats()
+	if len(stats) != 1 || stats[0].Name != "e" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Consumed != n || stats[0].Emitted != n {
+		t.Fatalf("merged consumed/emitted = %d/%d, want %d/%d", stats[0].Consumed, stats[0].Emitted, n, n)
+	}
+	var perShard uint64
+	for s := 0; s < pool.NumShards(); s++ {
+		ss := pool.ShardStats(s)
+		if len(ss) != 1 {
+			t.Fatalf("shard %d stats = %+v", s, ss)
+		}
+		perShard += ss[0].Consumed
+	}
+	if perShard != n {
+		t.Fatalf("per-shard sum = %d, want %d", perShard, n)
+	}
+}
+
+func TestPoolRouteFanOut(t *testing.T) {
+	// A route that copies every event to every shard.
+	all := func(ev event.Event, shards int) []RoutedEvent {
+		out := make([]RoutedEvent, shards)
+		for i := range out {
+			out[i] = RoutedEvent{Shard: i, Ev: ev}
+		}
+		return out
+	}
+	pool, out, mu := poolFixture(t, PoolOptions{Shards: 3, Route: all})
+	if err := pool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Submit(mkKeyed(tA, "pi-1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	pool.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*out) != 3 {
+		t.Fatalf("fanned out to %d shards, want 3", len(*out))
+	}
+}
+
+func TestPoolDroppedAggregates(t *testing.T) {
+	pool, _, _ := poolFixture(t, PoolOptions{Shards: 2})
+	if err := pool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		// tB matches no source in the replicas.
+		if err := pool.Submit(mkKeyed(tB, fmt.Sprintf("pi-%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Stop()
+	if got := pool.Dropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+}
+
+func TestPoolSubmitAfterStop(t *testing.T) {
+	pool, _, _ := poolFixture(t, PoolOptions{Shards: 2})
+	if err := pool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Stop()
+	if err := pool.Submit(mkKeyed(tA, "pi-1", 0)); err == nil {
+		t.Fatal("submit after stop accepted")
+	}
+	pool.Consume(mkKeyed(tA, "pi-1", 0)) // must not panic
+	pool.Stop()                          // idempotent
+}
+
+func TestPoolQuiesceWaitsForBacklog(t *testing.T) {
+	// A slow tap: each event takes ~1ms, so a backlog builds up.
+	var mu sync.Mutex
+	processed := 0
+	pool, err := NewPool(func(shard int) (*Graph, error) {
+		g := NewGraph("slow")
+		src := g.AddSource("a", tA)
+		n := g.AddNode(&echoOp{name: "e", in: tA, out: tA})
+		if err := g.ConnectSource(src, n, 0); err != nil {
+			return nil, err
+		}
+		if err := g.Tap(n, event.ConsumerFunc(func(event.Event) {
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			processed++
+			mu.Unlock()
+		})); err != nil {
+			return nil, err
+		}
+		return g, g.Finalize()
+	}, PoolOptions{Shards: 2, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := pool.Submit(mkKeyed(tA, fmt.Sprintf("pi-%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.Quiesce()
+	mu.Lock()
+	got := processed
+	mu.Unlock()
+	if got != n {
+		t.Fatalf("after Quiesce processed = %d, want %d", got, n)
+	}
+	pool.Stop()
+}
+
+func TestDetectorQuiesce(t *testing.T) {
+	d, out, mu := detectorFixture(t)
+	d.Quiesce() // before start: immediate no-op
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := d.Submit(mkEvent(tA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Quiesce()
+	mu.Lock()
+	got := len(*out)
+	mu.Unlock()
+	if got != n {
+		t.Fatalf("after Quiesce processed = %d, want %d", got, n)
+	}
+	d.Stop()
+	d.Quiesce() // after stop: immediate no-op
+}
+
+func TestInjectEventUsesTypeIndex(t *testing.T) {
+	g := NewGraph("idx")
+	a1 := g.AddSource("a1", tA)
+	a2 := g.AddSource("a2", tA)
+	b1 := g.AddSource("b1", tB)
+	na := g.AddNode(&pairOp{name: "pa", typ: tA})
+	nb := g.AddNode(&echoOp{name: "eb", in: tB, out: tB})
+	if err := g.ConnectSource(a1, na, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ConnectSource(a2, na, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ConnectSource(b1, nb, 0); err != nil {
+		t.Fatal(err)
+	}
+	var outs []event.Event
+	if err := g.Tap(nb, collect(&outs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if fed, err := g.InjectEvent(mkEvent(tA)); err != nil || fed != 2 {
+		t.Fatalf("tA fed %d sources (err %v), want 2", fed, err)
+	}
+	if fed, err := g.InjectEvent(mkEvent(tB)); err != nil || fed != 1 {
+		t.Fatalf("tB fed %d sources (err %v), want 1", fed, err)
+	}
+	if fed, err := g.InjectEvent(mkEvent("test.unknown")); err != nil || fed != 0 {
+		t.Fatalf("unknown type fed %d sources (err %v), want 0", fed, err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("b outputs = %d, want 1", len(outs))
+	}
+}

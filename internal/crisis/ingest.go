@@ -1,0 +1,220 @@
+package crisis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/awareness"
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// This file holds the many-instance ingest workload behind the sharded
+// awareness benchmarks: a large population of independent process
+// instances, each emitting a stream of activity state changes, watched
+// by one awareness schema that detects on every event. Per-instance
+// operator state (Section 5.1.2) makes the instances independent, so the
+// workload exposes exactly the parallelism the sharded detection pool
+// exploits; each detection is journaled durably per shard, mirroring the
+// persistent delivery queues of Section 6.5.
+
+// IngestProcessSchema returns the minimal process schema of the ingest
+// workload: one repeatable work activity.
+func IngestProcessSchema() *core.ProcessSchema {
+	return &core.ProcessSchema{
+		Name: "Ingest",
+		Activities: []core.ActivityVariable{
+			{Name: "Work", Repeatable: true,
+				Schema: &core.BasicActivitySchema{Name: "IngestWork", PerformerRole: core.OrgRole("Epidemiologist")}},
+		},
+	}
+}
+
+// IngestSchemas returns the awareness schemas of the ingest workload
+// over the given process schema: every start of the work activity is
+// counted and detected.
+func IngestSchemas(p *core.ProcessSchema) []*awareness.Schema {
+	return []*awareness.Schema{{
+		Name:         "WorkStarted",
+		Process:      p,
+		Description:  &awareness.CountNode{Input: &awareness.ActivitySource{Av: "Work", New: []core.State{core.Running}}},
+		DeliveryRole: core.OrgRole("CrisisLeader"),
+		Text:         "work activity started",
+	}}
+}
+
+// IngestEvents generates the workload's primitive activity events:
+// eventsPerInstance work-activity starts for each of instances distinct
+// process instances, round-robin across instances (the adversarial
+// interleaving for per-instance state).
+func IngestEvents(clock vclock.Clock, instances, eventsPerInstance int) []event.Event {
+	out := make([]event.Event, 0, instances*eventsPerInstance)
+	for round := 0; round < eventsPerInstance; round++ {
+		for i := 0; i < instances; i++ {
+			inst := fmt.Sprintf("ing-%d", i)
+			out = append(out, event.NewActivity(clock.Next(), "coordination-engine", event.ActivityChange{
+				ActivityInstanceID:      fmt.Sprintf("%s/Work-%d", inst, round),
+				ParentProcessSchemaID:   "Ingest",
+				ParentProcessInstanceID: inst,
+				ActivityVariableID:      "Work",
+				OldState:                string(core.Ready),
+				NewState:                string(core.Running),
+			}))
+		}
+	}
+	return out
+}
+
+// A JournalSink durably journals every detection it consumes: one line
+// appended and fsynced per event, the way the delivery agent's
+// persistent queues journal notifications. It is safe for concurrent
+// use only in the sense the benchmark needs — one sink per shard, each
+// driven by a single detector agent.
+type JournalSink struct {
+	f *os.File
+	n atomic.Uint64
+}
+
+// NewJournalSink opens (creating or truncating) the journal file.
+func NewJournalSink(path string) (*JournalSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &JournalSink{f: f}, nil
+}
+
+// Consume implements event.Consumer: append one record and sync.
+func (j *JournalSink) Consume(ev event.Event) {
+	fmt.Fprintf(j.f, "%s %s\n", ev.InstanceID(), ev.String(event.PSchemaName))
+	j.f.Sync()
+	j.n.Add(1)
+}
+
+// Count returns how many detections were journaled.
+func (j *JournalSink) Count() uint64 { return j.n.Load() }
+
+// Close closes the journal file.
+func (j *JournalSink) Close() error { return j.f.Close() }
+
+// A RemoteSink models the delivery agent's synchronous notification push
+// to a remote client tool — a CORBA call in the paper's implementation
+// (Section 6.5) — as a fixed per-detection service latency, then forwards
+// to the inner consumer. Sharded detection overlaps these waits: while
+// one shard's push is in flight, the other shards keep detecting and
+// pushing, which is the pipeline property the benchmark measures.
+type RemoteSink struct {
+	Latency time.Duration
+	Inner   event.Consumer
+}
+
+// Consume implements event.Consumer.
+func (r *RemoteSink) Consume(ev event.Event) {
+	if r.Latency > 0 {
+		time.Sleep(r.Latency)
+	}
+	if r.Inner != nil {
+		r.Inner.Consume(ev)
+	}
+}
+
+// IngestConfig sizes one ingest run.
+type IngestConfig struct {
+	// Shards is the awareness engine's shard count (1 = one worker).
+	Shards int
+	// Instances is how many independent process instances emit events.
+	Instances int
+	// EventsPerInstance is how many work starts each instance emits.
+	EventsPerInstance int
+	// Dir is where the per-shard detection journals are written.
+	Dir string
+	// DeliveryLatency, if positive, models the synchronous push of each
+	// detection to a remote client tool (Section 6.5) as a fixed wait in
+	// front of the journal. Zero measures the local path only.
+	DeliveryLatency time.Duration
+}
+
+// IngestResult reports one ingest run.
+type IngestResult struct {
+	Shards       int
+	Events       int
+	Detections   uint64
+	Elapsed      time.Duration
+	EventsPerSec float64 // events per second
+}
+
+// RunIngest pushes the workload through a sharded awareness engine with
+// per-shard durable detection journals and reports throughput. Every
+// detection is journaled before Stop returns (drain-on-Stop), so the
+// measured interval covers full, durable processing of every event.
+func RunIngest(cfg IngestConfig) (IngestResult, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Instances < 1 {
+		cfg.Instances = 1
+	}
+	if cfg.EventsPerInstance < 1 {
+		cfg.EventsPerInstance = 1
+	}
+	proc := IngestProcessSchema()
+	if err := proc.Validate(); err != nil {
+		return IngestResult{}, err
+	}
+	sinks := make([]*JournalSink, cfg.Shards)
+	for i := range sinks {
+		s, err := NewJournalSink(filepath.Join(cfg.Dir, fmt.Sprintf("detections-%d.log", i)))
+		if err != nil {
+			return IngestResult{}, err
+		}
+		sinks[i] = s
+	}
+	defer func() {
+		for _, s := range sinks {
+			s.Close()
+		}
+	}()
+	eng := awareness.NewEngine(nil, awareness.Options{
+		Shards: cfg.Shards,
+		ShardSink: func(shard int) event.Consumer {
+			if cfg.DeliveryLatency > 0 {
+				return &RemoteSink{Latency: cfg.DeliveryLatency, Inner: sinks[shard]}
+			}
+			return sinks[shard]
+		},
+	})
+	if err := eng.Define(IngestSchemas(proc)...); err != nil {
+		return IngestResult{}, err
+	}
+	events := IngestEvents(vclock.NewVirtual(), cfg.Instances, cfg.EventsPerInstance)
+	if err := eng.Start(); err != nil {
+		return IngestResult{}, err
+	}
+	start := time.Now()
+	for _, ev := range events {
+		eng.Consume(ev)
+	}
+	eng.Stop() // drains every shard: all detections journaled
+	elapsed := time.Since(start)
+
+	var detections uint64
+	for _, s := range sinks {
+		detections += s.Count()
+	}
+	want := uint64(len(events))
+	if detections != want {
+		return IngestResult{}, fmt.Errorf("crisis: ingest at %d shards journaled %d detections, want %d",
+			cfg.Shards, detections, want)
+	}
+	return IngestResult{
+		Shards:       cfg.Shards,
+		Events:       len(events),
+		Detections:   detections,
+		Elapsed:      elapsed,
+		EventsPerSec: float64(len(events)) / elapsed.Seconds(),
+	}, nil
+}

@@ -33,9 +33,13 @@ type Config struct {
 	StateDir string
 	// DisableReplication turns off per-process-instance operator state
 	// replication in the awareness engine. Only for the E8 ablation
-	// experiment; never disable it in real use.
+	// experiment; never disable it in real use. It forces Shards to 1.
 	DisableReplication bool
-	// Buffer is the awareness detector's input queue capacity
+	// Shards selects the awareness detection mode: <= 1 (default) is
+	// synchronous in-line detection; > 1 runs that many parallel graph
+	// replicas partitioned by process family (awareness.Options.Shards).
+	Shards int
+	// Buffer is the awareness detector's per-shard input queue capacity
 	// (default 1024).
 	Buffer int
 }
@@ -108,10 +112,17 @@ func New(cfg Config) (*System, error) {
 	}
 	s.aware = awareness.NewEngine(s.agent, awareness.Options{
 		DisableReplication: cfg.DisableReplication,
+		Shards:             cfg.Shards,
 		Buffer:             cfg.Buffer,
 	})
 	s.enact.Observe(s.aware)
 	s.contexts.Observe(s.aware)
+	// With sharded (asynchronous) detection, a context must not retire
+	// until every event emitted before the retirement has cleared the
+	// shard queues — otherwise a detection triggered by the final events
+	// of the context's own scope could no longer resolve its scoped
+	// roles. Quiesce is a no-op in synchronous mode.
+	s.contexts.OnRetire(func(string) { s.aware.Quiesce() })
 	return s, nil
 }
 
