@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover examples experiments clean
+.PHONY: all check build vet test race bench cover examples experiments clean
 
 all: build vet test race
+
+# The one gate to run before pushing: static checks plus the race-enabled
+# test suite.
+check: vet race
 
 build:
 	$(GO) build ./...

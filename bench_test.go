@@ -6,6 +6,7 @@ package cmi_test
 import (
 	"fmt"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/event"
 	"github.com/mcc-cmi/cmi/internal/federation"
 	"github.com/mcc-cmi/cmi/internal/monitor"
+	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/pubsub"
 	"github.com/mcc-cmi/cmi/internal/service"
 	"github.com/mcc-cmi/cmi/internal/vclock"
@@ -597,19 +599,31 @@ func BenchmarkAuditRecord(b *testing.B) {
 // a simulated 1ms remote client and durably journaled per shard) through
 // the sharded awareness pipeline. Sharding overlaps the per-detection
 // delivery waits of distinct instances; see cmd/cmibench -exp awareness
-// for the recorded scaling curve.
+// for the recorded scaling curve. Each run is fully instrumented (a
+// metrics registry records every injected event and detection latency),
+// guarding the allocation-free hot path: the numbers must hold with
+// observability on.
 func benchAwarenessSharded(b *testing.B, shards int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		reg := obs.NewRegistry()
 		res, err := crisis.RunIngest(crisis.IngestConfig{
 			Shards:            shards,
 			Instances:         512,
 			EventsPerInstance: 1,
 			Dir:               b.TempDir(),
 			DeliveryLatency:   time.Millisecond,
+			Metrics:           reg,
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+		injected := uint64(0)
+		for s := 0; s < shards; s++ {
+			injected += reg.Counter("cmi_cedmos_injected_total", "", obs.L("shard", strconv.Itoa(s))).Value()
+		}
+		if injected != uint64(res.Events) {
+			b.Fatalf("instrumentation recorded %d injected events, want %d", injected, res.Events)
 		}
 		if i == 0 {
 			b.ReportMetric(res.EventsPerSec, "events/sec")

@@ -24,6 +24,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/crisis"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 	"github.com/mcc-cmi/cmi/internal/wfms"
 )
@@ -652,5 +653,30 @@ func awarenessSharded() error {
 		return err
 	}
 	fmt.Println("wrote BENCH_awareness.json")
+
+	// One instrumented 4-shard run: print the counter series the
+	// operations endpoint (/api/metrics) would expose for this workload,
+	// demonstrating that instrumentation observes the sharded pipeline.
+	reg := obs.NewRegistry()
+	dir, err := os.MkdirTemp("", "cmi-ingest-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := crisis.RunIngest(crisis.IngestConfig{
+		Shards: 4, Instances: 512, EventsPerInstance: 4, Dir: dir, Metrics: reg,
+	}); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		return err
+	}
+	fmt.Println("\nmetrics snapshot (instrumented 4-shard run, counters only):")
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "cmi_") && strings.Contains(line, "_total") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 	return nil
 }

@@ -13,11 +13,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	cmi "github.com/mcc-cmi/cmi"
 	"github.com/mcc-cmi/cmi/internal/federation"
@@ -36,7 +42,12 @@ func (s *specList) Set(v string) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmid: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() error {
 	var (
 		addr   = flag.String("addr", ":8040", "listen address")
 		state  = flag.String("state", "", "state directory for persistent delivery queues (default: temporary)")
@@ -53,18 +64,19 @@ func main() {
 		Shards:   *shards,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer sys.Close()
 
 	for _, path := range specs {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatal(err)
+			sys.Close()
+			return err
 		}
 		spec, err := sys.LoadSpec(string(src))
 		if err != nil {
-			log.Fatalf("%s: %v", path, err)
+			sys.Close()
+			return fmt.Errorf("%s: %w", path, err)
 		}
 		log.Printf("loaded %s: %d process schema(s), %d awareness schema(s)",
 			path, len(spec.Processes), len(spec.Awareness))
@@ -72,14 +84,53 @@ func main() {
 	srv := federation.NewServer(sys)
 	if *start {
 		if err := sys.Start(); err != nil {
-			log.Fatal(err)
+			sys.Close()
+			return err
 		}
 		srv.MarkStarted()
 		log.Printf("system started")
 	}
 
-	log.Printf("enactment system listening on %s (state: %s)", *addr, sys.StateDir())
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+	// Serve until SIGINT/SIGTERM, then shut down in order: stop accepting
+	// connections, drain in-flight requests, then drain the engines and
+	// flush the delivery queues (Close). An owned temporary state
+	// directory is removed by Close, so a signalled daemon leaves nothing
+	// behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		sys.Close()
+		return err
+	}
+	log.Printf("enactment system listening on %s (state: %s)", *addr, sys.StateDir())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		sys.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default handling so a second signal kills us
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		sys.Close()
+		return err
+	}
+	if err := sys.Close(); err != nil {
+		return err
+	}
+	log.Printf("shutdown complete")
+	return nil
 }

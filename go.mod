@@ -1,3 +1,3 @@
 module github.com/mcc-cmi/cmi
 
-go 1.22
+go 1.23

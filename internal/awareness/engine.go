@@ -3,11 +3,13 @@ package awareness
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"github.com/mcc-cmi/cmi/internal/cedmos"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 // An AssignmentFunc is an awareness role assignment RA_P (Section 5.3):
@@ -83,6 +85,11 @@ type Options struct {
 	// delivery queue per shard, so detections journal in parallel. Only
 	// consulted in sharded mode.
 	ShardSink func(shard int) event.Consumer
+	// Metrics, if non-nil, receives the engine's metric series at Start:
+	// detections per shard, dropped events, shard count, per-operator
+	// consumed/emitted counters, and (in sharded mode) the detector
+	// pool's per-shard series. Hot-path recording is allocation-free.
+	Metrics *obs.Registry
 }
 
 // Engine is the Awareness Engine of Figure 5: it compiles awareness
@@ -173,12 +180,13 @@ func (e *Engine) Start() error {
 	}
 	shards := e.Shards()
 	if shards == 1 && e.opts.ShardSink == nil {
-		graph, err := Compile(e.schemas, !e.opts.DisableReplication, e.sink)
+		graph, err := Compile(e.schemas, !e.opts.DisableReplication, e.wrapSink(0, e.sink))
 		if err != nil {
 			return err
 		}
 		e.graph = graph
 		e.running = true
+		e.registerMetricsLocked()
 		return nil
 	}
 	e.router = newInstanceRouter()
@@ -189,7 +197,7 @@ func (e *Engine) Start() error {
 				sink = s
 			}
 		}
-		return Compile(e.schemas, !e.opts.DisableReplication, sink)
+		return Compile(e.schemas, !e.opts.DisableReplication, e.wrapSink(shard, sink))
 	}, cedmos.PoolOptions{
 		Shards: shards,
 		Buffer: e.opts.Buffer,
@@ -198,12 +206,90 @@ func (e *Engine) Start() error {
 	if err != nil {
 		return err
 	}
+	pool.Instrument(e.opts.Metrics)
 	if err := pool.Start(); err != nil {
 		return err
 	}
 	e.pool = pool
 	e.running = true
+	e.registerMetricsLocked()
 	return nil
+}
+
+// countingSink counts detected output events before forwarding them.
+type countingSink struct {
+	detections *obs.Counter
+	inner      event.Consumer
+}
+
+func (c countingSink) Consume(ev event.Event) {
+	c.detections.Inc()
+	if c.inner != nil {
+		c.inner.Consume(ev)
+	}
+}
+
+// wrapSink interposes the per-shard detection counter when a metrics
+// registry is configured; otherwise the sink passes through untouched.
+func (e *Engine) wrapSink(shard int, sink event.Consumer) event.Consumer {
+	reg := e.opts.Metrics
+	if reg == nil {
+		return sink
+	}
+	return countingSink{
+		detections: reg.Counter("cmi_awareness_detections_total",
+			"Composite events detected and forwarded to the delivery sink.",
+			obs.L("shard", strconv.Itoa(shard))),
+		inner: sink,
+	}
+}
+
+// registerMetricsLocked publishes the engine-level series: dropped
+// events, shard count, and the per-operator consumed/emitted counters of
+// EngineStats. The counters are sampled at exposition time from the
+// graph's existing atomics, so detection pays nothing extra. Called with
+// e.mu held, after the graph or pool exists.
+func (e *Engine) registerMetricsLocked() {
+	reg := e.opts.Metrics
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("cmi_awareness_dropped_total",
+		"Events that arrived while the awareness engine was not running.",
+		func() float64 { return float64(e.Dropped()) })
+	reg.GaugeFunc("cmi_awareness_shards",
+		"Detection graph replicas (1 in synchronous mode).",
+		func() float64 { return float64(e.Shards()) })
+	var nodes []cedmos.NodeStats
+	switch {
+	case e.pool != nil:
+		nodes = e.pool.Stats()
+	case e.graph != nil:
+		nodes = e.graph.Stats()
+	}
+	for _, ns := range nodes {
+		name := ns.Name
+		reg.CounterFunc("cmi_awareness_node_consumed_total",
+			"Events consumed per operator node, aggregated across shards.",
+			func() float64 { return float64(e.nodeStat(name, false)) }, obs.L("node", name))
+		reg.CounterFunc("cmi_awareness_node_emitted_total",
+			"Events emitted per operator node, aggregated across shards.",
+			func() float64 { return float64(e.nodeStat(name, true)) }, obs.L("node", name))
+	}
+}
+
+// nodeStat samples one node's aggregated counter for the metric
+// callbacks.
+func (e *Engine) nodeStat(name string, emitted bool) uint64 {
+	for _, ns := range e.Stats().Nodes {
+		if ns.Name == name {
+			if emitted {
+				return ns.Emitted
+			}
+			return ns.Consumed
+		}
+	}
+	return 0
 }
 
 // Stop stops accepting events. In synchronous mode every event consumed
@@ -265,6 +351,13 @@ func (e *Engine) Quiesce() {
 // Dropped reports how many events arrived before Start or after Stop
 // (and were therefore never processed).
 func (e *Engine) Dropped() uint64 { return e.dropped.Load() }
+
+// Running reports whether the engine is between Start and Stop.
+func (e *Engine) Running() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.running
+}
 
 // EngineStats reports the engine's detection counters.
 type EngineStats struct {

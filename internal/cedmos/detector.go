@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 // A Detector is a detector agent (paper Section 6.4): a finalized Graph
@@ -27,6 +29,15 @@ type Detector struct {
 	stopped bool
 
 	dropped atomic.Uint64
+	metrics *detectorMetrics
+}
+
+// detectorMetrics holds the agent's hot-path instruments. Recording is
+// allocation-free (see package obs); the un-instrumented agent pays one
+// nil check per event.
+type detectorMetrics struct {
+	injected *obs.Counter
+	latency  *obs.Histogram
 }
 
 // item is one queue element: either an event to inject or, when barrier
@@ -53,6 +64,30 @@ func NewDetector(g *Graph, buffer int) (*Detector, error) {
 	}, nil
 }
 
+// Instrument registers the agent's metric series (events injected,
+// per-event detection latency, input queue depth, dropped events) under
+// the given labels — typically shard="N" from the owning Pool. It must be
+// called before Start; instrumenting a nil registry is a no-op.
+func (d *Detector) Instrument(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	d.mu.Lock()
+	d.metrics = &detectorMetrics{
+		injected: reg.Counter("cmi_cedmos_injected_total",
+			"Events processed by the detector agent.", labels...),
+		latency: reg.Histogram("cmi_cedmos_detect_seconds",
+			"Per-event detection graph processing latency.", nil, labels...),
+	}
+	d.mu.Unlock()
+	reg.CounterFunc("cmi_cedmos_dropped_total",
+		"Submitted events that matched no source in the graph.",
+		func() float64 { return float64(d.Dropped()) }, labels...)
+	reg.GaugeFunc("cmi_cedmos_queue_depth",
+		"Events waiting in the detector agent's input queue.",
+		func() float64 { return float64(len(d.in)) }, labels...)
+}
+
 // Start launches the agent goroutine. Starting twice is an error.
 func (d *Detector) Start() error {
 	d.mu.Lock()
@@ -66,6 +101,9 @@ func (d *Detector) Start() error {
 }
 
 func (d *Detector) run() {
+	d.mu.RLock()
+	m := d.metrics // fixed before Start; see Instrument
+	d.mu.RUnlock()
 	defer close(d.done)
 	for it := range d.in {
 		if it.barrier != nil {
@@ -75,7 +113,15 @@ func (d *Detector) run() {
 		// Route by type: a detector agent embodies one or more awareness
 		// schemas whose sources are typed; events that match no source
 		// are counted as dropped.
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
 		fed, err := d.graph.InjectEvent(it.ev)
+		if m != nil {
+			m.latency.Observe(time.Since(t0))
+			m.injected.Inc()
+		}
 		if err == nil && fed == 0 {
 			d.dropped.Add(1)
 		}

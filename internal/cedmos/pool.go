@@ -3,8 +3,10 @@ package cedmos
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 // A RoutedEvent is one (shard, event) pair produced by a RouteFunc.
@@ -104,6 +106,18 @@ func NewPool(build func(shard int) (*Graph, error), opts PoolOptions) (*Pool, er
 		p.detectors = append(p.detectors, d)
 	}
 	return p, nil
+}
+
+// Instrument registers every shard agent's metric series (injected,
+// detect latency, queue depth, dropped) labelled by shard index. Call
+// before Start; a nil registry is a no-op.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for i, d := range p.detectors {
+		d.Instrument(reg, obs.L("shard", strconv.Itoa(i)))
+	}
 }
 
 // Start launches every shard agent. If any shard fails to start, the

@@ -1,0 +1,9 @@
+package core
+
+import "errors"
+
+// ErrNotFound marks a lookup of an entity that does not exist — an
+// unknown process instance, schema, context variable, or notification
+// id. Layers wrap it with %w so transports can distinguish "no such
+// thing" (HTTP 404) from a malformed request (HTTP 400) via errors.Is.
+var ErrNotFound = errors.New("not found")

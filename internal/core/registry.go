@@ -55,6 +55,18 @@ func (r *SchemaRegistry) register(s ActivitySchema) error {
 	return nil
 }
 
+// Unregister removes the named schemas. It exists so a failed multi-
+// schema load can roll back exactly the registrations it made: Register
+// adds schemas reachable from a process transitively, so a mid-load
+// failure leaves a partial set behind. Unknown names are ignored.
+func (r *SchemaRegistry) Unregister(names ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range names {
+		delete(r.schemas, n)
+	}
+}
+
 // Lookup returns the schema registered under name.
 func (r *SchemaRegistry) Lookup(name string) (ActivitySchema, bool) {
 	r.mu.RLock()

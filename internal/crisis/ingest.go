@@ -10,6 +10,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/awareness"
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
 
@@ -136,6 +137,11 @@ type IngestConfig struct {
 	// detection to a remote client tool (Section 6.5) as a fixed wait in
 	// front of the journal. Zero measures the local path only.
 	DeliveryLatency time.Duration
+	// Metrics, if non-nil, instruments the run's awareness engine and
+	// detector pool (per-shard injected/detected/latency series), so a
+	// benchmark can both measure throughput with instrumentation enabled
+	// and print a metrics snapshot afterwards.
+	Metrics *obs.Registry
 }
 
 // IngestResult reports one ingest run.
@@ -179,7 +185,8 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		}
 	}()
 	eng := awareness.NewEngine(nil, awareness.Options{
-		Shards: cfg.Shards,
+		Shards:  cfg.Shards,
+		Metrics: cfg.Metrics,
 		ShardSink: func(shard int) event.Consumer {
 			if cfg.DeliveryLatency > 0 {
 				return &RemoteSink{Latency: cfg.DeliveryLatency, Inner: sinks[shard]}

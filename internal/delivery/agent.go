@@ -8,6 +8,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/awareness"
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 // An Agent is the awareness delivery agent of Section 6.5: it consumes
@@ -47,6 +48,24 @@ func NewAgent(dir *core.Directory, contexts *core.Registry, store *Store) *Agent
 		store:       store,
 		assignments: make(map[string]awareness.AssignmentFunc),
 	}
+}
+
+// Instrument registers the agent's delivery outcome counters, sampled
+// from the existing Stats counters at exposition time. A nil registry
+// is a no-op.
+func (a *Agent) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	const help = "Detected awareness events by delivery outcome."
+	reg.CounterFunc("cmi_delivery_notifications_total", help, func() float64 {
+		d, _, _ := a.Stats()
+		return float64(d)
+	}, obs.L("result", "delivered"))
+	reg.CounterFunc("cmi_delivery_notifications_total", help, func() float64 {
+		_, u, _ := a.Stats()
+		return float64(u)
+	}, obs.L("result", "undeliverable"))
 }
 
 // RegisterAssignment installs an agent-local awareness role assignment

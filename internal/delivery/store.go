@@ -21,6 +21,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 // A Notification is one piece of awareness information queued for one
@@ -67,9 +70,65 @@ type queue struct {
 type Store struct {
 	dir string
 
-	mu     sync.Mutex
-	queues map[string]*queue
-	closed bool
+	mu      sync.Mutex
+	queues  map[string]*queue
+	closed  bool
+	metrics *storeMetrics
+}
+
+// storeMetrics holds the store's hot-path instruments; nil when the
+// store is not instrumented (recording on nil instruments is a no-op,
+// see package obs).
+type storeMetrics struct {
+	enqueued      *obs.Counter
+	acked         *obs.Counter
+	appendLatency *obs.Histogram
+}
+
+// Instrument registers the store's metric series: notifications
+// enqueued and acknowledged, journal append latency, and the pending
+// queue depth (sampled at exposition time). A nil registry is a no-op.
+func (s *Store) Instrument(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.metrics = &storeMetrics{
+		enqueued: reg.Counter("cmi_delivery_enqueued_total",
+			"Notifications appended to participant queues.", labels...),
+		acked: reg.Counter("cmi_delivery_acked_total",
+			"Notifications acknowledged by participants.", labels...),
+		appendLatency: reg.Histogram("cmi_delivery_journal_append_seconds",
+			"Latency of one durable journal append (marshal, write, flush).",
+			nil, labels...),
+	}
+	s.mu.Unlock()
+	reg.GaugeFunc("cmi_delivery_queue_depth",
+		"Unacknowledged notifications across all loaded participant queues.",
+		func() float64 { return float64(s.pendingDepth()) }, labels...)
+}
+
+// pendingDepth counts unacknowledged notifications across the loaded
+// queues, for the queue-depth gauge.
+func (s *Store) pendingDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	depth := 0
+	for _, q := range s.queues {
+		for _, n := range q.notifs {
+			if !n.Acked {
+				depth++
+			}
+		}
+	}
+	return depth
+}
+
+// Open reports whether the store is usable (not yet closed).
+func (s *Store) Open() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // NewStore opens (creating if necessary) a queue store rooted at dir.
@@ -140,6 +199,19 @@ func (q *queue) load() error {
 	return sc.Err()
 }
 
+// appendTimed journals one record, timing the durable append when the
+// store is instrumented. Called with s.mu held.
+func (s *Store) appendTimed(q *queue, r record) error {
+	m := s.metrics
+	if m == nil {
+		return q.append(r)
+	}
+	t0 := time.Now()
+	err := q.append(r)
+	m.appendLatency.Observe(time.Since(t0))
+	return err
+}
+
 func (q *queue) append(r record) error {
 	b, err := json.Marshal(r)
 	if err != nil {
@@ -165,8 +237,11 @@ func (s *Store) Enqueue(participant string, n Notification) (Notification, error
 	}
 	n.ID = q.nextID
 	q.nextID++
-	if err := q.append(record{Kind: "notif", Notif: &n}); err != nil {
+	if err := s.appendTimed(q, record{Kind: "notif", Notif: &n}); err != nil {
 		return Notification{}, err
+	}
+	if m := s.metrics; m != nil {
+		m.enqueued.Inc()
 	}
 	q.byID[n.ID] = len(q.notifs)
 	q.notifs = append(q.notifs, n)
@@ -207,13 +282,14 @@ func (s *Store) Pending(participant string) ([]Notification, error) {
 }
 
 // A Digest summarizes a participant's pending queue per awareness
-// schema — the event-aggregation facility Section 6.5 leaves open.
+// schema — the event-aggregation facility Section 6.5 leaves open. The
+// json tags pin the wire shape served by the federation monitor API.
 type Digest struct {
-	Schema      string
-	Count       int
-	MaxPriority int
+	Schema      string `json:"schema"`
+	Count       int    `json:"count"`
+	MaxPriority int    `json:"maxPriority"`
 	// Latest is the most recent pending notification of the schema.
-	Latest Notification
+	Latest Notification `json:"latest"`
 }
 
 // PendingDigest aggregates the pending notifications by awareness
@@ -278,15 +354,18 @@ func (s *Store) Ack(participant string, id int64) error {
 	}
 	i, ok := q.byID[id]
 	if !ok {
-		return fmt.Errorf("delivery: participant %q has no notification %d", participant, id)
+		return fmt.Errorf("delivery: participant %q has no notification %d: %w", participant, id, core.ErrNotFound)
 	}
 	if q.notifs[i].Acked {
 		return nil
 	}
-	if err := q.append(record{Kind: "ack", AckID: id}); err != nil {
+	if err := s.appendTimed(q, record{Kind: "ack", AckID: id}); err != nil {
 		return err
 	}
 	q.notifs[i].Acked = true
+	if m := s.metrics; m != nil {
+		m.acked.Inc()
+	}
 	return nil
 }
 

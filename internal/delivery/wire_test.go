@@ -1,0 +1,58 @@
+package delivery
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// TestDigestWireShape pins the JSON encoding of a Digest: the monitor
+// API serves it, so renaming a field is a breaking wire change.
+func TestDigestWireShape(t *testing.T) {
+	at := time.Date(1999, 9, 2, 10, 0, 0, 0, time.UTC)
+	d := Digest{
+		Schema:      "DeadlineViolation",
+		Count:       2,
+		MaxPriority: 3,
+		Latest: Notification{
+			ID:          7,
+			Time:        at,
+			Schema:      "DeadlineViolation",
+			Description: "deadline moved",
+		},
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"DeadlineViolation","count":2,"maxPriority":3,` +
+		`"latest":{"id":7,"time":"1999-09-02T10:00:00Z",` +
+		`"schema":"DeadlineViolation","description":"deadline moved"}}`
+	if string(b) != want {
+		t.Fatalf("digest wire shape changed:\n got %s\nwant %s", b, want)
+	}
+}
+
+// TestStoreOpenAndNotFound covers the Open accessor and the typed
+// not-found error on acks of unknown ids.
+func TestStoreOpenAndNotFound(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Open() {
+		t.Fatal("fresh store not open")
+	}
+	if err := s.Ack("u", 99); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("ack of unknown id = %v, want ErrNotFound", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Open() {
+		t.Fatal("closed store reports open")
+	}
+}

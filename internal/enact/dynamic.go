@@ -72,7 +72,7 @@ func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableN
 	err := func() error {
 		pi, ok := e.procs[processID]
 		if !ok {
-			return fmt.Errorf("enact: unknown process instance %q", processID)
+			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 		}
 		if !isActive(pi.schema.States(), pi.state) {
 			return fmt.Errorf("enact: process %s is not running", processID)
@@ -129,7 +129,7 @@ func (e *Engine) AddDependency(processID string, d core.Dependency, user string)
 	err := func() error {
 		pi, ok := e.procs[processID]
 		if !ok {
-			return fmt.Errorf("enact: unknown process instance %q", processID)
+			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 		}
 		if !isActive(pi.schema.States(), pi.state) {
 			return fmt.Errorf("enact: process %s is not running", processID)

@@ -18,6 +18,7 @@ import (
 
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
 
@@ -99,6 +100,52 @@ type Engine struct {
 	nextProc   int
 	nextAct    int
 	emitMu     sync.Mutex // serializes observer callbacks in stamp order
+
+	metrics *enactMetrics
+}
+
+// enactMetrics holds the engine's transition counter family; nil when
+// the engine is not instrumented.
+type enactMetrics struct {
+	transitions *obs.CounterVec
+}
+
+// Instrument registers the engine's metric series: state transitions
+// labelled by target state, and live process/activity instance counts
+// sampled at exposition time. A nil registry is a no-op; call before
+// driving processes.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.mu.Lock()
+	e.metrics = &enactMetrics{
+		transitions: reg.CounterVec("cmi_enact_transitions_total",
+			"Activity and process state transitions by target state.", "state"),
+	}
+	e.mu.Unlock()
+	reg.GaugeFunc("cmi_enact_processes",
+		"Process instances held by the coordination engine.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(len(e.procs))
+		})
+	reg.GaugeFunc("cmi_enact_activities",
+		"Activity instances held by the coordination engine.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(len(e.activities))
+		})
+}
+
+// countTransition records one transition in the by-state counter family.
+// Must be called with e.mu held (e.metrics is guarded by it).
+func (e *Engine) countTransition(to core.State) {
+	if e.metrics != nil {
+		e.metrics.transitions.With(string(to)).Inc()
+	}
 }
 
 // New returns a coordination engine over the given clock, schema registry,
@@ -170,6 +217,7 @@ func (e *Engine) emitActivity(p *pending, ai *ActivityInstance, old, new core.St
 		change.ActivityProcessSchemaID = ps.Name
 	}
 	p.events = append(p.events, event.NewActivity(e.clock.Next(), "coordination-engine", change))
+	e.countTransition(new)
 }
 
 // emitProcess records a state change of a process instance itself. For a
@@ -189,6 +237,7 @@ func (e *Engine) emitProcess(p *pending, pi *ProcessInstance, old, new core.Stat
 		change.ActivityVariableID = pi.parentVar
 	}
 	p.events = append(p.events, event.NewActivity(e.clock.Next(), "coordination-engine", change))
+	e.countTransition(new)
 }
 
 // StartOptions configures process instantiation.
@@ -207,7 +256,7 @@ type StartOptions struct {
 func (e *Engine) StartProcess(schemaName string, opts StartOptions) (*ProcessInstance, error) {
 	schema, ok := e.schemas.Process(schemaName)
 	if !ok {
-		return nil, fmt.Errorf("enact: unknown process schema %q", schemaName)
+		return nil, fmt.Errorf("enact: unknown process schema %q: %w", schemaName, core.ErrNotFound)
 	}
 	var p pending
 	e.mu.Lock()
@@ -347,7 +396,7 @@ func (e *Engine) Instantiate(processID, activityVar, user string) (ActivityInfo,
 	pi, ok := e.procs[processID]
 	if !ok {
 		e.mu.Unlock()
-		return ActivityInfo{}, fmt.Errorf("enact: unknown process instance %q", processID)
+		return ActivityInfo{}, fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 	}
 	if !isActive(pi.schema.States(), pi.state) {
 		e.mu.Unlock()

@@ -15,7 +15,7 @@ func (e *Engine) Assign(activityID, participantID string) error {
 	defer e.mu.Unlock()
 	ai, ok := e.activities[activityID]
 	if !ok {
-		return fmt.Errorf("enact: unknown activity instance %q", activityID)
+		return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 	}
 	if !ai.schema.States().IsSubstateOf(ai.state, core.Ready) {
 		return fmt.Errorf("enact: activity %s is %s, not Ready", activityID, ai.state)
@@ -77,7 +77,7 @@ func (e *Engine) Start(activityID, user string) error {
 func (e *Engine) startActivityLocked(p *pending, activityID, user string) error {
 	ai, ok := e.activities[activityID]
 	if !ok {
-		return fmt.Errorf("enact: unknown activity instance %q", activityID)
+		return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 	}
 	if err := e.checkPerformerLocked(ai, user); err != nil {
 		return err
@@ -116,7 +116,7 @@ func (e *Engine) Complete(activityID, user string) error {
 	err := func() error {
 		ai, ok := e.activities[activityID]
 		if !ok {
-			return fmt.Errorf("enact: unknown activity instance %q", activityID)
+			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
 		if ai.child != nil && isActive(ai.child.schema.States(), ai.child.state) {
 			return fmt.Errorf("enact: activity %s is a running subprocess; it completes when the subprocess does", activityID)
@@ -152,7 +152,7 @@ func (e *Engine) Terminate(activityID, user string) error {
 	err := func() error {
 		ai, ok := e.activities[activityID]
 		if !ok {
-			return fmt.Errorf("enact: unknown activity instance %q", activityID)
+			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
 		if ai.child != nil && isActive(ai.child.schema.States(), ai.child.state) {
 			return e.terminateProcessLocked(&p, ai.child, user)
@@ -179,7 +179,7 @@ func (e *Engine) Resume(activityID, user string) error {
 	err := func() error {
 		ai, ok := e.activities[activityID]
 		if !ok {
-			return fmt.Errorf("enact: unknown activity instance %q", activityID)
+			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
 		if !ai.schema.States().IsSubstateOf(ai.state, core.Suspended) {
 			return fmt.Errorf("enact: activity %s is %s, not Suspended", activityID, ai.state)
@@ -197,7 +197,7 @@ func (e *Engine) simpleTransition(activityID string, intent core.State, user str
 	err := func() error {
 		ai, ok := e.activities[activityID]
 		if !ok {
-			return fmt.Errorf("enact: unknown activity instance %q", activityID)
+			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
 		return e.transitionActivityLocked(&p, ai, intent, user)
 	}()
@@ -215,7 +215,7 @@ func (e *Engine) Transition(activityID string, to core.State, user string) error
 	err := func() error {
 		ai, ok := e.activities[activityID]
 		if !ok {
-			return fmt.Errorf("enact: unknown activity instance %q", activityID)
+			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
 		states := ai.schema.States()
 		if !states.Legal(ai.state, to) {
@@ -534,7 +534,7 @@ func (e *Engine) TerminateProcess(processID, user string) error {
 	err := func() error {
 		pi, ok := e.procs[processID]
 		if !ok {
-			return fmt.Errorf("enact: unknown process instance %q", processID)
+			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 		}
 		if !isActive(pi.schema.States(), pi.state) {
 			return fmt.Errorf("enact: process %s is already closed", processID)

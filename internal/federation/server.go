@@ -12,6 +12,7 @@ package federation
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/enact"
+	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/system"
 )
 
@@ -71,7 +73,62 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/notifications/{participant}/digest", s.getDigest)
 	mux.HandleFunc("POST /api/notifications/{participant}/{id}/ack", s.postAck)
 	mux.HandleFunc("POST /api/presence/{participant}", s.postPresence)
-	return mux
+
+	// Operations API.
+	mux.Handle("GET /api/metrics", s.sys.Metrics())
+	mux.HandleFunc("GET /api/healthz", s.getHealthz)
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label the request counter by status class.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with the HTTP metric series: request count
+// by route and status class, request latency by route, and the
+// in-flight gauge. The route label is the mux pattern (not the raw
+// URL), keeping the series cardinality bounded.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	reg := s.sys.Metrics()
+	if reg == nil {
+		return next
+	}
+	inFlight := reg.Gauge("cmi_http_in_flight", "Requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inFlight.Inc()
+		defer inFlight.Dec()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sr, r)
+		route := r.Pattern // set by ServeMux on match
+		if route == "" {
+			route = "unmatched"
+		}
+		reg.Counter("cmi_http_requests_total",
+			"API requests by route pattern and status class.",
+			obs.L("code", fmt.Sprintf("%dxx", sr.code/100)),
+			obs.L("route", route)).Inc()
+		reg.Histogram("cmi_http_request_seconds",
+			"API request latency by route pattern.",
+			nil, obs.L("route", route)).Observe(time.Since(t0))
+	})
+}
+
+func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.sys.Health()
+	code := http.StatusOK
+	if !h.Healthy {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
 }
 
 type errorBody struct {
@@ -86,6 +143,19 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// errStatus maps an engine error to an HTTP status: lookups of entities
+// that do not exist are 404, build-time operations after Start are 409,
+// everything else is a generic client error.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, system.ErrStarted):
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
 }
 
 func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
@@ -124,7 +194,7 @@ func (s *Server) postSpec(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, err := s.sys.LoadSpec(req.Source)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	resp := SpecResponse{}
@@ -219,7 +289,7 @@ func (s *Server) postProcess(w http.ResponseWriter, r *http.Request) {
 	}
 	pi, err := s.sys.StartProcess(req.Schema, req.Initiator)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, StartProcessResponse{ID: pi.ID()})
@@ -233,7 +303,7 @@ type ProcessInfo struct {
 }
 
 func (s *Server) getProcesses(w http.ResponseWriter, r *http.Request) {
-	var out []ProcessInfo
+	out := []ProcessInfo{} // empty list encodes as [], never null
 	for _, id := range s.sys.Coordination().Instances() {
 		pi, ok := s.sys.Coordination().Instance(id)
 		if !ok {
@@ -247,6 +317,9 @@ func (s *Server) getProcesses(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) getMonitor(w http.ResponseWriter, r *http.Request) {
 	rows := s.sys.Coordination().Monitor(r.PathValue("id"))
+	if rows == nil {
+		rows = []enact.MonitorRow{} // empty list encodes as [], never null
+	}
 	writeJSON(w, http.StatusOK, rows)
 }
 
@@ -263,7 +336,7 @@ func (s *Server) postInstantiate(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.sys.Coordination().Instantiate(r.PathValue("id"), req.Var, req.User)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -312,7 +385,7 @@ func (s *Server) postActivityOp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -404,7 +477,7 @@ func (s *Server) putContextField(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.SetContextField(r.PathValue("process"), r.PathValue("ctxvar"), r.PathValue("field"), v); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -479,7 +552,7 @@ func (s *Server) postAck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.Viewer(r.PathValue("participant")).Ack(id); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cmi_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Idempotent registration returns the same instrument.
+	if r.Counter("cmi_test_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("cmi_test_depth", "a gauge")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y", "")
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("z", "", nil)
+	h.Observe(time.Second)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	r.CounterFunc("f", "", func() float64 { return 1 })
+	r.GaugeFunc("f2", "", func() float64 { return 1 })
+	v := r.CounterVec("v", "", "k")
+	v.With("a").Inc()
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cmi_test_seconds", "latency", []time.Duration{time.Millisecond, 10 * time.Millisecond})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (le is inclusive)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf
+	h.Observe(-time.Second)           // clamps to 0, bucket 0
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`cmi_test_seconds_bucket{le="0.001"} 3`,
+		`cmi_test_seconds_bucket{le="0.01"} 4`,
+		`cmi_test_seconds_bucket{le="+Inf"} 5`,
+		`cmi_test_seconds_count 5`,
+		"# TYPE cmi_test_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmi_b_total", "bees", L("kind", "worker")).Add(2)
+	r.Counter("cmi_b_total", "bees", L("kind", "queen")).Add(1)
+	r.Gauge("cmi_a_depth", "depth").Set(3)
+	r.GaugeFunc("cmi_c_live", "sampled", func() float64 { return 9 })
+	r.CounterVec("cmi_d_total", "vec", "state", L("layer", "enact")).With("Running").Add(6)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP cmi_b_total bees\n# TYPE cmi_b_total counter\n",
+		`cmi_b_total{kind="worker"} 2`,
+		`cmi_b_total{kind="queen"} 1`,
+		"# TYPE cmi_a_depth gauge\ncmi_a_depth 3\n",
+		"cmi_c_live 9",
+		`cmi_d_total{layer="enact",state="Running"} 6`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are sorted by name.
+	if strings.Index(out, "cmi_a_depth") > strings.Index(out, "cmi_b_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cmi_e_total", "", L("route", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `route="a\"b\\c\n"`) {
+		t.Fatalf("label not escaped: %s", b.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("cmi_conc_seconds", "", nil)
+	v := r.CounterVec("cmi_conc_total", "", "s")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+				v.With([]string{"a", "b", "c"}[i%3]).Inc()
+				r.Counter("cmi_conc2_total", "").Inc()
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			_, _ = r.WriteTo(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	if r.Counter("cmi_conc2_total", "").Value() != 8000 {
+		t.Fatal("counter lost increments")
+	}
+}
+
+// BenchmarkHistogramObserve guards the allocation-free hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("cmi_bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}

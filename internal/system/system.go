@@ -8,6 +8,7 @@
 package system
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/enact"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
 
@@ -42,7 +44,16 @@ type Config struct {
 	// Buffer is the awareness detector's per-shard input queue capacity
 	// (default 1024).
 	Buffer int
+	// Metrics receives every layer's metric series. Nil selects a fresh
+	// per-system registry (exposed by Metrics()), so instrumentation is
+	// always on; supply a registry to aggregate several systems.
+	Metrics *obs.Registry
 }
+
+// ErrStarted marks build-time operations attempted after Start, so
+// transports can answer 409 Conflict rather than a generic client
+// error.
+var ErrStarted = errors.New("system already started")
 
 // System is one CMI enactment system.
 type System struct {
@@ -55,10 +66,13 @@ type System struct {
 	agent    *delivery.Agent
 	store    *delivery.Store
 
+	metrics *obs.Registry
+
 	stateDir   string
 	ownsState  bool
 	mu         sync.Mutex
 	started    bool
+	closed     bool
 	hasSchemas bool
 }
 
@@ -82,10 +96,15 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &System{
 		clock:     clock,
 		schemas:   core.NewSchemaRegistry(),
 		dir:       core.NewDirectory(),
+		metrics:   reg,
 		stateDir:  stateDir,
 		ownsState: owns,
 		store:     store,
@@ -114,7 +133,11 @@ func New(cfg Config) (*System, error) {
 		DisableReplication: cfg.DisableReplication,
 		Shards:             cfg.Shards,
 		Buffer:             cfg.Buffer,
+		Metrics:            reg,
 	})
+	s.enact.Instrument(reg)
+	s.agent.Instrument(reg)
+	store.Instrument(reg)
 	s.enact.Observe(s.aware)
 	s.contexts.Observe(s.aware)
 	// With sharded (asynchronous) detection, a context must not retire
@@ -169,19 +192,45 @@ func (s *System) DefineAwareness(schemas ...*awareness.Schema) error {
 }
 
 // LoadSpec parses ADL source text and installs its process and awareness
-// schemas. It may be called several times before Start.
+// schemas. It may be called several times before Start, but not after:
+// the awareness engine compiles its detection graph at Start, so a
+// post-Start load would register process schemas whose awareness
+// descriptions can never arm. The load is atomic with respect to Start
+// and to failure — if any part of the spec cannot be installed, the
+// schema registrations already made by this call are rolled back.
 func (s *System) LoadSpec(src string) (*adl.Spec, error) {
 	spec, err := adl.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return nil, fmt.Errorf("cmi: cannot load a spec: %w", ErrStarted)
+	}
+	before := make(map[string]bool)
+	for _, n := range s.schemas.Names() {
+		before[n] = true
+	}
+	rollback := func() {
+		var added []string
+		for _, n := range s.schemas.Names() {
+			if !before[n] {
+				added = append(added, n)
+			}
+		}
+		s.schemas.Unregister(added...)
+	}
 	if err := spec.Register(s.schemas); err != nil {
+		rollback() // Register adds transitively, so it can fail part-way
 		return nil, err
 	}
 	if len(spec.Awareness) > 0 {
-		if err := s.DefineAwareness(spec.Awareness...); err != nil {
+		if err := s.aware.Define(spec.Awareness...); err != nil {
+			rollback()
 			return nil, err
 		}
+		s.hasSchemas = true
 	}
 	return spec, nil
 }
@@ -202,7 +251,7 @@ func (s *System) Start() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
-		return fmt.Errorf("cmi: system already started")
+		return fmt.Errorf("cmi: %w", ErrStarted)
 	}
 	if s.hasSchemas {
 		if err := s.aware.Start(); err != nil {
@@ -224,6 +273,9 @@ func (s *System) Drain() {
 // hooks, and closes the notification store. If the state directory was
 // system-created, it is removed.
 func (s *System) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 	s.aware.Stop()
 	s.agent.Wait()
 	err := s.store.Close()
@@ -231,6 +283,41 @@ func (s *System) Close() error {
 		os.RemoveAll(s.stateDir)
 	}
 	return err
+}
+
+// Metrics returns the registry holding every layer's metric series.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Health is a point-in-time liveness snapshot of the system's moving
+// parts, served by the federation /api/healthz endpoint.
+type Health struct {
+	// Healthy is the overall verdict: the system is started, not closed,
+	// the notification store accepts appends, and the awareness engine
+	// runs (or no awareness schemas are defined, so it never started).
+	Healthy bool `json:"healthy"`
+	// Started reports Start has been called (and Close has not).
+	Started bool `json:"started"`
+	// EngineRunning reports the awareness engine is between Start/Stop.
+	EngineRunning bool `json:"engineRunning"`
+	// StoreOpen reports the notification store accepts appends.
+	StoreOpen bool `json:"storeOpen"`
+	// Shards is the awareness engine's effective shard count.
+	Shards int `json:"shards"`
+}
+
+// Health reports whether the system's moving parts are live.
+func (s *System) Health() Health {
+	s.mu.Lock()
+	started, closed, hasSchemas := s.started, s.closed, s.hasSchemas
+	s.mu.Unlock()
+	h := Health{
+		Started:       started && !closed,
+		EngineRunning: s.aware.Running(),
+		StoreOpen:     s.store.Open(),
+		Shards:        s.aware.Shards(),
+	}
+	h.Healthy = h.Started && h.StoreOpen && (h.EngineRunning || !hasSchemas)
+	return h
 }
 
 // ---------------------------------------------------------------------
@@ -276,7 +363,7 @@ func (s *System) Worklist(participant string) []enact.WorkItem {
 func (s *System) SetContextField(processID, contextVar, field string, value any) error {
 	ctxID, ok := s.enact.ContextID(processID, contextVar)
 	if !ok {
-		return fmt.Errorf("cmi: process %q has no context variable %q", processID, contextVar)
+		return fmt.Errorf("cmi: process %q has no context variable %q: %w", processID, contextVar, core.ErrNotFound)
 	}
 	return s.contexts.SetField(ctxID, field, value)
 }

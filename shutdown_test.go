@@ -1,0 +1,102 @@
+package cmi_test
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonGracefulShutdown runs cmid without -state (so it owns a
+// temporary state directory), sends SIGTERM, and checks the daemon
+// drains and exits 0 with the owned directory removed — the contract a
+// supervisor (systemd, k8s) relies on.
+func TestDaemonGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "cmid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cmid")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build cmid: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	daemon := exec.Command(bin, "-addr", addr, "-start")
+	daemon.Env = os.Environ()
+	stderr, err := daemon.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// The daemon logs its state directory once it is listening.
+	stateRe := regexp.MustCompile(`listening on .+ \(state: (.+)\)`)
+	stateDir := ""
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(10 * time.Second)
+wait:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("daemon exited before listening")
+			}
+			if m := stateRe.FindStringSubmatch(line); m != nil {
+				stateDir = m[1]
+				break wait
+			}
+		case <-deadline:
+			t.Fatal("daemon did not report listening")
+		}
+	}
+	if stateDir == "" || !strings.Contains(stateDir, "cmi-state-") {
+		t.Fatalf("unexpected state dir %q", stateDir)
+	}
+	if _, err := os.Stat(stateDir); err != nil {
+		t.Fatalf("state dir missing while running: %v", err)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- daemon.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if _, err := os.Stat(stateDir); !os.IsNotExist(err) {
+		t.Fatalf("owned state dir not removed: %v", err)
+	}
+}
