@@ -68,6 +68,13 @@ func NewDetector(g *Graph, buffer int) (*Detector, error) {
 // per-event detection latency, input queue depth, dropped events) under
 // the given labels — typically shard="N" from the owning Pool. It must be
 // called before Start; instrumenting a nil registry is a no-op.
+//
+// Registration is per label set: the injected counter and latency
+// histogram are shared with any prior agent under the same labels (so
+// counters stay monotonic across an engine Stop/Start cycle), while the
+// sampled queue-depth and dropped callbacks replace the prior agent's,
+// so those series always reflect the live agent rather than a drained
+// predecessor.
 func (d *Detector) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	if reg == nil {
 		return

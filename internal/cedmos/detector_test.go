@@ -1,10 +1,12 @@
 package cedmos
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 func detectorFixture(t *testing.T) (*Detector, *[]event.Event, *sync.Mutex) {
@@ -148,6 +150,36 @@ func TestDetectorConcurrentSubmitAndStop(t *testing.T) {
 		}
 		d.Stop()
 		wg.Wait()
+	}
+}
+
+// TestReInstrumentTracksLiveDetector pins the engine-restart contract: a
+// second detector instrumented under the same labels (as a rebuilt pool
+// does after Stop/Start) takes over the sampled dropped/queue-depth
+// series, rather than leaving them bound to the drained predecessor.
+func TestReInstrumentTracksLiveDetector(t *testing.T) {
+	reg := obs.NewRegistry()
+	d1, _, _ := detectorFixture(t)
+	d1.Instrument(reg, obs.L("shard", "0"))
+	if err := d1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Submit(mkEvent(tB)); err != nil { // no tB source: dropped
+		t.Fatal(err)
+	}
+	d1.Stop()
+	if d1.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", d1.Dropped())
+	}
+
+	d2, _, _ := detectorFixture(t)
+	d2.Instrument(reg, obs.L("shard", "0"))
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `cmi_cedmos_dropped_total{shard="0"} 0`) {
+		t.Fatalf("dropped series still samples the dead detector:\n%s", b.String())
 	}
 }
 

@@ -92,16 +92,62 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
+// routeSeries caches one route's HTTP instruments so the steady-state
+// request path never touches the registry (register takes the registry's
+// exclusive lock and builds label keys). byClass is indexed by the status
+// code's hundreds digit and filled lazily under the owning map's lock.
+type routeSeries struct {
+	latency *obs.Histogram
+	byClass [6]*obs.Counter
+}
+
+// httpClassLabel maps a status code's hundreds digit to its label value.
+var httpClassLabel = [6]string{"0xx", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
 // instrument wraps the mux with the HTTP metric series: request count
 // by route and status class, request latency by route, and the
 // in-flight gauge. The route label is the mux pattern (not the raw
-// URL), keeping the series cardinality bounded.
+// URL), keeping the series cardinality bounded. Instruments are cached
+// per (route, status class) behind a read-locked map, so after a route's
+// first request the hot path is two map hits and three atomic ops.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	reg := s.sys.Metrics()
 	if reg == nil {
 		return next
 	}
 	inFlight := reg.Gauge("cmi_http_in_flight", "Requests currently being served.")
+	var (
+		mu     sync.RWMutex
+		routes = make(map[string]*routeSeries)
+	)
+	lookup := func(route string, class int) (*obs.Counter, *obs.Histogram) {
+		mu.RLock()
+		rs := routes[route]
+		var c *obs.Counter
+		if rs != nil {
+			c = rs.byClass[class]
+		}
+		mu.RUnlock()
+		if c != nil {
+			return c, rs.latency
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		rs = routes[route]
+		if rs == nil {
+			rs = &routeSeries{latency: reg.Histogram("cmi_http_request_seconds",
+				"API request latency by route pattern.",
+				nil, obs.L("route", route))}
+			routes[route] = rs
+		}
+		if rs.byClass[class] == nil {
+			rs.byClass[class] = reg.Counter("cmi_http_requests_total",
+				"API requests by route pattern and status class.",
+				obs.L("code", httpClassLabel[class]),
+				obs.L("route", route))
+		}
+		return rs.byClass[class], rs.latency
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		inFlight.Inc()
 		defer inFlight.Dec()
@@ -112,13 +158,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if route == "" {
 			route = "unmatched"
 		}
-		reg.Counter("cmi_http_requests_total",
-			"API requests by route pattern and status class.",
-			obs.L("code", fmt.Sprintf("%dxx", sr.code/100)),
-			obs.L("route", route)).Inc()
-		reg.Histogram("cmi_http_request_seconds",
-			"API request latency by route pattern.",
-			nil, obs.L("route", route)).Observe(time.Since(t0))
+		class := sr.code / 100
+		if class < 0 || class >= len(httpClassLabel) {
+			class = 0
+		}
+		c, h := lookup(route, class)
+		c.Inc()
+		h.Observe(time.Since(t0))
 	})
 }
 

@@ -16,7 +16,9 @@
 //  2. No third-party modules; exposition is written by hand.
 //  3. Registration is idempotent per (name, labels) so layers can be
 //     re-instrumented (e.g. awareness Start after Stop) without duplicate
-//     series.
+//     series. Instrument series return the original instrument; sampled
+//     series (CounterFunc/GaugeFunc) replace their callback so the series
+//     always reflects the live instance.
 package obs
 
 import (
@@ -197,7 +199,11 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
-	sample  func() float64 // CounterFunc / GaugeFunc
+	// sample holds a CounterFunc / GaugeFunc callback. It is atomic
+	// because re-registration replaces the callback (a layer rebuilt
+	// after a Stop/Start cycle must not leave the series sampling dead
+	// objects) while WriteTo reads it without the registry lock.
+	sample atomic.Pointer[func() float64]
 }
 
 // family groups all series sharing a metric name.
@@ -252,15 +258,35 @@ func (r *Registry) familyLocked(name, help string, kind metricKind) *family {
 	return f
 }
 
+// lookup is the read-locked fast path of register: callers that re-request
+// an existing series (e.g. per-request HTTP instruments) don't serialize
+// on the exclusive lock.
+func (r *Registry) lookup(name string, kind metricKind, key string) (*series, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.byName[name]
+	if !ok || f.kind != kind {
+		return nil, false
+	}
+	i, ok := f.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return f.series[i], true
+}
+
 // register adds (or returns the existing) series under the family.
 func (r *Registry) register(name, help string, kind metricKind, labels []Label, make func() *series) *series {
 	if r == nil {
 		return nil
 	}
+	key := labelKey(labels)
+	if s, ok := r.lookup(name, kind, key); ok {
+		return s
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.familyLocked(name, help, kind)
-	key := labelKey(labels)
 	if i, ok := f.byKey[key]; ok {
 		return f.series[i]
 	}
@@ -269,6 +295,32 @@ func (r *Registry) register(name, help string, kind metricKind, labels []Label, 
 	f.byKey[key] = len(f.series)
 	f.series = append(f.series, s)
 	return s
+}
+
+// registerSample registers a sampled series. Unlike instrument series,
+// re-registering an existing sampled series replaces its callback: the
+// sampled object may have been rebuilt (e.g. a detector pool recreated by
+// an awareness engine restart), and the old closure would otherwise keep
+// sampling the dead instance forever.
+func (r *Registry) registerSample(name, help string, kind metricKind, labels []Label, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, kind)
+	key := labelKey(labels)
+	if i, ok := f.byKey[key]; ok {
+		s := f.series[i]
+		if s.counter == nil && s.gauge == nil && s.hist == nil {
+			s.sample.Store(&fn)
+		}
+		return
+	}
+	s := &series{labels: labels}
+	s.sample.Store(&fn)
+	f.byKey[key] = len(f.series)
+	f.series = append(f.series, s)
 }
 
 // Counter registers (idempotently) and returns a counter series. A nil
@@ -308,15 +360,19 @@ func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels 
 // CounterFunc registers a counter series sampled by fn at exposition
 // time — for values another component already counts atomically (e.g.
 // graph node counters), so the hot path pays nothing extra.
+// Re-registering an existing sampled series replaces its callback, so a
+// rebuilt layer takes over the series instead of leaving it sampling the
+// old instance.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
-	r.register(name, help, kindCounter, labels, func() *series { return &series{sample: fn} })
+	r.registerSample(name, help, kindCounter, labels, fn)
 }
 
 // GaugeFunc registers a gauge series sampled by fn at exposition time —
 // for instantaneous values like queue depths. fn must not call back into
-// this registry.
+// this registry. Re-registration replaces the callback, as with
+// CounterFunc.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
-	r.register(name, help, kindGauge, labels, func() *series { return &series{sample: fn} })
+	r.registerSample(name, help, kindGauge, labels, fn)
 }
 
 // A CounterVec is a family of counters distinguished by one variable
@@ -411,11 +467,36 @@ func formatFloat(v float64) string {
 	}
 }
 
+// famSnapshot is one family captured under the registry read lock, with
+// its own copy of the series slice.
+type famSnapshot struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
 // WriteTo renders the Prometheus text exposition (families sorted by
 // name, series in registration order) and implements io.WriterTo.
+//
+// Families AND their series slices are snapshotted under the read lock
+// before rendering: register appends to family.series under the write
+// lock, and series are created lazily at request time (HTTP instruments,
+// CounterVec.With), so iterating the live slices unlocked would race a
+// concurrent scrape against traffic. Rendering itself runs outside the
+// lock because sample callbacks may take component locks that are also
+// held while registering (lock-order inversion otherwise).
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	r.mu.RLock()
-	fams := append([]*family(nil), r.families...)
+	fams := make([]famSnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, famSnapshot{
+			name:   f.name,
+			help:   f.help,
+			kind:   f.kind,
+			series: append([]*series(nil), f.series...),
+		})
+	}
 	r.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
@@ -448,8 +529,9 @@ func seriesValue(s *series) float64 {
 		return float64(s.counter.Value())
 	case s.gauge != nil:
 		return s.gauge.Value()
-	case s.sample != nil:
-		return s.sample()
+	}
+	if fn := s.sample.Load(); fn != nil {
+		return (*fn)()
 	}
 	return 0
 }

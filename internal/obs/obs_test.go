@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -157,6 +158,77 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	if r.Counter("cmi_conc2_total", "").Value() != 8000 {
 		t.Fatal("counter lost increments")
+	}
+}
+
+// TestConcurrentScrapeAndRegistration races WriteTo against lazy series
+// creation (new label sets, new families, sampled series) — the shape of
+// a /api/metrics scrape under live HTTP traffic. Run with -race; the
+// regression was WriteTo iterating family.series unlocked while register
+// appended to it.
+func TestConcurrentScrapeAndRegistration(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cmi_lazy_total", "", "k")
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			_, _ = r.WriteTo(&b)
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				id := fmt.Sprintf("%d-%d", i, j)
+				v.With(id).Inc()
+				r.Counter("cmi_lazy2_total", "", L("n", id)).Inc()
+				r.Histogram("cmi_lazy_seconds", "", nil, L("n", id)).Observe(time.Millisecond)
+				r.GaugeFunc("cmi_lazy_depth", "", func() float64 { return 1 }, L("n", id))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	scraper.Wait()
+}
+
+// TestSampleReplacement pins the re-registration contract: sampled series
+// replace their callback (so a rebuilt layer takes over the series), while
+// real instruments are never displaced by a later sampled registration.
+func TestSampleReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("cmi_live_depth", "", func() float64 { return 1 }, L("shard", "0"))
+	r.GaugeFunc("cmi_live_depth", "", func() float64 { return 2 }, L("shard", "0"))
+	r.CounterFunc("cmi_live_total", "", func() float64 { return 10 })
+	r.CounterFunc("cmi_live_total", "", func() float64 { return 20 })
+	c := r.Counter("cmi_real_total", "")
+	c.Add(7)
+	r.CounterFunc("cmi_real_total", "", func() float64 { return 99 })
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `cmi_live_depth{shard="0"} 2`) {
+		t.Fatalf("gauge sample not replaced:\n%s", out)
+	}
+	if !strings.Contains(out, "cmi_live_total 20") {
+		t.Fatalf("counter sample not replaced:\n%s", out)
+	}
+	if !strings.Contains(out, "cmi_real_total 7") {
+		t.Fatalf("real counter displaced by sampled registration:\n%s", out)
 	}
 }
 

@@ -180,14 +180,21 @@ func (s *System) Store() *delivery.Store { return s.store }
 // from it).
 func (s *System) RegisterProcess(p *core.ProcessSchema) error { return s.schemas.Register(p) }
 
-// DefineAwareness adds awareness schemas; call before Start.
+// DefineAwareness adds awareness schemas. Like LoadSpec it refuses to run
+// after Start (ErrStarted): the awareness engine compiles its detection
+// graph at Start, so schemas defined later could never arm — and a first
+// post-Start definition would flip hasSchemas on a system whose engine
+// never started, wedging Health at unhealthy.
 func (s *System) DefineAwareness(schemas ...*awareness.Schema) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("cmi: cannot define awareness schemas: %w", ErrStarted)
+	}
 	if err := s.aware.Define(schemas...); err != nil {
 		return err
 	}
-	s.mu.Lock()
 	s.hasSchemas = true
-	s.mu.Unlock()
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/mcc-cmi/cmi/internal/awareness"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
 
@@ -149,6 +150,24 @@ func TestConcurrentLoadSpecStart(t *testing.T) {
 			t.Fatalf("load: %v", loadErr)
 		}
 		s.Close()
+	}
+}
+
+// TestDefineAwarenessAfterStartRejected mirrors the LoadSpec guard: a
+// post-Start define must fail with ErrStarted and must not flip the
+// has-schemas flag — on a system with no awareness schemas the engine
+// never started, so a flipped flag would wedge Health at unhealthy.
+func TestDefineAwarenessAfterStartRejected(t *testing.T) {
+	s := newTestSystem(t)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := s.DefineAwareness(&awareness.Schema{Name: "Late"})
+	if !errors.Is(err, ErrStarted) {
+		t.Fatalf("DefineAwareness after Start = %v, want ErrStarted", err)
+	}
+	if h := s.Health(); !h.Healthy {
+		t.Fatalf("health after rejected define = %+v, want healthy", h)
 	}
 }
 
