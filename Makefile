@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench cover examples experiments clean
+.PHONY: all check build vet test race bench cover docs examples experiments clean
 
-all: build vet test race
+all: build vet test race docs
 
 # The one gate to run before pushing: static checks plus the race-enabled
-# test suite.
-check: vet race
+# test suite and the docs-consistency guard.
+check: vet race docs
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,11 @@ bench:
 
 cover:
 	$(GO) test -cover ./...
+
+# Docs-consistency guard: every registered cmi_* metric must be
+# documented in docs/OPERATIONS.md.
+docs:
+	$(GO) test -run TestMetricsDocumented .
 
 examples:
 	$(GO) run ./examples/quickstart

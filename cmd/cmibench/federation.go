@@ -1,0 +1,282 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/crisis"
+	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// federationResilience measures the store-and-forward federation edge
+// under failure: a local domain runs the Section 5.4 deadline-violation
+// scenario and forwards every detected awareness event to a participant
+// of a second, remote domain. A fault-injecting transport then drives
+// the failure modes of the resilience layer:
+//
+//	phase 1 (flaky):     a 5xx burst plus dropped responses — retries
+//	                     with backoff and idempotency-key dedup carry
+//	                     every notification across.
+//	phase 2 (blackhole): the remote domain vanishes mid-run; the
+//	                     circuit breaker opens, local detection and
+//	                     local delivery continue, notifications pile up
+//	                     in the durable spool.
+//	phase 3 (recovery):  the domain returns; the healthz probe closes
+//	                     the breaker and the spool drains. Exactly-once
+//	                     delivery is checked against the remote queue.
+//
+// It writes BENCH_federation.json with time-to-open, recovery time and
+// retry-overhead numbers.
+func federationResilience() error {
+	header("Federation resilience — retry, circuit breaking, store-and-forward")
+
+	const perPhase = 40
+
+	// Remote domain: a second enactment system behind its own
+	// federation server. Only its notification store is exercised —
+	// forwarded notifications land in the "mirror" participant's
+	// durable queue.
+	remoteDir, err := os.MkdirTemp("", "cmi-fed-remote-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(remoteDir)
+	remoteSys, err := cmi.New(cmi.Config{Clock: vclock.NewSystem(), StateDir: remoteDir})
+	if err != nil {
+		return err
+	}
+	defer remoteSys.Close()
+	if err := remoteSys.Start(); err != nil { // healthz answers 200 only once started
+		return err
+	}
+	remoteSrv := httptest.NewServer(cmi.NewFederationServer(remoteSys).Handler())
+	defer remoteSrv.Close()
+
+	// Local domain: synchronous in-line detection (Shards ≤ 1) so every
+	// SetContextField returns with its detection done and the follow-on
+	// forwarding hook launched; DeliveryAgent().Wait() then joins the
+	// hooks.
+	clk := vclock.NewVirtual()
+	localSys, err := cmi.New(cmi.Config{Clock: clk})
+	if err != nil {
+		return err
+	}
+	defer localSys.Close()
+	model, err := crisis.NewModel()
+	if err != nil {
+		return err
+	}
+	if err := localSys.RegisterProcess(model.TaskForce); err != nil {
+		return err
+	}
+	if err := localSys.DefineAwareness(model.Awareness[0]); err != nil {
+		return err
+	}
+	staff, err := crisis.SeedStaff(localSys, 2)
+	if err != nil {
+		return err
+	}
+
+	// The forwarder's transport is where faults are injected; the same
+	// faulty client serves the resilience layer's healthz probes, so a
+	// blackholed domain is blackholed for probes too.
+	faultRT := federation.NewFaultRT(nil)
+	faultClient := &http.Client{Transport: faultRT}
+	policy := federation.Policy{
+		MaxAttempts:      3,
+		AttemptTimeout:   100 * time.Millisecond,
+		BaseBackoff:      10 * time.Millisecond,
+		MaxBackoff:       100 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  200 * time.Millisecond,
+		ProbeInterval:    50 * time.Millisecond,
+	}
+	res := federation.NewResilience(remoteSrv.URL, policy, faultClient, nil)
+	defer res.Close()
+	spoolDir, err := os.MkdirTemp("", "cmi-fed-spool-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(spoolDir)
+	fwd, err := federation.NewForwarder(federation.ForwarderConfig{
+		Client:    federation.NewRemoteClient(remoteSrv.URL, faultClient).WithResilience(res),
+		SpoolPath: filepath.Join(spoolDir, "spool.jsonl"),
+		Interval:  25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer fwd.Close()
+	localSys.OnDetection(fwd.Hook("mirror"))
+
+	if err := localSys.Start(); err != nil {
+		return err
+	}
+	pi, err := localSys.StartProcess("TaskForce", staff.Leader)
+	if err != nil {
+		return err
+	}
+	co := localSys.Coordination()
+	var organize string
+	for _, ai := range co.ActivitiesOf(pi.ID()) {
+		organize = ai.ID
+	}
+	if err := co.Start(organize, staff.Leader); err != nil {
+		return err
+	}
+	if err := co.Complete(organize, staff.Leader); err != nil {
+		return err
+	}
+	var reqID string
+	for _, ai := range co.ActivitiesOf(pi.ID()) {
+		if ai.Var == "RequestInfo" {
+			reqID = ai.ID
+		}
+	}
+	if err := co.Start(reqID, staff.Leader); err != nil {
+		return err
+	}
+	requestor := staff.Epidemiologists[0]
+	if err := localSys.SetScopedRole(reqID, "irc", "Requestor", requestor); err != nil {
+		return err
+	}
+	t0 := clk.Now()
+	if err := localSys.SetContextField(reqID, "irc", "RequestDeadline", t0.Add(1000*time.Hour)); err != nil {
+		return err
+	}
+
+	// Each move of the task-force deadline below the request deadline
+	// refires the Compare2 operator: one detection, one local delivery
+	// to the scoped Requestor, one forwarded notification.
+	fired := 0
+	detect := func(n int) error {
+		for i := 0; i < n; i++ {
+			fired++
+			deadline := t0.Add(time.Duration(fired) * time.Hour)
+			if err := localSys.SetContextField(pi.ID(), "tfc", "TaskForceDeadline", deadline); err != nil {
+				return err
+			}
+		}
+		localSys.DeliveryAgent().Wait()
+		return nil
+	}
+	waitDrain := func(timeout time.Duration) (time.Duration, error) {
+		start := time.Now()
+		for fwd.Depth() > 0 {
+			if time.Since(start) > timeout {
+				return 0, fmt.Errorf("spool did not drain: depth %d", fwd.Depth())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return time.Since(start), nil
+	}
+
+	// Phase 1 — flaky remote: a 503 burst and two dropped responses
+	// (server executed the push; the client never heard).
+	faultRT.FailNext(4)
+	faultRT.DropNext(2)
+	if err := detect(perPhase); err != nil {
+		return err
+	}
+	if _, err := waitDrain(10 * time.Second); err != nil {
+		return err
+	}
+	retriesFlaky := res.Retries()
+	_, dupFlaky, _ := fwd.Stats()
+	fmt.Printf("phase 1  flaky remote:     %3d forwarded, %d retries, %d duplicate push(es) deduplicated\n",
+		perPhase, retriesFlaky, dupFlaky)
+
+	// Phase 2 — blackhole: requests (and healthz probes) hang until
+	// their per-attempt timeout.
+	faultRT.SetBlackhole(true)
+	holeStart := time.Now()
+	if err := detect(perPhase); err != nil {
+		return err
+	}
+	var timeToOpen time.Duration
+	for res.Breaker().State() != federation.BreakerOpen {
+		if time.Since(holeStart) > 10*time.Second {
+			return fmt.Errorf("breaker did not open; state %v", res.Breaker().State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	timeToOpen = time.Since(holeStart)
+	localPending := len(localSys.MustViewer(requestor))
+	localContinued := localPending == 2*perPhase
+	depth := fwd.Depth()
+	fmt.Printf("phase 2  blackhole:        breaker open after %s; %d notification(s) spooled;"+
+		" local viewer has %d/%d (local delivery unaffected)\n",
+		timeToOpen.Round(time.Millisecond), depth, localPending, 2*perPhase)
+
+	// Phase 3 — recovery: the healthz probe closes the breaker and the
+	// sweep drains the spool.
+	faultRT.SetBlackhole(false)
+	recovery, err := waitDrain(30 * time.Second)
+	if err != nil {
+		return err
+	}
+	remotePC := cmi.NewParticipantClient(remoteSrv.URL, "mirror", nil)
+	remoteNotifs, err := remotePC.Notifications()
+	if err != nil {
+		return err
+	}
+	delivered, duplicate, failed := fwd.Stats()
+	exactlyOnce := len(remoteNotifs) == 2*perPhase
+	fmt.Printf("phase 3  recovery:         spool drained in %s; remote queue has %d/%d (exactly once: %v)\n",
+		recovery.Round(time.Millisecond), len(remoteNotifs), 2*perPhase, exactlyOnce)
+	fmt.Printf("totals: pushes delivered=%d duplicate=%d failed=%d; retries=%d shed=%d\n",
+		delivered, duplicate, failed, res.Retries(), res.Shed())
+	if !localContinued {
+		return fmt.Errorf("local delivery degraded during outage: %d/%d", localPending, 2*perPhase)
+	}
+	if !exactlyOnce {
+		return fmt.Errorf("remote delivery not exactly-once: %d/%d", len(remoteNotifs), 2*perPhase)
+	}
+
+	out := struct {
+		Benchmark      string  `json:"benchmark"`
+		Workload       string  `json:"workload"`
+		Notifications  int     `json:"notifications"`
+		TimeToOpenMS   float64 `json:"timeToOpenMs"`
+		RecoveryMS     float64 `json:"recoveryMs"`
+		Retries        uint64  `json:"retries"`
+		RetryOverhead  float64 `json:"retryOverheadPerPush"`
+		Shed           uint64  `json:"shed"`
+		Delivered      uint64  `json:"delivered"`
+		Duplicates     uint64  `json:"duplicatesDeduplicated"`
+		FailedPushes   uint64  `json:"failedPushes"`
+		ExactlyOnce    bool    `json:"exactlyOnce"`
+		LocalContinued bool    `json:"localDeliveryContinued"`
+	}{
+		Benchmark: "federation-resilience",
+		Workload: fmt.Sprintf("%d awareness detections forwarded across domains; phase 1: 503 burst + dropped responses; "+
+			"phase 2: blackholed remote; phase 3: recovery via healthz probe", 2*perPhase),
+		Notifications:  2 * perPhase,
+		TimeToOpenMS:   float64(timeToOpen.Microseconds()) / 1000,
+		RecoveryMS:     float64(recovery.Microseconds()) / 1000,
+		Retries:        res.Retries(),
+		RetryOverhead:  float64(res.Retries()) / float64(2*perPhase),
+		Shed:           res.Shed(),
+		Delivered:      delivered,
+		Duplicates:     duplicate,
+		FailedPushes:   failed,
+		ExactlyOnce:    exactlyOnce,
+		LocalContinued: localContinued,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_federation.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_federation.json")
+	return nil
+}

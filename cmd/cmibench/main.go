@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness]
+//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation]
 package main
 
 import (
@@ -32,22 +32,23 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmibench: ")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation")
 	flag.Parse()
 
 	exps := map[string]func() error{
-		"fig1":      fig1,
-		"fig3":      fig3,
-		"fig4":      fig4,
-		"sec54":     sec54,
-		"sec7":      sec7,
-		"overload":  overload,
-		"ablation":  ablation,
-		"audit":     auditVsLive,
-		"awareness": awarenessSharded,
+		"fig1":       fig1,
+		"fig3":       fig3,
+		"fig4":       fig4,
+		"sec54":      sec54,
+		"sec7":       sec7,
+		"overload":   overload,
+		"ablation":   ablation,
+		"audit":      auditVsLive,
+		"awareness":  awarenessSharded,
+		"federation": federationResilience,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness"} {
+		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation"} {
 			if err := exps[name](); err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}

@@ -10,6 +10,12 @@
 // otherwise a designer client uploads them via POST /api/spec. With
 // -start the system starts immediately after loading the given specs;
 // otherwise a designer client starts it via POST /api/system/start.
+//
+// With -forward URL and -forward-participant ID, every detected
+// awareness event is also shipped to the federation server at URL for
+// that participant, store-and-forward: notifications are journaled to a
+// durable spool (-spool) and redelivered across remote outages under a
+// retry/backoff policy with a per-domain circuit breaker (-fed-* flags).
 package main
 
 import (
@@ -54,9 +60,21 @@ func run() error {
 		start  = flag.Bool("start", false, "start the system immediately after loading -spec files")
 		shards = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
 		specs  specList
+
+		forward     = flag.String("forward", "", "base URL of a remote CMI domain to forward awareness notifications to")
+		forwardPart = flag.String("forward-participant", "", "remote participant to deliver forwarded notifications to (required with -forward)")
+		spool       = flag.String("spool", "", "store-and-forward spool journal (default: STATE/spool.jsonl)")
+		fedAttempts = flag.Int("fed-attempts", 0, "max attempts per federation call (default: policy default)")
+		fedTimeout  = flag.Duration("fed-timeout", 0, "per-attempt timeout for federation calls (default: policy default)")
+		fedBreaker  = flag.Int("fed-breaker", 0, "consecutive failures opening the federation circuit breaker (default: policy default)")
+		fedCooldown = flag.Duration("fed-cooldown", 0, "open-breaker cooldown before a half-open trial (default: policy default)")
+		fedProbe    = flag.Duration("fed-probe", 0, "interval for /api/healthz probes while the breaker is open (default: policy default)")
 	)
 	flag.Var(&specs, "spec", "ADL specification file to preload (repeatable)")
 	flag.Parse()
+	if *forward != "" && *forwardPart == "" {
+		return fmt.Errorf("-forward requires -forward-participant")
+	}
 
 	sys, err := cmi.New(cmi.Config{
 		Clock:    vclock.NewSystem(),
@@ -81,6 +99,47 @@ func run() error {
 		log.Printf("loaded %s: %d process schema(s), %d awareness schema(s)",
 			path, len(spec.Processes), len(spec.Awareness))
 	}
+	if *forward != "" {
+		policy := federation.DefaultPolicy()
+		if *fedAttempts > 0 {
+			policy.MaxAttempts = *fedAttempts
+		}
+		if *fedTimeout > 0 {
+			policy.AttemptTimeout = *fedTimeout
+		}
+		if *fedBreaker > 0 {
+			policy.BreakerThreshold = *fedBreaker
+		}
+		if *fedCooldown > 0 {
+			policy.BreakerCooldown = *fedCooldown
+		}
+		if *fedProbe > 0 {
+			policy.ProbeInterval = *fedProbe
+		}
+		res := federation.NewResilience(*forward, policy, nil, sys.Metrics())
+		remote := federation.NewRemoteClient(*forward, nil).WithResilience(res)
+		spoolPath := *spool
+		if spoolPath == "" {
+			spoolPath = sys.StateDir() + "/spool.jsonl"
+		}
+		fwd, err := federation.NewForwarder(federation.ForwarderConfig{
+			Client:    remote,
+			SpoolPath: spoolPath,
+			Metrics:   sys.Metrics(),
+		})
+		if err != nil {
+			sys.Close()
+			return err
+		}
+		sys.OnDetection(fwd.Hook(*forwardPart))
+		sys.AddCloser(func() error {
+			defer res.Close()
+			return fwd.Close()
+		})
+		log.Printf("forwarding awareness notifications to %s for %s (spool: %s)",
+			*forward, *forwardPart, spoolPath)
+	}
+
 	srv := federation.NewServer(sys)
 	if *start {
 		if err := sys.Start(); err != nil {

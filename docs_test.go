@@ -1,0 +1,63 @@
+package cmi
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMetricsDocumented is the docs-consistency guard wired into `make
+// check`: every `cmi_*` metric name registered anywhere in non-test Go
+// code must be documented in docs/OPERATIONS.md's metrics catalog. A
+// new series without an operator-facing description fails the build.
+func TestMetricsDocumented(t *testing.T) {
+	docBytes, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("docs/OPERATIONS.md: %v", err)
+	}
+	doc := string(docBytes)
+
+	metricRe := regexp.MustCompile(`"(cmi_[a-z0-9_]+)"`)
+	found := map[string][]string{}
+	err = filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricRe.FindAllStringSubmatch(string(src), -1) {
+			found[m[1]] = append(found[m[1]], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("no cmi_* metric literals found in Go sources; the guard's scan is broken")
+	}
+	var missing []string
+	for name, files := range found {
+		if !strings.Contains(doc, name) {
+			missing = append(missing, name+" (registered in "+files[0]+")")
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("metrics registered in code but missing from docs/OPERATIONS.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+}

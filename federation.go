@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/obs"
 )
 
 // The federation layer (paper Figure 5) re-exported: the CMI Enactment
@@ -19,6 +20,55 @@ type (
 	// monitor, context access, awareness information viewer.
 	ParticipantClient = federation.ParticipantClient
 )
+
+// The federation resilience layer: retry/backoff policy, per-domain
+// circuit breaking, and store-and-forward delivery of awareness
+// notifications across domains.
+
+type (
+	// FederationPolicy bundles the resilience knobs for one remote
+	// domain (retries, backoff, budget, breaker, health probing).
+	FederationPolicy = federation.Policy
+	// FederationResilience applies a FederationPolicy to every call a
+	// client makes to one remote domain.
+	FederationResilience = federation.Resilience
+	// FederationBreaker is the per-domain circuit breaker.
+	FederationBreaker = federation.Breaker
+	// RemoteClient pushes awareness notifications into another domain.
+	RemoteClient = federation.RemoteClient
+	// Forwarder ships notifications to a remote domain with durable
+	// store-and-forward semantics and exactly-once delivery.
+	Forwarder = federation.Forwarder
+	// ForwarderConfig configures a Forwarder.
+	ForwarderConfig = federation.ForwarderConfig
+	// RemoteNotification is the cross-domain wire form of one
+	// notification, carrying its idempotency key.
+	RemoteNotification = federation.RemoteNotification
+	// MetricsRegistry is the observability registry (the type returned
+	// by System.Metrics).
+	MetricsRegistry = obs.Registry
+)
+
+// DefaultFederationPolicy returns the production resilience defaults.
+func DefaultFederationPolicy() FederationPolicy { return federation.DefaultPolicy() }
+
+// NewFederationResilience builds resilience state for one remote base
+// URL; reg may be nil.
+func NewFederationResilience(base string, p FederationPolicy, hc *http.Client, reg *MetricsRegistry) *FederationResilience {
+	return federation.NewResilience(base, p, hc, reg)
+}
+
+// NewRemoteClient connects a remote-delivery client to a federation
+// server.
+func NewRemoteClient(base string, hc *http.Client) *RemoteClient {
+	return federation.NewRemoteClient(base, hc)
+}
+
+// NewForwarder opens the spool and starts the background redelivery
+// loop.
+func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
+	return federation.NewForwarder(cfg)
+}
 
 // NewFederationServer wraps an un-started System in a federation server;
 // serve its Handler() with net/http.

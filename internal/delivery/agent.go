@@ -111,14 +111,7 @@ func (a *Agent) Consume(ev event.Event) {
 		a.fail(fmt.Errorf("delivery: role %q resolved to no participants", ev.String(event.PDeliveryRole)))
 		return
 	}
-	prio, _ := ev.Int64(event.PPriority)
-	n := Notification{
-		Time:        ev.Time(),
-		Schema:      ev.String(event.PSchemaName),
-		Description: ev.String(event.PDescription),
-		Params:      SanitizeParams(ev.Params),
-		Priority:    int(prio),
-	}
+	n := NotificationFromEvent(ev)
 	for _, u := range users {
 		if _, err := a.store.Enqueue(u, n); err != nil {
 			a.fail(err)
@@ -180,6 +173,21 @@ func (a *Agent) Stats() (delivered, undeliverable uint64, lastErr error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.delivered, a.undeliverable, a.lastErr
+}
+
+// NotificationFromEvent builds the queueable form of one TypeOutput
+// composite event — the same construction the delivery agent uses for
+// local queues, exported so cross-domain forwarders (the federation
+// store-and-forward spool) ship byte-identical notifications.
+func NotificationFromEvent(ev event.Event) Notification {
+	prio, _ := ev.Int64(event.PPriority)
+	return Notification{
+		Time:        ev.Time(),
+		Schema:      ev.String(event.PSchemaName),
+		Description: ev.String(event.PDescription),
+		Params:      SanitizeParams(ev.Params),
+		Priority:    int(prio),
+	}
 }
 
 // SanitizeParams converts event parameters to JSON-friendly values:

@@ -1,0 +1,97 @@
+package delivery
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEnqueueKeyedDedup: a repeated idempotency key is a no-op — the
+// notification is queued once no matter how often the push is replayed.
+func TestEnqueueKeyedDedup(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := Notification{Schema: "AS", Description: "remote"}
+	first, dup, err := s.EnqueueKeyed("p1", "dom-1", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup {
+		t.Fatal("first enqueue reported duplicate")
+	}
+	for i := 0; i < 3; i++ {
+		_, dup, err := s.EnqueueKeyed("p1", "dom-1", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dup {
+			t.Fatalf("replay %d not deduplicated", i)
+		}
+	}
+	// A different key, and an unkeyed enqueue, still go through.
+	if _, dup, err := s.EnqueueKeyed("p1", "dom-2", n); err != nil || dup {
+		t.Fatalf("distinct key: dup=%v err=%v", dup, err)
+	}
+	if _, err := s.Enqueue("p1", n); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := s.Pending("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 3 {
+		t.Fatalf("pending = %d notifications, want 3", len(pending))
+	}
+	if pending[0].ID != first.ID {
+		t.Fatalf("first pending ID = %d, want %d", pending[0].ID, first.ID)
+	}
+	// Keys are per participant queue: the same key for another
+	// participant is not a duplicate.
+	if _, dup, err := s.EnqueueKeyed("p2", "dom-1", n); err != nil || dup {
+		t.Fatalf("other participant: dup=%v err=%v", dup, err)
+	}
+}
+
+// TestEnqueueKeyedSurvivesReopen: idempotency keys are journaled with
+// their notifications and replayed on load, so dedup holds across a
+// server restart — the exactly-once guarantee the federation spool
+// relies on.
+func TestEnqueueKeyedSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, dup, err := s.EnqueueKeyed("p1", key, Notification{Description: key}); err != nil || dup {
+			t.Fatalf("enqueue %s: dup=%v err=%v", key, dup, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, dup, err := s2.EnqueueKeyed("p1", key, Notification{Description: key}); err != nil || !dup {
+			t.Fatalf("replay %s after reopen: dup=%v err=%v, want duplicate", key, dup, err)
+		}
+	}
+	if _, dup, err := s2.EnqueueKeyed("p1", "k-new", Notification{Description: "new"}); err != nil || dup {
+		t.Fatalf("fresh key after reopen: dup=%v err=%v", dup, err)
+	}
+	pending, err := s2.Pending("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 5 {
+		t.Fatalf("pending after reopen = %d, want 5 (4 originals + 1 new, no replays)", len(pending))
+	}
+}

@@ -53,14 +53,19 @@ type record struct {
 	Kind  string        `json:"kind"` // "notif" or "ack"
 	Notif *Notification `json:"notif,omitempty"`
 	AckID int64         `json:"ackId,omitempty"`
+	// Key is the idempotency key of a remotely pushed notification
+	// (EnqueueKeyed); replayed on load so redelivery after a crash on
+	// either side cannot duplicate a notification.
+	Key string `json:"key,omitempty"`
 }
 
 type queue struct {
 	path    string
 	file    *os.File
 	w       *bufio.Writer
-	notifs  []Notification // in id order
-	byID    map[int64]int  // id -> index in notifs
+	notifs  []Notification  // in id order
+	byID    map[int64]int   // id -> index in notifs
+	keys    map[string]bool // idempotency keys already enqueued
 	nextID  int64
 	watches []chan Notification
 }
@@ -144,7 +149,7 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 		return q, nil
 	}
 	path := filepath.Join(s.dir, url.PathEscape(participant)+".jsonl")
-	q := &queue{path: path, byID: make(map[int64]int), nextID: 1}
+	q := &queue{path: path, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
 	if err := q.load(); err != nil {
 		return nil, err
 	}
@@ -187,6 +192,9 @@ func (q *queue) load() error {
 			}
 			q.byID[r.Notif.ID] = len(q.notifs)
 			q.notifs = append(q.notifs, *r.Notif)
+			if r.Key != "" {
+				q.keys[r.Key] = true
+			}
 			if r.Notif.ID >= q.nextID {
 				q.nextID = r.Notif.ID + 1
 			}
@@ -226,22 +234,39 @@ func (q *queue) append(r record) error {
 // Enqueue appends a notification to the participant's queue and returns
 // it with its assigned id.
 func (s *Store) Enqueue(participant string, n Notification) (Notification, error) {
+	n, _, err := s.EnqueueKeyed(participant, "", n)
+	return n, err
+}
+
+// EnqueueKeyed appends a notification under an idempotency key, the
+// server side of cross-domain store-and-forward delivery: a key already
+// present in the participant's queue (including keys replayed from the
+// journal after a restart) makes the call a no-op reporting
+// duplicate=true, so a redelivered push lands exactly once. An empty key
+// behaves like Enqueue.
+func (s *Store) EnqueueKeyed(participant, key string, n Notification) (Notification, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return Notification{}, fmt.Errorf("delivery: store closed")
+		return Notification{}, false, fmt.Errorf("delivery: store closed")
 	}
 	q, err := s.queueLocked(participant)
 	if err != nil {
-		return Notification{}, err
+		return Notification{}, false, err
+	}
+	if key != "" && q.keys[key] {
+		return Notification{}, true, nil
 	}
 	n.ID = q.nextID
 	q.nextID++
-	if err := s.appendTimed(q, record{Kind: "notif", Notif: &n}); err != nil {
-		return Notification{}, err
+	if err := s.appendTimed(q, record{Kind: "notif", Notif: &n, Key: key}); err != nil {
+		return Notification{}, false, err
 	}
 	if m := s.metrics; m != nil {
 		m.enqueued.Inc()
+	}
+	if key != "" {
+		q.keys[key] = true
 	}
 	q.byID[n.ID] = len(q.notifs)
 	q.notifs = append(q.notifs, n)
@@ -251,7 +276,7 @@ func (s *Store) Enqueue(participant string, n Notification) (Notification, error
 		default: // slow watcher: drop rather than block delivery
 		}
 	}
-	return n, nil
+	return n, false, nil
 }
 
 // Pending returns the participant's unacknowledged notifications,

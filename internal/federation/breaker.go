@@ -1,0 +1,179 @@
+package federation
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes calls through normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits a single trial call after the cooldown.
+	BreakerHalfOpen
+	// BreakerOpen sheds calls without touching the network.
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// A Breaker is a per-remote-domain circuit breaker. It opens after
+// `threshold` consecutive failures, sheds every call for `cooldown`,
+// then admits one trial call (half-open); the trial's outcome closes or
+// reopens it. A threshold ≤ 0 disables the breaker entirely.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	trial    bool // half-open: trial call in flight
+	onChange func(BreakerState)
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// OnChange installs a state-transition callback, invoked with the new
+// state while the breaker's lock is NOT held.
+func (b *Breaker) OnChange(fn func(BreakerState)) {
+	b.mu.Lock()
+	b.onChange = fn
+	b.mu.Unlock()
+}
+
+// setLocked transitions state and returns the callback to run (or nil)
+// once the lock is released.
+func (b *Breaker) setLocked(s BreakerState) func() {
+	if b.state == s {
+		return nil
+	}
+	b.state = s
+	if b.onChange == nil {
+		return nil
+	}
+	fn := b.onChange
+	return func() { fn(s) }
+}
+
+// Allow reports whether a call may proceed. In the open state it flips
+// to half-open once the cooldown has elapsed; in the half-open state it
+// admits exactly one trial at a time.
+func (b *Breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
+			return false
+		}
+		notify := b.setLocked(BreakerHalfOpen)
+		b.trial = true
+		b.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+		return true
+	case BreakerHalfOpen:
+		if b.trial {
+			b.mu.Unlock()
+			return false
+		}
+		b.trial = true
+		b.mu.Unlock()
+		return true
+	default:
+		b.mu.Unlock()
+		return true
+	}
+}
+
+// Success records a successful exchange with the domain, closing the
+// breaker and resetting the failure streak.
+func (b *Breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.trial = false
+	notify := b.setLocked(BreakerClosed)
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Failure records a failed exchange. A half-open trial failure reopens
+// immediately; in the closed state `threshold` consecutive failures
+// open the breaker.
+func (b *Breaker) Failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	var notify func()
+	b.trial = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		notify = b.setLocked(BreakerOpen)
+	default:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			notify = b.setLocked(BreakerOpen)
+		}
+	}
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// Reset force-closes the breaker (used when an out-of-band health probe
+// confirms the domain is back).
+func (b *Breaker) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.failures = 0
+	b.trial = false
+	notify := b.setLocked(BreakerClosed)
+	b.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	if b == nil || b.threshold <= 0 {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

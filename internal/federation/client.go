@@ -2,6 +2,7 @@ package federation
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,10 +14,14 @@ import (
 	"github.com/mcc-cmi/cmi/internal/enact"
 )
 
-// client is the shared HTTP plumbing of both CMI clients.
+// client is the shared HTTP plumbing of the CMI clients. A zero ctx
+// means context.Background(); a nil res means one plain attempt per
+// call (no retries, no breaker).
 type client struct {
 	base string
 	http *http.Client
+	ctx  context.Context
+	res  *Resilience
 }
 
 func newClient(base string, hc *http.Client) client {
@@ -26,33 +31,88 @@ func newClient(base string, hc *http.Client) client {
 	return client{base: base, http: hc}
 }
 
+func (c client) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// statusError carries the HTTP status of a server-reported failure so
+// the retry policy can classify it (429/5xx retryable, 4xx not).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// drain consumes a response body (bounded: a malicious peer shouldn't
+// make us read forever) so the transport can return the connection to
+// the keep-alive pool instead of tearing it down.
+func drain(r io.Reader) { io.Copy(io.Discard, io.LimitReader(r, 1<<20)) }
+
+// do issues one API call. Idempotency for the retry policy is derived
+// from the method: GET and PUT are safe to repeat after an ambiguous
+// transport failure; POST is retried only when the server demonstrably
+// did not execute it (429/502/503/504), unless the call carries its own
+// idempotency key (doIdem — the remote notification push).
 func (c client) do(method, path string, in, out any) error {
-	var body io.Reader
+	return c.doRetry(method, path, in, out, method == http.MethodGet || method == http.MethodPut)
+}
+
+func (c client) doIdem(method, path string, in, out any) error {
+	return c.doRetry(method, path, in, out, true)
+}
+
+func (c client) doRetry(method, path string, in, out any, idempotent bool) error {
+	var body []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("federation: %w", err)
 		}
-		body = bytes.NewReader(b)
+		body = b
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	ctx := c.context()
+	if c.res == nil {
+		return c.attempt(ctx, method, path, body, in != nil, out)
+	}
+	return c.res.run(ctx, idempotent, func(actx context.Context) error {
+		return c.attempt(actx, method, path, body, in != nil, out)
+	})
+}
+
+// attempt performs one HTTP exchange. The response body is always
+// drained before close — even on error statuses — so the transport can
+// return the connection to the keep-alive pool instead of tearing it
+// down (a leaked connection per non-200 response otherwise).
+func (c client) attempt(ctx context.Context, method, path string, body []byte, hasBody bool, out any) error {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("federation: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("federation: %w", err)
 	}
-	defer resp.Body.Close()
+	defer func() {
+		drain(resp.Body)
+		resp.Body.Close()
+	}()
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		if err := json.NewDecoder(resp.Body).Decode(&eb); err == nil && eb.Error != "" {
-			return fmt.Errorf("federation: server: %s", eb.Error)
+			return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("federation: server: %s", eb.Error)}
 		}
-		return fmt.Errorf("federation: server returned %s", resp.Status)
+		return &statusError{code: resp.StatusCode, msg: fmt.Sprintf("federation: server returned %s", resp.Status)}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -72,6 +132,22 @@ type DesignerClient struct {
 // NewDesignerClient connects a designer client to a federation server.
 func NewDesignerClient(base string, hc *http.Client) *DesignerClient {
 	return &DesignerClient{newClient(base, hc)}
+}
+
+// WithContext returns a copy whose calls are bound to ctx (deadline and
+// cancellation).
+func (c *DesignerClient) WithContext(ctx context.Context) *DesignerClient {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// WithResilience returns a copy whose calls run under the given retry /
+// breaker policy.
+func (c *DesignerClient) WithResilience(r *Resilience) *DesignerClient {
+	cp := *c
+	cp.res = r
+	return &cp
 }
 
 // LoadSpec uploads ADL source text.
@@ -113,6 +189,22 @@ type ParticipantClient struct {
 // NewParticipantClient connects a participant client.
 func NewParticipantClient(base, participant string, hc *http.Client) *ParticipantClient {
 	return &ParticipantClient{newClient(base, hc), participant}
+}
+
+// WithContext returns a copy whose calls are bound to ctx (deadline and
+// cancellation).
+func (c *ParticipantClient) WithContext(ctx context.Context) *ParticipantClient {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// WithResilience returns a copy whose calls run under the given retry /
+// breaker policy.
+func (c *ParticipantClient) WithResilience(r *Resilience) *ParticipantClient {
+	cp := *c
+	cp.res = r
+	return &cp
 }
 
 // Participant returns who this client acts as.

@@ -1,0 +1,165 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A FaultRT is a fault-injecting http.RoundTripper for failure-mode
+// testing and the federation benchmark. Faults are applied in order:
+// latency, blackhole, queued transport errors, queued 5xx responses,
+// random error rate, then (optionally) dropping the real response after
+// the inner round trip — the "server executed it but the client never
+// heard" case that exercises idempotent redelivery.
+type FaultRT struct {
+	inner http.RoundTripper
+
+	mu        sync.Mutex
+	blackhole bool
+	failNext  int // synthetic 503s remaining
+	errNext   int // synthetic connection errors remaining
+	dropNext  int // real responses to discard after the inner call
+	errRate   float64
+	latency   time.Duration
+
+	attempts atomic.Uint64 // round trips entering the fault layer
+	served   atomic.Uint64 // round trips answered by the inner transport
+}
+
+// NewFaultRT wraps inner (nil for http.DefaultTransport).
+func NewFaultRT(inner http.RoundTripper) *FaultRT {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultRT{inner: inner}
+}
+
+// SetBlackhole makes requests hang until their context is done,
+// simulating a silent network partition.
+func (f *FaultRT) SetBlackhole(on bool) {
+	f.mu.Lock()
+	f.blackhole = on
+	f.mu.Unlock()
+}
+
+// FailNext makes the next n requests fail with a synthetic 503 without
+// reaching the server.
+func (f *FaultRT) FailNext(n int) {
+	f.mu.Lock()
+	f.failNext = n
+	f.mu.Unlock()
+}
+
+// ErrNext makes the next n requests fail with a synthetic connection
+// error.
+func (f *FaultRT) ErrNext(n int) {
+	f.mu.Lock()
+	f.errNext = n
+	f.mu.Unlock()
+}
+
+// DropNext lets the next n requests reach the server but discards the
+// responses, surfacing a transport error instead: the server state
+// changed, the client cannot know.
+func (f *FaultRT) DropNext(n int) {
+	f.mu.Lock()
+	f.dropNext = n
+	f.mu.Unlock()
+}
+
+// SetErrorRate injects random connection errors with probability p.
+func (f *FaultRT) SetErrorRate(p float64) {
+	f.mu.Lock()
+	f.errRate = p
+	f.mu.Unlock()
+}
+
+// SetLatency adds a fixed delay before every request.
+func (f *FaultRT) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	f.latency = d
+	f.mu.Unlock()
+}
+
+// Attempts returns how many round trips entered the fault layer.
+func (f *FaultRT) Attempts() uint64 { return f.attempts.Load() }
+
+// Served returns how many round trips the inner transport answered
+// (including dropped responses — the server did the work).
+func (f *FaultRT) Served() uint64 { return f.served.Load() }
+
+type faultErr struct{ msg string }
+
+func (e *faultErr) Error() string   { return e.msg }
+func (e *faultErr) Timeout() bool   { return false }
+func (e *faultErr) Temporary() bool { return true }
+
+// RoundTrip implements http.RoundTripper.
+func (f *FaultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.attempts.Add(1)
+	f.mu.Lock()
+	latency := f.latency
+	blackhole := f.blackhole
+	fail := f.failNext > 0
+	if fail {
+		f.failNext--
+	}
+	conn := !fail && f.errNext > 0
+	if conn {
+		f.errNext--
+	}
+	drop := !fail && !conn && f.dropNext > 0
+	if drop {
+		f.dropNext--
+	}
+	rate := f.errRate
+	f.mu.Unlock()
+
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	if blackhole {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	if conn || (rate > 0 && rand.Float64() < rate) {
+		return nil, &faultErr{msg: "faultrt: injected connection error"}
+	}
+	if fail {
+		body := `{"error":"injected overload"}`
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", http.StatusServiceUnavailable, http.StatusText(http.StatusServiceUnavailable)),
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	}
+	resp, err := f.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	f.served.Add(1)
+	if drop {
+		drain(resp.Body)
+		resp.Body.Close()
+		return nil, &faultErr{msg: "faultrt: response dropped"}
+	}
+	return resp, nil
+}

@@ -1,0 +1,362 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/obs"
+)
+
+// ErrUnavailable is returned (wrapped) when the circuit breaker for a
+// remote domain is open and the call was shed without touching the
+// network.
+var ErrUnavailable = errors.New("federation: remote domain unavailable (breaker open)")
+
+// A Policy bundles the resilience knobs for one remote domain.
+type Policy struct {
+	// MaxAttempts caps attempts per call, first try included. ≤ 1
+	// disables retries.
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt; 0 leaves only the
+	// caller's context deadline.
+	AttemptTimeout time.Duration
+	// BaseBackoff and MaxBackoff shape the exponential backoff with
+	// full jitter: attempt k sleeps rand[0, min(MaxBackoff,
+	// BaseBackoff·2^(k-1))].
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryBudget is a token bucket shared by all calls through the
+	// same Resilience: each retry spends one token, each first-attempt
+	// success refunds RetryRefund. An empty bucket fails fast instead
+	// of amplifying load on a struggling domain. ≤ 0 disables the
+	// budget.
+	RetryBudget int
+	RetryRefund float64
+	// BreakerThreshold consecutive failures open the circuit; it sheds
+	// calls for BreakerCooldown before admitting a half-open trial.
+	// ≤ 0 disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval is how often an open breaker actively probes the
+	// domain's /api/healthz; a 200 closes the breaker without waiting
+	// for traffic. 0 disables probing.
+	ProbeInterval time.Duration
+}
+
+// DefaultPolicy returns conservative production defaults.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:      4,
+		AttemptTimeout:   5 * time.Second,
+		BaseBackoff:      50 * time.Millisecond,
+		MaxBackoff:       2 * time.Second,
+		RetryBudget:      16,
+		RetryRefund:      0.5,
+		BreakerThreshold: 5,
+		BreakerCooldown:  2 * time.Second,
+		ProbeInterval:    time.Second,
+	}
+}
+
+// A Resilience applies one Policy to every call a client makes to one
+// remote domain: retry with backoff, retry budget, circuit breaking,
+// and health probing. Attach it to a client with WithResilience; a
+// single Resilience may be shared by several clients talking to the
+// same base URL.
+type Resilience struct {
+	policy  Policy
+	base    string
+	domain  string
+	breaker *Breaker
+	http    *http.Client
+
+	mu     sync.Mutex
+	budget float64
+
+	retriesN atomic.Uint64
+	shedN    atomic.Uint64
+
+	retries  *obs.Counter
+	shed     *obs.Counter
+	brkState *obs.Gauge
+
+	probeMu   sync.Mutex
+	probing   bool
+	probeStop chan struct{}
+	closed    bool
+}
+
+// NewResilience builds the resilience state for one remote base URL.
+// hc is the client used for health probes (nil for a short-timeout
+// default); reg receives the federation metrics and may be nil.
+func NewResilience(base string, p Policy, hc *http.Client, reg *obs.Registry) *Resilience {
+	domain := base
+	if u, err := url.Parse(base); err == nil && u.Host != "" {
+		domain = u.Host
+	}
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	r := &Resilience{
+		policy:  p,
+		base:    base,
+		domain:  domain,
+		breaker: NewBreaker(p.BreakerThreshold, p.BreakerCooldown),
+		http:    hc,
+		budget:  float64(p.RetryBudget),
+	}
+	if reg != nil {
+		lbl := obs.L("domain", domain)
+		r.retries = reg.Counter("cmi_federation_retries_total",
+			"Retry attempts (beyond the first try) against a remote domain.", lbl)
+		r.shed = reg.Counter("cmi_federation_shed_total",
+			"Calls shed without a network attempt because the breaker was open.", lbl)
+		r.brkState = reg.Gauge("cmi_federation_breaker_state",
+			"Circuit breaker position per remote domain (0 closed, 1 half-open, 2 open).", lbl)
+	}
+	r.breaker.OnChange(func(s BreakerState) {
+		r.brkState.Set(float64(s))
+		if s == BreakerOpen {
+			r.startProbe()
+		}
+	})
+	return r
+}
+
+// Domain returns the remote domain label (host of the base URL).
+func (r *Resilience) Domain() string { return r.domain }
+
+// Breaker exposes the underlying circuit breaker (read state, force
+// reset).
+func (r *Resilience) Breaker() *Breaker { return r.breaker }
+
+// Retries returns how many retry attempts (beyond first tries) were
+// issued so far.
+func (r *Resilience) Retries() uint64 { return r.retriesN.Load() }
+
+// Shed returns how many calls were rejected by the open breaker.
+func (r *Resilience) Shed() uint64 { return r.shedN.Load() }
+
+// Close stops the background health probe, if any.
+func (r *Resilience) Close() {
+	r.probeMu.Lock()
+	r.closed = true
+	if r.probing {
+		close(r.probeStop)
+		r.probing = false
+	}
+	r.probeMu.Unlock()
+}
+
+// spendRetry takes a token from the retry budget; it reports false when
+// the budget is exhausted (retry should be skipped, failing fast).
+func (r *Resilience) spendRetry() bool {
+	if r.policy.RetryBudget <= 0 {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.budget < 1 {
+		return false
+	}
+	r.budget--
+	return true
+}
+
+// refund returns fractional tokens to the budget on success.
+func (r *Resilience) refund() {
+	if r.policy.RetryBudget <= 0 || r.policy.RetryRefund <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.budget += r.policy.RetryRefund
+	if max := float64(r.policy.RetryBudget); r.budget > max {
+		r.budget = max
+	}
+	r.mu.Unlock()
+}
+
+// classify decides whether an attempt error warrants a retry and
+// whether it counts as a domain failure for the breaker.
+func classify(err error, idempotent bool) (retryable, breakerFailure bool) {
+	var se *statusError
+	if errors.As(err, &se) {
+		switch se.code {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			// The server demonstrably did not execute the call —
+			// retryable even for non-idempotent methods.
+			return true, true
+		default:
+			if se.code >= 500 {
+				return idempotent, true
+			}
+			// Other 4xx: the domain answered; the request is just
+			// wrong. Not a failure, not retryable.
+			return false, false
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The *caller's* context may have expired, or the per-attempt
+		// timeout fired. Either way the outcome on the server is
+		// unknown: only idempotent calls may retry. The breaker counts
+		// it — a domain that times out is as bad as one refusing
+		// connections.
+		return idempotent, true
+	}
+	// Transport-level error (connection refused, reset, DNS): outcome
+	// ambiguous for non-idempotent calls.
+	return idempotent, true
+}
+
+// run executes attempt under the policy. The breaker is consulted once
+// per attempt; backoff honors ctx cancellation.
+func (r *Resilience) run(ctx context.Context, idempotent bool, attempt func(context.Context) error) error {
+	var lastErr error
+	for try := 1; ; try++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return fmt.Errorf("federation: %w", err)
+		}
+		if !r.breaker.Allow() {
+			r.shedN.Add(1)
+			r.shed.Inc()
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", ErrUnavailable, lastErr)
+			}
+			return ErrUnavailable
+		}
+		actx := ctx
+		var cancel context.CancelFunc
+		if r.policy.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, r.policy.AttemptTimeout)
+		}
+		err := attempt(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			r.breaker.Success()
+			if try == 1 {
+				r.refund()
+			}
+			return nil
+		}
+		lastErr = err
+		retryable, brkFail := classify(err, idempotent)
+		if ctx.Err() != nil {
+			// The caller's own context expired — don't blame the
+			// domain for our deadline, and don't retry.
+			return err
+		}
+		if brkFail {
+			r.breaker.Failure()
+		} else {
+			// The domain responded coherently (a 4xx): it is alive.
+			r.breaker.Success()
+		}
+		if !retryable || try >= r.policy.MaxAttempts {
+			return err
+		}
+		if !r.spendRetry() {
+			return fmt.Errorf("federation: retry budget exhausted: %w", err)
+		}
+		r.retriesN.Add(1)
+		r.retries.Inc()
+		if err := sleepBackoff(ctx, r.policy.BaseBackoff, r.policy.MaxBackoff, try); err != nil {
+			return lastErr
+		}
+	}
+}
+
+// sleepBackoff sleeps the full-jitter backoff for attempt `try`
+// (1-based), returning early with ctx.Err() on cancellation.
+func sleepBackoff(ctx context.Context, base, max time.Duration, try int) error {
+	if base <= 0 {
+		return nil
+	}
+	cap := base << uint(try-1)
+	if cap <= 0 || (max > 0 && cap > max) {
+		cap = max
+	}
+	if cap <= 0 {
+		return nil
+	}
+	d := rand.N(cap + 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// startProbe launches the /api/healthz probe loop if not already
+// running. It runs while the breaker is open or half-open and exits as
+// soon as it closes (or Close is called).
+func (r *Resilience) startProbe() {
+	if r.policy.ProbeInterval <= 0 {
+		return
+	}
+	r.probeMu.Lock()
+	if r.probing || r.closed {
+		r.probeMu.Unlock()
+		return
+	}
+	r.probing = true
+	stop := make(chan struct{})
+	r.probeStop = stop
+	r.probeMu.Unlock()
+	go r.probeLoop(stop)
+}
+
+func (r *Resilience) probeLoop(stop chan struct{}) {
+	t := time.NewTicker(r.policy.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if r.breaker.State() == BreakerClosed {
+			r.probeMu.Lock()
+			if r.probeStop == stop {
+				r.probing = false
+			}
+			r.probeMu.Unlock()
+			return
+		}
+		if r.probeOnce() {
+			r.breaker.Reset()
+		}
+	}
+}
+
+// probeOnce GETs /api/healthz; true means the domain reported healthy.
+func (r *Resilience) probeOnce() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), r.policy.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/api/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.http.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	drain(resp.Body)
+	return resp.StatusCode == http.StatusOK
+}

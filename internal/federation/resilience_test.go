@@ -1,0 +1,455 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+)
+
+// tightPolicy keeps the failure-mode tests fast.
+func tightPolicy() Policy {
+	return Policy{
+		MaxAttempts:      3,
+		AttemptTimeout:   200 * time.Millisecond,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       5 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+	}
+}
+
+// TestClientDrainsErrorBodies is the keep-alive regression test for the
+// connection leak: before the fix, a non-200 response body was closed
+// unread, forcing the transport to tear down the connection; repeated
+// error responses each opened a fresh one.
+func TestClientDrainsErrorBodies(t *testing.T) {
+	var conns atomic.Int64
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		// A valid error body followed by padding the JSON decoder does
+		// not consume: only an explicit drain empties the connection.
+		w.Write([]byte(`{"error":"nope"}`))
+		w.Write([]byte(strings.Repeat(" ", 64*1024)))
+	}))
+	srv.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	srv.Start()
+	defer srv.Close()
+
+	pc := NewParticipantClient(srv.URL, "p1", &http.Client{Transport: &http.Transport{}})
+	for i := 0; i < 5; i++ {
+		if _, err := pc.Notifications(); err == nil {
+			t.Fatal("expected server error")
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("5 sequential error responses used %d connections, want 1 (keep-alive broken)", got)
+	}
+}
+
+// TestRetry5xxBurst: a transient 503 burst is retried with backoff and
+// the call ultimately succeeds.
+func TestRetry5xxBurst(t *testing.T) {
+	r := newRig(t)
+	rt := NewFaultRT(nil)
+	res := NewResilience(r.srv.URL, tightPolicy(), &http.Client{Transport: rt}, nil)
+	defer res.Close()
+	d := r.designer.WithResilience(res)
+	d.http = &http.Client{Transport: rt}
+
+	rt.FailNext(2)
+	if _, err := d.Schemas(); err != nil {
+		t.Fatalf("Schemas after 503 burst: %v", err)
+	}
+	if got := res.Retries(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if res.Breaker().State() != BreakerClosed {
+		t.Fatalf("breaker = %v after recovery, want closed", res.Breaker().State())
+	}
+}
+
+// TestNonIdempotentPOSTNotRetriedOn500: a plain 500 on a POST is
+// ambiguous (the server may have executed it) — no retry.
+func TestNonIdempotentPOSTNotRetriedOn500(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	p := tightPolicy()
+	p.BreakerThreshold = 0 // isolate retry classification from the breaker
+	res := NewResilience(srv.URL, p, nil, nil)
+	defer res.Close()
+	d := NewDesignerClient(srv.URL, srv.Client()).WithResilience(res)
+	if err := d.StartSystem(); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("POST attempted %d times on 500, want 1", got)
+	}
+	// A GET against the same 500 is retried to MaxAttempts.
+	hits.Store(0)
+	if _, err := d.Schemas(); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("GET attempted %d times on 500, want 3", got)
+	}
+}
+
+// TestBreakerOpensAndSheds: a dead remote opens the breaker within the
+// configured threshold, after which calls are shed without touching the
+// transport.
+func TestBreakerOpensAndSheds(t *testing.T) {
+	rt := NewFaultRT(nil)
+	rt.ErrNext(1 << 20)
+	p := tightPolicy()
+	p.BreakerCooldown = time.Hour // keep it open for the test
+	res := NewResilience("http://remote.invalid", p, &http.Client{Transport: rt}, nil)
+	defer res.Close()
+	pc := NewParticipantClient("http://remote.invalid", "p1", &http.Client{Transport: rt}).WithResilience(res)
+
+	if _, err := pc.Notifications(); err == nil {
+		t.Fatal("expected error from dead remote")
+	}
+	if res.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker = %v after %d failures, want open (threshold %d)",
+			res.Breaker().State(), rt.Attempts(), p.BreakerThreshold)
+	}
+	before := rt.Attempts()
+	for i := 0; i < 4; i++ {
+		_, err := pc.Notifications()
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("shed call error = %v, want ErrUnavailable", err)
+		}
+	}
+	if rt.Attempts() != before {
+		t.Fatalf("open breaker still attempted the network: %d -> %d", before, rt.Attempts())
+	}
+	if res.Shed() != 4 {
+		t.Fatalf("shed = %d, want 4", res.Shed())
+	}
+}
+
+// TestBreakerHalfOpenRecovery: after the cooldown a single trial call
+// is admitted; its success closes the breaker.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	r := newRig(t)
+	rt := NewFaultRT(nil)
+	p := tightPolicy()
+	p.BreakerCooldown = 20 * time.Millisecond
+	res := NewResilience(r.srv.URL, p, &http.Client{Transport: rt}, nil)
+	defer res.Close()
+	d := r.designer.WithResilience(res)
+	d.http = &http.Client{Transport: rt}
+
+	rt.ErrNext(p.MaxAttempts) // exactly one call's worth: opens the breaker, then recovers
+	d.Schemas()
+	if res.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", res.Breaker().State())
+	}
+	time.Sleep(p.BreakerCooldown + 10*time.Millisecond)
+	if _, err := d.Schemas(); err != nil {
+		t.Fatalf("trial call after cooldown: %v", err)
+	}
+	if res.Breaker().State() != BreakerClosed {
+		t.Fatalf("breaker = %v after successful trial, want closed", res.Breaker().State())
+	}
+}
+
+// TestHealthzProbeClosesBreaker: with probing enabled, an open breaker
+// closes on its own once /api/healthz answers 200 — no caller traffic
+// needed.
+func TestHealthzProbeClosesBreaker(t *testing.T) {
+	r := newRig(t)
+	if err := r.sys.Start(); err != nil { // healthz answers 200 only once started
+		t.Fatal(err)
+	}
+	rt := NewFaultRT(nil)
+	hc := &http.Client{Transport: rt}
+	p := tightPolicy()
+	p.BreakerCooldown = time.Hour // only the probe may close it
+	p.ProbeInterval = 10 * time.Millisecond
+	res := NewResilience(r.srv.URL, p, hc, nil)
+	defer res.Close()
+	d := r.designer.WithResilience(res)
+	d.http = hc
+
+	rt.ErrNext(p.MaxAttempts) // open the breaker; probes then find a healthy server
+	d.Schemas()
+	if res.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", res.Breaker().State())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for res.Breaker().State() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe did not close the breaker; state %v", res.Breaker().State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMidFlightCancel: cancelling the caller's context aborts a hung
+// (blackholed) call promptly, without retries, and does not blame the
+// caller's deadline on the remote.
+func TestMidFlightCancel(t *testing.T) {
+	rt := NewFaultRT(nil)
+	rt.SetBlackhole(true)
+	p := tightPolicy()
+	p.AttemptTimeout = time.Hour // only the caller's ctx can end the attempt
+	res := NewResilience("http://remote.invalid", p, &http.Client{Transport: rt}, nil)
+	defer res.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	pc := NewParticipantClient("http://remote.invalid", "p1", &http.Client{Transport: rt}).
+		WithResilience(res).WithContext(ctx)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := pc.Notifications()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled call error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled call did not return")
+	}
+	if res.Retries() != 0 {
+		t.Fatalf("cancelled call was retried %d times", res.Retries())
+	}
+}
+
+// TestRetryBudgetExhaustion: with the budget drained, retryable
+// failures fail fast instead of amplifying load.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	rt := NewFaultRT(nil)
+	rt.ErrNext(1 << 20)
+	p := tightPolicy()
+	p.BreakerThreshold = 0 // isolate the budget from the breaker
+	p.RetryBudget = 1
+	res := NewResilience("http://remote.invalid", p, &http.Client{Transport: rt}, nil)
+	defer res.Close()
+	pc := NewParticipantClient("http://remote.invalid", "p1", &http.Client{Transport: rt}).WithResilience(res)
+
+	_, err := pc.Notifications()
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want retry budget exhausted", err)
+	}
+	if got := res.Retries(); got != 1 {
+		t.Fatalf("retries = %d, want 1 (the whole budget)", got)
+	}
+}
+
+// TestSpoolReplay: push and done records survive a reopen; pending
+// entries keep their order and keys.
+func TestSpoolReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spool.jsonl")
+	sp, err := OpenSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sp.Add(spoolEntry{
+			Key:          fmt.Sprintf("k%d", i),
+			Participant:  "mirror",
+			Notification: delivery.Notification{Description: fmt.Sprintf("n%d", i)},
+			Spooled:      time.Now(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Done("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp2, err := OpenSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	pending := sp2.Pending()
+	if len(pending) != 2 || pending[0].Key != "k0" || pending[1].Key != "k2" {
+		t.Fatalf("pending after reopen = %+v, want k0,k2", pending)
+	}
+	if sp2.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", sp2.Depth())
+	}
+}
+
+// TestForwarderExactlyOnceAcrossRestart: a push whose response is lost
+// (server executed it, client never heard) stays in the spool, survives
+// a forwarder restart, is redelivered with the same idempotency key and
+// deduplicated server-side — the remote queue sees it exactly once.
+func TestForwarderExactlyOnceAcrossRestart(t *testing.T) {
+	r := newRig(t)
+	rt := NewFaultRT(nil)
+	hc := &http.Client{Transport: rt}
+	path := filepath.Join(t.TempDir(), "spool.jsonl")
+
+	p := tightPolicy()
+	p.MaxAttempts = 1 // force the redelivery onto the restarted forwarder
+	res := NewResilience(r.srv.URL, p, hc, nil)
+	fwd, err := NewForwarder(ForwarderConfig{
+		Client:    NewRemoteClient(r.srv.URL, hc).WithResilience(res),
+		SpoolPath: path,
+		Interval:  time.Hour, // only the Forward nudge sweeps before restart
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.DropNext(1)
+	if err := fwd.Forward("mirror", delivery.Notification{Description: "cross-domain"}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the dropped attempt, then stop before the sweep retries.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, failed := fwd.Stats(); failed >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dropped push never attempted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := fwd.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+
+	// The server processed the dropped push; the spool still owes it.
+	got, err := r.sys.Store().Pending("mirror")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("remote queue = %d notifications, want 1", len(got))
+	}
+
+	// Restart: the journaled entry replays with its original key and the
+	// server's dedup keeps delivery exactly-once.
+	fwd2, err := NewForwarder(ForwarderConfig{
+		Client:    NewRemoteClient(r.srv.URL, hc),
+		SpoolPath: path,
+		Interval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd2.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for fwd2.Depth() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("spool did not drain after restart; depth %d", fwd2.Depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, dup, _ := fwd2.Stats()
+	if dup != 1 {
+		t.Fatalf("redelivery duplicates = %d, want 1 (dedup by idempotency key)", dup)
+	}
+	got, err = r.sys.Store().Pending("mirror")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("remote queue = %d notifications after redelivery, want exactly 1", len(got))
+	}
+}
+
+// TestOutageStoreAndForward is the headline failure mode: the remote
+// domain blackholes mid-run, forwarded notifications accumulate in the
+// durable spool while the breaker sheds, and when the domain returns
+// every notification arrives exactly once, in order.
+func TestOutageStoreAndForward(t *testing.T) {
+	r := newRig(t)
+	rt := NewFaultRT(nil)
+	hc := &http.Client{Transport: rt}
+	p := tightPolicy()
+	p.AttemptTimeout = 50 * time.Millisecond
+	p.ProbeInterval = 10 * time.Millisecond
+	res := NewResilience(r.srv.URL, p, hc, nil)
+	defer res.Close()
+	fwd, err := NewForwarder(ForwarderConfig{
+		Client:    NewRemoteClient(r.srv.URL, hc).WithResilience(res),
+		SpoolPath: filepath.Join(t.TempDir(), "spool.jsonl"),
+		Interval:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fwd.Close()
+
+	send := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if err := fwd.Forward("mirror", delivery.Notification{Description: fmt.Sprintf("n%d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitRemote := func(n int) []delivery.Notification {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			got, err := r.sys.Store().Pending("mirror")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) >= n {
+				return got
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("remote has %d notifications, want %d", len(got), n)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	send(0, 5)
+	waitRemote(5)
+
+	rt.SetBlackhole(true)
+	send(5, 10)
+	deadline := time.Now().Add(10 * time.Second)
+	for res.Breaker().State() != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker did not open; state %v", res.Breaker().State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if d := fwd.Depth(); d == 0 {
+		t.Fatal("expected spooled notifications during the outage")
+	}
+
+	rt.SetBlackhole(false)
+	got := waitRemote(10)
+	if len(got) != 10 {
+		t.Fatalf("remote queue = %d notifications, want exactly 10", len(got))
+	}
+	for i, n := range got {
+		if want := fmt.Sprintf("n%d", i); n.Description != want {
+			t.Fatalf("notification %d = %q, want %q (order lost)", i, n.Description, want)
+		}
+	}
+}

@@ -74,6 +74,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/notifications/{participant}/{id}/ack", s.postAck)
 	mux.HandleFunc("POST /api/presence/{participant}", s.postPresence)
 
+	// Federation (cross-domain) API.
+	mux.HandleFunc("POST /api/remote/notifications", s.postRemoteNotification)
+
 	// Operations API.
 	mux.Handle("GET /api/metrics", s.sys.Metrics())
 	mux.HandleFunc("GET /api/healthz", s.getHealthz)
@@ -541,6 +544,28 @@ func (s *Server) getContextField(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, enc)
+}
+
+// postRemoteNotification accepts one awareness notification forwarded
+// from another CMI domain's store-and-forward spool. The idempotency
+// key is journaled with the queued notification, so replays — retries
+// after ambiguous failures, redeliveries after restarts — are
+// deduplicated even across a server restart.
+func (s *Server) postRemoteNotification(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[RemoteNotification](w, r)
+	if !ok {
+		return
+	}
+	if req.Key == "" || req.Participant == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("federation: remote notification requires key and participant"))
+		return
+	}
+	_, dup, err := s.sys.Store().EnqueueKeyed(req.Participant, req.Key, req.Notification)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PushResponse{Duplicate: dup})
 }
 
 func (s *Server) getNotifications(w http.ResponseWriter, r *http.Request) {

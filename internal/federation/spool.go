@@ -1,0 +1,408 @@
+package federation
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/obs"
+)
+
+// A RemoteNotification is one awareness notification forwarded across
+// domains. Key is a client-generated idempotency key: the receiving
+// domain journals it with the queued notification and drops replays, so
+// redelivery after an ambiguous failure is exactly-once.
+type RemoteNotification struct {
+	Key          string                `json:"key"`
+	Participant  string                `json:"participant"`
+	Notification delivery.Notification `json:"notification"`
+}
+
+// PushResponse reports whether the receiving domain had already seen
+// the idempotency key.
+type PushResponse struct {
+	Duplicate bool `json:"duplicate"`
+}
+
+// A RemoteClient pushes awareness notifications into another CMI
+// domain's federation server.
+type RemoteClient struct {
+	client
+}
+
+// NewRemoteClient connects a remote-delivery client to a federation
+// server.
+func NewRemoteClient(base string, hc *http.Client) *RemoteClient {
+	return &RemoteClient{newClient(base, hc)}
+}
+
+// WithContext returns a copy whose calls are bound to ctx.
+func (c *RemoteClient) WithContext(ctx context.Context) *RemoteClient {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
+}
+
+// WithResilience returns a copy whose calls run under the given retry /
+// breaker policy.
+func (c *RemoteClient) WithResilience(r *Resilience) *RemoteClient {
+	cp := *c
+	cp.res = r
+	return &cp
+}
+
+// Push delivers one notification. The idempotency key makes the call
+// safe to retry; duplicate reports that the remote had already queued
+// it.
+func (c *RemoteClient) Push(rn RemoteNotification) (duplicate bool, err error) {
+	var out PushResponse
+	if err := c.doIdem("POST", "/api/remote/notifications", rn, &out); err != nil {
+		return false, err
+	}
+	return out.Duplicate, nil
+}
+
+// spoolEntry is one queued remote notification awaiting delivery.
+type spoolEntry struct {
+	Key          string                `json:"key"`
+	Participant  string                `json:"participant"`
+	Notification delivery.Notification `json:"notification"`
+	Spooled      time.Time             `json:"spooled"`
+}
+
+// spoolRecord is one JSON line of the spool journal: a "push" appends
+// an entry, a "done" marks its key delivered.
+type spoolRecord struct {
+	Kind string      `json:"kind"`
+	Push *spoolEntry `json:"push,omitempty"`
+	Key  string      `json:"key,omitempty"`
+}
+
+// A Spool is the durable store-and-forward buffer for cross-domain
+// notifications: an append-only JSON-lines journal (same pattern as the
+// delivery store's per-participant journals). Entries survive restarts;
+// a torn final line from a crash mid-append is tolerated on load.
+type Spool struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries []spoolEntry
+	done    map[string]bool
+	closed  bool
+}
+
+// OpenSpool opens (or creates) the spool journal at path, replaying any
+// existing records.
+func OpenSpool(path string) (*Spool, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("federation: spool: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("federation: spool: %w", err)
+	}
+	s := &Spool{f: f, done: make(map[string]bool)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var r spoolRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			continue // torn write from a crash mid-append
+		}
+		switch r.Kind {
+		case "push":
+			if r.Push != nil {
+				s.entries = append(s.entries, *r.Push)
+			}
+		case "done":
+			s.done[r.Key] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("federation: spool: %w", err)
+	}
+	return s, nil
+}
+
+func (s *Spool) append(r spoolRecord) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("federation: spool: %w", err)
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("federation: spool: %w", err)
+	}
+	return nil
+}
+
+// Add journals one entry for delivery.
+func (s *Spool) Add(e spoolEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("federation: spool closed")
+	}
+	if err := s.append(spoolRecord{Kind: "push", Push: &e}); err != nil {
+		return err
+	}
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// Done journals that the entry with the given key was delivered.
+func (s *Spool) Done(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("federation: spool closed")
+	}
+	if s.done[key] {
+		return nil
+	}
+	if err := s.append(spoolRecord{Kind: "done", Key: key}); err != nil {
+		return err
+	}
+	s.done[key] = true
+	return nil
+}
+
+// Pending returns the undelivered entries in spool order.
+func (s *Spool) Pending() []spoolEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []spoolEntry
+	for _, e := range s.entries {
+		if !s.done[e.Key] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Depth returns how many entries await delivery.
+func (s *Spool) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.entries {
+		if !s.done[e.Key] {
+			n++
+		}
+	}
+	return n
+}
+
+// Close closes the journal file.
+func (s *Spool) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// ForwarderConfig configures a Forwarder.
+type ForwarderConfig struct {
+	// Client pushes into the remote domain (typically carrying a
+	// Resilience). Required.
+	Client *RemoteClient
+	// SpoolPath is the journal location. Required.
+	SpoolPath string
+	// Interval between redelivery sweeps (default 500ms). New entries
+	// also nudge an immediate sweep.
+	Interval time.Duration
+	// Metrics receives spool depth, push outcomes and redelivery
+	// latency; may be nil.
+	Metrics *obs.Registry
+}
+
+// redeliveryBuckets stretch further than the RPC-latency defaults:
+// time-in-spool spans outages, not round trips.
+var redeliveryBuckets = []time.Duration{
+	5 * time.Millisecond, 25 * time.Millisecond, 100 * time.Millisecond,
+	500 * time.Millisecond, 2 * time.Second, 10 * time.Second,
+	30 * time.Second, 2 * time.Minute, 10 * time.Minute,
+}
+
+// A Forwarder ships awareness notifications to one remote domain with
+// store-and-forward semantics: Forward journals the notification to the
+// durable spool and a background loop pushes pending entries in order,
+// retrying across outages. Client-generated idempotency keys (journaled
+// with each entry, so they survive restarts) are deduplicated by the
+// receiving server, making delivery exactly-once.
+type Forwarder struct {
+	client   *RemoteClient
+	spool    *Spool
+	interval time.Duration
+
+	keyPrefix string
+	keySeq    atomic.Uint64
+
+	delivered atomic.Uint64
+	duplicate atomic.Uint64
+	failed    atomic.Uint64
+
+	pushDelivered *obs.Counter
+	pushDuplicate *obs.Counter
+	pushFailed    *obs.Counter
+	redelivery    *obs.Histogram
+
+	nudge chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// NewForwarder opens the spool and starts the redelivery loop. Entries
+// already in the spool from a previous run are picked up immediately.
+func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("federation: forwarder requires a client")
+	}
+	sp, err := OpenSpool(cfg.SpoolPath)
+	if err != nil {
+		return nil, err
+	}
+	iv := cfg.Interval
+	if iv <= 0 {
+		iv = 500 * time.Millisecond
+	}
+	f := &Forwarder{
+		client:    cfg.Client,
+		spool:     sp,
+		interval:  iv,
+		keyPrefix: fmt.Sprintf("%d-%d", os.Getpid(), time.Now().UnixNano()),
+		nudge:     make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		domain := cfg.Client.base
+		if u, err := url.Parse(domain); err == nil && u.Host != "" {
+			domain = u.Host
+		}
+		lbl := obs.L("domain", domain)
+		reg.GaugeFunc("cmi_federation_spool_depth",
+			"Remote notifications journaled and awaiting delivery.",
+			func() float64 { return float64(f.spool.Depth()) }, lbl)
+		const pushHelp = "Remote notification pushes by outcome."
+		f.pushDelivered = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "delivered"))
+		f.pushDuplicate = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "duplicate"))
+		f.pushFailed = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "failed"))
+		f.redelivery = reg.Histogram("cmi_federation_redelivery_seconds",
+			"Time from spooling a remote notification to its delivery.",
+			redeliveryBuckets, lbl)
+	}
+	f.nudge <- struct{}{} // pick up entries journaled by a previous run
+	f.wg.Add(1)
+	go f.loop()
+	return f, nil
+}
+
+// Forward journals one notification for the remote participant and
+// nudges the delivery loop. It returns as soon as the entry is durable;
+// delivery happens in the background.
+func (f *Forwarder) Forward(participant string, n delivery.Notification) error {
+	key := fmt.Sprintf("%s-%d", f.keyPrefix, f.keySeq.Add(1))
+	err := f.spool.Add(spoolEntry{
+		Key:          key,
+		Participant:  participant,
+		Notification: n,
+		Spooled:      time.Now(),
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case f.nudge <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Hook adapts the forwarder to a delivery.DetectionHook: every detected
+// awareness event is forwarded to each named participant of the remote
+// domain.
+func (f *Forwarder) Hook(remoteParticipants ...string) delivery.DetectionHook {
+	return func(schema string, users []string, ev event.Event) {
+		n := delivery.NotificationFromEvent(ev)
+		for _, p := range remoteParticipants {
+			f.Forward(p, n)
+		}
+	}
+}
+
+// Depth returns how many notifications await delivery.
+func (f *Forwarder) Depth() int { return f.spool.Depth() }
+
+// Stats reports push outcomes: delivered (first acceptance), duplicate
+// (remote had the key already) and failed attempts.
+func (f *Forwarder) Stats() (delivered, duplicate, failed uint64) {
+	return f.delivered.Load(), f.duplicate.Load(), f.failed.Load()
+}
+
+// Close stops the redelivery loop and closes the spool. Undelivered
+// entries stay journaled for the next run.
+func (f *Forwarder) Close() error {
+	f.closeOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+	return f.spool.Close()
+}
+
+func (f *Forwarder) loop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-f.nudge:
+		case <-t.C:
+		}
+		f.sweep()
+	}
+}
+
+// sweep pushes pending entries in spool order, stopping at the first
+// failure so ordering is preserved across retries.
+func (f *Forwarder) sweep() {
+	for _, e := range f.spool.Pending() {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		dup, err := f.client.Push(RemoteNotification{
+			Key:          e.Key,
+			Participant:  e.Participant,
+			Notification: e.Notification,
+		})
+		if err != nil {
+			f.failed.Add(1)
+			f.pushFailed.Inc()
+			return
+		}
+		if dup {
+			f.duplicate.Add(1)
+			f.pushDuplicate.Inc()
+		} else {
+			f.delivered.Add(1)
+			f.pushDelivered.Inc()
+		}
+		f.redelivery.Observe(time.Since(e.Spooled))
+		f.spool.Done(e.Key)
+	}
+}

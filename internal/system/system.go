@@ -74,6 +74,20 @@ type System struct {
 	started    bool
 	closed     bool
 	hasSchemas bool
+	closers    []func() error
+}
+
+// AddCloser registers cleanup to run during Close, after outstanding
+// follow-on hooks have finished but before the notification store
+// closes (so a closer may still flush into it). Closers run in reverse
+// registration order.
+func (s *System) AddCloser(fn func() error) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.closers = append(s.closers, fn)
+	s.mu.Unlock()
 }
 
 // New builds a System from the configuration.
@@ -277,15 +291,26 @@ func (s *System) Drain() {
 }
 
 // Close drains the awareness engine, waits for outstanding follow-on
-// hooks, and closes the notification store. If the state directory was
-// system-created, it is removed.
+// hooks, runs registered closers (reverse order), and closes the
+// notification store. If the state directory was system-created, it is
+// removed.
 func (s *System) Close() error {
 	s.mu.Lock()
 	s.closed = true
+	closers := s.closers
+	s.closers = nil
 	s.mu.Unlock()
 	s.aware.Stop()
 	s.agent.Wait()
-	err := s.store.Close()
+	var err error
+	for i := len(closers) - 1; i >= 0; i-- {
+		if cerr := closers[i](); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if serr := s.store.Close(); err == nil {
+		err = serr
+	}
 	if s.ownsState {
 		os.RemoveAll(s.stateDir)
 	}
