@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench cover docs examples experiments clean
+.PHONY: all check build vet test race bench bench-smoke cover docs examples experiments clean
 
-all: build vet test race docs
+all: build vet test race docs bench-smoke
 
 # The one gate to run before pushing: static checks plus the race-enabled
 # test suite and the docs-consistency guard.
@@ -24,6 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Compile-and-run smoke over the perf surfaces: a tiny cmibench
+# awareness run (BENCH_*.json untouched) plus the delivery fan-out
+# benchmarks at one iteration each.
+bench-smoke:
+	$(GO) run ./cmd/cmibench -exp awareness -smoke
+	$(GO) test -run '^$$' -bench 'BenchmarkDeliveryFanout' -benchtime=1x .
 
 cover:
 	$(GO) test -cover ./...

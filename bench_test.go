@@ -481,6 +481,37 @@ func BenchmarkDeliveryQueue(b *testing.B) {
 	}
 }
 
+// benchmarkDeliveryFanout measures one EnqueueFanout call per iteration
+// at the given fan-out width: the notification body is marshaled once
+// and journaled through each queue's commit group.
+func benchmarkDeliveryFanout(b *testing.B, width int) {
+	store, err := delivery.NewStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	users := make([]string, width)
+	for i := range users {
+		users[i] = fmt.Sprintf("bench-user-%d", i)
+	}
+	n := delivery.Notification{
+		Schema:      "Bench",
+		Description: "benchmark notification",
+		Time:        time.Unix(0, 0),
+		Params:      map[string]any{"k": "v", "n": int64(42)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := store.EnqueueFanout(users, "", n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeliveryFanout1(b *testing.B) { benchmarkDeliveryFanout(b, 1) }
+func BenchmarkDeliveryFanout4(b *testing.B) { benchmarkDeliveryFanout(b, 4) }
+func BenchmarkDeliveryFanout8(b *testing.B) { benchmarkDeliveryFanout(b, 8) }
+
 // BenchmarkWfMSEngine measures the WfMS substrate's own token flow: one
 // two-node instance per iteration.
 func BenchmarkWfMSEngine(b *testing.B) {

@@ -23,17 +23,25 @@ import (
 	"github.com/mcc-cmi/cmi/internal/awareness"
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/crisis"
+	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/event"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 	"github.com/mcc-cmi/cmi/internal/wfms"
 )
 
+// benchSmoke shrinks the awareness experiment to a compile-and-run smoke
+// (tiny workload, single rep, no BENCH_*.json rewrite) for `make
+// bench-smoke`.
+var benchSmoke bool
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmibench: ")
 	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation")
+	smoke := flag.Bool("smoke", false, "short smoke run: tiny workload, one rep, BENCH_*.json left untouched (awareness experiment)")
 	flag.Parse()
+	benchSmoke = *smoke
 
 	exps := map[string]func() error{
 		"fig1":       fig1,
@@ -565,13 +573,18 @@ func auditVsLive() error {
 //     durably journaled. Sharding overlaps the delivery waits of
 //     distinct process instances — the pipeline property the tentpole
 //     builds — so throughput scales with shard count.
-//   - local journal: the delivery wait removed; each detection is only
-//     appended+fsynced to the shard's journal. Scaling is bounded by
-//     the storage device's flush rate (and this container exposes a
-//     single CPU, so the pure-CPU path cannot speed up at all).
+//   - local journal: the delivery wait removed; each detection fans out
+//     through the delivery store's group-commit journal (fsync per
+//     commit group). The shards share one participant queue, so the
+//     curve only scales if concurrent appends coalesce their fsyncs —
+//     which is exactly what the group-commit writer does: while one
+//     commit group's fsync is in flight, the other shards' records
+//     accumulate in the next group.
 //
 // It writes BENCH_awareness.json — events/sec per shard count for both
-// curves — to seed the performance trajectory.
+// curves — to seed the performance trajectory. With -smoke the workload
+// shrinks to a single-rep compile-and-run check and the JSON is left
+// untouched.
 func awarenessSharded() error {
 	header("Sharded awareness detection — many-instance ingest throughput")
 	type point struct {
@@ -581,36 +594,57 @@ func awarenessSharded() error {
 		EventsPerSec float64 `json:"eventsPerSec"`
 		Speedup      float64 `json:"speedupVs1"`
 	}
-	run := func(label string, latency time.Duration, reps int) ([]point, error) {
+	instances := 512
+	shardCounts := []int{1, 2, 4, 8}
+	remoteReps, localReps := 2, 3
+	if benchSmoke {
+		instances = 64
+		shardCounts = []int{1, 4}
+		remoteReps, localReps = 1, 1
+	}
+	run := func(label string, latency time.Duration, reps int, storeBacked bool) ([]point, error) {
 		var (
 			points []point
 			base   float64
 		)
 		fmt.Printf("%s:\n", label)
 		fmt.Printf("  %-8s %-10s %-12s %-14s %s\n", "shards", "events", "elapsed", "events/sec", "speedup")
-		for _, shards := range []int{1, 2, 4, 8} {
-			dir, err := os.MkdirTemp("", "cmi-ingest-*")
-			if err != nil {
-				return nil, err
-			}
+		for _, shards := range shardCounts {
 			// Best of reps runs: the workload journals durably, so
-			// individual runs are I/O-noisy.
+			// individual runs are I/O-noisy. Each rep gets a fresh state
+			// directory — a store-backed rep would otherwise replay the
+			// previous rep's queue journal on open.
 			var best crisis.IngestResult
 			for rep := 0; rep < reps; rep++ {
-				res, err := crisis.RunIngest(crisis.IngestConfig{
-					Shards: shards, Instances: 512, EventsPerInstance: 4, Dir: dir,
-					DeliveryLatency: latency,
-				})
+				dir, err := os.MkdirTemp("", "cmi-ingest-*")
 				if err != nil {
-					os.RemoveAll(dir)
+					return nil, err
+				}
+				cfg := crisis.IngestConfig{
+					Shards: shards, Instances: instances, EventsPerInstance: 4, Dir: dir,
+					DeliveryLatency: latency,
+				}
+				var st *delivery.Store
+				if storeBacked {
+					if st, err = delivery.NewStoreWith(dir, delivery.StoreOptions{Sync: true}); err != nil {
+						os.RemoveAll(dir)
+						return nil, err
+					}
+					cfg.Store = st
+				}
+				res, err := crisis.RunIngest(cfg)
+				if st != nil {
+					st.Close()
+				}
+				os.RemoveAll(dir)
+				if err != nil {
 					return nil, err
 				}
 				if res.EventsPerSec > best.EventsPerSec {
 					best = res
 				}
 			}
-			os.RemoveAll(dir)
-			if shards == 1 {
+			if shards == shardCounts[0] {
 				base = best.EventsPerSec
 			}
 			speedup := best.EventsPerSec / base
@@ -627,45 +661,55 @@ func awarenessSharded() error {
 		fmt.Println()
 		return points, nil
 	}
-	remote, err := run("remote delivery (1ms simulated push per detection + durable journal)", time.Millisecond, 2)
+	remote, err := run("remote delivery (1ms simulated push per detection + durable journal)", time.Millisecond, remoteReps, false)
 	if err != nil {
 		return err
 	}
-	local, err := run("local journal only (durable append+fsync per detection)", 0, 3)
+	local, err := run("local journal (delivery store fan-out, fsync per group commit)", 0, localReps, true)
 	if err != nil {
 		return err
 	}
-	out := struct {
-		Benchmark      string  `json:"benchmark"`
-		Workload       string  `json:"workload"`
-		RemoteDelivery []point `json:"remoteDelivery"`
-		LocalJournal   []point `json:"localJournal"`
-	}{
-		Benchmark:      "awareness-sharded-ingest",
-		Workload:       "512 instances x 4 events; remoteDelivery: 1ms simulated remote push + durable journal per detection; localJournal: durable journal only",
-		RemoteDelivery: remote,
-		LocalJournal:   local,
+	if benchSmoke {
+		fmt.Println("smoke run: BENCH_awareness.json left untouched")
+	} else {
+		out := struct {
+			Benchmark      string  `json:"benchmark"`
+			Workload       string  `json:"workload"`
+			RemoteDelivery []point `json:"remoteDelivery"`
+			LocalJournal   []point `json:"localJournal"`
+		}{
+			Benchmark:      "awareness-sharded-ingest",
+			Workload:       "512 instances x 4 events; remoteDelivery: 1ms simulated remote push + durable journal per detection; localJournal: delivery-store fan-out to one shared queue, fsync per group commit",
+			RemoteDelivery: remote,
+			LocalJournal:   local,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_awareness.json", append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_awareness.json")
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_awareness.json", append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("wrote BENCH_awareness.json")
 
-	// One instrumented 4-shard run: print the counter series the
-	// operations endpoint (/api/metrics) would expose for this workload,
-	// demonstrating that instrumentation observes the sharded pipeline.
+	// One instrumented store-backed 4-shard run: print the counter series
+	// the operations endpoint (/api/metrics) would expose for this
+	// workload, demonstrating that instrumentation observes the sharded
+	// pipeline — including the delivery store's commit-group counters.
 	reg := obs.NewRegistry()
 	dir, err := os.MkdirTemp("", "cmi-ingest-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(dir)
+	st, err := delivery.NewStoreWith(dir, delivery.StoreOptions{Sync: true})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
 	if _, err := crisis.RunIngest(crisis.IngestConfig{
-		Shards: 4, Instances: 512, EventsPerInstance: 4, Dir: dir, Metrics: reg,
+		Shards: 4, Instances: instances, EventsPerInstance: 4, Dir: dir, Metrics: reg, Store: st,
 	}); err != nil {
 		return err
 	}

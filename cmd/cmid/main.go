@@ -59,6 +59,7 @@ func run() error {
 		state  = flag.String("state", "", "state directory for persistent delivery queues (default: temporary)")
 		start  = flag.Bool("start", false, "start the system immediately after loading -spec files")
 		shards = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
+		syncJ  = flag.Bool("sync-journal", false, "fsync each delivery-journal commit group (durable across machine crashes, not just process crashes)")
 		specs  specList
 
 		forward     = flag.String("forward", "", "base URL of a remote CMI domain to forward awareness notifications to")
@@ -77,9 +78,10 @@ func run() error {
 	}
 
 	sys, err := cmi.New(cmi.Config{
-		Clock:    vclock.NewSystem(),
-		StateDir: *state,
-		Shards:   *shards,
+		Clock:       vclock.NewSystem(),
+		StateDir:    *state,
+		Shards:      *shards,
+		SyncJournal: *syncJ,
 	})
 	if err != nil {
 		return err

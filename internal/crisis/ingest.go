@@ -9,6 +9,7 @@ import (
 
 	"github.com/mcc-cmi/cmi/internal/awareness"
 	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/event"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
@@ -102,6 +103,32 @@ func (j *JournalSink) Count() uint64 { return j.n.Load() }
 // Close closes the journal file.
 func (j *JournalSink) Close() error { return j.f.Close() }
 
+// A StoreSink fans every detection it consumes out to a fixed
+// participant set through a shared delivery.Store — the real persistent
+// notification queues of Section 6.5 rather than JournalSink's ad-hoc
+// files. One StoreSink is shared by every shard, so concurrent shards
+// hit the same participant queues and exercise the store's per-queue
+// group-commit journal: the benchmark's localJournal curve only scales
+// with shards if concurrent appends coalesce their flushes.
+type StoreSink struct {
+	Store *delivery.Store
+	Users []string
+	n     atomic.Uint64
+}
+
+// Consume implements event.Consumer: build the notification once and
+// enqueue it durably for every user via the batch fan-out path.
+func (s *StoreSink) Consume(ev event.Event) {
+	n := delivery.NotificationFromEvent(ev)
+	if _, _, err := s.Store.EnqueueFanout(s.Users, "", n); err != nil {
+		return
+	}
+	s.n.Add(1)
+}
+
+// Count returns how many detections were enqueued.
+func (s *StoreSink) Count() uint64 { return s.n.Load() }
+
 // A RemoteSink models the delivery agent's synchronous notification push
 // to a remote client tool — a CORBA call in the paper's implementation
 // (Section 6.5) — as a fixed per-detection service latency, then forwards
@@ -133,6 +160,15 @@ type IngestConfig struct {
 	EventsPerInstance int
 	// Dir is where the per-shard detection journals are written.
 	Dir string
+	// Store, if non-nil, selects the store-backed journal path: every
+	// detection is enqueued durably into this delivery store (fanned out
+	// to FanoutUsers) instead of the per-shard JournalSink files. The
+	// store is shared by all shards, so the run measures the store's
+	// group-commit journal under shard concurrency.
+	Store *delivery.Store
+	// FanoutUsers are the participants each detection fans out to on the
+	// Store path. Default: the single queue "crisis-leader".
+	FanoutUsers []string
 	// DeliveryLatency, if positive, models the synchronous push of each
 	// detection to a remote client tool (Section 6.5) as a fixed wait in
 	// front of the journal. Zero measures the local path only.
@@ -171,27 +207,50 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	if err := proc.Validate(); err != nil {
 		return IngestResult{}, err
 	}
-	sinks := make([]*JournalSink, cfg.Shards)
-	for i := range sinks {
-		s, err := NewJournalSink(filepath.Join(cfg.Dir, fmt.Sprintf("detections-%d.log", i)))
-		if err != nil {
-			return IngestResult{}, err
+	var (
+		count func() uint64
+		sink  func(shard int) event.Consumer
+	)
+	if cfg.Store != nil {
+		users := cfg.FanoutUsers
+		if len(users) == 0 {
+			users = []string{"crisis-leader"}
 		}
-		sinks[i] = s
+		shared := &StoreSink{Store: cfg.Store, Users: users}
+		cfg.Store.Instrument(cfg.Metrics)
+		count = shared.Count
+		sink = func(int) event.Consumer { return shared }
+	} else {
+		sinks := make([]*JournalSink, cfg.Shards)
+		for i := range sinks {
+			s, err := NewJournalSink(filepath.Join(cfg.Dir, fmt.Sprintf("detections-%d.log", i)))
+			if err != nil {
+				return IngestResult{}, err
+			}
+			sinks[i] = s
+		}
+		defer func() {
+			for _, s := range sinks {
+				s.Close()
+			}
+		}()
+		count = func() uint64 {
+			var n uint64
+			for _, s := range sinks {
+				n += s.Count()
+			}
+			return n
+		}
+		sink = func(shard int) event.Consumer { return sinks[shard] }
 	}
-	defer func() {
-		for _, s := range sinks {
-			s.Close()
-		}
-	}()
 	eng := awareness.NewEngine(nil, awareness.Options{
 		Shards:  cfg.Shards,
 		Metrics: cfg.Metrics,
 		ShardSink: func(shard int) event.Consumer {
 			if cfg.DeliveryLatency > 0 {
-				return &RemoteSink{Latency: cfg.DeliveryLatency, Inner: sinks[shard]}
+				return &RemoteSink{Latency: cfg.DeliveryLatency, Inner: sink(shard)}
 			}
-			return sinks[shard]
+			return sink(shard)
 		},
 	})
 	if err := eng.Define(IngestSchemas(proc)...); err != nil {
@@ -208,10 +267,7 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	eng.Stop() // drains every shard: all detections journaled
 	elapsed := time.Since(start)
 
-	var detections uint64
-	for _, s := range sinks {
-		detections += s.Count()
-	}
+	detections := count()
 	want := uint64(len(events))
 	if detections != want {
 		return IngestResult{}, fmt.Errorf("crisis: ingest at %d shards journaled %d detections, want %d",

@@ -112,15 +112,23 @@ func (a *Agent) Consume(ev event.Event) {
 		return
 	}
 	n := NotificationFromEvent(ev)
-	for _, u := range users {
-		if _, err := a.store.Enqueue(u, n); err != nil {
-			a.fail(err)
-			continue
+	// One fan-out call: the notification body is marshaled once and each
+	// participant's queue journals it through its own commit group, so
+	// concurrent detections coalesce their journal I/O.
+	ns, _, err := a.store.EnqueueFanout(users, "", n)
+	queued := 0
+	for _, qn := range ns {
+		if qn.ID != 0 {
+			queued++
 		}
-		a.mu.Lock()
-		a.delivered++
-		a.mu.Unlock()
 	}
+	a.mu.Lock()
+	a.delivered += uint64(queued)
+	if err != nil {
+		a.undeliverable += uint64(len(users) - queued)
+		a.lastErr = err
+	}
+	a.mu.Unlock()
 	a.mu.Lock()
 	hooks := append([]DetectionHook(nil), a.hooks...)
 	a.mu.Unlock()

@@ -9,17 +9,29 @@
 // Queues are persistent: a participant is not assumed to be logged on
 // when an awareness event is detected, so each participant's queue is
 // journaled to an append-only JSON-lines file and rebuilt on restart.
+//
+// The journal is written with group commit: each queue has its own lock,
+// and concurrent appends to the same queue coalesce into a single
+// buffered write + flush (+ fsync when the store is opened with
+// StoreOptions.Sync). N writers racing on one queue therefore pay ~one
+// commit per group rather than one each — the same amortization
+// transactional logs use — which is what lets sharded awareness
+// detection scale on the durable local-delivery path.
 package delivery
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/url"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mcc-cmi/cmi/internal/core"
@@ -50,17 +62,36 @@ type Notification struct {
 
 // journal record kinds.
 type record struct {
-	Kind  string        `json:"kind"` // "notif" or "ack"
+	Kind  string        `json:"kind"` // "notif", "ack", "key" or "next"
 	Notif *Notification `json:"notif,omitempty"`
 	AckID int64         `json:"ackId,omitempty"`
 	// Key is the idempotency key of a remotely pushed notification
-	// (EnqueueKeyed); replayed on load so redelivery after a crash on
-	// either side cannot duplicate a notification.
+	// (EnqueueKeyed / EnqueueFanout); replayed on load so redelivery
+	// after a crash on either side cannot duplicate a notification.
+	// "key" records carry a bare key preserved by compaction after its
+	// notification was acknowledged and dropped.
 	Key string `json:"key,omitempty"`
+	// NextID ("next" records) preserves the id high-water mark across
+	// compaction, which drops the acked records that would otherwise
+	// carry it; ids must never be reused even for acknowledged history.
+	NextID int64 `json:"nextId,omitempty"`
+}
+
+// A commitGroup is one group-commit batch: encoded records from every
+// writer that arrived while the previous commit held the file, written
+// with a single buffered write + flush.
+type commitGroup struct {
+	buf  []byte // newline-terminated encoded records, in id order
+	n    int    // records in buf
+	err  error  // commit outcome; valid once done is closed
+	done chan struct{}
 }
 
 type queue struct {
-	path    string
+	path string
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals commit-leader turnover (writing -> false)
 	file    *os.File
 	w       *bufio.Writer
 	notifs  []Notification  // in id order
@@ -68,17 +99,41 @@ type queue struct {
 	keys    map[string]bool // idempotency keys already enqueued
 	nextID  int64
 	watches []chan Notification
+	pending int  // unacked notifications, maintained incrementally
+	closed  bool // the store has been closed
+
+	open    *commitGroup // group accepting records; nil when none is forming
+	writing bool         // a commit leader holds the file outside mu
+	spare   []byte       // recycled group buffer
 }
 
 // A Store owns the persistent per-participant queues of one CMI system.
-// It is safe for concurrent use.
+// It is safe for concurrent use; operations on distinct queues do not
+// contend, and concurrent appends to the same queue group-commit.
 type Store struct {
-	dir string
+	dir          string
+	syncOnCommit bool
 
-	mu      sync.Mutex
-	queues  map[string]*queue
-	closed  bool
-	metrics *storeMetrics
+	// metrics is atomic so the enqueue/ack hot paths read it without
+	// taking any store-wide lock.
+	metrics atomic.Pointer[storeMetrics]
+	// pendingTotal counts unacknowledged notifications across all
+	// loaded queues, maintained incrementally so the queue-depth gauge
+	// is O(1) at scrape time instead of a full scan under a lock.
+	pendingTotal atomic.Int64
+
+	mu     sync.Mutex // guards queues map and closed only
+	queues map[string]*queue
+	closed bool
+}
+
+// StoreOptions configure a Store beyond its directory.
+type StoreOptions struct {
+	// Sync fsyncs the journal file at the end of every commit group,
+	// making appends durable against machine crashes rather than only
+	// process crashes. Group commit amortizes the fsync: N concurrent
+	// appends to one queue pay ~one fsync per group, not one each.
+	Sync bool
 }
 
 // storeMetrics holds the store's hot-path instruments; nil when the
@@ -88,45 +143,41 @@ type storeMetrics struct {
 	enqueued      *obs.Counter
 	acked         *obs.Counter
 	appendLatency *obs.Histogram
+	commits       *obs.Counter
+	batchSize     *obs.ValueHistogram
 }
 
 // Instrument registers the store's metric series: notifications
-// enqueued and acknowledged, journal append latency, and the pending
-// queue depth (sampled at exposition time). A nil registry is a no-op.
+// enqueued and acknowledged, commit-group latency and batch size, and
+// the pending queue depth (an O(1) counter read at exposition time).
+// A nil registry is a no-op.
 func (s *Store) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	if reg == nil {
 		return
 	}
-	s.mu.Lock()
-	s.metrics = &storeMetrics{
+	s.metrics.Store(&storeMetrics{
 		enqueued: reg.Counter("cmi_delivery_enqueued_total",
 			"Notifications appended to participant queues.", labels...),
 		acked: reg.Counter("cmi_delivery_acked_total",
 			"Notifications acknowledged by participants.", labels...),
 		appendLatency: reg.Histogram("cmi_delivery_journal_append_seconds",
-			"Latency of one durable journal append (marshal, write, flush).",
+			"Latency of one durable journal commit group (write, flush, fsync when enabled).",
 			nil, labels...),
-	}
-	s.mu.Unlock()
+		commits: reg.Counter("cmi_delivery_commits_total",
+			"Journal commit groups written (each covers one or more records).", labels...),
+		batchSize: reg.ValueHistogram("cmi_delivery_commit_batch_size",
+			"Records coalesced into one journal commit group.", nil, labels...),
+	})
 	reg.GaugeFunc("cmi_delivery_queue_depth",
 		"Unacknowledged notifications across all loaded participant queues.",
 		func() float64 { return float64(s.pendingDepth()) }, labels...)
 }
 
-// pendingDepth counts unacknowledged notifications across the loaded
-// queues, for the queue-depth gauge.
+// pendingDepth reports unacknowledged notifications across the loaded
+// queues for the queue-depth gauge — an O(1) read of the incrementally
+// maintained counter, never a scan.
 func (s *Store) pendingDepth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	depth := 0
-	for _, q := range s.queues {
-		for _, n := range q.notifs {
-			if !n.Acked {
-				depth++
-			}
-		}
-	}
-	return depth
+	return int(s.pendingTotal.Load())
 }
 
 // Open reports whether the store is usable (not yet closed).
@@ -136,12 +187,33 @@ func (s *Store) Open() bool {
 	return !s.closed
 }
 
-// NewStore opens (creating if necessary) a queue store rooted at dir.
+// NewStore opens (creating if necessary) a queue store rooted at dir
+// with default options.
 func NewStore(dir string) (*Store, error) {
+	return NewStoreWith(dir, StoreOptions{})
+}
+
+// NewStoreWith opens (creating if necessary) a queue store rooted at
+// dir with the given options.
+func NewStoreWith(dir string, opts StoreOptions) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("delivery: %w", err)
 	}
-	return &Store{dir: dir, queues: make(map[string]*queue)}, nil
+	return &Store{dir: dir, syncOnCommit: opts.Sync, queues: make(map[string]*queue)}, nil
+}
+
+func errClosed() error { return fmt.Errorf("delivery: store closed") }
+
+// queueFor resolves (loading or creating on first use) the participant's
+// queue. The store-wide lock covers only this map lookup/creation; all
+// queue I/O runs under the queue's own lock.
+func (s *Store) queueFor(participant string) (*queue, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed()
+	}
+	return s.queueLocked(participant)
 }
 
 func (s *Store) queueLocked(participant string) (*queue, error) {
@@ -150,9 +222,11 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 	}
 	path := filepath.Join(s.dir, url.PathEscape(participant)+".jsonl")
 	q := &queue{path: path, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
+	q.cond = sync.NewCond(&q.mu)
 	if err := q.load(); err != nil {
 		return nil, err
 	}
+	q.maybeCompact()
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("delivery: %w", err)
@@ -160,6 +234,7 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 	q.file = f
 	q.w = bufio.NewWriter(f)
 	s.queues[participant] = q
+	s.pendingTotal.Add(int64(q.pending))
 	return q, nil
 }
 
@@ -202,33 +277,205 @@ func (q *queue) load() error {
 			if i, ok := q.byID[r.AckID]; ok {
 				q.notifs[i].Acked = true
 			}
+		case "key":
+			if r.Key != "" {
+				q.keys[r.Key] = true
+			}
+		case "next":
+			if r.NextID > q.nextID {
+				q.nextID = r.NextID
+			}
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	q.pending = 0
+	for i := range q.notifs {
+		if !q.notifs[i].Acked {
+			q.pending++
+		}
+	}
+	return nil
 }
 
-// appendTimed journals one record, timing the durable append when the
-// store is instrumented. Called with s.mu held.
-func (s *Store) appendTimed(q *queue, r record) error {
-	m := s.metrics
-	if m == nil {
-		return q.append(r)
+// compactMinAcked is the floor below which compaction never triggers,
+// so small queues (and their full history) are left alone.
+const compactMinAcked = 4
+
+// maybeCompact rewrites a journal dominated by acknowledged records
+// down to its live state: an id high-water mark, the idempotency keys
+// (kept standalone so redelivered pushes of acked notifications still
+// dedup), and the live notifications. Long-lived participants therefore
+// stop paying replay cost for information they acknowledged long ago.
+// The rewrite is atomic (tmp + rename), so a crash at any point leaves
+// either the old or the new journal, never a mix; it is best-effort —
+// on any error the original journal is kept untouched.
+func (q *queue) maybeCompact() {
+	acked := len(q.notifs) - q.pending
+	if acked <= q.pending || acked < compactMinAcked {
+		return
 	}
+	tmp := q.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	ok := enc.Encode(record{Kind: "next", NextID: q.nextID}) == nil
+	if ok {
+		keys := make([]string, 0, len(q.keys))
+		for k := range q.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if enc.Encode(record{Kind: "key", Key: k}) != nil {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		for i := range q.notifs {
+			if q.notifs[i].Acked {
+				continue
+			}
+			n := q.notifs[i]
+			if enc.Encode(record{Kind: "notif", Notif: &n}) != nil {
+				ok = false
+				break
+			}
+		}
+	}
+	if ok {
+		ok = w.Flush() == nil && f.Sync() == nil
+	}
+	if f.Close() != nil {
+		ok = false
+	}
+	if !ok || os.Rename(tmp, q.path) != nil {
+		os.Remove(tmp)
+		return
+	}
+	// The in-memory queue mirrors the compacted journal: acked
+	// notifications are gone from history from here on.
+	live := make([]Notification, 0, q.pending)
+	byID := make(map[int64]int, q.pending)
+	for i := range q.notifs {
+		if q.notifs[i].Acked {
+			continue
+		}
+		byID[q.notifs[i].ID] = len(live)
+		live = append(live, q.notifs[i])
+	}
+	q.notifs = live
+	q.byID = byID
+}
+
+// appendCommit adds one encoded record to the queue's open commit group
+// and returns once the group containing it is durably written. The
+// classic group-commit protocol: the first writer to find no open group
+// becomes its leader; while the leader waits for the previous commit to
+// release the file, later writers join the open group; the leader then
+// seals the group and writes the whole batch with one write + flush
+// (+ fsync when enabled). Called with q.mu held; the lock is released
+// while waiting/writing and re-held on return.
+func (q *queue) appendCommit(rec []byte, m *storeMetrics, syncFile bool) error {
+	if q.closed {
+		return errClosed()
+	}
+	if g := q.open; g != nil {
+		// A group is forming: join it and wait for its commit.
+		g.buf = append(g.buf, rec...)
+		g.buf = append(g.buf, '\n')
+		g.n++
+		q.mu.Unlock()
+		<-g.done
+		q.mu.Lock()
+		return g.err
+	}
+	// Open a new group and lead its commit.
+	g := &commitGroup{buf: append(q.spare[:0], rec...), done: make(chan struct{})}
+	q.spare = nil
+	g.buf = append(g.buf, '\n')
+	g.n = 1
+	q.open = g
+	for q.writing {
+		q.cond.Wait() // joiners accumulate in q.open meanwhile
+	}
+	if syncFile && !q.closed {
+		// Linger one scheduler yield before sealing. The joiners of the
+		// commit that just cleared the file were blocked for its whole
+		// fsync; without this they always miss the next group, which
+		// then carries a single record — groups would alternate between
+		// 1 and N-1 records instead of holding ~N. The yield lets every
+		// runnable writer reach the queue and join. Only worth a yield
+		// when commits carry an fsync; q.open stays set, so no other
+		// leader can arise meanwhile.
+		q.mu.Unlock()
+		runtime.Gosched()
+		q.mu.Lock()
+	}
+	q.open = nil // seal: later writers start the next group
+	if q.closed {
+		// The store closed while this group waited its turn.
+		g.err = errClosed()
+		close(g.done)
+		return g.err
+	}
+	q.writing = true
+	q.mu.Unlock()
 	t0 := time.Now()
-	err := q.append(r)
-	m.appendLatency.Observe(time.Since(t0))
+	_, err := q.w.Write(g.buf)
+	if err == nil {
+		err = q.w.Flush()
+	}
+	if err == nil && syncFile {
+		err = q.file.Sync()
+	}
+	if err != nil {
+		err = fmt.Errorf("delivery: %w", err)
+	}
+	if m != nil {
+		m.appendLatency.Observe(time.Since(t0))
+		m.commits.Inc()
+		m.batchSize.Observe(float64(g.n))
+	}
+	q.mu.Lock()
+	q.writing = false
+	q.spare = g.buf[:0]
+	g.err = err
+	close(g.done)
+	q.cond.Broadcast()
 	return err
 }
 
-func (q *queue) append(r record) error {
-	b, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("delivery: %w", err)
+// accept applies one accepted notification to the queue's in-memory
+// state (id high-water mark, history, dedup key, pending counters,
+// watchers) at id-assignment time, before its commit group lands —
+// watchers therefore see notifications in id order. If the commit later
+// fails the caller reports the error but the in-memory record stays;
+// the journal decides on restart. Called with q.mu held.
+func (s *Store) accept(q *queue, n Notification, key string, m *storeMetrics) {
+	q.nextID = n.ID + 1
+	q.byID[n.ID] = len(q.notifs)
+	q.notifs = append(q.notifs, n)
+	if key != "" {
+		q.keys[key] = true
 	}
-	if _, err := q.w.Write(append(b, '\n')); err != nil {
-		return fmt.Errorf("delivery: %w", err)
+	q.pending++
+	s.pendingTotal.Add(1)
+	if m != nil {
+		m.enqueued.Inc()
 	}
-	return q.w.Flush()
+	for _, ch := range q.watches {
+		select {
+		case ch <- n:
+		default: // slow watcher: drop rather than block delivery
+		}
+	}
 }
 
 // Enqueue appends a notification to the participant's queue and returns
@@ -245,51 +492,134 @@ func (s *Store) Enqueue(participant string, n Notification) (Notification, error
 // duplicate=true, so a redelivered push lands exactly once. An empty key
 // behaves like Enqueue.
 func (s *Store) EnqueueKeyed(participant, key string, n Notification) (Notification, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return Notification{}, false, fmt.Errorf("delivery: store closed")
-	}
-	q, err := s.queueLocked(participant)
+	q, err := s.queueFor(participant)
 	if err != nil {
 		return Notification{}, false, err
+	}
+	m := s.metrics.Load()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Notification{}, false, errClosed()
 	}
 	if key != "" && q.keys[key] {
 		return Notification{}, true, nil
 	}
 	n.ID = q.nextID
-	q.nextID++
-	if err := s.appendTimed(q, record{Kind: "notif", Notif: &n, Key: key}); err != nil {
+	n.Acked = false
+	rec, err := json.Marshal(record{Kind: "notif", Notif: &n, Key: key})
+	if err != nil {
+		return Notification{}, false, fmt.Errorf("delivery: %w", err)
+	}
+	s.accept(q, n, key, m)
+	if err := q.appendCommit(rec, m, s.syncOnCommit); err != nil {
 		return Notification{}, false, err
 	}
-	if m := s.metrics; m != nil {
-		m.enqueued.Inc()
+	return n, false, nil
+}
+
+// fanoutPrefix is the leading bytes of every encoded "notif" record:
+// encoding/json emits struct fields in declaration order, so the id —
+// the only per-queue part of a fanned-out notification — sits at a
+// fixed offset. EnqueueFanout relies on this to marshal the shared body
+// once and splice each queue's id in; the HasPrefix guard below falls
+// back to a full per-queue marshal if the shape ever changes.
+const fanoutPrefix = `{"kind":"notif","notif":{"id":`
+
+// EnqueueFanout appends one notification to many participant queues —
+// the delivery agent's fan-out after awareness role resolution. The
+// notification body is marshaled once and each queue's assigned id is
+// spliced in, then journaled through that queue's commit group, so a
+// wide fan-out (or many concurrent fan-outs from detection shards) pays
+// ~one commit per group per queue instead of one per record. Per-queue
+// id ordering and idempotency-key dedup match EnqueueKeyed exactly.
+//
+// It returns the enqueued notifications aligned with users (zero-valued
+// where the key was a duplicate or the queue failed), the number of
+// duplicates, and the first error encountered; queues after a failing
+// one are still attempted.
+func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Notification, int, error) {
+	out := make([]Notification, len(users))
+	if len(users) == 0 {
+		return out, 0, nil
 	}
-	if key != "" {
-		q.keys[key] = true
+	n.ID = 0
+	n.Acked = false
+	enc, err := json.Marshal(record{Kind: "notif", Notif: &n, Key: key})
+	if err != nil {
+		return out, 0, fmt.Errorf("delivery: %w", err)
 	}
-	q.byID[n.ID] = len(q.notifs)
-	q.notifs = append(q.notifs, n)
-	for _, ch := range q.watches {
-		select {
-		case ch <- n:
-		default: // slow watcher: drop rather than block delivery
+	var rest []byte // encoded record after the id digits; nil disables splicing
+	if bytes.HasPrefix(enc, []byte(fanoutPrefix+"0")) {
+		rest = enc[len(fanoutPrefix)+1:]
+	}
+	m := s.metrics.Load()
+	var (
+		scratch  []byte
+		dups     int
+		firstErr error
+	)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
 		}
 	}
-	return n, false, nil
+	for i, u := range users {
+		q, err := s.queueFor(u)
+		if err != nil {
+			fail(err)
+			continue
+		}
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			fail(errClosed())
+			continue
+		}
+		if key != "" && q.keys[key] {
+			dups++
+			q.mu.Unlock()
+			continue
+		}
+		nn := n
+		nn.ID = q.nextID
+		var rec []byte
+		if rest != nil {
+			scratch = append(scratch[:0], fanoutPrefix...)
+			scratch = strconv.AppendInt(scratch, nn.ID, 10)
+			scratch = append(scratch, rest...)
+			rec = scratch
+		} else {
+			rec, err = json.Marshal(record{Kind: "notif", Notif: &nn, Key: key})
+			if err != nil {
+				q.mu.Unlock()
+				fail(fmt.Errorf("delivery: %w", err))
+				continue
+			}
+		}
+		s.accept(q, nn, key, m)
+		err = q.appendCommit(rec, m, s.syncOnCommit)
+		q.mu.Unlock()
+		if err != nil {
+			fail(err)
+			continue
+		}
+		out[i] = nn
+	}
+	return out, dups, firstErr
 }
 
 // Pending returns the participant's unacknowledged notifications,
 // ordered by priority (highest first) and then by arrival.
 func (s *Store) Pending(participant string) ([]Notification, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("delivery: store closed")
-	}
-	q, err := s.queueLocked(participant)
+	q, err := s.queueFor(participant)
 	if err != nil {
 		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, errClosed()
 	}
 	var out []Notification
 	for _, n := range q.notifs {
@@ -352,30 +682,34 @@ func (s *Store) PendingDigest(participant string) ([]Digest, error) {
 	return out, nil
 }
 
-// History returns every notification ever queued for the participant.
+// History returns every notification still in the participant's journal:
+// all of them, except acked notifications dropped by journal compaction
+// on a past load.
 func (s *Store) History(participant string) ([]Notification, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("delivery: store closed")
-	}
-	q, err := s.queueLocked(participant)
+	q, err := s.queueFor(participant)
 	if err != nil {
 		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, errClosed()
 	}
 	return append([]Notification(nil), q.notifs...), nil
 }
 
-// Ack marks a notification acknowledged, durably.
+// Ack marks a notification acknowledged, durably. The ack record rides
+// the queue's commit groups like enqueues do.
 func (s *Store) Ack(participant string, id int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return fmt.Errorf("delivery: store closed")
-	}
-	q, err := s.queueLocked(participant)
+	q, err := s.queueFor(participant)
 	if err != nil {
 		return err
+	}
+	m := s.metrics.Load()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errClosed()
 	}
 	i, ok := q.byID[id]
 	if !ok {
@@ -384,28 +718,31 @@ func (s *Store) Ack(participant string, id int64) error {
 	if q.notifs[i].Acked {
 		return nil
 	}
-	if err := s.appendTimed(q, record{Kind: "ack", AckID: id}); err != nil {
-		return err
+	rec, err := json.Marshal(record{Kind: "ack", AckID: id})
+	if err != nil {
+		return fmt.Errorf("delivery: %w", err)
 	}
 	q.notifs[i].Acked = true
-	if m := s.metrics; m != nil {
+	q.pending--
+	s.pendingTotal.Add(-1)
+	if m != nil {
 		m.acked.Inc()
 	}
-	return nil
+	return q.appendCommit(rec, m, s.syncOnCommit)
 }
 
 // Watch returns a channel receiving notifications as they are enqueued
 // for the participant. Slow receivers miss notifications rather than
 // blocking delivery; Pending is the catch-up path.
 func (s *Store) Watch(participant string) (<-chan Notification, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("delivery: store closed")
-	}
-	q, err := s.queueLocked(participant)
+	q, err := s.queueFor(participant)
 	if err != nil {
 		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, errClosed()
 	}
 	ch := make(chan Notification, 64)
 	q.watches = append(q.watches, ch)
@@ -442,16 +779,30 @@ func (s *Store) Participants() ([]string, error) {
 	return out, nil
 }
 
-// Close flushes and closes every queue file. Watch channels are closed.
+// Close flushes and closes every queue file, waiting for in-flight
+// commit groups to land first. Watch channels are closed.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	var firstErr error
+	queues := make([]*queue, 0, len(s.queues))
 	for _, q := range s.queues {
+		queues = append(queues, q)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, q := range queues {
+		q.mu.Lock()
+		q.closed = true
+		// Wait for the in-flight commit to release the file. A leader
+		// still waiting its turn sees q.closed on wake and fails its
+		// group without touching the file.
+		for q.writing {
+			q.cond.Wait()
+		}
 		if err := q.w.Flush(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -461,6 +812,8 @@ func (s *Store) Close() error {
 		for _, ch := range q.watches {
 			close(ch)
 		}
+		q.watches = nil
+		q.mu.Unlock()
 	}
 	return firstErr
 }

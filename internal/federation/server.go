@@ -560,12 +560,15 @@ func (s *Server) postRemoteNotification(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("federation: remote notification requires key and participant"))
 		return
 	}
-	_, dup, err := s.sys.Store().EnqueueKeyed(req.Participant, req.Key, req.Notification)
+	// The keyed push rides the batch fan-out path: under concurrent
+	// pushes (a remote domain draining its spool while local detection
+	// runs) the journal appends coalesce into shared commit groups.
+	_, dups, err := s.sys.Store().EnqueueFanout([]string{req.Participant}, req.Key, req.Notification)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PushResponse{Duplicate: dup})
+	writeJSON(w, http.StatusOK, PushResponse{Duplicate: dups > 0})
 }
 
 func (s *Server) getNotifications(w http.ResponseWriter, r *http.Request) {

@@ -191,6 +191,57 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sumNanos.Load())
 }
 
+// SizeBuckets are the default bucket upper bounds for count-valued
+// histograms (batch sizes, fan-out widths): powers of two from 1 to 128.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// A ValueHistogram is a fixed-bucket histogram over unitless float64
+// values — batch sizes, queue lengths — what Histogram is for
+// durations. Observe is allocation-free: one scan of the fixed bound
+// slice and three atomic operations.
+type ValueHistogram struct {
+	bounds  []float64       // sorted upper bounds; +Inf is implicit
+	counts  []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value. Nil-safe.
+func (h *ValueHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns how many observations were recorded.
+func (h *ValueHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *ValueHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
 // series is one registered metric series: a live instrument or a sampled
 // callback, under one family.
 type series struct {
@@ -199,6 +250,7 @@ type series struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	vhist   *ValueHistogram
 	// sample holds a CounterFunc / GaugeFunc callback. It is atomic
 	// because re-registration replaces the callback (a layer rebuilt
 	// after a Stop/Start cycle must not leave the series sampling dead
@@ -312,7 +364,7 @@ func (r *Registry) registerSample(name, help string, kind metricKind, labels []L
 	key := labelKey(labels)
 	if i, ok := f.byKey[key]; ok {
 		s := f.series[i]
-		if s.counter == nil && s.gauge == nil && s.hist == nil {
+		if s.counter == nil && s.gauge == nil && s.hist == nil && s.vhist == nil {
 			s.sample.Store(&fn)
 		}
 		return
@@ -355,6 +407,23 @@ func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels 
 		return nil
 	}
 	return s.hist
+}
+
+// ValueHistogram registers (idempotently) and returns a unitless
+// histogram series over the given bucket bounds (SizeBuckets when nil).
+// It shares the histogram family kind, so a name must not mix duration
+// and value histograms.
+func (r *Registry) ValueHistogram(name, help string, buckets []float64, labels ...Label) *ValueHistogram {
+	if buckets == nil {
+		buckets = SizeBuckets
+	}
+	s := r.register(name, help, kindHistogram, labels, func() *series {
+		return &series{vhist: &ValueHistogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets)+1)}}
+	})
+	if s == nil {
+		return nil
+	}
+	return s.vhist
 }
 
 // CounterFunc registers a counter series sampled by fn at exposition
@@ -508,7 +577,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
 		for _, s := range f.series {
 			switch {
-			case s.hist != nil:
+			case s.hist != nil || s.vhist != nil:
 				writeHistogram(&b, f.name, s)
 			default:
 				b.WriteString(f.name)
@@ -537,16 +606,43 @@ func seriesValue(s *series) float64 {
 }
 
 func writeHistogram(b *strings.Builder, name string, s *series) {
-	h := s.hist
+	// Normalize either histogram flavor to float bounds + bucket counts:
+	// duration histograms render bounds in seconds, value histograms
+	// as-is. Counts are loaded once so the rendered buckets are
+	// mutually consistent even under concurrent Observe calls.
+	var (
+		bounds []float64
+		counts []uint64
+		sum    float64
+	)
+	if h := s.hist; h != nil {
+		bounds = make([]float64, len(h.bounds))
+		for i, bd := range h.bounds {
+			bounds[i] = bd.Seconds()
+		}
+		counts = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
+		sum = h.Sum().Seconds()
+	} else {
+		h := s.vhist
+		bounds = h.bounds
+		counts = make([]uint64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+		}
+		sum = h.Sum()
+	}
 	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.counts[i].Load()
+	for i, bound := range bounds {
+		cum += counts[i]
 		b.WriteString(name)
 		b.WriteString("_bucket")
-		writeLabels(b, s.labels, Label{Key: "le", Value: formatFloat(bound.Seconds())})
+		writeLabels(b, s.labels, Label{Key: "le", Value: formatFloat(bound)})
 		fmt.Fprintf(b, " %d\n", cum)
 	}
-	cum += h.counts[len(h.bounds)].Load()
+	cum += counts[len(bounds)]
 	b.WriteString(name)
 	b.WriteString("_bucket")
 	writeLabels(b, s.labels, Label{Key: "le", Value: "+Inf"})
@@ -554,7 +650,7 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 	b.WriteString(name)
 	b.WriteString("_sum")
 	writeLabels(b, s.labels)
-	fmt.Fprintf(b, " %s\n", formatFloat(h.Sum().Seconds()))
+	fmt.Fprintf(b, " %s\n", formatFloat(sum))
 	b.WriteString(name)
 	b.WriteString("_count")
 	writeLabels(b, s.labels)

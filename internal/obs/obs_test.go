@@ -84,6 +84,54 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestValueHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.ValueHistogram("cmi_test_batch_size", "batch sizes", nil) // SizeBuckets
+	h.Observe(1)   // bucket le=1
+	h.Observe(2)   // le=2 (inclusive)
+	h.Observe(3)   // le=4
+	h.Observe(500) // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 506 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// Registering the same series again returns the original instrument.
+	if again := r.ValueHistogram("cmi_test_batch_size", "batch sizes", nil); again != h {
+		t.Fatal("re-registration returned a different instrument")
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cmi_test_batch_size histogram",
+		`cmi_test_batch_size_bucket{le="1"} 1`,
+		`cmi_test_batch_size_bucket{le="2"} 2`,
+		`cmi_test_batch_size_bucket{le="4"} 3`,
+		`cmi_test_batch_size_bucket{le="128"} 3`,
+		`cmi_test_batch_size_bucket{le="+Inf"} 4`,
+		"cmi_test_batch_size_sum 506",
+		"cmi_test_batch_size_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Nil-safety mirrors the other instruments.
+	var nilH *ValueHistogram
+	nilH.Observe(7)
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil ValueHistogram not inert")
+	}
+	var nilReg *Registry
+	if got := nilReg.ValueHistogram("cmi_test_nil", "x", nil); got != nil {
+		t.Fatal("nil registry returned a live instrument")
+	}
+}
+
 func TestExpositionFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("cmi_b_total", "bees", L("kind", "worker")).Add(2)

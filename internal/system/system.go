@@ -48,6 +48,11 @@ type Config struct {
 	// per-system registry (exposed by Metrics()), so instrumentation is
 	// always on; supply a registry to aggregate several systems.
 	Metrics *obs.Registry
+	// SyncJournal fsyncs every delivery-journal commit group, making
+	// queued notifications durable against machine crashes rather than
+	// only process crashes. Group commit amortizes the fsync across
+	// concurrent enqueues to the same queue.
+	SyncJournal bool
 }
 
 // ErrStarted marks build-time operations attempted after Start, so
@@ -106,7 +111,7 @@ func New(cfg Config) (*System, error) {
 		stateDir = d
 		owns = true
 	}
-	store, err := delivery.NewStore(stateDir)
+	store, err := delivery.NewStoreWith(stateDir, delivery.StoreOptions{Sync: cfg.SyncJournal})
 	if err != nil {
 		return nil, err
 	}
