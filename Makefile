@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-smoke cover docs examples experiments clean
+.PHONY: all check build vet test race bench bench-smoke crash cover docs examples experiments clean
 
-all: build vet test race docs bench-smoke
+all: build vet test race docs bench-smoke crash
 
 # The one gate to run before pushing: static checks plus the race-enabled
 # test suite and the docs-consistency guard.
@@ -31,6 +31,12 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/cmibench -exp awareness -smoke
 	$(GO) test -run '^$$' -bench 'BenchmarkDeliveryFanout' -benchtime=1x .
+
+# Crash-injection harness: SIGKILL a randomized enactment workload at
+# arbitrary journal positions, recover, and check the invariants
+# (short randomized budget; raise CMI_CRASH_ROUNDS for a longer soak).
+crash:
+	CMI_CRASH_ROUNDS=$${CMI_CRASH_ROUNDS:-5} $(GO) test -count=1 -run '^TestCrashRecovery$$' -v ./internal/system/
 
 cover:
 	$(GO) test -cover ./...

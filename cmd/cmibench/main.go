@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation]
+//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery]
 package main
 
 import (
@@ -38,7 +38,7 @@ var benchSmoke bool
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmibench: ")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery")
 	smoke := flag.Bool("smoke", false, "short smoke run: tiny workload, one rep, BENCH_*.json left untouched (awareness experiment)")
 	flag.Parse()
 	benchSmoke = *smoke
@@ -54,9 +54,10 @@ func main() {
 		"audit":      auditVsLive,
 		"awareness":  awarenessSharded,
 		"federation": federationResilience,
+		"recovery":   recoveryBench,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation"} {
+		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation", "recovery"} {
 			if err := exps[name](); err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}
@@ -723,5 +724,148 @@ func awarenessSharded() error {
 			fmt.Printf("  %s\n", line)
 		}
 	}
+	return nil
+}
+
+// recoverySpec is the workload model for the recovery experiment: a
+// tiny pool of long-lived processes whose context takes the bulk of the
+// writes, so the journal (history) grows far past the live state.
+const recoverySpec = `
+contextschema BenchCtx {
+    int Tally
+}
+process Bench {
+    context bc BenchCtx
+    activity Step role org Crew
+}
+`
+
+// recoveryBench measures restart time against journal length, with
+// snapshot+truncate compaction off (replay the whole history) and on
+// (load the snapshot, replay only the tail since the last compaction).
+// The paper's crisis scenarios assume the infrastructure survives
+// "breakdowns of any kind" (Section 2); this experiment quantifies the
+// cost of coming back. It writes BENCH_recovery.json.
+func recoveryBench() error {
+	header("Crash recovery — restart time vs journal length, snapshot on/off")
+	type point struct {
+		Ops        int     `json:"ops"`
+		WALRecords int     `json:"walRecords"`
+		Snapshot   bool    `json:"snapshotLoaded"`
+		Replayed   int     `json:"replayed"`
+		Skipped    int     `json:"skipped"`
+		RecoveryMS float64 `json:"recoveryMs"`
+	}
+	opCounts := []int{1000, 4000, 16000}
+	if benchSmoke {
+		opCounts = []int{200}
+	}
+	const pool = 8 // live processes; history grows, state does not
+	run := func(snapEvery int, label string) ([]point, error) {
+		fmt.Printf("%s:\n", label)
+		fmt.Printf("  %-8s %-12s %-10s %-10s %s\n", "ops", "walRecords", "replayed", "skipped", "recovery")
+		var points []point
+		for _, ops := range opCounts {
+			dir, err := os.MkdirTemp("", "cmi-recovery-*")
+			if err != nil {
+				return nil, err
+			}
+			s, err := cmi.New(cmi.Config{StateDir: dir, SnapshotEvery: snapEvery})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			seed := func() error {
+				if _, err := s.LoadSpec(recoverySpec); err != nil {
+					return err
+				}
+				if err := s.AddHuman("op", "Operator"); err != nil {
+					return err
+				}
+				if err := s.AssignRole("Crew", "op"); err != nil {
+					return err
+				}
+				if err := s.Start(); err != nil {
+					return err
+				}
+				var ids []string
+				for i := 0; i < pool; i++ {
+					pi, err := s.StartProcess("Bench", "op")
+					if err != nil {
+						return err
+					}
+					ids = append(ids, pi.ID())
+				}
+				for i := 0; i < ops; i++ {
+					if err := s.SetContextField(ids[i%pool], "bc", "Tally", i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := seed(); err != nil {
+				s.Close()
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			if err := s.Close(); err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			s2, err := cmi.New(cmi.Config{StateDir: dir, SnapshotEvery: snapEvery})
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			rec := s2.Recovery()
+			s2.Close()
+			os.RemoveAll(dir)
+			p := point{
+				Ops:        ops,
+				WALRecords: rec.Replayed + rec.Skipped,
+				Snapshot:   rec.SnapshotLoaded,
+				Replayed:   rec.Replayed,
+				Skipped:    rec.Skipped,
+				RecoveryMS: float64(rec.Elapsed.Microseconds()) / 1000,
+			}
+			points = append(points, p)
+			fmt.Printf("  %-8d %-12d %-10d %-10d %.2fms\n",
+				p.Ops, p.WALRecords, p.Replayed, p.Skipped, p.RecoveryMS)
+		}
+		fmt.Println()
+		return points, nil
+	}
+	noSnap, err := run(-1, "compaction off (replay the full history)")
+	if err != nil {
+		return err
+	}
+	snapEvery := 500
+	withSnap, err := run(snapEvery, fmt.Sprintf("compaction on (snapshot every %d records, replay the tail)", snapEvery))
+	if err != nil {
+		return err
+	}
+	if benchSmoke {
+		fmt.Println("smoke run: BENCH_recovery.json left untouched")
+		return nil
+	}
+	out := struct {
+		Benchmark  string  `json:"benchmark"`
+		Workload   string  `json:"workload"`
+		NoSnapshot []point `json:"noSnapshot"`
+		Snapshot   []point `json:"snapshot"`
+	}{
+		Benchmark:  "enactment-recovery",
+		Workload:   fmt.Sprintf("%d live processes, N context-field writes; recovery = system.New on the state dir; snapshot arm compacts every %d records", pool, snapEvery),
+		NoSnapshot: noSnap,
+		Snapshot:   withSnap,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_recovery.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_recovery.json")
 	return nil
 }

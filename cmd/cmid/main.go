@@ -11,6 +11,11 @@
 // -start the system starts immediately after loading the given specs;
 // otherwise a designer client starts it via POST /api/system/start.
 //
+// With -state DIR, the directory persists the delivery queues, the
+// enactment write-ahead log and snapshot, and every loaded spec: a bare
+// `cmid -state DIR` restart recovers the schemas first, then the full
+// enactment state, and logs a recovery summary.
+//
 // With -forward URL and -forward-participant ID, every detected
 // awareness event is also shipped to the federation server at URL for
 // that participant, store-and-forward: notifications are journaled to a
@@ -56,10 +61,10 @@ func main() {
 func run() error {
 	var (
 		addr   = flag.String("addr", ":8040", "listen address")
-		state  = flag.String("state", "", "state directory for persistent delivery queues (default: temporary)")
+		state  = flag.String("state", "", "state directory for delivery queues, enactment journal and specs; a restart recovers from it (default: temporary)")
 		start  = flag.Bool("start", false, "start the system immediately after loading -spec files")
 		shards = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
-		syncJ  = flag.Bool("sync-journal", false, "fsync each delivery-journal commit group (durable across machine crashes, not just process crashes)")
+		syncJ  = flag.Bool("sync-journal", false, "fsync each delivery-journal and enactment-WAL commit group (durable across machine crashes, not just process crashes)")
 		specs  specList
 
 		forward     = flag.String("forward", "", "base URL of a remote CMI domain to forward awareness notifications to")
@@ -85,6 +90,13 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if rec := sys.Recovery(); rec.SnapshotLoaded || rec.Replayed > 0 || rec.TornTail || rec.Failed > 0 {
+		log.Printf("recovered enactment state: snapshot=%v, %d record(s) replayed, %d skipped, %d failed, torn tail=%v (%v)",
+			rec.SnapshotLoaded, rec.Replayed, rec.Skipped, rec.Failed, rec.TornTail, rec.Elapsed)
+	}
+	if *syncJ && *state == "" {
+		log.Printf("WARNING: -sync-journal with a temporary state directory: the journals are fsynced but the directory is removed on shutdown, so nothing survives a restart; pass -state DIR to make durability meaningful")
 	}
 
 	for _, path := range specs {

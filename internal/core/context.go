@@ -42,6 +42,12 @@ type Registry struct {
 	observers   []event.Consumer
 	retireGates []func(contextID string)
 	nextID      int
+	// logger, when set, journals every SetField mutation: it is invoked
+	// with the registry lock held (so journal order equals write order
+	// per field) and returns a wait function run after the lock is
+	// released, before observers see the change — a notification never
+	// leaves the system for an unjournaled mutation.
+	logger func(contextID, field string, value any) func() error
 }
 
 // NewRegistry returns an empty context registry reading time from clock.
@@ -163,13 +169,35 @@ func (r *Registry) SetField(contextID, field string, value any) error {
 	}
 	observers := append([]event.Consumer(nil), r.observers...)
 	stamp := r.clock.Next()
+	var commit func() error
+	if r.logger != nil {
+		commit = r.logger(c.id, field, value)
+	}
 	r.mu.Unlock()
 
+	if commit != nil {
+		if err := commit(); err != nil {
+			// The in-memory value stands (accept-then-commit, like the
+			// delivery journal); the change is not announced because it
+			// may not survive a restart.
+			return err
+		}
+	}
 	ev := event.NewContext(stamp, "core-engine", change)
 	for _, o := range observers {
 		o.Consume(ev)
 	}
 	return nil
+}
+
+// SetLogger installs the journal hook invoked on every SetField while
+// the registry lock is held; the returned function (if any) is run
+// after the lock is released and must complete before observers are
+// notified. Install at most one logger, before concurrent use.
+func (r *Registry) SetLogger(fn func(contextID, field string, value any) func() error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.logger = fn
 }
 
 func checkFieldValue(def FieldDef, value any) error {
@@ -332,6 +360,118 @@ func (r *Registry) ResolveRole(dir *Directory, ref RoleRef, scope event.ProcessR
 		return out, nil
 	}
 	return nil, fmt.Errorf("core: unsupported role kind %v", kind)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot export/import (crash-consistent enactment). The registry's
+// whole state — including retired contexts, whose ids must never be
+// reused — round-trips through JSON-friendly structs; field values use
+// the typed WireValue encoding.
+
+// A ContextExport is the durable form of one context instance.
+type ContextExport struct {
+	ID      string               `json:"id"`
+	Name    string               `json:"name"`
+	Schema  *ResourceSchema      `json:"schema"`
+	Fields  map[string]WireValue `json:"fields,omitempty"`
+	Procs   []event.ProcessRef   `json:"procs,omitempty"`
+	Retired bool                 `json:"retired,omitempty"`
+}
+
+// A RegistryExport is the durable form of the whole context registry.
+type RegistryExport struct {
+	NextID   int             `json:"nextId"`
+	Contexts []ContextExport `json:"contexts,omitempty"`
+}
+
+// Export snapshots the registry, including retired contexts (their ids
+// stay burned) and the id counter.
+func (r *Registry) Export() (RegistryExport, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := RegistryExport{NextID: r.nextID}
+	ids := make([]string, 0, len(r.contexts))
+	for id := range r.contexts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := r.contexts[id]
+		ce := ContextExport{
+			ID:      c.id,
+			Name:    c.name,
+			Schema:  c.schema,
+			Procs:   append([]event.ProcessRef(nil), c.procs...),
+			Retired: c.retired,
+		}
+		if len(c.fields) > 0 {
+			ce.Fields = make(map[string]WireValue, len(c.fields))
+			for f, v := range c.fields {
+				wv, err := EncodeValue(v)
+				if err != nil {
+					return RegistryExport{}, fmt.Errorf("core: context %s field %s: %w", c.id, f, err)
+				}
+				ce.Fields[f] = wv
+			}
+		}
+		out.Contexts = append(out.Contexts, ce)
+	}
+	return out, nil
+}
+
+// Import rebuilds the registry from a snapshot. It must run on a fresh
+// registry, before any observers or concurrent use.
+func (r *Registry) Import(exp RegistryExport) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.contexts) > 0 {
+		return fmt.Errorf("core: Import requires an empty context registry")
+	}
+	for _, ce := range exp.Contexts {
+		if ce.Schema == nil {
+			return fmt.Errorf("core: snapshot context %q has no schema", ce.ID)
+		}
+		c := &Context{
+			id:      ce.ID,
+			name:    ce.Name,
+			schema:  ce.Schema,
+			fields:  make(map[string]any, len(ce.Fields)),
+			procs:   append([]event.ProcessRef(nil), ce.Procs...),
+			retired: ce.Retired,
+		}
+		for f, wv := range ce.Fields {
+			v, err := wv.Decode()
+			if err != nil {
+				return fmt.Errorf("core: snapshot context %q field %q: %w", ce.ID, f, err)
+			}
+			c.fields[f] = v
+		}
+		r.contexts[c.id] = c
+		if !c.retired {
+			if r.byName[c.name] == nil {
+				r.byName[c.name] = make(map[string]*Context)
+			}
+			r.byName[c.name][c.id] = c
+		}
+	}
+	r.nextID = exp.NextID
+	return nil
+}
+
+// Serial returns the context id counter: ctx-(Serial()+1) is the next
+// id to be assigned. The enactment journal records it before each
+// operation so replay reproduces the exact ids.
+func (r *Registry) Serial() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nextID
+}
+
+// SetSerial forces the context id counter; only replay uses it.
+func (r *Registry) SetSerial(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID = n
 }
 
 func contextInScope(c *Context, scope event.ProcessRef) bool {

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+)
+
+// A WireValue is the durable, typed encoding of one context field value
+// (or guard constant). Plain JSON round-trips lose Go types — int64
+// becomes float64, time.Time becomes a string, RoleValue becomes
+// []any — which would make a recovered context fail the same
+// checkFieldValue its live predecessor passed. WireValue tags the value
+// with its dynamic type so the decode side rebuilds an equivalent Go
+// value:
+//
+//	t = "nil"  cleared field
+//	t = "s"    string
+//	t = "b"    bool
+//	t = "i"    integer-like (canonicalized to int64)
+//	t = "t"    time.Time (RFC3339Nano)
+//	t = "r"    RoleValue
+//	t = "j"    anything else, as raw JSON (FieldAny payloads)
+type WireValue struct {
+	T string          `json:"t"`
+	S string          `json:"s,omitempty"`
+	B bool            `json:"b,omitempty"`
+	I int64           `json:"i,omitempty"`
+	R []string        `json:"r,omitempty"`
+	J json.RawMessage `json:"j,omitempty"`
+}
+
+// EncodeValue converts a field value into its wire form.
+func EncodeValue(v any) (WireValue, error) {
+	switch x := v.(type) {
+	case nil:
+		return WireValue{T: "nil"}, nil
+	case string:
+		return WireValue{T: "s", S: x}, nil
+	case bool:
+		return WireValue{T: "b", B: x}, nil
+	case time.Time:
+		return WireValue{T: "t", S: x.Format(time.RFC3339Nano)}, nil
+	case RoleValue:
+		return WireValue{T: "r", R: append([]string(nil), x...)}, nil
+	}
+	// Integer-like values canonicalize to int64; AsInt64 also accepts
+	// time.Time, which the case above already claimed.
+	if i, ok := event.AsInt64(v); ok {
+		return WireValue{T: "i", I: i}, nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return WireValue{}, fmt.Errorf("core: cannot encode %T for the journal: %w", v, err)
+	}
+	return WireValue{T: "j", J: raw}, nil
+}
+
+// Decode rebuilds the Go value from its wire form.
+func (w WireValue) Decode() (any, error) {
+	switch w.T {
+	case "nil":
+		return nil, nil
+	case "s":
+		return w.S, nil
+	case "b":
+		return w.B, nil
+	case "i":
+		return w.I, nil
+	case "t":
+		t, err := time.Parse(time.RFC3339Nano, w.S)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad time value in journal: %w", err)
+		}
+		return t, nil
+	case "r":
+		return RoleValue(append([]string(nil), w.R...)), nil
+	case "j":
+		var v any
+		if err := json.Unmarshal(w.J, &v); err != nil {
+			return nil, fmt.Errorf("core: bad json value in journal: %w", err)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("core: unknown wire value tag %q", w.T)
+}

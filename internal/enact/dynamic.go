@@ -66,10 +66,9 @@ func (pi *ProcessInstance) allDependencies() []core.Dependency {
 // activities reach awareness through context changes, counts over other
 // events, or the audit log.
 func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableNow bool, user string) (ActivityInfo, error) {
-	var p pending
 	var info ActivityInfo
-	e.mu.Lock()
-	err := func() error {
+	rec := &walRecord{Kind: walAddActivity, Proc: processID, Enable: enableNow, User: user}
+	err := e.run(rec, func(p *pending) error {
 		pi, ok := e.procs[processID]
 		if !ok {
 			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
@@ -103,18 +102,30 @@ func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableN
 				}
 			}
 		}
+		if e.wal != nil && !e.replaying {
+			// Journal the full variable, with inline definitions for any
+			// schema the registry cannot resolve on restart.
+			defs := &walSchemaTable{}
+			wav, err := encodeActivityVar(av, defs, e.schemas)
+			if err != nil {
+				return fmt.Errorf("enact: cannot journal dynamic activity %q: %w", av.Name, err)
+			}
+			rec.AV = &wav
+			if !defs.empty() {
+				rec.Defs = defs
+			}
+		}
 		pi.extraActs = append(pi.extraActs, av)
 		if enableNow {
-			ai, err := e.instantiateActivityLocked(&p, pi, av, user)
+			ai, err := e.instantiateActivityLocked(p, pi, av, user)
 			if err != nil {
+				pi.extraActs = pi.extraActs[:len(pi.extraActs)-1]
 				return err
 			}
 			info = snapshot(ai)
 		}
 		return nil
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
+	})
 	return info, err
 }
 
@@ -124,9 +135,8 @@ func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableN
 // time of addition, it fires immediately — adding "seq Done -> NewWork"
 // after Done completed enables NewWork right away.
 func (e *Engine) AddDependency(processID string, d core.Dependency, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+	rec := &walRecord{Kind: walAddDependency, Proc: processID, User: user}
+	return e.run(rec, func(p *pending) error {
 		pi, ok := e.procs[processID]
 		if !ok {
 			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
@@ -137,14 +147,18 @@ func (e *Engine) AddDependency(processID string, d core.Dependency, user string)
 		if err := e.validateDynamicDepLocked(pi, d); err != nil {
 			return err
 		}
+		if e.wal != nil && !e.replaying {
+			wd, err := encodeDependency(d)
+			if err != nil {
+				return fmt.Errorf("enact: cannot journal dynamic dependency onto %q: %w", d.Target, err)
+			}
+			rec.Dep = &wd
+		}
 		pi.extraDeps = append(pi.extraDeps, d)
 		// Retroactive evaluation: fire the rule for sources that have
 		// already completed.
-		return e.fireOneDependencyLocked(&p, pi, d, user)
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+		return e.fireOneDependencyLocked(p, pi, d, user)
+	})
 }
 
 func (e *Engine) validateDynamicDepLocked(pi *ProcessInstance, d core.Dependency) error {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/event"
@@ -100,6 +101,19 @@ type Engine struct {
 	nextProc   int
 	nextAct    int
 	emitMu     sync.Mutex // serializes observer callbacks in stamp order
+
+	// Write-ahead logging (wal.go, recover.go). wal is nil until
+	// AttachWAL; replaying is set for the duration of Recover so that
+	// re-executed operations skip performer checks and journaling;
+	// guardBuf captures guard outcomes during a live operation for its
+	// record, guardSrc feeds recorded outcomes back during replay.
+	wal        *WAL
+	snapPath   string
+	snapEvery  int
+	replaying  bool
+	guardBuf   []bool
+	guardSrc   []bool
+	compacting atomic.Bool
 
 	metrics *enactMetrics
 }
@@ -240,6 +254,74 @@ func (e *Engine) emitProcess(p *pending, pi *ProcessInstance, old, new core.Stat
 	e.countTransition(new)
 }
 
+// preOp captures the id counters an operation starts from. They are
+// journaled with the operation's record so replay can force them —
+// failed operations are never journaled but may have burned ids.
+type preOp struct{ np, na, nc int }
+
+// preLocked snapshots the pre-operation counters and arms guard-outcome
+// capture. Must be called with e.mu held, before the operation mutates
+// anything.
+func (e *Engine) preLocked() preOp {
+	e.guardBuf = e.guardBuf[:0]
+	return preOp{np: e.nextProc, na: e.nextAct, nc: e.contexts.Serial()}
+}
+
+// stageLocked journals a successful operation: the record gets the
+// pre-operation counters and captured guard outcomes and joins the open
+// commit group. Must be called with e.mu held, so file order equals
+// operation order. The returned handle's wait() lands the group; when
+// no WAL is attached (or the engine is replaying) it waits for nothing.
+func (e *Engine) stageLocked(pre preOp, rec *walRecord) (walCommit, error) {
+	if e.wal == nil || e.replaying {
+		return walCommit{}, nil
+	}
+	rec.NP, rec.NA, rec.NC = pre.np, pre.na, pre.nc
+	if len(e.guardBuf) > 0 {
+		rec.G = append([]bool(nil), e.guardBuf...)
+	}
+	return e.wal.stage(rec)
+}
+
+// finish waits for the operation's commit group and then flushes its
+// pending side effects. On commit error the side effects are dropped:
+// the in-memory change stands but is never announced — whether it
+// survives is decided by the journal on restart (accept-then-commit,
+// like the delivery journal).
+func (e *Engine) finish(c walCommit, p *pending) error {
+	if err := c.wait(); err != nil {
+		return err
+	}
+	e.flush(p)
+	e.maybeCompact()
+	return nil
+}
+
+// run executes one state-changing operation under the engine lock,
+// journals it on success, and flushes its events after the commit
+// lands. On operation error the partial events are still flushed
+// (matching the engine's historical behavior) and nothing is journaled.
+func (e *Engine) run(rec *walRecord, op func(p *pending) error) error {
+	var p pending
+	e.mu.Lock()
+	pre := e.preLocked()
+	err := op(&p)
+	var c walCommit
+	var serr error
+	if err == nil {
+		c, serr = e.stageLocked(pre, rec)
+	}
+	e.mu.Unlock()
+	if err != nil {
+		e.flush(&p)
+		return err
+	}
+	if serr != nil {
+		return serr
+	}
+	return e.finish(c, &p)
+}
+
 // StartOptions configures process instantiation.
 type StartOptions struct {
 	// Initiator is recorded as the user on the start events.
@@ -258,14 +340,32 @@ func (e *Engine) StartProcess(schemaName string, opts StartOptions) (*ProcessIns
 	if !ok {
 		return nil, fmt.Errorf("enact: unknown process schema %q: %w", schemaName, core.ErrNotFound)
 	}
+	rec := &walRecord{Kind: walStartProcess, Schema: schemaName, User: opts.Initiator}
+	if len(opts.InputContexts) > 0 {
+		rec.Inputs = make(map[string]string, len(opts.InputContexts))
+		for k, v := range opts.InputContexts {
+			rec.Inputs[k] = v
+		}
+	}
 	var p pending
 	e.mu.Lock()
+	pre := e.preLocked()
 	pi, err := e.startProcessLocked(&p, schema, nil, "", opts)
+	var c walCommit
+	var serr error
+	if err == nil {
+		c, serr = e.stageLocked(pre, rec)
+	}
 	e.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	e.flush(&p)
+	if serr != nil {
+		return nil, serr
+	}
+	if err := e.finish(c, &p); err != nil {
+		return nil, err
+	}
 	return pi, nil
 }
 
@@ -376,12 +476,14 @@ func (e *Engine) instantiateActivityLocked(p *pending, pi *ProcessInstance, av c
 		proc:    pi,
 		state:   av.Schema.States().Initial(),
 	}
-	pi.acts[av.Name] = append(pi.acts[av.Name], ai)
-	e.activities[ai.id] = ai
 	to := e.defaultTarget(av.Schema.States(), ai.state, core.Ready)
 	if !av.Schema.States().Legal(ai.state, to) {
+		// Checked before the instance becomes visible, so a failed
+		// instantiation leaves no partial residue behind.
 		return nil, fmt.Errorf("enact: activity %s: no legal path from %s to Ready", ai.id, ai.state)
 	}
+	pi.acts[av.Name] = append(pi.acts[av.Name], ai)
+	e.activities[ai.id] = ai
 	old := ai.state
 	ai.state = to
 	e.emitActivity(p, ai, old, to, user)
@@ -393,6 +495,7 @@ func (e *Engine) instantiateActivityLocked(p *pending, pi *ProcessInstance, av c
 func (e *Engine) Instantiate(processID, activityVar, user string) (ActivityInfo, error) {
 	var p pending
 	e.mu.Lock()
+	pre := e.preLocked()
 	pi, ok := e.procs[processID]
 	if !ok {
 		e.mu.Unlock()
@@ -417,8 +520,14 @@ func (e *Engine) Instantiate(processID, activityVar, user string) (ActivityInfo,
 		return ActivityInfo{}, err
 	}
 	info := snapshot(ai)
+	c, serr := e.stageLocked(pre, &walRecord{Kind: walInstantiate, Proc: processID, Var: activityVar, User: user})
 	e.mu.Unlock()
-	e.flush(&p)
+	if serr != nil {
+		return ActivityInfo{}, serr
+	}
+	if err := e.finish(c, &p); err != nil {
+		return ActivityInfo{}, err
+	}
 	return info, nil
 }
 

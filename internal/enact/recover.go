@@ -1,0 +1,577 @@
+package enact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+)
+
+// Recovery: rebuild the engine from <StateDir>/enact.snap (the latest
+// compaction snapshot, if any) plus the replay of every enact.wal
+// record past the snapshot's high-water mark.
+//
+// Replay re-executes the journaled public operations on a fresh engine
+// with e.replaying set: performer checks are skipped (the directory is
+// not persisted), guard evaluations consume the outcomes recorded in
+// the journal, and the id counters are forced from each record — so the
+// recovered instances carry their original ids and every recovered
+// state was produced by the engine's own transition logic, making it
+// schema-legal by construction. Recovery runs before any observers are
+// wired, so replayed operations emit into an empty observer list:
+// awareness detection and delivery never see recovered history, and the
+// delivery journal's keyed dedup remains the backstop for anything a
+// crash left in flight.
+
+const snapshotVersion = 1
+
+// snapFile is the JSON snapshot of the whole engine + context registry.
+type snapFile struct {
+	Version  int                 `json:"version"`
+	LastSeq  int64               `json:"lastSeq"`
+	NextProc int                 `json:"nextProc"`
+	NextAct  int                 `json:"nextAct"`
+	Contexts core.RegistryExport `json:"contexts"`
+	Defs     *walSchemaTable     `json:"defs,omitempty"`
+	Procs    []snapProc          `json:"procs,omitempty"`
+	Acts     []snapAct           `json:"acts,omitempty"`
+}
+
+type snapProc struct {
+	ID         string              `json:"id"`
+	Schema     string              `json:"schema"`
+	State      string              `json:"state"`
+	ParentProc string              `json:"parentProc,omitempty"`
+	ParentVar  string              `json:"parentVar,omitempty"`
+	Initiator  string              `json:"initiator,omitempty"`
+	CtxIDs     map[string]string   `json:"ctxIds,omitempty"`
+	Owned      []string            `json:"owned,omitempty"`
+	Cancelled  []string            `json:"cancelled,omitempty"`
+	ExtraActs  []walActivityVar    `json:"extraActs,omitempty"`
+	ExtraDeps  []walDependency     `json:"extraDeps,omitempty"`
+	Acts       map[string][]string `json:"acts,omitempty"` // var -> instance ids, creation order
+}
+
+type snapAct struct {
+	ID       string `json:"id"`
+	Var      string `json:"var"`
+	Proc     string `json:"proc"`
+	State    string `json:"state"`
+	Assignee string `json:"assignee,omitempty"`
+	Child    bool   `json:"child,omitempty"`
+}
+
+// RecoveryStats summarizes one recovery pass.
+type RecoveryStats struct {
+	// SnapshotLoaded reports a snapshot file was found and imported;
+	// SnapshotSeq is its journal high-water mark.
+	SnapshotLoaded bool
+	SnapshotSeq    int64
+	// Replayed counts journal records re-executed; Skipped counts
+	// records at or below the snapshot mark (dropped as already
+	// covered); Failed counts records whose replay errored — possible
+	// only when an unjournaled partial failure preceded them live.
+	Replayed int
+	Skipped  int
+	Failed   int
+	// TornTail reports unparsable trailing journal data was discarded
+	// (the torn final write of a crash).
+	TornTail bool
+	// LastSeq is the highest journal sequence observed; fresh records
+	// continue from it.
+	LastSeq int64
+	// Elapsed is the wall time of the recovery pass.
+	Elapsed time.Duration
+}
+
+// Recover rebuilds the engine from the snapshot and journal at the
+// given paths (either may be absent). It must run on a fresh engine,
+// before observers are wired and before a WAL is attached.
+func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
+	start := time.Now()
+	var stats RecoveryStats
+	e.mu.Lock()
+	if len(e.procs) > 0 || e.wal != nil {
+		e.mu.Unlock()
+		return stats, fmt.Errorf("enact: Recover requires a fresh engine")
+	}
+	e.replaying = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.replaying = false
+		e.guardSrc = nil
+		e.mu.Unlock()
+	}()
+
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapFile
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return stats, fmt.Errorf("enact: corrupt snapshot %s: %w", snapPath, err)
+		}
+		if snap.Version != snapshotVersion {
+			return stats, fmt.Errorf("enact: snapshot %s has unsupported version %d", snapPath, snap.Version)
+		}
+		if err := e.importSnapshot(&snap); err != nil {
+			return stats, err
+		}
+		stats.SnapshotLoaded = true
+		stats.SnapshotSeq = snap.LastSeq
+		stats.LastSeq = snap.LastSeq
+	} else if !os.IsNotExist(err) {
+		return stats, fmt.Errorf("enact: read snapshot: %w", err)
+	}
+	// A crash between writing enact.snap.tmp and the rename leaves the
+	// temp file behind; it is superseded either way.
+	_ = os.Remove(snapPath + ".tmp")
+
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			stats.Elapsed = time.Since(start)
+			return stats, nil
+		}
+		return stats, fmt.Errorf("enact: read wal: %w", err)
+	}
+	for _, line := range splitLines(data) {
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final write. Everything after it (normally
+			// nothing) is unreachable: a logical log cannot skip a
+			// record and keep applying.
+			stats.TornTail = true
+			break
+		}
+		if rec.Seq > stats.LastSeq {
+			stats.LastSeq = rec.Seq
+		}
+		if rec.Seq <= stats.SnapshotSeq {
+			stats.Skipped++ // covered by the snapshot
+			continue
+		}
+		if err := e.applyRecord(&rec); err != nil {
+			stats.Failed++
+			continue
+		}
+		stats.Replayed++
+	}
+	stats.Elapsed = time.Since(start)
+	return stats, nil
+}
+
+// applyRecord re-executes one journaled operation.
+func (e *Engine) applyRecord(rec *walRecord) error {
+	if rec.Kind != walSetField {
+		// Force the id counters the operation saw; failed (unjournaled)
+		// operations may have burned ids in between.
+		e.mu.Lock()
+		e.nextProc = rec.NP
+		e.nextAct = rec.NA
+		e.guardSrc = append(e.guardSrc[:0], rec.G...)
+		e.mu.Unlock()
+		e.contexts.SetSerial(rec.NC)
+	}
+	switch rec.Kind {
+	case walStartProcess:
+		_, err := e.StartProcess(rec.Schema, StartOptions{Initiator: rec.User, InputContexts: rec.Inputs})
+		return err
+	case walInstantiate:
+		_, err := e.Instantiate(rec.Proc, rec.Var, rec.User)
+		return err
+	case walAssign:
+		return e.Assign(rec.Act, rec.User)
+	case walStart:
+		return e.Start(rec.Act, rec.User)
+	case walComplete:
+		return e.Complete(rec.Act, rec.User)
+	case walTerminate:
+		return e.Terminate(rec.Act, rec.User)
+	case walSuspend:
+		return e.Suspend(rec.Act, rec.User)
+	case walResume:
+		return e.Resume(rec.Act, rec.User)
+	case walTransition:
+		return e.Transition(rec.Act, core.State(rec.To), rec.User)
+	case walTerminateProcess:
+		return e.TerminateProcess(rec.Proc, rec.User)
+	case walAddActivity:
+		if rec.AV == nil {
+			return fmt.Errorf("enact: add_activity record %d has no activity", rec.Seq)
+		}
+		av, err := newSchemaResolver(rec.Defs, e.schemas).activityVar(*rec.AV)
+		if err != nil {
+			return err
+		}
+		_, err = e.AddActivity(rec.Proc, av, rec.Enable, rec.User)
+		return err
+	case walAddDependency:
+		if rec.Dep == nil {
+			return fmt.Errorf("enact: add_dependency record %d has no dependency", rec.Seq)
+		}
+		d, err := decodeDependency(*rec.Dep)
+		if err != nil {
+			return err
+		}
+		return e.AddDependency(rec.Proc, d, rec.User)
+	case walSetField:
+		var v any
+		if rec.Value != nil {
+			var err error
+			if v, err = rec.Value.Decode(); err != nil {
+				return err
+			}
+		}
+		return e.contexts.SetField(rec.Ctx, rec.Field, v)
+	}
+	return fmt.Errorf("enact: unknown wal record kind %q (seq %d)", rec.Kind, rec.Seq)
+}
+
+// AttachWAL connects the journal to the engine: subsequent operations
+// stage records into it, and — when snapEvery > 0 — the engine
+// compacts (snapshot to snapPath + journal truncation) each time
+// snapEvery records have accumulated since the last snapshot. Attach
+// after Recover, before concurrent use. It also installs the context
+// registry's SetField logger.
+func (e *Engine) AttachWAL(w *WAL, snapPath string, snapEvery int) {
+	e.mu.Lock()
+	e.wal = w
+	e.snapPath = snapPath
+	e.snapEvery = snapEvery
+	e.mu.Unlock()
+	e.contexts.SetLogger(func(ctxID, field string, value any) func() error {
+		wv, err := core.EncodeValue(value)
+		if err != nil {
+			return func() error { return err }
+		}
+		c, err := w.stage(&walRecord{Kind: walSetField, Ctx: ctxID, Field: field, Value: &wv})
+		if err != nil {
+			return func() error { return err }
+		}
+		return func() error {
+			if err := c.wait(); err != nil {
+				return err
+			}
+			e.maybeCompact()
+			return nil
+		}
+	})
+}
+
+// WAL returns the attached journal, if any.
+func (e *Engine) WAL() *WAL {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wal
+}
+
+// CloseWAL seals and closes the attached journal: in-flight commit
+// groups land, then further state-changing operations fail. Idempotent;
+// a nil-WAL engine is a no-op.
+func (e *Engine) CloseWAL() error {
+	e.mu.Lock()
+	w := e.wal
+	e.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// maybeCompact triggers an asynchronous compaction when the journal has
+// grown past the snapshot threshold. Single-flight: a compaction
+// already running absorbs the growth that triggered this call.
+func (e *Engine) maybeCompact() {
+	e.mu.Lock()
+	w, every := e.wal, e.snapEvery
+	e.mu.Unlock()
+	if w == nil || every <= 0 || w.sinceSnap.Load() < int64(every) {
+		return
+	}
+	if !e.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.compacting.Store(false)
+		_ = e.Compact() // best effort; the journal simply stays longer
+	}()
+}
+
+// Compact writes a snapshot of the live state and truncates the journal
+// to the records past its high-water mark, bounding recovery time by
+// live state rather than history length. Safe to call concurrently with
+// operations: the engine pauses while the state is exported; the
+// snapshot write and journal rewrite run outside the engine lock.
+func (e *Engine) Compact() error {
+	start := time.Now()
+	e.mu.Lock()
+	w := e.wal
+	if w == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("enact: no wal attached")
+	}
+	// With the engine lock held no new engine records can stage;
+	// Barrier waits for the in-flight ones to land. set_field records
+	// may still stage concurrently: those at or below the barrier are
+	// visible to the export (the value is written before staging, under
+	// the registry lock), later ones survive the truncation and replay
+	// idempotently over the snapshot.
+	lastSeq := w.Barrier()
+	snap, err := e.exportLocked(lastSeq)
+	snapPath := e.snapPath
+	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("enact: encode snapshot: %w", err)
+	}
+	tmp := snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("enact: write snapshot: %w", err)
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("enact: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("enact: install snapshot: %w", err)
+	}
+	if err := w.TruncateThrough(lastSeq); err != nil {
+		return err
+	}
+	w.observeSnapshot(time.Since(start))
+	return nil
+}
+
+// exportLocked snapshots the engine (and context registry) state.
+// Called with e.mu held.
+func (e *Engine) exportLocked(lastSeq int64) (*snapFile, error) {
+	snap := &snapFile{
+		Version:  snapshotVersion,
+		LastSeq:  lastSeq,
+		NextProc: e.nextProc,
+		NextAct:  e.nextAct,
+		Defs:     &walSchemaTable{},
+	}
+	ctxExp, err := e.contexts.Export()
+	if err != nil {
+		return nil, err
+	}
+	// Contexts owned by a closed process are retired by the closing
+	// operation's post-commit flush, which may not have run yet when
+	// this export races it; the closure itself is journaled at or below
+	// lastSeq, so mark them retired here to keep the snapshot
+	// deterministic with respect to the journal.
+	closedOwned := map[string]bool{}
+	for _, pi := range e.procs {
+		if !isActive(pi.schema.States(), pi.state) {
+			for _, id := range pi.ownedCtxs {
+				closedOwned[id] = true
+			}
+		}
+	}
+	for i := range ctxExp.Contexts {
+		if closedOwned[ctxExp.Contexts[i].ID] {
+			ctxExp.Contexts[i].Retired = true
+		}
+	}
+	snap.Contexts = ctxExp
+
+	ids := make([]string, 0, len(e.procs))
+	for id := range e.procs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pi := e.procs[id]
+		sp := snapProc{
+			ID:        pi.id,
+			Schema:    pi.schema.Name,
+			State:     string(pi.state),
+			ParentVar: pi.parentVar,
+			Initiator: pi.initiator,
+			Owned:     append([]string(nil), pi.ownedCtxs...),
+		}
+		if pi.parentProc != nil {
+			sp.ParentProc = pi.parentProc.id
+		}
+		if len(pi.ctxIDs) > 0 {
+			sp.CtxIDs = make(map[string]string, len(pi.ctxIDs))
+			for k, v := range pi.ctxIDs {
+				sp.CtxIDs[k] = v
+			}
+		}
+		for v := range pi.cancelled {
+			if pi.cancelled[v] {
+				sp.Cancelled = append(sp.Cancelled, v)
+			}
+		}
+		sort.Strings(sp.Cancelled)
+		if err := ensureSchemaDef(pi.schema, snap.Defs, e.schemas); err != nil {
+			return nil, err
+		}
+		for _, av := range pi.extraActs {
+			wav, err := encodeActivityVar(av, snap.Defs, e.schemas)
+			if err != nil {
+				return nil, err
+			}
+			sp.ExtraActs = append(sp.ExtraActs, wav)
+		}
+		for _, d := range pi.extraDeps {
+			wd, err := encodeDependency(d)
+			if err != nil {
+				return nil, err
+			}
+			sp.ExtraDeps = append(sp.ExtraDeps, wd)
+		}
+		if len(pi.acts) > 0 {
+			sp.Acts = make(map[string][]string, len(pi.acts))
+			for v, list := range pi.acts {
+				for _, ai := range list {
+					sp.Acts[v] = append(sp.Acts[v], ai.id)
+				}
+			}
+		}
+		snap.Procs = append(snap.Procs, sp)
+	}
+
+	actIDs := make([]string, 0, len(e.activities))
+	for id := range e.activities {
+		actIDs = append(actIDs, id)
+	}
+	sort.Strings(actIDs)
+	for _, id := range actIDs {
+		ai := e.activities[id]
+		snap.Acts = append(snap.Acts, snapAct{
+			ID:       ai.id,
+			Var:      ai.varName,
+			Proc:     ai.proc.id,
+			State:    string(ai.state),
+			Assignee: ai.assignee,
+			Child:    ai.child != nil,
+		})
+	}
+	if snap.Defs.empty() {
+		snap.Defs = nil
+	}
+	return snap, nil
+}
+
+// importSnapshot rebuilds the engine (and context registry) from a
+// snapshot. Called on a fresh engine during Recover.
+func (e *Engine) importSnapshot(snap *snapFile) error {
+	if err := e.contexts.Import(snap.Contexts); err != nil {
+		return err
+	}
+	res := newSchemaResolver(snap.Defs, e.schemas)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byID := make(map[string]*snapAct, len(snap.Acts))
+	for i := range snap.Acts {
+		byID[snap.Acts[i].ID] = &snap.Acts[i]
+	}
+	// Pass 1: process shells with their schemas and dynamic extensions.
+	for _, sp := range snap.Procs {
+		s, err := res.resolve(sp.Schema)
+		if err != nil {
+			return err
+		}
+		ps, ok := s.(*core.ProcessSchema)
+		if !ok {
+			return fmt.Errorf("enact: snapshot process %s references non-process schema %q", sp.ID, sp.Schema)
+		}
+		pi := &ProcessInstance{
+			id:        sp.ID,
+			schema:    ps,
+			state:     core.State(sp.State),
+			parentVar: sp.ParentVar,
+			initiator: sp.Initiator,
+			acts:      make(map[string][]*ActivityInstance),
+			ctxIDs:    make(map[string]string, len(sp.CtxIDs)),
+			ownedCtxs: append([]string(nil), sp.Owned...),
+			cancelled: make(map[string]bool),
+		}
+		for k, v := range sp.CtxIDs {
+			pi.ctxIDs[k] = v
+		}
+		for _, v := range sp.Cancelled {
+			pi.cancelled[v] = true
+		}
+		for _, wav := range sp.ExtraActs {
+			av, err := res.activityVar(wav)
+			if err != nil {
+				return err
+			}
+			pi.extraActs = append(pi.extraActs, av)
+		}
+		for _, wd := range sp.ExtraDeps {
+			d, err := decodeDependency(wd)
+			if err != nil {
+				return err
+			}
+			pi.extraDeps = append(pi.extraDeps, d)
+		}
+		e.procs[pi.id] = pi
+	}
+	// Pass 2: parent links and activity instances (creation order per
+	// variable is preserved by the snapshot's id lists).
+	for _, sp := range snap.Procs {
+		pi := e.procs[sp.ID]
+		if sp.ParentProc != "" {
+			parent, ok := e.procs[sp.ParentProc]
+			if !ok {
+				return fmt.Errorf("enact: snapshot process %s references missing parent %s", sp.ID, sp.ParentProc)
+			}
+			pi.parentProc = parent
+		}
+		for v, list := range sp.Acts {
+			av, ok := pi.activityVar(v)
+			if !ok {
+				return fmt.Errorf("enact: snapshot process %s has instances of unknown variable %q", sp.ID, v)
+			}
+			for _, actID := range list {
+				sa := byID[actID]
+				if sa == nil {
+					return fmt.Errorf("enact: snapshot process %s references missing activity %s", sp.ID, actID)
+				}
+				ai := &ActivityInstance{
+					id:       sa.ID,
+					varName:  sa.Var,
+					schema:   av.Schema,
+					proc:     pi,
+					state:    core.State(sa.State),
+					assignee: sa.Assignee,
+				}
+				pi.acts[v] = append(pi.acts[v], ai)
+				e.activities[ai.id] = ai
+			}
+		}
+	}
+	// Pass 3: subprocess child links (a child shares its invoking
+	// activity's id).
+	for _, sa := range snap.Acts {
+		if sa.Child {
+			ai := e.activities[sa.ID]
+			child, ok := e.procs[sa.ID]
+			if ai == nil || !ok {
+				return fmt.Errorf("enact: snapshot activity %s marks a missing subprocess", sa.ID)
+			}
+			ai.child = child
+		}
+	}
+	e.nextProc = snap.NextProc
+	e.nextAct = snap.NextAct
+	return nil
+}

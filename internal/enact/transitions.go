@@ -11,26 +11,31 @@ import (
 // participant must play the activity's performer role (if one is
 // declared).
 func (e *Engine) Assign(activityID, participantID string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ai, ok := e.activities[activityID]
-	if !ok {
-		return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
-	}
-	if !ai.schema.States().IsSubstateOf(ai.state, core.Ready) {
-		return fmt.Errorf("enact: activity %s is %s, not Ready", activityID, ai.state)
-	}
-	if err := e.checkPerformerLocked(ai, participantID); err != nil {
-		return err
-	}
-	ai.assignee = participantID
-	return nil
+	return e.run(&walRecord{Kind: walAssign, Act: activityID, User: participantID}, func(*pending) error {
+		ai, ok := e.activities[activityID]
+		if !ok {
+			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
+		}
+		if !ai.schema.States().IsSubstateOf(ai.state, core.Ready) {
+			return fmt.Errorf("enact: activity %s is %s, not Ready", activityID, ai.state)
+		}
+		if err := e.checkPerformerLocked(ai, participantID); err != nil {
+			return err
+		}
+		ai.assignee = participantID
+		return nil
+	})
 }
 
 // checkPerformerLocked verifies that the user may perform the activity:
 // either the activity declares no performer role, or the user plays it
 // (scoped roles are resolved within the owning process instance's scope).
 func (e *Engine) checkPerformerLocked(ai *ActivityInstance, user string) error {
+	if e.replaying {
+		// The directory is not persisted; the check passed when the
+		// operation was journaled.
+		return nil
+	}
 	role := performerRole(ai.schema)
 	if role == "" || user == "" {
 		return nil
@@ -66,12 +71,9 @@ func performerRole(s core.ActivitySchema) core.RoleRef {
 // contexts per the activity variable's Bind map; the subprocess shares
 // the activity instance's id.
 func (e *Engine) Start(activityID, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := e.startActivityLocked(&p, activityID, user)
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+	return e.run(&walRecord{Kind: walStart, Act: activityID, User: user}, func(p *pending) error {
+		return e.startActivityLocked(p, activityID, user)
+	})
 }
 
 func (e *Engine) startActivityLocked(p *pending, activityID, user string) error {
@@ -111,9 +113,7 @@ func (e *Engine) startActivityLocked(p *pending, activityID, user string) error 
 // rules of the owning process. Completing a subprocess invocation
 // directly is rejected — the subprocess completes itself.
 func (e *Engine) Complete(activityID, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+	return e.run(&walRecord{Kind: walComplete, Act: activityID, User: user}, func(p *pending) error {
 		ai, ok := e.activities[activityID]
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
@@ -127,11 +127,8 @@ func (e *Engine) Complete(activityID, user string) error {
 		if ai.child != nil {
 			return fmt.Errorf("enact: subprocess activity %s already closed", activityID)
 		}
-		return e.completeActivityLocked(&p, ai, user)
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+		return e.completeActivityLocked(p, ai, user)
+	})
 }
 
 func (e *Engine) completeActivityLocked(p *pending, ai *ActivityInstance, user string) error {
@@ -147,36 +144,29 @@ func (e *Engine) completeActivityLocked(p *pending, ai *ActivityInstance, user s
 // Terminate moves an activity to Terminated. Terminating a started
 // subprocess terminates the subprocess instance recursively.
 func (e *Engine) Terminate(activityID, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+	return e.run(&walRecord{Kind: walTerminate, Act: activityID, User: user}, func(p *pending) error {
 		ai, ok := e.activities[activityID]
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
 		if ai.child != nil && isActive(ai.child.schema.States(), ai.child.state) {
-			return e.terminateProcessLocked(&p, ai.child, user)
+			return e.terminateProcessLocked(p, ai.child, user)
 		}
-		if err := e.transitionActivityLocked(&p, ai, core.Terminated, user); err != nil {
+		if err := e.transitionActivityLocked(p, ai, core.Terminated, user); err != nil {
 			return err
 		}
-		return e.checkProcessCompletionLocked(&p, ai.proc, user)
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+		return e.checkProcessCompletionLocked(p, ai.proc, user)
+	})
 }
 
 // Suspend moves a Running activity to Suspended.
 func (e *Engine) Suspend(activityID, user string) error {
-	return e.simpleTransition(activityID, core.Suspended, user)
+	return e.simpleTransition(&walRecord{Kind: walSuspend, Act: activityID, User: user}, activityID, core.Suspended, user)
 }
 
 // Resume moves a Suspended activity back to Running.
 func (e *Engine) Resume(activityID, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+	return e.run(&walRecord{Kind: walResume, Act: activityID, User: user}, func(p *pending) error {
 		ai, ok := e.activities[activityID]
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
@@ -184,35 +174,25 @@ func (e *Engine) Resume(activityID, user string) error {
 		if !ai.schema.States().IsSubstateOf(ai.state, core.Suspended) {
 			return fmt.Errorf("enact: activity %s is %s, not Suspended", activityID, ai.state)
 		}
-		return e.transitionActivityLocked(&p, ai, core.Running, user)
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+		return e.transitionActivityLocked(p, ai, core.Running, user)
+	})
 }
 
-func (e *Engine) simpleTransition(activityID string, intent core.State, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+func (e *Engine) simpleTransition(rec *walRecord, activityID string, intent core.State, user string) error {
+	return e.run(rec, func(p *pending) error {
 		ai, ok := e.activities[activityID]
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
-		return e.transitionActivityLocked(&p, ai, intent, user)
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+		return e.transitionActivityLocked(p, ai, intent, user)
+	})
 }
 
 // Transition moves an activity to an explicit leaf state — the escape
 // hatch for application-specific states that do not map onto the generic
 // intents.
 func (e *Engine) Transition(activityID string, to core.State, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+	return e.run(&walRecord{Kind: walTransition, Act: activityID, To: string(to), User: user}, func(p *pending) error {
 		ai, ok := e.activities[activityID]
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
@@ -223,21 +203,18 @@ func (e *Engine) Transition(activityID string, to core.State, user string) error
 		}
 		old := ai.state
 		ai.state = to
-		e.emitActivity(&p, ai, old, to, user)
+		e.emitActivity(p, ai, old, to, user)
 		if states.IsSubstateOf(to, core.Completed) {
-			if err := e.fireDependenciesLocked(&p, ai.proc, ai.varName, user); err != nil {
+			if err := e.fireDependenciesLocked(p, ai.proc, ai.varName, user); err != nil {
 				return err
 			}
-			return e.checkProcessCompletionLocked(&p, ai.proc, user)
+			return e.checkProcessCompletionLocked(p, ai.proc, user)
 		}
 		if states.IsSubstateOf(to, core.Terminated) {
-			return e.checkProcessCompletionLocked(&p, ai.proc, user)
+			return e.checkProcessCompletionLocked(p, ai.proc, user)
 		}
 		return nil
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+	})
 }
 
 // transitionActivityLocked performs a generic-intent transition (the
@@ -369,13 +346,27 @@ func (e *Engine) varCompletedLocked(pi *ProcessInstance, varName string) bool {
 }
 
 // evalGuardLocked evaluates a guard predicate against the live context.
+// The outcome is captured into the current operation's guard buffer so
+// its journal record can carry it; during replay the recorded outcomes
+// are consumed instead of re-evaluating, which keeps replay independent
+// of context writes that raced the original operation.
 func (e *Engine) evalGuardLocked(pi *ProcessInstance, g *core.Guard) (bool, error) {
+	if e.replaying && len(e.guardSrc) > 0 {
+		ok := e.guardSrc[0]
+		e.guardSrc = e.guardSrc[1:]
+		return ok, nil
+	}
 	ctxID, ok := pi.ctxIDs[g.ContextVar]
 	if !ok {
 		return false, fmt.Errorf("enact: guard references unbound context variable %q", g.ContextVar)
 	}
 	val, _ := e.contexts.Field(ctxID, g.Field)
-	return compareValues(val, g.Value, g.Op)
+	res, err := compareValues(val, g.Value, g.Op)
+	if err != nil {
+		return false, err
+	}
+	e.guardBuf = append(e.guardBuf, res)
+	return res, nil
 }
 
 // compareValues compares two field values under op. Integer-like values
@@ -529,9 +520,7 @@ func (e *Engine) terminateProcessLocked(p *pending, pi *ProcessInstance, user st
 // TerminateProcess terminates a process instance and everything active
 // inside it.
 func (e *Engine) TerminateProcess(processID, user string) error {
-	var p pending
-	e.mu.Lock()
-	err := func() error {
+	return e.run(&walRecord{Kind: walTerminateProcess, Proc: processID, User: user}, func(p *pending) error {
 		pi, ok := e.procs[processID]
 		if !ok {
 			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
@@ -539,9 +528,6 @@ func (e *Engine) TerminateProcess(processID, user string) error {
 		if !isActive(pi.schema.States(), pi.state) {
 			return fmt.Errorf("enact: process %s is already closed", processID)
 		}
-		return e.terminateProcessLocked(&p, pi, user)
-	}()
-	e.mu.Unlock()
-	e.flush(&p)
-	return err
+		return e.terminateProcessLocked(p, pi, user)
+	})
 }

@@ -1,0 +1,266 @@
+package system
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// addWorker registers the soloSpec performer.
+func addWorker(t *testing.T, s *System) {
+	t.Helper()
+	if err := s.AddHuman("w1", "Worker One"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AssignRole("Worker", "w1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runSolo starts a Solo instance and drives Work to completion.
+func runSolo(t *testing.T, s *System) string {
+	t.Helper()
+	pi, err := s.StartProcess("Solo", "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := s.Coordination().ActivitiesOf(pi.ID())
+	if len(acts) != 1 {
+		t.Fatalf("activities = %+v", acts)
+	}
+	if err := s.Coordination().Start(acts[0].ID, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Coordination().Complete(acts[0].ID, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	return pi.ID()
+}
+
+// TestSystemRecoveryRoundTrip: a system restarted on the same state
+// directory recovers its specs and its enactment state, does not
+// re-deliver notifications for replayed operations (replay-quiesce),
+// and keeps working afterwards.
+func TestSystemRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSpec(soloSpec); err != nil {
+		t.Fatal(err)
+	}
+	addWorker(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := runSolo(t, s) // completed: one "done" notification
+	mid, err := s.StartProcess("Solo", "w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	before := len(s.MustViewer("w1"))
+	if before == 0 {
+		t.Fatal("no notification delivered before restart")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Replayed == 0 || rec.Failed != 0 {
+		t.Fatalf("recovery stats = %+v", rec)
+	}
+	// The spec was recovered from <dir>/specs: reloading the identical
+	// source is a no-op, and the schema answers StartProcess.
+	if _, err := s2.LoadSpec(soloSpec); err != nil {
+		t.Fatalf("reloading recovered spec: %v", err)
+	}
+	if st, ok := s2.Coordination().ProcessState(done); !ok || st != core.Completed {
+		t.Fatalf("completed process recovered as %v, %v", st, ok)
+	}
+	if st, ok := s2.Coordination().ProcessState(mid.ID()); !ok || st != core.Running {
+		t.Fatalf("mid-flight process recovered as %v, %v", st, ok)
+	}
+	// Replay-quiesce: replaying the completed run must not re-detect
+	// and re-enqueue its notification.
+	addWorker(t, s2)
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.MustViewer("w1")); got != before {
+		t.Fatalf("notifications after restart = %d, want %d (replay re-delivered)", got, before)
+	}
+	// The recovered system keeps working: finish the mid-flight run and
+	// the new completion is detected and delivered exactly once more.
+	acts := s2.Coordination().ActivitiesOf(mid.ID())
+	if err := s2.Coordination().Start(acts[0].ID, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Coordination().Complete(acts[0].ID, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Drain()
+	if got := len(s2.MustViewer("w1")); got != before+1 {
+		t.Fatalf("notifications after post-recovery work = %d, want %d", got, before+1)
+	}
+}
+
+// TestNewFailsOnCorruptSnapshot: an unreadable snapshot must fail
+// construction loudly rather than silently starting empty.
+func TestNewFailsOnCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "enact.snap"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{StateDir: dir}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+// TestNewCleansTempDirOnFailure: when New creates its own temporary
+// state directory and then fails, the directory must not leak.
+func TestNewCleansTempDirOnFailure(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	orig := hookNewStore
+	hookNewStore = func(string, delivery.StoreOptions) (*delivery.Store, error) {
+		return nil, errors.New("injected store failure")
+	}
+	defer func() { hookNewStore = orig }()
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("injected store failure not reported")
+	}
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temporary state directory leaked: %v", entries)
+	}
+}
+
+// TestCloseRunsClosersBeforeSeal: a closer may still drive journaled
+// operations and store appends — Close seals the write-ahead log and
+// the store only afterwards, and the closer's work survives a restart.
+func TestCloseRunsClosersBeforeSeal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSpec(soloSpec); err != nil {
+		t.Fatal(err)
+	}
+	addWorker(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var closerErr error
+	s.AddCloser(func() error {
+		if _, closerErr = s.StartProcess("Solo", "w1"); closerErr != nil {
+			return closerErr
+		}
+		_, _, closerErr = s.Store().EnqueueKeyed("w1", "close-key",
+			delivery.Notification{Description: "flushed during close"})
+		return closerErr
+	})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if closerErr != nil {
+		t.Fatalf("closer failed: %v", closerErr)
+	}
+
+	s2, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := len(s2.Coordination().Instances()); got != 1 {
+		t.Fatalf("closer's journaled process not recovered: %d instances", got)
+	}
+	pend, err := s2.Store().Pending("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pend) != 1 || pend[0].Description != "flushed during close" {
+		t.Fatalf("closer's notification not recovered: %+v", pend)
+	}
+}
+
+// TestCloseIdempotent: double Close must not error, double-seal or
+// double-remove.
+func TestCloseIdempotent(t *testing.T) {
+	s, err := New(Config{Clock: vclock.NewVirtual()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseDuringOperations: Close racing in-flight journaled
+// operations must not corrupt state — the restart replays cleanly.
+func TestCloseDuringOperations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSpec(soloSpec); err != nil {
+		t.Fatal(err)
+	}
+	addWorker(t, s)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				// Errors are expected once the WAL seals mid-run.
+				if _, err := s.StartProcess("Solo", "w1"); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	s2, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir})
+	if err != nil {
+		t.Fatalf("recovery after racing close failed: %v", err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Failed != 0 {
+		t.Fatalf("replay failures after racing close: %+v", rec)
+	}
+	for _, id := range s2.Coordination().Instances() {
+		if st, ok := s2.Coordination().ProcessState(id); !ok || st != core.Running {
+			t.Fatalf("process %s recovered as %v, %v", id, st, ok)
+		}
+	}
+}

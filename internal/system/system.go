@@ -8,9 +8,14 @@
 package system
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"github.com/mcc-cmi/cmi/internal/adl"
@@ -48,12 +53,21 @@ type Config struct {
 	// per-system registry (exposed by Metrics()), so instrumentation is
 	// always on; supply a registry to aggregate several systems.
 	Metrics *obs.Registry
-	// SyncJournal fsyncs every delivery-journal commit group, making
-	// queued notifications durable against machine crashes rather than
-	// only process crashes. Group commit amortizes the fsync across
-	// concurrent enqueues to the same queue.
+	// SyncJournal fsyncs every delivery-journal and enactment-WAL commit
+	// group, making queued notifications and journaled operations
+	// durable against machine crashes rather than only process crashes.
+	// Group commit amortizes the fsync across concurrent writers.
 	SyncJournal bool
+	// SnapshotEvery is the number of enactment journal records between
+	// snapshot+truncate compactions, which bound recovery time by live
+	// state rather than history length. 0 selects DefaultSnapshotEvery;
+	// a negative value disables compaction (the journal only grows).
+	SnapshotEvery int
 }
+
+// DefaultSnapshotEvery is the default number of enactment journal
+// records between snapshot+truncate compactions.
+const DefaultSnapshotEvery = 4096
 
 // ErrStarted marks build-time operations attempted after Start, so
 // transports can answer 409 Conflict rather than a generic client
@@ -75,11 +89,14 @@ type System struct {
 
 	stateDir   string
 	ownsState  bool
+	recovery   enact.RecoveryStats
 	mu         sync.Mutex
 	started    bool
 	closed     bool
 	hasSchemas bool
 	closers    []func() error
+	specHashes map[string]bool
+	specCount  int
 }
 
 // AddCloser registers cleanup to run during Close, after outstanding
@@ -95,8 +112,15 @@ func (s *System) AddCloser(fn func() error) {
 	s.mu.Unlock()
 }
 
-// New builds a System from the configuration.
-func New(cfg Config) (*System, error) {
+// hookNewStore indirects notification-store construction so tests can
+// inject failures (see the temp-dir leak regression test).
+var hookNewStore = delivery.NewStoreWith
+
+// New builds a System from the configuration. If the state directory
+// holds a previous run's enactment snapshot and write-ahead log, the
+// engine state is recovered before the system is returned (see
+// Recovery for what the pass found).
+func New(cfg Config) (_ *System, err error) {
 	clock := cfg.Clock
 	if clock == nil {
 		clock = vclock.NewVirtual()
@@ -104,29 +128,42 @@ func New(cfg Config) (*System, error) {
 	stateDir := cfg.StateDir
 	owns := false
 	if stateDir == "" {
-		d, err := os.MkdirTemp("", "cmi-state-*")
-		if err != nil {
-			return nil, fmt.Errorf("cmi: %w", err)
+		d, terr := os.MkdirTemp("", "cmi-state-*")
+		if terr != nil {
+			return nil, fmt.Errorf("cmi: %w", terr)
 		}
 		stateDir = d
 		owns = true
+		// The directory belongs to the system only once construction
+		// succeeds; no error path below may leak it.
+		defer func() {
+			if err != nil {
+				os.RemoveAll(d)
+			}
+		}()
 	}
-	store, err := delivery.NewStoreWith(stateDir, delivery.StoreOptions{Sync: cfg.SyncJournal})
+	store, err := hookNewStore(stateDir, delivery.StoreOptions{Sync: cfg.SyncJournal})
 	if err != nil {
 		return nil, err
 	}
+	defer func() {
+		if err != nil {
+			store.Close()
+		}
+	}()
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	s := &System{
-		clock:     clock,
-		schemas:   core.NewSchemaRegistry(),
-		dir:       core.NewDirectory(),
-		metrics:   reg,
-		stateDir:  stateDir,
-		ownsState: owns,
-		store:     store,
+		clock:      clock,
+		schemas:    core.NewSchemaRegistry(),
+		dir:        core.NewDirectory(),
+		metrics:    reg,
+		stateDir:   stateDir,
+		ownsState:  owns,
+		store:      store,
+		specHashes: make(map[string]bool),
 	}
 	s.contexts = core.NewRegistry(clock)
 	s.enact = enact.New(clock, s.schemas, s.dir, s.contexts)
@@ -134,7 +171,7 @@ func New(cfg Config) (*System, error) {
 	// The "online" assignment (Section 5.3): deliver only to signed-on
 	// players of the role; if nobody is signed on, fall back to the
 	// whole role so the persistent queues still capture the information.
-	if err := s.agent.RegisterAssignment(AssignOnline, func(users []string, _ event.Event) []string {
+	if err = s.agent.RegisterAssignment(AssignOnline, func(users []string, _ event.Event) []string {
 		var online []string
 		for _, u := range users {
 			if s.dir.SignedOn(u) {
@@ -157,6 +194,15 @@ func New(cfg Config) (*System, error) {
 	s.enact.Instrument(reg)
 	s.agent.Instrument(reg)
 	store.Instrument(reg)
+	// Crash recovery runs BEFORE the engines are wired to awareness and
+	// delivery: replayed operations emit into empty observer lists, so
+	// recovery never re-detects and never re-notifies (replay-quiesce by
+	// wiring order). The delivery journal's keyed dedup remains the
+	// backstop for notifications already enqueued before the crash.
+	if err = s.recoverState(cfg, reg); err != nil {
+		s.enact.CloseWAL()
+		return nil, err
+	}
 	s.enact.Observe(s.aware)
 	s.contexts.Observe(s.aware)
 	// With sharded (asynchronous) detection, a context must not retire
@@ -167,6 +213,93 @@ func New(cfg Config) (*System, error) {
 	s.contexts.OnRetire(func(string) { s.aware.Quiesce() })
 	return s, nil
 }
+
+func (s *System) walPath() string      { return filepath.Join(s.stateDir, "enact.wal") }
+func (s *System) snapshotPath() string { return filepath.Join(s.stateDir, "enact.snap") }
+
+func specHash(src []byte) string {
+	sum := sha256.Sum256(src)
+	return hex.EncodeToString(sum[:])
+}
+
+// recoverState rebuilds schemas and engine state from the state
+// directory, then attaches the write-ahead log so fresh operations are
+// journaled. Runs during New, before the engines are observed.
+func (s *System) recoverState(cfg Config, reg *obs.Registry) error {
+	// Schemas first: journal replay re-executes operations that name
+	// them. Specs loaded through LoadSpec are persisted under
+	// <StateDir>/specs; programmatic schemas (RegisterProcess) are not
+	// and must be re-registered by the application before New.
+	specsDir := filepath.Join(s.stateDir, "specs")
+	entries, err := os.ReadDir(specsDir)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cmi: read persisted specs: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".adl") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(specsDir, name))
+		if err != nil {
+			return fmt.Errorf("cmi: read persisted spec %s: %w", name, err)
+		}
+		spec, err := adl.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("cmi: recover spec %s: %w", name, err)
+		}
+		if err := spec.Register(s.schemas); err != nil {
+			return fmt.Errorf("cmi: recover spec %s: %w", name, err)
+		}
+		if len(spec.Awareness) > 0 {
+			if err := s.aware.Define(spec.Awareness...); err != nil {
+				return fmt.Errorf("cmi: recover spec %s: %w", name, err)
+			}
+			s.hasSchemas = true
+		}
+		s.specHashes[specHash(src)] = true
+		s.specCount++
+	}
+
+	// Snapshot + journal replay into the still-unobserved engine.
+	stats, err := s.enact.Recover(s.snapshotPath(), s.walPath())
+	if err != nil {
+		return err
+	}
+	s.recovery = stats
+
+	// Fresh records continue the journal from where it left off.
+	wal, err := enact.OpenWAL(s.walPath(), enact.WALOptions{Sync: cfg.SyncJournal, Metrics: reg})
+	if err != nil {
+		return err
+	}
+	wal.SetSeq(stats.LastSeq)
+	snapEvery := cfg.SnapshotEvery
+	switch {
+	case snapEvery == 0:
+		snapEvery = DefaultSnapshotEvery
+	case snapEvery < 0:
+		snapEvery = 0 // compaction disabled
+	}
+	s.enact.AttachWAL(wal, s.snapshotPath(), snapEvery)
+
+	reg.Histogram("cmi_enact_recovery_seconds",
+		"Time to rebuild enactment state from snapshot and journal at startup.", nil).
+		Observe(stats.Elapsed)
+	reg.Counter("cmi_enact_replayed_records_total",
+		"Journal records re-executed during enactment recovery.").
+		Add(uint64(stats.Replayed))
+	return nil
+}
+
+// Recovery reports what the enactment recovery pass found when the
+// system was built: whether a snapshot was loaded, how many journal
+// records were replayed or skipped, and whether a torn journal tail was
+// discarded.
+func (s *System) Recovery() enact.RecoveryStats { return s.recovery }
 
 // Clock returns the system clock.
 func (s *System) Clock() vclock.Clock { return s.clock }
@@ -234,6 +367,13 @@ func (s *System) LoadSpec(src string) (*adl.Spec, error) {
 	if s.started {
 		return nil, fmt.Errorf("cmi: cannot load a spec: %w", ErrStarted)
 	}
+	if s.specHashes[specHash([]byte(src))] {
+		// This exact source is already installed — recovered from the
+		// state directory or loaded earlier this run. Loading it again
+		// is a no-op, which lets startup code pass the same spec on
+		// every run of a persistent state directory.
+		return spec, nil
+	}
 	before := make(map[string]bool)
 	for _, n := range s.schemas.Names() {
 		before[n] = true
@@ -258,7 +398,38 @@ func (s *System) LoadSpec(src string) (*adl.Spec, error) {
 		}
 		s.hasSchemas = true
 	}
+	if err := s.persistSpec(src); err != nil {
+		rollback()
+		return nil, err
+	}
 	return spec, nil
+}
+
+// persistSpec writes the spec source into <StateDir>/specs so a restart
+// of the same state directory recovers the schemas before replaying the
+// journal. Files are content-addressed; re-persisting the same source
+// is a no-op. Called with s.mu held.
+func (s *System) persistSpec(src string) error {
+	h := specHash([]byte(src))
+	if s.specHashes[h] {
+		return nil
+	}
+	dir := filepath.Join(s.stateDir, "specs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cmi: persist spec: %w", err)
+	}
+	s.specCount++
+	name := fmt.Sprintf("spec-%04d-%s.adl", s.specCount, h[:8])
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
+		return fmt.Errorf("cmi: persist spec: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cmi: persist spec: %w", err)
+	}
+	s.specHashes[h] = true
+	return nil
 }
 
 // MustLoadSpec is LoadSpec, panicking on error — for specs embedded as
@@ -296,9 +467,12 @@ func (s *System) Drain() {
 }
 
 // Close drains the awareness engine, waits for outstanding follow-on
-// hooks, runs registered closers (reverse order), and closes the
-// notification store. If the state directory was system-created, it is
-// removed.
+// hooks, runs registered closers (reverse order), seals the enactment
+// write-ahead log, and closes the notification store — in that order:
+// closers may still drive journaled operations, and a journaled
+// operation's notifications must have a store to land in, never the
+// other way round. If the state directory was system-created, it is
+// removed. Close is idempotent.
 func (s *System) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -312,6 +486,9 @@ func (s *System) Close() error {
 		if cerr := closers[i](); cerr != nil && err == nil {
 			err = cerr
 		}
+	}
+	if werr := s.enact.CloseWAL(); err == nil {
+		err = werr
 	}
 	if serr := s.store.Close(); err == nil {
 		err = serr
