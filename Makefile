@@ -2,13 +2,17 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-smoke crash cover docs examples experiments clean
+.PHONY: all check build vet test race bench bench-smoke bench-gate crash cover docs examples experiments clean
 
-all: build vet test race docs bench-smoke crash
+all: build vet test race docs bench-smoke bench-gate crash
 
 # The one gate to run before pushing: static checks plus the race-enabled
-# test suite and the docs-consistency guard.
+# test suite and the docs-consistency guard. The wire package — the
+# binary framing under every durable journal — is vetted and raced
+# explicitly so a narrowed ./... invocation can never silently skip it.
 check: vet race docs
+	$(GO) vet ./internal/wire/
+	$(GO) test -race ./internal/wire/
 
 build:
 	$(GO) build ./...
@@ -26,11 +30,28 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Compile-and-run smoke over the perf surfaces: a tiny cmibench
-# awareness run (BENCH_*.json untouched) plus the delivery fan-out
-# benchmarks at one iteration each.
+# awareness run (BENCH_*.json untouched) plus the journal-append
+# benchmarks at one iteration each. Every line is its own recipe
+# command, so a non-zero cmibench exit fails the target.
 bench-smoke:
 	$(GO) run ./cmd/cmibench -exp awareness -smoke
-	$(GO) test -run '^$$' -bench 'BenchmarkDeliveryFanout' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkDeliveryFanout' -benchtime=1x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchtime=1x -benchmem ./internal/enact/
+	$(GO) test -run '^$$' -bench 'BenchmarkSpoolPush' -benchtime=1x -benchmem ./internal/federation/
+
+# Perf ratchet: re-measure the tracked points (awareness localJournal
+# throughput, enactment recovery time) and fail on >15% regression
+# against the committed BENCH_*.json trajectory. The second invocation
+# is the negative self-test: under a 1.3x handicap the gate MUST fail,
+# proving it actually detects regressions of that size.
+bench-gate:
+	$(GO) run ./cmd/cmibench -exp gate
+	@echo "bench-gate: negative self-test (gate must fail under -gate-handicap 1.3)"
+	@if $(GO) run ./cmd/cmibench -exp gate -gate-handicap 1.3 >/dev/null 2>&1; then \
+		echo "bench-gate: negative self-test FAILED: handicapped gate passed"; exit 1; \
+	else \
+		echo "bench-gate: negative self-test ok"; \
+	fi
 
 # Crash-injection harness: SIGKILL a randomized enactment workload at
 # arbitrary journal positions, recover, and check the invariants

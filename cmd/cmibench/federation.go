@@ -241,23 +241,23 @@ func federationResilience() error {
 	}
 
 	out := struct {
-		Benchmark      string  `json:"benchmark"`
-		Workload       string  `json:"workload"`
-		Notifications  int     `json:"notifications"`
-		TimeToOpenMS   float64 `json:"timeToOpenMs"`
-		RecoveryMS     float64 `json:"recoveryMs"`
-		Retries        uint64  `json:"retries"`
-		RetryOverhead  float64 `json:"retryOverheadPerPush"`
-		Shed           uint64  `json:"shed"`
-		Delivered      uint64  `json:"delivered"`
-		Duplicates     uint64  `json:"duplicatesDeduplicated"`
-		FailedPushes   uint64  `json:"failedPushes"`
-		ExactlyOnce    bool    `json:"exactlyOnce"`
-		LocalContinued bool    `json:"localDeliveryContinued"`
+		Benchmark      string    `json:"benchmark"`
+		Meta           benchMeta `json:"meta"`
+		Notifications  int       `json:"notifications"`
+		TimeToOpenMS   float64   `json:"timeToOpenMs"`
+		RecoveryMS     float64   `json:"recoveryMs"`
+		Retries        uint64    `json:"retries"`
+		RetryOverhead  float64   `json:"retryOverheadPerPush"`
+		Shed           uint64    `json:"shed"`
+		Delivered      uint64    `json:"delivered"`
+		Duplicates     uint64    `json:"duplicatesDeduplicated"`
+		FailedPushes   uint64    `json:"failedPushes"`
+		ExactlyOnce    bool      `json:"exactlyOnce"`
+		LocalContinued bool      `json:"localDeliveryContinued"`
 	}{
 		Benchmark: "federation-resilience",
-		Workload: fmt.Sprintf("%d awareness detections forwarded across domains; phase 1: 503 burst + dropped responses; "+
-			"phase 2: blackholed remote; phase 3: recovery via healthz probe", 2*perPhase),
+		Meta: newBenchMeta(fmt.Sprintf("%d awareness detections forwarded across domains; phase 1: 503 burst + dropped responses; "+
+			"phase 2: blackholed remote; phase 3: recovery via healthz probe", 2*perPhase)),
 		Notifications:  2 * perPhase,
 		TimeToOpenMS:   float64(timeToOpen.Microseconds()) / 1000,
 		RecoveryMS:     float64(recovery.Microseconds()) / 1000,

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cmi "github.com/mcc-cmi/cmi"
+	"github.com/mcc-cmi/cmi/internal/crisis"
+	"github.com/mcc-cmi/cmi/internal/delivery"
+)
+
+// benchMeta makes every BENCH_*.json machine-comparable: the workload
+// parameters and the toolchain/host coordinates a later run must match
+// (or at least inspect) before reading two files as the same experiment.
+type benchMeta struct {
+	Workload   string `json:"workload"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+func newBenchMeta(workload string) benchMeta {
+	return benchMeta{
+		Workload:   workload,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// gateTolerance is how far a re-measured number may regress from the
+// committed trajectory before the gate fails: 15%, wide enough for
+// machine noise on a journaling workload, narrow enough to catch a real
+// regression.
+const gateTolerance = 0.15
+
+// gateHandicap scales the measured numbers before comparison (dividing
+// throughput, multiplying latency). 1.0 in normal operation; the
+// Makefile's negative self-test sets it >1+tolerance to prove the gate
+// actually fails on a regression of that size.
+var gateHandicap = 1.0
+
+// gateThroughputOK reports whether a measured events/sec figure (scaled
+// down by the handicap) holds the committed trajectory within tolerance.
+func gateThroughputOK(measured, committed, handicap float64) bool {
+	return measured/handicap >= committed*(1-gateTolerance)
+}
+
+// gateLatencyOK reports whether a measured duration in ms (scaled up by
+// the handicap) holds the committed trajectory within tolerance.
+func gateLatencyOK(measuredMS, committedMS, handicap float64) bool {
+	return measuredMS*handicap <= committedMS*(1+gateTolerance)
+}
+
+// gateAwarenessCommitted extracts the committed localJournal events/sec
+// at the given shard count from BENCH_awareness.json bytes.
+func gateAwarenessCommitted(data []byte, shards int) (float64, error) {
+	var f struct {
+		LocalJournal []struct {
+			Shards       int     `json:"shards"`
+			EventsPerSec float64 `json:"eventsPerSec"`
+		} `json:"localJournal"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("gate: BENCH_awareness.json: %w", err)
+	}
+	for _, p := range f.LocalJournal {
+		if p.Shards == shards {
+			return p.EventsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("gate: BENCH_awareness.json has no localJournal point at %d shards", shards)
+}
+
+// gateRecoveryCommitted extracts the committed noSnapshot recovery time
+// in ms at the given op count from BENCH_recovery.json bytes.
+func gateRecoveryCommitted(data []byte, ops int) (float64, error) {
+	var f struct {
+		NoSnapshot []struct {
+			Ops        int     `json:"ops"`
+			RecoveryMS float64 `json:"recoveryMs"`
+		} `json:"noSnapshot"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("gate: BENCH_recovery.json: %w", err)
+	}
+	for _, p := range f.NoSnapshot {
+		if p.Ops == ops {
+			return p.RecoveryMS, nil
+		}
+	}
+	return 0, fmt.Errorf("gate: BENCH_recovery.json has no noSnapshot point at %d ops", ops)
+}
+
+// gateMeasureAwareness re-measures the localJournal curve's 4-shard
+// point with the full benchmark's workload (best of reps, fresh state
+// dir per rep).
+func gateMeasureAwareness(shards, reps int) (float64, error) {
+	var best float64
+	for rep := 0; rep < reps; rep++ {
+		dir, err := os.MkdirTemp("", "cmi-gate-ingest-*")
+		if err != nil {
+			return 0, err
+		}
+		st, err := delivery.NewStoreWith(dir, delivery.StoreOptions{Sync: true})
+		if err != nil {
+			os.RemoveAll(dir)
+			return 0, err
+		}
+		res, err := crisis.RunIngest(crisis.IngestConfig{
+			Shards: shards, Instances: 512, EventsPerInstance: 4, Dir: dir, Store: st,
+		})
+		st.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return 0, err
+		}
+		if res.EventsPerSec > best {
+			best = res.EventsPerSec
+		}
+	}
+	return best, nil
+}
+
+// gateMeasureRecovery re-measures the noSnapshot recovery point: seed a
+// state dir with ops context writes over a small process pool (the full
+// benchmark's workload), then time system.New on it. Best of reps.
+func gateMeasureRecovery(ops, reps int) (float64, error) {
+	best := 0.0
+	for rep := 0; rep < reps; rep++ {
+		dir, err := os.MkdirTemp("", "cmi-gate-recovery-*")
+		if err != nil {
+			return 0, err
+		}
+		ms, err := func() (float64, error) {
+			defer os.RemoveAll(dir)
+			s, err := cmi.New(cmi.Config{StateDir: dir, SnapshotEvery: -1})
+			if err != nil {
+				return 0, err
+			}
+			const pool = 8
+			seed := func() error {
+				if _, err := s.LoadSpec(recoverySpec); err != nil {
+					return err
+				}
+				if err := s.AddHuman("op", "Operator"); err != nil {
+					return err
+				}
+				if err := s.AssignRole("Crew", "op"); err != nil {
+					return err
+				}
+				if err := s.Start(); err != nil {
+					return err
+				}
+				var ids []string
+				for i := 0; i < pool; i++ {
+					pi, err := s.StartProcess("Bench", "op")
+					if err != nil {
+						return err
+					}
+					ids = append(ids, pi.ID())
+				}
+				for i := 0; i < ops; i++ {
+					if err := s.SetContextField(ids[i%pool], "bc", "Tally", i); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := seed(); err != nil {
+				s.Close()
+				return 0, err
+			}
+			if err := s.Close(); err != nil {
+				return 0, err
+			}
+			s2, err := cmi.New(cmi.Config{StateDir: dir, SnapshotEvery: -1})
+			if err != nil {
+				return 0, err
+			}
+			rec := s2.Recovery()
+			s2.Close()
+			return float64(rec.Elapsed.Microseconds()) / 1000, nil
+		}()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+// gate is the perf ratchet: re-measure the two tracked points — the
+// localJournal 4-shard awareness throughput and the 16k-op noSnapshot
+// recovery time — and fail if either regresses more than gateTolerance
+// against the committed BENCH_*.json trajectory.
+func gate() error {
+	header("Performance gate — measured vs committed BENCH_*.json trajectory")
+	const (
+		gateShards = 4
+		gateOps    = 16000
+	)
+	awData, err := os.ReadFile("BENCH_awareness.json")
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	recData, err := os.ReadFile("BENCH_recovery.json")
+	if err != nil {
+		return fmt.Errorf("gate: %w", err)
+	}
+	awCommitted, err := gateAwarenessCommitted(awData, gateShards)
+	if err != nil {
+		return err
+	}
+	recCommitted, err := gateRecoveryCommitted(recData, gateOps)
+	if err != nil {
+		return err
+	}
+	if gateHandicap != 1.0 {
+		fmt.Printf("handicap %.2fx applied to measured numbers (negative self-test)\n", gateHandicap)
+	}
+
+	start := time.Now()
+	awMeasured, err := gateMeasureAwareness(gateShards, 3)
+	if err != nil {
+		return err
+	}
+	recMeasured, err := gateMeasureRecovery(gateOps, 2)
+	if err != nil {
+		return err
+	}
+
+	awOK := gateThroughputOK(awMeasured, awCommitted, gateHandicap)
+	recOK := gateLatencyOK(recMeasured, recCommitted, gateHandicap)
+	verdict := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "REGRESSION"
+	}
+	fmt.Printf("%-44s %-12s %-12s %-8s %s\n", "tracked point", "committed", "measured", "floor", "verdict")
+	fmt.Printf("%-44s %-12.0f %-12.0f %-8.0f %s\n",
+		fmt.Sprintf("awareness localJournal ev/s (%d shards)", gateShards),
+		awCommitted, awMeasured/gateHandicap, awCommitted*(1-gateTolerance), verdict(awOK))
+	fmt.Printf("%-44s %-12.2f %-12.2f %-8.2f %s\n",
+		fmt.Sprintf("recovery ms (%d ops, no snapshot)", gateOps),
+		recCommitted, recMeasured*gateHandicap, recCommitted*(1+gateTolerance), verdict(recOK))
+	fmt.Printf("gate measured in %s (tolerance %.0f%%)\n", time.Since(start).Round(time.Millisecond), gateTolerance*100)
+	if !awOK || !recOK {
+		return fmt.Errorf("gate: performance regressed more than %.0f%% against the committed trajectory", gateTolerance*100)
+	}
+	return nil
+}

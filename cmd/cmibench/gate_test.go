@@ -1,0 +1,76 @@
+package main
+
+import "testing"
+
+func TestGateThroughputOK(t *testing.T) {
+	const committed = 20000.0
+	cases := []struct {
+		name     string
+		measured float64
+		handicap float64
+		want     bool
+	}{
+		{"equal", committed, 1, true},
+		{"faster", committed * 1.4, 1, true},
+		{"near the floor", committed * 0.851, 1, true},
+		{"just under the floor", committed * 0.849, 1, false},
+		{"collapsed", committed * 0.5, 1, false},
+		{"handicap pushes a pass under the floor", committed, 1.3, false},
+		{"handicap within tolerance still passes", committed, 1.1, true},
+	}
+	for _, c := range cases {
+		if got := gateThroughputOK(c.measured, committed, c.handicap); got != c.want {
+			t.Errorf("%s: gateThroughputOK(%v, %v, %v) = %v, want %v",
+				c.name, c.measured, committed, c.handicap, got, c.want)
+		}
+	}
+}
+
+func TestGateLatencyOK(t *testing.T) {
+	const committed = 50.0 // ms
+	cases := []struct {
+		name     string
+		measured float64
+		handicap float64
+		want     bool
+	}{
+		{"equal", committed, 1, true},
+		{"faster", committed * 0.6, 1, true},
+		{"near the ceiling", committed * 1.149, 1, true},
+		{"just over the ceiling", committed * 1.151, 1, false},
+		{"doubled", committed * 2, 1, false},
+		{"handicap pushes a pass over the ceiling", committed, 1.3, false},
+		{"handicap within tolerance still passes", committed, 1.1, true},
+	}
+	for _, c := range cases {
+		if got := gateLatencyOK(c.measured, committed, c.handicap); got != c.want {
+			t.Errorf("%s: gateLatencyOK(%v, %v, %v) = %v, want %v",
+				c.name, c.measured, committed, c.handicap, got, c.want)
+		}
+	}
+}
+
+func TestGateCommittedExtraction(t *testing.T) {
+	aw := []byte(`{"benchmark":"awareness-sharded-ingest","localJournal":[
+		{"shards":1,"eventsPerSec":7000},{"shards":4,"eventsPerSec":21000}]}`)
+	got, err := gateAwarenessCommitted(aw, 4)
+	if err != nil || got != 21000 {
+		t.Fatalf("gateAwarenessCommitted = %v, %v", got, err)
+	}
+	if _, err := gateAwarenessCommitted(aw, 8); err == nil {
+		t.Fatal("missing shard count accepted")
+	}
+	if _, err := gateAwarenessCommitted([]byte("not json"), 4); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+
+	rec := []byte(`{"benchmark":"enactment-recovery","noSnapshot":[
+		{"ops":1000,"recoveryMs":3.2},{"ops":16000,"recoveryMs":40.5}]}`)
+	ms, err := gateRecoveryCommitted(rec, 16000)
+	if err != nil || ms != 40.5 {
+		t.Fatalf("gateRecoveryCommitted = %v, %v", ms, err)
+	}
+	if _, err := gateRecoveryCommitted(rec, 64000); err == nil {
+		t.Fatal("missing op count accepted")
+	}
+}

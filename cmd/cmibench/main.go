@@ -38,10 +38,12 @@ var benchSmoke bool
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmibench: ")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|gate")
 	smoke := flag.Bool("smoke", false, "short smoke run: tiny workload, one rep, BENCH_*.json left untouched (awareness experiment)")
+	handicap := flag.Float64("gate-handicap", 1, "scale measured numbers by this factor before the gate comparison (negative self-test)")
 	flag.Parse()
 	benchSmoke = *smoke
+	gateHandicap = *handicap
 
 	exps := map[string]func() error{
 		"fig1":       fig1,
@@ -55,6 +57,7 @@ func main() {
 		"awareness":  awarenessSharded,
 		"federation": federationResilience,
 		"recovery":   recoveryBench,
+		"gate":       gate,
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation", "recovery"} {
@@ -674,13 +677,13 @@ func awarenessSharded() error {
 		fmt.Println("smoke run: BENCH_awareness.json left untouched")
 	} else {
 		out := struct {
-			Benchmark      string  `json:"benchmark"`
-			Workload       string  `json:"workload"`
-			RemoteDelivery []point `json:"remoteDelivery"`
-			LocalJournal   []point `json:"localJournal"`
+			Benchmark      string    `json:"benchmark"`
+			Meta           benchMeta `json:"meta"`
+			RemoteDelivery []point   `json:"remoteDelivery"`
+			LocalJournal   []point   `json:"localJournal"`
 		}{
 			Benchmark:      "awareness-sharded-ingest",
-			Workload:       "512 instances x 4 events; remoteDelivery: 1ms simulated remote push + durable journal per detection; localJournal: delivery-store fan-out to one shared queue, fsync per group commit",
+			Meta:           newBenchMeta("512 instances x 4 events; remoteDelivery: 1ms simulated remote push + durable journal per detection; localJournal: delivery-store fan-out to one shared queue, fsync per group commit"),
 			RemoteDelivery: remote,
 			LocalJournal:   local,
 		}
@@ -849,13 +852,13 @@ func recoveryBench() error {
 		return nil
 	}
 	out := struct {
-		Benchmark  string  `json:"benchmark"`
-		Workload   string  `json:"workload"`
-		NoSnapshot []point `json:"noSnapshot"`
-		Snapshot   []point `json:"snapshot"`
+		Benchmark  string    `json:"benchmark"`
+		Meta       benchMeta `json:"meta"`
+		NoSnapshot []point   `json:"noSnapshot"`
+		Snapshot   []point   `json:"snapshot"`
 	}{
 		Benchmark:  "enactment-recovery",
-		Workload:   fmt.Sprintf("%d live processes, N context-field writes; recovery = system.New on the state dir; snapshot arm compacts every %d records", pool, snapEvery),
+		Meta:       newBenchMeta(fmt.Sprintf("%d live processes, N context-field writes; recovery = system.New on the state dir; snapshot arm compacts every %d records", pool, snapEvery)),
 		NoSnapshot: noSnap,
 		Snapshot:   withSnap,
 	}

@@ -190,6 +190,15 @@ func (e *Engine) Start() error {
 		return nil
 	}
 	e.router = newInstanceRouter()
+	// Each shard's detections buffer in a per-shard Batcher owned by
+	// that shard's agent goroutine and flushed at its batch-end hook:
+	// a batch-aware sink (the delivery agent) then drains a whole
+	// detection batch with one lock acquisition and one journal
+	// commit-group join instead of one per composite event. Flushing
+	// happens before any quiesce barrier releases and before Stop
+	// observes the drained shard, so the engine's drain guarantees are
+	// unchanged.
+	batchers := make([]*event.Batcher, shards)
 	pool, err := cedmos.NewPool(func(shard int) (*cedmos.Graph, error) {
 		sink := e.sink
 		if e.opts.ShardSink != nil {
@@ -197,11 +206,13 @@ func (e *Engine) Start() error {
 				sink = s
 			}
 		}
-		return Compile(e.schemas, !e.opts.DisableReplication, e.wrapSink(shard, sink))
+		batchers[shard] = event.NewBatcher(sink)
+		return Compile(e.schemas, !e.opts.DisableReplication, e.wrapSink(shard, batchers[shard]))
 	}, cedmos.PoolOptions{
-		Shards: shards,
-		Buffer: e.opts.Buffer,
-		Route:  e.router.route,
+		Shards:   shards,
+		Buffer:   e.opts.Buffer,
+		Route:    e.router.route,
+		BatchEnd: func(shard int) { batchers[shard].Flush() },
 	})
 	if err != nil {
 		return err

@@ -28,8 +28,27 @@ type Detector struct {
 	started bool
 	stopped bool
 
-	dropped atomic.Uint64
-	metrics *detectorMetrics
+	dropped  atomic.Uint64
+	metrics  *detectorMetrics
+	batchEnd func()
+}
+
+// batchMax bounds how many events the agent processes before forcing a
+// batch-end flush, so a saturated input queue cannot defer downstream
+// delivery (and its buffered memory) indefinitely.
+const batchMax = 64
+
+// SetBatchEnd installs a hook called on the agent goroutine whenever a
+// processed batch ends: the input queue is drained, batchMax events
+// were processed since the last call, a quiesce barrier is reached
+// (before the barrier is released), or the agent exits. Sinks that
+// buffer per-event output (see event.Batcher) flush in this hook, which
+// preserves the drain guarantees of Quiesce and Stop. It must be called
+// before Start.
+func (d *Detector) SetBatchEnd(fn func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.batchEnd = fn
 }
 
 // detectorMetrics holds the agent's hot-path instruments. Recording is
@@ -109,13 +128,27 @@ func (d *Detector) Start() error {
 
 func (d *Detector) run() {
 	d.mu.RLock()
-	m := d.metrics // fixed before Start; see Instrument
+	m := d.metrics         // fixed before Start; see Instrument
+	batchEnd := d.batchEnd // fixed before Start; see SetBatchEnd
 	d.mu.RUnlock()
 	defer close(d.done)
-	for it := range d.in {
+	pending := 0
+	flush := func() {
+		if batchEnd != nil && pending > 0 {
+			batchEnd()
+		}
+		pending = 0
+	}
+	// Deferred after close(d.done) above, so it runs first: the last
+	// batch lands before Stop observes the drained agent.
+	defer flush()
+	process := func(it item) {
 		if it.barrier != nil {
+			// A barrier proves every prior event fully processed —
+			// flush buffered batch output before releasing it.
+			flush()
 			close(it.barrier)
-			continue
+			return
 		}
 		// Route by type: a detector agent embodies one or more awareness
 		// schemas whose sources are typed; events that match no source
@@ -132,6 +165,30 @@ func (d *Detector) run() {
 		if err == nil && fed == 0 {
 			d.dropped.Add(1)
 		}
+		pending++
+	}
+	for it := range d.in {
+		// Batch-drain: after one blocking receive, opportunistically
+		// drain whatever else is queued before ending the batch, so
+		// batch-aware sinks pay one downstream handoff per drain
+		// instead of one per event.
+	drain:
+		for {
+			process(it)
+			if pending >= batchMax {
+				flush()
+			}
+			select {
+			case next, ok := <-d.in:
+				if !ok {
+					return
+				}
+				it = next
+			default:
+				break drain
+			}
+		}
+		flush()
 	}
 }
 

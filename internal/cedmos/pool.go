@@ -60,6 +60,10 @@ type PoolOptions struct {
 	Buffer int
 	// Route partitions events across shards; nil means RouteByInstance.
 	Route RouteFunc
+	// BatchEnd, when non-nil, is installed as each shard agent's
+	// batch-end hook (see Detector.SetBatchEnd), called with the shard
+	// index on that shard's goroutine. Batch-buffering sinks flush here.
+	BatchEnd func(shard int)
 }
 
 // A Pool is a sharded detection pipeline: N independent Graph replicas,
@@ -102,6 +106,10 @@ func NewPool(build func(shard int) (*Graph, error), opts PoolOptions) (*Pool, er
 		d, err := NewDetector(g, buffer)
 		if err != nil {
 			return nil, fmt.Errorf("cedmos: pool shard %d: %w", i, err)
+		}
+		if opts.BatchEnd != nil {
+			shard := i
+			d.SetBatchEnd(func() { opts.BatchEnd(shard) })
 		}
 		p.detectors = append(p.detectors, d)
 	}

@@ -126,6 +126,26 @@ func (s *StoreSink) Consume(ev event.Event) {
 	s.n.Add(1)
 }
 
+// ConsumeBatch implements event.BatchConsumer: a detection shard's
+// drained batch fans out in one EnqueueFanoutBatch call, so all its
+// records for one participant queue share a single lock acquisition and
+// commit-group join.
+func (s *StoreSink) ConsumeBatch(evs []event.Event) {
+	items := make([]delivery.FanoutItem, len(evs))
+	for i, ev := range evs {
+		items[i] = delivery.FanoutItem{Users: s.Users, N: delivery.NotificationFromEvent(ev)}
+	}
+	queued, _, err := s.Store.EnqueueFanoutBatch(items)
+	if err != nil {
+		return
+	}
+	for i := range queued {
+		if queued[i] > 0 {
+			s.n.Add(1)
+		}
+	}
+}
+
 // Count returns how many detections were enqueued.
 func (s *StoreSink) Count() uint64 { return s.n.Load() }
 

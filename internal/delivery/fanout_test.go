@@ -1,22 +1,23 @@
 package delivery
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/url"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	"github.com/mcc-cmi/cmi/internal/obs"
+	"github.com/mcc-cmi/cmi/internal/wire"
 )
 
-// TestFanoutWireEquivalence: the id-splicing fast path of EnqueueFanout
-// must journal records byte-identical to a plain per-user marshal — the
-// guarantee that lets old journals and fanned-out journals replay
-// through the same loader.
+// TestFanoutWireEquivalence: the id-patching fast path of EnqueueFanout
+// must journal records that decode identically to a plain per-user
+// enqueue — the guarantee that fanned-out journals and per-user
+// journals replay through the same loader to the same state.
 func TestFanoutWireEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	s, err := NewStore(dir)
@@ -37,20 +38,49 @@ func TestFanoutWireEquivalence(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for i, u := range users {
+	// A reference store enqueues the same notification per user — the
+	// journals must decode to the same records.
+	refDir := t.TempDir()
+	ref, err := NewStore(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		if _, dup, err := ref.EnqueueKeyed(u, "key-1", n); err != nil || dup {
+			t.Fatalf("reference enqueue %s: dup=%v err=%v", u, dup, err)
+		}
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	readRecord := func(dir, u string) record {
+		t.Helper()
 		data, err := os.ReadFile(filepath.Join(dir, url.PathEscape(u)+".jsonl"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		line := strings.TrimSuffix(string(data), "\n")
-		want := n
-		want.ID = ns[i].ID
-		wantBytes, err := json.Marshal(record{Kind: "notif", Notif: &want, Key: "key-1"})
-		if err != nil {
-			t.Fatal(err)
+		sc := wire.NewScanner(data)
+		raw, isFrame, ok := sc.Next()
+		if !ok || !isFrame {
+			t.Fatalf("user %s journal is not a binary frame (ok=%v frame=%v)", u, ok, isFrame)
 		}
-		if line != string(wantBytes) {
-			t.Fatalf("user %s journal:\n  got  %s\n  want %s", u, line, wantBytes)
+		var r record
+		if err := decodeRecordBinary(raw, &r); err != nil {
+			t.Fatalf("user %s record: %v", u, err)
+		}
+		return r
+	}
+	for i, u := range users {
+		got := readRecord(dir, u)
+		want := readRecord(refDir, u)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("user %s journal:\n  got  %+v / %+v\n  want %+v / %+v", u, got, got.Notif, want, want.Notif)
+		}
+		if got.Notif.ID != ns[i].ID {
+			t.Fatalf("user %s journaled id %d, want %d", u, got.Notif.ID, ns[i].ID)
+		}
+		if v, ok := got.Notif.Params["count"].(int64); !ok || v != 3 {
+			t.Fatalf("user %s param count = %#v, want int64(3)", u, got.Notif.Params["count"])
 		}
 	}
 }
@@ -251,10 +281,26 @@ func TestCompactionOnLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(string(data), `"kind":"ack"`) {
+	kinds := map[string]int{}
+	sc := wire.NewScanner(data)
+	for {
+		raw, isFrame, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if !isFrame {
+			t.Fatalf("compacted journal carries a non-binary record: %q", raw)
+		}
+		var r record
+		if err := decodeRecordBinary(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		kinds[r.Kind]++
+	}
+	if kinds["ack"] != 0 {
 		t.Fatal("compacted journal still carries ack records")
 	}
-	if !strings.Contains(string(data), `"kind":"next"`) {
+	if kinds["next"] == 0 {
 		t.Fatal("compacted journal carries no id high-water record")
 	}
 	// Ids are never reused: the next enqueue continues past the dropped

@@ -21,7 +21,6 @@ package delivery
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/url"
@@ -29,13 +28,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/obs"
+	"github.com/mcc-cmi/cmi/internal/wire"
 )
 
 // A Notification is one piece of awareness information queued for one
@@ -81,10 +80,10 @@ type record struct {
 // writer that arrived while the previous commit held the file, written
 // with a single buffered write + flush.
 type commitGroup struct {
-	buf  []byte // newline-terminated encoded records, in id order
-	n    int    // records in buf
-	err  error  // commit outcome; valid once done is closed
-	done chan struct{}
+	buf       []byte // newline-terminated encoded records, in id order
+	n         int    // records in buf
+	err       error  // commit outcome; valid once committed is set
+	committed bool   // set under q.mu; q.cond broadcasts the transition
 }
 
 type queue struct {
@@ -145,6 +144,7 @@ type storeMetrics struct {
 	appendLatency *obs.Histogram
 	commits       *obs.Counter
 	batchSize     *obs.ValueHistogram
+	encode        *obs.Histogram
 }
 
 // Instrument registers the store's metric series: notifications
@@ -167,6 +167,7 @@ func (s *Store) Instrument(reg *obs.Registry, labels ...obs.Label) {
 			"Journal commit groups written (each covers one or more records).", labels...),
 		batchSize: reg.ValueHistogram("cmi_delivery_commit_batch_size",
 			"Records coalesced into one journal commit group.", nil, labels...),
+		encode: wire.Instrument(reg),
 	})
 	reg.GaugeFunc("cmi_delivery_queue_depth",
 		"Unacknowledged notifications across all loaded participant queues.",
@@ -220,7 +221,18 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 	if q, ok := s.queues[participant]; ok {
 		return q, nil
 	}
-	path := filepath.Join(s.dir, url.PathEscape(participant)+".jsonl")
+	q, err := newQueue(filepath.Join(s.dir, url.PathEscape(participant)+".jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s.queues[participant] = q
+	s.pendingTotal.Add(int64(q.pending))
+	return q, nil
+}
+
+// newQueue loads (or creates) one participant queue from its journal
+// file — the shared construction path of queueLocked and Preload.
+func newQueue(path string) (*queue, error) {
 	q := &queue{path: path, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
 	q.cond = sync.NewCond(&q.mu)
 	if err := q.load(); err != nil {
@@ -233,31 +245,87 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 	}
 	q.file = f
 	q.w = bufio.NewWriter(f)
-	s.queues[participant] = q
-	s.pendingTotal.Add(int64(q.pending))
 	return q, nil
 }
 
+// Preload loads every on-disk queue, replaying journals in parallel —
+// called once at startup so delivery recovery overlaps across
+// participants instead of paying first-touch replay per request.
+func (s *Store) Preload() error {
+	participants, err := s.Participants()
+	if err != nil {
+		return err
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, p := range participants {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return errClosed()
+		}
+		_, loaded := s.queues[p]
+		s.mu.Unlock()
+		if loaded {
+			continue
+		}
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			q, err := newQueue(filepath.Join(s.dir, url.PathEscape(p)+".jsonl"))
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			s.mu.Lock()
+			if s.closed || s.queues[p] != nil {
+				s.mu.Unlock()
+				q.file.Close()
+				return
+			}
+			s.queues[p] = q
+			s.mu.Unlock()
+			s.pendingTotal.Add(int64(q.pending))
+		}(p)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // load replays the journal: notifications in order, acks applied.
-// Corrupt trailing lines (torn writes) are tolerated and ignored.
+// Records are binary wire frames, legacy JSON lines, or a mix from an
+// in-place upgrade — the scanner auto-detects per record. Corrupt
+// trailing records (torn writes) are tolerated and ignored.
 func (q *queue) load() error {
-	f, err := os.Open(q.path)
+	data, err := os.ReadFile(q.path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
 		}
 		return fmt.Errorf("delivery: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	sc := wire.NewScanner(data)
+	for {
+		rec, isFrame, ok := sc.Next()
+		if !ok {
+			break
 		}
 		var r record
-		if err := json.Unmarshal(line, &r); err != nil {
+		if isFrame {
+			if decodeRecordBinary(rec, &r) != nil {
+				continue // unknown kind from a newer writer; skip
+			}
+		} else if err := json.Unmarshal(rec, &r); err != nil {
 			continue // torn write at crash; skip
 		}
 		switch r.Kind {
@@ -286,9 +354,6 @@ func (q *queue) load() error {
 				q.nextID = r.NextID
 			}
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
 	}
 	q.pending = 0
 	for i := range q.notifs {
@@ -322,8 +387,15 @@ func (q *queue) maybeCompact() {
 		return
 	}
 	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	ok := enc.Encode(record{Kind: "next", NextID: q.nextID}) == nil
+	var payload, frame []byte
+	writeRec := func(pay []byte) bool {
+		payload = pay
+		frame = wire.AppendFrame(frame[:0], pay)
+		frame = append(frame, '\n')
+		_, err := w.Write(frame)
+		return err == nil
+	}
+	ok := writeRec(appendRecordNext(payload[:0], q.nextID))
 	if ok {
 		keys := make([]string, 0, len(q.keys))
 		for k := range q.keys {
@@ -331,7 +403,7 @@ func (q *queue) maybeCompact() {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			if enc.Encode(record{Kind: "key", Key: k}) != nil {
+			if !writeRec(appendRecordKey(payload[:0], k)) {
 				ok = false
 				break
 			}
@@ -342,8 +414,7 @@ func (q *queue) maybeCompact() {
 			if q.notifs[i].Acked {
 				continue
 			}
-			n := q.notifs[i]
-			if enc.Encode(record{Kind: "notif", Notif: &n}) != nil {
+			if !writeRec(appendRecordNotif(payload[:0], "", &q.notifs[i])) {
 				ok = false
 				break
 			}
@@ -374,33 +445,34 @@ func (q *queue) maybeCompact() {
 	q.byID = byID
 }
 
-// appendCommit adds one encoded record to the queue's open commit group
-// and returns once the group containing it is durably written. The
-// classic group-commit protocol: the first writer to find no open group
-// becomes its leader; while the leader waits for the previous commit to
-// release the file, later writers join the open group; the leader then
-// seals the group and writes the whole batch with one write + flush
-// (+ fsync when enabled). Called with q.mu held; the lock is released
-// while waiting/writing and re-held on return.
-func (q *queue) appendCommit(rec []byte, m *storeMetrics, syncFile bool) error {
+// appendCommit adds n encoded, newline-terminated records to the
+// queue's open commit group and returns once the group containing them
+// is durably written. The classic group-commit protocol: the first
+// writer to find no open group becomes its leader; while the leader
+// waits for the previous commit to release the file, later writers join
+// the open group; the leader then seals the group and writes the whole
+// batch with one write + flush (+ fsync when enabled). A batch enqueue
+// passes all its records for the queue in one call, so a batch costs
+// one commit-group join however many records it carries. Called with
+// q.mu held; the lock is released while waiting/writing and re-held on
+// return; recs is copied before return, so the caller may reuse it.
+func (q *queue) appendCommit(recs []byte, n int, m *storeMetrics, syncFile bool) error {
 	if q.closed {
 		return errClosed()
 	}
 	if g := q.open; g != nil {
 		// A group is forming: join it and wait for its commit.
-		g.buf = append(g.buf, rec...)
-		g.buf = append(g.buf, '\n')
-		g.n++
-		q.mu.Unlock()
-		<-g.done
-		q.mu.Lock()
+		g.buf = append(g.buf, recs...)
+		g.n += n
+		for !g.committed {
+			q.cond.Wait()
+		}
 		return g.err
 	}
 	// Open a new group and lead its commit.
-	g := &commitGroup{buf: append(q.spare[:0], rec...), done: make(chan struct{})}
+	g := &commitGroup{buf: append(q.spare[:0], recs...)}
 	q.spare = nil
-	g.buf = append(g.buf, '\n')
-	g.n = 1
+	g.n = n
 	q.open = g
 	for q.writing {
 		q.cond.Wait() // joiners accumulate in q.open meanwhile
@@ -422,7 +494,8 @@ func (q *queue) appendCommit(rec []byte, m *storeMetrics, syncFile bool) error {
 	if q.closed {
 		// The store closed while this group waited its turn.
 		g.err = errClosed()
-		close(g.done)
+		g.committed = true
+		q.cond.Broadcast()
 		return g.err
 	}
 	q.writing = true
@@ -447,7 +520,7 @@ func (q *queue) appendCommit(rec []byte, m *storeMetrics, syncFile bool) error {
 	q.writing = false
 	q.spare = g.buf[:0]
 	g.err = err
-	close(g.done)
+	g.committed = true
 	q.cond.Broadcast()
 	return err
 }
@@ -507,31 +580,44 @@ func (s *Store) EnqueueKeyed(participant, key string, n Notification) (Notificat
 	}
 	n.ID = q.nextID
 	n.Acked = false
-	rec, err := json.Marshal(record{Kind: "notif", Notif: &n, Key: key})
-	if err != nil {
-		return Notification{}, false, fmt.Errorf("delivery: %w", err)
-	}
+	rec := encodeNotifFrame(key, &n, m)
 	s.accept(q, n, key, m)
-	if err := q.appendCommit(rec, m, s.syncOnCommit); err != nil {
+	err = q.appendCommit(rec, 1, m, s.syncOnCommit)
+	wire.PutBuf(rec)
+	if err != nil {
 		return Notification{}, false, err
 	}
 	return n, false, nil
 }
 
-// fanoutPrefix is the leading bytes of every encoded "notif" record:
-// encoding/json emits struct fields in declaration order, so the id —
-// the only per-queue part of a fanned-out notification — sits at a
-// fixed offset. EnqueueFanout relies on this to marshal the shared body
-// once and splice each queue's id in; the HasPrefix guard below falls
-// back to a full per-queue marshal if the shape ever changes.
-const fanoutPrefix = `{"kind":"notif","notif":{"id":`
+// encodeNotifFrame encodes one notif record as a newline-terminated
+// wire frame in a pooled buffer (release with wire.PutBuf), observing
+// encode latency when instrumented.
+func encodeNotifFrame(key string, n *Notification, m *storeMetrics) []byte {
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	payload := wire.GetBuf(notifRecordSize(key, n))
+	payload = appendRecordNotif(payload, key, n)
+	rec := wire.GetBuf(len(payload) + 16)
+	rec = wire.AppendFrame(rec, payload)
+	rec = append(rec, '\n')
+	wire.PutBuf(payload)
+	if m != nil {
+		m.encode.Observe(time.Since(t0))
+	}
+	return rec
+}
 
 // EnqueueFanout appends one notification to many participant queues —
 // the delivery agent's fan-out after awareness role resolution. The
-// notification body is marshaled once and each queue's assigned id is
-// spliced in, then journaled through that queue's commit group, so a
-// wide fan-out (or many concurrent fan-outs from detection shards) pays
-// ~one commit per group per queue instead of one per record. Per-queue
+// notification is binary-encoded into a wire frame once; the id — the
+// only per-queue part, held in a fixed-width slot — is patched in place
+// and the frame resealed per queue, then journaled through that queue's
+// commit group, so a wide fan-out (or many concurrent fan-outs from
+// detection shards) pays ~one commit per group per queue instead of one
+// per record, and the encode cost once instead of per queue. Per-queue
 // id ordering and idempotency-key dedup match EnqueueKeyed exactly.
 //
 // It returns the enqueued notifications aligned with users (zero-valued
@@ -545,17 +631,10 @@ func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Not
 	}
 	n.ID = 0
 	n.Acked = false
-	enc, err := json.Marshal(record{Kind: "notif", Notif: &n, Key: key})
-	if err != nil {
-		return out, 0, fmt.Errorf("delivery: %w", err)
-	}
-	var rest []byte // encoded record after the id digits; nil disables splicing
-	if bytes.HasPrefix(enc, []byte(fanoutPrefix+"0")) {
-		rest = enc[len(fanoutPrefix)+1:]
-	}
 	m := s.metrics.Load()
+	rec := encodeNotifFrame(key, &n, m)
+	defer wire.PutBuf(rec)
 	var (
-		scratch  []byte
 		dups     int
 		firstErr error
 	)
@@ -583,22 +662,9 @@ func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Not
 		}
 		nn := n
 		nn.ID = q.nextID
-		var rec []byte
-		if rest != nil {
-			scratch = append(scratch[:0], fanoutPrefix...)
-			scratch = strconv.AppendInt(scratch, nn.ID, 10)
-			scratch = append(scratch, rest...)
-			rec = scratch
-		} else {
-			rec, err = json.Marshal(record{Kind: "notif", Notif: &nn, Key: key})
-			if err != nil {
-				q.mu.Unlock()
-				fail(fmt.Errorf("delivery: %w", err))
-				continue
-			}
-		}
+		patchNotifID(rec, nn.ID)
 		s.accept(q, nn, key, m)
-		err = q.appendCommit(rec, m, s.syncOnCommit)
+		err = q.appendCommit(rec, 1, m, s.syncOnCommit)
 		q.mu.Unlock()
 		if err != nil {
 			fail(err)
@@ -607,6 +673,103 @@ func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Not
 		out[i] = nn
 	}
 	return out, dups, firstErr
+}
+
+// A FanoutItem is one notification fan-out inside EnqueueFanoutBatch.
+type FanoutItem struct {
+	Users []string
+	Key   string
+	N     Notification
+}
+
+// EnqueueFanoutBatch fans out a batch of notifications in one pass —
+// the delivery agent's path when detection shards hand over a drained
+// batch. Each notification is encoded once; records are grouped by
+// participant queue so every queue pays one lock acquisition and one
+// commit-group join for all its records in the batch, however many
+// notifications target it.
+//
+// It returns the number of queues each item landed on (aligned with
+// items; duplicates and failed queues excluded), the total duplicate
+// count, and the first error. As with appendCommit, records accepted
+// in memory before a failing commit stay accepted — the journal decides
+// on restart.
+func (s *Store) EnqueueFanoutBatch(items []FanoutItem) ([]int, int, error) {
+	queued := make([]int, len(items))
+	if len(items) == 0 {
+		return queued, 0, nil
+	}
+	m := s.metrics.Load()
+	frames := make([][]byte, len(items))
+	for i := range items {
+		items[i].N.ID = 0
+		items[i].N.Acked = false
+		frames[i] = encodeNotifFrame(items[i].Key, &items[i].N, m)
+	}
+	defer func() {
+		for _, f := range frames {
+			wire.PutBuf(f)
+		}
+	}()
+	// Group item indices by participant, preserving first-seen order.
+	byUser := make(map[string][]int)
+	order := make([]string, 0, len(items))
+	for i := range items {
+		for _, u := range items[i].Users {
+			if _, seen := byUser[u]; !seen {
+				order = append(order, u)
+			}
+			byUser[u] = append(byUser[u], i)
+		}
+	}
+	var (
+		dups     int
+		firstErr error
+		group    = wire.GetBuf(1 << 10)
+	)
+	defer wire.PutBuf(group)
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, u := range order {
+		q, err := s.queueFor(u)
+		if err != nil {
+			fail(err)
+			continue
+		}
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			fail(errClosed())
+			continue
+		}
+		group = group[:0]
+		cnt := 0
+		for _, i := range byUser[u] {
+			it := &items[i]
+			if it.Key != "" && q.keys[it.Key] {
+				dups++
+				continue
+			}
+			nn := it.N
+			nn.ID = q.nextID
+			patchNotifID(frames[i], nn.ID)
+			group = append(group, frames[i]...)
+			cnt++
+			s.accept(q, nn, it.Key, m)
+			queued[i]++
+		}
+		if cnt > 0 {
+			err = q.appendCommit(group, cnt, m, s.syncOnCommit)
+		}
+		q.mu.Unlock()
+		if err != nil {
+			fail(err)
+		}
+	}
+	return queued, dups, firstErr
 }
 
 // Pending returns the participant's unacknowledged notifications,
@@ -718,17 +881,21 @@ func (s *Store) Ack(participant string, id int64) error {
 	if q.notifs[i].Acked {
 		return nil
 	}
-	rec, err := json.Marshal(record{Kind: "ack", AckID: id})
-	if err != nil {
-		return fmt.Errorf("delivery: %w", err)
-	}
+	payload := wire.GetBuf(16)
+	payload = appendRecordAck(payload, id)
+	rec := wire.GetBuf(len(payload) + 16)
+	rec = wire.AppendFrame(rec, payload)
+	rec = append(rec, '\n')
+	wire.PutBuf(payload)
 	q.notifs[i].Acked = true
 	q.pending--
 	s.pendingTotal.Add(-1)
 	if m != nil {
 		m.acked.Inc()
 	}
-	return q.appendCommit(rec, m, s.syncOnCommit)
+	err = q.appendCommit(rec, 1, m, s.syncOnCommit)
+	wire.PutBuf(rec)
+	return err
 }
 
 // Watch returns a channel receiving notifications as they are enqueued

@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/wire"
 )
 
 // Recovery: rebuild the engine from <StateDir>/enact.snap (the latest
@@ -107,44 +111,60 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 		e.mu.Unlock()
 	}()
 
-	if data, err := os.ReadFile(snapPath); err == nil {
+	// The snapshot loads and the journal decodes concurrently — the two
+	// files read and parse independently; only state mutation below is
+	// ordered (snapshot import, then sequential record application, so
+	// the deterministic-replay invariant is untouched).
+	type snapResult struct {
+		snap *snapFile
+		err  error
+	}
+	snapCh := make(chan snapResult, 1)
+	go func() {
+		data, err := os.ReadFile(snapPath)
+		if err != nil {
+			if os.IsNotExist(err) {
+				snapCh <- snapResult{}
+			} else {
+				snapCh <- snapResult{err: fmt.Errorf("enact: read snapshot: %w", err)}
+			}
+			return
+		}
 		var snap snapFile
 		if err := json.Unmarshal(data, &snap); err != nil {
-			return stats, fmt.Errorf("enact: corrupt snapshot %s: %w", snapPath, err)
+			snapCh <- snapResult{err: fmt.Errorf("enact: corrupt snapshot %s: %w", snapPath, err)}
+			return
 		}
 		if snap.Version != snapshotVersion {
-			return stats, fmt.Errorf("enact: snapshot %s has unsupported version %d", snapPath, snap.Version)
+			snapCh <- snapResult{err: fmt.Errorf("enact: snapshot %s has unsupported version %d", snapPath, snap.Version)}
+			return
 		}
-		if err := e.importSnapshot(&snap); err != nil {
+		snapCh <- snapResult{snap: &snap}
+	}()
+
+	recs, torn, walErr := decodeWALRecords(walPath)
+
+	sr := <-snapCh
+	if sr.err != nil {
+		return stats, sr.err
+	}
+	if sr.snap != nil {
+		if err := e.importSnapshot(sr.snap); err != nil {
 			return stats, err
 		}
 		stats.SnapshotLoaded = true
-		stats.SnapshotSeq = snap.LastSeq
-		stats.LastSeq = snap.LastSeq
-	} else if !os.IsNotExist(err) {
-		return stats, fmt.Errorf("enact: read snapshot: %w", err)
+		stats.SnapshotSeq = sr.snap.LastSeq
+		stats.LastSeq = sr.snap.LastSeq
 	}
 	// A crash between writing enact.snap.tmp and the rename leaves the
 	// temp file behind; it is superseded either way.
 	_ = os.Remove(snapPath + ".tmp")
-
-	data, err := os.ReadFile(walPath)
-	if err != nil {
-		if os.IsNotExist(err) {
-			stats.Elapsed = time.Since(start)
-			return stats, nil
-		}
-		return stats, fmt.Errorf("enact: read wal: %w", err)
+	if walErr != nil {
+		return stats, walErr
 	}
-	for _, line := range splitLines(data) {
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn final write. Everything after it (normally
-			// nothing) is unreachable: a logical log cannot skip a
-			// record and keep applying.
-			stats.TornTail = true
-			break
-		}
+	stats.TornTail = torn
+	for i := range recs {
+		rec := &recs[i]
 		if rec.Seq > stats.LastSeq {
 			stats.LastSeq = rec.Seq
 		}
@@ -152,7 +172,7 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 			stats.Skipped++ // covered by the snapshot
 			continue
 		}
-		if err := e.applyRecord(&rec); err != nil {
+		if err := e.applyRecord(rec); err != nil {
 			stats.Failed++
 			continue
 		}
@@ -160,6 +180,89 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 	}
 	stats.Elapsed = time.Since(start)
 	return stats, nil
+}
+
+// decodeWALRecords reads the journal and decodes every record into
+// memory. Raw records are sliced out sequentially (the scanner is
+// cheap); decoding — the expensive part of replay — fans out across
+// GOMAXPROCS workers in index-ordered chunks, so the returned slice
+// preserves journal order for the strictly sequential application pass.
+// Decoding stops at the first undecodable record, exactly like the
+// sequential replay did: a logical log cannot skip a record and keep
+// applying — everything after a torn record is unreachable.
+func decodeWALRecords(walPath string) ([]walRecord, bool, error) {
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("enact: read wal: %w", err)
+	}
+	type rawRec struct {
+		b     []byte
+		frame bool
+	}
+	var raws []rawRec
+	sc := wire.NewScanner(data)
+	for {
+		b, frame, ok := sc.Next()
+		if !ok {
+			break
+		}
+		raws = append(raws, rawRec{b, frame})
+	}
+	torn := sc.Torn()
+	if len(raws) == 0 {
+		return nil, torn, nil
+	}
+	recs := make([]walRecord, len(raws))
+	bad := make([]bool, len(raws))
+	decodeOne := func(i int) {
+		if raws[i].frame {
+			bad[i] = decodeWALRecord(raws[i].b, &recs[i]) != nil
+		} else {
+			bad[i] = json.Unmarshal(raws[i].b, &recs[i]) != nil
+		}
+	}
+	const chunk = 256
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (len(raws)+chunk-1)/chunk {
+		workers = (len(raws) + chunk - 1) / chunk
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(next.Add(chunk)) - chunk
+					if lo >= len(raws) {
+						return
+					}
+					hi := lo + chunk
+					if hi > len(raws) {
+						hi = len(raws)
+					}
+					for i := lo; i < hi; i++ {
+						decodeOne(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range raws {
+			decodeOne(i)
+		}
+	}
+	for i := range bad {
+		if bad[i] {
+			return recs[:i], true, nil
+		}
+	}
+	return recs, torn, nil
 }
 
 // applyRecord re-executes one journaled operation.

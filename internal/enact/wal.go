@@ -13,6 +13,7 @@ import (
 
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/obs"
+	"github.com/mcc-cmi/cmi/internal/wire"
 )
 
 // The enactment write-ahead log. Every successful state-changing
@@ -99,6 +100,7 @@ type walMetrics struct {
 	appends      *obs.Counter
 	snapshots    *obs.Counter
 	snapshotTime *obs.Histogram
+	encode       *obs.Histogram
 }
 
 // A walGroup is one group-commit batch, as in the delivery journal.
@@ -123,6 +125,7 @@ type WAL struct {
 	writing bool
 	closed  bool
 	spare   []byte
+	encBuf  []byte // per-WAL binary encode scratch, reused under mu
 
 	// sinceSnap counts records staged since the last snapshot; the
 	// engine reads it to decide when to compact.
@@ -153,6 +156,7 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 				"Snapshot+truncate compactions of the enactment journal."),
 			snapshotTime: opts.Metrics.Histogram("cmi_enact_snapshot_seconds",
 				"Time to write one enactment snapshot and truncate the journal.", nil),
+			encode: wire.Instrument(opts.Metrics),
 		}
 	}
 	return w, nil
@@ -201,22 +205,28 @@ func (w *WAL) stage(rec *walRecord) (walCommit, error) {
 	}
 	w.seq++
 	rec.Seq = w.seq
-	enc, err := json.Marshal(rec)
+	var t0 time.Time
+	if w.m != nil {
+		t0 = time.Now()
+	}
+	enc, err := appendWALRecord(w.encBuf[:0], rec)
 	if err != nil {
 		w.seq-- // the record never existed
 		return walCommit{}, fmt.Errorf("enact: encode wal record: %w", err)
 	}
+	w.encBuf = enc
 	w.sinceSnap.Add(1)
 	if w.m != nil {
+		w.m.encode.Observe(time.Since(t0))
 		w.m.appends.Inc()
 	}
 	if g := w.open; g != nil {
-		g.buf = append(g.buf, enc...)
+		g.buf = wire.AppendFrame(g.buf, enc)
 		g.buf = append(g.buf, '\n')
 		g.n++
 		return walCommit{w: w, g: g}, nil
 	}
-	g := &walGroup{buf: append(w.spare[:0], enc...), done: make(chan struct{})}
+	g := &walGroup{buf: wire.AppendFrame(w.spare[:0], enc), done: make(chan struct{})}
 	w.spare = nil
 	g.buf = append(g.buf, '\n')
 	g.n = 1
@@ -324,14 +334,27 @@ func (w *WAL) TruncateThrough(lastSeq int64) error {
 		return fmt.Errorf("enact: wal truncate: %w", err)
 	}
 	var keep []byte
-	for _, line := range splitLines(data) {
+	sc := wire.NewScanner(data)
+	for {
+		rec, isFrame, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if isFrame {
+			if seq, ok := walRecordSeq(rec); !ok || seq <= lastSeq {
+				continue
+			}
+			keep = wire.AppendFrame(keep, rec)
+			keep = append(keep, '\n')
+			continue
+		}
 		var hdr struct {
 			Seq int64 `json:"seq"`
 		}
-		if json.Unmarshal(line, &hdr) != nil || hdr.Seq <= lastSeq {
+		if json.Unmarshal(rec, &hdr) != nil || hdr.Seq <= lastSeq {
 			continue
 		}
-		keep = append(keep, line...)
+		keep = append(keep, rec...)
 		keep = append(keep, '\n')
 	}
 	tmp := w.path + ".tmp"

@@ -1,0 +1,52 @@
+package event
+
+// A BatchConsumer accepts a slice of events in one call. Consumers on
+// the event hot path (the delivery agent, the crisis store sink)
+// implement it so a detection shard that drained a batch from its
+// channel hands the whole batch over with one call — one lock
+// acquisition and one journal commit-group join instead of one per
+// event. The slice is only valid for the duration of the call.
+type BatchConsumer interface {
+	ConsumeBatch([]Event)
+}
+
+// A Batcher buffers events and forwards them to its inner consumer in
+// batches: via one ConsumeBatch call when the inner consumer implements
+// BatchConsumer, per event otherwise. It is not safe for concurrent
+// use — each detection shard owns one Batcher and calls it from the
+// shard goroutine; Flush runs at batch-end (channel drained) and before
+// any quiesce barrier, so batching never reorders or delays events past
+// a synchronization point.
+type Batcher struct {
+	inner Consumer
+	batch BatchConsumer // inner's batch interface; nil when unsupported
+	buf   []Event
+}
+
+// NewBatcher returns a Batcher forwarding to inner.
+func NewBatcher(inner Consumer) *Batcher {
+	b := &Batcher{inner: inner}
+	b.batch, _ = inner.(BatchConsumer)
+	return b
+}
+
+// Consume buffers one event until the next Flush.
+func (b *Batcher) Consume(e Event) {
+	b.buf = append(b.buf, e)
+}
+
+// Flush forwards every buffered event and empties the buffer.
+func (b *Batcher) Flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	if b.batch != nil {
+		b.batch.ConsumeBatch(b.buf)
+	} else {
+		for i := range b.buf {
+			b.inner.Consume(b.buf[i])
+		}
+	}
+	clear(b.buf) // drop param-map references so the GC can reclaim them
+	b.buf = b.buf[:0]
+}

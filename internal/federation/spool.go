@@ -1,7 +1,6 @@
 package federation
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -16,6 +15,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/event"
 	"github.com/mcc-cmi/cmi/internal/obs"
+	"github.com/mcc-cmi/cmi/internal/wire"
 )
 
 // A RemoteNotification is one awareness notification forwarded across
@@ -80,18 +80,72 @@ type spoolEntry struct {
 	Spooled      time.Time             `json:"spooled"`
 }
 
-// spoolRecord is one JSON line of the spool journal: a "push" appends
-// an entry, a "done" marks its key delivered.
+// spoolRecord is one record of the spool journal: a "push" appends an
+// entry, a "done" marks its key delivered. The struct and its json tags
+// remain for the legacy JSON-lines decode path; new records are written
+// as binary wire frames (spoolPush / spoolDone below).
 type spoolRecord struct {
 	Kind string      `json:"kind"`
 	Push *spoolEntry `json:"push,omitempty"`
 	Key  string      `json:"key,omitempty"`
 }
 
+// Binary spool record kind codes — part of the on-disk format.
+const (
+	spoolPush = 1
+	spoolDone = 2
+)
+
+// appendSpoolRecord encodes r as one framed, newline-terminated journal
+// record onto dst.
+func appendSpoolRecord(dst []byte, r *spoolRecord) []byte {
+	payload := wire.GetBuf(256)
+	if r.Kind == "push" {
+		e := r.Push
+		payload = append(payload, spoolPush)
+		payload = wire.AppendString(payload, e.Key)
+		payload = wire.AppendString(payload, e.Participant)
+		payload = delivery.AppendNotificationBinary(payload, &e.Notification)
+		payload = wire.AppendTime(payload, e.Spooled)
+	} else {
+		payload = append(payload, spoolDone)
+		payload = wire.AppendString(payload, r.Key)
+	}
+	dst = wire.AppendFrame(dst, payload)
+	dst = append(dst, '\n')
+	wire.PutBuf(payload)
+	return dst
+}
+
+// decodeSpoolRecord decodes one binary record payload into r.
+func decodeSpoolRecord(payload []byte, r *spoolRecord) error {
+	d := wire.NewDec(payload)
+	switch d.Byte() {
+	case spoolPush:
+		e := &spoolEntry{}
+		e.Key = d.String()
+		e.Participant = d.String()
+		n, err := delivery.DecodeNotificationBinary(d)
+		if err != nil {
+			return fmt.Errorf("federation: spool record: %w", err)
+		}
+		e.Notification = n
+		e.Spooled = d.Time()
+		r.Kind, r.Push = "push", e
+	case spoolDone:
+		r.Kind, r.Key = "done", d.String()
+	default:
+		return fmt.Errorf("federation: unknown spool record kind")
+	}
+	return d.Err()
+}
+
 // A Spool is the durable store-and-forward buffer for cross-domain
-// notifications: an append-only JSON-lines journal (same pattern as the
-// delivery store's per-participant journals). Entries survive restarts;
-// a torn final line from a crash mid-append is tolerated on load.
+// notifications: an append-only journal of binary wire frames (same
+// pattern as the delivery store's per-participant journals); journals
+// written by earlier versions as JSON lines load transparently, so a
+// spool upgrades in place. Entries survive restarts; a torn final
+// record from a crash mid-append is tolerated on load.
 type Spool struct {
 	mu      sync.Mutex
 	f       *os.File
@@ -106,16 +160,27 @@ func OpenSpool(path string) (*Spool, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("federation: spool: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
 	s := &Spool{f: f, done: make(map[string]bool)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
+	sc := wire.NewScanner(data)
+	for {
+		rec, isFrame, ok := sc.Next()
+		if !ok {
+			break
+		}
 		var r spoolRecord
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+		if isFrame {
+			if decodeSpoolRecord(rec, &r) != nil {
+				continue
+			}
+		} else if json.Unmarshal(rec, &r) != nil {
 			continue // torn write from a crash mid-append
 		}
 		switch r.Kind {
@@ -127,19 +192,14 @@ func OpenSpool(path string) (*Spool, error) {
 			s.done[r.Key] = true
 		}
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("federation: spool: %w", err)
-	}
 	return s, nil
 }
 
 func (s *Spool) append(r spoolRecord) error {
-	b, err := json.Marshal(r)
+	rec := appendSpoolRecord(wire.GetBuf(256), &r)
+	_, err := s.f.Write(rec)
+	wire.PutBuf(rec)
 	if err != nil {
-		return fmt.Errorf("federation: spool: %w", err)
-	}
-	if _, err := s.f.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("federation: spool: %w", err)
 	}
 	return nil

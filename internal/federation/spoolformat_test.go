@@ -1,0 +1,138 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+)
+
+// TestSpoolMixedFormatReplay: a spool journal written by an earlier
+// version as JSON lines, then appended to in the binary frame format (the
+// in-place upgrade shape), replays to the same pending set as either
+// pure format — including a torn final record.
+func TestSpoolMixedFormatReplay(t *testing.T) {
+	entry := func(i int) spoolEntry {
+		return spoolEntry{
+			Key:         fmt.Sprintf("k%d", i),
+			Participant: "mirror",
+			Notification: delivery.Notification{
+				Schema:      "SevereCase",
+				Description: fmt.Sprintf("n%d", i),
+				Priority:    i,
+				Params:      map[string]any{"count": int64(i), "region": "north"},
+			},
+			Spooled: time.Unix(1700000000+int64(i), 0).UTC(),
+		}
+	}
+
+	// Legacy prefix: three JSON-lines records, one of them a done.
+	path := filepath.Join(t.TempDir(), "spool.jsonl")
+	var legacy []byte
+	for i := 0; i < 3; i++ {
+		e := entry(i)
+		b, err := json.Marshal(spoolRecord{Kind: "push", Push: &e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy = append(legacy, append(b, '\n')...)
+	}
+	b, err := json.Marshal(spoolRecord{Kind: "done", Key: "k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy = append(legacy, append(b, '\n')...)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and append through the new binary path.
+	sp, err := OpenSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add(entry(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add(entry(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Done("k3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn binary tail: the prefix of a frame, as a crash mid-append.
+	whole := appendSpoolRecord(nil, &spoolRecord{Kind: "done", Key: "k4"})
+	fh, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write(whole[:len(whole)-4]); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	sp2, err := OpenSpool(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp2.Close()
+	pending := sp2.Pending()
+	wantKeys := []string{"k0", "k2", "k4"}
+	if len(pending) != len(wantKeys) {
+		t.Fatalf("pending = %d entries, want %v", len(pending), wantKeys)
+	}
+	for i, want := range wantKeys {
+		e := pending[i]
+		if e.Key != want {
+			t.Fatalf("pending[%d].Key = %q, want %q", i, e.Key, want)
+		}
+		if e.Participant != "mirror" || e.Notification.Schema != "SevereCase" {
+			t.Fatalf("pending[%d] lost fields: %+v", i, e)
+		}
+	}
+	// Binary-written entries round-trip typed params and timestamps.
+	last := pending[2]
+	if got := last.Notification.Params["count"]; got != int64(4) {
+		t.Fatalf("count param = %v (%T), want int64(4)", got, got)
+	}
+	if !last.Spooled.Equal(entry(4).Spooled) {
+		t.Fatalf("spooled time = %v, want %v", last.Spooled, entry(4).Spooled)
+	}
+}
+
+// BenchmarkSpoolPush measures journaling one remote notification into
+// the spool: one binary frame encoded and appended per push.
+func BenchmarkSpoolPush(b *testing.B) {
+	sp, err := OpenSpool(filepath.Join(b.TempDir(), "spool.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sp.Close()
+	n := delivery.Notification{
+		Schema:      "SevereCase",
+		Description: "severe case count threshold crossed",
+		Priority:    2,
+		Params:      map[string]any{"count": int64(12), "region": "north"},
+	}
+	spooled := time.Unix(1700000000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sp.Add(spoolEntry{
+			Key:          "bench-key",
+			Participant:  "mirror",
+			Notification: n,
+			Spooled:      spooled,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

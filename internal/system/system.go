@@ -226,6 +226,12 @@ func specHash(src []byte) string {
 // directory, then attaches the write-ahead log so fresh operations are
 // journaled. Runs during New, before the engines are observed.
 func (s *System) recoverState(cfg Config, reg *obs.Registry) error {
+	// The delivery queues load concurrently with the enactment replay:
+	// they are independent journals, and preloading here means the first
+	// post-startup enqueue or read hits a warm queue instead of paying
+	// the load.
+	preload := make(chan error, 1)
+	go func() { preload <- s.store.Preload() }()
 	// Schemas first: journal replay re-executes operations that name
 	// them. Specs loaded through LoadSpec are persisted under
 	// <StateDir>/specs; programmatic schemas (RegisterProcess) are not
@@ -292,6 +298,9 @@ func (s *System) recoverState(cfg Config, reg *obs.Registry) error {
 	reg.Counter("cmi_enact_replayed_records_total",
 		"Journal records re-executed during enactment recovery.").
 		Add(uint64(stats.Replayed))
+	if err := <-preload; err != nil {
+		return fmt.Errorf("cmi: preload delivery queues: %w", err)
+	}
 	return nil
 }
 
