@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-smoke bench-gate crash cover docs examples experiments clean
+.PHONY: all check build vet test race bench bench-smoke bench-gate crash chaos-e2e cover docs examples experiments clean
 
-all: build vet test race docs bench-smoke bench-gate crash
+all: build vet test race docs bench-smoke bench-gate crash chaos-e2e
 
 # The one gate to run before pushing: static checks plus the race-enabled
 # test suite and the docs-consistency guard. The wire package — the
@@ -58,6 +58,14 @@ bench-gate:
 # (short randomized budget; raise CMI_CRASH_ROUNDS for a longer soak).
 crash:
 	CMI_CRASH_ROUNDS=$${CMI_CRASH_ROUNDS:-5} $(GO) test -count=1 -run '^TestCrashRecovery$$' -v ./internal/system/
+
+# Black-box chaos oracle: compile real cmid/cmictl binaries, run the
+# checked-in scenario specs (test/e2e/scenarios/*.json) with seeded
+# SIGKILL / partition / latency schedules, and verify the global
+# invariants after quiesce. Override the schedule with
+# CMI_CHAOS_SEED / CMI_CHAOS_ACTIONS to reproduce or extend a run.
+chaos-e2e:
+	$(GO) test -count=1 -run '^TestChaosScenarios$$' -v -timeout 15m ./test/e2e/
 
 cover:
 	$(GO) test -cover ./...

@@ -463,7 +463,6 @@ func ablation() error {
 
 // keep imports tidy when experiments evolve.
 var _ = sort.Strings
-var _ = os.Exit
 
 // auditVsLive contrasts the Section 2 "analyze the process monitoring
 // logs" path with CMI's live awareness: the same detection logic runs

@@ -19,8 +19,17 @@
 // With -forward URL and -forward-participant ID, every detected
 // awareness event is also shipped to the federation server at URL for
 // that participant, store-and-forward: notifications are journaled to a
-// durable spool (-spool) and redelivered across remote outages under a
-// retry/backoff policy with a per-domain circuit breaker (-fed-* flags).
+// durable spool (-spool, default STATE/spool.journal — binary wire
+// frames; a journal written by an earlier version as spool.jsonl keeps
+// its name and upgrades in place) and redelivered across remote outages
+// under a retry/backoff policy with a per-domain circuit breaker
+// (-fed-* flags). Forwarding without -state keeps the spool in the
+// temporary state directory, which is removed on shutdown — undelivered
+// notifications would be lost, so cmid warns.
+//
+// With -addr-file FILE, the actual listen address (useful with
+// -addr 127.0.0.1:0 for harnesses that need a free port) is written to
+// FILE once the listener is bound.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -60,16 +70,18 @@ func main() {
 
 func run() error {
 	var (
-		addr   = flag.String("addr", ":8040", "listen address")
-		state  = flag.String("state", "", "state directory for delivery queues, enactment journal and specs; a restart recovers from it (default: temporary)")
-		start  = flag.Bool("start", false, "start the system immediately after loading -spec files")
-		shards = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
-		syncJ  = flag.Bool("sync-journal", false, "fsync each delivery-journal and enactment-WAL commit group (durable across machine crashes, not just process crashes)")
-		specs  specList
+		addr      = flag.String("addr", ":8040", "listen address")
+		addrFile  = flag.String("addr-file", "", "write the bound listen address to this file (for harnesses using -addr with port 0)")
+		state     = flag.String("state", "", "state directory for delivery queues, enactment journal and specs; a restart recovers from it (default: temporary)")
+		start     = flag.Bool("start", false, "start the system immediately after loading -spec files")
+		shards    = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
+		syncJ     = flag.Bool("sync-journal", false, "fsync each delivery-journal and enactment-WAL commit group (durable across machine crashes, not just process crashes)")
+		snapEvery = flag.Int("snapshot-every", 0, "enactment journal records between snapshot+truncate compactions (0: default; negative: disable compaction)")
+		specs     specList
 
 		forward     = flag.String("forward", "", "base URL of a remote CMI domain to forward awareness notifications to")
 		forwardPart = flag.String("forward-participant", "", "remote participant to deliver forwarded notifications to (required with -forward)")
-		spool       = flag.String("spool", "", "store-and-forward spool journal (default: STATE/spool.jsonl)")
+		spool       = flag.String("spool", "", "store-and-forward spool journal (default: STATE/spool.journal, or a pre-existing STATE/spool.jsonl)")
 		fedAttempts = flag.Int("fed-attempts", 0, "max attempts per federation call (default: policy default)")
 		fedTimeout  = flag.Duration("fed-timeout", 0, "per-attempt timeout for federation calls (default: policy default)")
 		fedBreaker  = flag.Int("fed-breaker", 0, "consecutive failures opening the federation circuit breaker (default: policy default)")
@@ -83,10 +95,11 @@ func run() error {
 	}
 
 	sys, err := cmi.New(cmi.Config{
-		Clock:       vclock.NewSystem(),
-		StateDir:    *state,
-		Shards:      *shards,
-		SyncJournal: *syncJ,
+		Clock:         vclock.NewSystem(),
+		StateDir:      *state,
+		Shards:        *shards,
+		SyncJournal:   *syncJ,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		return err
@@ -97,6 +110,9 @@ func run() error {
 	}
 	if *syncJ && *state == "" {
 		log.Printf("WARNING: -sync-journal with a temporary state directory: the journals are fsynced but the directory is removed on shutdown, so nothing survives a restart; pass -state DIR to make durability meaningful")
+	}
+	if *forward != "" && *state == "" && *spool == "" {
+		log.Printf("WARNING: -forward with a temporary state directory: the store-and-forward spool lives under it and is removed on shutdown, so undelivered notifications are lost; pass -state DIR or -spool FILE to make the spool durable")
 	}
 
 	for _, path := range specs {
@@ -134,7 +150,15 @@ func run() error {
 		remote := federation.NewRemoteClient(*forward, nil).WithResilience(res)
 		spoolPath := *spool
 		if spoolPath == "" {
-			spoolPath = sys.StateDir() + "/spool.jsonl"
+			spoolPath = filepath.Join(sys.StateDir(), "spool.journal")
+			// A spool journaled by an earlier version keeps its name (and
+			// upgrades to binary frames in place on the first compaction).
+			legacy := filepath.Join(sys.StateDir(), "spool.jsonl")
+			if _, err := os.Stat(spoolPath); os.IsNotExist(err) {
+				if _, err := os.Stat(legacy); err == nil {
+					spoolPath = legacy
+				}
+			}
 		}
 		fwd, err := federation.NewForwarder(federation.ForwarderConfig{
 			Client:    remote,
@@ -182,7 +206,20 @@ func run() error {
 		sys.Close()
 		return err
 	}
-	log.Printf("enactment system listening on %s (state: %s)", *addr, sys.StateDir())
+	log.Printf("enactment system listening on %s (state: %s)", ln.Addr(), sys.StateDir())
+	if *addrFile != "" {
+		// tmp+rename so a watcher polling the file never reads a torn
+		// address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err == nil {
+			err = os.Rename(tmp, *addrFile)
+		}
+		if err != nil {
+			ln.Close()
+			sys.Close()
+			return fmt.Errorf("write -addr-file: %w", err)
+		}
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

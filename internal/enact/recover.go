@@ -361,6 +361,10 @@ func (e *Engine) AttachWAL(w *WAL, snapPath string, snapEvery int) {
 			return nil
 		}
 	})
+	// A replayed backlog (WAL.SetBacklog) may already exceed the
+	// threshold; compact it away now instead of waiting for the next
+	// write.
+	e.maybeCompact()
 }
 
 // WAL returns the attached journal, if any.

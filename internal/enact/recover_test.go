@@ -411,6 +411,58 @@ func TestAutoCompaction(t *testing.T) {
 	mustMatch(t, wf.fixture, rec)
 }
 
+// TestBacklogCompaction: a replayed journal tail counts toward the
+// snapshot threshold. Without SetBacklog, the since-snapshot counter
+// restarted from zero on every boot, so a process that crash-looped
+// with fewer than snapEvery fresh records per incarnation never
+// compacted and its journal grew without bound.
+func TestBacklogCompaction(t *testing.T) {
+	wf := newWALFixture(t, -1) // no compaction while generating history
+	workload(t, wf.fixture)
+	rec, stats := wf.reopen(t)
+	if stats.SnapshotLoaded || stats.Replayed == 0 {
+		t.Fatalf("fixture expectation violated: want no snapshot and some replay, got %+v", stats)
+	}
+
+	// Reattach the way system startup does: seed the backlog, then
+	// attach with a threshold the backlog already exceeds. No new
+	// records are written — the attach alone must compact.
+	w, err := OpenWAL(wf.walPath, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetSeq(stats.LastSeq)
+	w.SetBacklog(int64(stats.Replayed + stats.Skipped + stats.Failed))
+	rec.eng.AttachWAL(w, wf.snapPath, 5)
+	defer rec.eng.CloseWAL()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(wf.snapPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replayed backlog never triggered a compaction")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The compacted state still recovers exactly.
+	if err := rec.eng.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	g := &fixture{clk: vclock.NewVirtual(), schemas: wf.schemas, dir: core.NewDirectory()}
+	g.contexts = core.NewRegistry(g.clk)
+	g.eng = New(g.clk, g.schemas, g.dir, g.contexts)
+	stats2, err := g.eng.Recover(wf.snapPath, wf.walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats2.SnapshotLoaded {
+		t.Fatal("snapshot not loaded after backlog compaction")
+	}
+	mustMatch(t, rec, g)
+}
+
 func TestTornTailDiscarded(t *testing.T) {
 	wf := newWALFixture(t, -1)
 	workload(t, wf.fixture)

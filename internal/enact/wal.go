@@ -173,6 +173,17 @@ func (w *WAL) SetSeq(seq int64) {
 	w.mu.Unlock()
 }
 
+// SetBacklog seeds the since-snapshot record counter with the journal
+// tail that recovery just replayed. Without this, a process that
+// crash-loops with fewer than snapEvery fresh records per incarnation
+// restarts the counter from zero each boot and never compacts, so the
+// journal — and recovery time — grow without bound across restarts.
+func (w *WAL) SetBacklog(n int64) {
+	if n > 0 {
+		w.sinceSnap.Store(n)
+	}
+}
+
 // Seq returns the last staged sequence number.
 func (w *WAL) Seq() int64 {
 	w.mu.Lock()

@@ -80,6 +80,8 @@ func (s *Server) Handler() http.Handler {
 	// Operations API.
 	mux.Handle("GET /api/metrics", s.sys.Metrics())
 	mux.HandleFunc("GET /api/healthz", s.getHealthz)
+	mux.HandleFunc("POST /api/system/quiesce", s.postQuiesce)
+	mux.HandleFunc("GET /api/system/recovery", s.getRecovery)
 	return s.instrument(mux)
 }
 
@@ -168,6 +170,43 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		c, h := lookup(route, class)
 		c.Inc()
 		h.Observe(time.Since(t0))
+	})
+}
+
+// postQuiesce blocks until every event emitted before the call has been
+// fully detected, delivered, and its follow-on hooks (including
+// cross-domain forwarders spooling into their journals) have finished.
+// The system keeps running; this is the settle barrier a black-box
+// harness needs before checking global invariants.
+func (s *Server) postQuiesce(w http.ResponseWriter, r *http.Request) {
+	s.sys.Quiesce()
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// RecoveryInfo is the wire form of the enactment recovery pass that ran
+// when the system was built (enact.RecoveryStats).
+type RecoveryInfo struct {
+	SnapshotLoaded bool    `json:"snapshotLoaded"`
+	SnapshotSeq    int64   `json:"snapshotSeq"`
+	Replayed       int     `json:"replayed"`
+	Skipped        int     `json:"skipped"`
+	Failed         int     `json:"failed"`
+	TornTail       bool    `json:"tornTail"`
+	LastSeq        int64   `json:"lastSeq"`
+	ElapsedMs      float64 `json:"elapsedMs"`
+}
+
+func (s *Server) getRecovery(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Recovery()
+	writeJSON(w, http.StatusOK, RecoveryInfo{
+		SnapshotLoaded: st.SnapshotLoaded,
+		SnapshotSeq:    st.SnapshotSeq,
+		Replayed:       st.Replayed,
+		Skipped:        st.Skipped,
+		Failed:         st.Failed,
+		TornTail:       st.TornTail,
+		LastSeq:        st.LastSeq,
+		ElapsedMs:      float64(st.Elapsed) / float64(time.Millisecond),
 	})
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/url"
 	"os"
@@ -140,26 +141,55 @@ func decodeSpoolRecord(payload []byte, r *spoolRecord) error {
 	return d.Err()
 }
 
+// defaultSpoolCompactEvery bounds how many delivered (push + done)
+// record pairs may accumulate on disk before the journal is rewritten in
+// place. Together with the compact-on-open and compact-on-drain passes
+// it keeps both the file and the in-memory state proportional to the
+// pending backlog, never to all-time history.
+const defaultSpoolCompactEvery = 1024
+
 // A Spool is the durable store-and-forward buffer for cross-domain
 // notifications: an append-only journal of binary wire frames (same
 // pattern as the delivery store's per-participant journals); journals
 // written by earlier versions as JSON lines load transparently, so a
 // spool upgrades in place. Entries survive restarts; a torn final
 // record from a crash mid-append is tolerated on load.
+//
+// Delivered entries do not accumulate: Done drops the entry from memory
+// immediately, and the journal is compacted — rewritten with only the
+// pending entries, tmp+rename like the delivery journal — on open, when
+// the spool fully drains, and whenever defaultSpoolCompactEvery done
+// records have piled up on disk. Depth is an O(1) counter.
 type Spool struct {
-	mu      sync.Mutex
-	f       *os.File
-	entries []spoolEntry
-	done    map[string]bool
-	closed  bool
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	// pending holds only the undelivered entries, in spool order.
+	pending []spoolEntry
+	// done holds the keys journaled as delivered whose push records are
+	// still on disk; compaction clears it.
+	done map[string]bool
+	// doneRecs counts done records on disk since the last compaction.
+	doneRecs     int
+	compactEvery int
+	closed       bool
+
+	// hookAppend, when non-nil, is consulted before each journal
+	// append — a test seam for injecting disk failures.
+	hookAppend func(r *spoolRecord) error
 }
 
 // OpenSpool opens (or creates) the spool journal at path, replaying any
-// existing records.
+// existing records. If the journal holds delivered (push + done) pairs —
+// or a stray temporary file from a crash mid-compaction — it is
+// compacted before the spool is returned.
 func OpenSpool(path string) (*Spool, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
+	// A crash between writing the compaction tmp and renaming it leaves
+	// the original journal authoritative; discard the orphan.
+	os.Remove(path + ".tmp")
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("federation: spool: %w", err)
@@ -168,7 +198,8 @@ func OpenSpool(path string) (*Spool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
-	s := &Spool{f: f, done: make(map[string]bool)}
+	s := &Spool{f: f, path: path, done: make(map[string]bool), compactEvery: defaultSpoolCompactEvery}
+	var entries []spoolEntry
 	sc := wire.NewScanner(data)
 	for {
 		rec, isFrame, ok := sc.Next()
@@ -186,22 +217,79 @@ func OpenSpool(path string) (*Spool, error) {
 		switch r.Kind {
 		case "push":
 			if r.Push != nil {
-				s.entries = append(s.entries, *r.Push)
+				entries = append(entries, *r.Push)
 			}
 		case "done":
 			s.done[r.Key] = true
+			s.doneRecs++
+		}
+	}
+	for _, e := range entries {
+		if !s.done[e.Key] {
+			s.pending = append(s.pending, e)
+		}
+	}
+	// Any done record on disk is dead weight — its push pair (if present)
+	// and itself both drop in the rewrite.
+	if len(s.done) > 0 {
+		if err := s.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
 		}
 	}
 	return s, nil
 }
 
 func (s *Spool) append(r spoolRecord) error {
+	if s.hookAppend != nil {
+		if err := s.hookAppend(&r); err != nil {
+			return err
+		}
+	}
 	rec := appendSpoolRecord(wire.GetBuf(256), &r)
 	_, err := s.f.Write(rec)
 	wire.PutBuf(rec)
 	if err != nil {
 		return fmt.Errorf("federation: spool: %w", err)
 	}
+	return nil
+}
+
+// compactLocked rewrites the journal with only the pending entries
+// (tmp + rename, crash-safe: until the rename the old journal stays
+// authoritative) and resets the delivered bookkeeping. Called with s.mu
+// held.
+func (s *Spool) compactLocked() error {
+	buf := wire.GetBuf(4096)
+	for i := range s.pending {
+		buf = appendSpoolRecord(buf, &spoolRecord{Kind: "push", Push: &s.pending[i]})
+	}
+	tmp := s.path + ".tmp"
+	err := os.WriteFile(tmp, buf, 0o644)
+	wire.PutBuf(buf)
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("federation: spool compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("federation: spool compact: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The rename succeeded but the append handle is gone; fail loudly
+		// rather than appending into the unlinked old inode.
+		s.closed = true
+		s.f.Close()
+		return fmt.Errorf("federation: spool compact: %w", err)
+	}
+	s.f.Close()
+	s.f = f
+	if len(s.pending) == 0 {
+		s.pending = nil // release the drained backlog's backing array
+	}
+	s.done = make(map[string]bool)
+	s.doneRecs = 0
 	return nil
 }
 
@@ -215,11 +303,13 @@ func (s *Spool) Add(e spoolEntry) error {
 	if err := s.append(spoolRecord{Kind: "push", Push: &e}); err != nil {
 		return err
 	}
-	s.entries = append(s.entries, e)
+	s.pending = append(s.pending, e)
 	return nil
 }
 
-// Done journals that the entry with the given key was delivered.
+// Done journals that the entry with the given key was delivered and
+// drops it from the pending set. When the spool drains — or enough
+// delivered pairs pile up on disk — the journal is compacted.
 func (s *Spool) Done(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,33 +323,45 @@ func (s *Spool) Done(key string) error {
 		return err
 	}
 	s.done[key] = true
+	s.doneRecs++
+	s.dropPending(key)
+	if s.doneRecs >= s.compactEvery || len(s.pending) == 0 {
+		return s.compactLocked()
+	}
 	return nil
+}
+
+// dropPending removes the entry with the given key, preserving order.
+// The sweep delivers in spool order, so the match is nearly always the
+// head.
+func (s *Spool) dropPending(key string) {
+	for i := range s.pending {
+		if s.pending[i].Key == key {
+			if i == 0 {
+				s.pending = s.pending[1:]
+			} else {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			}
+			return
+		}
+	}
 }
 
 // Pending returns the undelivered entries in spool order.
 func (s *Spool) Pending() []spoolEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []spoolEntry
-	for _, e := range s.entries {
-		if !s.done[e.Key] {
-			out = append(out, e)
-		}
-	}
+	out := make([]spoolEntry, len(s.pending))
+	copy(out, s.pending)
 	return out
 }
 
-// Depth returns how many entries await delivery.
+// Depth returns how many entries await delivery. O(1): delivered
+// entries are dropped eagerly, so the pending set is the depth.
 func (s *Spool) Depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, e := range s.entries {
-		if !s.done[e.Key] {
-			n++
-		}
-	}
-	return n
+	return len(s.pending)
 }
 
 // Close closes the journal file.
@@ -310,14 +412,16 @@ type Forwarder struct {
 	keyPrefix string
 	keySeq    atomic.Uint64
 
-	delivered atomic.Uint64
-	duplicate atomic.Uint64
-	failed    atomic.Uint64
+	delivered  atomic.Uint64
+	duplicate  atomic.Uint64
+	failed     atomic.Uint64
+	doneFailed atomic.Uint64
 
-	pushDelivered *obs.Counter
-	pushDuplicate *obs.Counter
-	pushFailed    *obs.Counter
-	redelivery    *obs.Histogram
+	pushDelivered  *obs.Counter
+	pushDuplicate  *obs.Counter
+	pushFailed     *obs.Counter
+	pushDoneFailed *obs.Counter
+	redelivery     *obs.Histogram
 
 	nudge chan struct{}
 	stop  chan struct{}
@@ -361,6 +465,7 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 		f.pushDelivered = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "delivered"))
 		f.pushDuplicate = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "duplicate"))
 		f.pushFailed = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "failed"))
+		f.pushDoneFailed = reg.Counter("cmi_federation_pushes_total", pushHelp, lbl, obs.L("result", "done-failed"))
 		f.redelivery = reg.Histogram("cmi_federation_redelivery_seconds",
 			"Time from spooling a remote notification to its delivery.",
 			redeliveryBuckets, lbl)
@@ -413,6 +518,11 @@ func (f *Forwarder) Stats() (delivered, duplicate, failed uint64) {
 	return f.delivered.Load(), f.duplicate.Load(), f.failed.Load()
 }
 
+// DoneFailures reports how many delivered entries could not be marked
+// done in the spool journal (e.g. disk full). Each one will be pushed
+// again on a later sweep and deduplicated by the remote.
+func (f *Forwarder) DoneFailures() uint64 { return f.doneFailed.Load() }
+
 // Close stops the redelivery loop and closes the spool. Undelivered
 // entries stay journaled for the next run.
 func (f *Forwarder) Close() error {
@@ -463,6 +573,16 @@ func (f *Forwarder) sweep() {
 			f.pushDelivered.Inc()
 		}
 		f.redelivery.Observe(time.Since(e.Spooled))
-		f.spool.Done(e.Key)
+		if err := f.spool.Done(e.Key); err != nil {
+			// The remote accepted the push but the done record did not
+			// reach the journal: the entry stays pending and will be
+			// redelivered (the remote dedups it by key). Stop the sweep —
+			// a failing journal would fail for every entry — and make the
+			// failure visible instead of looping silently.
+			f.doneFailed.Add(1)
+			f.pushDoneFailed.Inc()
+			log.Printf("cmi: federation: marking %s done failed (will redeliver): %v", e.Key, err)
+			return
+		}
 	}
 }

@@ -283,6 +283,7 @@ func (s *System) recoverState(cfg Config, reg *obs.Registry) error {
 		return err
 	}
 	wal.SetSeq(stats.LastSeq)
+	wal.SetBacklog(int64(stats.Replayed + stats.Skipped + stats.Failed))
 	snapEvery := cfg.SnapshotEvery
 	switch {
 	case snapEvery == 0:
@@ -473,6 +474,18 @@ func (s *System) Start() error {
 // restarted; Drain is for end-of-run inspection.
 func (s *System) Drain() {
 	s.aware.Stop()
+}
+
+// Quiesce blocks until every event emitted before the call has been
+// fully processed: awareness detection has cleared the shard queues and
+// every outstanding follow-on hook (including cross-domain forwarders
+// spooling their notifications) has returned. Unlike Drain it does not
+// stop anything — the system keeps running. The federation server
+// exposes it as POST /api/system/quiesce so a black-box harness can
+// settle a topology before checking global invariants.
+func (s *System) Quiesce() {
+	s.aware.Quiesce()
+	s.agent.Wait()
 }
 
 // Close drains the awareness engine, waits for outstanding follow-on

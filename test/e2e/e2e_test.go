@@ -1,0 +1,135 @@
+package e2e
+
+import (
+	"flag"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+var (
+	chaosSeed    = flag.Int64("chaos.seed", 0, "override every scenario's seed (0: use the scenario value)")
+	chaosActions = flag.Int("chaos.actions", 0, "override every scenario's action count (0: use the scenario value)")
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if buildDir != "" {
+		os.RemoveAll(buildDir)
+	}
+	os.Exit(code)
+}
+
+// overrides resolves the effective (seed, actions) for a scenario:
+// scenario value < CMI_CHAOS_* env (make chaos-e2e) < -chaos.* flag.
+func overrides(sc *Scenario) (seed int64, actions int) {
+	seed, actions = sc.Seed, sc.Actions
+	if v := os.Getenv("CMI_CHAOS_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n != 0 {
+			seed = n
+		}
+	}
+	if v := os.Getenv("CMI_CHAOS_ACTIONS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n != 0 {
+			actions = n
+		}
+	}
+	if *chaosSeed != 0 {
+		seed = *chaosSeed
+	}
+	if *chaosActions != 0 {
+		actions = *chaosActions
+	}
+	return seed, actions
+}
+
+// TestChaosScenarios runs every checked-in scenario file against real
+// compiled cmid/cmictl binaries. To reproduce one failed run:
+//
+//	go test -run 'TestChaosScenarios/<name>' -chaos.seed=<seed> -v ./test/e2e/
+func TestChaosScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios spawn real daemons; skipped in -short")
+	}
+	scs, err := LoadScenarios("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) == 0 {
+		t.Fatal("no scenario files under scenarios/")
+	}
+	for _, sc := range scs {
+		t.Run(sc.Name, func(t *testing.T) {
+			seed, actions := overrides(sc)
+			runScenario(t, sc, seed, actions)
+		})
+	}
+}
+
+// TestScheduleReproducible pins the DSL's core promise: a schedule is a
+// pure function of (seed, actions) — the same seed reproduces the exact
+// same fault sequence — and every schedule ends with a healed topology.
+func TestScheduleReproducible(t *testing.T) {
+	scs, err := LoadScenarios("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		a := sc.Schedule(sc.Seed, sc.Actions)
+		b := sc.Schedule(sc.Seed, sc.Actions)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", sc.Name)
+		}
+		c := sc.Schedule(sc.Seed+1, sc.Actions)
+		if reflect.DeepEqual(a, c) && sc.Actions > 10 {
+			t.Errorf("%s: different seeds produced identical %d-step schedules", sc.Name, len(a))
+		}
+		// Replay the model: the healing tail must leave everything up and
+		// every link healed.
+		up := make(map[string]bool)
+		for _, d := range sc.Domains {
+			up[d.Name] = true
+		}
+		parted := make(map[string]bool)
+		for _, st := range a {
+			switch st.Kind {
+			case stepKill:
+				up[st.Domain] = false
+			case stepRestart:
+				up[st.Domain] = true
+			case stepPartition:
+				parted[st.Link] = true
+			case stepHeal:
+				delete(parted, st.Link)
+			}
+		}
+		for name, isUp := range up {
+			if !isUp {
+				t.Errorf("%s: schedule ends with %s still dead", sc.Name, name)
+			}
+		}
+		if len(parted) != 0 {
+			t.Errorf("%s: schedule ends with partitions unhealed: %v", sc.Name, parted)
+		}
+	}
+}
+
+// TestScenarioValidation rejects specs with dangling references.
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			Faults: FaultSpec{Kill: []string{"ghost"}}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a", Forward: "ghost", ForwardParticipant: "m"}},
+			Workload: WorkloadSpec{Participants: []string{"p"}}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			Faults: FaultSpec{Partition: []string{"a->b"}}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			Invariants: []string{"no-such-invariant"}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("bad scenario %d validated", i)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package e2e is the black-box chaos oracle: it compiles the real cmid
+// and cmictl binaries, spins multi-domain topologies up on random ports,
+// drives seeded randomized schedules of workload operations, SIGKILL
+// crashes, federation-link partitions and latency (through a TCP chaos
+// proxy), and restarts — then heals the topology, quiesces every domain
+// through the operations API, and checks global invariants: every
+// instance in a legal CORE state on every node, keyed exactly-once
+// awareness delivery across domains, federation spools fully drained,
+// and WAL/journal/snapshot agreement per node.
+//
+// Scenarios are declared in small JSON spec files under scenarios/
+// (topology + workload + fault schedule + expected invariants), so a new
+// failure scenario is one file, not one test function. Schedules are a
+// pure function of the scenario seed: re-running a seed reproduces the
+// exact same fault schedule (-chaos.seed / -chaos.actions override the
+// scenario values; CMI_CHAOS_SEED / CMI_CHAOS_ACTIONS do the same from
+// make chaos-e2e).
+package e2e
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// chaosSpec is the workload's ADL specification: a two-step process
+// whose final completion raises an awareness notification for the Crew
+// — the signal the cross-domain delivery invariants count.
+const chaosSpec = `
+contextschema ChaosCtx {
+    int Tally
+    string Note
+}
+process Chaos {
+    context cc ChaosCtx
+    activity Step role org Crew
+    activity Wrap role org Crew
+    seq Step -> Wrap
+}
+awareness WrapDone on Chaos {
+    root = activity Wrap to (Completed)
+    deliver org Crew
+    describe "wrapped"
+}
+`
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binaries compiles cmid and cmictl once per test process and returns
+// their paths.
+func binaries(t *testing.T) (cmid, cmictl string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cmi-e2e-bin-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", dir, "../../cmd/cmid", "../../cmd/cmictl")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("building cmid/cmictl: %v\n%s", err, out)
+			return
+		}
+		buildDir = dir
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return filepath.Join(buildDir, "cmid"), filepath.Join(buildDir, "cmictl")
+}
+
+// A domain is one cmid process: its state directory survives kills and
+// restarts, its listen address changes on every boot (port 0) and is
+// discovered through -addr-file.
+type domain struct {
+	t        *testing.T
+	name     string
+	cmidBin  string
+	ctlBin   string
+	stateDir string
+	spool    string // state-dir spool path when this domain forwards
+	hc       *http.Client
+
+	// forwardURL/forwardParticipant configure -forward; forwardURL
+	// points at the chaos proxy, not directly at the target.
+	forwardURL         string
+	forwardParticipant string
+
+	mu     sync.Mutex
+	cmd    *exec.Cmd
+	exited chan struct{} // closed after cmd.Wait returns (reaper goroutine)
+	addr   string
+	up     bool
+}
+
+// Addr returns the current listen address ("" while down). Used as the
+// chaos proxy's dynamic dial target, so the proxy follows the backend
+// to its new port across restarts.
+func (d *domain) Addr() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.addr
+}
+
+func (d *domain) base() string { return "http://" + d.Addr() }
+
+func (d *domain) isUp() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.up
+}
+
+// start boots the daemon. On the first boot the system is configured by
+// the harness afterwards (spec upload, directory, start-system); on
+// restarts -start resumes immediately from the recovered state.
+func (d *domain) start(firstBoot bool) error {
+	addrFile := filepath.Join(d.stateDir, "addr")
+	os.Remove(addrFile)
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-state", d.stateDir,
+		"-snapshot-every", "64", // force snapshot+truncate churn under chaos
+	}
+	if !firstBoot {
+		args = append(args, "-start")
+	}
+	if d.forwardURL != "" {
+		args = append(args,
+			"-forward", d.forwardURL,
+			"-forward-participant", d.forwardParticipant,
+			"-spool", d.spool,
+			"-fed-cooldown", "300ms",
+			"-fed-probe", "150ms",
+		)
+	}
+	logf, err := os.OpenFile(filepath.Join(d.stateDir, "cmid.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(d.cmidBin, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return err
+	}
+	exited := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		logf.Close()
+		close(exited)
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			d.mu.Lock()
+			d.cmd = cmd
+			d.exited = exited
+			d.addr = strings.TrimSpace(string(b))
+			d.up = true
+			d.mu.Unlock()
+			return nil
+		}
+		select {
+		case <-exited:
+			// Receiving from exited happens-after cmd.Wait's writes, so
+			// ProcessState is safe to read here.
+			return fmt.Errorf("domain %s: cmid exited during boot: %v (see %s/cmid.log)",
+				d.name, cmd.ProcessState, d.stateDir)
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			return fmt.Errorf("domain %s: timed out waiting for %s", d.name, addrFile)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitServing polls /api/healthz until the daemon answers — with 200 if
+// healthy is required (a restarted, started system), with any status
+// otherwise (a freshly booted, not-yet-configured system).
+func (d *domain) waitServing(healthy bool) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err := d.hc.Get(d.base() + "/api/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if !healthy || code == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("domain %s: not serving at %s (healthy=%v): %v", d.name, d.base(), healthy, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon — the crash the invariants must survive.
+func (d *domain) kill() {
+	d.mu.Lock()
+	cmd, exited := d.cmd, d.exited
+	d.up = false
+	d.addr = ""
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Kill()
+	waitExit(exited, 10*time.Second)
+}
+
+// stop shuts the daemon down gracefully with SIGTERM and verifies it
+// exits 0 (the documented shutdown contract).
+func (d *domain) stop() error {
+	d.mu.Lock()
+	cmd, exited := d.cmd, d.exited
+	d.up = false
+	d.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return nil
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return nil // already gone
+	}
+	if !waitExit(exited, 20*time.Second) {
+		cmd.Process.Kill()
+		return fmt.Errorf("domain %s: did not exit within 20s of SIGTERM", d.name)
+	}
+	// waitExit's channel receive happens-after cmd.Wait's writes, so
+	// ProcessState is safe to read.
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		return fmt.Errorf("domain %s: graceful shutdown exited %d (see %s/cmid.log)", d.name, code, d.stateDir)
+	}
+	return nil
+}
+
+// waitExit waits for the reaper goroutine started by start() to reap
+// the process (it closes the channel after cmd.Wait returns).
+func waitExit(exited chan struct{}, timeout time.Duration) bool {
+	if exited == nil {
+		return true
+	}
+	select {
+	case <-exited:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// ctl runs the real cmictl binary against this domain.
+func (d *domain) ctl(as string, args ...string) error {
+	full := append([]string{"-server", d.base(), "-as", as}, args...)
+	cmd := exec.Command(d.ctlBin, full...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("cmictl %v: %v\n%s", args, err, out)
+	}
+	return nil
+}

@@ -1,0 +1,386 @@
+package e2e
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/system"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// quiesceAndVerify settles the topology and checks the scenario's
+// declared invariants: heal every fault, restart every dead domain,
+// quiesce the forwarding sources (all pre-quiesce detections reach the
+// spool), wait for every spool to drain through the healed links,
+// quiesce everything, run the online checks, shut every daemon down
+// gracefully, and finish with the offline journal checks on the
+// surviving state directories.
+func (tp *topology) quiesceAndVerify() {
+	t := tp.t
+	t.Helper()
+	sc := tp.sc
+
+	for _, px := range tp.proxies {
+		px.SetPartition(false)
+		px.SetLatency(0)
+	}
+	for _, ds := range sc.Domains {
+		d := tp.domains[ds.Name]
+		if !d.isUp() {
+			if err := tp.restart(d); err != nil {
+				t.Fatalf("final restart of %s: %v", d.name, err)
+			}
+		}
+		if err := d.waitServing(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ds := range sc.Domains {
+		if ds.Forward != "" {
+			tp.quiesce(tp.domains[ds.Name])
+		}
+	}
+	for _, ds := range sc.Domains {
+		if ds.Forward == "" {
+			continue
+		}
+		if err := tp.waitSpoolDrained(tp.domains[ds.Name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ds := range sc.Domains {
+		tp.quiesce(tp.domains[ds.Name])
+	}
+
+	// Online checks.
+	for _, ds := range sc.Domains {
+		tp.checkRecovery(tp.domains[ds.Name])
+	}
+	if sc.wants("legal-states") {
+		for _, ds := range sc.Domains {
+			tp.checkLegalStatesOnline(tp.domains[ds.Name])
+		}
+	}
+	for _, ds := range sc.Domains {
+		if ds.Forward == "" {
+			continue
+		}
+		src, dst := tp.domains[ds.Name], tp.domains[ds.Forward]
+		if sc.wants("exactly-once") || sc.wants("complete-delivery") {
+			tp.checkCrossDomainDelivery(src, dst, ds.ForwardParticipant)
+		}
+	}
+
+	// Graceful shutdown (exit 0 is part of the contract), then the
+	// offline checks on what the daemons left on disk.
+	for _, ds := range sc.Domains {
+		if err := tp.domains[ds.Name].stop(); err != nil {
+			t.Error(err)
+		}
+	}
+	if sc.wants("journal-agreement") {
+		for _, ds := range sc.Domains {
+			tp.checkJournalAgreement(tp.domains[ds.Name])
+		}
+	}
+	if sc.wants("spool-drained") {
+		for _, ds := range sc.Domains {
+			if ds.Forward != "" {
+				tp.checkSpoolDrainedOffline(tp.domains[ds.Name])
+			}
+		}
+	}
+}
+
+// quiesce blocks until the domain has fully processed every event
+// emitted before the call (detections delivered, follow-on hooks —
+// including the forwarder's spool appends — finished).
+func (tp *topology) quiesce(d *domain) {
+	tp.t.Helper()
+	qc := &http.Client{Timeout: 60 * time.Second}
+	resp, err := qc.Post(d.base()+"/api/system/quiesce", "application/json", nil)
+	if err != nil {
+		tp.t.Fatalf("quiesce %s: %v", d.name, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tp.t.Fatalf("quiesce %s: HTTP %d", d.name, resp.StatusCode)
+	}
+}
+
+// waitSpoolDrained polls the domain's cmi_federation_spool_depth gauge
+// until it reads 0. The deadline spans several breaker cooldown + probe
+// cycles, so a link that was partitioned moments ago has time to close
+// its breaker and drain.
+func (tp *topology) waitSpoolDrained(d *domain) error {
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		depth, ok := tp.metricValue(d, "cmi_federation_spool_depth")
+		if ok && depth == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("domain %s: spool did not drain (depth %v)", d.name, depth)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// metricValue scrapes /api/metrics and returns the first sample of the
+// named series (any label set).
+func (tp *topology) metricValue(d *domain, name string) (float64, bool) {
+	resp, err := tp.hc.Get(d.base() + "/api/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// checkRecovery asserts the domain's last recovery pass replayed its
+// journal without failures.
+func (tp *topology) checkRecovery(d *domain) {
+	t := tp.t
+	t.Helper()
+	resp, err := tp.hc.Get(d.base() + "/api/system/recovery")
+	if err != nil {
+		t.Fatalf("recovery %s: %v", d.name, err)
+	}
+	defer resp.Body.Close()
+	var info federation.RecoveryInfo
+	if err := decodeJSON(resp, &info); err != nil {
+		t.Fatalf("recovery %s: %v", d.name, err)
+	}
+	t.Logf("%s recovery: snapshot=%v replayed=%d skipped=%d failed=%d torn=%v",
+		d.name, info.SnapshotLoaded, info.Replayed, info.Skipped, info.Failed, info.TornTail)
+	if info.Failed != 0 {
+		t.Errorf("invariant journal-agreement: domain %s replayed with %d failed records", d.name, info.Failed)
+	}
+}
+
+// legalStates is the CORE state forest (Figure 3): the only states any
+// process or activity instance may ever be observed in.
+var legalStates = map[core.State]bool{
+	core.Uninitialized: true,
+	core.Ready:         true,
+	core.Running:       true,
+	core.Suspended:     true,
+	core.Closed:        true,
+	core.Completed:     true,
+	core.Terminated:    true,
+}
+
+// checkLegalStatesOnline walks every process and activity through the
+// public API and asserts each is in a legal CORE state.
+func (tp *topology) checkLegalStatesOnline(d *domain) {
+	t := tp.t
+	t.Helper()
+	pc := tp.pc(d, tp.sc.Workload.Participants[0])
+	procs, err := pc.Processes()
+	if err != nil {
+		t.Fatalf("processes %s: %v", d.name, err)
+	}
+	for _, p := range procs {
+		st := core.State(p.State)
+		if !legalStates[st] || st == core.Uninitialized {
+			t.Errorf("invariant legal-states: domain %s process %s in state %q", d.name, p.ID, p.State)
+		}
+		rows, err := pc.Monitor(p.ID)
+		if err != nil {
+			t.Fatalf("monitor %s/%s: %v", d.name, p.ID, err)
+			continue
+		}
+		for _, row := range rows {
+			if !legalStates[row.State] {
+				t.Errorf("invariant legal-states: domain %s activity %s in state %q", d.name, row.ActivityID, row.State)
+			}
+		}
+	}
+}
+
+// checkCrossDomainDelivery reads the mirror participant's queue on the
+// destination and compares it with the source's enactment state.
+//
+// exactly-once: no process instance id appears twice (the spool may
+// redeliver across restarts and ambiguous failures, but the keyed dedup
+// must collapse them), and every delivered id maps back to a source
+// process whose Wrap activity really completed (no phantoms).
+//
+// complete-delivery (strict equality — declared only by scenarios that
+// never kill the source domain): every Wrap completion on the source is
+// observed at the mirror.
+func (tp *topology) checkCrossDomainDelivery(src, dst *domain, mirror string) {
+	t := tp.t
+	t.Helper()
+	notes, err := tp.pc(dst, mirror).Notifications()
+	if err != nil {
+		t.Fatalf("notifications %s@%s: %v", mirror, dst.name, err)
+	}
+	seen := make(map[string]int)
+	for _, n := range notes {
+		if n.Schema != "WrapDone" {
+			continue
+		}
+		pid, _ := n.Params[event.PProcessInstanceID].(string)
+		if pid == "" {
+			t.Errorf("invariant exactly-once: %s@%s got a WrapDone without a process instance id: %+v", mirror, dst.name, n)
+			continue
+		}
+		seen[pid]++
+	}
+	completed := make(map[string]bool)
+	srcPC := tp.pc(src, tp.sc.Workload.Participants[0])
+	procs, err := srcPC.Processes()
+	if err != nil {
+		t.Fatalf("processes %s: %v", src.name, err)
+	}
+	for _, p := range procs {
+		rows, err := srcPC.Monitor(p.ID)
+		if err != nil {
+			t.Fatalf("monitor %s/%s: %v", src.name, p.ID, err)
+		}
+		for _, row := range rows {
+			if row.Var == "Wrap" && row.State == core.Completed {
+				completed[row.ProcessID] = true
+			}
+		}
+	}
+	if tp.sc.wants("exactly-once") {
+		for pid, count := range seen {
+			if count > 1 {
+				t.Errorf("invariant exactly-once: %s@%s received WrapDone for %s %d times", mirror, dst.name, pid, count)
+			}
+			if !completed[pid] {
+				t.Errorf("invariant exactly-once: %s@%s received WrapDone for %s, but %s has no completed Wrap for it",
+					mirror, dst.name, pid, src.name)
+			}
+		}
+	}
+	if tp.sc.wants("complete-delivery") {
+		if len(completed) == 0 {
+			t.Errorf("invariant complete-delivery: scenario produced no Wrap completions on %s — schedule too short to be meaningful", src.name)
+		}
+		for pid := range completed {
+			if seen[pid] == 0 {
+				t.Errorf("invariant complete-delivery: Wrap of %s completed on %s but never reached %s@%s",
+					pid, src.name, mirror, dst.name)
+			}
+		}
+		t.Logf("cross-domain %s->%s: %d completions, %d delivered", src.name, dst.name, len(completed), len(seen))
+	}
+}
+
+// checkJournalAgreement recovers the stopped domain's state directory
+// twice through the embedded engine and asserts (a) zero failed journal
+// records, (b) strictly legal engine states, (c) bit-identical state
+// dumps across independent recoveries — WAL, snapshot and delivery
+// journal agree with each other and with themselves.
+func (tp *topology) checkJournalAgreement(d *domain) {
+	t := tp.t
+	t.Helper()
+	first := tp.offlineDump(d)
+	second := tp.offlineDump(d)
+	if first != second {
+		t.Errorf("invariant journal-agreement: domain %s recovered differently on two passes:\n--- first\n%s--- second\n%s",
+			d.name, first, second)
+	}
+}
+
+func (tp *topology) offlineDump(d *domain) string {
+	t := tp.t
+	t.Helper()
+	sys, err := system.New(system.Config{Clock: vclock.NewVirtual(), StateDir: d.stateDir})
+	if err != nil {
+		t.Fatalf("offline open %s: %v", d.name, err)
+	}
+	defer sys.Close()
+	if rec := sys.Recovery(); rec.Failed != 0 {
+		t.Errorf("invariant journal-agreement: domain %s offline recovery failed %d records", d.name, rec.Failed)
+	}
+	eng := sys.Coordination()
+	var b strings.Builder
+	ids := eng.Instances()
+	sort.Strings(ids)
+	for _, id := range ids {
+		pi, ok := eng.Instance(id)
+		if !ok {
+			continue
+		}
+		st, _ := eng.ProcessState(id)
+		if !pi.Schema().States().Has(st) {
+			t.Errorf("invariant legal-states: domain %s process %s recovered in unknown state %v", d.name, id, st)
+		}
+		fmt.Fprintf(&b, "proc %s %s %s\n", id, pi.Schema().Name, st)
+		acts := eng.ActivitiesOf(id)
+		sort.Slice(acts, func(i, j int) bool { return acts[i].ID < acts[j].ID })
+		for _, ai := range acts {
+			if ai.State == core.Uninitialized {
+				t.Errorf("invariant legal-states: domain %s activity %s recovered Uninitialized", d.name, ai.ID)
+			}
+			fmt.Fprintf(&b, "  act %s %s %s %q\n", ai.ID, ai.Var, ai.State, ai.Assignee)
+		}
+		if ctxID, ok := eng.ContextID(id, "cc"); ok {
+			tally, _ := sys.Contexts().Field(ctxID, "Tally")
+			fmt.Fprintf(&b, "  ctx %s Tally=%v\n", ctxID, tally)
+		}
+	}
+	return b.String()
+}
+
+// checkSpoolDrainedOffline opens the stopped domain's spool journal and
+// asserts nothing is pending and — since a drain triggers compaction —
+// the file itself is empty: depth AND size are bounded, the regression
+// the unbounded-spool bugfix guards.
+func (tp *topology) checkSpoolDrainedOffline(d *domain) {
+	t := tp.t
+	t.Helper()
+	sp, err := federation.OpenSpool(d.spool)
+	if err != nil {
+		t.Fatalf("offline spool %s: %v", d.name, err)
+	}
+	depth := sp.Depth()
+	sp.Close()
+	if depth != 0 {
+		t.Errorf("invariant spool-drained: domain %s spool holds %d undelivered entries after quiesce", d.name, depth)
+	}
+	if fi, err := os.Stat(d.spool); err == nil && fi.Size() != 0 {
+		t.Errorf("invariant spool-drained: domain %s spool file is %d bytes after drain, want 0 (compaction)", d.name, fi.Size())
+	}
+}
+
+func decodeJSON(resp *http.Response, v any) error {
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,144 @@
+package e2e
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// chaosProxy is a TCP proxy placed on a federation link so the harness
+// can inject network faults between separate OS processes (the
+// in-process federation.FaultRT cannot reach across a process
+// boundary). Its listen address is fixed for the life of the scenario —
+// the forwarding daemon is configured with it once — while the dial
+// target is resolved per connection, so a restarted backend on a new
+// port is picked up transparently.
+//
+// Partition closes every established connection and refuses new ones;
+// latency delays each new connection's first byte of proxying.
+type chaosProxy struct {
+	ln     net.Listener
+	target func() string
+
+	mu          sync.Mutex
+	partitioned bool
+	latency     time.Duration
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+func newChaosProxy(target func() string) (*chaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &chaosProxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the fixed address the forwarding daemon dials.
+func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) SetPartition(on bool) {
+	p.mu.Lock()
+	p.partitioned = on
+	if on {
+		for c := range p.conns {
+			c.Close()
+		}
+		p.conns = make(map[net.Conn]struct{})
+	}
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	p.latency = d
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+	p.ln.Close()
+}
+
+func (p *chaosProxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.partitioned || p.closed {
+			p.mu.Unlock()
+			c.Close()
+			continue
+		}
+		lat := p.latency
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		go p.serve(c, lat)
+	}
+}
+
+func (p *chaosProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.partitioned || p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *chaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) serve(client net.Conn, lat time.Duration) {
+	defer p.untrack(client)
+	defer client.Close()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	addr := p.target()
+	if addr == "" {
+		return // backend down: refuse, the caller's retry policy handles it
+	}
+	backend, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	if !p.track(backend) {
+		return // partitioned while dialing
+	}
+	defer p.untrack(backend)
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client)
+		if tc, ok := backend.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(client, backend)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

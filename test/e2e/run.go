@@ -1,0 +1,262 @@
+package e2e
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/enact"
+	"github.com/mcc-cmi/cmi/internal/federation"
+)
+
+// topology is one scenario's set of live domains and chaos proxies.
+type topology struct {
+	t       *testing.T
+	sc      *Scenario
+	domains map[string]*domain
+	proxies map[string]*chaosProxy // by link "src->dst"
+	pids    map[string][]string    // started Chaos process ids per domain
+	hc      *http.Client
+	ops     int // workload operations that succeeded
+	opFails int // workload operations swallowed mid-chaos
+}
+
+// runScenario expands the scenario into its deterministic schedule,
+// builds the topology, executes every step, then quiesces and verifies
+// the declared invariants.
+func runScenario(t *testing.T, sc *Scenario, seed int64, actions int) {
+	steps := sc.Schedule(seed, actions)
+	t.Logf("scenario %s: seed=%d actions=%d (%d steps after forced restarts and healing tail)",
+		sc.Name, seed, actions, len(steps))
+	tp := newTopology(t, sc)
+	defer tp.teardown()
+	for i, st := range steps {
+		if err := tp.exec(st); err != nil {
+			t.Fatalf("step %d (%s): %v", i, st.Kind, err)
+		}
+	}
+	t.Logf("scenario %s: %d workload ops ok, %d swallowed during faults", sc.Name, tp.ops, tp.opFails)
+	tp.quiesceAndVerify()
+}
+
+func newTopology(t *testing.T, sc *Scenario) *topology {
+	t.Helper()
+	cmidBin, ctlBin := binaries(t)
+	tp := &topology{
+		t:       t,
+		sc:      sc,
+		domains: make(map[string]*domain),
+		proxies: make(map[string]*chaosProxy),
+		pids:    make(map[string][]string),
+		// Short timeout so operations against a killed or partitioned
+		// domain fail fast instead of stalling the schedule.
+		hc: &http.Client{Timeout: 3 * time.Second},
+	}
+	root := t.TempDir()
+	specPath := filepath.Join(root, "chaos.adl")
+	if err := os.WriteFile(specPath, []byte(chaosSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range sc.Domains {
+		stateDir := filepath.Join(root, ds.Name)
+		if err := os.MkdirAll(stateDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		tp.domains[ds.Name] = &domain{
+			t:        t,
+			name:     ds.Name,
+			cmidBin:  cmidBin,
+			ctlBin:   ctlBin,
+			stateDir: stateDir,
+			spool:    filepath.Join(stateDir, "spool.journal"),
+			hc:       tp.hc,
+		}
+	}
+	// Chaos proxies sit on every forwarding link. The proxy's listen
+	// address is what the source daemon is configured with; the dial
+	// target follows the destination domain across restarts.
+	for _, ds := range sc.Domains {
+		if ds.Forward == "" {
+			continue
+		}
+		target := tp.domains[ds.Forward]
+		px, err := newChaosProxy(target.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp.proxies[ds.Name+"->"+ds.Forward] = px
+		src := tp.domains[ds.Name]
+		src.forwardURL = "http://" + px.Addr()
+		src.forwardParticipant = ds.ForwardParticipant
+	}
+	// Boot and configure every domain through the real binaries.
+	for _, ds := range sc.Domains {
+		d := tp.domains[ds.Name]
+		if err := d.start(true); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.waitServing(false); err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.seedDirectory(d, specPath); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ctl(sc.Workload.Participants[0], "start-system"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.waitServing(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tp
+}
+
+// seedDirectory uploads the spec (first boot only — later calls are
+// content-addressed no-ops server-side) and registers the participants
+// and roles. The directory is in-memory by design, so this also runs
+// after every restart.
+func (tp *topology) seedDirectory(d *domain, specPath string) error {
+	admin := tp.sc.Workload.Participants[0]
+	if specPath != "" {
+		if err := d.ctl(admin, "spec", specPath); err != nil {
+			return err
+		}
+	}
+	for _, p := range tp.sc.Workload.Participants {
+		// Duplicate registrations after a restart-reseed race are harmless.
+		d.ctl(admin, "participant", p, p)
+		if err := d.ctl(admin, "role", "Crew", p); err != nil {
+			return err
+		}
+	}
+	for _, ds := range tp.sc.Domains {
+		if ds.Forward != "" && ds.Forward == d.name {
+			d.ctl(admin, "participant", ds.ForwardParticipant, ds.ForwardParticipant)
+		}
+	}
+	return nil
+}
+
+// restart boots a killed domain from its surviving state directory and
+// re-seeds the in-memory directory.
+func (tp *topology) restart(d *domain) error {
+	if err := d.start(false); err != nil {
+		return err
+	}
+	if err := d.waitServing(true); err != nil {
+		return err
+	}
+	return tp.seedDirectory(d, "")
+}
+
+func (tp *topology) pc(d *domain, participant string) *federation.ParticipantClient {
+	return federation.NewParticipantClient(d.base(), participant, tp.hc)
+}
+
+// exec runs one schedule step. Fault and lifecycle steps must succeed;
+// workload operations may fail while their domain is mid-crash — those
+// are counted and swallowed, chaos is the point.
+func (tp *topology) exec(st step) error {
+	switch st.Kind {
+	case stepKill:
+		tp.domains[st.Domain].kill()
+	case stepRestart:
+		d := tp.domains[st.Domain]
+		if d.isUp() {
+			return nil // healing tail may restart an already-live domain
+		}
+		return tp.restart(d)
+	case stepPartition:
+		tp.proxies[st.Link].SetPartition(true)
+	case stepHeal:
+		tp.proxies[st.Link].SetPartition(false)
+	case stepLatency:
+		for _, px := range tp.proxies {
+			px.SetLatency(time.Duration(st.Val) * time.Millisecond)
+		}
+	case stepStart:
+		d := tp.domains[st.Domain]
+		pid, err := tp.pc(d, tp.sc.Workload.Participants[0]).StartProcess("Chaos")
+		if err != nil {
+			tp.opFails++
+			return nil
+		}
+		tp.ops++
+		tp.pids[d.name] = append(tp.pids[d.name], pid)
+	case stepAdvance:
+		tp.advance(st)
+	case stepContext:
+		d := tp.domains[st.Domain]
+		ids := tp.pids[d.name]
+		if len(ids) == 0 {
+			return nil
+		}
+		pid := ids[int(uint64(st.Val))%len(ids)]
+		p := tp.sc.Workload.Participants[int(uint64(st.Val)>>4)%len(tp.sc.Workload.Participants)]
+		if err := tp.pc(d, p).SetContextField(pid, "cc", "Tally", st.Val); err != nil {
+			tp.opFails++
+		} else {
+			tp.ops++
+		}
+	}
+	return nil
+}
+
+// advance moves one worklist item forward: completing Running items is
+// preferred (it unlocks successors and eventually fires the WrapDone
+// awareness), otherwise a Ready item is started. The sub-seed in Val
+// picks participant and item, keeping the choice deterministic given
+// the same worklist.
+func (tp *topology) advance(st step) {
+	d := tp.domains[st.Domain]
+	parts := tp.sc.Workload.Participants
+	p := parts[int(uint64(st.Val))%len(parts)]
+	pc := tp.pc(d, p)
+	items, err := pc.Worklist()
+	if err != nil {
+		tp.opFails++
+		return
+	}
+	var running, ready []enact.WorkItem
+	for _, it := range items {
+		switch it.State {
+		case core.Running:
+			running = append(running, it)
+		case core.Ready:
+			ready = append(ready, it)
+		}
+	}
+	pick := func(list []enact.WorkItem) enact.WorkItem {
+		return list[int(uint64(st.Val)>>8)%len(list)]
+	}
+	switch {
+	case len(running) > 0:
+		err = pc.Complete(pick(running).ActivityID)
+	case len(ready) > 0:
+		err = pc.Start(pick(ready).ActivityID)
+	default:
+		return
+	}
+	if err != nil {
+		tp.opFails++
+	} else {
+		tp.ops++
+	}
+}
+
+// teardown is the safety net for failed runs: kill whatever is still
+// up and close the proxies. Successful runs have already stopped the
+// domains gracefully in quiesceAndVerify.
+func (tp *topology) teardown() {
+	for _, d := range tp.domains {
+		if d.isUp() {
+			d.kill()
+		}
+	}
+	for _, px := range tp.proxies {
+		px.Close()
+	}
+}

@@ -1,0 +1,353 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The scenario DSL: one JSON file declares a topology (domains and
+// their forwarding edges), a workload mix, a fault schedule (which
+// domains may be SIGKILLed, which links may partition or lag) and the
+// set of global invariants the run must satisfy after quiesce.
+//
+// Invariants are per-scenario on purpose. "complete-delivery" (every
+// source-side completion observed at the mirror) only holds when the
+// forwarding domain is never killed: detection-to-spool is a follow-on
+// hook, so a crash between a journaled completion and its spool append
+// legitimately loses that one notification (recovery never re-detects —
+// replay-quiesce). "exactly-once" (no duplicates, no phantoms) holds
+// under any fault mix and is checked whenever declared.
+
+// DomainSpec declares one cmid process of the topology.
+type DomainSpec struct {
+	Name string `json:"name"`
+	// Forward names another domain of the topology; every awareness
+	// detection on this domain is shipped to it (through a chaos proxy)
+	// for ForwardParticipant.
+	Forward            string `json:"forward,omitempty"`
+	ForwardParticipant string `json:"forwardParticipant,omitempty"`
+}
+
+// WorkloadSpec is the weighted mix of enactment operations.
+type WorkloadSpec struct {
+	// Participants are registered on every domain and play Crew.
+	Participants []string `json:"participants"`
+	// Weights of the candidate operations (defaults 3/6/1): start a
+	// Chaos process, advance a worklist item (start/complete), set a
+	// context field.
+	StartWeight   int `json:"startWeight,omitempty"`
+	AdvanceWeight int `json:"advanceWeight,omitempty"`
+	ContextWeight int `json:"contextWeight,omitempty"`
+}
+
+// FaultSpec declares which faults the schedule may draw.
+type FaultSpec struct {
+	// Kill lists domains that may be SIGKILLed (weight KillWeight,
+	// default 1). A killed domain is restarted by the schedule — at the
+	// latest after ~10 further actions.
+	Kill       []string `json:"kill,omitempty"`
+	KillWeight int      `json:"killWeight,omitempty"`
+	// Partition lists forwarding links ("src->dst") that may be cut
+	// (weight PartitionWeight, default 1).
+	Partition       []string `json:"partition,omitempty"`
+	PartitionWeight int      `json:"partitionWeight,omitempty"`
+	// LatencyMs, when > 0, lets the schedule toggle that much extra
+	// per-connection latency onto the links.
+	LatencyMs int `json:"latencyMs,omitempty"`
+}
+
+// Scenario is one declared chaos run.
+type Scenario struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Seed        int64        `json:"seed"`
+	Actions     int          `json:"actions"`
+	Domains     []DomainSpec `json:"domains"`
+	Workload    WorkloadSpec `json:"workload"`
+	Faults      FaultSpec    `json:"faults"`
+	// Invariants checked after quiesce: legal-states, exactly-once,
+	// complete-delivery, spool-drained, journal-agreement.
+	Invariants []string `json:"invariants"`
+}
+
+var knownInvariants = map[string]bool{
+	"legal-states":      true,
+	"exactly-once":      true,
+	"complete-delivery": true,
+	"spool-drained":     true,
+	"journal-agreement": true,
+}
+
+// Validate checks the scenario's internal references.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario has no name")
+	}
+	if len(sc.Domains) == 0 {
+		return fmt.Errorf("%s: no domains", sc.Name)
+	}
+	if len(sc.Workload.Participants) == 0 {
+		return fmt.Errorf("%s: no workload participants", sc.Name)
+	}
+	byName := make(map[string]DomainSpec)
+	for _, d := range sc.Domains {
+		if d.Name == "" {
+			return fmt.Errorf("%s: domain without a name", sc.Name)
+		}
+		if _, dup := byName[d.Name]; dup {
+			return fmt.Errorf("%s: duplicate domain %s", sc.Name, d.Name)
+		}
+		byName[d.Name] = d
+	}
+	for _, d := range sc.Domains {
+		if d.Forward == "" {
+			continue
+		}
+		if _, ok := byName[d.Forward]; !ok {
+			return fmt.Errorf("%s: domain %s forwards to unknown domain %s", sc.Name, d.Name, d.Forward)
+		}
+		if d.ForwardParticipant == "" {
+			return fmt.Errorf("%s: domain %s forwards without a participant", sc.Name, d.Name)
+		}
+	}
+	links := make(map[string]bool)
+	for _, d := range sc.Domains {
+		if d.Forward != "" {
+			links[d.Name+"->"+d.Forward] = true
+		}
+	}
+	for _, l := range sc.Faults.Partition {
+		if !links[l] {
+			return fmt.Errorf("%s: partition target %q is not a forwarding link", sc.Name, l)
+		}
+	}
+	for _, k := range sc.Faults.Kill {
+		if _, ok := byName[k]; !ok {
+			return fmt.Errorf("%s: kill target %q is not a domain", sc.Name, k)
+		}
+	}
+	for _, inv := range sc.Invariants {
+		if !knownInvariants[inv] {
+			return fmt.Errorf("%s: unknown invariant %q", sc.Name, inv)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) wants(invariant string) bool {
+	for _, inv := range sc.Invariants {
+		if inv == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadScenario reads and validates one scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(b, &sc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// LoadScenarios reads every *.json under dir, sorted by filename.
+func LoadScenarios(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []*Scenario
+	for _, p := range paths {
+		sc, err := LoadScenario(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// ----- deterministic schedule generation -----
+
+type stepKind int
+
+const (
+	stepStart stepKind = iota
+	stepAdvance
+	stepContext
+	stepKill
+	stepRestart
+	stepPartition
+	stepHeal
+	stepLatency
+)
+
+func (k stepKind) String() string {
+	return [...]string{"start", "advance", "context", "kill", "restart", "partition", "heal", "latency"}[k]
+}
+
+// A step is one action of a schedule. Domain targets workload and
+// kill/restart steps; Link targets partition/heal steps; Val carries
+// the context value, the advance sub-seed, or the latency in ms.
+type step struct {
+	Kind   stepKind
+	Domain string
+	Link   string
+	Val    int64
+}
+
+// Schedule expands the scenario into a concrete action sequence — a
+// pure function of (seed, actions), so the same seed always reproduces
+// the same schedule. The generator tracks a model of the topology (who
+// is up, which links are cut) so it only draws legal actions, bounds
+// how long a domain stays down, and appends a healing tail: after the
+// last action every partition is healed, latency cleared, and every
+// dead domain restarted, leaving the quiesce phase a healthy topology.
+func (sc *Scenario) Schedule(seed int64, actions int) []step {
+	rng := rand.New(rand.NewSource(seed))
+	up := make(map[string]bool)
+	downFor := make(map[string]int)
+	for _, d := range sc.Domains {
+		up[d.Name] = true
+	}
+	parted := make(map[string]bool)
+	latOn := false
+
+	w := sc.Workload
+	if w.StartWeight <= 0 {
+		w.StartWeight = 3
+	}
+	if w.AdvanceWeight <= 0 {
+		w.AdvanceWeight = 6
+	}
+	if w.ContextWeight < 0 {
+		w.ContextWeight = 0
+	}
+	killW := sc.Faults.KillWeight
+	if killW <= 0 {
+		killW = 1
+	}
+	partW := sc.Faults.PartitionWeight
+	if partW <= 0 {
+		partW = 1
+	}
+	var links []string
+	links = append(links, sc.Faults.Partition...)
+
+	type cand struct {
+		s step
+		w int
+	}
+	var steps []step
+	for i := 0; i < actions; i++ {
+		// Bound outage length: a domain down for ~10 actions is restarted
+		// before anything else, so the workload keeps making progress and
+		// spools get a chance to drain mid-run.
+		forced := false
+		for _, d := range sc.Domains {
+			if !up[d.Name] {
+				downFor[d.Name]++
+				if downFor[d.Name] > 10 && !forced {
+					steps = append(steps, step{Kind: stepRestart, Domain: d.Name})
+					up[d.Name] = true
+					downFor[d.Name] = 0
+					forced = true
+				}
+			}
+		}
+		if forced {
+			continue
+		}
+		var cands []cand
+		for _, d := range sc.Domains {
+			if !up[d.Name] {
+				continue
+			}
+			cands = append(cands,
+				cand{step{Kind: stepStart, Domain: d.Name}, w.StartWeight},
+				cand{step{Kind: stepAdvance, Domain: d.Name, Val: rng.Int63()}, w.AdvanceWeight},
+			)
+			if w.ContextWeight > 0 {
+				cands = append(cands, cand{step{Kind: stepContext, Domain: d.Name, Val: int64(rng.Intn(10))}, w.ContextWeight})
+			}
+		}
+		for _, k := range sc.Faults.Kill {
+			if up[k] {
+				cands = append(cands, cand{step{Kind: stepKill, Domain: k}, killW})
+			} else {
+				cands = append(cands, cand{step{Kind: stepRestart, Domain: k}, 3})
+			}
+		}
+		for _, l := range links {
+			if parted[l] {
+				cands = append(cands, cand{step{Kind: stepHeal, Link: l}, 3})
+			} else {
+				cands = append(cands, cand{step{Kind: stepPartition, Link: l}, partW})
+			}
+		}
+		if sc.Faults.LatencyMs > 0 {
+			v := int64(sc.Faults.LatencyMs)
+			if latOn {
+				v = 0
+			}
+			cands = append(cands, cand{step{Kind: stepLatency, Val: v, Link: "*"}, 1})
+		}
+		total := 0
+		for _, c := range cands {
+			total += c.w
+		}
+		r := rng.Intn(total)
+		var chosen step
+		for _, c := range cands {
+			if r < c.w {
+				chosen = c.s
+				break
+			}
+			r -= c.w
+		}
+		switch chosen.Kind {
+		case stepKill:
+			up[chosen.Domain] = false
+			downFor[chosen.Domain] = 0
+		case stepRestart:
+			up[chosen.Domain] = true
+			downFor[chosen.Domain] = 0
+		case stepPartition:
+			parted[chosen.Link] = true
+		case stepHeal:
+			delete(parted, chosen.Link)
+		case stepLatency:
+			latOn = chosen.Val > 0
+		}
+		steps = append(steps, chosen)
+	}
+	// Healing tail.
+	for _, l := range links {
+		if parted[l] {
+			steps = append(steps, step{Kind: stepHeal, Link: l})
+		}
+	}
+	if latOn {
+		steps = append(steps, step{Kind: stepLatency, Val: 0, Link: "*"})
+	}
+	for _, d := range sc.Domains {
+		if !up[d.Name] {
+			steps = append(steps, step{Kind: stepRestart, Domain: d.Name})
+		}
+	}
+	return steps
+}
