@@ -70,10 +70,13 @@ chaos-e2e:
 cover:
 	$(GO) test -cover ./...
 
-# Docs-consistency guard: every registered cmi_* metric must be
-# documented in docs/OPERATIONS.md.
+# Docs-consistency guards: every registered cmi_* metric must be
+# documented in docs/OPERATIONS.md, every federation mux route in
+# docs/API.md, and every exported identifier of the delivery,
+# federation and stream packages must carry a doc comment.
 docs:
-	$(GO) test -run TestMetricsDocumented .
+	$(GO) test -run 'TestMetricsDocumented|TestAPIDocumented' .
+	$(GO) run ./tools/doccheck ./internal/delivery ./internal/federation ./internal/stream
 
 examples:
 	$(GO) run ./examples/quickstart

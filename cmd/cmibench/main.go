@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery]
+//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|streaming]
 package main
 
 import (
@@ -38,7 +38,7 @@ var benchSmoke bool
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmibench: ")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|gate")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|streaming|gate")
 	smoke := flag.Bool("smoke", false, "short smoke run: tiny workload, one rep, BENCH_*.json left untouched (awareness experiment)")
 	handicap := flag.Float64("gate-handicap", 1, "scale measured numbers by this factor before the gate comparison (negative self-test)")
 	flag.Parse()
@@ -57,10 +57,11 @@ func main() {
 		"awareness":  awarenessSharded,
 		"federation": federationResilience,
 		"recovery":   recoveryBench,
+		"streaming":  streamingSessions,
 		"gate":       gate,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation", "recovery"} {
+		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation", "recovery", "streaming"} {
 			if err := exps[name](); err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}

@@ -1,0 +1,366 @@
+package main
+
+// The streaming-delivery-plane experiment: how many concurrent
+// resumable push sessions one node sustains, and the detect-to-
+// frame-write latency distribution while it does.
+//
+// Two arms:
+//
+//   - In-process sessions (the scaling curve, up to 100k+): each
+//     session is a real stream.Session consuming through a real SSE
+//     FrameWriter — full encode and frame assembly — writing to
+//     io.Discard. This measures the delivery plane itself without
+//     paying two sockets per session, which the file-descriptor limit
+//     (typically 20k) would cap far below the target.
+//   - Real HTTP (the transport validation point): a few thousand
+//     genuine SSE connections through the federation server and the
+//     reference resuming client, bounded by the fd limit.
+//
+// Latency is time.Since(n.Time) sampled after the frame write
+// returns: enqueue (detection handing the notification to the
+// delivery store) to the session's transport write completing.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/obs"
+	"github.com/mcc-cmi/cmi/internal/stream"
+	"github.com/mcc-cmi/cmi/internal/system"
+)
+
+type streamPoint struct {
+	Sessions       int     `json:"sessions"`
+	Participants   int     `json:"participants"`
+	EventsPerPart  int     `json:"eventsPerParticipant"`
+	Delivered      int     `json:"delivered"`
+	ElapsedMS      float64 `json:"elapsedMs"`
+	DeliveriesPerS float64 `json:"deliveriesPerSec"`
+	P50Ms          float64 `json:"p50Ms"`
+	P99Ms          float64 `json:"p99Ms"`
+	MaxMs          float64 `json:"maxMs"`
+	BytesPerSess   float64 `json:"bytesPerSession"`
+}
+
+type streamHTTPPoint struct {
+	Connections    int     `json:"connections"`
+	EventsPerPart  int     `json:"eventsPerParticipant"`
+	Delivered      int     `json:"delivered"`
+	ElapsedMS      float64 `json:"elapsedMs"`
+	DeliveriesPerS float64 `json:"deliveriesPerSec"`
+	P50Ms          float64 `json:"p50Ms"`
+	P99Ms          float64 `json:"p99Ms"`
+	MaxMs          float64 `json:"maxMs"`
+}
+
+// pctMs picks a percentile (0..1) from a sorted sample of durations,
+// in milliseconds.
+func pctMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Microseconds()) / 1000
+}
+
+// streamingSessions runs the experiment and writes BENCH_streaming.json.
+func streamingSessions() error {
+	header("Streaming delivery plane — concurrent sessions and push latency")
+	sessionCounts := []int{1_000, 10_000, 100_000}
+	perPart := 100 // sessions per participant
+	events := 10   // notifications per participant
+	httpConns := 2048
+	if benchSmoke {
+		sessionCounts = []int{200}
+		perPart = 20
+		events = 4
+		httpConns = 16
+	}
+
+	fmt.Println("in-process sessions (full SSE encode, frames to io.Discard):")
+	fmt.Printf("  %-10s %-13s %-11s %-12s %-9s %-9s %-9s %s\n",
+		"sessions", "participants", "delivered", "del/sec", "p50", "p99", "max", "bytes/sess")
+	var points []streamPoint
+	for _, n := range sessionCounts {
+		p, err := streamInProcPoint(n, perPart, events)
+		if err != nil {
+			return err
+		}
+		points = append(points, p)
+		fmt.Printf("  %-10d %-13d %-11d %-12.0f %-9s %-9s %-9s %.0f\n",
+			p.Sessions, p.Participants, p.Delivered, p.DeliveriesPerS,
+			fmt.Sprintf("%.2fms", p.P50Ms), fmt.Sprintf("%.2fms", p.P99Ms),
+			fmt.Sprintf("%.1fms", p.MaxMs), p.BytesPerSess)
+	}
+
+	fmt.Println("\nreal HTTP SSE connections (federation server + reference client):")
+	hp, err := streamHTTPValidation(httpConns, events)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %-11s %-12s %-9s %-9s %s\n", "conns", "delivered", "del/sec", "p50", "p99", "max")
+	fmt.Printf("  %-10d %-11d %-12.0f %-9s %-9s %s\n",
+		hp.Connections, hp.Delivered, hp.DeliveriesPerS,
+		fmt.Sprintf("%.2fms", hp.P50Ms), fmt.Sprintf("%.2fms", hp.P99Ms), fmt.Sprintf("%.1fms", hp.MaxMs))
+
+	if benchSmoke {
+		fmt.Println("\nsmoke run: BENCH_streaming.json left untouched")
+		return nil
+	}
+	out := struct {
+		Benchmark string            `json:"benchmark"`
+		Meta      benchMeta         `json:"meta"`
+		InProcess []streamPoint     `json:"inProcess"`
+		RealHTTP  []streamHTTPPoint `json:"realHTTP"`
+	}{
+		Benchmark: "streaming-sessions",
+		Meta: newBenchMeta(fmt.Sprintf(
+			"inProcess: N stream sessions (%d per participant) with full SSE frame encode to io.Discard, "+
+				"%d group-commit fanout events per participant, latency = enqueue to frame-write completion; "+
+				"realHTTP: %d genuine SSE connections through the federation server and the resuming client "+
+				"(in-process curve exists because the fd limit caps real sockets far below the 100k target)",
+			perPart, events, httpConns)),
+		InProcess: points,
+		RealHTTP:  []streamHTTPPoint{hp},
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_streaming.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("\nwrote BENCH_streaming.json")
+	return nil
+}
+
+// streamInProcPoint measures one in-process scaling point: sessions/
+// perPart participants, each session consuming through an SSE frame
+// writer to io.Discard, with every delivered batch checked for
+// in-order exactly-once ids.
+func streamInProcPoint(sessions, perPart, events int) (streamPoint, error) {
+	dir, err := os.MkdirTemp("", "cmi-stream-*")
+	if err != nil {
+		return streamPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := delivery.NewStore(dir)
+	if err != nil {
+		return streamPoint{}, err
+	}
+	defer store.Close()
+	hub := stream.NewHub(store, stream.Options{})
+	hub.Instrument(obs.NewRegistry())
+	store.OnCommit(hub.Broadcast)
+	defer hub.Close()
+
+	nPart := sessions / perPart
+	participants := make([]string, nPart)
+	for i := range participants {
+		participants[i] = fmt.Sprintf("p%05d", i)
+	}
+
+	var memBefore runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memBefore)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		samples  []time.Duration
+		faults   int
+		delivers int
+	)
+	wg.Add(sessions)
+	for i := 0; i < sessions; i++ {
+		sess, err := hub.Subscribe(participants[i%nPart], 0)
+		if err != nil {
+			return streamPoint{}, err
+		}
+		go func(sess *stream.Session) {
+			defer wg.Done()
+			defer sess.Close()
+			fw := hub.NewFrameWriter(io.Discard)
+			local := make([]time.Duration, 0, events)
+			got, lastID, bad := 0, int64(0), 0
+			for got < events {
+				batch, err := sess.Next(ctx)
+				if err != nil {
+					bad++
+					break
+				}
+				if err := fw.WriteEvents(batch); err != nil {
+					bad++
+					break
+				}
+				now := time.Now()
+				for _, n := range batch {
+					if n.ID <= lastID {
+						bad++ // duplicate or out of order
+					}
+					lastID = n.ID
+					local = append(local, now.Sub(n.Time))
+				}
+				got += len(batch)
+			}
+			if got != events {
+				bad++
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			delivers += got
+			faults += bad
+			mu.Unlock()
+		}(sess)
+	}
+
+	var memAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&memAfter)
+	bytesPerSess := float64(0)
+	if memAfter.HeapAlloc > memBefore.HeapAlloc {
+		bytesPerSess = float64(memAfter.HeapAlloc-memBefore.HeapAlloc) / float64(sessions)
+	}
+
+	start := time.Now()
+	for e := 0; e < events; e++ {
+		if _, _, err := store.EnqueueFanout(participants, "", delivery.Notification{
+			Time: time.Now(), Schema: "Bench", Description: fmt.Sprintf("e%d", e),
+		}); err != nil {
+			return streamPoint{}, err
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if faults > 0 {
+		return streamPoint{}, fmt.Errorf("streaming: %d sessions violated exactly-once in-order delivery", faults)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return streamPoint{
+		Sessions:       sessions,
+		Participants:   nPart,
+		EventsPerPart:  events,
+		Delivered:      delivers,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+		DeliveriesPerS: float64(delivers) / elapsed.Seconds(),
+		P50Ms:          pctMs(samples, 0.50),
+		P99Ms:          pctMs(samples, 0.99),
+		MaxMs:          pctMs(samples, 1),
+		BytesPerSess:   bytesPerSess,
+	}, nil
+}
+
+// streamHTTPValidation opens conns genuine SSE connections against a
+// real federation server and drives events events through each.
+func streamHTTPValidation(conns, events int) (streamHTTPPoint, error) {
+	dir, err := os.MkdirTemp("", "cmi-stream-http-*")
+	if err != nil {
+		return streamHTTPPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	sys, err := system.New(system.Config{StateDir: dir})
+	if err != nil {
+		return streamHTTPPoint{}, err
+	}
+	defer sys.Close()
+	srv := httptest.NewServer(federation.NewServer(sys).Handler())
+	defer func() {
+		sys.Stream().Close() // end live handlers so srv.Close does not hang
+		srv.Close()
+	}()
+
+	participants := make([]string, conns)
+	for i := range participants {
+		participants[i] = fmt.Sprintf("h%05d", i)
+	}
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conns}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []time.Duration
+		faults  int
+		total   int
+	)
+	subs := make([]*stream.Subscription, conns)
+	for i := range subs {
+		subs[i] = stream.Subscribe(ctx, srv.URL, participants[i], stream.ClientOptions{HTTP: hc})
+	}
+	wg.Add(conns)
+	for i := range subs {
+		go func(sub *stream.Subscription) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, events)
+			got, lastID, bad := 0, int64(0), 0
+			timeout := time.After(120 * time.Second)
+			for got < events {
+				select {
+				case n, ok := <-sub.Events():
+					if !ok {
+						bad++
+						got = events
+						break
+					}
+					if n.ID <= lastID {
+						bad++
+					}
+					lastID = n.ID
+					local = append(local, time.Since(n.Time))
+					got++
+				case <-timeout:
+					bad++
+					got = events
+				}
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			total += len(local)
+			faults += bad
+			mu.Unlock()
+		}(subs[i])
+	}
+
+	start := time.Now()
+	for e := 0; e < events; e++ {
+		if _, _, err := sys.Store().EnqueueFanout(participants, "", delivery.Notification{
+			Time: time.Now(), Schema: "Bench", Description: fmt.Sprintf("e%d", e),
+		}); err != nil {
+			return streamHTTPPoint{}, err
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, sub := range subs {
+		sub.Close()
+	}
+	if faults > 0 {
+		return streamHTTPPoint{}, fmt.Errorf("streaming http: %d connections violated delivery expectations", faults)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return streamHTTPPoint{
+		Connections:    conns,
+		EventsPerPart:  events,
+		Delivered:      total,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1000,
+		DeliveriesPerS: float64(total) / elapsed.Seconds(),
+		P50Ms:          pctMs(samples, 0.50),
+		P99Ms:          pctMs(samples, 0.99),
+		MaxMs:          pctMs(samples, 1),
+	}, nil
+}

@@ -79,6 +79,9 @@ func run() error {
 		snapEvery = flag.Int("snapshot-every", 0, "enactment journal records between snapshot+truncate compactions (0: default; negative: disable compaction)")
 		specs     specList
 
+		streamBuf  = flag.Int("stream-buffer", 0, "per-session streaming live buffer in notifications; a slower subscriber degrades to cursor replay from the journal (0: default 256)")
+		streamPing = flag.Duration("stream-ping", 0, "heartbeat interval on idle streaming sessions (0: default 15s)")
+
 		forward     = flag.String("forward", "", "base URL of a remote CMI domain to forward awareness notifications to")
 		forwardPart = flag.String("forward-participant", "", "remote participant to deliver forwarded notifications to (required with -forward)")
 		spool       = flag.String("spool", "", "store-and-forward spool journal (default: STATE/spool.journal, or a pre-existing STATE/spool.jsonl)")
@@ -100,6 +103,7 @@ func run() error {
 		Shards:        *shards,
 		SyncJournal:   *syncJ,
 		SnapshotEvery: *snapEvery,
+		StreamBuffer:  *streamBuf,
 	})
 	if err != nil {
 		return err
@@ -179,6 +183,7 @@ func run() error {
 	}
 
 	srv := federation.NewServer(sys)
+	srv.SetStreamPing(*streamPing)
 	if *start {
 		if err := sys.Start(); err != nil {
 			sys.Close()
@@ -201,6 +206,10 @@ func run() error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Streaming sessions never return on their own; end them the moment
+	// a shutdown begins so the connection drain below can finish. Their
+	// clients resume by cursor against the next incarnation.
+	httpSrv.RegisterOnShutdown(sys.Stream().Close)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		sys.Close()

@@ -1,0 +1,79 @@
+package cmi
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// routePattern matches the route literals registered on the federation
+// mux: mux.HandleFunc("METHOD /path", ...) and mux.Handle("METHOD
+// /path", ...).
+var routePattern = regexp.MustCompile(`mux\.Handle(?:Func)?\("([A-Z]+ /[^"]*)"`)
+
+// muxRoutes extracts every route literal from the federation server
+// source.
+func muxRoutes(t *testing.T) []string {
+	t.Helper()
+	src, err := os.ReadFile("internal/federation/server.go")
+	if err != nil {
+		t.Fatalf("internal/federation/server.go: %v", err)
+	}
+	var routes []string
+	for _, m := range routePattern.FindAllStringSubmatch(string(src), -1) {
+		routes = append(routes, m[1])
+	}
+	if len(routes) == 0 {
+		t.Fatal("no mux route literals found in internal/federation/server.go; the guard's scan is broken")
+	}
+	return routes
+}
+
+// undocumentedRoutes returns the routes whose literal pattern does not
+// appear in the doc text. Factored out so the guard can be self-tested
+// against a doc with a known hole.
+func undocumentedRoutes(routes []string, doc string) []string {
+	var missing []string
+	for _, r := range routes {
+		// The doc renders patterns as "`METHOD /path`"; substring match
+		// keeps the guard robust to surrounding prose.
+		if !strings.Contains(doc, r) {
+			missing = append(missing, r)
+		}
+	}
+	return missing
+}
+
+// TestAPIDocumented is the API-doc drift gate wired into `make check`:
+// every route registered on the federation mux must appear in
+// docs/API.md. Adding an endpoint without reference documentation
+// fails the build.
+func TestAPIDocumented(t *testing.T) {
+	docBytes, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatalf("docs/API.md: %v", err)
+	}
+	if missing := undocumentedRoutes(muxRoutes(t), string(docBytes)); len(missing) > 0 {
+		t.Errorf("routes registered in internal/federation/server.go but missing from docs/API.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+
+	// Negative self-test: the guard must actually fire when a route is
+	// absent. Strip one known route from the doc and require a report.
+	t.Run("detects missing route", func(t *testing.T) {
+		routes := muxRoutes(t)
+		victim := routes[0]
+		mutilated := strings.ReplaceAll(string(docBytes), victim, "")
+		missing := undocumentedRoutes(routes, mutilated)
+		found := false
+		for _, m := range missing {
+			if m == victim {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("guard failed to flag route %q removed from the doc", victim)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package delivery
+
+import (
+	"fmt"
+	"testing"
+)
+
+// seedQueue enqueues n keyed notifications for participant p and
+// returns their ids.
+func seedQueue(t *testing.T, s *Store, p string, n int) []int64 {
+	t.Helper()
+	ids := make([]int64, n)
+	for i := 0; i < n; i++ {
+		nn, dup, err := s.EnqueueKeyed(p, fmt.Sprintf("k%d", i), Notification{
+			Schema: "AS", Description: fmt.Sprintf("n%d", i),
+		})
+		if err != nil || dup {
+			t.Fatalf("enqueue %d: dup=%v err=%v", i, dup, err)
+		}
+		ids[i] = nn.ID
+	}
+	return ids
+}
+
+func assertIDs(t *testing.T, got []Notification, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d notifications, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i, n := range got {
+		if n.ID != want[i] {
+			t.Fatalf("notification %d: id %d, want %d", i, n.ID, want[i])
+		}
+	}
+}
+
+func TestPendingAfterCursorSemantics(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ids := seedQueue(t, s, "p", 5)
+
+	// Cursor 0 streams everything pending, identically to Pending's
+	// id-ordered view.
+	all, err := s.PendingAfter("p", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, all, ids)
+
+	// Strictly-greater: the cursor's own id is excluded.
+	after, err := s.PendingAfter("p", ids[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, after, ids[3:])
+
+	// Limit bounds the read; the next cursor continues the scan.
+	page, err := s.PendingAfter("p", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, page, ids[:2])
+	page2, err := s.PendingAfter("p", page[len(page)-1].ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, page2, ids[2:4])
+
+	// Past the high-water mark: empty, not an error.
+	end, err := s.PendingAfter("p", ids[4], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(end) != 0 {
+		t.Fatalf("cursor at high-water returned %v", end)
+	}
+
+	// A cursor between ids (e.g. for an id that was never issued to
+	// this participant) resumes at the next greater id.
+	mid, err := s.PendingAfter("p", ids[1]-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, mid, ids[1:])
+}
+
+func TestPendingAfterSkipsAcked(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ids := seedQueue(t, s, "p", 6)
+	for _, i := range []int{1, 3} {
+		if err := s.Ack("p", ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.PendingAfter("p", ids[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, got, []int64{ids[2], ids[4], ids[5]})
+}
+
+// TestPendingAfterAcrossCompaction: compaction rewrites a
+// majority-acked journal on load, dropping the acked records a stream
+// cursor may still point into. The resume contract must hold anyway:
+// every live notification after the cursor is returned, in order, even
+// when the cursor's own record was compacted away.
+func TestPendingAfterAcrossCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := seedQueue(t, s, "p", 12)
+	// Ack everything except two survivors in the middle and two at the
+	// tail; the journal becomes majority-acked so reload compacts it.
+	live := map[int64]bool{ids[5]: true, ids[7]: true, ids[10]: true, ids[11]: true}
+	for _, id := range ids {
+		if live[id] {
+			continue
+		}
+		if err := s.Ack("p", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	// Cursor at an acked, compacted-away id: the record no longer
+	// exists in the journal, but the resume point is an id comparison,
+	// not a lookup — every live notification after it must appear.
+	got, err := s2.PendingAfter("p", ids[3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, got, []int64{ids[5], ids[7], ids[10], ids[11]})
+
+	// Cursor mid-way through the survivors.
+	got, err = s2.PendingAfter("p", ids[7], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, got, []int64{ids[10], ids[11]})
+
+	// Cursor 0 after compaction still replays the whole live queue.
+	got, err = s2.PendingAfter("p", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, got, []int64{ids[5], ids[7], ids[10], ids[11]})
+
+	// New enqueues continue past the compacted high-water mark, so a
+	// stale cursor can never collide with a reused id.
+	n, err := s2.Enqueue("p", Notification{Schema: "AS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID != ids[11]+1 {
+		t.Fatalf("post-compaction id = %d, want %d", n.ID, ids[11]+1)
+	}
+	got, err = s2.PendingAfter("p", ids[11], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIDs(t, got, []int64{n.ID})
+}

@@ -80,14 +80,32 @@ type record struct {
 // writer that arrived while the previous commit held the file, written
 // with a single buffered write + flush.
 type commitGroup struct {
-	buf       []byte // newline-terminated encoded records, in id order
-	n         int    // records in buf
-	err       error  // commit outcome; valid once committed is set
-	committed bool   // set under q.mu; q.cond broadcasts the transition
+	buf       []byte         // newline-terminated encoded records, in id order
+	n         int            // records in buf
+	notifs    []Notification // notifications the group carries, in id order
+	err       error          // commit outcome; valid once committed is set
+	committed bool           // set under q.mu; q.cond broadcasts the transition
 }
 
+// A CommitHook observes committed notifications: it is invoked once per
+// journal commit group that carries notifications, with the
+// participant the queue belongs to and the group's notifications in id
+// order. Calls for one queue are serialized and ordered (group commit
+// serializes the journal), so a subscriber sees ids strictly ascending
+// per participant. The hook runs on the commit leader's goroutine while
+// the next group is still free to form, but it delays the group's
+// writers from returning — it must never block (the streaming hub's
+// Broadcast, the intended consumer, drops to cursor replay instead of
+// blocking).
+type CommitHook func(participant string, ns []Notification)
+
 type queue struct {
-	path string
+	path        string
+	participant string
+	// hook points at the owning store's commit hook; the commit leader
+	// loads it at broadcast time, so a group led by an ack writer still
+	// broadcasts the notifications other writers joined to it.
+	hook *atomic.Pointer[CommitHook]
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals commit-leader turnover (writing -> false)
@@ -120,6 +138,10 @@ type Store struct {
 	// loaded queues, maintained incrementally so the queue-depth gauge
 	// is O(1) at scrape time instead of a full scan under a lock.
 	pendingTotal atomic.Int64
+	// commitHook, when set, observes every committed notification batch
+	// (see CommitHook). Atomic so the commit path reads it without a
+	// store-wide lock.
+	commitHook atomic.Pointer[CommitHook]
 
 	mu     sync.Mutex // guards queues map and closed only
 	queues map[string]*queue
@@ -181,6 +203,22 @@ func (s *Store) pendingDepth() int {
 	return int(s.pendingTotal.Load())
 }
 
+// OnCommit registers the store's commit hook, the per-commit-group
+// broadcast feeding live streaming sessions: fn is invoked after each
+// journal commit group that carries notifications, with the whole batch
+// in one call, so one commit group costs one hook call per queue however
+// many writers it coalesced. Notifications are reported in id order per
+// participant; a group whose write failed is still reported, because its
+// records were accepted in memory (the journal decides on restart, and
+// the keyed dedup backstops replays). Passing nil removes the hook.
+func (s *Store) OnCommit(fn CommitHook) {
+	if fn == nil {
+		s.commitHook.Store(nil)
+		return
+	}
+	s.commitHook.Store(&fn)
+}
+
 // Open reports whether the store is usable (not yet closed).
 func (s *Store) Open() bool {
 	s.mu.Lock()
@@ -205,6 +243,23 @@ func NewStoreWith(dir string, opts StoreOptions) (*Store, error) {
 
 func errClosed() error { return fmt.Errorf("delivery: store closed") }
 
+// hook returns the registered commit hook, or nil.
+func (s *Store) hook() CommitHook {
+	if p := s.commitHook.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// notifBatch wraps one accepted notification for its commit group's
+// broadcast — nil (no allocation) when no commit hook is registered.
+func notifBatch(s *Store, n Notification) []Notification {
+	if s.commitHook.Load() == nil {
+		return nil
+	}
+	return []Notification{n}
+}
+
 // queueFor resolves (loading or creating on first use) the participant's
 // queue. The store-wide lock covers only this map lookup/creation; all
 // queue I/O runs under the queue's own lock.
@@ -221,10 +276,11 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 	if q, ok := s.queues[participant]; ok {
 		return q, nil
 	}
-	q, err := newQueue(filepath.Join(s.dir, url.PathEscape(participant)+".jsonl"))
+	q, err := newQueue(participant, filepath.Join(s.dir, url.PathEscape(participant)+".jsonl"))
 	if err != nil {
 		return nil, err
 	}
+	q.hook = &s.commitHook
 	s.queues[participant] = q
 	s.pendingTotal.Add(int64(q.pending))
 	return q, nil
@@ -232,8 +288,8 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 
 // newQueue loads (or creates) one participant queue from its journal
 // file — the shared construction path of queueLocked and Preload.
-func newQueue(path string) (*queue, error) {
-	q := &queue{path: path, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
+func newQueue(participant, path string) (*queue, error) {
+	q := &queue{path: path, participant: participant, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
 	q.cond = sync.NewCond(&q.mu)
 	if err := q.load(); err != nil {
 		return nil, err
@@ -278,7 +334,7 @@ func (s *Store) Preload() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			q, err := newQueue(filepath.Join(s.dir, url.PathEscape(p)+".jsonl"))
+			q, err := newQueue(p, filepath.Join(s.dir, url.PathEscape(p)+".jsonl"))
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -293,6 +349,7 @@ func (s *Store) Preload() error {
 				q.file.Close()
 				return
 			}
+			q.hook = &s.commitHook
 			s.queues[p] = q
 			s.mu.Unlock()
 			s.pendingTotal.Add(int64(q.pending))
@@ -453,10 +510,14 @@ func (q *queue) maybeCompact() {
 // the open group; the leader then seals the group and writes the whole
 // batch with one write + flush (+ fsync when enabled). A batch enqueue
 // passes all its records for the queue in one call, so a batch costs
-// one commit-group join however many records it carries. Called with
-// q.mu held; the lock is released while waiting/writing and re-held on
-// return; recs is copied before return, so the caller may reuse it.
-func (q *queue) appendCommit(recs []byte, n int, m *storeMetrics, syncFile bool) error {
+// one commit-group join however many records it carries. The
+// notifications the records carry (nil for acks) ride the group and are
+// reported to the store's commit hook — once per group, by the leader,
+// after the write — which is what makes "one commit group = one
+// broadcast" hold for streaming sessions. Called with q.mu held; the
+// lock is released while waiting/writing and re-held on return; recs
+// and notifs are copied before return, so the caller may reuse them.
+func (q *queue) appendCommit(recs []byte, n int, notifs []Notification, m *storeMetrics, syncFile bool) error {
 	if q.closed {
 		return errClosed()
 	}
@@ -464,6 +525,7 @@ func (q *queue) appendCommit(recs []byte, n int, m *storeMetrics, syncFile bool)
 		// A group is forming: join it and wait for its commit.
 		g.buf = append(g.buf, recs...)
 		g.n += n
+		g.notifs = append(g.notifs, notifs...)
 		for !g.committed {
 			q.cond.Wait()
 		}
@@ -473,6 +535,7 @@ func (q *queue) appendCommit(recs []byte, n int, m *storeMetrics, syncFile bool)
 	g := &commitGroup{buf: append(q.spare[:0], recs...)}
 	q.spare = nil
 	g.n = n
+	g.notifs = append(g.notifs, notifs...)
 	q.open = g
 	for q.writing {
 		q.cond.Wait() // joiners accumulate in q.open meanwhile
@@ -515,6 +578,16 @@ func (q *queue) appendCommit(recs []byte, n int, m *storeMetrics, syncFile bool)
 		m.appendLatency.Observe(time.Since(t0))
 		m.commits.Inc()
 		m.batchSize.Observe(float64(g.n))
+	}
+	// Broadcast the group's notifications while q.writing still serializes
+	// this queue's commits: hook calls are therefore in id order per
+	// participant, and the next group keeps forming meanwhile. The group's
+	// writers only return after the hook, so a quiesce barrier that waits
+	// for enqueues also covers the broadcast.
+	if q.hook != nil && len(g.notifs) > 0 {
+		if p := q.hook.Load(); p != nil {
+			(*p)(q.participant, g.notifs)
+		}
 	}
 	q.mu.Lock()
 	q.writing = false
@@ -582,7 +655,7 @@ func (s *Store) EnqueueKeyed(participant, key string, n Notification) (Notificat
 	n.Acked = false
 	rec := encodeNotifFrame(key, &n, m)
 	s.accept(q, n, key, m)
-	err = q.appendCommit(rec, 1, m, s.syncOnCommit)
+	err = q.appendCommit(rec, 1, notifBatch(s, n), m, s.syncOnCommit)
 	wire.PutBuf(rec)
 	if err != nil {
 		return Notification{}, false, err
@@ -664,7 +737,7 @@ func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Not
 		nn.ID = q.nextID
 		patchNotifID(rec, nn.ID)
 		s.accept(q, nn, key, m)
-		err = q.appendCommit(rec, 1, m, s.syncOnCommit)
+		err = q.appendCommit(rec, 1, notifBatch(s, nn), m, s.syncOnCommit)
 		q.mu.Unlock()
 		if err != nil {
 			fail(err)
@@ -677,9 +750,9 @@ func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Not
 
 // A FanoutItem is one notification fan-out inside EnqueueFanoutBatch.
 type FanoutItem struct {
-	Users []string
-	Key   string
-	N     Notification
+	Users []string     // participant queues to fan out to
+	Key   string       // idempotency key; "" skips dedup
+	N     Notification // the notification body (ID assigned per queue)
 }
 
 // EnqueueFanoutBatch fans out a batch of notifications in one pass —
@@ -726,6 +799,8 @@ func (s *Store) EnqueueFanoutBatch(items []FanoutItem) ([]int, int, error) {
 		dups     int
 		firstErr error
 		group    = wire.GetBuf(1 << 10)
+		hook     = s.hook()
+		batchNs  []Notification // reused per queue; appendCommit copies
 	)
 	defer wire.PutBuf(group)
 	fail := func(err error) {
@@ -746,6 +821,7 @@ func (s *Store) EnqueueFanoutBatch(items []FanoutItem) ([]int, int, error) {
 			continue
 		}
 		group = group[:0]
+		batchNs = batchNs[:0]
 		cnt := 0
 		for _, i := range byUser[u] {
 			it := &items[i]
@@ -759,10 +835,13 @@ func (s *Store) EnqueueFanoutBatch(items []FanoutItem) ([]int, int, error) {
 			group = append(group, frames[i]...)
 			cnt++
 			s.accept(q, nn, it.Key, m)
+			if hook != nil {
+				batchNs = append(batchNs, nn)
+			}
 			queued[i]++
 		}
 		if cnt > 0 {
-			err = q.appendCommit(group, cnt, m, s.syncOnCommit)
+			err = q.appendCommit(group, cnt, batchNs, m, s.syncOnCommit)
 		}
 		q.mu.Unlock()
 		if err != nil {
@@ -799,13 +878,56 @@ func (s *Store) Pending(participant string) ([]Notification, error) {
 	return out, nil
 }
 
+// PendingAfter returns up to limit unacknowledged notifications with an
+// id strictly greater than afterID, in id order — the cursor-replay
+// read of the streaming delivery plane: a session resuming from cursor
+// C replays PendingAfter(C) from the journal before going live, and a
+// backpressured session degrades to the same read instead of buffering
+// without bound. A limit <= 0 means no limit. Journal compaction only
+// ever drops acknowledged notifications and preserves the id high-water
+// mark, so a cursor older than the last compaction still resumes
+// correctly: every live notification after it is returned, and no id is
+// ever reused below the cursor.
+func (s *Store) PendingAfter(participant string, afterID int64, limit int) ([]Notification, error) {
+	q, err := s.queueFor(participant)
+	if err != nil {
+		return nil, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, errClosed()
+	}
+	// q.notifs is in ascending id order; binary-search the resume point.
+	lo, hi := 0, len(q.notifs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.notifs[mid].ID <= afterID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var out []Notification
+	for _, n := range q.notifs[lo:] {
+		if n.Acked {
+			continue
+		}
+		out = append(out, n)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out, nil
+}
+
 // A Digest summarizes a participant's pending queue per awareness
 // schema — the event-aggregation facility Section 6.5 leaves open. The
 // json tags pin the wire shape served by the federation monitor API.
 type Digest struct {
-	Schema      string `json:"schema"`
-	Count       int    `json:"count"`
-	MaxPriority int    `json:"maxPriority"`
+	Schema      string `json:"schema"`      // awareness schema name
+	Count       int    `json:"count"`       // pending notifications of the schema
+	MaxPriority int    `json:"maxPriority"` // highest priority among them
 	// Latest is the most recent pending notification of the schema.
 	Latest Notification `json:"latest"`
 }
@@ -893,7 +1015,7 @@ func (s *Store) Ack(participant string, id int64) error {
 	if m != nil {
 		m.acked.Inc()
 	}
-	err = q.appendCommit(rec, 1, m, s.syncOnCommit)
+	err = q.appendCommit(rec, 1, nil, m, s.syncOnCommit)
 	wire.PutBuf(rec)
 	return err
 }

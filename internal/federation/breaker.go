@@ -17,6 +17,7 @@ const (
 	BreakerOpen
 )
 
+// String names the state for logs and the breaker-state metric docs.
 func (s BreakerState) String() string {
 	switch s {
 	case BreakerClosed:

@@ -31,19 +31,19 @@ type Policy struct {
 	// full jitter: attempt k sleeps rand[0, min(MaxBackoff,
 	// BaseBackoff·2^(k-1))].
 	BaseBackoff time.Duration
-	MaxBackoff  time.Duration
+	MaxBackoff  time.Duration // cap on the jittered backoff window
 	// RetryBudget is a token bucket shared by all calls through the
 	// same Resilience: each retry spends one token, each first-attempt
 	// success refunds RetryRefund. An empty bucket fails fast instead
 	// of amplifying load on a struggling domain. ≤ 0 disables the
 	// budget.
 	RetryBudget int
-	RetryRefund float64
+	RetryRefund float64 // tokens refunded per first-attempt success
 	// BreakerThreshold consecutive failures open the circuit; it sheds
 	// calls for BreakerCooldown before admitting a half-open trial.
 	// ≤ 0 disables the breaker.
 	BreakerThreshold int
-	BreakerCooldown  time.Duration
+	BreakerCooldown  time.Duration // open time before the half-open trial
 	// ProbeInterval is how often an open breaker actively probes the
 	// domain's /api/healthz; a 200 closes the breaker without waiting
 	// for traffic. 0 disables probing.

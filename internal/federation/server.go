@@ -32,6 +32,10 @@ import (
 type Server struct {
 	sys *system.System
 
+	// streamPing is the heartbeat interval for idle streaming sessions;
+	// zero selects DefaultStreamPing (see SetStreamPing).
+	streamPing time.Duration
+
 	mu      sync.Mutex
 	started bool
 }
@@ -73,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/notifications/{participant}/digest", s.getDigest)
 	mux.HandleFunc("POST /api/notifications/{participant}/{id}/ack", s.postAck)
 	mux.HandleFunc("POST /api/presence/{participant}", s.postPresence)
+	mux.HandleFunc("GET /api/stream/notifications", s.getStream)
 
 	// Federation (cross-domain) API.
 	mux.HandleFunc("POST /api/remote/notifications", s.postRemoteNotification)
@@ -95,6 +100,15 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.code = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers can
+// push frames through the instrumentation middleware (embedding only
+// promotes the ResponseWriter interface, not Flusher).
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // routeSeries caches one route's HTTP instruments so the steady-state
@@ -186,14 +200,14 @@ func (s *Server) postQuiesce(w http.ResponseWriter, r *http.Request) {
 // RecoveryInfo is the wire form of the enactment recovery pass that ran
 // when the system was built (enact.RecoveryStats).
 type RecoveryInfo struct {
-	SnapshotLoaded bool    `json:"snapshotLoaded"`
-	SnapshotSeq    int64   `json:"snapshotSeq"`
-	Replayed       int     `json:"replayed"`
-	Skipped        int     `json:"skipped"`
-	Failed         int     `json:"failed"`
-	TornTail       bool    `json:"tornTail"`
-	LastSeq        int64   `json:"lastSeq"`
-	ElapsedMs      float64 `json:"elapsedMs"`
+	SnapshotLoaded bool    `json:"snapshotLoaded"` // a snapshot seeded the state
+	SnapshotSeq    int64   `json:"snapshotSeq"`    // journal seq the snapshot covers
+	Replayed       int     `json:"replayed"`       // journal records re-executed
+	Skipped        int     `json:"skipped"`        // records at or below the snapshot seq
+	Failed         int     `json:"failed"`         // records that no longer apply
+	TornTail       bool    `json:"tornTail"`       // a torn final record was discarded
+	LastSeq        int64   `json:"lastSeq"`        // highest journal seq seen
+	ElapsedMs      float64 `json:"elapsedMs"`      // wall time of the recovery pass
 }
 
 func (s *Server) getRecovery(w http.ResponseWriter, r *http.Request) {
@@ -259,13 +273,13 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 
 // SpecRequest carries ADL source text.
 type SpecRequest struct {
-	Source string `json:"source"`
+	Source string `json:"source"` // ADL specification text
 }
 
 // SpecResponse reports what the spec declared.
 type SpecResponse struct {
-	Processes []string `json:"processes"`
-	Awareness []string `json:"awareness"`
+	Processes []string `json:"processes"` // process schema names declared
+	Awareness []string `json:"awareness"` // awareness schema names declared
 }
 
 func (s *Server) postSpec(w http.ResponseWriter, r *http.Request) {
@@ -297,8 +311,8 @@ func (s *Server) postSpec(w http.ResponseWriter, r *http.Request) {
 
 // ParticipantRequest registers a participant.
 type ParticipantRequest struct {
-	ID   string `json:"id"`
-	Name string `json:"name"`
+	ID   string `json:"id"`   // directory identifier
+	Name string `json:"name"` // display name
 	Kind string `json:"kind"` // "human" (default) or "program"
 }
 
@@ -322,8 +336,8 @@ func (s *Server) postParticipant(w http.ResponseWriter, r *http.Request) {
 
 // RoleRequest assigns an organizational role.
 type RoleRequest struct {
-	Role        string `json:"role"`
-	Participant string `json:"participant"`
+	Role        string `json:"role"`        // organizational role name
+	Participant string `json:"participant"` // directory id of the member
 }
 
 func (s *Server) postRole(w http.ResponseWriter, r *http.Request) {
@@ -361,13 +375,13 @@ func (s *Server) getSchemas(w http.ResponseWriter, r *http.Request) {
 
 // StartProcessRequest instantiates a process schema.
 type StartProcessRequest struct {
-	Schema    string `json:"schema"`
-	Initiator string `json:"initiator"`
+	Schema    string `json:"schema"`    // process schema to instantiate
+	Initiator string `json:"initiator"` // participant starting the process
 }
 
 // StartProcessResponse returns the new instance id.
 type StartProcessResponse struct {
-	ID string `json:"id"`
+	ID string `json:"id"` // new process instance id
 }
 
 func (s *Server) postProcess(w http.ResponseWriter, r *http.Request) {
@@ -385,9 +399,9 @@ func (s *Server) postProcess(w http.ResponseWriter, r *http.Request) {
 
 // ProcessInfo summarizes one process instance.
 type ProcessInfo struct {
-	ID     string `json:"id"`
-	Schema string `json:"schema"`
-	State  string `json:"state"`
+	ID     string `json:"id"`     // process instance id
+	Schema string `json:"schema"` // schema the instance was built from
+	State  string `json:"state"`  // current CORE state
 }
 
 func (s *Server) getProcesses(w http.ResponseWriter, r *http.Request) {
@@ -413,8 +427,8 @@ func (s *Server) getMonitor(w http.ResponseWriter, r *http.Request) {
 
 // InstantiateRequest creates another instance of a repeatable activity.
 type InstantiateRequest struct {
-	Var  string `json:"var"`
-	User string `json:"user"`
+	Var  string `json:"var"`  // repeatable activity variable name
+	User string `json:"user"` // acting participant
 }
 
 func (s *Server) postInstantiate(w http.ResponseWriter, r *http.Request) {
@@ -440,7 +454,7 @@ func (s *Server) getWorklist(w http.ResponseWriter, r *http.Request) {
 
 // ActivityOpRequest names the acting user.
 type ActivityOpRequest struct {
-	User string `json:"user"`
+	User string `json:"user"` // acting participant
 	// To is the explicit target state for op "transition".
 	To string `json:"to,omitempty"`
 }
@@ -638,7 +652,7 @@ func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
 
 // PresenceRequest records a participant signing on or off.
 type PresenceRequest struct {
-	Online bool `json:"online"`
+	Online bool `json:"online"` // true: sign on; false: sign off
 }
 
 func (s *Server) postPresence(w http.ResponseWriter, r *http.Request) {

@@ -24,15 +24,15 @@ import (
 // domain journals it with the queued notification and drops replays, so
 // redelivery after an ambiguous failure is exactly-once.
 type RemoteNotification struct {
-	Key          string                `json:"key"`
-	Participant  string                `json:"participant"`
-	Notification delivery.Notification `json:"notification"`
+	Key          string                `json:"key"`          // client-generated idempotency key
+	Participant  string                `json:"participant"`  // receiving-domain participant queue
+	Notification delivery.Notification `json:"notification"` // the forwarded awareness notification
 }
 
 // PushResponse reports whether the receiving domain had already seen
 // the idempotency key.
 type PushResponse struct {
-	Duplicate bool `json:"duplicate"`
+	Duplicate bool `json:"duplicate"` // true when the key was already journaled
 }
 
 // A RemoteClient pushes awareness notifications into another CMI

@@ -1,0 +1,123 @@
+// The streaming delivery plane's HTTP surface: long-lived Server-Sent
+// Events sessions with resumable cursors, served by the federation
+// server at GET /api/stream/notifications. The protocol is specified in
+// docs/STREAMING.md; the session semantics (exactly-once, in-order,
+// bounded-memory backpressure) live in internal/stream.
+
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DefaultStreamPing is the default heartbeat interval on an idle
+// streaming session (see Server.StreamPing).
+const DefaultStreamPing = 15 * time.Second
+
+// DefaultStreamRetry is the reconnect delay hint sent to SSE clients in
+// the session's opening frame.
+const DefaultStreamRetry = 2 * time.Second
+
+// SetStreamPing overrides the heartbeat interval written to idle
+// streaming sessions (0 restores the default). Call before Handler.
+func (s *Server) SetStreamPing(d time.Duration) {
+	if d <= 0 {
+		d = DefaultStreamPing
+	}
+	s.streamPing = d
+}
+
+// getStream serves GET /api/stream/notifications?participant=P&cursor=N:
+// a long-lived SSE session pushing the participant's awareness
+// notifications as they commit to the delivery journal. The cursor (or,
+// on an EventSource auto-reconnect, the Last-Event-ID header) is the id
+// of the last notification the client has seen; the session replays
+// everything after it from the durable queue before going live, so
+// delivery is exactly-once and in-order across disconnects.
+func (s *Server) getStream(w http.ResponseWriter, r *http.Request) {
+	participant := r.URL.Query().Get("participant")
+	if participant == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("federation: stream requires ?participant="))
+		return
+	}
+	cursor, err := streamCursor(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("federation: transport cannot stream"))
+		return
+	}
+	hub := s.sys.Stream()
+	sess, err := hub.Subscribe(participant, cursor)
+	if err != nil {
+		// The hub only refuses subscriptions while shutting down.
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer sess.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // streaming through buffering proxies
+	w.WriteHeader(http.StatusOK)
+	fw := hub.NewFrameWriter(w)
+	if err := fw.WriteHello(participant, cursor, DefaultStreamRetry); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	ping := s.streamPing
+	if ping <= 0 {
+		ping = DefaultStreamPing
+	}
+	ctx := r.Context()
+	for {
+		// Bound each wait by the ping interval: a quiet queue still
+		// produces heartbeats, so clients and intermediaries can tell a
+		// silent stream from a dead one.
+		waitCtx, cancel := context.WithTimeout(ctx, ping)
+		batch, err := sess.Next(waitCtx)
+		cancel()
+		switch {
+		case err == nil:
+			if fw.WriteEvents(batch) != nil {
+				return // client gone; reconnect resumes by cursor
+			}
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			if fw.WritePing() != nil {
+				return
+			}
+		default:
+			// Session closed (system shutdown) or client disconnected.
+			return
+		}
+		flusher.Flush()
+	}
+}
+
+// streamCursor extracts the resume cursor: the ?cursor= query parameter
+// wins, then an EventSource reconnect's Last-Event-ID header, then 0
+// (stream the whole pending queue).
+func streamCursor(r *http.Request) (int64, error) {
+	raw := r.URL.Query().Get("cursor")
+	if raw == "" {
+		raw = r.Header.Get("Last-Event-ID")
+	}
+	if raw == "" {
+		return 0, nil
+	}
+	cursor, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || cursor < 0 {
+		return 0, fmt.Errorf("federation: bad stream cursor %q", raw)
+	}
+	return cursor, nil
+}

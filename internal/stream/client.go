@@ -1,0 +1,220 @@
+// A minimal resuming SSE client for the streaming delivery plane. The
+// protocol (docs/STREAMING.md) is deliberately implementable from the
+// spec alone; this client is the in-repo reference consumer, used by
+// the federation tests, the streaming benchmark's real-transport point,
+// and the black-box chaos oracle's subscriber invariant checker.
+
+package stream
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+
+	"encoding/json"
+)
+
+// ClientOptions configure Subscribe.
+type ClientOptions struct {
+	// HTTP is the client used for the long-lived GET; nil selects a
+	// default client with no overall timeout (a stream is unbounded).
+	HTTP *http.Client
+	// Cursor is the resume point: the id of the last notification the
+	// subscriber has already seen (0 to stream the whole pending queue).
+	Cursor int64
+	// ReconnectDelay is the pause between reconnect attempts after the
+	// stream drops (default 100ms). The server's retry hint is not
+	// honored — harnesses want deterministic reconnect cadence.
+	ReconnectDelay time.Duration
+}
+
+// A Subscription is a live, auto-resuming subscription to one
+// participant's notification stream. Events arrive on Events() in id
+// order, exactly once, across any number of server-side disconnects,
+// restarts, or network failures — the subscription reconnects with its
+// cursor and the server replays what was missed.
+type Subscription struct {
+	events chan delivery.Notification
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	lastID     int64
+	reconnects int
+	err        error
+	done       chan struct{}
+}
+
+// Subscribe opens a streaming subscription for participant against the
+// federation server at baseURL. It retries and resumes until ctx is
+// cancelled or Close is called; transport errors are absorbed into
+// reconnects (the terminal error, if any, is reported by Err).
+func Subscribe(ctx context.Context, baseURL, participant string, opts ClientOptions) *Subscription {
+	if opts.HTTP == nil {
+		opts.HTTP = &http.Client{}
+	}
+	if opts.ReconnectDelay <= 0 {
+		opts.ReconnectDelay = 100 * time.Millisecond
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	sub := &Subscription{
+		events: make(chan delivery.Notification, 64),
+		cancel: cancel,
+		lastID: opts.Cursor,
+		done:   make(chan struct{}),
+	}
+	go sub.run(ctx, baseURL, participant, opts)
+	return sub
+}
+
+// Events delivers the stream in id order, exactly once. The channel is
+// closed when the subscription ends (ctx cancelled or Close called).
+func (s *Subscription) Events() <-chan delivery.Notification { return s.events }
+
+// LastID returns the id of the last notification received — the cursor
+// a future subscription would resume from.
+func (s *Subscription) LastID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastID
+}
+
+// Reconnects reports how many times the subscription re-established the
+// stream after the initial connection.
+func (s *Subscription) Reconnects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconnects
+}
+
+// Err returns the terminal error, if the subscription ended on one.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close ends the subscription and waits for the event channel to close.
+func (s *Subscription) Close() {
+	s.cancel()
+	<-s.done
+}
+
+func (s *Subscription) run(ctx context.Context, baseURL, participant string, opts ClientOptions) {
+	defer close(s.done)
+	defer close(s.events)
+	first := true
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if !first {
+			select {
+			case <-time.After(opts.ReconnectDelay):
+			case <-ctx.Done():
+				return
+			}
+			s.mu.Lock()
+			s.reconnects++
+			s.mu.Unlock()
+		}
+		err := s.stream(ctx, baseURL, participant, opts.HTTP)
+		if ctx.Err() != nil {
+			return
+		}
+		if err != nil {
+			// Reconnect loop: errors are expected while the server is
+			// down; only remember the latest for post-mortems.
+			s.mu.Lock()
+			s.err = err
+			s.mu.Unlock()
+		}
+		first = false
+	}
+}
+
+// stream runs one connection: GET the stream resuming from the current
+// cursor, parse SSE frames, and forward notification events. Returns
+// when the connection drops or ctx is done.
+func (s *Subscription) stream(ctx context.Context, baseURL, participant string, hc *http.Client) error {
+	s.mu.Lock()
+	cursor := s.lastID
+	s.mu.Unlock()
+	u := fmt.Sprintf("%s/api/stream/notifications?participant=%s&cursor=%d",
+		strings.TrimRight(baseURL, "/"), url.QueryEscape(participant), cursor)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream: subscribe: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data string
+	var id int64
+	flush := func() error {
+		defer func() { event, data, id = "", "", 0 }()
+		if event != "notification" || data == "" {
+			return nil // hello, ping, or unknown control event
+		}
+		var n delivery.Notification
+		if err := json.Unmarshal([]byte(data), &n); err != nil {
+			return fmt.Errorf("stream: bad notification event: %w", err)
+		}
+		if id != 0 && n.ID == 0 {
+			n.ID = id
+		}
+		s.mu.Lock()
+		if n.ID <= s.lastID {
+			// The server filters by cursor; this guards a replay overlap
+			// if a proxy retried the request, preserving exactly-once.
+			s.mu.Unlock()
+			return nil
+		}
+		s.lastID = n.ID
+		s.mu.Unlock()
+		select {
+		case s.events <- n:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment (heartbeat)
+		case strings.HasPrefix(line, "id:"):
+			id, _ = strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			if data != "" {
+				data += "\n"
+			}
+			data += strings.TrimSpace(line[5:])
+		case strings.HasPrefix(line, "retry:"):
+			// hint ignored; see ClientOptions.ReconnectDelay
+		}
+	}
+	return sc.Err()
+}

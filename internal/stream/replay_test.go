@@ -1,0 +1,204 @@
+package stream
+
+// Replay-fixture tests: each fixture under testdata/fixtures is a JSONL
+// timeline of timed notification events with embedded control markers
+// (disconnect, stall). The runner replays the timeline against a live
+// store+hub while a subscriber goroutine consumes sessions the way a
+// real SSE handler would — closing and resuming by cursor on
+// disconnect markers, stalling on stall markers — and asserts the
+// streaming plane's contract: every event is delivered exactly once,
+// in id order, whatever the interleaving of journal replay, live
+// broadcast, reconnects, and backpressure degradation.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+)
+
+// fixtureLine is one line of a replay fixture. The first line may be a
+// config object (Config true); every other line is a timed event.
+type fixtureLine struct {
+	Config        bool `json:"config"`
+	SessionBuffer int  `json:"session_buffer"`
+	ReplayBatch   int  `json:"replay_batch"`
+	// ExpectDrop asserts the timeline forces at least one
+	// backpressure degradation to cursor replay.
+	ExpectDrop bool `json:"expect_drop"`
+	// MinReconnects asserts the subscriber resumed at least this often.
+	MinReconnects int `json:"min_reconnects"`
+
+	AtMS        int    `json:"at_ms"`
+	Schema      string `json:"schema"`
+	Description string `json:"description"`
+	// Disconnect closes the session after this event is received; the
+	// subscriber resumes with its cursor. Events later in the same
+	// delivered batch are discarded, modeling a client that crashed
+	// mid-frame — they must be replayed on reconnect.
+	Disconnect bool `json:"disconnect"`
+	// StallMS pauses the subscriber after this event, long enough for
+	// the timeline to overflow a small session buffer.
+	StallMS int `json:"stall_ms"`
+}
+
+func loadFixture(t *testing.T, name string) (cfg fixtureLine, events []fixtureLine) {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "fixtures", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line fixtureLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if line.Config {
+			cfg = line
+			continue
+		}
+		events = append(events, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatalf("%s: no events", name)
+	}
+	return cfg, events
+}
+
+func TestReplayFixtures(t *testing.T) {
+	names, err := filepath.Glob(filepath.Join("testdata", "fixtures", "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no replay fixtures found")
+	}
+	for _, path := range names {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runReplayFixture(t, name)
+		})
+	}
+}
+
+func runReplayFixture(t *testing.T, name string) {
+	cfg, events := loadFixture(t, name)
+	store, hub := newHub(t, Options{
+		SessionBuffer: cfg.SessionBuffer,
+		ReplayBatch:   cfg.ReplayBatch,
+	})
+	byDesc := make(map[string]fixtureLine, len(events))
+	for _, ev := range events {
+		if _, dup := byDesc[ev.Description]; dup {
+			t.Fatalf("fixture %s: duplicate description %q", name, ev.Description)
+		}
+		byDesc[ev.Description] = ev
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Subscriber: consumes sessions like an SSE handler, resuming by
+	// cursor after every disconnect marker.
+	var (
+		mu         sync.Mutex
+		received   []delivery.Notification
+		reconnects int
+	)
+	gotAll := make(chan struct{})
+	go func() {
+		cursor := int64(0)
+		for first := true; ; first = false {
+			if !first {
+				mu.Lock()
+				reconnects++
+				mu.Unlock()
+			}
+			sess, err := hub.Subscribe("ada", cursor)
+			if err != nil {
+				return // hub closed; test is over
+			}
+			disconnected := false
+			for !disconnected {
+				batch, err := sess.Next(ctx)
+				if err != nil {
+					sess.Close()
+					return
+				}
+				for _, n := range batch {
+					mu.Lock()
+					received = append(received, n)
+					done := len(received) == len(events)
+					mu.Unlock()
+					cursor = n.ID
+					if done {
+						close(gotAll)
+						sess.Close()
+						return
+					}
+					ev := byDesc[n.Description]
+					if ev.StallMS > 0 {
+						time.Sleep(time.Duration(ev.StallMS) * time.Millisecond)
+					}
+					if ev.Disconnect {
+						// Crash mid-frame: drop the rest of the batch.
+						sess.Close()
+						disconnected = true
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	// Driver: replay the timeline against the store.
+	start := time.Now()
+	for _, ev := range events {
+		if d := time.Duration(ev.AtMS)*time.Millisecond - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		if _, err := store.Enqueue("ada", delivery.Notification{
+			Time: time.Now(), Schema: ev.Schema, Description: ev.Description,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	select {
+	case <-gotAll:
+	case <-ctx.Done():
+		mu.Lock()
+		n := len(received)
+		mu.Unlock()
+		t.Fatalf("timed out with %d of %d events delivered", n, len(events))
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := make([]string, len(events))
+	for i, ev := range events {
+		want[i] = ev.Description
+	}
+	assertInOrder(t, received, want)
+	if cfg.ExpectDrop && hub.dropped.Value() == 0 {
+		t.Error("fixture expects a backpressure degradation; none occurred")
+	}
+	if reconnects < cfg.MinReconnects {
+		t.Errorf("subscriber reconnected %d times, fixture requires >= %d", reconnects, cfg.MinReconnects)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/enact"
 	"github.com/mcc-cmi/cmi/internal/event"
 	"github.com/mcc-cmi/cmi/internal/obs"
+	"github.com/mcc-cmi/cmi/internal/stream"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// state rather than history length. 0 selects DefaultSnapshotEvery;
 	// a negative value disables compaction (the journal only grows).
 	SnapshotEvery int
+	// StreamBuffer bounds each streaming session's in-memory live
+	// buffer, in notifications; past it a slow subscriber degrades to
+	// cursor replay from the durable queue instead of growing server
+	// memory (stream.Options.SessionBuffer). 0 selects the default.
+	StreamBuffer int
 }
 
 // DefaultSnapshotEvery is the default number of enactment journal
@@ -84,6 +90,7 @@ type System struct {
 	aware    *awareness.Engine
 	agent    *delivery.Agent
 	store    *delivery.Store
+	stream   *stream.Hub
 
 	metrics *obs.Registry
 
@@ -194,6 +201,12 @@ func New(cfg Config) (_ *System, err error) {
 	s.enact.Instrument(reg)
 	s.agent.Instrument(reg)
 	store.Instrument(reg)
+	// The streaming delivery plane rides the store's group-commit
+	// journal: every committed notification batch is broadcast to the
+	// participant's live sessions, one commit group = one broadcast.
+	s.stream = stream.NewHub(store, stream.Options{SessionBuffer: cfg.StreamBuffer})
+	s.stream.Instrument(reg)
+	store.OnCommit(s.stream.Broadcast)
 	// Crash recovery runs BEFORE the engines are wired to awareness and
 	// delivery: replayed operations emit into empty observer lists, so
 	// recovery never re-detects and never re-notifies (replay-quiesce by
@@ -337,6 +350,10 @@ func (s *System) DeliveryAgent() *delivery.Agent { return s.agent }
 
 // Store exposes the persistent notification store.
 func (s *System) Store() *delivery.Store { return s.store }
+
+// Stream exposes the streaming delivery hub — the push plane the
+// federation server serves as GET /api/stream/notifications.
+func (s *System) Stream() *stream.Hub { return s.stream }
 
 // RegisterProcess installs a process schema (and everything reachable
 // from it).
@@ -489,12 +506,14 @@ func (s *System) Quiesce() {
 }
 
 // Close drains the awareness engine, waits for outstanding follow-on
-// hooks, runs registered closers (reverse order), seals the enactment
-// write-ahead log, and closes the notification store — in that order:
-// closers may still drive journaled operations, and a journaled
-// operation's notifications must have a store to land in, never the
-// other way round. If the state directory was system-created, it is
-// removed. Close is idempotent.
+// hooks, closes the streaming hub (ending every push session), runs
+// registered closers (reverse order), seals the enactment write-ahead
+// log, and closes the notification store — in that order: closers may
+// still drive journaled operations, a journaled operation's
+// notifications must have a store to land in, and no streaming session
+// may replay cursors from a store that is closing — never the other way
+// round. If the state directory was system-created, it is removed.
+// Close is idempotent.
 func (s *System) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -503,6 +522,10 @@ func (s *System) Close() error {
 	s.mu.Unlock()
 	s.aware.Stop()
 	s.agent.Wait()
+	// Streaming sessions stop before anything that might close the store
+	// out from under a cursor replay; a stopped hub also releases every
+	// blocked SSE handler so an HTTP server drain can finish.
+	s.stream.Close()
 	var err error
 	for i := len(closers) - 1; i >= 0; i-- {
 		if cerr := closers[i](); cerr != nil && err == nil {

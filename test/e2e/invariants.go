@@ -81,6 +81,14 @@ func (tp *topology) quiesceAndVerify() {
 		}
 	}
 
+	if sc.wants("stream-delivery") {
+		for _, ck := range tp.streams {
+			tp.verifyStreamDelivery(ck)
+		}
+		tp.closeStreamCheckers()
+		tp.streams = nil
+	}
+
 	// Graceful shutdown (exit 0 is part of the contract), then the
 	// offline checks on what the daemons left on disk.
 	for _, ds := range sc.Domains {

@@ -19,6 +19,7 @@ type topology struct {
 	domains map[string]*domain
 	proxies map[string]*chaosProxy // by link "src->dst"
 	pids    map[string][]string    // started Chaos process ids per domain
+	streams []*streamChecker       // live streaming subscriptions (stream-delivery invariant)
 	hc      *http.Client
 	ops     int // workload operations that succeeded
 	opFails int // workload operations swallowed mid-chaos
@@ -33,6 +34,9 @@ func runScenario(t *testing.T, sc *Scenario, seed int64, actions int) {
 		sc.Name, seed, actions, len(steps))
 	tp := newTopology(t, sc)
 	defer tp.teardown()
+	if sc.wants("stream-delivery") {
+		tp.startStreamCheckers()
+	}
 	for i, st := range steps {
 		if err := tp.exec(st); err != nil {
 			t.Fatalf("step %d (%s): %v", i, st.Kind, err)
@@ -251,6 +255,7 @@ func (tp *topology) advance(st step) {
 // up and close the proxies. Successful runs have already stopped the
 // domains gracefully in quiesceAndVerify.
 func (tp *topology) teardown() {
+	tp.closeStreamCheckers()
 	for _, d := range tp.domains {
 		if d.isUp() {
 			d.kill()

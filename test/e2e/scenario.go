@@ -70,7 +70,8 @@ type Scenario struct {
 	Workload    WorkloadSpec `json:"workload"`
 	Faults      FaultSpec    `json:"faults"`
 	// Invariants checked after quiesce: legal-states, exactly-once,
-	// complete-delivery, spool-drained, journal-agreement.
+	// complete-delivery, spool-drained, journal-agreement,
+	// stream-delivery.
 	Invariants []string `json:"invariants"`
 }
 
@@ -80,6 +81,7 @@ var knownInvariants = map[string]bool{
 	"complete-delivery": true,
 	"spool-drained":     true,
 	"journal-agreement": true,
+	"stream-delivery":   true,
 }
 
 // Validate checks the scenario's internal references.

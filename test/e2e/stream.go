@@ -1,0 +1,167 @@
+package e2e
+
+// The streaming-subscriber invariant checker: a resuming SSE client
+// (internal/stream.Subscribe) rides each domain through the whole
+// chaos schedule — SIGKILLs, restarts, partitions — reconnecting with
+// its cursor every time the daemon dies under it. After quiesce the
+// "stream-delivery" invariant holds when everything the domain's
+// durable queue holds for the subscribed participant was streamed
+// exactly once, in id order, with no phantom events.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/mcc-cmi/cmi/internal/delivery"
+	"github.com/mcc-cmi/cmi/internal/stream"
+)
+
+// followerTransport rewrites every request to the domain's current
+// listen address, which changes on each restart (-addr "127.0.0.1:0" +
+// -addr-file discovery). While the domain is down it fails fast so the
+// streaming client's reconnect loop keeps polling.
+type followerTransport struct {
+	addr func() string
+}
+
+func (ft *followerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	a := ft.addr()
+	if a == "" {
+		return nil, fmt.Errorf("domain down")
+	}
+	clone := req.Clone(req.Context())
+	clone.URL.Host = a
+	clone.Host = a
+	return http.DefaultTransport.RoundTrip(clone)
+}
+
+// streamChecker is one domain's long-lived streaming subscription and
+// the record of everything it received.
+type streamChecker struct {
+	domain      *domain
+	participant string
+	sub         *stream.Subscription
+	cancel      context.CancelFunc
+
+	mu       sync.Mutex
+	received []delivery.Notification
+	orderBad []string
+	done     chan struct{}
+}
+
+// startStreamCheckers opens one subscription per domain for the first
+// workload participant. Called after the topology is up, before the
+// chaos schedule runs.
+func (tp *topology) startStreamCheckers() {
+	participant := tp.sc.Workload.Participants[0]
+	for _, ds := range tp.sc.Domains {
+		d := tp.domains[ds.Name]
+		ctx, cancel := context.WithCancel(context.Background())
+		ck := &streamChecker{
+			domain:      d,
+			participant: participant,
+			cancel:      cancel,
+			done:        make(chan struct{}),
+		}
+		// The base URL host is a placeholder; the transport substitutes
+		// the domain's live address on every attempt.
+		ck.sub = stream.Subscribe(ctx, "http://"+d.name, participant, stream.ClientOptions{
+			HTTP:           &http.Client{Transport: &followerTransport{addr: d.Addr}},
+			ReconnectDelay: 50 * time.Millisecond,
+		})
+		go ck.consume()
+		tp.streams = append(tp.streams, ck)
+	}
+}
+
+// consume drains the subscription, recording order violations the
+// moment they happen (ids must be strictly ascending across every
+// disconnect/resume the chaos schedule causes).
+func (ck *streamChecker) consume() {
+	defer close(ck.done)
+	var last int64
+	for n := range ck.sub.Events() {
+		ck.mu.Lock()
+		if n.ID <= last {
+			ck.orderBad = append(ck.orderBad,
+				fmt.Sprintf("id %d after %d", n.ID, last))
+		}
+		last = n.ID
+		ck.received = append(ck.received, n)
+		ck.mu.Unlock()
+	}
+}
+
+// lastID returns the id of the last notification streamed so far.
+func (ck *streamChecker) lastID() int64 {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if len(ck.received) == 0 {
+		return 0
+	}
+	return ck.received[len(ck.received)-1].ID
+}
+
+// verifyStreamDelivery checks one domain's subscription against the
+// durable queue after quiesce: the workload never acknowledges, so the
+// participant's pending queue is exactly what a cursor-0 subscriber
+// must have streamed. The subscriber may briefly lag the final commits;
+// it gets a deadline to catch up to the queue's high-water mark first.
+func (tp *topology) verifyStreamDelivery(ck *streamChecker) {
+	t := tp.t
+	t.Helper()
+	pending, err := tp.pc(ck.domain, ck.participant).Notifications()
+	if err != nil {
+		t.Fatalf("notifications %s@%s: %v", ck.participant, ck.domain.name, err)
+	}
+	var maxID int64
+	want := make(map[int64]string, len(pending))
+	for _, n := range pending {
+		want[n.ID] = n.Schema
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for ck.lastID() < maxID && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	for _, bad := range ck.orderBad {
+		t.Errorf("invariant stream-delivery: %s@%s out of order: %s", ck.participant, ck.domain.name, bad)
+	}
+	got := make(map[int64]int, len(ck.received))
+	for _, n := range ck.received {
+		got[n.ID]++
+	}
+	for id, count := range got {
+		if count > 1 {
+			t.Errorf("invariant stream-delivery: %s@%s streamed id %d %d times", ck.participant, ck.domain.name, id, count)
+		}
+		if _, ok := want[id]; !ok {
+			t.Errorf("invariant stream-delivery: %s@%s streamed phantom id %d (not in the durable queue)", ck.participant, ck.domain.name, id)
+		}
+	}
+	for id, schema := range want {
+		if got[id] == 0 {
+			t.Errorf("invariant stream-delivery: %s@%s never streamed id %d (%s) from the durable queue", ck.participant, ck.domain.name, id, schema)
+		}
+	}
+	t.Logf("stream %s@%s: %d streamed, %d pending, %d reconnects",
+		ck.participant, ck.domain.name, len(ck.received), len(pending), ck.sub.Reconnects())
+}
+
+// closeStreamCheckers ends every subscription before the daemons shut
+// down.
+func (tp *topology) closeStreamCheckers() {
+	for _, ck := range tp.streams {
+		ck.cancel()
+		ck.sub.Close()
+		<-ck.done
+	}
+}

@@ -1,0 +1,161 @@
+// Command doccheck is the godoc-coverage gate wired into `make check`:
+// it parses the given packages and fails when an exported identifier —
+// type, function, method, constant, variable, or struct field — has no
+// doc comment. Exported surface without documentation does not build.
+//
+// Usage:
+//
+//	go run ./tools/doccheck ./internal/delivery ./internal/stream
+//
+// Each argument is a directory containing one package; _test.go files
+// are ignored. Grouped const/var declarations are satisfied by a doc
+// comment on the group. Exit status 1 lists every undocumented
+// identifier as file:line.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <package dir>...")
+		os.Exit(2)
+	}
+	var bad []string
+	for _, dir := range os.Args[1:] {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		bad = append(bad, missing...)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers without doc comments:\n", len(bad))
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns its undocumented
+// exported identifiers as "file:line: name" strings.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s", p.Filename, p.Line, what, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && !exportedRecv(d) && d.Doc == nil {
+						report(d.Pos(), kindOf(d), d.Name.Name)
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// exportedRecv reports whether a method hangs off an unexported
+// receiver type — its whole surface is package-private, so godoc never
+// shows it and no comment is demanded.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return !x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// kindOf labels a FuncDecl for the report.
+func kindOf(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "func"
+}
+
+// checkGenDecl walks one const/var/type declaration. A doc comment on
+// the grouped declaration covers every spec inside it; otherwise each
+// exported spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+			if s.Name.IsExported() {
+				if st, ok := s.Type.(*ast.StructType); ok {
+					checkFields(s.Name.Name, st, report)
+				}
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), declKind(d.Tok), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// declKind labels a const/var token for the report.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// checkFields demands a comment on every exported field of an exported
+// struct — the wire-visible and API-visible surface. Line comments
+// (`Field T // meaning`) count.
+func checkFields(typeName string, st *ast.StructType, report func(token.Pos, string, string)) {
+	for _, f := range st.Fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				report(name.Pos(), "field", typeName+"."+name.Name)
+			}
+		}
+	}
+}
