@@ -35,15 +35,17 @@ bench:
 # command, so a non-zero cmibench exit fails the target.
 bench-smoke:
 	$(GO) run ./cmd/cmibench -exp awareness -smoke
+	$(GO) run ./cmd/cmibench -exp enact -smoke
 	$(GO) test -run '^$$' -bench 'BenchmarkDeliveryFanout' -benchtime=1x -benchmem .
 	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchtime=1x -benchmem ./internal/enact/
 	$(GO) test -run '^$$' -bench 'BenchmarkSpoolPush' -benchtime=1x -benchmem ./internal/federation/
 
 # Perf ratchet: re-measure the tracked points (awareness localJournal
-# throughput, enactment recovery time) and fail on >15% regression
-# against the committed BENCH_*.json trajectory. The second invocation
-# is the negative self-test: under a 1.3x handicap the gate MUST fail,
-# proving it actually detects regressions of that size.
+# throughput, enactment recovery time, streaming delivery rate, striped
+# enactment throughput and its 4-vs-1 speedup floor) and fail on >15%
+# regression against the committed BENCH_*.json trajectory. The second
+# invocation is the negative self-test: under a 1.3x handicap the gate
+# MUST fail, proving it actually detects regressions of that size.
 bench-gate:
 	$(GO) run ./cmd/cmibench -exp gate
 	@echo "bench-gate: negative self-test (gate must fail under -gate-handicap 1.3)"

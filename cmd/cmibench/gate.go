@@ -97,6 +97,46 @@ func gateRecoveryCommitted(data []byte, ops int) (float64, error) {
 	return 0, fmt.Errorf("gate: BENCH_recovery.json has no noSnapshot point at %d ops", ops)
 }
 
+// gateStreamingCommitted extracts the committed inProcess deliveries/sec
+// at the given session count from BENCH_streaming.json bytes.
+func gateStreamingCommitted(data []byte, sessions int) (float64, error) {
+	var f struct {
+		InProcess []struct {
+			Sessions       int     `json:"sessions"`
+			DeliveriesPerS float64 `json:"deliveriesPerSec"`
+		} `json:"inProcess"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("gate: BENCH_streaming.json: %w", err)
+	}
+	for _, p := range f.InProcess {
+		if p.Sessions == sessions {
+			return p.DeliveriesPerS, nil
+		}
+	}
+	return 0, fmt.Errorf("gate: BENCH_streaming.json has no inProcess point at %d sessions", sessions)
+}
+
+// gateEnactCommitted extracts the committed remoteNotify ops/sec at the
+// given stripe count from BENCH_enact.json bytes.
+func gateEnactCommitted(data []byte, stripes int) (float64, error) {
+	var f struct {
+		RemoteNotify []struct {
+			Stripes   int     `json:"stripes"`
+			OpsPerSec float64 `json:"opsPerSec"`
+		} `json:"remoteNotify"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("gate: BENCH_enact.json: %w", err)
+	}
+	for _, p := range f.RemoteNotify {
+		if p.Stripes == stripes {
+			return p.OpsPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("gate: BENCH_enact.json has no remoteNotify point at %d stripes", stripes)
+}
+
 // gateMeasureAwareness re-measures the localJournal curve's 4-shard
 // point with the full benchmark's workload (best of reps, fresh state
 // dir per rep).
@@ -197,29 +237,67 @@ func gateMeasureRecovery(ops, reps int) (float64, error) {
 	return best, nil
 }
 
-// gate is the perf ratchet: re-measure the two tracked points — the
-// localJournal 4-shard awareness throughput and the 16k-op noSnapshot
-// recovery time — and fail if either regresses more than gateTolerance
-// against the committed BENCH_*.json trajectory.
+// gateEnactRatioFloor is the parallel-enactment claim the gate holds the
+// repo to: the remote-notify arm at 4 stripes must run at least this
+// multiple of the 1-stripe figure, committed AND re-measured. Ratios of
+// two measured numbers are handicap-invariant, so the negative self-test
+// exercises the throughput checks instead.
+const gateEnactRatioFloor = 2.0
+
+// gate is the perf ratchet: re-measure the tracked points — the
+// localJournal 4-shard awareness throughput, the 16k-op noSnapshot
+// recovery time, the 10k-session streaming delivery rate, and the
+// 4-stripe remote-notify enactment throughput (plus its 4-vs-1 parallel
+// speedup) — and fail if any regresses more than gateTolerance against
+// the committed BENCH_*.json trajectory.
 func gate() error {
 	header("Performance gate — measured vs committed BENCH_*.json trajectory")
 	const (
-		gateShards = 4
-		gateOps    = 16000
+		gateShards   = 4
+		gateOps      = 16000
+		gateSessions = 10_000
+		gateStripes  = 4
 	)
-	awData, err := os.ReadFile("BENCH_awareness.json")
-	if err != nil {
-		return fmt.Errorf("gate: %w", err)
+	read := func(name string) ([]byte, error) {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("gate: %w", err)
+		}
+		return data, nil
 	}
-	recData, err := os.ReadFile("BENCH_recovery.json")
+	awData, err := read("BENCH_awareness.json")
 	if err != nil {
-		return fmt.Errorf("gate: %w", err)
+		return err
+	}
+	recData, err := read("BENCH_recovery.json")
+	if err != nil {
+		return err
+	}
+	strData, err := read("BENCH_streaming.json")
+	if err != nil {
+		return err
+	}
+	enData, err := read("BENCH_enact.json")
+	if err != nil {
+		return err
 	}
 	awCommitted, err := gateAwarenessCommitted(awData, gateShards)
 	if err != nil {
 		return err
 	}
 	recCommitted, err := gateRecoveryCommitted(recData, gateOps)
+	if err != nil {
+		return err
+	}
+	strCommitted, err := gateStreamingCommitted(strData, gateSessions)
+	if err != nil {
+		return err
+	}
+	enCommitted, err := gateEnactCommitted(enData, gateStripes)
+	if err != nil {
+		return err
+	}
+	enCommittedBase, err := gateEnactCommitted(enData, 1)
 	if err != nil {
 		return err
 	}
@@ -236,9 +314,26 @@ func gate() error {
 	if err != nil {
 		return err
 	}
+	strMeasured, err := gateMeasureStreaming(gateSessions, 2)
+	if err != nil {
+		return err
+	}
+	enMeasured, err := gateMeasureEnact(gateStripes, 2)
+	if err != nil {
+		return err
+	}
+	enMeasuredBase, err := gateMeasureEnact(1, 2)
+	if err != nil {
+		return err
+	}
 
 	awOK := gateThroughputOK(awMeasured, awCommitted, gateHandicap)
 	recOK := gateLatencyOK(recMeasured, recCommitted, gateHandicap)
+	strOK := gateThroughputOK(strMeasured, strCommitted, gateHandicap)
+	enOK := gateThroughputOK(enMeasured, enCommitted, gateHandicap)
+	committedRatio := enCommitted / enCommittedBase
+	measuredRatio := enMeasured / enMeasuredBase
+	ratioOK := committedRatio >= gateEnactRatioFloor && measuredRatio >= gateEnactRatioFloor
 	verdict := func(ok bool) string {
 		if ok {
 			return "ok"
@@ -252,9 +347,51 @@ func gate() error {
 	fmt.Printf("%-44s %-12.2f %-12.2f %-8.2f %s\n",
 		fmt.Sprintf("recovery ms (%d ops, no snapshot)", gateOps),
 		recCommitted, recMeasured*gateHandicap, recCommitted*(1+gateTolerance), verdict(recOK))
+	fmt.Printf("%-44s %-12.0f %-12.0f %-8.0f %s\n",
+		fmt.Sprintf("streaming inProcess del/s (%d sessions)", gateSessions),
+		strCommitted, strMeasured/gateHandicap, strCommitted*(1-gateTolerance), verdict(strOK))
+	fmt.Printf("%-44s %-12.0f %-12.0f %-8.0f %s\n",
+		fmt.Sprintf("enact remoteNotify ops/s (%d stripes)", gateStripes),
+		enCommitted, enMeasured/gateHandicap, enCommitted*(1-gateTolerance), verdict(enOK))
+	fmt.Printf("%-44s %-12.2f %-12.2f %-8.2f %s\n",
+		fmt.Sprintf("enact %d-vs-1-stripe speedup", gateStripes),
+		committedRatio, measuredRatio, gateEnactRatioFloor, verdict(ratioOK))
 	fmt.Printf("gate measured in %s (tolerance %.0f%%)\n", time.Since(start).Round(time.Millisecond), gateTolerance*100)
-	if !awOK || !recOK {
+	if !awOK || !recOK || !strOK || !enOK || !ratioOK {
 		return fmt.Errorf("gate: performance regressed more than %.0f%% against the committed trajectory", gateTolerance*100)
 	}
 	return nil
+}
+
+// gateMeasureStreaming re-measures the inProcess streaming point with
+// the full benchmark's per-participant fan-in (100 sessions per
+// participant, 10 events). Best of reps.
+func gateMeasureStreaming(sessions, reps int) (float64, error) {
+	var best float64
+	for rep := 0; rep < reps; rep++ {
+		p, err := streamInProcPoint(sessions, 100, 10)
+		if err != nil {
+			return 0, err
+		}
+		if p.DeliveriesPerS > best {
+			best = p.DeliveriesPerS
+		}
+	}
+	return best, nil
+}
+
+// gateMeasureEnact re-measures the remote-notify enactment point at the
+// given stripe count with the full benchmark's workload. Best of reps.
+func gateMeasureEnact(stripes, reps int) (float64, error) {
+	var best float64
+	for rep := 0; rep < reps; rep++ {
+		p, err := enactRun(stripes, 16, 4, 24, time.Millisecond, nil)
+		if err != nil {
+			return 0, err
+		}
+		if p.OpsPerSec > best {
+			best = p.OpsPerSec
+		}
+	}
+	return best, nil
 }

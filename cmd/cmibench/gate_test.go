@@ -73,4 +73,30 @@ func TestGateCommittedExtraction(t *testing.T) {
 	if _, err := gateRecoveryCommitted(rec, 64000); err == nil {
 		t.Fatal("missing op count accepted")
 	}
+
+	str := []byte(`{"benchmark":"streaming-sessions","inProcess":[
+		{"sessions":1000,"deliveriesPerSec":650000},{"sessions":10000,"deliveriesPerSec":720000}]}`)
+	ds, err := gateStreamingCommitted(str, 10000)
+	if err != nil || ds != 720000 {
+		t.Fatalf("gateStreamingCommitted = %v, %v", ds, err)
+	}
+	if _, err := gateStreamingCommitted(str, 100000); err == nil {
+		t.Fatal("missing session count accepted")
+	}
+	if _, err := gateStreamingCommitted([]byte("not json"), 10000); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+
+	en := []byte(`{"benchmark":"enact-striped","remoteNotify":[
+		{"stripes":1,"opsPerSec":800},{"stripes":4,"opsPerSec":2900}]}`)
+	ops, err := gateEnactCommitted(en, 4)
+	if err != nil || ops != 2900 {
+		t.Fatalf("gateEnactCommitted = %v, %v", ops, err)
+	}
+	if _, err := gateEnactCommitted(en, 8); err == nil {
+		t.Fatal("missing stripe count accepted")
+	}
+	if _, err := gateEnactCommitted([]byte("not json"), 4); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
 }

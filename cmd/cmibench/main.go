@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|streaming]
+//	cmibench [-exp all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|streaming|enact|gate]
+//
+// With -mutexprofile FILE / -blockprofile FILE, mutex-contention and
+// goroutine-blocking profiles of the selected experiments are written
+// on exit (profiling rates are enabled only when the flags are set).
 package main
 
 import (
@@ -14,6 +18,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -38,12 +44,21 @@ var benchSmoke bool
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cmibench: ")
-	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|streaming|gate")
+	exp := flag.String("exp", "all", "experiment: all|fig1|fig3|fig4|sec54|sec7|overload|ablation|audit|awareness|federation|recovery|streaming|enact|gate")
 	smoke := flag.Bool("smoke", false, "short smoke run: tiny workload, one rep, BENCH_*.json left untouched (awareness experiment)")
 	handicap := flag.Float64("gate-handicap", 1, "scale measured numbers by this factor before the gate comparison (negative self-test)")
+	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile of the selected experiments to this file")
+	blockProf := flag.String("blockprofile", "", "write a goroutine-blocking profile of the selected experiments to this file")
 	flag.Parse()
 	benchSmoke = *smoke
 	gateHandicap = *handicap
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	defer writeProfiles(*mutexProf, *blockProf)
 
 	exps := map[string]func() error{
 		"fig1":       fig1,
@@ -58,10 +73,11 @@ func main() {
 		"federation": federationResilience,
 		"recovery":   recoveryBench,
 		"streaming":  streamingSessions,
+		"enact":      enactParallel,
 		"gate":       gate,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation", "recovery", "streaming"} {
+		for _, name := range []string{"fig1", "fig3", "fig4", "sec54", "sec7", "overload", "ablation", "audit", "awareness", "federation", "recovery", "streaming", "enact"} {
 			if err := exps[name](); err != nil {
 				log.Fatalf("%s: %v", name, err)
 			}
@@ -76,6 +92,28 @@ func main() {
 	if err := fn(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeProfiles dumps the requested runtime profiles; empty paths skip.
+func writeProfiles(mutexPath, blockPath string) {
+	write := func(profile, path string) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Printf("%s profile: %v", profile, err)
+			return
+		}
+		defer f.Close()
+		if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+			log.Printf("%s profile: %v", profile, err)
+			return
+		}
+		fmt.Printf("wrote %s profile to %s\n", profile, path)
+	}
+	write("mutex", mutexPath)
+	write("block", blockPath)
 }
 
 func header(title string) {

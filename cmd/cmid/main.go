@@ -30,6 +30,12 @@
 // With -addr-file FILE, the actual listen address (useful with
 // -addr 127.0.0.1:0 for harnesses that need a free port) is written to
 // FILE once the listener is bound.
+//
+// With -enact-stripes N, the enactment engine partitions process
+// families across N lock stripes so operations on unrelated families
+// enact (and recover) concurrently; 0 picks GOMAXPROCS, 1 restores the
+// single global lock. With -pprof ADDR, the net/http/pprof profiling
+// endpoints are served on their own listener at ADDR.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -pprof endpoints on the default mux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -75,6 +82,8 @@ func run() error {
 		state     = flag.String("state", "", "state directory for delivery queues, enactment journal and specs; a restart recovers from it (default: temporary)")
 		start     = flag.Bool("start", false, "start the system immediately after loading -spec files")
 		shards    = flag.Int("shards", 0, "awareness detection shards (0 or 1: synchronous in-line detection)")
+		stripes   = flag.Int("enact-stripes", 0, "enactment engine lock stripes partitioning process families; unrelated families enact concurrently (0: GOMAXPROCS, 1: single global lock)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof profiling endpoints on this address (e.g. localhost:6060; empty: disabled)")
 		syncJ     = flag.Bool("sync-journal", false, "fsync each delivery-journal and enactment-WAL commit group (durable across machine crashes, not just process crashes)")
 		snapEvery = flag.Int("snapshot-every", 0, "enactment journal records between snapshot+truncate compactions (0: default; negative: disable compaction)")
 		specs     specList
@@ -97,6 +106,17 @@ func run() error {
 		return fmt.Errorf("-forward requires -forward-participant")
 	}
 
+	if *pprofAddr != "" {
+		// The default mux carries the net/http/pprof handlers; serve it on
+		// its own listener so profiling never shares the API address.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+		log.Printf("pprof endpoints on http://%s/debug/pprof/", *pprofAddr)
+	}
+
 	sys, err := cmi.New(cmi.Config{
 		Clock:         vclock.NewSystem(),
 		StateDir:      *state,
@@ -104,6 +124,7 @@ func run() error {
 		SyncJournal:   *syncJ,
 		SnapshotEvery: *snapEvery,
 		StreamBuffer:  *streamBuf,
+		EnactStripes:  *stripes,
 	})
 	if err != nil {
 		return err

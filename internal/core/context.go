@@ -96,6 +96,46 @@ func (r *Registry) Create(schema *ResourceSchema, procs ...event.ProcessRef) (*C
 	return c, nil
 }
 
+// CreateAt is Create with a forced id serial: the new context gets id
+// "ctx-<serial>" and the id counter is raised to at least serial. Only
+// enactment replay uses it — re-executed operations recreate their
+// contexts at the recorded serials, which (unlike forcing the shared
+// counter with SetSerial) stays correct when unrelated process families
+// replay concurrently.
+func (r *Registry) CreateAt(serial int, schema *ResourceSchema, procs ...event.ProcessRef) (*Context, error) {
+	if serial <= 0 {
+		return nil, fmt.Errorf("core: CreateAt requires a positive serial")
+	}
+	if schema == nil || schema.Kind != ContextResource {
+		return nil, fmt.Errorf("core: CreateAt requires a context resource schema")
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := fmt.Sprintf("ctx-%d", serial)
+	if _, exists := r.contexts[id]; exists {
+		return nil, fmt.Errorf("core: context %s already exists", id)
+	}
+	if serial > r.nextID {
+		r.nextID = serial
+	}
+	c := &Context{
+		id:     id,
+		name:   schema.Name,
+		schema: schema,
+		fields: make(map[string]any),
+		procs:  append([]event.ProcessRef(nil), procs...),
+	}
+	r.contexts[c.id] = c
+	if r.byName[c.name] == nil {
+		r.byName[c.name] = make(map[string]*Context)
+	}
+	r.byName[c.name][c.id] = c
+	return c, nil
+}
+
 // Get returns the context with the given id.
 func (r *Registry) Get(id string) (*Context, bool) {
 	r.mu.RLock()

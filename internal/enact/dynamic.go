@@ -66,10 +66,14 @@ func (pi *ProcessInstance) allDependencies() []core.Dependency {
 // activities reach awareness through context changes, counts over other
 // events, or the audit log.
 func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableNow bool, user string) (ActivityInfo, error) {
+	return e.addActivity(processID, av, enableNow, user, nil)
+}
+
+func (e *Engine) addActivity(processID string, av core.ActivityVariable, enableNow bool, user string, src *replaySrc) (ActivityInfo, error) {
 	var info ActivityInfo
 	rec := &walRecord{Kind: walAddActivity, Proc: processID, Enable: enableNow, User: user}
-	err := e.run(rec, func(p *pending) error {
-		pi, ok := e.procs[processID]
+	err := e.runProc(processID, rec, src, func(p *pending) error {
+		pi, ok := e.proc(processID)
 		if !ok {
 			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 		}
@@ -102,7 +106,7 @@ func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableN
 				}
 			}
 		}
-		if e.wal != nil && !e.replaying {
+		if e.wal != nil && !e.replaying.Load() {
 			// Journal the full variable, with inline definitions for any
 			// schema the registry cannot resolve on restart.
 			defs := &walSchemaTable{}
@@ -135,9 +139,13 @@ func (e *Engine) AddActivity(processID string, av core.ActivityVariable, enableN
 // time of addition, it fires immediately — adding "seq Done -> NewWork"
 // after Done completed enables NewWork right away.
 func (e *Engine) AddDependency(processID string, d core.Dependency, user string) error {
+	return e.addDependency(processID, d, user, nil)
+}
+
+func (e *Engine) addDependency(processID string, d core.Dependency, user string, src *replaySrc) error {
 	rec := &walRecord{Kind: walAddDependency, Proc: processID, User: user}
-	return e.run(rec, func(p *pending) error {
-		pi, ok := e.procs[processID]
+	return e.runProc(processID, rec, src, func(p *pending) error {
+		pi, ok := e.proc(processID)
 		if !ok {
 			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 		}
@@ -147,7 +155,7 @@ func (e *Engine) AddDependency(processID string, d core.Dependency, user string)
 		if err := e.validateDynamicDepLocked(pi, d); err != nil {
 			return err
 		}
-		if e.wal != nil && !e.replaying {
+		if e.wal != nil && !e.replaying.Load() {
 			wd, err := encodeDependency(d)
 			if err != nil {
 				return fmt.Errorf("enact: cannot journal dynamic dependency onto %q: %w", d.Target, err)
@@ -259,7 +267,7 @@ func (e *Engine) fireOneDependencyLocked(p *pending, pi *ProcessInstance, d core
 		if !e.varCompletedLocked(pi, d.Sources[0]) {
 			return nil
 		}
-		ok, err := e.evalGuardLocked(pi, d.Guard)
+		ok, err := e.evalGuardLocked(p, pi, d.Guard)
 		if err != nil {
 			return err
 		}
@@ -276,12 +284,12 @@ func (e *Engine) fireOneDependencyLocked(p *pending, pi *ProcessInstance, d core
 
 // DynamicExtensions reports the instance's dynamic additions.
 func (e *Engine) DynamicExtensions(processID string) (activities []core.ActivityVariable, deps []core.Dependency) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	pi, ok := e.procs[processID]
+	pi, ok := e.proc(processID)
 	if !ok {
 		return nil, nil
 	}
+	h := e.lockStripe(pi.stripe)
+	defer h.unlock()
 	return append([]core.ActivityVariable(nil), pi.extraActs...),
 		append([]core.Dependency(nil), pi.extraDeps...)
 }

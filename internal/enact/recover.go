@@ -18,17 +18,21 @@ import (
 // compaction snapshot, if any) plus the replay of every enact.wal
 // record past the snapshot's high-water mark.
 //
-// Replay re-executes the journaled public operations on a fresh engine
-// with e.replaying set: performer checks are skipped (the directory is
-// not persisted), guard evaluations consume the outcomes recorded in
-// the journal, and the id counters are forced from each record — so the
-// recovered instances carry their original ids and every recovered
-// state was produced by the engine's own transition logic, making it
-// schema-legal by construction. Recovery runs before any observers are
-// wired, so replayed operations emit into an empty observer list:
-// awareness detection and delivery never see recovered history, and the
-// delivery journal's keyed dedup remains the backstop for anything a
-// crash left in flight.
+// Replay re-executes the journaled operations on a fresh engine with
+// e.replaying set: performer checks are skipped (the directory is not
+// persisted), guard evaluations consume the outcomes recorded in the
+// journal, and each operation re-draws the exact ids its record carries
+// (v2 records; legacy records instead force the shared id counters) —
+// so the recovered instances carry their original ids and every
+// recovered state was produced by the engine's own transition logic,
+// making it schema-legal by construction. When the engine has more than
+// one lock stripe and every record is v2, replay partitions by process
+// family across the stripes (see replayParallel); otherwise it is
+// strictly sequential. Recovery runs before any observers are wired, so
+// replayed operations emit into an empty observer list: awareness
+// detection and delivery never see recovered history, and the delivery
+// journal's keyed dedup remains the backstop for anything a crash left
+// in flight.
 
 const snapshotVersion = 1
 
@@ -87,6 +91,9 @@ type RecoveryStats struct {
 	// LastSeq is the highest journal sequence observed; fresh records
 	// continue from it.
 	LastSeq int64
+	// Lanes is the number of stripes replay fanned out across; 0 for a
+	// sequential pass (single-stripe engine or legacy records present).
+	Lanes int
 	// Elapsed is the wall time of the recovery pass.
 	Elapsed time.Duration
 }
@@ -97,19 +104,14 @@ type RecoveryStats struct {
 func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 	start := time.Now()
 	var stats RecoveryStats
-	e.mu.Lock()
-	if len(e.procs) > 0 || e.wal != nil {
-		e.mu.Unlock()
+	e.idx.Lock()
+	fresh := len(e.procs) == 0 && e.wal == nil
+	e.idx.Unlock()
+	if !fresh {
 		return stats, fmt.Errorf("enact: Recover requires a fresh engine")
 	}
-	e.replaying = true
-	e.mu.Unlock()
-	defer func() {
-		e.mu.Lock()
-		e.replaying = false
-		e.guardSrc = nil
-		e.mu.Unlock()
-	}()
+	e.replaying.Store(true)
+	defer e.replaying.Store(false)
 
 	// The snapshot loads and the journal decodes concurrently — the two
 	// files read and parse independently; only state mutation below is
@@ -163,6 +165,8 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 		return stats, walErr
 	}
 	stats.TornTail = torn
+	live := make([]*walRecord, 0, len(recs))
+	allV2 := true
 	for i := range recs {
 		rec := &recs[i]
 		if rec.Seq > stats.LastSeq {
@@ -172,14 +176,75 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 			stats.Skipped++ // covered by the snapshot
 			continue
 		}
-		if err := e.applyRecord(rec); err != nil {
-			stats.Failed++
-			continue
+		if !rec.V2 {
+			allV2 = false
 		}
-		stats.Replayed++
+		live = append(live, rec)
+	}
+	if len(e.stripes) > 1 && allV2 {
+		e.replayParallel(live, &stats)
+	} else {
+		for _, rec := range live {
+			if err := e.applyRecord(rec); err != nil {
+				stats.Failed++
+				continue
+			}
+			stats.Replayed++
+		}
 	}
 	stats.Elapsed = time.Since(start)
 	return stats, nil
+}
+
+// replayParallel re-executes v2 records with unrelated process families
+// fanned out across the engine's stripes: each record is queued on its
+// family's lane, queues drain concurrently, and within a lane journal
+// order is preserved — which is all replay determinism needs, because v2
+// records carry their drawn ids and guard outcomes instead of sharing
+// forced counters. Records that cannot be partitioned — no family root,
+// or a start binding input contexts (whose creating records live on
+// other lanes) — act as barriers: every lane drains, the record applies
+// alone, then the lanes refill.
+func (e *Engine) replayParallel(recs []*walRecord, stats *RecoveryStats) {
+	lanes := make([][]*walRecord, len(e.stripes))
+	var replayed, failed atomic.Int64
+	apply := func(rec *walRecord) {
+		if err := e.applyRecord(rec); err != nil {
+			failed.Add(1)
+		} else {
+			replayed.Add(1)
+		}
+	}
+	drain := func() {
+		var wg sync.WaitGroup
+		for i, lane := range lanes {
+			if len(lane) == 0 {
+				continue
+			}
+			lanes[i] = nil
+			wg.Add(1)
+			go func(lane []*walRecord) {
+				defer wg.Done()
+				for _, rec := range lane {
+					apply(rec)
+				}
+			}(lane)
+		}
+		wg.Wait()
+	}
+	for _, rec := range recs {
+		if rec.Fam == "" || (rec.Kind == walStartProcess && len(rec.Inputs) > 0) {
+			drain()
+			apply(rec)
+			continue
+		}
+		lane := e.stripeOf(rec.Fam)
+		lanes[lane] = append(lanes[lane], rec)
+	}
+	drain()
+	stats.Replayed += int(replayed.Load())
+	stats.Failed += int(failed.Load())
+	stats.Lanes = len(e.stripes)
 }
 
 // decodeWALRecords reads the journal and decodes every record into
@@ -265,41 +330,59 @@ func decodeWALRecords(walPath string) ([]walRecord, bool, error) {
 	return recs, torn, nil
 }
 
+// replaySrcOf extracts a record's captured nondeterminism for replay:
+// guard outcomes always; for v2 records also the drawn ids, so the
+// re-executed operation draws the same values without touching the
+// shared counters (the property parallel replay depends on).
+func replaySrcOf(rec *walRecord) *replaySrc {
+	src := &replaySrc{legacy: !rec.V2, pid: rec.PID}
+	if len(rec.G) > 0 {
+		src.guards = append([]bool(nil), rec.G...)
+	}
+	if len(rec.AIDs) > 0 {
+		src.aids = append([]int(nil), rec.AIDs...)
+	}
+	if len(rec.CIDs) > 0 {
+		src.cids = append([]int(nil), rec.CIDs...)
+	}
+	return src
+}
+
 // applyRecord re-executes one journaled operation.
 func (e *Engine) applyRecord(rec *walRecord) error {
-	if rec.Kind != walSetField {
-		// Force the id counters the operation saw; failed (unjournaled)
-		// operations may have burned ids in between.
-		e.mu.Lock()
-		e.nextProc = rec.NP
-		e.nextAct = rec.NA
-		e.guardSrc = append(e.guardSrc[:0], rec.G...)
-		e.mu.Unlock()
+	src := replaySrcOf(rec)
+	if src.legacy && rec.Kind != walSetField {
+		// Legacy (v1) records do not carry their drawn ids, so force the
+		// counters the operation saw; failed (unjournaled) operations may
+		// have burned ids in between. Only sound under sequential replay
+		// — Recover falls back to it when any legacy record is present.
+		e.nextProc.Store(int64(rec.NP))
+		e.nextAct.Store(int64(rec.NA))
 		e.contexts.SetSerial(rec.NC)
 	}
 	switch rec.Kind {
 	case walStartProcess:
-		_, err := e.StartProcess(rec.Schema, StartOptions{Initiator: rec.User, InputContexts: rec.Inputs})
+		_, err := e.startProcess(rec.Schema, StartOptions{Initiator: rec.User, InputContexts: rec.Inputs}, src)
 		return err
 	case walInstantiate:
-		_, err := e.Instantiate(rec.Proc, rec.Var, rec.User)
+		_, err := e.instantiate(rec.Proc, rec.Var, rec.User, src)
 		return err
 	case walAssign:
-		return e.Assign(rec.Act, rec.User)
+		return e.assign(rec.Act, rec.User, src)
 	case walStart:
-		return e.Start(rec.Act, rec.User)
+		return e.start(rec.Act, rec.User, src)
 	case walComplete:
-		return e.Complete(rec.Act, rec.User)
+		return e.complete(rec.Act, rec.User, src)
 	case walTerminate:
-		return e.Terminate(rec.Act, rec.User)
+		return e.terminate(rec.Act, rec.User, src)
 	case walSuspend:
-		return e.Suspend(rec.Act, rec.User)
+		return e.suspend(rec.Act, rec.User, src)
 	case walResume:
-		return e.Resume(rec.Act, rec.User)
+		return e.resume(rec.Act, rec.User, src)
 	case walTransition:
-		return e.Transition(rec.Act, core.State(rec.To), rec.User)
+		return e.transition(rec.Act, core.State(rec.To), rec.User, src)
 	case walTerminateProcess:
-		return e.TerminateProcess(rec.Proc, rec.User)
+		return e.terminateProcess(rec.Proc, rec.User, src)
 	case walAddActivity:
 		if rec.AV == nil {
 			return fmt.Errorf("enact: add_activity record %d has no activity", rec.Seq)
@@ -308,7 +391,7 @@ func (e *Engine) applyRecord(rec *walRecord) error {
 		if err != nil {
 			return err
 		}
-		_, err = e.AddActivity(rec.Proc, av, rec.Enable, rec.User)
+		_, err = e.addActivity(rec.Proc, av, rec.Enable, rec.User, src)
 		return err
 	case walAddDependency:
 		if rec.Dep == nil {
@@ -318,7 +401,7 @@ func (e *Engine) applyRecord(rec *walRecord) error {
 		if err != nil {
 			return err
 		}
-		return e.AddDependency(rec.Proc, d, rec.User)
+		return e.addDependency(rec.Proc, d, rec.User, src)
 	case walSetField:
 		var v any
 		if rec.Value != nil {
@@ -339,17 +422,22 @@ func (e *Engine) applyRecord(rec *walRecord) error {
 // after Recover, before concurrent use. It also installs the context
 // registry's SetField logger.
 func (e *Engine) AttachWAL(w *WAL, snapPath string, snapEvery int) {
-	e.mu.Lock()
+	h := e.lockAll() // all stripes held: no operation can observe a half-installed journal
+	e.idx.Lock()
 	e.wal = w
 	e.snapPath = snapPath
 	e.snapEvery = snapEvery
-	e.mu.Unlock()
+	e.idx.Unlock()
+	h.unlock()
 	e.contexts.SetLogger(func(ctxID, field string, value any) func() error {
 		wv, err := core.EncodeValue(value)
 		if err != nil {
 			return func() error { return err }
 		}
-		c, err := w.stage(&walRecord{Kind: walSetField, Ctx: ctxID, Field: field, Value: &wv})
+		e.idx.RLock()
+		fam := e.ctxFam[ctxID]
+		e.idx.RUnlock()
+		c, err := w.stage(&walRecord{Kind: walSetField, Ctx: ctxID, Field: field, Value: &wv, Fam: fam})
 		if err != nil {
 			return func() error { return err }
 		}
@@ -369,8 +457,8 @@ func (e *Engine) AttachWAL(w *WAL, snapPath string, snapEvery int) {
 
 // WAL returns the attached journal, if any.
 func (e *Engine) WAL() *WAL {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.idx.RLock()
+	defer e.idx.RUnlock()
 	return e.wal
 }
 
@@ -378,9 +466,9 @@ func (e *Engine) WAL() *WAL {
 // groups land, then further state-changing operations fail. Idempotent;
 // a nil-WAL engine is a no-op.
 func (e *Engine) CloseWAL() error {
-	e.mu.Lock()
+	e.idx.RLock()
 	w := e.wal
-	e.mu.Unlock()
+	e.idx.RUnlock()
 	if w == nil {
 		return nil
 	}
@@ -391,9 +479,9 @@ func (e *Engine) CloseWAL() error {
 // grown past the snapshot threshold. Single-flight: a compaction
 // already running absorbs the growth that triggered this call.
 func (e *Engine) maybeCompact() {
-	e.mu.Lock()
+	e.idx.RLock()
 	w, every := e.wal, e.snapEvery
-	e.mu.Unlock()
+	e.idx.RUnlock()
 	if w == nil || every <= 0 || w.sinceSnap.Load() < int64(every) {
 		return
 	}
@@ -413,22 +501,23 @@ func (e *Engine) maybeCompact() {
 // snapshot write and journal rewrite run outside the engine lock.
 func (e *Engine) Compact() error {
 	start := time.Now()
-	e.mu.Lock()
-	w := e.wal
+	h := e.lockAll()
+	e.idx.RLock()
+	w, snapPath := e.wal, e.snapPath
+	e.idx.RUnlock()
 	if w == nil {
-		e.mu.Unlock()
+		h.unlock()
 		return fmt.Errorf("enact: no wal attached")
 	}
-	// With the engine lock held no new engine records can stage;
-	// Barrier waits for the in-flight ones to land. set_field records
-	// may still stage concurrently: those at or below the barrier are
-	// visible to the export (the value is written before staging, under
-	// the registry lock), later ones survive the truncation and replay
+	// With every stripe held no new engine records can stage; Barrier
+	// waits for the in-flight ones to land. set_field records may still
+	// stage concurrently: those at or below the barrier are visible to
+	// the export (the value is written before staging, under the
+	// registry lock), later ones survive the truncation and replay
 	// idempotently over the snapshot.
 	lastSeq := w.Barrier()
 	snap, err := e.exportLocked(lastSeq)
-	snapPath := e.snapPath
-	e.mu.Unlock()
+	h.unlock()
 	if err != nil {
 		return err
 	}
@@ -463,13 +552,16 @@ func (e *Engine) Compact() error {
 }
 
 // exportLocked snapshots the engine (and context registry) state.
-// Called with e.mu held.
+// Called with every stripe held (lockAll); takes the index read lock
+// itself for the map iteration.
 func (e *Engine) exportLocked(lastSeq int64) (*snapFile, error) {
+	e.idx.RLock()
+	defer e.idx.RUnlock()
 	snap := &snapFile{
 		Version:  snapshotVersion,
 		LastSeq:  lastSeq,
-		NextProc: e.nextProc,
-		NextAct:  e.nextAct,
+		NextProc: int(e.nextProc.Load()),
+		NextAct:  int(e.nextAct.Load()),
 		Defs:     &walSchemaTable{},
 	}
 	ctxExp, err := e.contexts.Export()
@@ -583,8 +675,8 @@ func (e *Engine) importSnapshot(snap *snapFile) error {
 		return err
 	}
 	res := newSchemaResolver(snap.Defs, e.schemas)
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.idx.Lock()
+	defer e.idx.Unlock()
 	byID := make(map[string]*snapAct, len(snap.Acts))
 	for i := range snap.Acts {
 		byID[snap.Acts[i].ID] = &snap.Acts[i]
@@ -678,7 +770,23 @@ func (e *Engine) importSnapshot(snap *snapFile) error {
 			ai.child = child
 		}
 	}
-	e.nextProc = snap.NextProc
-	e.nextAct = snap.NextAct
+	// Pass 4: family roots and stripes (the snapshot predates striping,
+	// so recompute from the parent links), plus the context→family index
+	// used to route set_field records and multi-stripe starts.
+	for _, pi := range e.procs {
+		top := pi
+		for top.parentProc != nil {
+			top = top.parentProc
+		}
+		pi.root = top.id
+		pi.stripe = e.stripeOf(top.id)
+	}
+	for _, pi := range e.procs {
+		for _, id := range pi.ownedCtxs {
+			e.ctxFam[id] = pi.root
+		}
+	}
+	e.nextProc.Store(int64(snap.NextProc))
+	e.nextAct.Store(int64(snap.NextAct))
 	return nil
 }

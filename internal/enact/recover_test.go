@@ -66,8 +66,10 @@ func (wf *walFixture) reopen(t *testing.T) (*fixture, RecoveryStats) {
 // dump renders the engine's complete observable state as a stable
 // string, so two engines can be compared for exact equivalence.
 func dump(e *Engine) string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	h := e.lockAll()
+	defer h.unlock()
+	e.idx.RLock()
+	defer e.idx.RUnlock()
 	var b strings.Builder
 	ids := make([]string, 0, len(e.procs))
 	for id := range e.procs {
@@ -120,7 +122,7 @@ func dump(e *Engine) string {
 			}
 		}
 	}
-	fmt.Fprintf(&b, "nextProc=%d nextAct=%d\n", e.nextProc, e.nextAct)
+	fmt.Fprintf(&b, "nextProc=%d nextAct=%d\n", e.nextProc.Load(), e.nextAct.Load())
 	return b.String()
 }
 
@@ -545,24 +547,24 @@ func TestTruncationFuzz(t *testing.T) {
 // the transition that observed it.
 func TestGuardReplayUsesJournaledOutcome(t *testing.T) {
 	f := newFixture(t)
-	f.eng.mu.Lock()
-	f.eng.replaying = true
-	f.eng.guardSrc = []bool{false, true}
+	f.eng.replaying.Store(true)
+	defer f.eng.replaying.Store(false)
+	p := &pending{src: &replaySrc{guards: []bool{false, true}}}
 	pi := &ProcessInstance{ctxIDs: map[string]string{}}
 	g := &core.Guard{ContextVar: "tfc", Field: "Severity", Op: ">=", Value: 3}
-	// With guardSrc populated the unbound context var is never touched.
-	if ok, err := f.eng.evalGuardLocked(pi, g); err != nil || ok {
+	// With a replay source populated the unbound context var is never
+	// touched.
+	if ok, err := f.eng.evalGuardLocked(p, pi, g); err != nil || ok {
 		t.Fatalf("first journaled outcome: %v, %v", ok, err)
 	}
-	if ok, err := f.eng.evalGuardLocked(pi, g); err != nil || !ok {
+	if ok, err := f.eng.evalGuardLocked(p, pi, g); err != nil || !ok {
 		t.Fatalf("second journaled outcome: %v, %v", ok, err)
 	}
 	// Source exhausted: falls back to live evaluation, which now fails
 	// on the unbound variable.
-	if _, err := f.eng.evalGuardLocked(pi, g); err == nil {
+	if _, err := f.eng.evalGuardLocked(p, pi, g); err == nil {
 		t.Fatal("live evaluation fallback not reached")
 	}
-	f.eng.mu.Unlock()
 }
 
 // TestWALSchemaInlineDefs: a dynamic activity whose schema is not in

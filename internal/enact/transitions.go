@@ -11,8 +11,12 @@ import (
 // participant must play the activity's performer role (if one is
 // declared).
 func (e *Engine) Assign(activityID, participantID string) error {
-	return e.run(&walRecord{Kind: walAssign, Act: activityID, User: participantID}, func(*pending) error {
-		ai, ok := e.activities[activityID]
+	return e.assign(activityID, participantID, nil)
+}
+
+func (e *Engine) assign(activityID, participantID string, src *replaySrc) error {
+	return e.runAct(activityID, &walRecord{Kind: walAssign, Act: activityID, User: participantID}, src, func(*pending) error {
+		ai, ok := e.act(activityID)
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
@@ -31,7 +35,7 @@ func (e *Engine) Assign(activityID, participantID string) error {
 // either the activity declares no performer role, or the user plays it
 // (scoped roles are resolved within the owning process instance's scope).
 func (e *Engine) checkPerformerLocked(ai *ActivityInstance, user string) error {
-	if e.replaying {
+	if e.replaying.Load() {
 		// The directory is not persisted; the check passed when the
 		// operation was journaled.
 		return nil
@@ -71,13 +75,17 @@ func performerRole(s core.ActivitySchema) core.RoleRef {
 // contexts per the activity variable's Bind map; the subprocess shares
 // the activity instance's id.
 func (e *Engine) Start(activityID, user string) error {
-	return e.run(&walRecord{Kind: walStart, Act: activityID, User: user}, func(p *pending) error {
+	return e.start(activityID, user, nil)
+}
+
+func (e *Engine) start(activityID, user string, src *replaySrc) error {
+	return e.runAct(activityID, &walRecord{Kind: walStart, Act: activityID, User: user}, src, func(p *pending) error {
 		return e.startActivityLocked(p, activityID, user)
 	})
 }
 
 func (e *Engine) startActivityLocked(p *pending, activityID, user string) error {
-	ai, ok := e.activities[activityID]
+	ai, ok := e.act(activityID)
 	if !ok {
 		return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 	}
@@ -100,7 +108,7 @@ func (e *Engine) startActivityLocked(p *pending, activityID, user string) error 
 			}
 			inputs[childVar] = ctxID
 		}
-		child, err := e.startProcessLocked(p, sub, ai, user, StartOptions{Initiator: user, InputContexts: inputs})
+		child, err := e.startProcessLocked(p, sub, ai, "", user, StartOptions{Initiator: user, InputContexts: inputs})
 		if err != nil {
 			return err
 		}
@@ -113,8 +121,12 @@ func (e *Engine) startActivityLocked(p *pending, activityID, user string) error 
 // rules of the owning process. Completing a subprocess invocation
 // directly is rejected — the subprocess completes itself.
 func (e *Engine) Complete(activityID, user string) error {
-	return e.run(&walRecord{Kind: walComplete, Act: activityID, User: user}, func(p *pending) error {
-		ai, ok := e.activities[activityID]
+	return e.complete(activityID, user, nil)
+}
+
+func (e *Engine) complete(activityID, user string, src *replaySrc) error {
+	return e.runAct(activityID, &walRecord{Kind: walComplete, Act: activityID, User: user}, src, func(p *pending) error {
+		ai, ok := e.act(activityID)
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
@@ -144,8 +156,12 @@ func (e *Engine) completeActivityLocked(p *pending, ai *ActivityInstance, user s
 // Terminate moves an activity to Terminated. Terminating a started
 // subprocess terminates the subprocess instance recursively.
 func (e *Engine) Terminate(activityID, user string) error {
-	return e.run(&walRecord{Kind: walTerminate, Act: activityID, User: user}, func(p *pending) error {
-		ai, ok := e.activities[activityID]
+	return e.terminate(activityID, user, nil)
+}
+
+func (e *Engine) terminate(activityID, user string, src *replaySrc) error {
+	return e.runAct(activityID, &walRecord{Kind: walTerminate, Act: activityID, User: user}, src, func(p *pending) error {
+		ai, ok := e.act(activityID)
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
@@ -161,13 +177,21 @@ func (e *Engine) Terminate(activityID, user string) error {
 
 // Suspend moves a Running activity to Suspended.
 func (e *Engine) Suspend(activityID, user string) error {
-	return e.simpleTransition(&walRecord{Kind: walSuspend, Act: activityID, User: user}, activityID, core.Suspended, user)
+	return e.suspend(activityID, user, nil)
+}
+
+func (e *Engine) suspend(activityID, user string, src *replaySrc) error {
+	return e.simpleTransition(&walRecord{Kind: walSuspend, Act: activityID, User: user}, activityID, core.Suspended, user, src)
 }
 
 // Resume moves a Suspended activity back to Running.
 func (e *Engine) Resume(activityID, user string) error {
-	return e.run(&walRecord{Kind: walResume, Act: activityID, User: user}, func(p *pending) error {
-		ai, ok := e.activities[activityID]
+	return e.resume(activityID, user, nil)
+}
+
+func (e *Engine) resume(activityID, user string, src *replaySrc) error {
+	return e.runAct(activityID, &walRecord{Kind: walResume, Act: activityID, User: user}, src, func(p *pending) error {
+		ai, ok := e.act(activityID)
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
@@ -178,9 +202,9 @@ func (e *Engine) Resume(activityID, user string) error {
 	})
 }
 
-func (e *Engine) simpleTransition(rec *walRecord, activityID string, intent core.State, user string) error {
-	return e.run(rec, func(p *pending) error {
-		ai, ok := e.activities[activityID]
+func (e *Engine) simpleTransition(rec *walRecord, activityID string, intent core.State, user string, src *replaySrc) error {
+	return e.runAct(activityID, rec, src, func(p *pending) error {
+		ai, ok := e.act(activityID)
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
@@ -192,8 +216,12 @@ func (e *Engine) simpleTransition(rec *walRecord, activityID string, intent core
 // hatch for application-specific states that do not map onto the generic
 // intents.
 func (e *Engine) Transition(activityID string, to core.State, user string) error {
-	return e.run(&walRecord{Kind: walTransition, Act: activityID, To: string(to), User: user}, func(p *pending) error {
-		ai, ok := e.activities[activityID]
+	return e.transition(activityID, to, user, nil)
+}
+
+func (e *Engine) transition(activityID string, to core.State, user string, src *replaySrc) error {
+	return e.runAct(activityID, &walRecord{Kind: walTransition, Act: activityID, To: string(to), User: user}, src, func(p *pending) error {
+		ai, ok := e.act(activityID)
 		if !ok {
 			return fmt.Errorf("enact: unknown activity instance %q: %w", activityID, core.ErrNotFound)
 		}
@@ -262,7 +290,7 @@ func (e *Engine) fireDependenciesLocked(p *pending, pi *ProcessInstance, complet
 				}
 			}
 		case core.DepGuard:
-			ok, err := e.evalGuardLocked(pi, d.Guard)
+			ok, err := e.evalGuardLocked(p, pi, d.Guard)
 			if err != nil {
 				return err
 			}
@@ -346,14 +374,14 @@ func (e *Engine) varCompletedLocked(pi *ProcessInstance, varName string) bool {
 }
 
 // evalGuardLocked evaluates a guard predicate against the live context.
-// The outcome is captured into the current operation's guard buffer so
+// The outcome is captured into the operation's pending guard buffer so
 // its journal record can carry it; during replay the recorded outcomes
 // are consumed instead of re-evaluating, which keeps replay independent
 // of context writes that raced the original operation.
-func (e *Engine) evalGuardLocked(pi *ProcessInstance, g *core.Guard) (bool, error) {
-	if e.replaying && len(e.guardSrc) > 0 {
-		ok := e.guardSrc[0]
-		e.guardSrc = e.guardSrc[1:]
+func (e *Engine) evalGuardLocked(p *pending, pi *ProcessInstance, g *core.Guard) (bool, error) {
+	if p.src != nil && len(p.src.guards) > 0 {
+		ok := p.src.guards[0]
+		p.src.guards = p.src.guards[1:]
 		return ok, nil
 	}
 	ctxID, ok := pi.ctxIDs[g.ContextVar]
@@ -365,7 +393,7 @@ func (e *Engine) evalGuardLocked(pi *ProcessInstance, g *core.Guard) (bool, erro
 	if err != nil {
 		return false, err
 	}
-	e.guardBuf = append(e.guardBuf, res)
+	p.guards = append(p.guards, res)
 	return res, nil
 }
 
@@ -481,9 +509,10 @@ func (e *Engine) closeProcessLocked(p *pending, pi *ProcessInstance, intent core
 		return nil
 	}
 	// The invoking activity instance shares our id; synchronize its
-	// state and continue coordination in the parent.
-	parentAct := e.activities[pi.id]
-	if parentAct == nil {
+	// state and continue coordination in the parent (same family, so the
+	// stripe lock we hold covers it).
+	parentAct, ok := e.act(pi.id)
+	if !ok {
 		return nil
 	}
 	parentAct.state = pi.state // keep the shared identity consistent; no duplicate event
@@ -520,8 +549,12 @@ func (e *Engine) terminateProcessLocked(p *pending, pi *ProcessInstance, user st
 // TerminateProcess terminates a process instance and everything active
 // inside it.
 func (e *Engine) TerminateProcess(processID, user string) error {
-	return e.run(&walRecord{Kind: walTerminateProcess, Proc: processID, User: user}, func(p *pending) error {
-		pi, ok := e.procs[processID]
+	return e.terminateProcess(processID, user, nil)
+}
+
+func (e *Engine) terminateProcess(processID, user string, src *replaySrc) error {
+	return e.runProc(processID, &walRecord{Kind: walTerminateProcess, Proc: processID, User: user}, src, func(p *pending) error {
+		pi, ok := e.proc(processID)
 		if !ok {
 			return fmt.Errorf("enact: unknown process instance %q: %w", processID, core.ErrNotFound)
 		}

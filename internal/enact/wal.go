@@ -52,14 +52,22 @@ const (
 	walSetField         = "set_field"
 )
 
-// A walRecord is one journaled operation. NP/NA/NC capture the engine's
-// process/activity id counters and the context registry's id counter as
-// they were when the operation began; replay forces them before
-// re-executing, so recovered ids match the originals even when a failed
-// (unjournaled) operation burned ids in between. G carries the outcomes
-// of the guard evaluations the operation performed, in evaluation
-// order; replay consumes them instead of re-evaluating, which keeps
-// replay independent of set_field records that raced the operation.
+// A walRecord is one journaled operation. G carries the outcomes of the
+// guard evaluations the operation performed, in evaluation order; replay
+// consumes them instead of re-evaluating, which keeps replay independent
+// of set_field records that raced the operation.
+//
+// Records come in two generations. Legacy ("v1") records rely on
+// NP/NA/NC — the engine's process/activity id counters and the context
+// registry's id counter — which replay forces before re-executing, an
+// approach that only works when replay is strictly sequential. Current
+// ("v2") records additionally carry the family root (Fam) and the exact
+// ids the operation drew (PID, AIDs, CIDs), so replay can re-execute
+// unrelated families concurrently; for them NP/NA/NC are written as the
+// post-operation counter values, purely informational — so a v2 record
+// must never take the forcing path. In the binary format V2 is implied
+// by the presence of the trailing id section; the JSON encoding carries
+// it explicitly so a re-encoded record keeps its generation.
 type walRecord struct {
 	Seq  int64  `json:"seq"`
 	Kind string `json:"kind"`
@@ -85,6 +93,12 @@ type walRecord struct {
 	Defs   *walSchemaTable `json:"defs,omitempty"`
 
 	G []bool `json:"g,omitempty"`
+
+	Fam  string `json:"fam,omitempty"`
+	PID  int    `json:"pid,omitempty"`
+	AIDs []int  `json:"aids,omitempty"`
+	CIDs []int  `json:"cids,omitempty"`
+	V2   bool   `json:"v2,omitempty"`
 }
 
 // WALOptions configure the enactment journal.

@@ -190,6 +190,18 @@ func appendWALRecord(dst []byte, rec *walRecord) ([]byte, error) {
 	for _, g := range rec.G {
 		dst = wire.AppendBool(dst, g)
 	}
+	// v2 trailing section: family root and the ids the operation drew.
+	// Its presence is what marks a record v2 on decode.
+	dst = wire.AppendString(dst, rec.Fam)
+	dst = wire.AppendVarint(dst, int64(rec.PID))
+	dst = wire.AppendUvarint(dst, uint64(len(rec.AIDs)))
+	for _, n := range rec.AIDs {
+		dst = wire.AppendVarint(dst, int64(n))
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(rec.CIDs)))
+	for _, n := range rec.CIDs {
+		dst = wire.AppendVarint(dst, int64(n))
+	}
 	return dst, nil
 }
 
@@ -248,6 +260,24 @@ func decodeWALRecord(payload []byte, rec *walRecord) error {
 			rec.G = append(rec.G, d.Bool())
 		}
 	}
+	// Records written before the v2 id section end here; their absence
+	// (rather than a version byte) marks a record legacy.
+	if d.Err() != nil || d.Len() == 0 {
+		return d.Err()
+	}
+	rec.Fam = d.String()
+	rec.PID = int(d.Varint())
+	if n := d.Uvarint(); d.Err() == nil {
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			rec.AIDs = append(rec.AIDs, int(d.Varint()))
+		}
+	}
+	if n := d.Uvarint(); d.Err() == nil {
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			rec.CIDs = append(rec.CIDs, int(d.Varint()))
+		}
+	}
+	rec.V2 = d.Err() == nil
 	return d.Err()
 }
 

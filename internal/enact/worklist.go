@@ -20,10 +20,13 @@ type WorkItem struct {
 }
 
 // Worklist returns the participant's current work items, sorted by
-// activity instance id.
+// activity instance id. It reads every family, so it takes the
+// all-stripe lock for a consistent cross-family view.
 func (e *Engine) Worklist(participantID string) []WorkItem {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	h := e.lockAll()
+	defer h.unlock()
+	e.idx.RLock()
+	defer e.idx.RUnlock()
 	var out []WorkItem
 	for _, ai := range e.activities {
 		states := ai.schema.States()
@@ -81,8 +84,14 @@ type MonitorRow struct {
 // recursing into running and closed subprocesses — the "managers monitor
 // the entire process" view that WfMSs build in (Section 2).
 func (e *Engine) Monitor(processID string) []MonitorRow {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	// Monitoring recurses through one process family only, so its
+	// stripe lock gives a consistent view.
+	pi, ok := e.proc(processID)
+	if !ok {
+		return nil
+	}
+	h := e.lockStripe(pi.stripe)
+	defer h.unlock()
 	var out []MonitorRow
 	e.monitorLocked(processID, &out)
 	sort.Slice(out, func(i, j int) bool {
@@ -95,7 +104,7 @@ func (e *Engine) Monitor(processID string) []MonitorRow {
 }
 
 func (e *Engine) monitorLocked(processID string, out *[]MonitorRow) {
-	pi, ok := e.procs[processID]
+	pi, ok := e.proc(processID)
 	if !ok {
 		return
 	}

@@ -45,9 +45,13 @@ awareness CrashDone on Crash {
 var crashCrew = []string{"c1", "c2"}
 
 // newCrashSystem opens (or recovers) a system on the harness state dir.
-func newCrashSystem(t *testing.T, dir string) *System {
+// stripes is the enactment engine's stripe count: rounds alternate it so
+// journals written under the striped engine are recovered by the
+// single-lock one and vice versa — stripe count is a locking choice, not
+// a journal format, so every combination must agree.
+func newCrashSystem(t *testing.T, dir string, stripes int) *System {
 	t.Helper()
-	s, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir, SnapshotEvery: 100})
+	s, err := New(Config{Clock: vclock.NewVirtual(), StateDir: dir, SnapshotEvery: 100, EnactStripes: stripes})
 	if err != nil {
 		t.Fatalf("open %s: %v", dir, err)
 	}
@@ -81,8 +85,9 @@ func TestCrashWorkloadChild(t *testing.T) {
 	}
 	dir := os.Getenv("CMI_CRASH_DIR")
 	seed, _ := strconv.ParseInt(os.Getenv("CMI_CRASH_SEED"), 10, 64)
+	stripes, _ := strconv.Atoi(os.Getenv("CMI_CRASH_STRIPES"))
 	rng := rand.New(rand.NewSource(seed))
-	s := newCrashSystem(t, dir)
+	s := newCrashSystem(t, dir, stripes)
 	eng := s.Coordination()
 
 	user := func() string { return crashCrew[rng.Intn(len(crashCrew))] }
@@ -192,9 +197,9 @@ func crashDump(s *System) string {
 
 // verifyCrashInvariants recovers the state directory and checks the
 // harness invariants, returning the dump for determinism comparison.
-func verifyCrashInvariants(t *testing.T, dir string, round int) string {
+func verifyCrashInvariants(t *testing.T, dir string, round, stripes int) string {
 	t.Helper()
-	s := newCrashSystem(t, dir)
+	s := newCrashSystem(t, dir, stripes)
 	defer s.Close()
 	rec := s.Recovery()
 	t.Logf("round %d: recovered snapshot=%v replayed=%d skipped=%d torn=%v lastSeq=%d in %v",
@@ -283,10 +288,18 @@ func TestCrashRecovery(t *testing.T) {
 	}
 
 	for round := 0; round < rounds; round++ {
+		// Alternate the stripe count: even rounds run (and crash) the
+		// 4-striped engine, odd rounds the single-lock one, over the same
+		// compounding state directory.
+		stripes := 4
+		if round%2 == 1 {
+			stripes = 1
+		}
 		cmd := exec.Command(os.Args[0], "-test.run=^TestCrashWorkloadChild$", "-test.timeout=5m")
 		cmd.Env = append(os.Environ(),
 			"CMI_CRASH_CHILD=1",
 			"CMI_CRASH_DIR="+dir,
+			fmt.Sprintf("CMI_CRASH_STRIPES=%d", stripes),
 			fmt.Sprintf("CMI_CRASH_SEED=%d", seed+int64(round)))
 		var out bytes.Buffer
 		cmd.Stdout, cmd.Stderr = &out, &out
@@ -319,10 +332,13 @@ func TestCrashRecovery(t *testing.T) {
 		_ = cmd.Process.Kill()
 		<-exited
 
-		d1 := verifyCrashInvariants(t, dir, round)
+		d1 := verifyCrashInvariants(t, dir, round, stripes)
 		// Invariant 3: recovery is deterministic — a second independent
-		// recovery of the same directory yields identical state.
-		s2 := newCrashSystem(t, dir)
+		// recovery of the same directory yields identical state. The
+		// second recovery runs under the opposite stripe count, so the
+		// parallel family-lane replay and the sequential replay must
+		// reconstruct byte-identical state from the same journal.
+		s2 := newCrashSystem(t, dir, 5-stripes)
 		d2 := crashDump(s2)
 		if d1 != d2 {
 			s2.Close()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -69,6 +70,13 @@ type Config struct {
 	// cursor replay from the durable queue instead of growing server
 	// memory (stream.Options.SessionBuffer). 0 selects the default.
 	StreamBuffer int
+	// EnactStripes is the number of lock stripes the enactment engine
+	// partitions process families across: operations on unrelated
+	// families enact and emit concurrently while sharing one journal.
+	// 0 selects GOMAXPROCS (clamped to [1,64]); 1 restores the single
+	// global-lock behavior. Recovery replay fans out across the same
+	// stripe count.
+	EnactStripes int
 }
 
 // DefaultSnapshotEvery is the default number of enactment journal
@@ -173,7 +181,11 @@ func New(cfg Config) (_ *System, err error) {
 		specHashes: make(map[string]bool),
 	}
 	s.contexts = core.NewRegistry(clock)
-	s.enact = enact.New(clock, s.schemas, s.dir, s.contexts)
+	stripes := cfg.EnactStripes
+	if stripes <= 0 {
+		stripes = runtime.GOMAXPROCS(0)
+	}
+	s.enact = enact.NewStriped(clock, s.schemas, s.dir, s.contexts, stripes)
 	s.agent = delivery.NewAgent(s.dir, s.contexts, store)
 	// The "online" assignment (Section 5.3): deliver only to signed-on
 	// players of the role; if nobody is signed on, fall back to the

@@ -90,6 +90,7 @@ type domain struct {
 	ctlBin   string
 	stateDir string
 	spool    string // state-dir spool path when this domain forwards
+	stripes  int    // -enact-stripes when > 0
 	hc       *http.Client
 
 	// forwardURL/forwardParticipant configure -forward; forwardURL
@@ -135,6 +136,9 @@ func (d *domain) start(firstBoot bool) error {
 	}
 	if !firstBoot {
 		args = append(args, "-start")
+	}
+	if d.stripes > 0 {
+		args = append(args, "-enact-stripes", fmt.Sprint(d.stripes))
 	}
 	if d.forwardURL != "" {
 		args = append(args,

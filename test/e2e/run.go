@@ -76,6 +76,7 @@ func newTopology(t *testing.T, sc *Scenario) *topology {
 			ctlBin:   ctlBin,
 			stateDir: stateDir,
 			spool:    filepath.Join(stateDir, "spool.journal"),
+			stripes:  sc.EnactStripes,
 			hc:       tp.hc,
 		}
 	}

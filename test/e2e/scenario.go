@@ -69,6 +69,10 @@ type Scenario struct {
 	Domains     []DomainSpec `json:"domains"`
 	Workload    WorkloadSpec `json:"workload"`
 	Faults      FaultSpec    `json:"faults"`
+	// EnactStripes is passed to every domain as -enact-stripes: the
+	// number of lock stripes the enactment engine partitions process
+	// families across (0 omits the flag, keeping cmid's default).
+	EnactStripes int `json:"enactStripes,omitempty"`
 	// Invariants checked after quiesce: legal-states, exactly-once,
 	// complete-delivery, spool-drained, journal-agreement,
 	// stream-delivery.
