@@ -2,17 +2,33 @@
 
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-smoke bench-gate crash chaos-e2e cover docs examples experiments clean
+.PHONY: all check build vet test race bench bench-smoke bench-gate crash chaos-e2e chaos-disk fscheck cover docs examples experiments clean
 
-all: build vet test race docs bench-smoke bench-gate crash chaos-e2e
+all: build vet test race docs fscheck bench-smoke bench-gate crash chaos-e2e chaos-disk
 
 # The one gate to run before pushing: static checks plus the race-enabled
-# test suite and the docs-consistency guard. The wire package — the
-# binary framing under every durable journal — is vetted and raced
-# explicitly so a narrowed ./... invocation can never silently skip it.
-check: vet race docs
+# test suite, the docs-consistency guard and the storage-seam gate. The
+# wire package — the binary framing under every durable journal — is
+# vetted and raced explicitly so a narrowed ./... invocation can never
+# silently skip it.
+check: vet race docs fscheck
 	$(GO) vet ./internal/wire/
 	$(GO) test -race ./internal/wire/
+
+# Storage-seam gate: the durable-log packages must not open, rename,
+# rewrite or fsync files through the os package directly — everything
+# goes through internal/fs, so the fault-injecting filesystem sees the
+# same code paths production runs. The second invocation is the negative
+# self-test: over the known-bad corpus the gate MUST fail, proving it
+# still detects the bypasses it exists to catch.
+fscheck:
+	$(GO) run ./tools/fscheck ./internal/delivery ./internal/enact ./internal/federation ./internal/crisis ./internal/system ./internal/fsck
+	@echo "fscheck: negative self-test (gate must flag tools/fscheck/testdata)"
+	@if $(GO) run ./tools/fscheck ./tools/fscheck/testdata >/dev/null 2>&1; then \
+		echo "fscheck: negative self-test FAILED: known-bad corpus passed"; exit 1; \
+	else \
+		echo "fscheck: negative self-test ok"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -68,6 +84,15 @@ crash:
 # CMI_CHAOS_SEED / CMI_CHAOS_ACTIONS to reproduce or extend a run.
 chaos-e2e:
 	$(GO) test -count=1 -run '^TestChaosScenarios$$' -v -timeout 15m ./test/e2e/
+
+# Disk-fault chaos: the scenarios carrying a diskFaults block run
+# against real cmid/cmictl binaries with the seeded fault filesystem
+# armed (-fs-faults) and assert the domain either serves correct state
+# or fails loudly with a state dir `cmictl fsck` can diagnose and
+# repair. CMI_DISK_SWEEP widens every scenario into a multi-seed sweep
+# (default 10 seeds per scenario).
+chaos-disk:
+	CMI_DISK_SWEEP=$${CMI_DISK_SWEEP:-10} $(GO) test -count=1 -run '^TestDiskFaultScenarios$$' -v -timeout 15m ./test/e2e/
 
 cover:
 	$(GO) test -cover ./...

@@ -28,6 +28,20 @@
 //	ctx get PROCESS VAR FIELD       read a context field
 //	notifications                   show my pending awareness notifications
 //	ack ID                          acknowledge a notification
+//
+// Operator commands (offline, no server):
+//
+//	fsck [-quarantine] STATEDIR     verify a state directory's durable
+//	                                artifacts: specs, snapshot, WAL,
+//	                                delivery journals, federation spool.
+//	                                Exits 1 when damage is found. With
+//	                                -quarantine the unreadable suffix of
+//	                                a damaged journal is moved to a
+//	                                .quarantine sibling and the journal
+//	                                truncated to its verified prefix
+//	                                (stray .tmp files removed), so the
+//	                                next boot loads what is provably
+//	                                intact while the evidence survives.
 package main
 
 import (
@@ -42,6 +56,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/adl"
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/fsck"
 )
 
 func main() {
@@ -73,6 +88,9 @@ func run(d *federation.DesignerClient, pc *federation.ParticipantClient, cmd str
 		return nil
 	}
 	switch cmd {
+	case "fsck":
+		return runFsck(args)
+
 	case "spec":
 		if err := need(1, "spec FILE"); err != nil {
 			return err
@@ -260,6 +278,66 @@ func run(d *federation.DesignerClient, pc *federation.ParticipantClient, cmd str
 		return pc.Ack(id)
 	}
 	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// runFsck is the offline state-directory verifier: cmictl fsck
+// [-quarantine] STATEDIR. It prints one line per durable artifact and
+// the WAL/snapshot sequence cross-check, then exits non-zero when the
+// directory still needs attention — damage that was not (or cannot be)
+// repaired under -quarantine, or stray tmp files left in place.
+func runFsck(args []string) error {
+	flags := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	quarantine := flags.Bool("quarantine", false,
+		"repair damaged journals: move the unreadable suffix to a .quarantine sibling, truncate to the verified prefix, remove stray .tmp files")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if flags.NArg() != 1 {
+		return fmt.Errorf("usage: cmictl fsck [-quarantine] STATEDIR")
+	}
+	dir := flags.Arg(0)
+	r, err := fsck.Check(dir, fsck.Options{Quarantine: *quarantine})
+	if err != nil {
+		return err
+	}
+	unresolved := 0
+	for _, f := range r.Files {
+		verdict := "ok"
+		switch {
+		case f.Damaged && f.Quarantined:
+			verdict = "REPAIRED"
+		case f.Damaged:
+			verdict = "DAMAGED"
+			unresolved++
+		case f.Kind == fsck.KindTmp && !f.Quarantined:
+			verdict = "STRAY"
+			unresolved++
+		case f.Kind == fsck.KindTmp:
+			verdict = "REMOVED"
+		case f.Torn && f.Quarantined:
+			verdict = "TRIMMED"
+		case f.Torn:
+			verdict = "torn-tail"
+		}
+		fmt.Printf("%-32s %-17s %-9s %s\n", f.Path, f.Kind, verdict, f.Detail)
+	}
+	if len(r.Files) == 0 {
+		fmt.Printf("%s: no durable artifacts (clean)\n", dir)
+	}
+	if r.WALSeq > 0 || r.SnapshotSeq > 0 {
+		fmt.Printf("sequence high-waters: wal=%d snapshot=%d\n", r.WALSeq, r.SnapshotSeq)
+		if r.SnapshotSeq > r.WALSeq && r.WALSeq > 0 {
+			fmt.Printf("note: snapshot is ahead of the WAL (normal after compaction truncated superseded records)\n")
+		}
+	}
+	if unresolved > 0 {
+		if *quarantine {
+			return fmt.Errorf("%d file(s) still need attention (snapshots and specs are never repaired: delete and re-snapshot/re-load)", unresolved)
+		}
+		return fmt.Errorf("%d file(s) need attention; re-run with -quarantine to repair journals", unresolved)
+	}
+	fmt.Println("state directory is clean")
+	return nil
 }
 
 // parseValue converts a CLI value of a declared type into a context

@@ -55,6 +55,7 @@ import (
 
 	cmi "github.com/mcc-cmi/cmi"
 	"github.com/mcc-cmi/cmi/internal/federation"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
 
@@ -99,6 +100,9 @@ func run() error {
 		fedBreaker  = flag.Int("fed-breaker", 0, "consecutive failures opening the federation circuit breaker (default: policy default)")
 		fedCooldown = flag.Duration("fed-cooldown", 0, "open-breaker cooldown before a half-open trial (default: policy default)")
 		fedProbe    = flag.Duration("fed-probe", 0, "interval for /api/healthz probes while the breaker is open (default: policy default)")
+
+		fsFaults     = flag.String("fs-faults", os.Getenv("CMI_FS_FAULTS"), "inject storage faults into every durable log, e.g. sync-fail@3,enospc@65536 (chaos testing; default: $CMI_FS_FAULTS)")
+		allowCorrupt = flag.Bool("allow-corrupt", false, "serve (read-only, unhealthy) on a state dir whose enactment WAL is corrupt mid-journal instead of exiting; for inspection alongside cmictl fsck")
 	)
 	flag.Var(&specs, "spec", "ADL specification file to preload (repeatable)")
 	flag.Parse()
@@ -117,6 +121,18 @@ func run() error {
 		log.Printf("pprof endpoints on http://%s/debug/pprof/", *pprofAddr)
 	}
 
+	var fsys fs.FS
+	if *fsFaults != "" {
+		cfg, err := fs.ParseFaults(*fsFaults)
+		if err != nil {
+			return fmt.Errorf("-fs-faults: %w", err)
+		}
+		if !cfg.Zero() {
+			fsys = fs.NewFault(nil, cfg)
+			log.Printf("WARNING: injecting storage faults into every durable log: %s", cfg)
+		}
+	}
+
 	sys, err := cmi.New(cmi.Config{
 		Clock:         vclock.NewSystem(),
 		StateDir:      *state,
@@ -125,6 +141,7 @@ func run() error {
 		SnapshotEvery: *snapEvery,
 		StreamBuffer:  *streamBuf,
 		EnactStripes:  *stripes,
+		FS:            fsys,
 	})
 	if err != nil {
 		return err
@@ -132,6 +149,16 @@ func run() error {
 	if rec := sys.Recovery(); rec.SnapshotLoaded || rec.Replayed > 0 || rec.TornTail || rec.Failed > 0 {
 		log.Printf("recovered enactment state: snapshot=%v, %d record(s) replayed, %d skipped, %d failed, torn tail=%v (%v)",
 			rec.SnapshotLoaded, rec.Replayed, rec.Skipped, rec.Failed, rec.TornTail, rec.Elapsed)
+	}
+	if rec := sys.Recovery(); rec.Corrupt {
+		if !*allowCorrupt {
+			dir := sys.StateDir()
+			sys.Close()
+			return fmt.Errorf("enactment WAL is corrupt mid-journal at offset %d; refusing to serve (run `cmictl fsck %s`, or restart with -allow-corrupt to inspect read-only)",
+				rec.CorruptOffset, dir)
+		}
+		log.Printf("WARNING: enactment WAL is corrupt mid-journal at offset %d; serving the recovered prefix read-only (-allow-corrupt); run `cmictl fsck %s`",
+			rec.CorruptOffset, sys.StateDir())
 	}
 	if *syncJ && *state == "" {
 		log.Printf("WARNING: -sync-journal with a temporary state directory: the journals are fsynced but the directory is removed on shutdown, so nothing survives a restart; pass -state DIR to make durability meaningful")
@@ -189,6 +216,7 @@ func run() error {
 			Client:    remote,
 			SpoolPath: spoolPath,
 			Metrics:   sys.Metrics(),
+			FS:        fsys,
 		})
 		if err != nil {
 			sys.Close()
@@ -238,13 +266,12 @@ func run() error {
 	}
 	log.Printf("enactment system listening on %s (state: %s)", ln.Addr(), sys.StateDir())
 	if *addrFile != "" {
-		// tmp+rename so a watcher polling the file never reads a torn
-		// address.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err == nil {
-			err = os.Rename(tmp, *addrFile)
-		}
-		if err != nil {
+		// Atomic replace (tmp + fsync + rename + parent-dir fsync) so a
+		// watcher polling the file never reads a torn address and the
+		// rename survives a machine crash. The real filesystem on
+		// purpose: an injected fault here would kill the harness's
+		// ability to find the port before the fault under test fires.
+		if err := fs.ReplaceFile(nil, *addrFile, []byte(ln.Addr().String()), true); err != nil {
 			ln.Close()
 			sys.Close()
 			return fmt.Errorf("write -addr-file: %w", err)

@@ -2,8 +2,8 @@ package crisis
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,6 +11,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/core"
 	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/vclock"
 )
@@ -76,29 +77,63 @@ func IngestEvents(clock vclock.Clock, instances, eventsPerInstance int) []event.
 // persistent queues journal notifications. It is safe for concurrent
 // use only in the sense the benchmark needs — one sink per shard, each
 // driven by a single detector agent.
+//
+// A failed append or fsync permanently poisons the sink (fsyncgate
+// semantics: the durable suffix is unknown after the first failure, and
+// retrying Sync on the same descriptor can falsely succeed). Poisoned
+// sinks drop further events without counting them; Err surfaces the
+// failure so the run fails loudly instead of under-reporting.
 type JournalSink struct {
-	f *os.File
-	n atomic.Uint64
+	mu  sync.Mutex
+	f   fs.File
+	err error
+	n   atomic.Uint64
 }
 
 // NewJournalSink opens (creating or truncating) the journal file.
 func NewJournalSink(path string) (*JournalSink, error) {
-	f, err := os.Create(path)
+	return NewJournalSinkFS(path, nil)
+}
+
+// NewJournalSinkFS is NewJournalSink on an explicit filesystem (nil
+// means the real one) — the seam tests inject storage faults through.
+func NewJournalSinkFS(path string, fsys fs.FS) (*JournalSink, error) {
+	f, err := fs.Or(fsys).Create(path)
 	if err != nil {
 		return nil, err
 	}
 	return &JournalSink{f: f}, nil
 }
 
-// Consume implements event.Consumer: append one record and sync.
+// Consume implements event.Consumer: append one record and sync. The
+// detection counts as journaled only when both succeed.
 func (j *JournalSink) Consume(ev event.Event) {
-	fmt.Fprintf(j.f, "%s %s\n", ev.InstanceID(), ev.String(event.PSchemaName))
-	j.f.Sync()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(j.f, "%s %s\n", ev.InstanceID(), ev.String(event.PSchemaName)); err != nil {
+		j.err = fmt.Errorf("crisis: journal append: %w", err)
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("crisis: journal sync: %w", err)
+		return
+	}
 	j.n.Add(1)
 }
 
 // Count returns how many detections were journaled.
 func (j *JournalSink) Count() uint64 { return j.n.Load() }
+
+// Err returns the sticky append/fsync failure that poisoned the sink,
+// if any.
+func (j *JournalSink) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
 
 // Close closes the journal file.
 func (j *JournalSink) Close() error { return j.f.Close() }
@@ -228,8 +263,9 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		return IngestResult{}, err
 	}
 	var (
-		count func() uint64
-		sink  func(shard int) event.Consumer
+		count   func() uint64
+		sink    func(shard int) event.Consumer
+		sinkErr func() error
 	)
 	if cfg.Store != nil {
 		users := cfg.FanoutUsers
@@ -262,6 +298,14 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 			return n
 		}
 		sink = func(shard int) event.Consumer { return sinks[shard] }
+		sinkErr = func() error {
+			for _, s := range sinks {
+				if err := s.Err(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 	}
 	eng := awareness.NewEngine(nil, awareness.Options{
 		Shards:  cfg.Shards,
@@ -287,6 +331,11 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	eng.Stop() // drains every shard: all detections journaled
 	elapsed := time.Since(start)
 
+	if sinkErr != nil {
+		if err := sinkErr(); err != nil {
+			return IngestResult{}, fmt.Errorf("crisis: ingest journal poisoned: %w", err)
+		}
+	}
 	detections := count()
 	want := uint64(len(events))
 	if detections != want {

@@ -1,0 +1,65 @@
+package crisis
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/fs"
+	"github.com/mcc-cmi/cmi/internal/vclock"
+)
+
+// TestJournalSinkFsyncFailurePoisons is the regression test for the
+// sink that used to ignore its fsync result: the first failed sync must
+// poison the sink — the event is not counted as journaled, Err surfaces
+// the failure, and later events are dropped instead of retrying the
+// descriptor.
+func TestJournalSinkFsyncFailurePoisons(t *testing.T) {
+	ff := fs.NewFault(nil, fs.FaultConfig{FailSyncAt: 1})
+	j, err := NewJournalSinkFS(filepath.Join(t.TempDir(), "detections.log"), ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	clk := vclock.NewVirtual()
+	evs := IngestEvents(clk, 1, 3)
+
+	j.Consume(evs[0])
+	if got := j.Count(); got != 0 {
+		t.Fatalf("Count = %d after failed fsync, want 0 (the record is not durable)", got)
+	}
+	if err := j.Err(); !errors.Is(err, fs.ErrInjected) {
+		t.Fatalf("Err = %v, want the injected sync failure", err)
+	}
+	// The fault was one-shot — a retry would falsely succeed. The sink
+	// must stay poisoned and keep refusing events.
+	j.Consume(evs[1])
+	j.Consume(evs[2])
+	if got := j.Count(); got != 0 {
+		t.Fatalf("Count = %d after poisoning, want 0", got)
+	}
+	if err := j.Err(); err == nil {
+		t.Fatal("poison cleared by later events")
+	}
+}
+
+// TestJournalSinkHealthy pins the counting contract on the happy path.
+func TestJournalSinkHealthy(t *testing.T) {
+	j, err := NewJournalSink(filepath.Join(t.TempDir(), "detections.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, ev := range IngestEvents(vclock.NewVirtual(), 2, 2) {
+		j.Consume(ev)
+	}
+	if got := j.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var _ event.Consumer = (*JournalSink)(nil)

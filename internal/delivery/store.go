@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/wire"
 )
@@ -102,14 +103,17 @@ type CommitHook func(participant string, ns []Notification)
 type queue struct {
 	path        string
 	participant string
+	fsys        fs.FS
 	// hook points at the owning store's commit hook; the commit leader
 	// loads it at broadcast time, so a group led by an ack writer still
 	// broadcasts the notifications other writers joined to it.
 	hook *atomic.Pointer[CommitHook]
+	// poisonTally points at the owning store's poisoned-queue counter.
+	poisonTally *atomic.Int64
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signals commit-leader turnover (writing -> false)
-	file    *os.File
+	file    fs.File
 	w       *bufio.Writer
 	notifs  []Notification  // in id order
 	byID    map[int64]int   // id -> index in notifs
@@ -118,6 +122,18 @@ type queue struct {
 	watches []chan Notification
 	pending int  // unacked notifications, maintained incrementally
 	closed  bool // the store has been closed
+	// poisoned is the sticky error set by the first failed commit
+	// write/flush/fsync. Per fsyncgate semantics a failed fsync leaves
+	// the durable suffix of the journal unknown and a retry on the same
+	// descriptor can falsely succeed, so once set the queue refuses all
+	// further appends with this error. Reads keep serving the in-memory
+	// state; /api/healthz turns unhealthy.
+	poisoned error
+	// corrupt records that load found mid-journal (non-tail) corruption:
+	// replay stopped at the first bad frame even though intact frames
+	// followed. The queue serves the decoded prefix but the damage is
+	// surfaced (never silently compacted away) until fsck repairs it.
+	corrupt bool
 
 	open    *commitGroup // group accepting records; nil when none is forming
 	writing bool         // a commit leader holds the file outside mu
@@ -130,6 +146,7 @@ type queue struct {
 type Store struct {
 	dir          string
 	syncOnCommit bool
+	fsys         fs.FS
 
 	// metrics is atomic so the enqueue/ack hot paths read it without
 	// taking any store-wide lock.
@@ -142,6 +159,11 @@ type Store struct {
 	// (see CommitHook). Atomic so the commit path reads it without a
 	// store-wide lock.
 	commitHook atomic.Pointer[CommitHook]
+	// poisoned counts queues whose journal a failed commit poisoned;
+	// corruptLoads counts journals whose load stopped at mid-journal
+	// corruption. Both feed gauges and the system health report.
+	poisoned     atomic.Int64
+	corruptLoads atomic.Int64
 
 	mu     sync.Mutex // guards queues map and closed only
 	queues map[string]*queue
@@ -155,6 +177,9 @@ type StoreOptions struct {
 	// process crashes. Group commit amortizes the fsync: N concurrent
 	// appends to one queue pay ~one fsync per group, not one each.
 	Sync bool
+	// FS is the filesystem the journals live on; nil means the real
+	// one. Tests and the chaos oracle inject storage faults here.
+	FS fs.FS
 }
 
 // storeMetrics holds the store's hot-path instruments; nil when the
@@ -194,7 +219,24 @@ func (s *Store) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	reg.GaugeFunc("cmi_delivery_queue_depth",
 		"Unacknowledged notifications across all loaded participant queues.",
 		func() float64 { return float64(s.pendingDepth()) }, labels...)
+	reg.GaugeFunc("cmi_delivery_poisoned_queues",
+		"Participant journals poisoned by a failed commit write or fsync (refusing all further appends).",
+		func() float64 { return float64(s.poisoned.Load()) }, labels...)
+	reg.GaugeFunc("cmi_delivery_corrupt_journals",
+		"Participant journals whose load stopped at mid-journal (non-tail) corruption.",
+		func() float64 { return float64(s.corruptLoads.Load()) }, labels...)
 }
+
+// PoisonedQueues reports how many participant journals a failed commit
+// write or fsync has poisoned since the store opened.
+func (s *Store) PoisonedQueues() int { return int(s.poisoned.Load()) }
+
+// CorruptJournals reports how many participant journals were found
+// mid-journal corrupt at load: replay stopped at the first bad frame
+// with intact frames after it. The decoded prefix is served, but the
+// condition is surfaced (health goes unhealthy) until `cmictl fsck`
+// repairs the file.
+func (s *Store) CorruptJournals() int { return int(s.corruptLoads.Load()) }
 
 // pendingDepth reports unacknowledged notifications across the loaded
 // queues for the queue-depth gauge — an O(1) read of the incrementally
@@ -235,10 +277,11 @@ func NewStore(dir string) (*Store, error) {
 // NewStoreWith opens (creating if necessary) a queue store rooted at
 // dir with the given options.
 func NewStoreWith(dir string, opts StoreOptions) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := fs.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("delivery: %w", err)
 	}
-	return &Store{dir: dir, syncOnCommit: opts.Sync, queues: make(map[string]*queue)}, nil
+	return &Store{dir: dir, syncOnCommit: opts.Sync, fsys: fsys, queues: make(map[string]*queue)}, nil
 }
 
 func errClosed() error { return fmt.Errorf("delivery: store closed") }
@@ -276,7 +319,7 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 	if q, ok := s.queues[participant]; ok {
 		return q, nil
 	}
-	q, err := newQueue(participant, filepath.Join(s.dir, url.PathEscape(participant)+".jsonl"))
+	q, err := s.newQueue(participant, filepath.Join(s.dir, url.PathEscape(participant)+".jsonl"))
 	if err != nil {
 		return nil, err
 	}
@@ -288,14 +331,18 @@ func (s *Store) queueLocked(participant string) (*queue, error) {
 
 // newQueue loads (or creates) one participant queue from its journal
 // file — the shared construction path of queueLocked and Preload.
-func newQueue(participant, path string) (*queue, error) {
-	q := &queue{path: path, participant: participant, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
+func (s *Store) newQueue(participant, path string) (*queue, error) {
+	q := &queue{path: path, participant: participant, fsys: s.fsys,
+		poisonTally: &s.poisoned, byID: make(map[int64]int), keys: make(map[string]bool), nextID: 1}
 	q.cond = sync.NewCond(&q.mu)
 	if err := q.load(); err != nil {
 		return nil, err
 	}
+	if q.corrupt {
+		s.corruptLoads.Add(1)
+	}
 	q.maybeCompact()
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := q.fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("delivery: %w", err)
 	}
@@ -334,7 +381,7 @@ func (s *Store) Preload() error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			q, err := newQueue(p, filepath.Join(s.dir, url.PathEscape(p)+".jsonl"))
+			q, err := s.newQueue(p, filepath.Join(s.dir, url.PathEscape(p)+".jsonl"))
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -361,10 +408,13 @@ func (s *Store) Preload() error {
 
 // load replays the journal: notifications in order, acks applied.
 // Records are binary wire frames, legacy JSON lines, or a mix from an
-// in-place upgrade — the scanner auto-detects per record. Corrupt
-// trailing records (torn writes) are tolerated and ignored.
+// in-place upgrade — the scanner auto-detects per record. A torn TAIL
+// (a partial frame from a crash mid-append) is tolerated and ignored;
+// mid-journal corruption — a bad frame with intact frames after it —
+// stops replay at the first bad record and marks the queue corrupt, so
+// the damage is reported loudly instead of silently truncating history.
 func (q *queue) load() error {
-	data, err := os.ReadFile(q.path)
+	data, err := q.fsys.ReadFile(q.path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -418,6 +468,7 @@ func (q *queue) load() error {
 			q.pending++
 		}
 	}
+	q.corrupt = sc.Torn() && sc.CorruptMidJournal()
 	return nil
 }
 
@@ -430,61 +481,42 @@ const compactMinAcked = 4
 // (kept standalone so redelivered pushes of acked notifications still
 // dedup), and the live notifications. Long-lived participants therefore
 // stop paying replay cost for information they acknowledged long ago.
-// The rewrite is atomic (tmp + rename), so a crash at any point leaves
-// either the old or the new journal, never a mix; it is best-effort —
-// on any error the original journal is kept untouched.
+// The rewrite is atomic (tmp + fsync + rename + parent-dir fsync via
+// fs.ReplaceFile), so a crash at any point leaves either the old or the
+// new journal, never a mix; it is best-effort — on any error the
+// original journal is kept untouched. A journal load marked corrupt is
+// never compacted: the rewrite would destroy the damaged region fsck
+// needs to diagnose and quarantine.
 func (q *queue) maybeCompact() {
+	if q.corrupt {
+		return
+	}
 	acked := len(q.notifs) - q.pending
 	if acked <= q.pending || acked < compactMinAcked {
 		return
 	}
-	tmp := q.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return
-	}
-	w := bufio.NewWriter(f)
-	var payload, frame []byte
-	writeRec := func(pay []byte) bool {
+	var buf, payload []byte
+	writeRec := func(pay []byte) {
 		payload = pay
-		frame = wire.AppendFrame(frame[:0], pay)
-		frame = append(frame, '\n')
-		_, err := w.Write(frame)
-		return err == nil
+		buf = wire.AppendFrame(buf, pay)
+		buf = append(buf, '\n')
 	}
-	ok := writeRec(appendRecordNext(payload[:0], q.nextID))
-	if ok {
-		keys := make([]string, 0, len(q.keys))
-		for k := range q.keys {
-			keys = append(keys, k)
+	writeRec(appendRecordNext(payload[:0], q.nextID))
+	keys := make([]string, 0, len(q.keys))
+	for k := range q.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeRec(appendRecordKey(payload[:0], k))
+	}
+	for i := range q.notifs {
+		if q.notifs[i].Acked {
+			continue
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			if !writeRec(appendRecordKey(payload[:0], k)) {
-				ok = false
-				break
-			}
-		}
+		writeRec(appendRecordNotif(payload[:0], "", &q.notifs[i]))
 	}
-	if ok {
-		for i := range q.notifs {
-			if q.notifs[i].Acked {
-				continue
-			}
-			if !writeRec(appendRecordNotif(payload[:0], "", &q.notifs[i])) {
-				ok = false
-				break
-			}
-		}
-	}
-	if ok {
-		ok = w.Flush() == nil && f.Sync() == nil
-	}
-	if f.Close() != nil {
-		ok = false
-	}
-	if !ok || os.Rename(tmp, q.path) != nil {
-		os.Remove(tmp)
+	if fs.ReplaceFile(q.fsys, q.path, buf, true) != nil {
 		return
 	}
 	// The in-memory queue mirrors the compacted journal: acked
@@ -518,8 +550,8 @@ func (q *queue) maybeCompact() {
 // lock is released while waiting/writing and re-held on return; recs
 // and notifs are copied before return, so the caller may reuse them.
 func (q *queue) appendCommit(recs []byte, n int, notifs []Notification, m *storeMetrics, syncFile bool) error {
-	if q.closed {
-		return errClosed()
+	if err := q.usable(); err != nil {
+		return err
 	}
 	if g := q.open; g != nil {
 		// A group is forming: join it and wait for its commit.
@@ -592,10 +624,38 @@ func (q *queue) appendCommit(recs []byte, n int, notifs []Notification, m *store
 	q.mu.Lock()
 	q.writing = false
 	q.spare = g.buf[:0]
+	if err != nil && q.poisoned == nil && !q.closed {
+		// fsyncgate: after a failed write or fsync the kernel may have
+		// dropped the dirty pages, so the durable suffix of the journal
+		// is unknown and a retried fsync on this descriptor could
+		// falsely report success. Poison the queue permanently: every
+		// joiner of this group gets the error now (g.err below), and
+		// every later append fails fast instead of retrying the fd.
+		q.poisoned = fmt.Errorf("delivery: journal for %q poisoned: %w", q.participant, err)
+		if q.poisonTally != nil {
+			q.poisonTally.Add(1)
+		}
+	}
 	g.err = err
 	g.committed = true
 	q.cond.Broadcast()
 	return err
+}
+
+// usable reports why the queue refuses writes: closed store, poisoned
+// journal, or mid-journal corruption (appending past a damaged region
+// would reuse ids from the lost suffix). Called with q.mu held.
+func (q *queue) usable() error {
+	if q.closed {
+		return errClosed()
+	}
+	if q.poisoned != nil {
+		return q.poisoned
+	}
+	if q.corrupt {
+		return fmt.Errorf("delivery: journal for %q is corrupt mid-file; run cmictl fsck", q.participant)
+	}
+	return nil
 }
 
 // accept applies one accepted notification to the queue's in-memory
@@ -645,8 +705,8 @@ func (s *Store) EnqueueKeyed(participant, key string, n Notification) (Notificat
 	m := s.metrics.Load()
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
-		return Notification{}, false, errClosed()
+	if err := q.usable(); err != nil {
+		return Notification{}, false, err
 	}
 	if key != "" && q.keys[key] {
 		return Notification{}, true, nil
@@ -723,9 +783,9 @@ func (s *Store) EnqueueFanout(users []string, key string, n Notification) ([]Not
 			continue
 		}
 		q.mu.Lock()
-		if q.closed {
+		if err := q.usable(); err != nil {
 			q.mu.Unlock()
-			fail(errClosed())
+			fail(err)
 			continue
 		}
 		if key != "" && q.keys[key] {
@@ -815,9 +875,9 @@ func (s *Store) EnqueueFanoutBatch(items []FanoutItem) ([]int, int, error) {
 			continue
 		}
 		q.mu.Lock()
-		if q.closed {
+		if err := q.usable(); err != nil {
 			q.mu.Unlock()
-			fail(errClosed())
+			fail(err)
 			continue
 		}
 		group = group[:0]
@@ -993,8 +1053,8 @@ func (s *Store) Ack(participant string, id int64) error {
 	m := s.metrics.Load()
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed {
-		return errClosed()
+	if err := q.usable(); err != nil {
+		return err
 	}
 	i, ok := q.byID[id]
 	if !ok {

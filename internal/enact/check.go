@@ -1,0 +1,137 @@
+package enact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/mcc-cmi/cmi/internal/wire"
+)
+
+// A WALCheck is the offline verification report for the enactment
+// write-ahead log, produced by CheckWAL — the enact half of the
+// `cmictl fsck` state-dir verifier.
+type WALCheck struct {
+	// Records counts the decodable journal records (binary frames and
+	// legacy JSON lines) before any damage point.
+	Records int
+	// LastSeq is the highest sequence number observed.
+	LastSeq int64
+	// BadRecords counts CRC-valid records that failed to decode,
+	// excluding a torn final line.
+	BadRecords int
+	// SeqRegressions counts records whose sequence number failed to
+	// increase — sequences are assigned monotonically under the staging
+	// lock, so any regression means damage or splicing.
+	SeqRegressions int
+	// Torn reports the scan stopped before end of file; Corrupt narrows
+	// that to mid-journal damage (intact frames exist past the stop
+	// point). TornOffset is the byte offset of the record the scan
+	// stopped at.
+	Torn       bool
+	Corrupt    bool
+	TornOffset int64
+}
+
+// Damaged reports whether the journal needs repair: anything beyond
+// the torn tail a crash legitimately leaves behind.
+func (c WALCheck) Damaged() bool {
+	return c.Corrupt || c.BadRecords > 0 || c.SeqRegressions > 0
+}
+
+// CheckWAL verifies the write-ahead log offline: frame CRCs, record
+// decode, and sequence-number monotonicity. It never modifies the
+// data; quarantine decisions belong to the caller (see internal/fsck).
+func CheckWAL(data []byte) WALCheck {
+	var c WALCheck
+	sc := wire.NewScanner(data)
+	pendingBad := false
+	for {
+		off := sc.Offset()
+		raw, isFrame, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if pendingBad {
+			c.BadRecords++
+			pendingBad = false
+		}
+		var rec walRecord
+		if isFrame {
+			if decodeWALRecord(raw, &rec) != nil {
+				// A checksum-valid frame that fails to decode was fully
+				// committed — this is damage, never a torn write.
+				c.BadRecords++
+				c.Corrupt = true
+				if !c.Torn {
+					c.Torn, c.TornOffset = true, off
+				}
+				continue
+			}
+		} else if json.Unmarshal(raw, &rec) != nil {
+			pendingBad = true
+			continue
+		}
+		c.Records++
+		if rec.Seq <= c.LastSeq {
+			c.SeqRegressions++
+		}
+		if rec.Seq > c.LastSeq {
+			c.LastSeq = rec.Seq
+		}
+	}
+	if pendingBad {
+		c.Torn = true // unparsable final line: legacy torn tail
+	}
+	if sc.Torn() {
+		if !c.Torn {
+			c.Torn, c.TornOffset = true, sc.TornOffset()
+		}
+		c.Corrupt = c.Corrupt || sc.CorruptMidJournal()
+	}
+	return c
+}
+
+// A SnapshotCheck is the offline verification report for the enactment
+// compaction snapshot.
+type SnapshotCheck struct {
+	// Present reports a snapshot file exists (an empty state dir has
+	// none, which is healthy).
+	Present bool
+	// LastSeq is the journal high-water mark the snapshot covers;
+	// journal records at or below it are superseded.
+	LastSeq int64
+	// Procs and Acts count the process and activity instances held.
+	Procs int
+	Acts  int
+	// Err is the parse or version failure, if any. A snapshot does not
+	// tolerate tearing: it is installed by atomic rename, so any damage
+	// is corruption, never a crash artifact.
+	Err error
+}
+
+// Damaged reports whether the snapshot is unusable.
+func (c SnapshotCheck) Damaged() bool { return c.Present && c.Err != nil }
+
+// CheckSnapshot verifies the compaction snapshot offline: it must be
+// one well-formed JSON document of the supported version. Pass nil
+// data for an absent file.
+func CheckSnapshot(data []byte) SnapshotCheck {
+	var c SnapshotCheck
+	if data == nil {
+		return c
+	}
+	c.Present = true
+	var snap snapFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		c.Err = fmt.Errorf("enact: corrupt snapshot: %w", err)
+		return c
+	}
+	if snap.Version != snapshotVersion {
+		c.Err = fmt.Errorf("enact: snapshot has unsupported version %d", snap.Version)
+		return c
+	}
+	c.LastSeq = snap.LastSeq
+	c.Procs = len(snap.Procs)
+	c.Acts = len(snap.Acts)
+	return c
+}

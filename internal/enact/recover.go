@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/wire"
 )
 
@@ -88,6 +89,14 @@ type RecoveryStats struct {
 	// TornTail reports unparsable trailing journal data was discarded
 	// (the torn final write of a crash).
 	TornTail bool
+	// Corrupt reports mid-journal corruption: the scan stopped at a bad
+	// record that still has checksum-valid frames after it — bit-rot or
+	// an overwrite inside committed history, not a crashed append.
+	// Replay served only the prefix; the suffix is unreachable and the
+	// state dir needs `cmictl fsck`. CorruptOffset is the byte offset of
+	// the record the scan stopped at.
+	Corrupt       bool
+	CorruptOffset int64
 	// LastSeq is the highest journal sequence observed; fresh records
 	// continue from it.
 	LastSeq int64
@@ -144,7 +153,7 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 		snapCh <- snapResult{snap: &snap}
 	}()
 
-	recs, torn, walErr := decodeWALRecords(walPath)
+	recs, scan, walErr := decodeWALRecords(walPath)
 
 	sr := <-snapCh
 	if sr.err != nil {
@@ -164,7 +173,9 @@ func (e *Engine) Recover(snapPath, walPath string) (RecoveryStats, error) {
 	if walErr != nil {
 		return stats, walErr
 	}
-	stats.TornTail = torn
+	stats.TornTail = scan.torn
+	stats.Corrupt = scan.corrupt
+	stats.CorruptOffset = scan.offset
 	live := make([]*walRecord, 0, len(recs))
 	allV2 := true
 	for i := range recs {
@@ -247,6 +258,15 @@ func (e *Engine) replayParallel(recs []*walRecord, stats *RecoveryStats) {
 	stats.Lanes = len(e.stripes)
 }
 
+// walScan reports how the journal read ended: clean, at a torn tail
+// (the crash artifact replay tolerates), or at mid-journal corruption
+// (damage inside committed history, surfaced loudly via RecoveryStats).
+type walScan struct {
+	torn    bool
+	corrupt bool
+	offset  int64 // start of the record the scan stopped at
+}
+
 // decodeWALRecords reads the journal and decodes every record into
 // memory. Raw records are sliced out sequentially (the scanner is
 // cheap); decoding — the expensive part of replay — fans out across
@@ -254,31 +274,40 @@ func (e *Engine) replayParallel(recs []*walRecord, stats *RecoveryStats) {
 // preserves journal order for the strictly sequential application pass.
 // Decoding stops at the first undecodable record, exactly like the
 // sequential replay did: a logical log cannot skip a record and keep
-// applying — everything after a torn record is unreachable.
-func decodeWALRecords(walPath string) ([]walRecord, bool, error) {
+// applying — everything after a torn record is unreachable. A bad
+// record with intact frames after it is mid-journal corruption, not a
+// torn tail, and is flagged so for the caller.
+func decodeWALRecords(walPath string) ([]walRecord, walScan, error) {
+	var scan walScan
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, false, nil
+			return nil, scan, nil
 		}
-		return nil, false, fmt.Errorf("enact: read wal: %w", err)
+		return nil, scan, fmt.Errorf("enact: read wal: %w", err)
 	}
 	type rawRec struct {
 		b     []byte
 		frame bool
+		off   int64
 	}
 	var raws []rawRec
 	sc := wire.NewScanner(data)
 	for {
+		off := sc.Offset()
 		b, frame, ok := sc.Next()
 		if !ok {
 			break
 		}
-		raws = append(raws, rawRec{b, frame})
+		raws = append(raws, rawRec{b, frame, off})
 	}
-	torn := sc.Torn()
+	if sc.Torn() {
+		scan.torn = true
+		scan.offset = sc.TornOffset()
+		scan.corrupt = sc.CorruptMidJournal()
+	}
 	if len(raws) == 0 {
-		return nil, torn, nil
+		return nil, scan, nil
 	}
 	recs := make([]walRecord, len(raws))
 	bad := make([]bool, len(raws))
@@ -324,10 +353,15 @@ func decodeWALRecords(walPath string) ([]walRecord, bool, error) {
 	}
 	for i := range bad {
 		if bad[i] {
-			return recs[:i], true, nil
+			scan.torn = true
+			scan.offset = raws[i].off
+			// An undecodable record followed by decodable ones is damage
+			// inside committed history, not a crashed final append.
+			scan.corrupt = scan.corrupt || i < len(raws)-1
+			return recs[:i], scan, nil
 		}
 	}
-	return recs, torn, nil
+	return recs, scan, nil
 }
 
 // replaySrcOf extracts a record's captured nondeterminism for replay:
@@ -525,23 +559,10 @@ func (e *Engine) Compact() error {
 	if err != nil {
 		return fmt.Errorf("enact: encode snapshot: %w", err)
 	}
-	tmp := snapPath + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("enact: write snapshot: %w", err)
-	}
-	if _, err = f.Write(data); err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("enact: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, snapPath); err != nil {
-		os.Remove(tmp)
+	// Atomic replace with parent-directory fsync: the snapshot must be
+	// durable before TruncateThrough discards the journal records it
+	// covers, or a crash between the two loses committed history.
+	if err := fs.ReplaceFile(w.fsys, snapPath, data, true); err != nil {
 		return fmt.Errorf("enact: install snapshot: %w", err)
 	}
 	if err := w.TruncateThrough(lastSeq); err != nil {

@@ -146,9 +146,9 @@ func runStripedProperty(t *testing.T, stripes int) {
 	}
 
 	// Property 1: per-family journal order is program order.
-	recs, torn, err := decodeWALRecords(walPath)
-	if err != nil || torn {
-		t.Fatalf("decode journal: torn=%v err=%v", torn, err)
+	recs, scan, err := decodeWALRecords(walPath)
+	if err != nil || scan.torn {
+		t.Fatalf("decode journal: torn=%v err=%v", scan.torn, err)
 	}
 	wantRecords := 0
 	for _, fl := range logs {

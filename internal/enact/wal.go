@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"github.com/mcc-cmi/cmi/internal/core"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/wire"
 )
@@ -108,6 +108,9 @@ type WALOptions struct {
 	Sync bool
 	// Metrics receives the WAL's instruments; nil disables them.
 	Metrics *obs.Registry
+	// FS is the filesystem the journal lives on; nil means the real
+	// one. Tests and the chaos oracle inject storage faults here.
+	FS fs.FS
 }
 
 type walMetrics struct {
@@ -129,10 +132,11 @@ type walGroup struct {
 type WAL struct {
 	path     string
 	syncFile bool
+	fsys     fs.FS
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	file    *os.File
+	file    fs.File
 	w       *bufio.Writer
 	seq     int64
 	open    *walGroup
@@ -140,6 +144,13 @@ type WAL struct {
 	closed  bool
 	spare   []byte
 	encBuf  []byte // per-WAL binary encode scratch, reused under mu
+	// poisoned is the sticky error set by the first failed commit
+	// write/flush/fsync: per fsyncgate semantics the durable suffix of
+	// the journal is unknown after that, so the WAL refuses every
+	// later stage instead of retrying the descriptor. poisonedFlag
+	// mirrors it for the lock-free health/metrics read.
+	poisoned     error
+	poisonedFlag atomic.Bool
 
 	// sinceSnap counts records staged since the last snapshot; the
 	// engine reads it to decide when to compact.
@@ -151,13 +162,15 @@ type WAL struct {
 // OpenWAL opens (creating if necessary) the enactment journal at path
 // for appending.
 func OpenWAL(path string, opts WALOptions) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	fsys := fs.Or(opts.FS)
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("enact: open wal: %w", err)
 	}
 	w := &WAL{
 		path:     path,
 		syncFile: opts.Sync,
+		fsys:     fsys,
 		file:     f,
 		w:        bufio.NewWriter(f),
 	}
@@ -172,8 +185,40 @@ func OpenWAL(path string, opts WALOptions) (*WAL, error) {
 				"Time to write one enactment snapshot and truncate the journal.", nil),
 			encode: wire.Instrument(opts.Metrics),
 		}
+		opts.Metrics.GaugeFunc("cmi_enact_wal_poisoned",
+			"1 when a failed write or fsync has poisoned the enactment WAL (all further operations refused).",
+			func() float64 {
+				if w.poisonedFlag.Load() {
+					return 1
+				}
+				return 0
+			})
 	}
 	return w, nil
+}
+
+// Poisoned reports whether a failed commit write or fsync has
+// permanently poisoned the WAL. A poisoned WAL refuses every further
+// operation; the process must be restarted (recovery replays the
+// journal's durable prefix) after the underlying disk fault is fixed.
+func (w *WAL) Poisoned() bool { return w.poisonedFlag.Load() }
+
+// Poison marks the WAL permanently unusable with the given error —
+// every further stage and truncate fails with it. The system layer
+// calls this when recovery finds mid-journal corruption: appending
+// past the damage would assign sequence numbers the unreachable
+// suffix already used, so the journal must stay read-only (and
+// uncompacted, preserving the evidence for fsck).
+func (w *WAL) Poison(err error) {
+	if err == nil {
+		return
+	}
+	w.mu.Lock()
+	if w.poisoned == nil {
+		w.poisoned = err
+		w.poisonedFlag.Store(true)
+	}
+	w.mu.Unlock()
 }
 
 // SetSeq forces the sequence counter; recovery calls it with the
@@ -227,6 +272,9 @@ func (w *WAL) stage(rec *walRecord) (walCommit, error) {
 	defer w.mu.Unlock()
 	if w.closed {
 		return walCommit{}, fmt.Errorf("enact: wal is closed")
+	}
+	if w.poisoned != nil {
+		return walCommit{}, w.poisoned
 	}
 	w.seq++
 	rec.Seq = w.seq
@@ -307,6 +355,15 @@ func (c walCommit) wait() error {
 	w.mu.Lock()
 	w.writing = false
 	w.spare = g.buf[:0]
+	if err != nil && w.poisoned == nil && !w.closed {
+		// fsyncgate: the kernel may have dropped the dirty pages on the
+		// failed write/fsync, so the journal's durable suffix is
+		// unknown and a retried Sync on this descriptor could falsely
+		// succeed. Poison the WAL permanently: every joiner of this
+		// group fails now (g.err), every later stage fails fast.
+		w.poisoned = fmt.Errorf("enact: wal poisoned: %w", err)
+		w.poisonedFlag.Store(true)
+	}
 	g.err = err
 	close(g.done)
 	w.cond.Broadcast()
@@ -344,9 +401,11 @@ func (w *WAL) Barrier() int64 {
 // TruncateThrough rewrites the journal keeping only records with a
 // sequence greater than lastSeq — those staged after the snapshot's
 // high-water mark (late set_field stragglers; their replay over the
-// snapshot is idempotent). The rewrite is tmp+rename, crash-safe at any
-// point: before the rename the old journal stands, after it the new
-// one, and the snapshot covers everything dropped either way.
+// snapshot is idempotent). The rewrite is tmp+fsync+rename+parent-dir
+// fsync (fs.ReplaceFile), crash-safe at any point: before the rename
+// the old journal stands, after it the new one, and the snapshot covers
+// everything dropped either way. An fsync failure during the rewrite is
+// propagated, never ignored — the old journal stays in place.
 func (w *WAL) TruncateThrough(lastSeq int64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -354,7 +413,10 @@ func (w *WAL) TruncateThrough(lastSeq int64) error {
 	if w.closed {
 		return fmt.Errorf("enact: wal is closed")
 	}
-	data, err := os.ReadFile(w.path)
+	if w.poisoned != nil {
+		return w.poisoned
+	}
+	data, err := w.fsys.ReadFile(w.path)
 	if err != nil {
 		return fmt.Errorf("enact: wal truncate: %w", err)
 	}
@@ -382,22 +444,15 @@ func (w *WAL) TruncateThrough(lastSeq int64) error {
 		keep = append(keep, rec...)
 		keep = append(keep, '\n')
 	}
-	tmp := w.path + ".tmp"
-	if err := os.WriteFile(tmp, keep, 0o644); err != nil {
+	if err := fs.ReplaceFile(w.fsys, w.path, keep, w.syncFile); err != nil {
 		return fmt.Errorf("enact: wal truncate: %w", err)
 	}
-	if w.syncFile {
-		if f, err := os.Open(tmp); err == nil {
-			_ = f.Sync()
-			_ = f.Close()
-		}
-	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("enact: wal truncate: %w", err)
-	}
-	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := w.fsys.OpenAppend(w.path)
 	if err != nil {
+		// The append handle is gone: the WAL cannot accept another
+		// record without writing to the pre-truncation file. Poison.
+		w.poisoned = fmt.Errorf("enact: wal poisoned: reopen after truncate: %w", err)
+		w.poisonedFlag.Store(true)
 		return fmt.Errorf("enact: wal reopen: %w", err)
 	}
 	w.file.Close()

@@ -35,9 +35,9 @@ func TestMixedFormatJournalReplay(t *testing.T) {
 	if err := wf.eng.CloseWAL(); err != nil {
 		t.Fatal(err)
 	}
-	recs, torn, err := decodeWALRecords(wf.walPath)
-	if err != nil || torn {
-		t.Fatalf("decode journal: torn=%v err=%v", torn, err)
+	recs, scan, err := decodeWALRecords(wf.walPath)
+	if err != nil || scan.torn {
+		t.Fatalf("decode journal: torn=%v err=%v", scan.torn, err)
 	}
 	if len(recs) < 4 {
 		t.Fatalf("workload journaled only %d records", len(recs))

@@ -1,0 +1,119 @@
+package federation
+
+import (
+	"encoding/json"
+
+	"github.com/mcc-cmi/cmi/internal/wire"
+)
+
+// A SpoolCheck is the offline verification report for the federation
+// spool journal, produced by CheckSpool — the federation half of the
+// `cmictl fsck` state-dir verifier.
+type SpoolCheck struct {
+	// Records counts the decodable records (binary frames and legacy
+	// JSON lines) before any damage point.
+	Records int
+	// Pushes counts the spooled notification records.
+	Pushes int
+	// Dones counts the delivery-confirmation records.
+	Dones int
+	// Pending is how many pushed entries have no done record — the
+	// redelivery backlog a reopen would pick up.
+	Pending int
+	// OrphanDones counts done records whose key no push record carries.
+	// Compaction drops delivered pairs together, so orphans are
+	// anomalies worth reporting, though not proof of damage.
+	OrphanDones int
+	// BadRecords counts CRC-valid records that failed to decode,
+	// excluding a torn final line.
+	BadRecords int
+	// Torn reports the scan stopped before end of file.
+	Torn bool
+	// Corrupt narrows Torn to mid-journal damage: intact frames exist
+	// past the stop point, or a committed frame failed to decode.
+	Corrupt bool
+	// TornOffset is the byte offset of the record the scan stopped at
+	// (meaningful when Torn is set).
+	TornOffset int64
+}
+
+// Damaged reports whether the journal needs repair: anything beyond
+// the torn tail a crash legitimately leaves behind.
+func (c SpoolCheck) Damaged() bool {
+	return c.Corrupt || c.BadRecords > 0
+}
+
+// CheckSpool verifies the spool journal offline: frame CRCs, record
+// decode and push/done cross-references. It never modifies the data;
+// quarantine decisions belong to the caller (see internal/fsck).
+func CheckSpool(data []byte) SpoolCheck {
+	var c SpoolCheck
+	sc := wire.NewScanner(data)
+	pushed := make(map[string]bool)
+	done := make(map[string]bool)
+	var orphan []string
+	pendingBad := false
+	for {
+		off := sc.Offset()
+		raw, isFrame, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if pendingBad {
+			c.BadRecords++
+			pendingBad = false
+		}
+		var r spoolRecord
+		if isFrame {
+			if decodeSpoolRecord(raw, &r) != nil {
+				c.BadRecords++
+				c.Corrupt = true
+				if !c.Torn {
+					c.Torn, c.TornOffset = true, off
+				}
+				continue
+			}
+		} else if json.Unmarshal(raw, &r) != nil {
+			pendingBad = true
+			continue
+		}
+		c.Records++
+		switch r.Kind {
+		case "push":
+			if r.Push == nil {
+				c.BadRecords++
+				continue
+			}
+			c.Pushes++
+			pushed[r.Push.Key] = true
+		case "done":
+			c.Dones++
+			done[r.Key] = true
+			if !pushed[r.Key] {
+				orphan = append(orphan, r.Key)
+			}
+		default:
+			c.BadRecords++
+		}
+	}
+	if pendingBad {
+		c.Torn = true // unparsable final line: legacy torn tail
+	}
+	for key := range pushed {
+		if !done[key] {
+			c.Pending++
+		}
+	}
+	for _, key := range orphan {
+		if !pushed[key] {
+			c.OrphanDones++
+		}
+	}
+	if sc.Torn() {
+		if !c.Torn {
+			c.Torn, c.TornOffset = true, sc.TornOffset()
+		}
+		c.Corrupt = c.Corrupt || sc.CorruptMidJournal()
+	}
+	return c
+}

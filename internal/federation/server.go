@@ -206,6 +206,8 @@ type RecoveryInfo struct {
 	Skipped        int     `json:"skipped"`        // records at or below the snapshot seq
 	Failed         int     `json:"failed"`         // records that no longer apply
 	TornTail       bool    `json:"tornTail"`       // a torn final record was discarded
+	Corrupt        bool    `json:"corrupt"`        // mid-journal corruption stopped the replay
+	CorruptOffset  int64   `json:"corruptOffset"`  // byte offset of the first bad record
 	LastSeq        int64   `json:"lastSeq"`        // highest journal seq seen
 	ElapsedMs      float64 `json:"elapsedMs"`      // wall time of the recovery pass
 }
@@ -219,6 +221,8 @@ func (s *Server) getRecovery(w http.ResponseWriter, r *http.Request) {
 		Skipped:        st.Skipped,
 		Failed:         st.Failed,
 		TornTail:       st.TornTail,
+		Corrupt:        st.Corrupt,
+		CorruptOffset:  st.CorruptOffset,
 		LastSeq:        st.LastSeq,
 		ElapsedMs:      float64(st.Elapsed) / float64(time.Millisecond),
 	})

@@ -15,6 +15,7 @@ import (
 
 	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/wire"
 )
@@ -162,7 +163,8 @@ const defaultSpoolCompactEvery = 1024
 // records have piled up on disk. Depth is an O(1) counter.
 type Spool struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    fs.File
+	fsys fs.FS
 	path string
 	// pending holds only the undelivered entries, in spool order.
 	pending []spoolEntry
@@ -183,22 +185,35 @@ type Spool struct {
 // existing records. If the journal holds delivered (push + done) pairs —
 // or a stray temporary file from a crash mid-compaction — it is
 // compacted before the spool is returned.
-func OpenSpool(path string) (*Spool, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+func OpenSpool(path string) (*Spool, error) { return OpenSpoolFS(path, nil) }
+
+// OpenSpoolFS is OpenSpool on an explicit filesystem (nil means the
+// real one) — the seam tests and the chaos oracle inject storage
+// faults through.
+//
+// A torn final record — the artifact of a crash mid-append — is
+// tolerated and dropped. Mid-journal corruption (a bad record with
+// intact frames after it) fails the open loudly instead: the lost
+// middle could hold push records whose redelivery the caller still
+// owes, so serving the readable subset would silently violate the
+// forwarder's delivery contract. Run `cmictl fsck` on the state dir.
+func OpenSpoolFS(path string, fsys fs.FS) (*Spool, error) {
+	fsys = fs.Or(fsys)
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
 	// A crash between writing the compaction tmp and renaming it leaves
 	// the original journal authoritative; discard the orphan.
-	os.Remove(path + ".tmp")
-	data, err := os.ReadFile(path)
+	fsys.Remove(path + ".tmp")
+	data, err := fsys.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("federation: spool: %w", err)
 	}
-	s := &Spool{f: f, path: path, done: make(map[string]bool), compactEvery: defaultSpoolCompactEvery}
+	s := &Spool{f: f, fsys: fsys, path: path, done: make(map[string]bool), compactEvery: defaultSpoolCompactEvery}
 	var entries []spoolEntry
 	sc := wire.NewScanner(data)
 	for {
@@ -209,7 +224,10 @@ func OpenSpool(path string) (*Spool, error) {
 		var r spoolRecord
 		if isFrame {
 			if decodeSpoolRecord(rec, &r) != nil {
-				continue
+				// A checksum-valid frame that fails to decode is damage,
+				// never a torn write.
+				f.Close()
+				return nil, fmt.Errorf("federation: spool %s is corrupt; run cmictl fsck", path)
 			}
 		} else if json.Unmarshal(rec, &r) != nil {
 			continue // torn write from a crash mid-append
@@ -223,6 +241,10 @@ func OpenSpool(path string) (*Spool, error) {
 			s.done[r.Key] = true
 			s.doneRecs++
 		}
+	}
+	if sc.Torn() && sc.CorruptMidJournal() {
+		f.Close()
+		return nil, fmt.Errorf("federation: spool %s is corrupt mid-journal at offset %d; run cmictl fsck", path, sc.TornOffset())
 	}
 	for _, e := range entries {
 		if !s.done[e.Key] {
@@ -255,27 +277,22 @@ func (s *Spool) append(r spoolRecord) error {
 	return nil
 }
 
-// compactLocked rewrites the journal with only the pending entries
-// (tmp + rename, crash-safe: until the rename the old journal stays
-// authoritative) and resets the delivered bookkeeping. Called with s.mu
-// held.
+// compactLocked rewrites the journal with only the pending entries —
+// tmp + fsync + rename + parent-dir fsync (fs.ReplaceFile), crash-safe:
+// until the rename the old journal stays authoritative, and the dir
+// fsync makes the replacement itself durable. Resets the delivered
+// bookkeeping. Called with s.mu held.
 func (s *Spool) compactLocked() error {
 	buf := wire.GetBuf(4096)
 	for i := range s.pending {
 		buf = appendSpoolRecord(buf, &spoolRecord{Kind: "push", Push: &s.pending[i]})
 	}
-	tmp := s.path + ".tmp"
-	err := os.WriteFile(tmp, buf, 0o644)
+	err := fs.ReplaceFile(s.fsys, s.path, buf, true)
 	wire.PutBuf(buf)
 	if err != nil {
-		os.Remove(tmp)
 		return fmt.Errorf("federation: spool compact: %w", err)
 	}
-	if err := os.Rename(tmp, s.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("federation: spool compact: %w", err)
-	}
-	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fsys.OpenAppend(s.path)
 	if err != nil {
 		// The rename succeeded but the append handle is gone; fail loudly
 		// rather than appending into the unlinked old inode.
@@ -388,6 +405,9 @@ type ForwarderConfig struct {
 	// Metrics receives spool depth, push outcomes and redelivery
 	// latency; may be nil.
 	Metrics *obs.Registry
+	// FS is the filesystem the spool journal lives on; nil means the
+	// real one. Tests and the chaos oracle inject storage faults here.
+	FS fs.FS
 }
 
 // redeliveryBuckets stretch further than the RPC-latency defaults:
@@ -436,7 +456,7 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 	if cfg.Client == nil {
 		return nil, fmt.Errorf("federation: forwarder requires a client")
 	}
-	sp, err := OpenSpool(cfg.SpoolPath)
+	sp, err := OpenSpoolFS(cfg.SpoolPath, cfg.FS)
 	if err != nil {
 		return nil, err
 	}

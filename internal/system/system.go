@@ -25,6 +25,7 @@ import (
 	"github.com/mcc-cmi/cmi/internal/delivery"
 	"github.com/mcc-cmi/cmi/internal/enact"
 	"github.com/mcc-cmi/cmi/internal/event"
+	"github.com/mcc-cmi/cmi/internal/fs"
 	"github.com/mcc-cmi/cmi/internal/obs"
 	"github.com/mcc-cmi/cmi/internal/stream"
 	"github.com/mcc-cmi/cmi/internal/vclock"
@@ -77,6 +78,11 @@ type Config struct {
 	// global-lock behavior. Recovery replay fans out across the same
 	// stripe count.
 	EnactStripes int
+	// FS is the filesystem every durable log (delivery journals,
+	// enactment WAL and snapshot, persisted specs) lives on; nil means
+	// the real one. Tests and the chaos oracle inject storage faults
+	// here (fs.NewFault).
+	FS fs.FS
 }
 
 // DefaultSnapshotEvery is the default number of enactment journal
@@ -101,6 +107,7 @@ type System struct {
 	stream   *stream.Hub
 
 	metrics *obs.Registry
+	fsys    fs.FS
 
 	stateDir   string
 	ownsState  bool
@@ -157,7 +164,7 @@ func New(cfg Config) (_ *System, err error) {
 			}
 		}()
 	}
-	store, err := hookNewStore(stateDir, delivery.StoreOptions{Sync: cfg.SyncJournal})
+	store, err := hookNewStore(stateDir, delivery.StoreOptions{Sync: cfg.SyncJournal, FS: cfg.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -175,11 +182,27 @@ func New(cfg Config) (_ *System, err error) {
 		schemas:    core.NewSchemaRegistry(),
 		dir:        core.NewDirectory(),
 		metrics:    reg,
+		fsys:       fs.Or(cfg.FS),
 		stateDir:   stateDir,
 		ownsState:  owns,
 		store:      store,
 		specHashes: make(map[string]bool),
 	}
+	// Process-wide storage counters: every FS implementation (real or
+	// fault-injecting) feeds the same atomics, so the series cover all
+	// durable logs at once.
+	reg.CounterFunc("cmi_fs_syncs_total",
+		"File fsyncs issued across all durable logs.",
+		func() float64 { return float64(fs.Syncs()) })
+	reg.CounterFunc("cmi_fs_sync_failures_total",
+		"File fsyncs that returned an error (each poisons its journal).",
+		func() float64 { return float64(fs.SyncFailures()) })
+	reg.CounterFunc("cmi_fs_dir_syncs_total",
+		"Parent-directory fsyncs issued after atomic file replacements.",
+		func() float64 { return float64(fs.DirSyncs()) })
+	reg.CounterFunc("cmi_fs_injected_faults_total",
+		"Storage faults injected by the fault-injecting filesystem (chaos/testing only).",
+		func() float64 { return float64(fs.Injected()) })
 	s.contexts = core.NewRegistry(clock)
 	stripes := cfg.EnactStripes
 	if stripes <= 0 {
@@ -303,7 +326,7 @@ func (s *System) recoverState(cfg Config, reg *obs.Registry) error {
 	s.recovery = stats
 
 	// Fresh records continue the journal from where it left off.
-	wal, err := enact.OpenWAL(s.walPath(), enact.WALOptions{Sync: cfg.SyncJournal, Metrics: reg})
+	wal, err := enact.OpenWAL(s.walPath(), enact.WALOptions{Sync: cfg.SyncJournal, Metrics: reg, FS: cfg.FS})
 	if err != nil {
 		return err
 	}
@@ -315,6 +338,16 @@ func (s *System) recoverState(cfg Config, reg *obs.Registry) error {
 		snapEvery = DefaultSnapshotEvery
 	case snapEvery < 0:
 		snapEvery = 0 // compaction disabled
+	}
+	if stats.Corrupt {
+		// Mid-journal corruption: the replayed prefix is served read-only.
+		// Appending would reuse sequence numbers from the unreachable
+		// suffix, and compacting would destroy the evidence — poison the
+		// WAL and disable compaction; Health (and cmid's boot check)
+		// surface the damage.
+		wal.Poison(fmt.Errorf("cmi: enactment wal corrupt mid-journal at offset %d; run cmictl fsck %s",
+			stats.CorruptOffset, s.stateDir))
+		snapEvery = 0
 	}
 	s.enact.AttachWAL(wal, s.snapshotPath(), snapEvery)
 
@@ -454,17 +487,15 @@ func (s *System) persistSpec(src string) error {
 		return nil
 	}
 	dir := filepath.Join(s.stateDir, "specs")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cmi: persist spec: %w", err)
 	}
 	s.specCount++
 	name := fmt.Sprintf("spec-%04d-%s.adl", s.specCount, h[:8])
-	tmp := filepath.Join(dir, name+".tmp")
-	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
-		return fmt.Errorf("cmi: persist spec: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		os.Remove(tmp)
+	// Atomic replace with fsync + parent-dir fsync: recovery replays the
+	// journal against these specs, so a spec that vanishes in a crash
+	// would strand every journaled operation that names its schemas.
+	if err := fs.ReplaceFile(s.fsys, filepath.Join(dir, name), []byte(src), true); err != nil {
 		return fmt.Errorf("cmi: persist spec: %w", err)
 	}
 	s.specHashes[h] = true
@@ -563,8 +594,9 @@ func (s *System) Metrics() *obs.Registry { return s.metrics }
 // parts, served by the federation /api/healthz endpoint.
 type Health struct {
 	// Healthy is the overall verdict: the system is started, not closed,
-	// the notification store accepts appends, and the awareness engine
-	// runs (or no awareness schemas are defined, so it never started).
+	// the notification store accepts appends, the awareness engine runs
+	// (or no awareness schemas are defined, so it never started), and no
+	// durable log is poisoned or corrupt.
 	Healthy bool `json:"healthy"`
 	// Started reports Start has been called (and Close has not).
 	Started bool `json:"started"`
@@ -574,20 +606,43 @@ type Health struct {
 	StoreOpen bool `json:"storeOpen"`
 	// Shards is the awareness engine's effective shard count.
 	Shards int `json:"shards"`
+	// PoisonedQueues counts delivery journals permanently refusing
+	// appends after a failed commit write or fsync (fsyncgate: the
+	// durable suffix is unknown, so no retry on the same descriptor).
+	PoisonedQueues int `json:"poisonedQueues,omitempty"`
+	// CorruptJournals counts delivery journals with mid-file corruption
+	// found at load: served read-only up to the damage, never compacted.
+	CorruptJournals int `json:"corruptJournals,omitempty"`
+	// WALPoisoned reports the enactment write-ahead log refuses all
+	// further operations — after a failed commit, or because recovery
+	// found mid-journal corruption (see WALCorrupt).
+	WALPoisoned bool `json:"walPoisoned,omitempty"`
+	// WALCorrupt reports recovery found mid-journal corruption in the
+	// enactment WAL: the state served is the replayed prefix, read-only.
+	// Run `cmictl fsck` on the state directory.
+	WALCorrupt bool `json:"walCorrupt,omitempty"`
 }
 
-// Health reports whether the system's moving parts are live.
+// Health reports whether the system's moving parts are live and its
+// durable logs intact.
 func (s *System) Health() Health {
 	s.mu.Lock()
 	started, closed, hasSchemas := s.started, s.closed, s.hasSchemas
 	s.mu.Unlock()
 	h := Health{
-		Started:       started && !closed,
-		EngineRunning: s.aware.Running(),
-		StoreOpen:     s.store.Open(),
-		Shards:        s.aware.Shards(),
+		Started:         started && !closed,
+		EngineRunning:   s.aware.Running(),
+		StoreOpen:       s.store.Open(),
+		Shards:          s.aware.Shards(),
+		PoisonedQueues:  s.store.PoisonedQueues(),
+		CorruptJournals: s.store.CorruptJournals(),
+		WALCorrupt:      s.recovery.Corrupt,
 	}
-	h.Healthy = h.Started && h.StoreOpen && (h.EngineRunning || !hasSchemas)
+	if w := s.enact.WAL(); w != nil {
+		h.WALPoisoned = w.Poisoned()
+	}
+	h.Healthy = h.Started && h.StoreOpen && (h.EngineRunning || !hasSchemas) &&
+		h.PoisonedQueues == 0 && h.CorruptJournals == 0 && !h.WALPoisoned && !h.WALCorrupt
 	return h
 }
 

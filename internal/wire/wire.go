@@ -154,6 +154,105 @@ func (s *Scanner) Next() (rec []byte, isFrame, ok bool) {
 // frame rather than clean end of input.
 func (s *Scanner) Torn() bool { return s.torn }
 
+// Offset returns the byte offset of the next record to scan (separator
+// bytes skipped). Read before each Next call it yields that record's
+// exact start position — what a verifier reports, and where a repair
+// would truncate.
+func (s *Scanner) Offset() int64 {
+	off := s.off
+	for off < len(s.data) && s.data[off] == '\n' {
+		off++
+	}
+	return int64(off)
+}
+
+// TornOffset returns the byte offset of the record at which scanning
+// stopped. It is meaningful only when Torn reports true.
+func (s *Scanner) TornOffset() int64 { return int64(s.off) }
+
+// CorruptMidJournal distinguishes the two ways a journal can tear. A
+// torn TAIL — a partial frame at end of file, the normal artifact of a
+// crash mid-append — has nothing decodable after the tear point. MID-
+// JOURNAL corruption (bit-rot or an overwrite inside committed history)
+// leaves intact frames after the bad one. It reports true when at least
+// one well-formed, checksum-valid frame exists past the tear, which is
+// the signal recovery must surface loudly instead of silently serving
+// the prefix.
+func (s *Scanner) CorruptMidJournal() bool {
+	if !s.torn {
+		return false
+	}
+	for i := s.off + 1; i < len(s.data); i++ {
+		if s.data[i] != Format1 {
+			continue
+		}
+		if _, _, _, ok := frameAt(s.data, i); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// frameAt tries to parse a checksum-valid version-1 frame starting at
+// off, returning the payload bounds and total end offset.
+func frameAt(data []byte, off int) (payloadOff, payloadLen, end int, ok bool) {
+	if off >= len(data) || data[off] != Format1 {
+		return 0, 0, 0, false
+	}
+	n, ln := binary.Uvarint(data[off+1:])
+	if ln <= 0 {
+		return 0, 0, 0, false
+	}
+	head := off + 1 + ln
+	frameEnd := uint64(head) + 4 + n
+	if frameEnd > uint64(len(data)) {
+		return 0, 0, 0, false
+	}
+	sum := binary.LittleEndian.Uint32(data[head:])
+	if Checksum(data[head+4:frameEnd]) != sum {
+		return 0, 0, 0, false
+	}
+	return head + 4, int(n), int(frameEnd), true
+}
+
+// FrameSpan locates one committed frame inside a journal buffer.
+type FrameSpan struct {
+	Off        int64 // offset of the format byte
+	PayloadOff int64 // offset of the first payload byte
+	PayloadLen int   // payload length in bytes
+}
+
+// FrameSpans enumerates the well-formed binary frames of a journal in
+// order, skipping legacy JSON lines, and stops at the first torn or
+// corrupt record — the same walk a Scanner performs, but yielding byte
+// positions instead of payloads. Fault-injection helpers and the fsck
+// verifier use it to aim at (or report on) committed bytes.
+func FrameSpans(data []byte) []FrameSpan {
+	var spans []FrameSpan
+	off := 0
+	for off < len(data) {
+		for off < len(data) && data[off] == '\n' {
+			off++
+		}
+		if off >= len(data) {
+			break
+		}
+		if data[off]&0x80 != 0 {
+			pOff, pLen, end, ok := frameAt(data, off)
+			if !ok {
+				break
+			}
+			spans = append(spans, FrameSpan{Off: int64(off), PayloadOff: int64(pOff), PayloadLen: pLen})
+			off = end
+			continue
+		}
+		for off < len(data) && data[off] != '\n' {
+			off++
+		}
+	}
+	return spans
+}
+
 // ---------------------------------------------------------------------
 // Append-style encoder primitives. All values use variable-length
 // encodings so the common small values cost one byte.

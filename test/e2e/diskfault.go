@@ -1,0 +1,210 @@
+package e2e
+
+import (
+	"net/http"
+	"os/exec"
+	"testing"
+)
+
+// The disk-fault runner checks one invariant, end to end and black-box:
+// under an injected storage fault the domain either serves correct
+// state or fails loudly — an unhealthy /api/healthz, refused writes, a
+// non-zero exit — and the state directory it leaves behind is
+// diagnosable and repairable with `cmictl fsck`. It must never serve
+// wrong state, and with -sync-journal it must never lose a confirmed
+// operation unless fsck diagnosed real damage (quarantine legitimately
+// truncates to the verified prefix).
+//
+// The run has fixed phases:
+//
+//  1. faulted workload — the schedule's operation mix runs against the
+//     target with -fs-faults armed; operation failures are expected and
+//     swallowed (the fault fires mid-run), but every operation the API
+//     CONFIRMED is recorded;
+//  2. loudness — a still-running target must answer healthz 200 or 503
+//     (never serve garbage, never hang); a self-exited target must have
+//     exited non-zero;
+//  3. crash + clean reboot — SIGKILL, disarm the fault schedule ("the
+//     operator replaced the disk") and boot again: a boot refusal or a
+//     503 means the damage must be fsck-diagnosable (fsck exits
+//     non-zero), after `fsck -quarantine` the directory must verify
+//     clean and the domain must boot healthy;
+//  4. verification — legal CORE states online, confirmed-op durability
+//     (only when no damage was diagnosed), graceful shutdown exit 0,
+//     double offline recovery agreement, and a final clean fsck.
+func runDiskFaultScenario(t *testing.T, sc *Scenario, seed int64, actions int) {
+	df := sc.DiskFaults
+	steps := sc.Schedule(seed, actions)
+	t.Logf("disk-fault scenario %s: seed=%d actions=%d target=%s faults=%q",
+		sc.Name, seed, actions, df.Domain, df.Faults)
+	tp := newTopology(t, sc)
+	defer tp.teardown()
+	target := tp.domains[df.Domain]
+
+	// Phase 1: faulted workload.
+	for i, st := range steps {
+		if !target.alive() {
+			t.Logf("step %d/%d: %s exited mid-run", i, len(steps), target.name)
+			break
+		}
+		if err := tp.exec(st); err != nil {
+			t.Fatalf("step %d (%s): %v", i, st.Kind, err)
+		}
+	}
+	t.Logf("faulted phase: %d ops confirmed, %d refused/failed", tp.ops, tp.opFails)
+
+	// Phase 2: loudness of the faulted process.
+	if target.alive() {
+		if v, ok := tp.metricValue(target, "cmi_fs_injected_faults_total"); ok {
+			t.Logf("cmi_fs_injected_faults_total=%v", v)
+		}
+		code := tp.healthzCode(target)
+		if code != http.StatusOK && code != http.StatusServiceUnavailable {
+			t.Errorf("invariant disk-fault: %s answered healthz %d under faults, want 200 (correct) or 503 (loud)",
+				target.name, code)
+		}
+		t.Logf("healthz under faults: %d", code)
+	} else if ec := target.exitCode(); ec == 0 {
+		t.Errorf("invariant disk-fault: %s exited 0 after an injected storage fault, want a non-zero (loud) exit", target.name)
+	}
+	target.kill()
+
+	// Phase 3: clean reboot. Damage may only surface here — a live
+	// process never rereads its committed bytes, so mid-journal bit-rot
+	// is a recovery-time discovery by design.
+	target.fsFaults = ""
+	damaged := false
+	if err := target.start(false); err != nil {
+		// start() only fails when cmid exited during boot (a refusal is
+		// always a non-zero log.Fatal) or never came up — loud either way.
+		t.Logf("clean reboot refused (loud): %v", err)
+		damaged = true
+		if out, code := tp.fsck(target, false); code == 0 {
+			t.Errorf("invariant disk-fault: %s refused to boot but fsck calls the state dir clean:\n%s", target.name, out)
+		}
+		tp.repairAndReboot(target)
+	} else {
+		if err := target.waitServing(false); err != nil {
+			t.Fatal(err)
+		}
+		switch code := tp.healthzCode(target); code {
+		case http.StatusOK:
+			// Served state is claimed correct; phase 4 and the final
+			// fsck hold it to that.
+		case http.StatusServiceUnavailable:
+			t.Logf("clean reboot serving unhealthy (loud); diagnosing")
+			damaged = true
+			target.kill()
+			if out, fcode := tp.fsck(target, false); fcode == 0 {
+				t.Errorf("invariant disk-fault: %s unhealthy after a clean reboot but fsck calls the state dir clean:\n%s",
+					target.name, out)
+			}
+			tp.repairAndReboot(target)
+		default:
+			t.Fatalf("invariant disk-fault: %s healthz %d after clean reboot", target.name, code)
+		}
+	}
+	if err := tp.seedDirectory(target, ""); err != nil {
+		t.Fatal(err)
+	}
+	tp.quiesce(target)
+
+	// Phase 4: the recovered domain serves correct state.
+	tp.checkRecovery(target)
+	if sc.wants("legal-states") {
+		tp.checkLegalStatesOnline(target)
+	}
+	if df.SyncJournal && !damaged {
+		tp.checkConfirmedDurable(target)
+	} else {
+		t.Logf("durability check skipped (damaged=%v syncJournal=%v): quarantine truncates to the verified prefix",
+			damaged, df.SyncJournal)
+	}
+	if err := target.stop(); err != nil {
+		t.Error(err)
+	}
+	if sc.wants("journal-agreement") {
+		tp.checkJournalAgreement(target)
+	}
+	if out, code := tp.fsck(target, false); code != 0 {
+		t.Errorf("invariant disk-fault: %s state dir not clean after the run (exit %d):\n%s", target.name, code, out)
+	}
+}
+
+// checkConfirmedDurable asserts every process-start the API confirmed
+// during the faulted phase is present after recovery. Only meaningful
+// under -sync-journal (the ack happens after the commit group's fsync)
+// and when no damage was diagnosed (quarantine truncates history).
+func (tp *topology) checkConfirmedDurable(d *domain) {
+	t := tp.t
+	t.Helper()
+	procs, err := tp.pc(d, tp.sc.Workload.Participants[0]).Processes()
+	if err != nil {
+		t.Fatalf("processes %s: %v", d.name, err)
+	}
+	have := make(map[string]bool, len(procs))
+	for _, p := range procs {
+		have[p.ID] = true
+	}
+	lost := 0
+	for _, pid := range tp.pids[d.name] {
+		if !have[pid] {
+			lost++
+			t.Errorf("invariant disk-fault: confirmed process %s lost on %s with no damage diagnosed", pid, d.name)
+		}
+	}
+	t.Logf("durability: %d/%d confirmed processes survived", len(tp.pids[d.name])-lost, len(tp.pids[d.name]))
+}
+
+// repairAndReboot runs `cmictl fsck -quarantine` on the stopped
+// domain's state directory, asserts the repair resolves every finding,
+// and boots the domain back to a healthy state with the directory
+// re-seeded.
+func (tp *topology) repairAndReboot(d *domain) {
+	t := tp.t
+	t.Helper()
+	out, code := tp.fsck(d, true)
+	t.Logf("cmictl fsck -quarantine %s (exit %d):\n%s", d.stateDir, code, out)
+	if code != 0 {
+		t.Fatalf("invariant disk-fault: fsck -quarantine left %s needing attention (exit %d):\n%s", d.name, code, out)
+	}
+	if out, code := tp.fsck(d, false); code != 0 {
+		t.Fatalf("invariant disk-fault: %s still damaged after quarantine (exit %d):\n%s", d.name, code, out)
+	}
+	if err := d.start(false); err != nil {
+		t.Fatalf("invariant disk-fault: %s failed to boot on the repaired state dir: %v", d.name, err)
+	}
+	if err := d.waitServing(true); err != nil {
+		t.Fatalf("invariant disk-fault: %s not healthy on the repaired state dir: %v", d.name, err)
+	}
+}
+
+// healthzCode returns the domain's current /api/healthz status, or 0
+// when it does not answer at all.
+func (tp *topology) healthzCode(d *domain) int {
+	resp, err := tp.hc.Get(d.base() + "/api/healthz")
+	if err != nil {
+		return 0
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// fsck runs the real `cmictl fsck` binary offline against the domain's
+// state directory and returns its combined output and exit code.
+func (tp *topology) fsck(d *domain, quarantine bool) (string, int) {
+	args := []string{"fsck"}
+	if quarantine {
+		args = append(args, "-quarantine")
+	}
+	args = append(args, d.stateDir)
+	out, err := exec.Command(d.ctlBin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	tp.t.Fatalf("cmictl fsck %s: %v\n%s", d.stateDir, err, out)
+	return "", -1
+}

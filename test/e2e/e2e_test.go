@@ -2,6 +2,7 @@ package e2e
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"reflect"
 	"strconv"
@@ -60,10 +61,53 @@ func TestChaosScenarios(t *testing.T) {
 		t.Fatal("no scenario files under scenarios/")
 	}
 	for _, sc := range scs {
+		if sc.DiskFaults != nil {
+			continue // disk-fault scenarios have their own runner below
+		}
 		t.Run(sc.Name, func(t *testing.T) {
 			seed, actions := overrides(sc)
 			runScenario(t, sc, seed, actions)
 		})
+	}
+}
+
+// TestDiskFaultScenarios runs every scenario that declares a diskFaults
+// block through the dedicated disk-fault runner (see diskfault.go). The
+// CMI_DISK_SWEEP env (make chaos-disk) widens each scenario into a
+// multi-seed sweep — seed, seed+1, … — so the fault ordinals land on
+// different call sites across runs.
+func TestDiskFaultScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk-fault scenarios spawn real daemons; skipped in -short")
+	}
+	scs, err := LoadScenarios("scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := 1
+	if v := os.Getenv("CMI_DISK_SWEEP"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			sweep = n
+		}
+	}
+	ran := 0
+	for _, sc := range scs {
+		if sc.DiskFaults == nil {
+			continue
+		}
+		ran++
+		t.Run(sc.Name, func(t *testing.T) {
+			seed, actions := overrides(sc)
+			for i := 0; i < sweep; i++ {
+				s := seed + int64(i)
+				t.Run(fmt.Sprintf("seed-%d", s), func(t *testing.T) {
+					runDiskFaultScenario(t, sc, s, actions)
+				})
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no disk-fault scenario files under scenarios/")
 	}
 }
 
@@ -126,6 +170,15 @@ func TestScenarioValidation(t *testing.T) {
 			Faults: FaultSpec{Partition: []string{"a->b"}}},
 		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
 			Invariants: []string{"no-such-invariant"}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			DiskFaults: &DiskFaultSpec{Domain: "ghost", Faults: "sync-fail@3"}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			DiskFaults: &DiskFaultSpec{Domain: "a", Faults: "melt@3"}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			DiskFaults: &DiskFaultSpec{Domain: "a", Faults: ""}},
+		{Name: "x", Domains: []DomainSpec{{Name: "a"}}, Workload: WorkloadSpec{Participants: []string{"p"}},
+			DiskFaults: &DiskFaultSpec{Domain: "a", Faults: "sync-fail@3"},
+			Faults:     FaultSpec{Kill: []string{"a"}}},
 	}
 	for i := range bad {
 		if err := bad[i].Validate(); err == nil {

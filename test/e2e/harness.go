@@ -93,6 +93,12 @@ type domain struct {
 	stripes  int    // -enact-stripes when > 0
 	hc       *http.Client
 
+	// fsFaults arms -fs-faults on every boot until the disk runner
+	// clears it ("the operator replaced the disk"); syncJournal passes
+	// -sync-journal so confirmed commits are fsynced before the ack.
+	fsFaults    string
+	syncJournal bool
+
 	// forwardURL/forwardParticipant configure -forward; forwardURL
 	// points at the chaos proxy, not directly at the target.
 	forwardURL         string
@@ -139,6 +145,12 @@ func (d *domain) start(firstBoot bool) error {
 	}
 	if d.stripes > 0 {
 		args = append(args, "-enact-stripes", fmt.Sprint(d.stripes))
+	}
+	if d.syncJournal {
+		args = append(args, "-sync-journal")
+	}
+	if d.fsFaults != "" {
+		args = append(args, "-fs-faults", d.fsFaults)
 	}
 	if d.forwardURL != "" {
 		args = append(args,
@@ -213,6 +225,43 @@ func (d *domain) waitServing(healthy bool) error {
 			return fmt.Errorf("domain %s: not serving at %s (healthy=%v): %v", d.name, d.base(), healthy, err)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// alive reports whether the daemon process is actually still running —
+// unlike isUp, which tracks the harness's intent, this asks the reaper.
+// A daemon that exited on its own (a loud boot refusal or a fatal
+// storage fault) reads as not alive while isUp still says true.
+func (d *domain) alive() bool {
+	d.mu.Lock()
+	exited := d.exited
+	d.mu.Unlock()
+	if exited == nil {
+		return false
+	}
+	select {
+	case <-exited:
+		return false
+	default:
+		return true
+	}
+}
+
+// exitCode returns the daemon's exit code, or -1 while it still runs.
+func (d *domain) exitCode() int {
+	d.mu.Lock()
+	cmd, exited := d.cmd, d.exited
+	d.mu.Unlock()
+	if cmd == nil || exited == nil {
+		return -1
+	}
+	select {
+	case <-exited:
+		// The channel receive happens-after cmd.Wait's writes, so
+		// ProcessState is safe to read.
+		return cmd.ProcessState.ExitCode()
+	default:
+		return -1
 	}
 }
 

@@ -79,6 +79,10 @@ func newTopology(t *testing.T, sc *Scenario) *topology {
 			stripes:  sc.EnactStripes,
 			hc:       tp.hc,
 		}
+		if df := sc.DiskFaults; df != nil && df.Domain == ds.Name {
+			tp.domains[ds.Name].fsFaults = df.Faults
+			tp.domains[ds.Name].syncJournal = df.SyncJournal
+		}
 	}
 	// Chaos proxies sit on every forwarding link. The proxy's listen
 	// address is what the source daemon is configured with; the dial

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"github.com/mcc-cmi/cmi/internal/fs"
 )
 
 // The scenario DSL: one JSON file declares a topology (domains and
@@ -60,6 +62,27 @@ type FaultSpec struct {
 	LatencyMs int `json:"latencyMs,omitempty"`
 }
 
+// DiskFaultSpec arms a deterministic storage-fault schedule (the cmid
+// -fs-faults syntax, see fs.ParseFaults) on one domain for the run's
+// faulted phase. Scenarios carrying this block are executed by the
+// dedicated disk runner (TestDiskFaultScenarios, runDiskFaultScenario)
+// instead of the generic chaos runner: drive the workload with faults
+// armed, then assert the disk-fault invariant — the domain either
+// serves correct state or fails loudly (503 health, refused writes, a
+// non-zero exit) with a state directory `cmictl fsck` can diagnose and
+// repair. It never serves wrong state.
+type DiskFaultSpec struct {
+	// Domain names the topology member whose filesystem misbehaves.
+	Domain string `json:"domain"`
+	// Faults is the schedule in -fs-faults syntax, e.g. "sync-fail@14"
+	// or "enospc@6144,corrupt@10".
+	Faults string `json:"faults"`
+	// SyncJournal passes -sync-journal to the target, so every
+	// confirmed commit group is fsynced before it is acknowledged —
+	// the mode under which the runner asserts confirmed-op durability.
+	SyncJournal bool `json:"syncJournal,omitempty"`
+}
+
 // Scenario is one declared chaos run.
 type Scenario struct {
 	Name        string       `json:"name"`
@@ -69,13 +92,17 @@ type Scenario struct {
 	Domains     []DomainSpec `json:"domains"`
 	Workload    WorkloadSpec `json:"workload"`
 	Faults      FaultSpec    `json:"faults"`
+	// DiskFaults, when set, turns this into a disk-fault scenario (see
+	// DiskFaultSpec). Mutually exclusive with kill/partition faults:
+	// the disk runner drives its own crash/restart/repair phases.
+	DiskFaults *DiskFaultSpec `json:"diskFaults,omitempty"`
 	// EnactStripes is passed to every domain as -enact-stripes: the
 	// number of lock stripes the enactment engine partitions process
 	// families across (0 omits the flag, keeping cmid's default).
 	EnactStripes int `json:"enactStripes,omitempty"`
 	// Invariants checked after quiesce: legal-states, exactly-once,
 	// complete-delivery, spool-drained, journal-agreement,
-	// stream-delivery.
+	// stream-delivery, disk-fault.
 	Invariants []string `json:"invariants"`
 }
 
@@ -86,6 +113,7 @@ var knownInvariants = map[string]bool{
 	"spool-drained":     true,
 	"journal-agreement": true,
 	"stream-delivery":   true,
+	"disk-fault":        true,
 }
 
 // Validate checks the scenario's internal references.
@@ -139,6 +167,21 @@ func (sc *Scenario) Validate() error {
 	for _, inv := range sc.Invariants {
 		if !knownInvariants[inv] {
 			return fmt.Errorf("%s: unknown invariant %q", sc.Name, inv)
+		}
+	}
+	if df := sc.DiskFaults; df != nil {
+		if _, ok := byName[df.Domain]; !ok {
+			return fmt.Errorf("%s: diskFaults target %q is not a domain", sc.Name, df.Domain)
+		}
+		cfg, err := fs.ParseFaults(df.Faults)
+		if err != nil {
+			return fmt.Errorf("%s: diskFaults: %w", sc.Name, err)
+		}
+		if cfg.Zero() {
+			return fmt.Errorf("%s: diskFaults with an empty fault schedule", sc.Name)
+		}
+		if len(sc.Faults.Kill) > 0 || len(sc.Faults.Partition) > 0 {
+			return fmt.Errorf("%s: disk-fault scenarios drive their own crash/restart phases; drop kill/partition faults", sc.Name)
 		}
 	}
 	return nil

@@ -1,0 +1,177 @@
+// Command fscheck is the storage-seam gate wired into `make check`: it
+// parses the durable-log packages and fails when file mutation bypasses
+// the internal/fs seam. Every open-for-write, rename, whole-file write
+// and fsync in those packages must go through an fs.FS / fs.File, so
+// the fault-injecting filesystem (and with it every chaos disk-fault
+// scenario) sees the same code paths production runs — a direct os call
+// is a blind spot the fault schedules cannot reach.
+//
+// Forbidden in a scanned package:
+//
+//	os.OpenFile, os.Create, os.NewFile   write-side handles off the seam
+//	os.Rename                            replacement without SyncDir
+//	os.WriteFile                         whole-file write off the seam
+//	<f>.Sync() where f came from an os.* call — including the
+//	os.Open(dir)+Sync dir-fsync idiom, which belongs in fs.SyncDir
+//
+// Reads (os.ReadFile, os.ReadDir, os.Open without a later Sync), stat
+// calls and tmp-file removal are fine: they cannot damage durable
+// state. A call that must stay on the real filesystem for a documented
+// reason carries a trailing `//fscheck:allow <reason>` comment.
+//
+// Usage:
+//
+//	go run ./tools/fscheck ./internal/delivery ./internal/enact ...
+//
+// _test.go files are ignored (tests legitimately arrange fixtures with
+// direct os calls). Exit status 1 lists every violation as file:line.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// forbidden are the os-package calls that mutate files directly.
+var forbidden = map[string]string{
+	"OpenFile": "open files through fs.FS (OpenAppend/Create), not os.OpenFile",
+	"Create":   "create files through fs.FS.Create, not os.Create",
+	"NewFile":  "wrap descriptors through fs.FS, not os.NewFile",
+	"Rename":   "rename through fs.FS.Rename and fsync the parent with fs.SyncDir",
+	"WriteFile": "write whole files through fs.ReplaceFile (tmp+fsync+rename+dir-sync), " +
+		"not os.WriteFile",
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: fscheck <package dir>...")
+		os.Exit(2)
+	}
+	var bad []string
+	for _, dir := range os.Args[1:] {
+		violations, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fscheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		bad = append(bad, violations...)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "fscheck: %d direct filesystem mutation(s) bypass the internal/fs seam:\n", len(bad))
+		for _, v := range bad {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns its violations as
+// "file:line: message" strings.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for name, file := range pkg.Files {
+			out = append(out, checkFile(fset, name, file)...)
+		}
+	}
+	return out, nil
+}
+
+// checkFile walks one file. Beyond the forbidden os.* calls it tracks
+// identifiers assigned from ANY os.* call (os.Open, os.OpenFile, ...)
+// and flags .Sync() on them: fsyncing a raw *os.File — file or
+// directory — is exactly the call the fault filesystem must be able to
+// intercept.
+func checkFile(fset *token.FileSet, name string, file *ast.File) []string {
+	allowed := allowedLines(fset, file)
+	osHandles := make(map[string]bool)
+	var out []string
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		if allowed[p.Line] {
+			return
+		}
+		out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, msg))
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// f, err := os.Open(...) — remember f as a raw OS handle.
+			for i, rhs := range n.Rhs {
+				if !isOSCall(rhs) {
+					continue
+				}
+				for _, lhs := range n.Lhs[:min(i+1, len(n.Lhs))] {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" && id.Name != "err" {
+						osHandles[id.Name] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "os" {
+				if why, bad := forbidden[sel.Sel.Name]; bad {
+					report(n.Pos(), "os."+sel.Sel.Name+": "+why)
+				}
+				return true
+			}
+			if sel.Sel.Name == "Sync" {
+				if id, ok := sel.X.(*ast.Ident); ok && osHandles[id.Name] {
+					report(n.Pos(), id.Name+".Sync(): fsync raw *os.File handles through fs.File.Sync or fs.SyncDir")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isOSCall reports whether expr is a call of the form os.X(...).
+func isOSCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "os"
+}
+
+// allowedLines collects the lines carrying an `//fscheck:allow` escape
+// hatch comment.
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//fscheck:allow") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// min returns the smaller of a and b.
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

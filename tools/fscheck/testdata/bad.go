@@ -1,0 +1,46 @@
+// Package testdata is fscheck's negative self-test corpus: every call
+// below bypasses the internal/fs seam and MUST be flagged. `make check`
+// runs fscheck over this directory and fails if the gate passes it —
+// proving the gate still detects what it exists to detect. The go tool
+// ignores testdata directories, so this file is parsed by fscheck only,
+// never built.
+package testdata
+
+import "os"
+
+// violate exercises every forbidden shape once.
+func violate() error {
+	f, err := os.OpenFile("journal", os.O_APPEND|os.O_WRONLY, 0o644) // want: os.OpenFile
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // want: raw handle fsync
+		return err
+	}
+	g, err := os.Create("snapshot.tmp") // want: os.Create
+	if err != nil {
+		return err
+	}
+	g.Close()
+	if err := os.WriteFile("spec.adl", nil, 0o644); err != nil { // want: os.WriteFile
+		return err
+	}
+	if err := os.Rename("snapshot.tmp", "snapshot"); err != nil { // want: os.Rename
+		return err
+	}
+	d, err := os.Open("statedir")
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync() // want: dir-fsync off the seam
+}
+
+// tolerated shows the shapes the gate deliberately lets through: reads,
+// stat calls and the documented escape hatch.
+func tolerated() error {
+	if _, err := os.ReadFile("journal"); err != nil {
+		return err
+	}
+	return os.WriteFile("ok", nil, 0o644) //fscheck:allow self-test of the escape hatch
+}
